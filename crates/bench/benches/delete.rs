@@ -1,0 +1,73 @@
+//! B2 — cost of `DELETE` variants.
+//!
+//! Legacy per-record force-deletion vs the revised collect-check-apply
+//! strict deletion, plus `DETACH DELETE` under both engines.
+//!
+//! Series: {legacy detach, revised detach, both strict(rel+node)} × graph
+//! size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cypher_core::Engine;
+use cypher_datagen::random::{random_graph, RandomGraphConfig};
+use cypher_graph::PropertyGraph;
+
+fn graph(n: usize) -> PropertyGraph {
+    random_graph(&RandomGraphConfig {
+        nodes: n,
+        rels: n * 2,
+        labels: 2,
+        types: 1,
+        seed: 11,
+    })
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delete");
+    group.sample_size(20);
+    for &n in &[100usize, 1_000] {
+        let base = graph(n);
+        for (name, engine) in [("legacy", Engine::legacy()), ("revised", Engine::revised())] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/detach_all"), n),
+                &n,
+                |b, _| {
+                    b.iter_batched(
+                        || base.clone(),
+                        |mut g| {
+                            engine
+                                .run(&mut g, "MATCH (n) DETACH DELETE n")
+                                .expect("detach delete");
+                            black_box(g)
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/strict_rels_then_nodes"), n),
+                &n,
+                |b, _| {
+                    b.iter_batched(
+                        || base.clone(),
+                        |mut g| {
+                            engine
+                                .run(&mut g, "MATCH (a)-[r]->(b) DELETE r")
+                                .expect("delete rels");
+                            engine
+                                .run(&mut g, "MATCH (n) DELETE n")
+                                .expect("delete nodes");
+                            black_box(g)
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delete);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! B7 — ablation: property-index lookups vs label scans.
+//!
+//! DESIGN.md lists the store's indexing as a substrate design choice; this
+//! bench quantifies it for point lookups (`MATCH (u:User {id: …})`) and for
+//! `MERGE`-heavy import workloads, where the per-record match probe
+//! dominates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cypher_core::{Dialect, Engine};
+use cypher_datagen::{order_table, rows_as_value, OrderTableConfig};
+use cypher_graph::PropertyGraph;
+
+fn users(n: usize, indexed: bool) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let e = Engine::revised();
+    e.run(
+        &mut g,
+        &format!("UNWIND range(0, {}) AS i CREATE (:User {{id: i}})", n - 1),
+    )
+    .expect("populate");
+    if indexed {
+        e.run(&mut g, "CREATE INDEX ON :User(id)").expect("index");
+    }
+    g
+}
+
+fn bench_point_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_point_lookup");
+    for &n in &[1_000usize, 10_000] {
+        for (name, indexed) in [("scan", false), ("indexed", true)] {
+            let mut g = users(n, indexed);
+            let engine = Engine::revised();
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| {
+                    let id = n / 2;
+                    black_box(
+                        engine
+                            .run(
+                                &mut g,
+                                &format!("MATCH (u:User {{id: {id}}}) RETURN count(*) AS c"),
+                            )
+                            .expect("lookup"),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_merge_with_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_merge_import");
+    group.sample_size(10);
+    let table = rows_as_value(&order_table(&OrderTableConfig {
+        rows: 500,
+        duplicate_ratio: 0.3,
+        null_ratio: 0.0,
+        ..Default::default()
+    }));
+    for (name, indexed) in [("scan", false), ("indexed", true)] {
+        let engine = Engine::builder(Dialect::Revised)
+            .param("rows", table.clone())
+            .build();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut g = PropertyGraph::new();
+                if indexed {
+                    engine
+                        .run(&mut g, "CREATE INDEX ON :User(id)")
+                        .expect("idx");
+                    engine
+                        .run(&mut g, "CREATE INDEX ON :Product(id)")
+                        .expect("idx");
+                }
+                engine
+                    .run(
+                        &mut g,
+                        "UNWIND $rows AS row WITH row.cid AS cid, row.pid AS pid \
+                         MERGE SAME (:User {id: cid})-[:ORDERED]->(:Product {id: pid})",
+                    )
+                    .expect("import");
+                black_box(g)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_lookup, bench_merge_with_index);
+criterion_main!(benches);

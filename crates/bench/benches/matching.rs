@@ -1,0 +1,109 @@
+//! B4 — pattern-matching cost: label scans, multi-hop patterns,
+//! variable-length paths, and the edge-isomorphic vs homomorphic
+//! disciplines of Example 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cypher_core::{Dialect, Engine, MatchMode};
+use cypher_datagen::random::{chain_graph, random_graph, RandomGraphConfig};
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(20);
+    for &n in &[100usize, 1_000] {
+        let mut g = random_graph(&RandomGraphConfig {
+            nodes: n,
+            rels: n * 4,
+            labels: 4,
+            types: 3,
+            seed: 3,
+        });
+        let engine = Engine::revised();
+        group.bench_with_input(BenchmarkId::new("label_scan", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    engine
+                        .run(&mut g, "MATCH (a:L0) RETURN count(*) AS c")
+                        .expect("scan"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("two_hop", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    engine
+                        .run(
+                            &mut g,
+                            "MATCH (a:L0)-[:T0]->(b)-[:T1]->(c) RETURN count(*) AS c",
+                        )
+                        .expect("two hop"),
+                )
+            })
+        });
+        for (name, mode) in [
+            ("iso", MatchMode::EdgeIsomorphic),
+            ("homo", MatchMode::Homomorphic),
+        ] {
+            let e = Engine::builder(Dialect::Revised).match_mode(mode).build();
+            group.bench_with_input(
+                BenchmarkId::new(format!("triangle_{name}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            e.run(
+                                &mut g,
+                                "MATCH (a)-[:T0]->(b)-[:T0]->(c)-[:T0]->(a) \
+                                 RETURN count(*) AS c",
+                            )
+                            .expect("triangle"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_varlen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variable_length");
+    group.sample_size(20);
+    for &len in &[100usize, 1_000] {
+        let mut g = chain_graph(len);
+        let engine = Engine::revised();
+        group.bench_with_input(BenchmarkId::new("star_1_to_4", len), &len, |b, _| {
+            b.iter(|| {
+                black_box(
+                    engine
+                        .run(
+                            &mut g,
+                            "MATCH (a:Node {id: 0})-[:NEXT*1..4]->(b) RETURN count(*) AS c",
+                        )
+                        .expect("varlen"),
+                )
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("unbounded_from_head", len),
+            &len,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .run(
+                                &mut g,
+                                "MATCH (a:Node {id: 0})-[:NEXT*]->(b) RETURN count(*) AS c",
+                            )
+                            .expect("varlen unbounded"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_varlen);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! B3 — the five §6 `MERGE` semantics on the relational-import workload.
+//!
+//! This is the design-space cost picture behind §7's remark that the two
+//! adopted semantics are "straightforward to implement": how much does each
+//! proposal pay on the §5 bulk-import use case, as a function of table size
+//! and duplicate/null density? Legacy `MERGE` is included as the baseline
+//! (it re-matches against the growing graph on every record).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cypher_core::{Dialect, Engine, MergePolicy};
+use cypher_datagen::{order_table, rows_as_value, OrderTableConfig};
+use cypher_graph::PropertyGraph;
+
+const IMPORT_LEGACY: &str = "UNWIND $rows AS row \
+    WITH row.cid AS cid, row.pid AS pid \
+    MERGE (:User {id: cid})-[:ORDERED]->(:Product {id: pid})";
+
+const IMPORT_REVISED: &str = "UNWIND $rows AS row \
+    WITH row.cid AS cid, row.pid AS pid \
+    MERGE ALL (:User {id: cid})-[:ORDERED]->(:Product {id: pid})";
+
+fn bench_merge_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_policies");
+    group.sample_size(10);
+    for &rows in &[100usize, 1_000] {
+        let table = rows_as_value(&order_table(&OrderTableConfig {
+            rows,
+            duplicate_ratio: 0.2,
+            null_ratio: 0.05,
+            ..Default::default()
+        }));
+        // Legacy baseline.
+        let legacy = Engine::builder(Dialect::Cypher9)
+            .param("rows", table.clone())
+            .build();
+        group.bench_with_input(BenchmarkId::new("Legacy", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut g = PropertyGraph::new();
+                legacy.run(&mut g, IMPORT_LEGACY).expect("legacy import");
+                black_box(g)
+            })
+        });
+        // The five proposals.
+        for policy in MergePolicy::PROPOSALS {
+            let engine = Engine::builder(Dialect::Revised)
+                .merge_policy(policy)
+                .param("rows", table.clone())
+                .build();
+            group.bench_with_input(
+                BenchmarkId::new(policy.to_string().replace(' ', ""), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        let mut g = PropertyGraph::new();
+                        engine.run(&mut g, IMPORT_REVISED).expect("import");
+                        black_box(g)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_merge_duplicate_sweep(c: &mut Criterion) {
+    // How duplicate density shifts the balance between Atomic (creates
+    // everything) and Strong Collapse (dedups everything).
+    let mut group = c.benchmark_group("merge_duplicate_sweep");
+    group.sample_size(10);
+    for &dup in &[0.0f64, 0.5, 0.9] {
+        let table = rows_as_value(&order_table(&OrderTableConfig {
+            rows: 1_000,
+            duplicate_ratio: dup,
+            null_ratio: 0.0,
+            ..Default::default()
+        }));
+        for policy in [
+            MergePolicy::Atomic,
+            MergePolicy::Grouping,
+            MergePolicy::StrongCollapse,
+        ] {
+            let engine = Engine::builder(Dialect::Revised)
+                .merge_policy(policy)
+                .param("rows", table.clone())
+                .build();
+            group.bench_with_input(
+                BenchmarkId::new(policy.to_string().replace(' ', ""), format!("dup{dup}")),
+                &dup,
+                |b, _| {
+                    b.iter(|| {
+                        let mut g = PropertyGraph::new();
+                        engine.run(&mut g, IMPORT_REVISED).expect("import");
+                        black_box(g)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_policies, bench_merge_duplicate_sweep);
+criterion_main!(benches);

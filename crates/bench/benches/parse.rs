@@ -1,0 +1,76 @@
+//! B5 — parser throughput over a corpus of representative statements
+//! (the paper's queries plus heavier synthetic ones), and dialect
+//! validation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cypher_parser::{parse, validate, Dialect};
+
+fn corpus() -> Vec<String> {
+    let mut out: Vec<String> = vec![
+        "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) \
+         WHERE p.name = 'laptop' RETURN v"
+            .into(),
+        "MATCH (u:User {id: 89}) CREATE (u)-[:ORDERED]->(:New_Product {id: 0})".into(),
+        "MATCH (p:New_Product {id: 0}) SET p:Product, p.id = 120, \
+         p.name = 'smartphone' REMOVE p:New_Product"
+            .into(),
+        "MATCH (p:Product {id: 120}) DETACH DELETE p".into(),
+        "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) RETURN p, v".into(),
+        "MERGE ALL (:User {id: cid})-[:ORDERED]->(:Product {id: pid})".into(),
+        "MERGE SAME (:User {id: bid})-[:ORDERED]->(:Product {id: pid})\
+         <-[:OFFERS]-(:User {id: sid})"
+            .into(),
+        "MATCH (user)-[order:ORDERED]->(product) DELETE user SET user.id = 999 \
+         DELETE order RETURN user"
+            .into(),
+    ];
+    // A long UNION chain and a wide CREATE to stress the parser.
+    let arms: Vec<String> = (0..20)
+        .map(|i| format!("MATCH (n:L{i}) RETURN n.id AS id"))
+        .collect();
+    out.push(arms.join(" UNION ALL "));
+    let nodes: Vec<String> = (0..50)
+        .map(|i| format!("(:Item {{id: {i}, name: 'item-{i}', price: {}}})", i * 3))
+        .collect();
+    out.push(format!("CREATE {}", nodes.join(", ")));
+    out.push(
+        "MATCH (a)-[r:T*1..5 {w: 1}]->(b) WHERE a.x > 1 AND b.y IN [1, 2, 3] \
+         AND a.name STARTS WITH 'pre' \
+         RETURN a, b, r, count(*) AS c, collect(DISTINCT b.y) AS ys \
+         ORDER BY c DESC SKIP 1 LIMIT 10"
+            .into(),
+    );
+    out
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let corpus = corpus();
+    let total_bytes: usize = corpus.iter().map(String::len).sum();
+    let mut group = c.benchmark_group("parse");
+    group.throughput(criterion::Throughput::Bytes(total_bytes as u64));
+    group.bench_function("corpus", |b| {
+        b.iter(|| {
+            for q in &corpus {
+                black_box(parse(q).expect("corpus parses"));
+            }
+        })
+    });
+    group.bench_function("corpus_with_validation", |b| {
+        b.iter(|| {
+            for q in &corpus {
+                let ast = parse(q).expect("corpus parses");
+                // Each statement is valid in at least one dialect.
+                let _ = black_box(
+                    validate(&ast, Dialect::Cypher9).is_ok()
+                        || validate(&ast, Dialect::Revised).is_ok(),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

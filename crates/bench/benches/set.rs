@@ -1,0 +1,51 @@
+//! B1 — cost of `SET` atomicity.
+//!
+//! The paper argues the revised atomic `SET` is "straightforward to
+//! implement"; this bench quantifies its overhead against the legacy
+//! record-by-record `SET`: the atomic version pays for a change-set
+//! (collection + conflict detection) before applying.
+//!
+//! Series: engine ∈ {legacy, revised} × table size ∈ {100, 1k, 10k} rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cypher_core::Engine;
+use cypher_datagen::random::{random_graph, RandomGraphConfig};
+use cypher_graph::PropertyGraph;
+
+fn graph_with_nodes(n: usize) -> PropertyGraph {
+    random_graph(&RandomGraphConfig {
+        nodes: n,
+        rels: 0,
+        labels: 1,
+        types: 1,
+        seed: 7,
+    })
+}
+
+fn bench_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_atomicity");
+    group.sample_size(20);
+    for &n in &[100usize, 1_000, 10_000] {
+        let base = graph_with_nodes(n);
+        for (name, engine) in [("legacy", Engine::legacy()), ("revised", Engine::revised())] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut g| {
+                        engine
+                            .run(&mut g, "MATCH (n:L0) SET n.x = n.id + 1, n.touched = true")
+                            .expect("set statement");
+                        black_box(g)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_set);
+criterion_main!(benches);

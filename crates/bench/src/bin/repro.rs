@@ -1,0 +1,86 @@
+//! `repro` — regenerate every figure/example reproduction of the paper.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p cypher-bench --bin repro             # run all experiments
+//! cargo run -p cypher-bench --bin repro -- --exp e7 # run one experiment
+//! cargo run -p cypher-bench --bin repro -- --quiet  # summary lines only
+//! ```
+//!
+//! Exits non-zero if any experiment fails its paper-derived checks.
+
+use std::process::ExitCode;
+
+use cypher_bench::run_all;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut filter: Option<String> = None;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                filter = args.get(i).cloned();
+                if filter.is_none() {
+                    eprintln!("--exp requires an experiment id (e1..e10)");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("repro [--exp eN] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    println!("Reproduction of \"Updating Graph Databases with Cypher\" (PVLDB 2019)");
+    println!("====================================================================");
+
+    let mut all_pass = true;
+    let mut ran = 0;
+    for report in run_all() {
+        if let Some(f) = &filter {
+            if !report.id.eq_ignore_ascii_case(f) {
+                continue;
+            }
+        }
+        ran += 1;
+        if quiet {
+            println!(
+                "{} {} — {}",
+                if report.pass { "PASS" } else { "FAIL" },
+                report.id,
+                report.title
+            );
+        } else {
+            println!("{report}");
+        }
+        all_pass &= report.pass;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched the filter");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} experiment(s) run: {}",
+        ran,
+        if all_pass {
+            "all PASS"
+        } else {
+            "FAILURES present"
+        }
+    );
+    if all_pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,119 @@
+//! E1 — the §2–§3 running example: Figure 1 and Queries (1)–(5).
+
+use cypher_core::Engine;
+use cypher_datagen::figure1_graph;
+use cypher_graph::{GraphSummary, Value};
+
+use crate::ExperimentReport;
+
+pub fn e1_running_example() -> ExperimentReport {
+    let mut r = ExperimentReport::new("E1", "Figure 1 and Queries (1)–(5), §2–§3");
+    r.expected = "Q1 → {cStore}; Q2 adds p4+rel; Q3 relabels; bare DELETE fails; \
+                  Q4 detach-deletes; Q5 MERGE returns 3 rows adding v2 (7 nodes/7 rels)"
+        .into();
+
+    let engine = Engine::legacy();
+    let (mut g, _) = figure1_graph();
+    let base = GraphSummary::of(&g);
+    r.check(
+        "Figure 1 base graph has 6 nodes / 6 rels",
+        base.nodes == 6 && base.rels == 6,
+    );
+
+    // Query (1)
+    let q1 = engine
+        .run(
+            &mut g,
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) \
+             WHERE p.name = \"laptop\" RETURN v",
+        )
+        .expect("Q1");
+    r.check("Q1 returns exactly one record", q1.rows.len() == 1);
+    // §2: without the WHERE the table has two records (v1 twice).
+    let q1_nowhere = engine
+        .run(
+            &mut g,
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) RETURN v",
+        )
+        .expect("Q1 without WHERE");
+    r.check(
+        "without WHERE the bag has two copies of (v: v1)",
+        q1_nowhere.rows.len() == 2 && q1_nowhere.rows[0] == q1_nowhere.rows[1],
+    );
+
+    // Query (2): insert the dotted node p4 and its relationship.
+    let q2 = engine
+        .run(
+            &mut g,
+            "MATCH (u:User{id:89}) CREATE (u)-[:ORDERED]->(:New_Product{id:0})",
+        )
+        .expect("Q2");
+    r.check(
+        "Q2 creates one node and one relationship",
+        q2.stats.nodes_created == 1 && q2.stats.rels_created == 1,
+    );
+
+    // Query (3): relabel and reset properties.
+    engine
+        .run(
+            &mut g,
+            "MATCH (p:New_Product{id:0}) \
+             SET p:Product, p.id=120, p.name=\"smartphone\" \
+             REMOVE p:New_Product",
+        )
+        .expect("Q3");
+    let relabeled = engine
+        .run(
+            &mut g,
+            "MATCH (p:Product {id: 120}) RETURN p.name AS name, labels(p) AS ls",
+        )
+        .expect("relabel check");
+    r.check(
+        "Q3 leaves a :Product named smartphone",
+        relabeled.rows.len() == 1
+            && relabeled.rows[0][0] == Value::str("smartphone")
+            && relabeled.rows[0][1] == Value::list([Value::str("Product")]),
+    );
+
+    // §3: bare DELETE of the still-connected node fails…
+    let del = engine.run(&mut g, "MATCH (p:Product{id:120}) DELETE p");
+    r.check(
+        "bare DELETE of p4 fails (attached :ORDERED rel)",
+        del.is_err(),
+    );
+    // …while deleting the relationship alongside succeeds — but use the
+    // paper's alternative, Query (4): DETACH DELETE.
+    let q4 = engine
+        .run(&mut g, "MATCH (p:Product{id:120}) DETACH DELETE p")
+        .expect("Q4");
+    r.check(
+        "Q4 DETACH DELETE removes node and relationship",
+        q4.stats.nodes_deleted == 1 && q4.stats.rels_deleted == 1,
+    );
+    r.check(
+        "graph is back to the Figure 1 base shape",
+        GraphSummary::of(&g) == base,
+    );
+
+    // Query (5): MERGE pairs every product with a vendor.
+    let q5 = engine
+        .run(
+            &mut g,
+            "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) RETURN p, v",
+        )
+        .expect("Q5");
+    r.check("Q5 returns three product/vendor pairs", q5.rows.len() == 3);
+    let after = GraphSummary::of(&g);
+    r.check(
+        "Q5 adds the dashed v2 and its :OFFERS (7 nodes / 7 rels)",
+        after.nodes == 7 && after.rels == 7 && after.labels["Vendor"] == 2,
+    );
+    r.measured = format!(
+        "Q1 rows: {}; after Q5: {} nodes / {} rels, {} vendors",
+        q1.rows.len(),
+        after.nodes,
+        after.rels,
+        after.labels["Vendor"]
+    );
+    r
+}

@@ -1,0 +1,147 @@
+//! E5–E6 — Example 3 / Figure 6 (legacy `MERGE` nondeterminism) and
+//! Example 4 (the §6 proposals restore determinism).
+
+use cypher_core::{Dialect, Engine, MergePolicy, ProcessingOrder};
+use cypher_datagen::{example3_table, rows_as_value};
+use cypher_graph::{isomorphic, PropertyGraph};
+
+use crate::experiments::{build_expected, shape};
+use crate::ExperimentReport;
+
+/// Five nodes u1, u2, p, v1, v2 (no relationships), per Example 3.
+fn example3_setup(engine: &Engine) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    engine
+        .run(
+            &mut g,
+            "CREATE (:N {k: 'u1'}), (:N {k: 'u2'}), (:N {k: 'p'}), \
+                    (:N {k: 'v1'}), (:N {k: 'v2'})",
+        )
+        .expect("setup");
+    g
+}
+
+const EXAMPLE3_MERGE: &str = "UNWIND $rows AS row \
+    MATCH (user:N {k: row.user}), (product:N {k: row.product}), (vendor:N {k: row.vendor}) \
+    WITH user, product, vendor \
+    MERGE (user)-[:ORDERED]->(product)<-[:OFFERS]-(vendor)";
+
+const EXAMPLE3_MERGE_ALL: &str = "UNWIND $rows AS row \
+    MATCH (user:N {k: row.user}), (product:N {k: row.product}), (vendor:N {k: row.vendor}) \
+    WITH user, product, vendor \
+    MERGE ALL (user)-[:ORDERED]->(product)<-[:OFFERS]-(vendor)";
+
+/// Figure 6a: all three paths created (6 relationships).
+fn figure6a() -> PropertyGraph {
+    build_expected(
+        &[
+            ("u1", &["N"], &[("k", cypher_graph::Value::str("u1"))]),
+            ("u2", &["N"], &[("k", cypher_graph::Value::str("u2"))]),
+            ("p", &["N"], &[("k", cypher_graph::Value::str("p"))]),
+            ("v1", &["N"], &[("k", cypher_graph::Value::str("v1"))]),
+            ("v2", &["N"], &[("k", cypher_graph::Value::str("v2"))]),
+        ],
+        &[
+            ("u1", "ORDERED", "p"),
+            ("u2", "ORDERED", "p"),
+            ("u1", "ORDERED", "p"),
+            ("v1", "OFFERS", "p"),
+            ("v2", "OFFERS", "p"),
+            ("v2", "OFFERS", "p"),
+        ],
+    )
+}
+
+/// Figure 6b: the third record's path is matched, not created (4 rels).
+fn figure6b() -> PropertyGraph {
+    build_expected(
+        &[
+            ("u1", &["N"], &[("k", cypher_graph::Value::str("u1"))]),
+            ("u2", &["N"], &[("k", cypher_graph::Value::str("u2"))]),
+            ("p", &["N"], &[("k", cypher_graph::Value::str("p"))]),
+            ("v1", &["N"], &[("k", cypher_graph::Value::str("v1"))]),
+            ("v2", &["N"], &[("k", cypher_graph::Value::str("v2"))]),
+        ],
+        &[
+            ("u1", "ORDERED", "p"),
+            ("u2", "ORDERED", "p"),
+            ("v1", "OFFERS", "p"),
+            ("v2", "OFFERS", "p"),
+        ],
+    )
+}
+
+pub fn e5_example3_legacy_merge() -> ExperimentReport {
+    let mut r = ExperimentReport::new("E5", "Example 3 / Figure 6: legacy MERGE nondeterminism");
+    r.expected = "top-down evaluation yields Figure 6b (4 rels, third path matched); \
+                  bottom-up yields Figure 6a (6 rels, nothing matched)"
+        .into();
+
+    let rows = rows_as_value(&example3_table());
+    let mut shapes = Vec::new();
+    for (name, order, expected) in [
+        ("top-down", ProcessingOrder::Forward, figure6b()),
+        ("bottom-up", ProcessingOrder::Reverse, figure6a()),
+    ] {
+        let engine = Engine::builder(Dialect::Cypher9)
+            .processing_order(order)
+            .param("rows", rows.clone())
+            .build();
+        let mut g = example3_setup(&engine);
+        engine.run(&mut g, EXAMPLE3_MERGE).expect("example 3 merge");
+        r.check(
+            &format!("{name} produces the expected figure graph"),
+            isomorphic(&g, &expected),
+        );
+        shapes.push(format!("{name} → {}", shape(&g)));
+    }
+    r.measured = shapes.join("; ");
+    r
+}
+
+pub fn e6_example4_proposals() -> ExperimentReport {
+    let mut r = ExperimentReport::new(
+        "E6",
+        "Example 4: the §6 proposals are deterministic on Example 3's input",
+    );
+    r.expected = "Atomic/Grouping → Figure 6a regardless of order; the three collapse \
+                  variants → Figure 6b regardless of order"
+        .into();
+
+    let rows = rows_as_value(&example3_table());
+    let mut measured = Vec::new();
+    for policy in MergePolicy::PROPOSALS {
+        let mut outcomes = Vec::new();
+        for order in [ProcessingOrder::Forward, ProcessingOrder::Reverse] {
+            let engine = Engine::builder(Dialect::Revised)
+                .merge_policy(policy)
+                .processing_order(order)
+                .param("rows", rows.clone())
+                .build();
+            let mut g = example3_setup(&engine);
+            engine
+                .run(&mut g, EXAMPLE3_MERGE_ALL)
+                .expect("example 4 merge");
+            outcomes.push(g);
+        }
+        r.check(
+            &format!("{policy} is order-independent"),
+            isomorphic(&outcomes[0], &outcomes[1]),
+        );
+        let expected = match policy {
+            MergePolicy::Atomic | MergePolicy::Grouping => figure6a(),
+            _ => figure6b(),
+        };
+        let fig = match policy {
+            MergePolicy::Atomic | MergePolicy::Grouping => "6a",
+            _ => "6b",
+        };
+        r.check(
+            &format!("{policy} matches Figure {fig}"),
+            isomorphic(&outcomes[0], &expected),
+        );
+        measured.push(format!("{policy} → {}", shape(&outcomes[0])));
+    }
+    r.measured = measured.join("; ");
+    r
+}

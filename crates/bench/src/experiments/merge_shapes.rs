@@ -1,0 +1,325 @@
+//! E7–E9 — the `MERGE` design-space figures: Example 5 / Figure 7
+//! (duplicates and nulls), Example 6 / Figure 8 (positional vs
+//! cross-positional node collapse) and Example 7 / Figure 9 (relationship
+//! collapse and the re-match discussion).
+
+use cypher_core::{Dialect, Engine, MatchMode, MergePolicy, ProcessingOrder};
+use cypher_datagen::{example6_table, rows_as_value};
+use cypher_graph::{isomorphic, PropertyGraph, Value};
+
+use crate::experiments::{build_expected, run_example5, shape};
+use crate::ExperimentReport;
+
+/// Figure 7a: twelve nodes, six relationships (one pair per record).
+fn figure7a() -> PropertyGraph {
+    type NodeSpec<'a> = (String, Vec<&'a str>, Vec<(&'a str, Value)>);
+    let mut nodes: Vec<NodeSpec> = Vec::new();
+    let rows: [(i64, Option<i64>); 6] = [
+        (98, Some(125)),
+        (98, Some(125)),
+        (98, None),
+        (98, None),
+        (99, Some(125)),
+        (99, None),
+    ];
+    for (i, (cid, pid)) in rows.iter().enumerate() {
+        nodes.push((
+            format!("u{i}"),
+            vec!["User"],
+            vec![("id", Value::Int(*cid))],
+        ));
+        let props = match pid {
+            Some(p) => vec![("id", Value::Int(*p))],
+            None => vec![],
+        };
+        nodes.push((format!("p{i}"), vec!["Product"], props));
+    }
+    let mut g = PropertyGraph::new();
+    let mut ids = std::collections::BTreeMap::new();
+    for (key, labels, props) in &nodes {
+        let labels: Vec<_> = labels.iter().map(|l| g.sym(l)).collect();
+        let props: Vec<_> = props.iter().map(|(k, v)| (g.sym(k), v.clone())).collect();
+        ids.insert(key.clone(), g.create_node(labels, props));
+    }
+    let ordered = g.sym("ORDERED");
+    for i in 0..6 {
+        g.create_rel(ids[&format!("u{i}")], ordered, ids[&format!("p{i}")], [])
+            .expect("live endpoints");
+    }
+    g
+}
+
+/// Figure 7b: one pair per unique (cid, pid) — eight nodes, four rels.
+fn figure7b() -> PropertyGraph {
+    build_expected(
+        &[
+            ("u98a", &["User"], &[("id", Value::Int(98))]),
+            ("u98b", &["User"], &[("id", Value::Int(98))]),
+            ("u99a", &["User"], &[("id", Value::Int(99))]),
+            ("u99b", &["User"], &[("id", Value::Int(99))]),
+            ("p125a", &["Product"], &[("id", Value::Int(125))]),
+            ("p125b", &["Product"], &[("id", Value::Int(125))]),
+            ("pnull_a", &["Product"], &[]),
+            ("pnull_b", &["Product"], &[]),
+        ],
+        &[
+            ("u98a", "ORDERED", "p125a"),
+            ("u98b", "ORDERED", "pnull_a"),
+            ("u99a", "ORDERED", "p125b"),
+            ("u99b", "ORDERED", "pnull_b"),
+        ],
+    )
+}
+
+/// Figure 7c: one node per cid / per pid, one rel per unique pair.
+fn figure7c() -> PropertyGraph {
+    build_expected(
+        &[
+            ("u98", &["User"], &[("id", Value::Int(98))]),
+            ("u99", &["User"], &[("id", Value::Int(99))]),
+            ("p125", &["Product"], &[("id", Value::Int(125))]),
+            ("pnull", &["Product"], &[]),
+        ],
+        &[
+            ("u98", "ORDERED", "p125"),
+            ("u98", "ORDERED", "pnull"),
+            ("u99", "ORDERED", "p125"),
+            ("u99", "ORDERED", "pnull"),
+        ],
+    )
+}
+
+pub fn e7_example5_figure7() -> ExperimentReport {
+    let mut r = ExperimentReport::new("E7", "Example 5 / Figure 7: duplicates and nulls");
+    r.expected = "Atomic → 12 nodes/6 rels (7a); Grouping → 8 nodes/4 rels (7b); \
+                  all collapse variants → the 7c graph (single null-product node)"
+        .into();
+
+    let mut measured = Vec::new();
+    for (policy, expected, fig) in [
+        (MergePolicy::Atomic, figure7a(), "7a"),
+        (MergePolicy::Grouping, figure7b(), "7b"),
+        (MergePolicy::WeakCollapse, figure7c(), "7c"),
+        (MergePolicy::Collapse, figure7c(), "7c"),
+        (MergePolicy::StrongCollapse, figure7c(), "7c"),
+    ] {
+        let g = run_example5(policy, ProcessingOrder::Forward);
+        r.check(
+            &format!("{policy} matches Figure {fig}"),
+            isomorphic(&g, &expected),
+        );
+        // Order independence.
+        let g_rev = run_example5(policy, ProcessingOrder::Reverse);
+        r.check(
+            &format!("{policy} is order-independent"),
+            isomorphic(&g, &g_rev),
+        );
+        measured.push(format!("{policy} → {}", shape(&g)));
+    }
+    r.measured = measured.join("; ");
+    r
+}
+
+fn run_example6(policy: MergePolicy) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let engine = Engine::builder(Dialect::Revised)
+        .merge_policy(policy)
+        .param("rows", rows_as_value(&example6_table()))
+        .build();
+    engine
+        .run(
+            &mut g,
+            "UNWIND $rows AS row \
+             WITH row.bid AS bid, row.pid AS pid, row.sid AS sid \
+             MERGE ALL (:User {id: bid})-[:ORDERED]->(:Product {id: pid})\
+             <-[:OFFERS]-(:User {id: sid})",
+        )
+        .expect("example 6 query");
+    g
+}
+
+/// Figure 8a: six nodes — user 98 duplicated across buyer/seller roles.
+fn figure8a() -> PropertyGraph {
+    build_expected(
+        &[
+            ("u98buy", &["User"], &[("id", Value::Int(98))]),
+            ("u98sell", &["User"], &[("id", Value::Int(98))]),
+            ("u99", &["User"], &[("id", Value::Int(99))]),
+            ("u97", &["User"], &[("id", Value::Int(97))]),
+            ("p125", &["Product"], &[("id", Value::Int(125))]),
+            ("p85", &["Product"], &[("id", Value::Int(85))]),
+        ],
+        &[
+            ("u98buy", "ORDERED", "p125"),
+            ("u97", "OFFERS", "p125"),
+            ("u99", "ORDERED", "p85"),
+            ("u98sell", "OFFERS", "p85"),
+        ],
+    )
+}
+
+/// Figure 8b: five nodes — the two id-98 users combined.
+fn figure8b() -> PropertyGraph {
+    build_expected(
+        &[
+            ("u98", &["User"], &[("id", Value::Int(98))]),
+            ("u99", &["User"], &[("id", Value::Int(99))]),
+            ("u97", &["User"], &[("id", Value::Int(97))]),
+            ("p125", &["Product"], &[("id", Value::Int(125))]),
+            ("p85", &["Product"], &[("id", Value::Int(85))]),
+        ],
+        &[
+            ("u98", "ORDERED", "p125"),
+            ("u97", "OFFERS", "p125"),
+            ("u99", "ORDERED", "p85"),
+            ("u98", "OFFERS", "p85"),
+        ],
+    )
+}
+
+pub fn e8_example6_figure8() -> ExperimentReport {
+    let mut r = ExperimentReport::new(
+        "E8",
+        "Example 6 / Figure 8: Weak Collapse vs (Strong) Collapse",
+    );
+    r.expected = "Atomic/Grouping/Weak Collapse → 8a (two id-98 users); \
+                  Collapse/Strong Collapse → 8b (combined)"
+        .into();
+
+    let mut measured = Vec::new();
+    for (policy, expected, fig) in [
+        (MergePolicy::Atomic, figure8a(), "8a"),
+        (MergePolicy::Grouping, figure8a(), "8a"),
+        (MergePolicy::WeakCollapse, figure8a(), "8a"),
+        (MergePolicy::Collapse, figure8b(), "8b"),
+        (MergePolicy::StrongCollapse, figure8b(), "8b"),
+    ] {
+        let g = run_example6(policy);
+        r.check(
+            &format!("{policy} matches Figure {fig}"),
+            isomorphic(&g, &expected),
+        );
+        measured.push(format!("{policy} → {}", shape(&g)));
+    }
+    r.measured = measured.join("; ");
+    r
+}
+
+fn run_example7(policy: MergePolicy) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let engine = Engine::builder(Dialect::Revised)
+        .merge_policy(policy)
+        .build();
+    engine
+        .run(
+            &mut g,
+            "CREATE (:P {k: 1}), (:P {k: 2}), (:P {k: 3}), (:P {k: 4})",
+        )
+        .expect("products");
+    engine
+        .run(
+            &mut g,
+            "MATCH (a:P {k: 1}), (b:P {k: 2}), (c:P {k: 3}), (d:P {k: 1}), \
+                   (e:P {k: 2}), (tgt:P {k: 4}) \
+             MERGE ALL (a)-[:TO]->(b)-[:TO]->(c)-[:TO]->(d)-[:TO]->(e)-[:BOUGHT]->(tgt)",
+        )
+        .expect("example 7 query");
+    g
+}
+
+/// Figure 9a: two parallel p1→p2 `:TO` edges kept (5 rels).
+fn figure9a() -> PropertyGraph {
+    build_expected(
+        &[
+            ("p1", &["P"], &[("k", Value::Int(1))]),
+            ("p2", &["P"], &[("k", Value::Int(2))]),
+            ("p3", &["P"], &[("k", Value::Int(3))]),
+            ("p4", &["P"], &[("k", Value::Int(4))]),
+        ],
+        &[
+            ("p1", "TO", "p2"),
+            ("p2", "TO", "p3"),
+            ("p3", "TO", "p1"),
+            ("p1", "TO", "p2"),
+            ("p2", "BOUGHT", "p4"),
+        ],
+    )
+}
+
+/// Figure 9b: the parallel edge collapsed (4 rels).
+fn figure9b() -> PropertyGraph {
+    build_expected(
+        &[
+            ("p1", &["P"], &[("k", Value::Int(1))]),
+            ("p2", &["P"], &[("k", Value::Int(2))]),
+            ("p3", &["P"], &[("k", Value::Int(3))]),
+            ("p4", &["P"], &[("k", Value::Int(4))]),
+        ],
+        &[
+            ("p1", "TO", "p2"),
+            ("p2", "TO", "p3"),
+            ("p3", "TO", "p1"),
+            ("p2", "BOUGHT", "p4"),
+        ],
+    )
+}
+
+pub fn e9_example7_figure9() -> ExperimentReport {
+    let mut r = ExperimentReport::new(
+        "E9",
+        "Example 7 / Figure 9: Collapse vs Strong Collapse, and re-matching",
+    );
+    r.expected = "Atomic/Grouping/Weak/Collapse → 9a (5 rels); Strong Collapse → 9b \
+                  (4 rels); after Strong Collapse the merged pattern no longer matches \
+                  under edge-isomorphism but does under homomorphism"
+        .into();
+
+    let mut measured = Vec::new();
+    for policy in [
+        MergePolicy::Atomic,
+        MergePolicy::Grouping,
+        MergePolicy::WeakCollapse,
+        MergePolicy::Collapse,
+    ] {
+        let g = run_example7(policy);
+        r.check(
+            &format!("{policy} matches Figure 9a"),
+            isomorphic(&g, &figure9a()),
+        );
+        measured.push(format!("{policy} → {}", shape(&g)));
+    }
+    let g_strong = run_example7(MergePolicy::StrongCollapse);
+    r.check(
+        "Strong Collapse matches Figure 9b",
+        isomorphic(&g_strong, &figure9b()),
+    );
+    measured.push(format!(
+        "{} → {}",
+        MergePolicy::StrongCollapse,
+        shape(&g_strong)
+    ));
+
+    // The re-match discussion.
+    let rematch = "MATCH (a)-[:TO]->(b)-[:TO]->(c)-[:TO]->(d)-[:TO]->(e)\
+                   -[:BOUGHT]->(tgt) RETURN count(*) AS c";
+    let mut g = g_strong;
+    let iso = Engine::revised()
+        .run(&mut g, rematch)
+        .expect("iso re-match");
+    r.check(
+        "re-match fails under edge-isomorphic semantics",
+        iso.rows[0][0] == Value::Int(0),
+    );
+    let homo = Engine::builder(Dialect::Revised)
+        .match_mode(MatchMode::Homomorphic)
+        .build()
+        .run(&mut g, rematch)
+        .expect("homomorphic re-match");
+    let Value::Int(h) = homo.rows[0][0] else {
+        panic!("count missing")
+    };
+    r.check("re-match succeeds under homomorphic semantics", h >= 1);
+    measured.push(format!("re-match iso → 0 rows, homomorphic → {h} row(s)"));
+    r.measured = measured.join("; ");
+    r
+}

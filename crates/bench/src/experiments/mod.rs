@@ -1,0 +1,64 @@
+//! The per-figure/per-example reproductions. Module names follow the
+//! experiment index of DESIGN.md §5.
+
+pub mod fig1;
+pub mod merge_order;
+pub mod merge_shapes;
+pub mod set_delete;
+pub mod syntax;
+
+use cypher_core::{Dialect, Engine, MergePolicy, ProcessingOrder};
+use cypher_graph::{GraphSummary, PropertyGraph, Value};
+
+/// Shape string "N nodes / M rels" for report lines.
+pub(crate) fn shape(g: &PropertyGraph) -> String {
+    let s = GraphSummary::of(g);
+    format!("{} nodes / {} rels", s.nodes, s.rels)
+}
+
+/// Run Example 5's query under a merge policy, returning the graph.
+pub(crate) fn run_example5(policy: MergePolicy, order: ProcessingOrder) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let engine = Engine::builder(Dialect::Revised)
+        .merge_policy(policy)
+        .processing_order(order)
+        .param(
+            "rows",
+            cypher_datagen::rows_as_value(&cypher_datagen::example5_table()),
+        )
+        .build();
+    engine
+        .run(
+            &mut g,
+            "UNWIND $rows AS row \
+             WITH row.cid AS cid, row.pid AS pid, row.date AS date \
+             MERGE ALL (:User {id: cid})-[:ORDERED]->(:Product {id: pid})",
+        )
+        .expect("example 5 query");
+    g
+}
+
+/// Build an expected figure graph from a compact description:
+/// `nodes`: (key, labels, properties); `rels`: (src key, type, tgt key).
+/// One expected node: (key, labels, properties).
+pub(crate) type ExpectedNode<'a> = (&'a str, &'a [&'a str], &'a [(&'a str, Value)]);
+
+pub(crate) fn build_expected(
+    nodes: &[ExpectedNode<'_>],
+    rels: &[(&str, &str, &str)],
+) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let mut ids = std::collections::BTreeMap::new();
+    for (key, labels, props) in nodes {
+        let labels: Vec<_> = labels.iter().map(|l| g.sym(l)).collect();
+        let props: Vec<_> = props.iter().map(|(k, v)| (g.sym(k), v.clone())).collect();
+        let id = g.create_node(labels, props);
+        ids.insert((*key).to_owned(), id);
+    }
+    for (src, ty, tgt) in rels {
+        let ty = g.sym(ty);
+        g.create_rel(ids[*src], ty, ids[*tgt], [])
+            .expect("live endpoints");
+    }
+    g
+}

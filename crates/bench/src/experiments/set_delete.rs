@@ -1,0 +1,202 @@
+//! E2–E4 — the §4.1/§4.2 anomalies: non-atomic `SET` (Example 1),
+//! order-dependent `SET` under dirty data (Example 2), and the `DELETE`
+//! zombie anomaly, each contrasted with the revised behaviour of §7.
+
+use cypher_core::{Dialect, Engine, EvalError, ProcessingOrder};
+use cypher_graph::{GraphError, PropertyGraph, Value};
+
+use crate::ExperimentReport;
+
+fn example1_graph() -> PropertyGraph {
+    // Ids switched by a data-entry error: laptop carries the tablet's id.
+    let mut g = PropertyGraph::new();
+    Engine::legacy()
+        .run(
+            &mut g,
+            "CREATE (:Product {name: 'laptop', id: 85}), (:Product {name: 'tablet', id: 125})",
+        )
+        .expect("setup");
+    g
+}
+
+const SWAP: &str = "MATCH (p1:Product{name:\"laptop\"}), (p2:Product{name:\"tablet\"}) \
+                    SET p1.id = p2.id, p2.id = p1.id";
+
+fn ids_by_name(g: &mut PropertyGraph) -> (i64, i64) {
+    let r = Engine::legacy()
+        .run(
+            g,
+            "MATCH (p:Product) RETURN p.name AS n, p.id AS id ORDER BY n",
+        )
+        .expect("read ids");
+    let get = |row: &Vec<Value>| match row[1] {
+        Value::Int(i) => i,
+        _ => panic!("non-integer id"),
+    };
+    (get(&r.rows[0]), get(&r.rows[1])) // (laptop, tablet)
+}
+
+pub fn e2_example1_set_swap() -> ExperimentReport {
+    let mut r = ExperimentReport::new("E2", "Example 1 (§4.1): the SET id swap");
+    r.expected = "legacy: swap lost, both ids become 125; revised: ids swapped (125/85)".into();
+
+    let mut g = example1_graph();
+    Engine::legacy().run(&mut g, SWAP).expect("legacy swap");
+    let (laptop, tablet) = ids_by_name(&mut g);
+    r.check(
+        "legacy SET equalizes the ids (no-op second assignment)",
+        laptop == 125 && tablet == 125,
+    );
+    let legacy_outcome = format!("legacy: laptop={laptop}, tablet={tablet}");
+
+    let mut g = example1_graph();
+    Engine::revised().run(&mut g, SWAP).expect("revised swap");
+    let (laptop, tablet) = ids_by_name(&mut g);
+    r.check(
+        "revised SET performs the swap atomically",
+        laptop == 125 && tablet == 85,
+    );
+    r.measured = format!("{legacy_outcome}; revised: laptop={laptop}, tablet={tablet}");
+    r
+}
+
+fn example2_graph() -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    Engine::legacy()
+        .run(
+            &mut g,
+            "CREATE (:Product {id: 125, name: 'laptop'}), \
+                    (:Product {id: 125, name: 'notebook'}), \
+                    (:Product {id: 85, name: 'tablet'})",
+        )
+        .expect("setup");
+    g
+}
+
+const EXAMPLE2: &str = "MATCH (p1:Product{id:85}), (p2:Product{id:125}) SET p1.name = p2.name";
+
+pub fn e3_example2_set_conflict() -> ExperimentReport {
+    let mut r = ExperimentReport::new("E3", "Example 2 (§4.1): ambiguous SET under dirty data");
+    r.expected = "legacy: p3's name ends as 'notebook' or 'laptop' depending on match \
+                  order; revised: statement aborts with a conflicting-SET error"
+        .into();
+
+    let mut outcomes = Vec::new();
+    for order in [ProcessingOrder::Forward, ProcessingOrder::Reverse] {
+        let mut g = example2_graph();
+        let e = Engine::builder(Dialect::Cypher9)
+            .processing_order(order)
+            .build();
+        e.run(&mut g, EXAMPLE2).expect("legacy example 2");
+        let res = e
+            .run(&mut g, "MATCH (p:Product {id: 85}) RETURN p.name AS n")
+            .expect("read back");
+        let Value::Str(name) = res.rows[0][0].clone() else {
+            panic!("name missing")
+        };
+        outcomes.push(name);
+    }
+    r.check(
+        "legacy outcome depends on processing order",
+        outcomes[0] != outcomes[1],
+    );
+    r.check(
+        "both paper-named outcomes are reachable",
+        outcomes.contains(&"laptop".to_owned()) && outcomes.contains(&"notebook".to_owned()),
+    );
+
+    let mut g = example2_graph();
+    let err = Engine::revised().run(&mut g, EXAMPLE2);
+    let conflicted = matches!(err, Err(EvalError::ConflictingSet { .. }));
+    r.check("revised SET aborts with ConflictingSet", conflicted);
+    let untouched = Engine::revised()
+        .run(&mut g, "MATCH (p:Product {id: 85}) RETURN p.name AS n")
+        .expect("read back");
+    r.check(
+        "graph unchanged after the aborted statement",
+        untouched.rows[0][0] == Value::str("tablet"),
+    );
+    r.measured = format!(
+        "legacy forward → '{}', reverse → '{}'; revised → ConflictingSet error",
+        outcomes[0], outcomes[1]
+    );
+    r
+}
+
+pub fn e4_delete_anomaly() -> ExperimentReport {
+    let mut r = ExperimentReport::new("E4", "§4.2: DELETE anomaly (zombies and dangling rels)");
+    r.expected = "legacy: the DELETE/SET/DELETE/RETURN query succeeds, returning an empty \
+                  zombie node, after an illegal intermediate state; revised: plain DELETE \
+                  of a connected node errors"
+        .into();
+
+    let setup = "CREATE (u:User {id: 89})-[:ORDERED]->(:Product {id: 120})";
+    let query = "MATCH (user)-[order:ORDERED]->(product) \
+                 DELETE user SET user.id = 999 DELETE order RETURN user";
+
+    // Legacy: runs to completion.
+    let mut g = PropertyGraph::new();
+    let legacy = Engine::legacy();
+    legacy.run(&mut g, setup).expect("setup");
+    let res = legacy.run(&mut g, query).expect("legacy anomaly query");
+    r.check("legacy query returns one row", res.rows.len() == 1);
+    let zombie_ok = match &res.rows[0][0] {
+        Value::Node(n) => g.is_zombie((*n).into()) && g.node(*n).is_none(),
+        _ => false,
+    };
+    r.check(
+        "returned user is a zombie (no labels, no properties)",
+        zombie_ok,
+    );
+    r.check(
+        "end state is legal (order rel deleted too)",
+        g.integrity_check().is_ok(),
+    );
+    r.check("only the product node remains", g.node_count() == 1);
+
+    // Legacy, but ending mid-anomaly: DELETE user alone leaves a dangling
+    // relationship, which the commit-time integrity check rejects.
+    let mut g = PropertyGraph::new();
+    legacy.run(&mut g, setup).expect("setup");
+    let err = legacy.run(&mut g, "MATCH (user)-[:ORDERED]->() DELETE user");
+    r.check(
+        "legacy statement ending in a dangling state fails at commit",
+        matches!(
+            err,
+            Err(EvalError::Graph(GraphError::DanglingRelationships(_)))
+        ),
+    );
+    r.check(
+        "and is rolled back",
+        g.node_count() == 2 && g.integrity_check().is_ok(),
+    );
+
+    // Revised: the first DELETE errors immediately.
+    let mut g = PropertyGraph::new();
+    let revised = Engine::revised();
+    revised.run(&mut g, setup).expect("setup");
+    let err = revised.run(&mut g, query);
+    r.check(
+        "revised engine rejects the plain DELETE (§7 strict semantics)",
+        matches!(err, Err(EvalError::DeleteWouldDangle { .. })),
+    );
+
+    // Revised equivalent with null substitution: delete rel + node in one
+    // clause; the returned reference is null.
+    let mut g = PropertyGraph::new();
+    revised.run(&mut g, setup).expect("setup");
+    let res = revised
+        .run(
+            &mut g,
+            "MATCH (user)-[order:ORDERED]->(product) DELETE user, order RETURN user",
+        )
+        .expect("revised strict delete");
+    r.check(
+        "revised DELETE substitutes null for the deleted reference",
+        res.rows.len() == 1 && res.rows[0][0] == Value::Null,
+    );
+    r.measured = "legacy: zombie row + commit-time failure when ending dangling; \
+                  revised: DeleteWouldDangle error / null substitution"
+        .into();
+    r
+}

@@ -1,0 +1,105 @@
+//! E10 — §7 "Decisions on new Cypher": the revised surface syntax.
+//! `MERGE ALL` / `MERGE SAME` produce the Figure 7 graphs from real query
+//! text, bare `MERGE` is rejected, the `WITH` demarcation rule is gone, and
+//! `MERGE` patterns are directed tuples like `CREATE`'s (Figure 10).
+
+use cypher_core::{Dialect, Engine, ProcessingOrder};
+use cypher_datagen::{example5_table, rows_as_value};
+use cypher_graph::{isomorphic, GraphSummary, PropertyGraph};
+use cypher_parser::{parse, validate};
+
+use crate::ExperimentReport;
+
+fn run_new_syntax(merge_kw: &str) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let engine = Engine::builder(Dialect::Revised)
+        .param("rows", rows_as_value(&example5_table()))
+        .processing_order(ProcessingOrder::Forward)
+        .build();
+    engine
+        .run(
+            &mut g,
+            &format!(
+                "UNWIND $rows AS row \
+                 WITH row.cid AS cid, row.pid AS pid \
+                 {merge_kw} (:User {{id: cid}})-[:ORDERED]->(:Product {{id: pid}})"
+            ),
+        )
+        .expect("new-syntax merge");
+    g
+}
+
+pub fn e10_new_syntax() -> ExperimentReport {
+    let mut r = ExperimentReport::new("E10", "§7 / Figure 10: the revised surface syntax");
+    r.expected = "MERGE ALL → Figure 7a, MERGE SAME → Figure 7c; bare MERGE rejected; \
+                  no WITH demarcation; MERGE patterns are directed tuples"
+        .into();
+
+    // MERGE ALL / MERGE SAME as actual clauses (§7's worked illustration).
+    let g_all = run_new_syntax("MERGE ALL");
+    let s_all = GraphSummary::of(&g_all);
+    r.check(
+        "MERGE ALL produces the Figure 7a graph (12 nodes / 6 rels)",
+        s_all.nodes == 12 && s_all.rels == 6,
+    );
+    let g_same = run_new_syntax("MERGE SAME");
+    let s_same = GraphSummary::of(&g_same);
+    r.check(
+        "MERGE SAME produces the Figure 7c graph (4 nodes / 4 rels)",
+        s_same.nodes == 4 && s_same.rels == 4,
+    );
+    r.check(
+        "MERGE ALL and MERGE SAME differ exactly by collapsing",
+        !isomorphic(&g_all, &g_same),
+    );
+
+    // "The query used in Example 5 (without ALL or SAME) will no longer be
+    // allowed."
+    let bare = parse("MERGE (:User {id: 1})-[:ORDERED]->(:Product)").expect("parses");
+    r.check(
+        "bare MERGE is rejected by the revised dialect",
+        validate(&bare, Dialect::Revised).is_err(),
+    );
+    r.check(
+        "bare MERGE is still fine in Cypher 9",
+        validate(&bare, Dialect::Cypher9).is_ok(),
+    );
+
+    // §4.4 / §7: the WITH demarcation requirement is dropped.
+    let mixed = parse("MATCH (n) CREATE (:M) MATCH (m:M) RETURN m").expect("parses");
+    r.check(
+        "update→read without WITH is invalid Cypher 9",
+        validate(&mixed, Dialect::Cypher9).is_err(),
+    );
+    r.check(
+        "update→read without WITH is valid revised Cypher",
+        validate(&mixed, Dialect::Revised).is_ok(),
+    );
+
+    // Figure 10: MERGE takes tuples of *directed* update patterns.
+    let tuple = parse("MERGE ALL (a:X)-[:T]->(b:Y), (b)-[:U]->(:Z)").expect("parses");
+    r.check(
+        "MERGE ALL accepts pattern tuples",
+        validate(&tuple, Dialect::Revised).is_ok(),
+    );
+    let undirected = parse("MERGE SAME (a)-[:T]-(b)").expect("parses");
+    r.check(
+        "undirected relationships are rejected in MERGE SAME",
+        validate(&undirected, Dialect::Revised).is_err(),
+    );
+    r.check(
+        "undirected relationships were allowed in legacy MERGE",
+        validate(
+            &parse("MERGE (a)-[:T]-(b)").expect("parses"),
+            Dialect::Cypher9,
+        )
+        .is_ok(),
+    );
+
+    r.measured = format!(
+        "MERGE ALL → {} nodes/{} rels; MERGE SAME → {} nodes/{} rels; \
+         dialect validations behave per §7",
+        s_all.nodes, s_all.rels, s_same.nodes, s_same.rels
+    );
+    r
+}

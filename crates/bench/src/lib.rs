@@ -1,0 +1,108 @@
+//! # cypher-bench — experiment harness
+//!
+//! One reproduction per figure/example of *Updating Graph Databases with
+//! Cypher* (see DESIGN.md §5 for the experiment index). Each experiment
+//! returns an [`ExperimentReport`] stating what the paper reports and what
+//! this implementation measures; the `repro` binary prints them and
+//! EXPERIMENTS.md records the outcomes.
+//!
+//! Performance characterization lives in `benches/` (criterion): the cost
+//! of the legacy vs revised `SET`/`DELETE`, the five `MERGE` semantics on
+//! import workloads, pattern matching, parsing, and an end-to-end import
+//! pipeline.
+
+pub mod experiments;
+
+use std::fmt;
+
+/// Outcome of one reproduction.
+#[derive(Clone, Debug)]
+pub struct ExperimentReport {
+    /// Experiment id from DESIGN.md (e.g. "E7").
+    pub id: &'static str,
+    /// Paper artifact ("Example 5 / Figure 7").
+    pub title: &'static str,
+    /// What the paper states should happen.
+    pub expected: String,
+    /// What this implementation produced.
+    pub measured: String,
+    /// Did every check pass?
+    pub pass: bool,
+    /// Free-form detail lines (graph dumps, tables).
+    pub details: Vec<String>,
+}
+
+impl ExperimentReport {
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        ExperimentReport {
+            id,
+            title,
+            expected: String::new(),
+            measured: String::new(),
+            pass: true,
+            details: Vec::new(),
+        }
+    }
+
+    /// Record one named check; failure flips `pass` and is logged.
+    pub fn check(&mut self, name: &str, ok: bool) {
+        if !ok {
+            self.pass = false;
+        }
+        self.details
+            .push(format!("  [{}] {name}", if ok { "ok" } else { "FAIL" }));
+    }
+
+    pub fn detail(&mut self, line: impl Into<String>) {
+        self.details.push(line.into());
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} {} — {}",
+            if self.pass { "PASS" } else { "FAIL" },
+            self.id,
+            self.title
+        )?;
+        writeln!(f, "  paper:    {}", self.expected)?;
+        writeln!(f, "  measured: {}", self.measured)?;
+        for d in &self.details {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Run every experiment, in index order.
+pub fn run_all() -> Vec<ExperimentReport> {
+    vec![
+        experiments::fig1::e1_running_example(),
+        experiments::set_delete::e2_example1_set_swap(),
+        experiments::set_delete::e3_example2_set_conflict(),
+        experiments::set_delete::e4_delete_anomaly(),
+        experiments::merge_order::e5_example3_legacy_merge(),
+        experiments::merge_order::e6_example4_proposals(),
+        experiments::merge_shapes::e7_example5_figure7(),
+        experiments::merge_shapes::e8_example6_figure8(),
+        experiments::merge_shapes::e9_example7_figure9(),
+        experiments::syntax::e10_new_syntax(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole reproduction must pass — this is the repo's headline test.
+    #[test]
+    fn all_experiments_pass() {
+        let reports = run_all();
+        assert_eq!(reports.len(), 10);
+        for r in &reports {
+            assert!(r.pass, "experiment failed:\n{r}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Runtime error model for the interpreter.
+//!
+//! The paper's revised semantics (§7) turn two formerly-silent behaviours
+//! into errors, both represented here:
+//!
+//! * [`EvalError::ConflictingSet`] — an atomic `SET` collecting two
+//!   different values for the same property (Example 2);
+//! * [`EvalError::DeleteWouldDangle`] — a strict `DELETE` that would leave
+//!   dangling relationships.
+
+use std::fmt;
+
+use cypher_graph::{EntityRef, GraphError, NodeId, Value};
+use cypher_parser::ParseError;
+
+/// Any error produced while executing a statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// Propagated parse/validation error (engines accept query text).
+    Parse(ParseError),
+    /// Propagated store error.
+    Graph(GraphError),
+    /// A variable was referenced but is not bound in the driving table.
+    UnknownVariable(String),
+    /// A variable is re-declared with an incompatible role (e.g. a node
+    /// variable reused as a relationship variable in one pattern).
+    VariableClash(String),
+    /// Type mismatch, e.g. property access on an integer.
+    Type {
+        expected: &'static str,
+        got: String,
+        context: &'static str,
+    },
+    /// Call to an unknown function.
+    UnknownFunction(String),
+    /// Wrong arguments to a function.
+    BadArguments { function: String, message: String },
+    /// Aggregates used where they are not allowed (e.g. in `WHERE`).
+    MisplacedAggregate,
+    /// Revised `SET`: two records assign conflicting values to one property
+    /// (the Example 2 error). Boxed to keep `Result` small.
+    ConflictingSet {
+        entity: EntityRef,
+        key: String,
+        first: Box<Value>,
+        second: Box<Value>,
+    },
+    /// Revised `DELETE`: deleting these nodes would leave dangling
+    /// relationships (use `DETACH DELETE` or delete the relationships in
+    /// the same clause).
+    DeleteWouldDangle { node: NodeId, attached: usize },
+    /// A write pattern used a variable bound to `null` (e.g. `CREATE` from
+    /// a failed `OPTIONAL MATCH`).
+    NullWriteTarget(String),
+    /// A bound variable in `CREATE`/`MERGE` carries new labels/properties,
+    /// which only make sense for fresh entities.
+    BoundPatternDecorated(String),
+    /// Arithmetic overflow or division by zero.
+    Arithmetic(String),
+    /// Integer out of the range required by the context (SKIP/LIMIT/range).
+    BadCount { context: &'static str, value: Value },
+    /// The dialect validator rejected the query for this engine.
+    Dialect(String),
+    /// Homomorphic matching of an unbounded variable-length pattern would
+    /// not terminate; the engine refuses it.
+    UnboundedMatch,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Parse(e) => write!(f, "parse error: {e}"),
+            EvalError::Graph(e) => write!(f, "graph error: {e}"),
+            EvalError::UnknownVariable(v) => write!(f, "variable `{v}` not defined"),
+            EvalError::VariableClash(v) => {
+                write!(f, "variable `{v}` already in use with a different role")
+            }
+            EvalError::Type {
+                expected,
+                got,
+                context,
+            } => {
+                write!(f, "type error in {context}: expected {expected}, got {got}")
+            }
+            EvalError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            EvalError::BadArguments { function, message } => {
+                write!(f, "bad arguments to `{function}`: {message}")
+            }
+            EvalError::MisplacedAggregate => {
+                write!(
+                    f,
+                    "aggregate functions are only allowed in RETURN and WITH items"
+                )
+            }
+            EvalError::ConflictingSet {
+                entity,
+                key,
+                first,
+                second,
+            } => write!(
+                f,
+                "conflicting SET: property `{key}` of {entity} assigned both {first} and \
+                 {second} (ambiguous update aborts, §7)"
+            ),
+            EvalError::DeleteWouldDangle { node, attached } => write!(
+                f,
+                "DELETE of node {node} would leave {attached} dangling relationship(s); \
+                 delete them in the same clause or use DETACH DELETE (§7)"
+            ),
+            EvalError::NullWriteTarget(v) => {
+                write!(f, "cannot write pattern: variable `{v}` is null")
+            }
+            EvalError::BoundPatternDecorated(v) => write!(
+                f,
+                "variable `{v}` is already bound; it cannot carry labels or properties \
+                 in a write pattern"
+            ),
+            EvalError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            EvalError::BadCount { context, value } => {
+                write!(f, "{context} requires a non-negative integer, got {value}")
+            }
+            EvalError::Dialect(msg) => write!(f, "dialect error: {msg}"),
+            EvalError::UnboundedMatch => write!(
+                f,
+                "unbounded variable-length pattern under homomorphic matching is not \
+                 finitely evaluable; bound the length"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<GraphError> for EvalError {
+    fn from(e: GraphError) -> Self {
+        EvalError::Graph(e)
+    }
+}
+
+impl From<ParseError> for EvalError {
+    fn from(e: ParseError) -> Self {
+        EvalError::Parse(e)
+    }
+}
+
+pub type Result<T, E = EvalError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_paper_sections() {
+        let e = EvalError::ConflictingSet {
+            entity: EntityRef::Node(NodeId(3)),
+            key: "name".into(),
+            first: Box::new(Value::str("laptop")),
+            second: Box::new(Value::str("notebook")),
+        };
+        let s = e.to_string();
+        assert!(s.contains("conflicting SET"));
+        assert!(s.contains("'laptop'"));
+
+        let e = EvalError::DeleteWouldDangle {
+            node: NodeId(1),
+            attached: 2,
+        };
+        assert!(e.to_string().contains("DETACH DELETE"));
+    }
+}

@@ -1,0 +1,612 @@
+//! Scalar (non-aggregate) function library.
+//!
+//! A pragmatic subset of openCypher's functions — everything the paper's
+//! queries and our experiment harness need, plus common conveniences.
+//! Function names are case-insensitive. Unless noted, a `null` argument
+//! yields `null`.
+
+use std::collections::BTreeMap;
+
+use cypher_graph::{EntityRef, PropertyGraph, Value};
+
+use crate::error::{EvalError, Result};
+use crate::eval::type_err;
+
+/// Invoke function `name` on `args`.
+pub fn call(graph: &PropertyGraph, name: &str, mut args: Vec<Value>) -> Result<Value> {
+    let lower = name.to_ascii_lowercase();
+    let arity = |n: usize| -> Result<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(EvalError::BadArguments {
+                function: name.to_owned(),
+                message: format!("expected {n} argument(s), got {}", args.len()),
+            })
+        }
+    };
+
+    match lower.as_str() {
+        "coalesce" => {
+            for v in args {
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        "id" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Node(n) => Ok(Value::Int(n.raw() as i64)),
+                Value::Rel(r) => Ok(Value::Int(r.raw() as i64)),
+                other => Err(type_err("node or relationship", other, "id()")),
+            }
+        }
+        "labels" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Node(n) => {
+                    let mut names: Vec<&str> = graph
+                        .labels(*n)
+                        .into_iter()
+                        .map(|l| graph.sym_str(l))
+                        .collect();
+                    names.sort_unstable();
+                    Ok(Value::List(names.into_iter().map(Value::str).collect()))
+                }
+                other => Err(type_err("node", other, "labels()")),
+            }
+        }
+        "type" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Rel(r) => match graph.rel(*r) {
+                    Some(data) => Ok(Value::str(graph.sym_str(data.rel_type))),
+                    None => Ok(Value::Null), // zombie relationship
+                },
+                other => Err(type_err("relationship", other, "type()")),
+            }
+        }
+        "properties" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Node(n) => Ok(props_as_map(graph, EntityRef::Node(*n))),
+                Value::Rel(r) => Ok(props_as_map(graph, EntityRef::Rel(*r))),
+                Value::Map(m) => Ok(Value::Map(m.clone())),
+                other => Err(type_err("node, relationship or map", other, "properties()")),
+            }
+        }
+        "keys" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Node(n) => Ok(keys_of(graph, EntityRef::Node(*n))),
+                Value::Rel(r) => Ok(keys_of(graph, EntityRef::Rel(*r))),
+                Value::Map(m) => Ok(Value::List(
+                    m.keys().map(|k| Value::str(k.as_str())).collect(),
+                )),
+                other => Err(type_err("node, relationship or map", other, "keys()")),
+            }
+        }
+        "exists" => {
+            arity(1)?;
+            Ok(Value::Bool(!args[0].is_null()))
+        }
+        "size" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::List(items) => Ok(Value::Int(items.len() as i64)),
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                Value::Map(m) => Ok(Value::Int(m.len() as i64)),
+                other => Err(type_err("list, string or map", other, "size()")),
+            }
+        }
+        "length" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Path(p) => Ok(Value::Int(p.len() as i64)),
+                Value::List(items) => Ok(Value::Int(items.len() as i64)),
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                other => Err(type_err("path, list or string", other, "length()")),
+            }
+        }
+        "head" => {
+            arity(1)?;
+            as_list(&args[0], "head()").map(|items| items.first().cloned().unwrap_or(Value::Null))
+        }
+        "last" => {
+            arity(1)?;
+            as_list(&args[0], "last()").map(|items| items.last().cloned().unwrap_or(Value::Null))
+        }
+        "tail" => {
+            arity(1)?;
+            as_list(&args[0], "tail()").map(|items| {
+                if items.is_empty() {
+                    Value::List(vec![])
+                } else {
+                    Value::List(items[1..].to_vec())
+                }
+            })
+        }
+        "reverse" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::List(items) => Ok(Value::List(items.iter().rev().cloned().collect())),
+                Value::Str(s) => Ok(Value::str(s.chars().rev().collect::<String>())),
+                other => Err(type_err("list or string", other, "reverse()")),
+            }
+        }
+        "range" => {
+            if args.len() != 2 && args.len() != 3 {
+                return Err(EvalError::BadArguments {
+                    function: name.to_owned(),
+                    message: "expected 2 or 3 arguments".into(),
+                });
+            }
+            let step = if args.len() == 3 {
+                as_int(&args[2], "range() step")?
+            } else {
+                1
+            };
+            let from = as_int(&args[0], "range() start")?;
+            let to = as_int(&args[1], "range() end")?;
+            if step == 0 {
+                return Err(EvalError::BadArguments {
+                    function: name.to_owned(),
+                    message: "step must not be zero".into(),
+                });
+            }
+            let mut out = Vec::new();
+            let mut i = from;
+            while (step > 0 && i <= to) || (step < 0 && i >= to) {
+                out.push(Value::Int(i));
+                i += step;
+            }
+            Ok(Value::List(out))
+        }
+        "abs" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => i
+                    .checked_abs()
+                    .map(Value::Int)
+                    .ok_or_else(|| EvalError::Arithmetic("abs overflow".into())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                other => Err(type_err("number", other, "abs()")),
+            }
+        }
+        "sign" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.signum())),
+                Value::Float(f) => Ok(Value::Int(if *f > 0.0 {
+                    1
+                } else if *f < 0.0 {
+                    -1
+                } else {
+                    0
+                })),
+                other => Err(type_err("number", other, "sign()")),
+            }
+        }
+        "floor" | "ceil" | "round" | "sqrt" => {
+            arity(1)?;
+            let f = match &args[0] {
+                Value::Null => return Ok(Value::Null),
+                Value::Int(i) => *i as f64,
+                Value::Float(f) => *f,
+                other => return Err(type_err("number", other, "math function")),
+            };
+            Ok(Value::Float(match lower.as_str() {
+                "floor" => f.floor(),
+                "ceil" => f.ceil(),
+                "round" => f.round(),
+                _ => f.sqrt(),
+            }))
+        }
+        "tointeger" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(*i)),
+                Value::Float(f) => Ok(Value::Int(*f as i64)),
+                Value::Str(s) => Ok(s
+                    .trim()
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .or_else(|_| s.trim().parse::<f64>().map(|f| Value::Int(f as i64)))
+                    .unwrap_or(Value::Null)),
+                other => Err(type_err("number or string", other, "toInteger()")),
+            }
+        }
+        "tofloat" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Float(*i as f64)),
+                Value::Float(f) => Ok(Value::Float(*f)),
+                Value::Str(s) => Ok(s
+                    .trim()
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .unwrap_or(Value::Null)),
+                other => Err(type_err("number or string", other, "toFloat()")),
+            }
+        }
+        "tostring" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::str(s.as_str())),
+                other => Ok(Value::str(other.to_string())),
+            }
+        }
+        "toboolean" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(*b)),
+                Value::Str(s) => Ok(match s.trim().to_ascii_lowercase().as_str() {
+                    "true" => Value::Bool(true),
+                    "false" => Value::Bool(false),
+                    _ => Value::Null,
+                }),
+                other => Err(type_err("boolean or string", other, "toBoolean()")),
+            }
+        }
+        "toupper" | "tolower" | "trim" | "ltrim" | "rtrim" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::str(match lower.as_str() {
+                    "toupper" => s.to_uppercase(),
+                    "tolower" => s.to_lowercase(),
+                    "trim" => s.trim().to_owned(),
+                    "ltrim" => s.trim_start().to_owned(),
+                    _ => s.trim_end().to_owned(),
+                })),
+                other => Err(type_err("string", other, "string function")),
+            }
+        }
+        "substring" => {
+            if args.len() != 2 && args.len() != 3 {
+                return Err(EvalError::BadArguments {
+                    function: name.to_owned(),
+                    message: "expected 2 or 3 arguments".into(),
+                });
+            }
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            let Value::Str(s) = &args[0] else {
+                return Err(type_err("string", &args[0], "substring()"));
+            };
+            let start = as_int(&args[1], "substring() start")?.max(0) as usize;
+            let chars: Vec<char> = s.chars().collect();
+            let len = if args.len() == 3 {
+                as_int(&args[2], "substring() length")?.max(0) as usize
+            } else {
+                chars.len().saturating_sub(start)
+            };
+            let out: String = chars.iter().skip(start).take(len).collect();
+            Ok(Value::str(out))
+        }
+        "split" => {
+            arity(2)?;
+            match (&args[0], &args[1]) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Str(s), Value::Str(sep)) => {
+                    Ok(Value::List(s.split(sep.as_str()).map(Value::str).collect()))
+                }
+                _ => Err(type_err("string", &args[0], "split()")),
+            }
+        }
+        "replace" => {
+            arity(3)?;
+            match (&args[0], &args[1], &args[2]) {
+                (Value::Str(s), Value::Str(from), Value::Str(to)) => {
+                    Ok(Value::str(s.replace(from.as_str(), to.as_str())))
+                }
+                _ if args.iter().any(Value::is_null) => Ok(Value::Null),
+                _ => Err(type_err("string", &args[0], "replace()")),
+            }
+        }
+        "left" | "right" => {
+            arity(2)?;
+            match (&args[0], &args[1]) {
+                (Value::Null, _) => Ok(Value::Null),
+                (Value::Str(s), n) => {
+                    let n = as_int(n, "left()/right() length")?.max(0) as usize;
+                    let chars: Vec<char> = s.chars().collect();
+                    let out: String = if lower == "left" {
+                        chars.iter().take(n).collect()
+                    } else {
+                        chars.iter().skip(chars.len().saturating_sub(n)).collect()
+                    };
+                    Ok(Value::str(out))
+                }
+                _ => Err(type_err("string", &args[0], "left()/right()")),
+            }
+        }
+        "nodes" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Path(p) => Ok(Value::List(
+                    p.nodes.iter().map(|&n| Value::Node(n)).collect(),
+                )),
+                other => Err(type_err("path", other, "nodes()")),
+            }
+        }
+        "relationships" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Path(p) => Ok(Value::List(p.rels.iter().map(|&r| Value::Rel(r)).collect())),
+                other => Err(type_err("path", other, "relationships()")),
+            }
+        }
+        "startnode" | "endnode" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Rel(r) => match graph.rel(*r) {
+                    Some(data) => Ok(Value::Node(if lower == "startnode" {
+                        data.src
+                    } else {
+                        data.tgt
+                    })),
+                    None => Ok(Value::Null),
+                },
+                other => Err(type_err("relationship", other, "startNode()/endNode()")),
+            }
+        }
+        _ => {
+            // Defensive: drain args so the borrow checker knows we own them.
+            args.clear();
+            Err(EvalError::UnknownFunction(name.to_owned()))
+        }
+    }
+}
+
+fn props_as_map(graph: &PropertyGraph, entity: EntityRef) -> Value {
+    let mut out = BTreeMap::new();
+    for (k, v) in graph.props(entity) {
+        out.insert(graph.sym_str(k).to_owned(), v);
+    }
+    Value::Map(out)
+}
+
+fn keys_of(graph: &PropertyGraph, entity: EntityRef) -> Value {
+    Value::List(
+        graph
+            .props(entity)
+            .keys()
+            .map(|&k| Value::str(graph.sym_str(k)))
+            .collect(),
+    )
+}
+
+fn as_list<'v>(v: &'v Value, context: &'static str) -> Result<&'v [Value]> {
+    match v {
+        Value::List(items) => Ok(items),
+        _ => Err(type_err("list", v, context)),
+    }
+}
+
+fn as_int(v: &Value, _context: &'static str) -> Result<i64> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        other => Err(type_err("integer", other, "integer argument")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> PropertyGraph {
+        PropertyGraph::new()
+    }
+
+    #[test]
+    fn coalesce_picks_first_non_null() {
+        assert_eq!(
+            call(
+                &g(),
+                "coalesce",
+                vec![Value::Null, Value::Int(2), Value::Int(3)]
+            )
+            .unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            call(&g(), "coalesce", vec![Value::Null]).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn size_and_length() {
+        assert_eq!(
+            call(&g(), "size", vec![Value::list([Value::Int(1)])]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call(&g(), "size", vec![Value::str("héllo")]).unwrap(),
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn range_variants() {
+        assert_eq!(
+            call(&g(), "range", vec![Value::Int(1), Value::Int(3)]).unwrap(),
+            Value::list([Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(
+            call(
+                &g(),
+                "range",
+                vec![Value::Int(3), Value::Int(1), Value::Int(-1)]
+            )
+            .unwrap(),
+            Value::list([Value::Int(3), Value::Int(2), Value::Int(1)])
+        );
+        assert!(call(
+            &g(),
+            "range",
+            vec![Value::Int(1), Value::Int(3), Value::Int(0)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(
+            call(&g(), "toInteger", vec![Value::str("42")]).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            call(&g(), "toInteger", vec![Value::str("nope")]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            call(&g(), "toFloat", vec![Value::Int(2)]).unwrap(),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            call(&g(), "toString", vec![Value::Int(7)]).unwrap(),
+            Value::str("7")
+        );
+        assert_eq!(
+            call(&g(), "toBoolean", vec![Value::str("TRUE")]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(
+            call(&g(), "toUpper", vec![Value::str("abc")]).unwrap(),
+            Value::str("ABC")
+        );
+        assert_eq!(
+            call(&g(), "substring", vec![Value::str("laptop"), Value::Int(3)]).unwrap(),
+            Value::str("top")
+        );
+        assert_eq!(
+            call(
+                &g(),
+                "substring",
+                vec![Value::str("laptop"), Value::Int(0), Value::Int(3)]
+            )
+            .unwrap(),
+            Value::str("lap")
+        );
+        assert_eq!(
+            call(&g(), "split", vec![Value::str("a,b"), Value::str(",")]).unwrap(),
+            Value::list([Value::str("a"), Value::str("b")])
+        );
+        assert_eq!(
+            call(&g(), "left", vec![Value::str("laptop"), Value::Int(3)]).unwrap(),
+            Value::str("lap")
+        );
+        assert_eq!(
+            call(&g(), "reverse", vec![Value::str("ab")]).unwrap(),
+            Value::str("ba")
+        );
+    }
+
+    #[test]
+    fn list_functions() {
+        let l = Value::list([Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(call(&g(), "head", vec![l.clone()]).unwrap(), Value::Int(1));
+        assert_eq!(call(&g(), "last", vec![l.clone()]).unwrap(), Value::Int(3));
+        assert_eq!(
+            call(&g(), "tail", vec![l]).unwrap(),
+            Value::list([Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(
+            call(&g(), "head", vec![Value::List(vec![])]).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn graph_functions() {
+        let mut graph = g();
+        let user = graph.sym("User");
+        let k = graph.sym("id");
+        let t = graph.sym("KNOWS");
+        let a = graph.create_node([user], [(k, Value::Int(1))]);
+        let b = graph.create_node([], []);
+        let r = graph.create_rel(a, t, b, []).unwrap();
+        assert_eq!(
+            call(&graph, "labels", vec![Value::Node(a)]).unwrap(),
+            Value::list([Value::str("User")])
+        );
+        assert_eq!(
+            call(&graph, "type", vec![Value::Rel(r)]).unwrap(),
+            Value::str("KNOWS")
+        );
+        assert_eq!(
+            call(&graph, "id", vec![Value::Node(a)]).unwrap(),
+            Value::Int(a.raw() as i64)
+        );
+        assert_eq!(
+            call(&graph, "startNode", vec![Value::Rel(r)]).unwrap(),
+            Value::Node(a)
+        );
+        assert_eq!(
+            call(&graph, "endNode", vec![Value::Rel(r)]).unwrap(),
+            Value::Node(b)
+        );
+        let Value::Map(m) = call(&graph, "properties", vec![Value::Node(a)]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(m.get("id"), Some(&Value::Int(1)));
+        assert_eq!(
+            call(&graph, "keys", vec![Value::Node(a)]).unwrap(),
+            Value::list([Value::str("id")])
+        );
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        assert!(matches!(
+            call(&g(), "frobnicate", vec![]),
+            Err(EvalError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn math_functions() {
+        assert_eq!(
+            call(&g(), "abs", vec![Value::Int(-3)]).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            call(&g(), "sign", vec![Value::Float(-0.5)]).unwrap(),
+            Value::Int(-1)
+        );
+        assert_eq!(
+            call(&g(), "floor", vec![Value::Float(1.7)]).unwrap(),
+            Value::Float(1.0)
+        );
+        assert_eq!(
+            call(&g(), "sqrt", vec![Value::Int(9)]).unwrap(),
+            Value::Float(3.0)
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! `EXPLAIN`: render the evaluation strategy for a statement — which
+//! semantics each clause runs under, which access path each node pattern
+//! would use (index probe / label scan / all-nodes scan), and how the
+//! projection is computed.
+//!
+//! This is a *description* of the interpreter's fixed strategy, not a
+//! cost-based plan; it exists so users can see when a property index would
+//! (or would not) be picked up, and which of the paper's semantic regimes
+//! will execute each update clause.
+
+use std::fmt::Write as _;
+
+use cypher_graph::PropertyGraph;
+use cypher_parser::ast::{
+    Clause, Dialect, MergeKind, NodePattern, PathPattern, Projection, ProjectionItems, Query,
+    RelPattern,
+};
+
+use crate::exec::{Engine, MergePolicy};
+
+impl Engine {
+    /// Describe how this engine would evaluate `query` against `graph`.
+    /// Purely analytical — the graph is not modified and the query is not
+    /// run (it is, however, dialect-validated).
+    pub fn explain(&self, graph: &PropertyGraph, text: &str) -> crate::error::Result<String> {
+        let query = cypher_parser::parse(text)?;
+        cypher_parser::validate(&query, self.dialect)
+            .map_err(|e| crate::error::EvalError::Dialect(e.message))?;
+        Ok(self.explain_query(graph, &query))
+    }
+
+    /// AST-level variant of [`Engine::explain`].
+    pub fn explain_query(&self, graph: &PropertyGraph, query: &Query) -> String {
+        let mut out = String::new();
+        let dialect = match self.dialect {
+            Dialect::Cypher9 => "Cypher 9 (legacy record-by-record updates)",
+            Dialect::Revised => "revised (§7 atomic updates)",
+        };
+        let _ = writeln!(out, "semantics: {dialect}");
+        let _ = writeln!(
+            out,
+            "matching:  {} relationships{}",
+            match self.match_mode {
+                crate::pattern::MatchMode::EdgeIsomorphic => "edge-isomorphic (distinct)",
+                crate::pattern::MatchMode::Homomorphic => "homomorphic (shareable)",
+            },
+            match self.merge_override {
+                Some(policy) => format!("; MERGE policy forced to {policy}"),
+                None => String::new(),
+            }
+        );
+        for (arm, sq) in std::iter::once(&query.first)
+            .chain(query.unions.iter().map(|(_, q)| q))
+            .enumerate()
+        {
+            if arm > 0 {
+                let _ = writeln!(out, "UNION arm {arm} (side-effects apply left-to-right):");
+            }
+            for clause in &sq.clauses {
+                self.explain_clause(graph, clause, &mut out, 0);
+            }
+        }
+        out
+    }
+
+    fn explain_clause(
+        &self,
+        graph: &PropertyGraph,
+        clause: &Clause,
+        out: &mut String,
+        depth: usize,
+    ) {
+        let pad = "  ".repeat(depth);
+        match clause {
+            Clause::Match {
+                optional,
+                patterns,
+                where_clause,
+            } => {
+                let kw = if *optional { "OPTIONAL MATCH" } else { "MATCH" };
+                let _ = writeln!(out, "{pad}{kw}:");
+                for p in patterns {
+                    explain_pattern(graph, p, out, depth + 1);
+                }
+                if where_clause.is_some() {
+                    let _ = writeln!(out, "{pad}  filter: WHERE (ternary; unknown drops row)");
+                }
+            }
+            Clause::Unwind { .. } => {
+                let _ = writeln!(out, "{pad}UNWIND: fan out one row per list element");
+            }
+            Clause::With(p) => {
+                let _ = writeln!(out, "{pad}WITH: {}", explain_projection(p));
+            }
+            Clause::Return(p) => {
+                let _ = writeln!(out, "{pad}RETURN: {}", explain_projection(p));
+            }
+            Clause::Create { patterns } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}CREATE: instantiate {} pattern(s) per row",
+                    patterns.len()
+                );
+            }
+            Clause::Set { items } => {
+                let how = match self.dialect {
+                    Dialect::Cypher9 => {
+                        "legacy: item-by-item per row against the current graph \
+                         (reads its own writes)"
+                    }
+                    Dialect::Revised => {
+                        "atomic: collect propchanges/labchanges on the input graph, \
+                         error on conflicts, apply once"
+                    }
+                };
+                let _ = writeln!(out, "{pad}SET ({} item(s)): {how}", items.len());
+            }
+            Clause::Remove { items } => {
+                let how = match self.dialect {
+                    Dialect::Cypher9 => "legacy: per row",
+                    Dialect::Revised => "atomic: collect removals, apply once",
+                };
+                let _ = writeln!(out, "{pad}REMOVE ({} item(s)): {how}", items.len());
+            }
+            Clause::Delete { detach, exprs } => {
+                let kw = if *detach { "DETACH DELETE" } else { "DELETE" };
+                let how = match self.dialect {
+                    Dialect::Cypher9 => {
+                        "legacy: delete eagerly per row (dangling states possible; \
+                         integrity checked at commit)"
+                    }
+                    Dialect::Revised => {
+                        "atomic: collect deletion set, error on would-dangle, \
+                         apply once, substitute null in driving table"
+                    }
+                };
+                let _ = writeln!(out, "{pad}{kw} ({} expr(s)): {how}", exprs.len());
+            }
+            Clause::Merge {
+                kind,
+                patterns,
+                on_create,
+                on_match,
+            } => {
+                let policy = self.merge_override.unwrap_or(match kind {
+                    MergeKind::Legacy => MergePolicy::Legacy,
+                    MergeKind::All => MergePolicy::Atomic,
+                    MergeKind::Same => MergePolicy::StrongCollapse,
+                });
+                let how = match policy {
+                    MergePolicy::Legacy => {
+                        "per row against the CURRENT graph (reads its own writes; \
+                         order-dependent)"
+                    }
+                    MergePolicy::Atomic => {
+                        "match all rows on the input graph; create per failing row"
+                    }
+                    MergePolicy::Grouping => {
+                        "match on input graph; group failing rows by pattern \
+                         expressions; create once per group"
+                    }
+                    MergePolicy::WeakCollapse => {
+                        "grouping + collapse equal creations at the same pattern position"
+                    }
+                    MergePolicy::Collapse => {
+                        "grouping + collapse equal nodes across positions \
+                         (relationships stay positional)"
+                    }
+                    MergePolicy::StrongCollapse => {
+                        "grouping + full Defs. 1–2 collapse (nodes and relationships)"
+                    }
+                };
+                let _ = writeln!(out, "{pad}{} [{policy}]: {how}", clause.name());
+                for p in patterns {
+                    explain_pattern(graph, p, out, depth + 1);
+                }
+                if !on_create.is_empty() {
+                    let _ = writeln!(out, "{pad}  ON CREATE SET: {} item(s)", on_create.len());
+                }
+                if !on_match.is_empty() {
+                    let _ = writeln!(out, "{pad}  ON MATCH SET: {} item(s)", on_match.len());
+                }
+            }
+            Clause::Foreach { body, .. } => {
+                let _ = writeln!(out, "{pad}FOREACH: per list element, run:");
+                for inner in body {
+                    self.explain_clause(graph, inner, out, depth + 1);
+                }
+            }
+            Clause::CreateIndex { label, key } => {
+                let _ = writeln!(out, "{pad}CREATE INDEX ON :{label}({key}) [schema]");
+            }
+            Clause::DropIndex { label, key } => {
+                let _ = writeln!(out, "{pad}DROP INDEX ON :{label}({key}) [schema]");
+            }
+        }
+    }
+}
+
+fn explain_projection(p: &Projection) -> String {
+    let mut parts = Vec::new();
+    let has_agg = match &p.items {
+        ProjectionItems::Star { extra } => extra.iter().any(|i| i.expr.contains_aggregate()),
+        ProjectionItems::Items(items) => items.iter().any(|i| i.expr.contains_aggregate()),
+    };
+    parts.push(if has_agg {
+        "aggregate (implicit grouping by non-aggregate items)".to_owned()
+    } else {
+        "row-wise projection".to_owned()
+    });
+    if p.distinct {
+        parts.push("DISTINCT (dedup by equivalence)".to_owned());
+    }
+    if !p.order_by.is_empty() {
+        parts.push(format!(
+            "ORDER BY {} key(s) (global order)",
+            p.order_by.len()
+        ));
+    }
+    if p.skip.is_some() {
+        parts.push("SKIP".to_owned());
+    }
+    if p.limit.is_some() {
+        parts.push("LIMIT".to_owned());
+    }
+    if p.where_clause.is_some() {
+        parts.push("WHERE on projected scope".to_owned());
+    }
+    parts.join(", ")
+}
+
+fn explain_pattern(graph: &PropertyGraph, p: &PathPattern, out: &mut String, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let _ = writeln!(
+        out,
+        "{pad}start {}: {}",
+        describe_node(&p.start),
+        access_path(graph, &p.start)
+    );
+    for (rel, node) in &p.steps {
+        let _ = writeln!(
+            out,
+            "{pad}  expand {} to {} (adjacency; target checked in place)",
+            describe_rel(rel),
+            describe_node(node),
+        );
+    }
+}
+
+/// Which access path `node_candidates` would choose for an unbound start.
+fn access_path(graph: &PropertyGraph, np: &NodePattern) -> String {
+    for label in &np.labels {
+        let Some(lsym) = graph.try_sym(label) else {
+            continue;
+        };
+        for (key, _) in &np.props {
+            if let Some(ksym) = graph.try_sym(key) {
+                if graph.has_index(lsym, ksym) {
+                    return format!("index probe (:{label}({key}))");
+                }
+            }
+        }
+    }
+    match np.labels.first() {
+        Some(l) => format!("label scan (:{l})"),
+        None => "all-nodes scan".to_owned(),
+    }
+}
+
+fn describe_node(np: &NodePattern) -> String {
+    let mut s = String::from("(");
+    if let Some(v) = &np.var {
+        s.push_str(v);
+    }
+    for l in &np.labels {
+        let _ = write!(s, ":{l}");
+    }
+    if !np.props.is_empty() {
+        let _ = write!(s, " {{{} prop(s)}}", np.props.len());
+    }
+    s.push(')');
+    s
+}
+
+fn describe_rel(rp: &RelPattern) -> String {
+    let types = if rp.types.is_empty() {
+        "any type".to_owned()
+    } else {
+        rp.types.join("|")
+    };
+    let len = match rp.length {
+        Some(l) => format!(
+            " *{}..{}",
+            l.min.map(|v| v.to_string()).unwrap_or_else(|| "1".into()),
+            l.max.map(|v| v.to_string()).unwrap_or_else(|| "∞".into())
+        ),
+        None => String::new(),
+    };
+    format!("-[{types}{len}]-")
+}
+
+// `contains_aggregate` lives on Expr; re-exported trait-less use above.
+#[allow(unused_imports)]
+use cypher_parser::ast::is_aggregate_fn as _kept;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::EngineBuilder;
+    use cypher_graph::PropertyGraph;
+
+    #[test]
+    fn explain_shows_access_paths_and_semantics() {
+        let mut g = PropertyGraph::new();
+        let e = Engine::revised();
+        e.run(&mut g, "UNWIND range(0, 9) AS i CREATE (:User {id: i})")
+            .unwrap();
+
+        let plan = e
+            .explain(&g, "MATCH (u:User {id: 3}) SET u.seen = true RETURN u")
+            .unwrap();
+        assert!(plan.contains("label scan (:User)"), "{plan}");
+        assert!(plan.contains("atomic"), "{plan}");
+
+        e.run(&mut g, "CREATE INDEX ON :User(id)").unwrap();
+        let plan = e.explain(&g, "MATCH (u:User {id: 3}) RETURN u").unwrap();
+        assert!(plan.contains("index probe (:User(id))"), "{plan}");
+    }
+
+    #[test]
+    fn explain_names_merge_policy() {
+        let g = PropertyGraph::new();
+        let plan = Engine::revised()
+            .explain(&g, "MERGE SAME (:User {id: 1})-[:ORDERED]->(:Product)")
+            .unwrap();
+        assert!(plan.contains("Strong Collapse"), "{plan}");
+        assert!(plan.contains("Defs. 1–2"), "{plan}");
+
+        let forced = EngineBuilder::new(Dialect::Revised)
+            .merge_policy(MergePolicy::Grouping)
+            .build()
+            .explain(&g, "MERGE ALL (:User {id: 1})")
+            .unwrap();
+        assert!(forced.contains("Grouping"), "{forced}");
+    }
+
+    #[test]
+    fn explain_respects_dialect_validation() {
+        let g = PropertyGraph::new();
+        assert!(Engine::revised()
+            .explain(&g, "MERGE (:A)-[:T]->(:B)")
+            .is_err());
+        let legacy_plan = Engine::legacy()
+            .explain(&g, "MERGE (a:A)-[:T]-(b:B) ON CREATE SET a.x = 1")
+            .unwrap();
+        assert!(legacy_plan.contains("order-dependent"), "{legacy_plan}");
+        assert!(legacy_plan.contains("ON CREATE SET"), "{legacy_plan}");
+    }
+
+    #[test]
+    fn explain_covers_delete_and_foreach() {
+        let g = PropertyGraph::new();
+        let plan = Engine::legacy()
+            .explain(&g, "MATCH (n) DETACH DELETE n")
+            .unwrap();
+        assert!(plan.contains("dangling states possible"), "{plan}");
+        let plan = Engine::revised()
+            .explain(&g, "FOREACH (x IN [1] | CREATE (:L))")
+            .unwrap();
+        assert!(plan.contains("FOREACH"), "{plan}");
+        assert!(plan.contains("CREATE"), "{plan}");
+    }
+}

@@ -1,0 +1,434 @@
+//! Statement execution.
+//!
+//! [`Engine`] evaluates parsed queries against a [`PropertyGraph`],
+//! implementing the semantics-as-functions model of §8.1: each clause maps a
+//! graph–table pair to a graph–table pair, and a query is the left-to-right
+//! composition of its clauses applied to `(G, T())`.
+//!
+//! Two semantic regimes share this module, selected by [`Dialect`]:
+//!
+//! * **Cypher 9** — record-by-record updates that read their own writes;
+//!   reproduces the anomalies of §4 (used with [`ProcessingOrder`] to
+//!   exhibit the order-dependence of Examples 2 and 3).
+//! * **Revised** — the atomic two-phase semantics of §7/§8, including
+//!   `MERGE ALL` and `MERGE SAME`.
+//!
+//! For the §6 design-space experiments, [`EngineBuilder::merge_policy`]
+//! overrides which of the five proposed `MERGE` semantics executes,
+//! independently of the surface syntax.
+
+mod explain;
+mod merge;
+mod read;
+mod write;
+
+pub use merge::MergePolicy;
+
+use std::collections::BTreeMap;
+
+use cypher_graph::{PropertyGraph, Transaction, Value};
+use cypher_parser::ast::{Clause, Dialect, MergeKind, Query, SingleQuery, UnionKind};
+use cypher_parser::{parse, validate};
+
+use crate::error::{EvalError, Result};
+use crate::pattern::MatchMode;
+use crate::table::{Record, Table};
+
+/// Iteration order over the driving table for the *legacy* engine's
+/// record-by-record updates. The paper's Example 3 shows `MERGE` producing
+/// different graphs "depending on the evaluation order"; this knob makes
+/// both orders reachable. The revised engine's output does not depend on it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ProcessingOrder {
+    /// Top-down (first row first).
+    #[default]
+    Forward,
+    /// Bottom-up (last row first) — Example 3's second evaluation.
+    Reverse,
+}
+
+/// Update counters, reported with every statement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    pub nodes_created: usize,
+    pub rels_created: usize,
+    pub nodes_deleted: usize,
+    pub rels_deleted: usize,
+    pub props_set: usize,
+    pub labels_added: usize,
+    pub labels_removed: usize,
+}
+
+impl UpdateStats {
+    /// Did the statement change anything?
+    pub fn contains_updates(&self) -> bool {
+        *self != UpdateStats::default()
+    }
+}
+
+/// Result of running one statement: a rectangular table (possibly empty for
+/// update-only statements) plus update counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+    pub stats: UpdateStats,
+}
+
+impl QueryResult {
+    /// Values of a single-column result.
+    pub fn column(&self, name: &str) -> Vec<Value> {
+        let Some(idx) = self.columns.iter().position(|c| c == name) else {
+            return vec![];
+        };
+        self.rows.iter().map(|r| r[idx].clone()).collect()
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        if self.columns.is_empty() {
+            return format!("(no rows) {:?}", self.stats);
+        }
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("| {:w$} ", c, w = widths[i]));
+        }
+        out.push_str("|\n");
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("| {:w$} ", cell, w = widths[i]));
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+/// Builder for [`Engine`].
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    dialect: Dialect,
+    match_mode: MatchMode,
+    order: ProcessingOrder,
+    merge_override: Option<MergePolicy>,
+    params: BTreeMap<String, Value>,
+}
+
+impl EngineBuilder {
+    pub fn new(dialect: Dialect) -> Self {
+        EngineBuilder {
+            dialect,
+            match_mode: MatchMode::EdgeIsomorphic,
+            order: ProcessingOrder::Forward,
+            merge_override: None,
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Relationship-uniqueness discipline for pattern matching.
+    pub fn match_mode(mut self, mode: MatchMode) -> Self {
+        self.match_mode = mode;
+        self
+    }
+
+    /// Legacy record iteration order (Example 3's evaluation order).
+    pub fn processing_order(mut self, order: ProcessingOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Force every `MERGE`-family clause to run under the given §6 proposal
+    /// regardless of surface syntax. Used by the design-space experiments.
+    pub fn merge_policy(mut self, policy: MergePolicy) -> Self {
+        self.merge_override = Some(policy);
+        self
+    }
+
+    /// Bind a statement parameter (`$name`).
+    pub fn param(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.params.insert(name.into(), value);
+        self
+    }
+
+    pub fn build(self) -> Engine {
+        Engine {
+            dialect: self.dialect,
+            match_mode: self.match_mode,
+            order: self.order,
+            merge_override: self.merge_override,
+            params: self.params,
+        }
+    }
+}
+
+/// A configured query executor. Cheap to clone; holds no graph state.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    pub dialect: Dialect,
+    pub match_mode: MatchMode,
+    pub order: ProcessingOrder,
+    pub merge_override: Option<MergePolicy>,
+    pub params: BTreeMap<String, Value>,
+}
+
+impl Engine {
+    /// An engine with the legacy Cypher 9 semantics (§3–§4).
+    pub fn legacy() -> Engine {
+        EngineBuilder::new(Dialect::Cypher9).build()
+    }
+
+    /// An engine with the revised semantics of §7.
+    pub fn revised() -> Engine {
+        EngineBuilder::new(Dialect::Revised).build()
+    }
+
+    pub fn builder(dialect: Dialect) -> EngineBuilder {
+        EngineBuilder::new(dialect)
+    }
+
+    /// Parse, validate and run one statement. The statement is atomic: on
+    /// any error the graph is rolled back to its prior state, and at commit
+    /// the no-dangling integrity check runs (a legacy statement that *ends*
+    /// in an illegal state fails here).
+    pub fn run(&self, graph: &mut PropertyGraph, text: &str) -> Result<QueryResult> {
+        let query = parse(text)?;
+        self.run_query(graph, &query)
+    }
+
+    /// Run several `;`-separated statements, returning the last result.
+    pub fn run_script(&self, graph: &mut PropertyGraph, text: &str) -> Result<QueryResult> {
+        let queries = cypher_parser::parse_script(text)?;
+        let mut last = QueryResult::default();
+        for q in &queries {
+            last = self.run_query(graph, q)?;
+        }
+        Ok(last)
+    }
+
+    /// Run an already-parsed statement.
+    pub fn run_query(&self, graph: &mut PropertyGraph, query: &Query) -> Result<QueryResult> {
+        validate(query, self.dialect).map_err(|e| EvalError::Dialect(e.message))?;
+
+        let mut tx = Transaction::begin(graph);
+        let result = self.run_union(&mut tx, query);
+        match result {
+            Ok(res) => {
+                tx.commit()?;
+                Ok(res)
+            }
+            Err(e) => {
+                tx.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Apply one clause as the semantic function of §8.1: a map from
+    /// graph–table pairs to graph–table pairs. The graph is mutated in
+    /// place; the output driving table is returned.
+    ///
+    /// This is the raw semantics — no transaction wrapping, no dialect
+    /// validation, no integrity check. It exists so the compositionality
+    /// law `[[C S]] = [[S]] ∘ [[C]]` can be exercised directly (E11 in
+    /// DESIGN.md); statement execution should go through [`Engine::run`].
+    pub fn apply_clause(
+        &self,
+        graph: &mut PropertyGraph,
+        table: Table,
+        clause: &Clause,
+    ) -> Result<Table> {
+        self.apply_clauses(graph, table, std::slice::from_ref(clause))
+    }
+
+    /// Apply a clause sequence left to right (the composition of their
+    /// semantic functions). See [`Engine::apply_clause`].
+    pub fn apply_clauses(
+        &self,
+        graph: &mut PropertyGraph,
+        table: Table,
+        clauses: &[Clause],
+    ) -> Result<Table> {
+        let mut stats = UpdateStats::default();
+        let mut ctx = ExecCtx {
+            graph,
+            table,
+            engine: self,
+            stats: &mut stats,
+            result_columns: None,
+        };
+        for clause in clauses {
+            ctx.apply(clause)?;
+        }
+        Ok(ctx.table)
+    }
+
+    fn run_union(&self, graph: &mut PropertyGraph, query: &Query) -> Result<QueryResult> {
+        let mut stats = UpdateStats::default();
+        let first = self.run_single(graph, &query.first, &mut stats)?;
+        if query.unions.is_empty() {
+            return Ok(QueryResult {
+                columns: first.0,
+                rows: first.1,
+                stats,
+            });
+        }
+        let columns = first.0;
+        let mut rows = first.1;
+        let mut all_distinct = true;
+        for (kind, sq) in &query.unions {
+            // §8.2: updates in unions are side-effects applied left-to-right
+            // on the graph; tables are unioned.
+            let (cols, arm_rows) = self.run_single(graph, sq, &mut stats)?;
+            if cols != columns {
+                return Err(EvalError::Dialect(format!(
+                    "UNION arms must return the same columns ({columns:?} vs {cols:?})"
+                )));
+            }
+            rows.extend(arm_rows);
+            if *kind == UnionKind::All {
+                all_distinct = false;
+            }
+        }
+        if all_distinct {
+            let mut deduped: Vec<Vec<Value>> = Vec::new();
+            for row in rows {
+                if !deduped.iter().any(|d| {
+                    d.len() == row.len() && d.iter().zip(&row).all(|(a, b)| a.equivalent(b))
+                }) {
+                    deduped.push(row);
+                }
+            }
+            rows = deduped;
+        }
+        Ok(QueryResult {
+            columns,
+            rows,
+            stats,
+        })
+    }
+
+    fn run_single(
+        &self,
+        graph: &mut PropertyGraph,
+        sq: &SingleQuery,
+        stats: &mut UpdateStats,
+    ) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+        let mut ctx = ExecCtx {
+            graph,
+            table: Table::unit(),
+            engine: self,
+            stats,
+            result_columns: None,
+        };
+        for clause in &sq.clauses {
+            ctx.apply(clause)?;
+        }
+        match ctx.result_columns {
+            Some(columns) => {
+                let rows = ctx.table.rows.iter().map(|r| r.row(&columns)).collect();
+                Ok((columns, rows))
+            }
+            None => Ok((vec![], vec![])),
+        }
+    }
+}
+
+/// Mutable execution state for one single-query.
+pub(crate) struct ExecCtx<'g, 'e> {
+    pub graph: &'g mut PropertyGraph,
+    pub table: Table,
+    pub engine: &'e Engine,
+    pub stats: &'e mut UpdateStats,
+    /// Set by a RETURN clause: the declared column order.
+    pub result_columns: Option<Vec<String>>,
+}
+
+impl ExecCtx<'_, '_> {
+    pub(crate) fn apply(&mut self, clause: &Clause) -> Result<()> {
+        match clause {
+            Clause::Match {
+                optional,
+                patterns,
+                where_clause,
+            } => read::match_clause(self, *optional, patterns, where_clause.as_ref()),
+            Clause::Unwind { expr, alias } => read::unwind(self, expr, alias),
+            Clause::With(p) => read::projection(self, p, true),
+            Clause::Return(p) => read::projection(self, p, false),
+            Clause::Create { patterns } => write::create(self, patterns),
+            Clause::Set { items } => match self.engine.dialect {
+                Dialect::Cypher9 => write::set_legacy(self, items),
+                Dialect::Revised => write::set_atomic(self, items),
+            },
+            Clause::Remove { items } => match self.engine.dialect {
+                Dialect::Cypher9 => write::remove_legacy(self, items),
+                Dialect::Revised => write::remove_atomic(self, items),
+            },
+            Clause::Delete { detach, exprs } => match self.engine.dialect {
+                Dialect::Cypher9 => write::delete_legacy(self, *detach, exprs),
+                Dialect::Revised => write::delete_atomic(self, *detach, exprs),
+            },
+            Clause::Merge {
+                kind,
+                patterns,
+                on_create,
+                on_match,
+            } => {
+                let policy = self.engine.merge_override.unwrap_or(match kind {
+                    MergeKind::Legacy => MergePolicy::Legacy,
+                    MergeKind::All => MergePolicy::Atomic,
+                    MergeKind::Same => MergePolicy::StrongCollapse,
+                });
+                merge::merge(self, policy, patterns, on_create, on_match)
+            }
+            Clause::Foreach { var, list, body } => write::foreach(self, var, list, body),
+            Clause::CreateIndex { label, key } => {
+                let l = self.graph.sym(label);
+                let k = self.graph.sym(key);
+                self.graph.create_index(l, k);
+                Ok(())
+            }
+            Clause::DropIndex { label, key } => {
+                if let (Some(l), Some(k)) = (self.graph.try_sym(label), self.graph.try_sym(key)) {
+                    self.graph.drop_index(l, k);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Indices of the driving table in the legacy processing order.
+    pub(crate) fn order_indices(&self) -> Vec<usize> {
+        let n = self.table.len();
+        match self.engine.order {
+            ProcessingOrder::Forward => (0..n).collect(),
+            ProcessingOrder::Reverse => (0..n).rev().collect(),
+        }
+    }
+
+    /// Pattern matcher over the current graph state.
+    pub(crate) fn matcher(&self) -> crate::pattern::Matcher<'_> {
+        crate::pattern::Matcher::new(self.graph, &self.engine.params, self.engine.match_mode)
+    }
+
+    /// Read-only evaluation context over the current graph state.
+    pub(crate) fn eval_ctx(&self) -> crate::eval::EvalCtx<'_> {
+        crate::eval::EvalCtx::new(self.graph, &self.engine.params)
+            .with_match_mode(self.engine.match_mode)
+    }
+
+    /// Evaluate an expression for a record against the current graph.
+    pub(crate) fn eval(&self, rec: &Record, expr: &cypher_parser::ast::Expr) -> Result<Value> {
+        crate::eval::eval(&self.eval_ctx(), rec, expr)
+    }
+}

@@ -1,0 +1,413 @@
+//! Reading clauses: `MATCH`, `OPTIONAL MATCH`, `UNWIND`, and the
+//! `WITH`/`RETURN` projection machinery (grouping, aggregation, `DISTINCT`,
+//! `ORDER BY`, `SKIP`, `LIMIT`).
+//!
+//! Reading clauses never modify the graph — in §8.1 terms,
+//! `[[C]](G, T) = (G, [[C]]^ro_G(T))`.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use cypher_graph::Value;
+use cypher_parser::ast::{Expr, PathPattern, Projection, ProjectionItem, ProjectionItems};
+use cypher_parser::pretty::print_expr;
+
+use crate::error::{EvalError, Result};
+use crate::eval::agg::{AggKind, Aggregator};
+use crate::eval::{apply_binary, apply_unary, eval, property_access, EvalCtx};
+use crate::exec::ExecCtx;
+use crate::table::{Record, Table};
+
+/// `MATCH` / `OPTIONAL MATCH`: extend every record with every embedding of
+/// the patterns; `WHERE` filters the embeddings. An `OPTIONAL MATCH` with no
+/// surviving embedding produces one record with the pattern's new variables
+/// bound to `null`.
+pub(crate) fn match_clause(
+    ctx: &mut ExecCtx,
+    optional: bool,
+    patterns: &[PathPattern],
+    where_clause: Option<&Expr>,
+) -> Result<()> {
+    let input = std::mem::take(&mut ctx.table);
+    let mut out = Vec::new();
+    for rec in &input.rows {
+        let matches = ctx.matcher().match_patterns(rec, patterns)?;
+        let mut any = false;
+        for m in matches {
+            let keep = match where_clause {
+                Some(w) => crate::eval::eval_predicate(&ctx.eval_ctx(), &m, w)?.is_true(),
+                None => true,
+            };
+            if keep {
+                any = true;
+                out.push(m);
+            }
+        }
+        if optional && !any {
+            let mut null_rec = rec.clone();
+            for var in pattern_variables(patterns) {
+                if !null_rec.is_bound(&var) {
+                    null_rec.bind(var, Value::Null);
+                }
+            }
+            out.push(null_rec);
+        }
+    }
+    ctx.table = Table::from_rows(out);
+    Ok(())
+}
+
+/// All variables introduced by a tuple of patterns (node, relationship and
+/// path variables).
+pub(crate) fn pattern_variables(patterns: &[PathPattern]) -> Vec<String> {
+    let mut vars = Vec::new();
+    let mut push = |v: &Option<String>| {
+        if let Some(v) = v {
+            if !vars.contains(v) {
+                vars.push(v.clone());
+            }
+        }
+    };
+    for p in patterns {
+        push(&p.var);
+        push(&p.start.var);
+        for (rel, node) in &p.steps {
+            push(&rel.var);
+            push(&node.var);
+        }
+    }
+    vars
+}
+
+/// `UNWIND expr AS x`: a list fans out to one record per element, `null`
+/// produces no records, and a non-list value produces a single record.
+pub(crate) fn unwind(ctx: &mut ExecCtx, expr: &Expr, alias: &str) -> Result<()> {
+    let input = std::mem::take(&mut ctx.table);
+    let mut out = Vec::new();
+    for rec in &input.rows {
+        let v = ctx.eval(rec, expr)?;
+        match v {
+            Value::Null => {}
+            Value::List(items) => {
+                for item in items {
+                    let mut r = rec.clone();
+                    r.bind(alias.to_owned(), item);
+                    out.push(r);
+                }
+            }
+            other => {
+                let mut r = rec.clone();
+                r.bind(alias.to_owned(), other);
+                out.push(r);
+            }
+        }
+    }
+    ctx.table = Table::from_rows(out);
+    Ok(())
+}
+
+/// Total-order wrapper over value tuples (global orderability), used for
+/// grouping and `DISTINCT`.
+#[derive(Clone, Debug, PartialEq)]
+struct Key(Vec<Value>);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for (a, b) in self.0.iter().zip(&other.0) {
+            match a.global_cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+/// `WITH` / `RETURN`.
+pub(crate) fn projection(ctx: &mut ExecCtx, proj: &Projection, is_with: bool) -> Result<()> {
+    // 1. Expand items to (column name, expression).
+    let items = expand_items(ctx, proj, is_with)?;
+    let columns: Vec<String> = items.iter().map(|(n, _)| n.clone()).collect();
+    {
+        let mut sorted = columns.clone();
+        sorted.sort();
+        sorted.dedup();
+        if sorted.len() != columns.len() {
+            return Err(EvalError::Dialect(
+                "duplicate column names in projection".into(),
+            ));
+        }
+    }
+
+    let has_agg = items.iter().any(|(_, e)| e.contains_aggregate());
+    let input = std::mem::take(&mut ctx.table);
+
+    // 2. Evaluate. `pairs` holds (projected record, source record for
+    //    ORDER BY resolution).
+    let mut pairs: Vec<(Record, Record)> = Vec::new();
+    if has_agg {
+        // Implicit grouping by the non-aggregate items.
+        let key_items: Vec<&(String, Expr)> = items
+            .iter()
+            .filter(|(_, e)| !e.contains_aggregate())
+            .collect();
+        let mut groups: BTreeMap<Key, Vec<Record>> = BTreeMap::new();
+        let eval_ctx = ctx.eval_ctx();
+        for rec in &input.rows {
+            let key = Key(key_items
+                .iter()
+                .map(|(_, e)| eval(&eval_ctx, rec, e))
+                .collect::<Result<Vec<_>>>()?);
+            groups.entry(key).or_default().push(rec.clone());
+        }
+        // An aggregation over an empty table with no grouping keys still
+        // produces one row (count(*) = 0).
+        if groups.is_empty() && key_items.is_empty() {
+            groups.insert(Key(vec![]), vec![]);
+        }
+        for rows in groups.values() {
+            let rep = rows.first().cloned().unwrap_or_default();
+            let mut out = Record::new();
+            for (name, expr) in &items {
+                let v = eval_in_group(&eval_ctx, rows, &rep, expr)?;
+                out.bind(name.clone(), v);
+            }
+            pairs.push((out, rep));
+        }
+    } else {
+        let eval_ctx = ctx.eval_ctx();
+        for rec in &input.rows {
+            let mut out = Record::new();
+            for (name, expr) in &items {
+                out.bind(name.clone(), eval(&eval_ctx, rec, expr)?);
+            }
+            pairs.push((out, rec.clone()));
+        }
+    }
+
+    // 3. DISTINCT.
+    if proj.distinct {
+        let mut seen: Vec<Key> = Vec::new();
+        pairs.retain(|(rec, _)| {
+            let key = Key(rec.row(&columns));
+            if seen.contains(&key) {
+                false
+            } else {
+                seen.push(key);
+                true
+            }
+        });
+    }
+
+    // 4. ORDER BY: aliases take precedence, source variables remain visible
+    //    (non-aggregated projections only).
+    if !proj.order_by.is_empty() {
+        let eval_ctx = ctx.eval_ctx();
+        type Keyed = Vec<(Vec<(Value, bool)>, (Record, Record))>;
+        let mut keyed: Keyed = Vec::new();
+        for (rec, src) in pairs {
+            let mut env = if has_agg { Record::new() } else { src.clone() };
+            for k in rec.keys().map(str::to_owned).collect::<Vec<_>>() {
+                env.bind(k.clone(), rec.get(&k).expect("own key").clone());
+            }
+            let mut keys = Vec::new();
+            for si in &proj.order_by {
+                keys.push((eval(&eval_ctx, &env, &si.expr)?, si.descending));
+            }
+            keyed.push((keys, (rec, src)));
+        }
+        keyed.sort_by(|(a, _), (b, _)| {
+            for ((va, desc), (vb, _)) in a.iter().zip(b) {
+                let ord = va.global_cmp(vb);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        pairs = keyed.into_iter().map(|(_, p)| p).collect();
+    }
+
+    // 5. SKIP / LIMIT.
+    if let Some(skip) = &proj.skip {
+        let n = count_arg(ctx, skip, "SKIP")?;
+        pairs.drain(..n.min(pairs.len()));
+    }
+    if let Some(limit) = &proj.limit {
+        let n = count_arg(ctx, limit, "LIMIT")?;
+        pairs.truncate(n);
+    }
+
+    // 6. WITH … WHERE filters on the projected scope.
+    if let Some(w) = &proj.where_clause {
+        let eval_ctx = ctx.eval_ctx();
+        let mut kept = Vec::new();
+        for (rec, src) in pairs {
+            if crate::eval::eval_predicate(&eval_ctx, &rec, w)?.is_true() {
+                kept.push((rec, src));
+            }
+        }
+        pairs = kept;
+    }
+
+    ctx.table = Table::from_rows(pairs.into_iter().map(|(r, _)| r).collect());
+    if !is_with {
+        ctx.result_columns = Some(columns);
+    }
+    Ok(())
+}
+
+fn expand_items(ctx: &ExecCtx, proj: &Projection, is_with: bool) -> Result<Vec<(String, Expr)>> {
+    fn add_item(out: &mut Vec<(String, Expr)>, item: &ProjectionItem, is_with: bool) -> Result<()> {
+        let name = match &item.alias {
+            Some(a) => a.clone(),
+            None => match &item.expr {
+                Expr::Variable(v) => v.clone(),
+                other if is_with => {
+                    return Err(EvalError::Dialect(format!(
+                        "expression `{}` in WITH must be aliased",
+                        print_expr(other)
+                    )))
+                }
+                other => print_expr(other),
+            },
+        };
+        out.push((name, item.expr.clone()));
+        Ok(())
+    }
+    let mut out: Vec<(String, Expr)> = Vec::new();
+    match &proj.items {
+        ProjectionItems::Star { extra } => {
+            for col in ctx.table.columns() {
+                out.push((col.clone(), Expr::Variable(col)));
+            }
+            if out.is_empty() && extra.is_empty() {
+                return Err(EvalError::Dialect(
+                    "RETURN * with no variables in scope".into(),
+                ));
+            }
+            for item in extra {
+                add_item(&mut out, item, is_with)?;
+            }
+        }
+        ProjectionItems::Items(items) => {
+            for item in items {
+                add_item(&mut out, item, is_with)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn count_arg(ctx: &ExecCtx, expr: &Expr, context: &'static str) -> Result<usize> {
+    let v = eval(&ctx.eval_ctx(), &Record::new(), expr)?;
+    match v {
+        Value::Int(i) if i >= 0 => Ok(i as usize),
+        other => Err(EvalError::BadCount {
+            context,
+            value: other,
+        }),
+    }
+}
+
+/// Evaluate an expression that may contain aggregates over a group of
+/// records. Non-aggregate subtrees are evaluated on the group's
+/// representative record (they are grouping keys, constant within the
+/// group).
+fn eval_in_group(ctx: &EvalCtx, rows: &[Record], rep: &Record, expr: &Expr) -> Result<Value> {
+    if !expr.contains_aggregate() {
+        return eval(ctx, rep, expr);
+    }
+    match expr {
+        Expr::CountStar => {
+            let mut agg = Aggregator::new(AggKind::CountStar, false);
+            for _ in rows {
+                agg.push(Value::Bool(true));
+            }
+            agg.finish()
+        }
+        Expr::FnCall {
+            name,
+            distinct,
+            args,
+        } if cypher_parser::ast::is_aggregate_fn(name) => {
+            let kind = AggKind::from_name(name).expect("known aggregate");
+            if args.len() != 1 {
+                return Err(EvalError::BadArguments {
+                    function: name.clone(),
+                    message: "aggregates take exactly one argument".into(),
+                });
+            }
+            if args[0].contains_aggregate() {
+                return Err(EvalError::MisplacedAggregate);
+            }
+            let mut agg = Aggregator::new(kind, *distinct);
+            for rec in rows {
+                agg.push(eval(ctx, rec, &args[0])?);
+            }
+            agg.finish()
+        }
+        Expr::Binary(op, l, r) => {
+            let lv = eval_in_group(ctx, rows, rep, l)?;
+            let rv = eval_in_group(ctx, rows, rep, r)?;
+            apply_binary(*op, lv, rv)
+        }
+        Expr::Unary(op, inner) => {
+            let v = eval_in_group(ctx, rows, rep, inner)?;
+            apply_unary(*op, v)
+        }
+        Expr::Property(base, key) => {
+            let v = eval_in_group(ctx, rows, rep, base)?;
+            property_access(ctx.graph, &v, key)
+        }
+        Expr::List(items) => {
+            let mut out = Vec::new();
+            for i in items {
+                out.push(eval_in_group(ctx, rows, rep, i)?);
+            }
+            Ok(Value::List(out))
+        }
+        Expr::Map(entries) => {
+            let mut out = BTreeMap::new();
+            for (k, v) in entries {
+                out.insert(k.clone(), eval_in_group(ctx, rows, rep, v)?);
+            }
+            Ok(Value::Map(out))
+        }
+        Expr::FnCall {
+            name,
+            distinct,
+            args,
+        } => {
+            if *distinct {
+                return Err(EvalError::BadArguments {
+                    function: name.clone(),
+                    message: "DISTINCT only applies to aggregates".into(),
+                });
+            }
+            let mut vals = Vec::new();
+            for a in args {
+                vals.push(eval_in_group(ctx, rows, rep, a)?);
+            }
+            crate::eval::functions::call(ctx.graph, name, vals)
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_in_group(ctx, rows, rep, expr)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Case { .. } | Expr::Index(..) | Expr::Slice { .. } | Expr::HasLabels(..) => {
+            Err(EvalError::MisplacedAggregate)
+        }
+        // Leaves never contain aggregates; unreachable via the guard above.
+        _ => eval(ctx, rep, expr),
+    }
+}

@@ -1,0 +1,727 @@
+//! Update clauses other than `MERGE`: `CREATE`, `SET`, `REMOVE`,
+//! `DELETE`/`DETACH DELETE` and `FOREACH`.
+//!
+//! Every clause comes in two flavours:
+//!
+//! * the **legacy** (Cypher 9) version processes the driving table
+//!   record-by-record against the *current* graph, reading its own writes —
+//!   reproducing the anomalies of §4.1–§4.2;
+//! * the **atomic** (revised, §7) version is two-phase: evaluate everything
+//!   against the input graph while collecting a change set, detect
+//!   conflicts, then apply the whole set at once.
+//!
+//! `CREATE` has a single implementation: it never reads what it writes
+//! within a record, and per-record creation is observationally identical to
+//! atomic creation (§8.2 gives it one semantics).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::mem;
+
+use cypher_graph::{DeleteNodeMode, EntityRef, NodeId, PathValue, PropertyMap, RelId, Value};
+use cypher_parser::ast::{
+    Clause, Expr, NodePattern, PathPattern, RelDirection, RemoveItem, SetItem,
+};
+
+use crate::error::{EvalError, Result};
+use crate::eval::type_err;
+use crate::exec::ExecCtx;
+use crate::table::{Record, Table};
+
+// ---------------------------------------------------------------------
+// CREATE
+// ---------------------------------------------------------------------
+
+/// `CREATE`: instantiate each pattern for every record, binding new
+/// variables (the "saturation" temporaries of §8.2 simply never get bound).
+pub(crate) fn create(ctx: &mut ExecCtx, patterns: &[PathPattern]) -> Result<()> {
+    let input = mem::take(&mut ctx.table);
+    let mut out = Vec::with_capacity(input.len());
+    for rec in input.rows {
+        let mut rec = rec;
+        for pattern in patterns {
+            create_one_path(ctx, &mut rec, pattern)?;
+        }
+        out.push(rec);
+    }
+    ctx.table = Table::from_rows(out);
+    Ok(())
+}
+
+/// Instantiate one path pattern, mutating the record with new bindings.
+/// Also used by the legacy `MERGE` (which creates undirected relationships
+/// left-to-right, i.e. as outgoing).
+pub(crate) fn create_one_path(
+    ctx: &mut ExecCtx,
+    rec: &mut Record,
+    pattern: &PathPattern,
+) -> Result<()> {
+    let start = resolve_create_node(ctx, rec, &pattern.start)?;
+    let mut path_nodes = vec![start];
+    let mut path_rels = Vec::new();
+    let mut cur = start;
+    for (rel_pat, node_pat) in &pattern.steps {
+        let next = resolve_create_node(ctx, rec, node_pat)?;
+        let (src, tgt) = match rel_pat.direction {
+            RelDirection::Outgoing | RelDirection::Undirected => (cur, next),
+            RelDirection::Incoming => (next, cur),
+        };
+        if let Some(rvar) = &rel_pat.var {
+            if rec.is_bound(rvar) {
+                return Err(EvalError::VariableClash(rvar.clone()));
+            }
+        }
+        let props = eval_storable_props(ctx, rec, &rel_pat.props)?;
+        let ty = ctx.graph.sym(&rel_pat.types[0]);
+        let props: Vec<(cypher_graph::Symbol, Value)> = props
+            .into_iter()
+            .map(|(k, v)| (ctx.graph.sym(&k), v))
+            .collect();
+        let n_props = props.iter().filter(|(_, v)| !v.is_null()).count();
+        let rel = ctx.graph.create_rel(src, ty, tgt, props)?;
+        ctx.stats.rels_created += 1;
+        ctx.stats.props_set += n_props;
+        if let Some(rvar) = &rel_pat.var {
+            rec.bind(rvar.clone(), Value::Rel(rel));
+        }
+        path_nodes.push(next);
+        path_rels.push(rel);
+        cur = next;
+    }
+    if let Some(pvar) = &pattern.var {
+        rec.bind(
+            pvar.clone(),
+            Value::Path(PathValue {
+                nodes: path_nodes,
+                rels: path_rels,
+            }),
+        );
+    }
+    Ok(())
+}
+
+/// Resolve a node pattern within a write: a bound variable is reused (and
+/// must be bare), an unbound one creates a node and binds it.
+fn resolve_create_node(ctx: &mut ExecCtx, rec: &mut Record, np: &NodePattern) -> Result<NodeId> {
+    if let Some(var) = &np.var {
+        if let Some(v) = rec.get(var) {
+            return match v {
+                Value::Node(n) => {
+                    if !np.labels.is_empty() || !np.props.is_empty() {
+                        Err(EvalError::BoundPatternDecorated(var.clone()))
+                    } else {
+                        Ok(*n)
+                    }
+                }
+                Value::Null => Err(EvalError::NullWriteTarget(var.clone())),
+                _ => Err(EvalError::VariableClash(var.clone())),
+            };
+        }
+    }
+    let props = eval_storable_props(ctx, rec, &np.props)?;
+    let labels: Vec<cypher_graph::Symbol> = np.labels.iter().map(|l| ctx.graph.sym(l)).collect();
+    let n_labels = labels.len();
+    let props: Vec<(cypher_graph::Symbol, Value)> = props
+        .into_iter()
+        .map(|(k, v)| (ctx.graph.sym(&k), v))
+        .collect();
+    let n_props = props.iter().filter(|(_, v)| !v.is_null()).count();
+    let node = ctx.graph.create_node(labels, props);
+    ctx.stats.nodes_created += 1;
+    ctx.stats.labels_added += n_labels;
+    ctx.stats.props_set += n_props;
+    if let Some(var) = &np.var {
+        rec.bind(var.clone(), Value::Node(node));
+    }
+    Ok(node)
+}
+
+/// Evaluate a pattern property map; every value must be storable or null
+/// (nulls are retained here — creation drops them, grouping keys need them
+/// dropped consistently, which the store guarantees).
+pub(crate) fn eval_storable_props(
+    ctx: &ExecCtx,
+    rec: &Record,
+    props: &[(String, Expr)],
+) -> Result<Vec<(String, Value)>> {
+    let eval_ctx = ctx.eval_ctx();
+    let mut out = Vec::with_capacity(props.len());
+    for (k, e) in props {
+        let v = crate::eval::eval(&eval_ctx, rec, e)?;
+        if !v.is_null() && !v.storable_as_property() {
+            return Err(type_err("storable property value", &v, "write pattern"));
+        }
+        out.push((k.clone(), v));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// SET
+// ---------------------------------------------------------------------
+
+/// Legacy `SET` (§4.1): record-by-record, item-by-item, against the current
+/// graph — `SET p1.id = p2.id, p2.id = p1.id` therefore loses the swap
+/// (Example 1), and dirty data makes the outcome order-dependent
+/// (Example 2).
+pub(crate) fn set_legacy(ctx: &mut ExecCtx, items: &[SetItem]) -> Result<()> {
+    let rows = ctx.table.rows.clone();
+    for i in ctx.order_indices() {
+        let rec = &rows[i];
+        for item in items {
+            apply_set_item_now(ctx, rec, item)?;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn apply_set_item_now(ctx: &mut ExecCtx, rec: &Record, item: &SetItem) -> Result<()> {
+    match item {
+        SetItem::Property { target, key, value } => {
+            let t = ctx.eval(rec, target)?;
+            let Some(entity) = set_target(&t)? else {
+                return Ok(());
+            };
+            let v = ctx.eval(rec, value)?;
+            if !v.is_null() && !v.storable_as_property() {
+                return Err(type_err("storable property value", &v, "SET"));
+            }
+            if live(ctx, entity) {
+                let k = ctx.graph.sym(key);
+                ctx.graph.set_prop(entity, k, v)?;
+                ctx.stats.props_set += 1;
+            }
+            Ok(())
+        }
+        SetItem::Replace { target, value } => {
+            let t = lookup_var(rec, target)?;
+            let Some(entity) = set_target(&t)? else {
+                return Ok(());
+            };
+            let map = value_as_prop_map(ctx, rec, value)?;
+            if live(ctx, entity) {
+                ctx.stats.props_set += map.len().max(1);
+                ctx.graph.replace_props(entity, map)?;
+            }
+            Ok(())
+        }
+        SetItem::MergeProps { target, value } => {
+            let t = lookup_var(rec, target)?;
+            let Some(entity) = set_target(&t)? else {
+                return Ok(());
+            };
+            let map = value_as_prop_map(ctx, rec, value)?;
+            if live(ctx, entity) {
+                ctx.stats.props_set += map.len();
+                ctx.graph.merge_props(entity, map)?;
+            }
+            Ok(())
+        }
+        SetItem::Labels { target, labels } => {
+            let t = lookup_var(rec, target)?;
+            match t {
+                Value::Null => Ok(()),
+                Value::Node(n) => {
+                    if ctx.graph.contains_node(n) {
+                        for l in labels {
+                            let sym = ctx.graph.sym(l);
+                            if ctx.graph.add_label(n, sym)? {
+                                ctx.stats.labels_added += 1;
+                            }
+                        }
+                    }
+                    Ok(())
+                }
+                other => Err(type_err("node", &other, "SET labels")),
+            }
+        }
+    }
+}
+
+/// Atomic `SET` (§7): "all the expressions within a SET clause are
+/// evaluated on the input graph for all the records in the input driving
+/// table, to accumulate all the changes … If these changes are well-defined
+/// … they are then applied."
+pub(crate) fn set_atomic(ctx: &mut ExecCtx, items: &[SetItem]) -> Result<()> {
+    // Phase 1: collect propchanges(T, s) and labchanges(T, s, n).
+    let mut prop_changes: BTreeMap<(EntityRef, String), Value> = BTreeMap::new();
+    let mut label_adds: BTreeSet<(NodeId, String)> = BTreeSet::new();
+
+    let rows = ctx.table.rows.clone();
+    for rec in &rows {
+        for item in items {
+            collect_set_item(ctx, rec, item, &mut prop_changes, &mut label_adds)?;
+        }
+    }
+
+    // Phase 2: apply.
+    for ((entity, key), v) in prop_changes {
+        if live(ctx, entity) {
+            let k = ctx.graph.sym(&key);
+            ctx.graph.set_prop(entity, k, v)?;
+            ctx.stats.props_set += 1;
+        }
+    }
+    for (node, label) in label_adds {
+        if ctx.graph.contains_node(node) {
+            let sym = ctx.graph.sym(&label);
+            if ctx.graph.add_label(node, sym)? {
+                ctx.stats.labels_added += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn collect_set_item(
+    ctx: &ExecCtx,
+    rec: &Record,
+    item: &SetItem,
+    prop_changes: &mut BTreeMap<(EntityRef, String), Value>,
+    label_adds: &mut BTreeSet<(NodeId, String)>,
+) -> Result<()> {
+    let mut add_change = |entity: EntityRef, key: String, value: Value| -> Result<()> {
+        match prop_changes.get(&(entity, key.clone())) {
+            Some(prev) if !prev.equivalent(&value) => Err(EvalError::ConflictingSet {
+                entity,
+                key,
+                first: Box::new(prev.clone()),
+                second: Box::new(value),
+            }),
+            _ => {
+                prop_changes.insert((entity, key), value);
+                Ok(())
+            }
+        }
+    };
+    match item {
+        SetItem::Property { target, key, value } => {
+            let t = ctx.eval(rec, target)?;
+            let Some(entity) = set_target(&t)? else {
+                return Ok(());
+            };
+            let v = ctx.eval(rec, value)?;
+            if !v.is_null() && !v.storable_as_property() {
+                return Err(type_err("storable property value", &v, "SET"));
+            }
+            add_change(entity, key.clone(), v)
+        }
+        SetItem::Replace { target, value } => {
+            let t = lookup_var(rec, target)?;
+            let Some(entity) = set_target(&t)? else {
+                return Ok(());
+            };
+            let map = value_as_string_map(ctx, rec, value)?;
+            // Keys present on the input graph but absent from the new map
+            // are removed (recorded as null assignments).
+            for (k, _) in ctx.graph.props(entity) {
+                let key = ctx.graph.sym_str(k).to_owned();
+                if !map.contains_key(&key) {
+                    add_change(entity, key, Value::Null)?;
+                }
+            }
+            for (key, v) in map {
+                add_change(entity, key, v)?;
+            }
+            Ok(())
+        }
+        SetItem::MergeProps { target, value } => {
+            let t = lookup_var(rec, target)?;
+            let Some(entity) = set_target(&t)? else {
+                return Ok(());
+            };
+            for (key, v) in value_as_string_map(ctx, rec, value)? {
+                add_change(entity, key, v)?;
+            }
+            Ok(())
+        }
+        SetItem::Labels { target, labels } => {
+            let t = lookup_var(rec, target)?;
+            match t {
+                Value::Null => Ok(()),
+                Value::Node(n) => {
+                    for l in labels {
+                        label_adds.insert((n, l.clone()));
+                    }
+                    Ok(())
+                }
+                other => Err(type_err("node", &other, "SET labels")),
+            }
+        }
+    }
+}
+
+/// What may `SET x.k = …` target? An entity, or `null` (no-op).
+fn set_target(v: &Value) -> Result<Option<EntityRef>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Node(n) => Ok(Some(EntityRef::Node(*n))),
+        Value::Rel(r) => Ok(Some(EntityRef::Rel(*r))),
+        other => Err(type_err("node or relationship", other, "SET target")),
+    }
+}
+
+fn lookup_var(rec: &Record, var: &str) -> Result<Value> {
+    rec.get(var)
+        .cloned()
+        .ok_or_else(|| EvalError::UnknownVariable(var.to_owned()))
+}
+
+/// Is the entity still live (not a legacy zombie)? Writes to zombies are
+/// silent no-ops, matching the §4.2 observation that the query "goes
+/// through without an error".
+fn live(ctx: &ExecCtx, entity: EntityRef) -> bool {
+    match entity {
+        EntityRef::Node(n) => ctx.graph.contains_node(n),
+        EntityRef::Rel(r) => ctx.graph.contains_rel(r),
+    }
+}
+
+/// `SET n = expr` / `SET n += expr` right-hand sides: a map, a node or a
+/// relationship (whose properties are copied).
+fn value_as_string_map(
+    ctx: &ExecCtx,
+    rec: &Record,
+    value: &Expr,
+) -> Result<BTreeMap<String, Value>> {
+    let v = ctx.eval(rec, value)?;
+    let map = match v {
+        Value::Map(m) => m,
+        Value::Node(n) => ctx
+            .graph
+            .props(EntityRef::Node(n))
+            .into_iter()
+            .map(|(k, v)| (ctx.graph.sym_str(k).to_owned(), v))
+            .collect(),
+        Value::Rel(r) => ctx
+            .graph
+            .props(EntityRef::Rel(r))
+            .into_iter()
+            .map(|(k, v)| (ctx.graph.sym_str(k).to_owned(), v))
+            .collect(),
+        other => return Err(type_err("map, node or relationship", &other, "SET =/+=")),
+    };
+    for v in map.values() {
+        if !v.is_null() && !v.storable_as_property() {
+            return Err(type_err("storable property value", v, "SET =/+="));
+        }
+    }
+    Ok(map)
+}
+
+fn value_as_prop_map(ctx: &mut ExecCtx, rec: &Record, value: &Expr) -> Result<PropertyMap> {
+    let string_map = value_as_string_map(ctx, rec, value)?;
+    Ok(string_map
+        .into_iter()
+        .map(|(k, v)| (ctx.graph.sym(&k), v))
+        .collect())
+}
+
+// ---------------------------------------------------------------------
+// REMOVE
+// ---------------------------------------------------------------------
+
+/// Legacy `REMOVE`: record-by-record.
+pub(crate) fn remove_legacy(ctx: &mut ExecCtx, items: &[RemoveItem]) -> Result<()> {
+    let rows = ctx.table.rows.clone();
+    for i in ctx.order_indices() {
+        for item in items {
+            apply_remove_item(ctx, &rows[i], item)?;
+        }
+    }
+    Ok(())
+}
+
+/// Atomic `REMOVE` (§8.2): removals cannot conflict, so the two-phase
+/// evaluation reduces to collecting and applying.
+pub(crate) fn remove_atomic(ctx: &mut ExecCtx, items: &[RemoveItem]) -> Result<()> {
+    let mut prop_removals: BTreeSet<(EntityRef, String)> = BTreeSet::new();
+    let mut label_removals: BTreeSet<(NodeId, String)> = BTreeSet::new();
+    let rows = ctx.table.rows.clone();
+    for rec in &rows {
+        for item in items {
+            match item {
+                RemoveItem::Property { target, key } => {
+                    let t = ctx.eval(rec, target)?;
+                    if let Some(entity) = set_target(&t)? {
+                        prop_removals.insert((entity, key.clone()));
+                    }
+                }
+                RemoveItem::Labels { target, labels } => {
+                    let t = lookup_var(rec, target)?;
+                    match t {
+                        Value::Null => {}
+                        Value::Node(n) => {
+                            for l in labels {
+                                label_removals.insert((n, l.clone()));
+                            }
+                        }
+                        other => return Err(type_err("node", &other, "REMOVE labels")),
+                    }
+                }
+            }
+        }
+    }
+    for (entity, key) in prop_removals {
+        if live(ctx, entity) {
+            let k = ctx.graph.sym(&key);
+            ctx.graph.set_prop(entity, k, Value::Null)?;
+            ctx.stats.props_set += 1;
+        }
+    }
+    for (node, label) in label_removals {
+        if ctx.graph.contains_node(node) {
+            if let Some(sym) = ctx.graph.try_sym(&label) {
+                if ctx.graph.remove_label(node, sym)? {
+                    ctx.stats.labels_removed += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn apply_remove_item(ctx: &mut ExecCtx, rec: &Record, item: &RemoveItem) -> Result<()> {
+    match item {
+        RemoveItem::Property { target, key } => {
+            let t = ctx.eval(rec, target)?;
+            if let Some(entity) = set_target(&t)? {
+                if live(ctx, entity) {
+                    let k = ctx.graph.sym(key);
+                    ctx.graph.set_prop(entity, k, Value::Null)?;
+                    ctx.stats.props_set += 1;
+                }
+            }
+            Ok(())
+        }
+        RemoveItem::Labels { target, labels } => {
+            let t = lookup_var(rec, target)?;
+            match t {
+                Value::Null => Ok(()),
+                Value::Node(n) => {
+                    if ctx.graph.contains_node(n) {
+                        for l in labels {
+                            if let Some(sym) = ctx.graph.try_sym(l) {
+                                if ctx.graph.remove_label(n, sym)? {
+                                    ctx.stats.labels_removed += 1;
+                                }
+                            }
+                        }
+                    }
+                    Ok(())
+                }
+                other => Err(type_err("node", &other, "REMOVE labels")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DELETE
+// ---------------------------------------------------------------------
+
+/// Legacy `DELETE` (§4.2): per-record immediate deletion. Deleting a node
+/// with attached relationships leaves them *dangling* — the graph is
+/// illegal until they are deleted too, and only the end-of-statement
+/// integrity check catches a statement that ends in that state.
+pub(crate) fn delete_legacy(ctx: &mut ExecCtx, detach: bool, exprs: &[Expr]) -> Result<()> {
+    let rows = ctx.table.rows.clone();
+    for i in ctx.order_indices() {
+        for expr in exprs {
+            let v = ctx.eval(&rows[i], expr)?;
+            delete_value_now(ctx, v, detach)?;
+        }
+    }
+    Ok(())
+}
+
+fn delete_value_now(ctx: &mut ExecCtx, v: Value, detach: bool) -> Result<()> {
+    match v {
+        Value::Null => Ok(()),
+        Value::Node(n) => {
+            if ctx.graph.contains_node(n) {
+                let mode = if detach {
+                    DeleteNodeMode::Detach
+                } else {
+                    DeleteNodeMode::Force
+                };
+                let cascaded = ctx.graph.delete_node(n, mode)?;
+                ctx.stats.nodes_deleted += 1;
+                ctx.stats.rels_deleted += cascaded.len();
+            }
+            Ok(())
+        }
+        Value::Rel(r) => {
+            if ctx.graph.contains_rel(r) {
+                ctx.graph.delete_rel(r)?;
+                ctx.stats.rels_deleted += 1;
+            }
+            Ok(())
+        }
+        Value::Path(p) => {
+            for r in p.rels {
+                delete_value_now(ctx, Value::Rel(r), detach)?;
+            }
+            for n in p.nodes {
+                delete_value_now(ctx, Value::Node(n), detach)?;
+            }
+            Ok(())
+        }
+        other => Err(type_err("node, relationship or path", &other, "DELETE")),
+    }
+}
+
+/// Atomic `DELETE` (§7): collect the full deletion set over the whole
+/// table, fail if any collected node would be left with an uncollected
+/// relationship (strict), or extend the set with attached relationships
+/// (`DETACH`). Apply, then replace references to deleted entities in the
+/// driving table with `null`.
+pub(crate) fn delete_atomic(ctx: &mut ExecCtx, detach: bool, exprs: &[Expr]) -> Result<()> {
+    // Phase 1: collect.
+    let mut nodes: BTreeSet<NodeId> = BTreeSet::new();
+    let mut rels: BTreeSet<RelId> = BTreeSet::new();
+    let rows = ctx.table.rows.clone();
+    for rec in &rows {
+        for expr in exprs {
+            collect_deletions(ctx, ctx.eval(rec, expr)?, &mut nodes, &mut rels)?;
+        }
+    }
+    if detach {
+        for &n in &nodes {
+            rels.extend(ctx.graph.rels_of(n, cypher_graph::Direction::Either));
+        }
+    } else {
+        for &n in &nodes {
+            let attached: Vec<RelId> = ctx
+                .graph
+                .rels_of(n, cypher_graph::Direction::Either)
+                .into_iter()
+                .filter(|r| !rels.contains(r))
+                .collect();
+            if !attached.is_empty() {
+                return Err(EvalError::DeleteWouldDangle {
+                    node: n,
+                    attached: attached.len(),
+                });
+            }
+        }
+    }
+
+    // Phase 2: apply (relationships first, then nodes strictly).
+    for &r in &rels {
+        if ctx.graph.contains_rel(r) {
+            ctx.graph.delete_rel(r)?;
+            ctx.stats.rels_deleted += 1;
+        }
+    }
+    for &n in &nodes {
+        if ctx.graph.contains_node(n) {
+            ctx.graph.delete_node(n, DeleteNodeMode::Strict)?;
+            ctx.stats.nodes_deleted += 1;
+        }
+    }
+
+    // Phase 3: "any reference to a deleted entity in the driving table is
+    // replaced by a null" (§7).
+    for rec in &mut ctx.table.rows {
+        rec.map_values(&mut |v| substitute_deleted(v, &nodes, &rels));
+    }
+    Ok(())
+}
+
+fn collect_deletions(
+    ctx: &ExecCtx,
+    v: Value,
+    nodes: &mut BTreeSet<NodeId>,
+    rels: &mut BTreeSet<RelId>,
+) -> Result<()> {
+    match v {
+        Value::Null => Ok(()),
+        Value::Node(n) => {
+            if ctx.graph.contains_node(n) {
+                nodes.insert(n);
+            }
+            Ok(())
+        }
+        Value::Rel(r) => {
+            if ctx.graph.contains_rel(r) {
+                rels.insert(r);
+            }
+            Ok(())
+        }
+        Value::Path(p) => {
+            for n in p.nodes {
+                if ctx.graph.contains_node(n) {
+                    nodes.insert(n);
+                }
+            }
+            for r in p.rels {
+                if ctx.graph.contains_rel(r) {
+                    rels.insert(r);
+                }
+            }
+            Ok(())
+        }
+        other => Err(type_err("node, relationship or path", &other, "DELETE")),
+    }
+}
+
+/// Recursive null substitution for deleted references.
+fn substitute_deleted(
+    v: &Value,
+    nodes: &BTreeSet<NodeId>,
+    rels: &BTreeSet<RelId>,
+) -> Option<Value> {
+    match v {
+        Value::Node(n) if nodes.contains(n) => Some(Value::Null),
+        Value::Rel(r) if rels.contains(r) => Some(Value::Null),
+        Value::Path(p)
+            if p.nodes.iter().any(|n| nodes.contains(n))
+                || p.rels.iter().any(|r| rels.contains(r)) =>
+        {
+            Some(Value::Null)
+        }
+        Value::List(items) => {
+            let mut changed = false;
+            let new: Vec<Value> = items
+                .iter()
+                .map(|i| match substitute_deleted(i, nodes, rels) {
+                    Some(n) => {
+                        changed = true;
+                        n
+                    }
+                    None => i.clone(),
+                })
+                .collect();
+            changed.then_some(Value::List(new))
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// FOREACH
+// ---------------------------------------------------------------------
+
+/// `FOREACH (x IN list | updates…)`: run the update clauses once per list
+/// element per record, with the element bound. The driving table is
+/// unchanged.
+pub(crate) fn foreach(ctx: &mut ExecCtx, var: &str, list: &Expr, body: &[Clause]) -> Result<()> {
+    let rows = ctx.table.rows.clone();
+    for i in ctx.order_indices() {
+        let v = ctx.eval(&rows[i], list)?;
+        let items = match v {
+            Value::Null => continue,
+            Value::List(items) => items,
+            other => return Err(type_err("list", &other, "FOREACH")),
+        };
+        for item in items {
+            let mut inner = rows[i].clone();
+            inner.bind(var.to_owned(), item);
+            let saved = mem::replace(&mut ctx.table, Table::from_rows(vec![inner]));
+            let result: Result<()> = body.iter().try_for_each(|c| ctx.apply(c));
+            ctx.table = saved;
+            result?;
+        }
+    }
+    Ok(())
+}

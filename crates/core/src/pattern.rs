@@ -1,0 +1,1086 @@
+//! Graph pattern matching.
+//!
+//! Implements the `(p, G, u) |= π` relation of §8.1: given a record `u`
+//! (partial assignment) and a tuple of path patterns, enumerate all
+//! extensions of the record that embed the patterns into the graph.
+//!
+//! Two matching disciplines are supported (§2 and Example 7):
+//!
+//! * [`MatchMode::EdgeIsomorphic`] — Cypher's default: *distinct
+//!   relationship patterns must bind distinct relationships* within one
+//!   `MATCH`/`MERGE` clause. This is what makes the Strong-Collapse
+//!   re-match of Example 7 fail.
+//! * [`MatchMode::Homomorphic`] — relationships may be reused; the paper
+//!   notes future Cypher versions plan to offer this, under which
+//!   "first merging a pattern and then matching it will result in a
+//!   positive match".
+//!
+//! Variable-length steps always require distinct relationships *within one
+//! traversed path* (this is what keeps results finite, §2's loop example);
+//! homomorphic mode only relaxes sharing **across** pattern steps.
+//!
+//! Iteration order is deterministic: node candidates ascend by id and
+//! adjacency lists are in insertion order, so the same query on the same
+//! store always produces the same table order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cypher_graph::{Direction, NodeId, PathValue, PropertyGraph, RelId, Value};
+use cypher_parser::ast::{NodePattern, PathPattern, RelDirection, RelPattern};
+
+use crate::error::{EvalError, Result};
+use crate::eval::{eval, EvalCtx};
+use crate::table::Record;
+
+/// Relationship-uniqueness discipline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MatchMode {
+    /// Distinct relationship patterns bind distinct relationships
+    /// (Cypher default).
+    #[default]
+    EdgeIsomorphic,
+    /// Relationship patterns may share relationships.
+    Homomorphic,
+}
+
+/// Pattern matcher over one graph.
+pub struct Matcher<'a> {
+    ctx: EvalCtx<'a>,
+    mode: MatchMode,
+}
+
+/// Default bound on variable-length expansion when no maximum is given.
+/// Paths cannot repeat relationships, so this is only a safety valve for
+/// pathological graphs.
+const VARLEN_DEFAULT_MAX: u32 = u32::MAX;
+
+impl<'a> Matcher<'a> {
+    pub fn new(
+        graph: &'a PropertyGraph,
+        params: &'a BTreeMap<String, Value>,
+        mode: MatchMode,
+    ) -> Self {
+        Matcher {
+            ctx: EvalCtx::new(graph, params).with_match_mode(mode),
+            mode,
+        }
+    }
+
+    fn graph(&self) -> &'a PropertyGraph {
+        self.ctx.graph
+    }
+
+    /// Enumerate all extensions of `rec` matching the conjunction of
+    /// `patterns`. The input record is part of every result.
+    pub fn match_patterns(&self, rec: &Record, patterns: &[PathPattern]) -> Result<Vec<Record>> {
+        let mut results = Vec::new();
+        self.go_pattern(patterns, 0, rec.clone(), BTreeSet::new(), &mut results)?;
+        Ok(results)
+    }
+
+    /// Does at least one match exist? (Early-exit variant used by `MERGE`.)
+    pub fn any_match(&self, rec: &Record, patterns: &[PathPattern]) -> Result<bool> {
+        Ok(!self.match_patterns(rec, patterns)?.is_empty())
+    }
+
+    fn go_pattern(
+        &self,
+        patterns: &[PathPattern],
+        pi: usize,
+        env: Record,
+        used: BTreeSet<RelId>,
+        results: &mut Vec<Record>,
+    ) -> Result<()> {
+        let Some(pattern) = patterns.get(pi) else {
+            results.push(env);
+            return Ok(());
+        };
+        if pattern.shortest.is_some() {
+            return self.go_shortest(patterns, pi, env, used, results);
+        }
+        let starts = self.node_candidates(&env, &pattern.start)?;
+        for start in starts {
+            let mut env2 = env.clone();
+            if let Some(var) = &pattern.start.var {
+                env2.bind(var.clone(), Value::Node(start));
+            }
+            self.go_steps(
+                patterns,
+                pi,
+                0,
+                start,
+                env2,
+                used.clone(),
+                vec![start],
+                vec![],
+                results,
+            )?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    /// `shortestPath(…)` / `allShortestPaths(…)`: BFS from each start
+    /// binding to every accepting endpoint, yielding only minimum-length
+    /// paths. The validator guarantees exactly one relationship step.
+    /// Shortest paths never repeat a node, so the single-edge-traversal
+    /// rule holds within each path automatically; in iso mode the
+    /// clause-wide used set is respected and extended.
+    fn go_shortest(
+        &self,
+        patterns: &[PathPattern],
+        pi: usize,
+        env: Record,
+        used: BTreeSet<RelId>,
+        results: &mut Vec<Record>,
+    ) -> Result<()> {
+        let pattern = &patterns[pi];
+        let kind = pattern.shortest.expect("caller checked");
+        let (rel_pat, end_pat) = &pattern.steps[0];
+        let (min, max) = match rel_pat.length {
+            Some(l) => (l.min.unwrap_or(1), l.max.unwrap_or(u32::MAX)),
+            None => (1, 1),
+        };
+
+        for start in self.node_candidates(&env, &pattern.start)? {
+            let mut env_s = env.clone();
+            if let Some(v) = &pattern.start.var {
+                env_s.bind(v.clone(), Value::Node(start));
+            }
+
+            if min > 1 {
+                // BFS prunes by global distance, which is wrong when the
+                // minimum hop count exceeds the true shortest distance:
+                // enumerate candidate paths instead and keep the minima.
+                self.shortest_by_enumeration(
+                    patterns, pi, start, &env_s, &used, rel_pat, end_pat, min, max, kind, results,
+                )?;
+                continue;
+            }
+
+            // BFS layers; `parents[n]` holds every shortest-path predecessor
+            // edge of `n`.
+            let mut dist: BTreeMap<NodeId, u32> = BTreeMap::new();
+            dist.insert(start, 0);
+            let mut parents: BTreeMap<NodeId, Vec<(RelId, NodeId)>> = BTreeMap::new();
+            let mut frontier = vec![start];
+            let mut found: Vec<NodeId> = Vec::new();
+            if min == 0 && self.node_accepts(&env_s, start, end_pat)? {
+                found.push(start);
+            }
+            let mut level = 0u32;
+            while !frontier.is_empty() && level < max {
+                level += 1;
+                let mut next = Vec::new();
+                for node in frontier {
+                    for (rel, far) in self.rel_candidates(&env_s, node, rel_pat, &used)? {
+                        match dist.get(&far) {
+                            None => {
+                                dist.insert(far, level);
+                                parents.entry(far).or_default().push((rel, node));
+                                next.push(far);
+                            }
+                            Some(&d) if d == level => {
+                                parents.entry(far).or_default().push((rel, node));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if level >= min {
+                    for &n in &next {
+                        if self.node_accepts(&env_s, n, end_pat)? {
+                            found.push(n);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+
+            for end in found {
+                let paths = enumerate_shortest(&parents, start, end, kind);
+                for rels in paths {
+                    let mut env2 = env_s.clone();
+                    if let Some(v) = &end_pat.var {
+                        env2.bind(v.clone(), Value::Node(end));
+                    }
+                    if let Some(rv) = &rel_pat.var {
+                        let value = if rel_pat.length.is_some() {
+                            Value::List(rels.iter().map(|&r| Value::Rel(r)).collect())
+                        } else {
+                            // Fixed single hop: bind the relationship itself.
+                            rels.first().map(|&r| Value::Rel(r)).unwrap_or(Value::Null)
+                        };
+                        env2.bind(rv.clone(), value);
+                    }
+                    let mut used2 = used.clone();
+                    if self.mode == MatchMode::EdgeIsomorphic {
+                        used2.extend(rels.iter().copied());
+                    }
+                    if let Some(pv) = &pattern.var {
+                        // Reconstruct the node sequence from the rel chain.
+                        let mut nodes = vec![start];
+                        let mut cur = start;
+                        for &r in &rels {
+                            let d = self.graph().rel(r).expect("live rel");
+                            cur = if d.src == cur { d.tgt } else { d.src };
+                            nodes.push(cur);
+                        }
+                        env2.bind(
+                            pv.clone(),
+                            Value::Path(PathValue {
+                                nodes,
+                                rels: rels.clone(),
+                            }),
+                        );
+                    }
+                    self.go_pattern(patterns, pi + 1, env2, used2, results)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Slow path for `shortestPath` with a minimum hop count above 1:
+    /// enumerate all qualifying paths (per-path relationship uniqueness)
+    /// and keep the minimum length per endpoint.
+    #[allow(clippy::too_many_arguments)]
+    fn shortest_by_enumeration(
+        &self,
+        patterns: &[PathPattern],
+        pi: usize,
+        start: NodeId,
+        env_s: &Record,
+        used: &BTreeSet<RelId>,
+        rel_pat: &RelPattern,
+        end_pat: &NodePattern,
+        min: u32,
+        max: u32,
+        kind: cypher_parser::ast::ShortestKind,
+        results: &mut Vec<Record>,
+    ) -> Result<()> {
+        use cypher_parser::ast::ShortestKind;
+        let pattern = &patterns[pi];
+        // DFS collecting (end, rels) candidates.
+        let mut candidates: Vec<(NodeId, Vec<RelId>)> = Vec::new();
+        let mut stack: Vec<(NodeId, Vec<RelId>)> = vec![(start, vec![])];
+        while let Some((node, rels)) = stack.pop() {
+            let depth = rels.len() as u32;
+            if depth >= min && self.node_accepts(env_s, node, end_pat)? {
+                candidates.push((node, rels.clone()));
+            }
+            if depth >= max {
+                continue;
+            }
+            let mut expansions = self.rel_candidates(env_s, node, rel_pat, used)?;
+            expansions.retain(|(r, _)| !rels.contains(r));
+            for (rel, far) in expansions.into_iter().rev() {
+                let mut rels2 = rels.clone();
+                rels2.push(rel);
+                stack.push((far, rels2));
+            }
+        }
+        // Keep minimum length per endpoint (one path for Single, all for All).
+        let mut best: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (end, rels) in &candidates {
+            let e = best.entry(*end).or_insert(usize::MAX);
+            *e = (*e).min(rels.len());
+        }
+        let mut emitted: BTreeSet<NodeId> = BTreeSet::new();
+        for (end, rels) in candidates {
+            if rels.len() != best[&end] {
+                continue;
+            }
+            if kind == ShortestKind::Single && !emitted.insert(end) {
+                continue;
+            }
+            let mut env2 = env_s.clone();
+            if let Some(v) = &end_pat.var {
+                env2.bind(v.clone(), Value::Node(end));
+            }
+            if let Some(rv) = &rel_pat.var {
+                env2.bind(
+                    rv.clone(),
+                    Value::List(rels.iter().map(|&r| Value::Rel(r)).collect()),
+                );
+            }
+            let mut used2 = used.clone();
+            if self.mode == MatchMode::EdgeIsomorphic {
+                used2.extend(rels.iter().copied());
+            }
+            if let Some(pv) = &pattern.var {
+                let mut nodes = vec![start];
+                let mut cur = start;
+                for &r in &rels {
+                    let d = self.graph().rel(r).expect("live rel");
+                    cur = if d.src == cur { d.tgt } else { d.src };
+                    nodes.push(cur);
+                }
+                env2.bind(
+                    pv.clone(),
+                    Value::Path(PathValue {
+                        nodes,
+                        rels: rels.clone(),
+                    }),
+                );
+            }
+            self.go_pattern(patterns, pi + 1, env2, used2, results)?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn go_steps(
+        &self,
+        patterns: &[PathPattern],
+        pi: usize,
+        si: usize,
+        cur: NodeId,
+        env: Record,
+        used: BTreeSet<RelId>,
+        path_nodes: Vec<NodeId>,
+        path_rels: Vec<RelId>,
+        results: &mut Vec<Record>,
+    ) -> Result<()> {
+        let pattern = &patterns[pi];
+        let Some((rel_pat, node_pat)) = pattern.steps.get(si) else {
+            // Path pattern complete; bind the path variable if named.
+            let mut env = env;
+            if let Some(pvar) = &pattern.var {
+                env.bind(
+                    pvar.clone(),
+                    Value::Path(PathValue {
+                        nodes: path_nodes,
+                        rels: path_rels,
+                    }),
+                );
+            }
+            return self.go_pattern(patterns, pi + 1, env, used, results);
+        };
+
+        if rel_pat.length.is_some() {
+            return self.go_varlen_step(
+                patterns, pi, si, cur, env, used, path_nodes, path_rels, rel_pat, node_pat, results,
+            );
+        }
+
+        for (rel, next) in self.rel_candidates(&env, cur, rel_pat, &used)? {
+            // Next node must satisfy its pattern (bound variable, labels,
+            // properties).
+            if !self.node_accepts(&env, next, node_pat)? {
+                continue;
+            }
+            let mut env2 = env.clone();
+            if let Some(rvar) = &rel_pat.var {
+                env2.bind(rvar.clone(), Value::Rel(rel));
+            }
+            if let Some(nvar) = &node_pat.var {
+                env2.bind(nvar.clone(), Value::Node(next));
+            }
+            let mut used2 = used.clone();
+            if self.mode == MatchMode::EdgeIsomorphic {
+                used2.insert(rel);
+            }
+            let mut nodes2 = path_nodes.clone();
+            nodes2.push(next);
+            let mut rels2 = path_rels.clone();
+            rels2.push(rel);
+            self.go_steps(
+                patterns,
+                pi,
+                si + 1,
+                next,
+                env2,
+                used2,
+                nodes2,
+                rels2,
+                results,
+            )?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn go_varlen_step(
+        &self,
+        patterns: &[PathPattern],
+        pi: usize,
+        si: usize,
+        cur: NodeId,
+        env: Record,
+        used: BTreeSet<RelId>,
+        path_nodes: Vec<NodeId>,
+        path_rels: Vec<RelId>,
+        rel_pat: &RelPattern,
+        node_pat: &NodePattern,
+        results: &mut Vec<Record>,
+    ) -> Result<()> {
+        let len = rel_pat.length.expect("caller checked");
+        if rel_pat.var.is_some() && env.is_bound(rel_pat.var.as_ref().unwrap()) {
+            return Err(EvalError::VariableClash(
+                rel_pat.var.clone().expect("checked"),
+            ));
+        }
+        let min = len.min.unwrap_or(1);
+        let max = len.max.unwrap_or(VARLEN_DEFAULT_MAX);
+
+        // DFS over relationship sequences. `segment` holds the rels of this
+        // variable-length traversal only.
+        struct Frame {
+            node: NodeId,
+            segment_rels: Vec<RelId>,
+            segment_nodes: Vec<NodeId>,
+        }
+        let mut stack = vec![Frame {
+            node: cur,
+            segment_rels: vec![],
+            segment_nodes: vec![],
+        }];
+        while let Some(frame) = stack.pop() {
+            let depth = frame.segment_rels.len() as u32;
+            if depth >= min {
+                // Try to close the step at this endpoint.
+                if self.node_accepts(&env, frame.node, node_pat)? {
+                    let mut env2 = env.clone();
+                    if let Some(rvar) = &rel_pat.var {
+                        env2.bind(
+                            rvar.clone(),
+                            Value::List(
+                                frame.segment_rels.iter().map(|&r| Value::Rel(r)).collect(),
+                            ),
+                        );
+                    }
+                    if let Some(nvar) = &node_pat.var {
+                        env2.bind(nvar.clone(), Value::Node(frame.node));
+                    }
+                    let mut used2 = used.clone();
+                    if self.mode == MatchMode::EdgeIsomorphic {
+                        used2.extend(frame.segment_rels.iter().copied());
+                    }
+                    let mut nodes2 = path_nodes.clone();
+                    nodes2.extend(frame.segment_nodes.iter().copied());
+                    let mut rels2 = path_rels.clone();
+                    rels2.extend(frame.segment_rels.iter().copied());
+                    self.go_steps(
+                        patterns,
+                        pi,
+                        si + 1,
+                        frame.node,
+                        env2,
+                        used2,
+                        nodes2,
+                        rels2,
+                        results,
+                    )?;
+                }
+            }
+            if depth >= max {
+                continue;
+            }
+            // Expand by one relationship. Within a single variable-length
+            // path, relationships are always distinct; in iso mode they must
+            // also avoid the clause-wide used set.
+            let mut expansions = self.rel_candidates(&env, frame.node, rel_pat, &used)?;
+            expansions.retain(|(r, _)| !frame.segment_rels.contains(r));
+            // Reverse so the stack pops candidates in their natural order.
+            for (rel, next) in expansions.into_iter().rev() {
+                let mut seg_r = frame.segment_rels.clone();
+                seg_r.push(rel);
+                let mut seg_n = frame.segment_nodes.clone();
+                seg_n.push(next);
+                stack.push(Frame {
+                    node: next,
+                    segment_rels: seg_r,
+                    segment_nodes: seg_n,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Candidate (relationship, far-endpoint) pairs from `cur` through
+    /// `rel_pat`, honouring direction, types, properties, a pre-bound
+    /// relationship variable and the uniqueness discipline.
+    fn rel_candidates(
+        &self,
+        env: &Record,
+        cur: NodeId,
+        rel_pat: &RelPattern,
+        used: &BTreeSet<RelId>,
+    ) -> Result<Vec<(RelId, NodeId)>> {
+        let g = self.graph();
+        let dir = match rel_pat.direction {
+            RelDirection::Outgoing => Direction::Outgoing,
+            RelDirection::Incoming => Direction::Incoming,
+            RelDirection::Undirected => Direction::Either,
+        };
+        let bound_rel = match rel_pat.var.as_ref().and_then(|v| env.get(v)) {
+            Some(Value::Rel(r)) => Some(*r),
+            Some(Value::Null) => return Ok(vec![]),
+            Some(_) => {
+                return Err(EvalError::VariableClash(
+                    rel_pat.var.clone().expect("var present"),
+                ))
+            }
+            None => None,
+        };
+        let mut out = Vec::new();
+        for rel in g.rels_of(cur, dir) {
+            if self.mode == MatchMode::EdgeIsomorphic && used.contains(&rel) {
+                continue;
+            }
+            if let Some(b) = bound_rel {
+                if b != rel {
+                    continue;
+                }
+            }
+            let Some(data) = g.rel(rel) else { continue };
+            if !rel_pat.types.is_empty() {
+                let type_name = g.sym_str(data.rel_type);
+                if !rel_pat.types.iter().any(|t| t == type_name) {
+                    continue;
+                }
+            }
+            if !self.props_match(env, cypher_graph::EntityRef::Rel(rel), &rel_pat.props)? {
+                continue;
+            }
+            let far = match rel_pat.direction {
+                RelDirection::Outgoing => data.tgt,
+                RelDirection::Incoming => data.src,
+                RelDirection::Undirected => {
+                    if data.src == cur {
+                        data.tgt
+                    } else {
+                        data.src
+                    }
+                }
+            };
+            out.push((rel, far));
+        }
+        Ok(out)
+    }
+
+    /// Candidate start nodes for a node pattern.
+    fn node_candidates(&self, env: &Record, np: &NodePattern) -> Result<Vec<NodeId>> {
+        let g = self.graph();
+        // Bound variable: the candidate set is that single node (checked).
+        if let Some(var) = &np.var {
+            match env.get(var) {
+                Some(Value::Node(n)) => {
+                    let n = *n;
+                    return if self.node_accepts(env, n, np)? {
+                        Ok(vec![n])
+                    } else {
+                        Ok(vec![])
+                    };
+                }
+                Some(Value::Null) => return Ok(vec![]),
+                Some(_) => return Err(EvalError::VariableClash(var.clone())),
+                None => {}
+            }
+        }
+        // Prefer a property-index probe `(label, key = value)` when one is
+        // available, then a label-index scan, then a full scan.
+        let mut indexed: Option<Vec<NodeId>> = None;
+        'probe: for label in &np.labels {
+            let Some(lsym) = g.try_sym(label) else {
+                return Ok(vec![]); // label never interned → no nodes at all
+            };
+            for (key, expr) in &np.props {
+                let Some(ksym) = g.try_sym(key) else { continue };
+                if !g.has_index(lsym, ksym) {
+                    continue;
+                }
+                let wanted = eval(&self.ctx, env, expr)?;
+                indexed = g.index_lookup(lsym, ksym, &wanted);
+                break 'probe;
+            }
+        }
+        let candidates: Vec<NodeId> = match indexed {
+            Some(hits) => hits,
+            None => match np.labels.first() {
+                Some(first_label) => match g.try_sym(first_label) {
+                    Some(sym) => g.nodes_with_label(sym).collect(),
+                    None => return Ok(vec![]),
+                },
+                None => g.node_ids().collect(),
+            },
+        };
+        let mut out = Vec::new();
+        for n in candidates {
+            if self.node_accepts_unbound(env, n, np)? {
+                out.push(n);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Does node `n` satisfy pattern `np`, taking a possibly-bound variable
+    /// into account (a bound variable must equal `n`)?
+    fn node_accepts(&self, env: &Record, n: NodeId, np: &NodePattern) -> Result<bool> {
+        if let Some(var) = &np.var {
+            match env.get(var) {
+                Some(Value::Node(bound)) if *bound != n => return Ok(false),
+                Some(Value::Node(_)) => {}
+                Some(Value::Null) => return Ok(false),
+                Some(_) => return Err(EvalError::VariableClash(var.clone())),
+                None => {}
+            }
+        }
+        self.node_accepts_unbound(env, n, np)
+    }
+
+    /// Label and property checks only.
+    fn node_accepts_unbound(&self, env: &Record, n: NodeId, np: &NodePattern) -> Result<bool> {
+        let g = self.graph();
+        match g.node(n) {
+            Some(data) => {
+                for l in &np.labels {
+                    match g.try_sym(l) {
+                        Some(sym) if data.labels.contains(&sym) => {}
+                        _ => return Ok(false),
+                    }
+                }
+            }
+            None => {
+                // Zombie node (§4.2): matches only entirely unconstrained
+                // node patterns.
+                return Ok(np.labels.is_empty() && np.props.is_empty());
+            }
+        }
+        self.props_match(env, cypher_graph::EntityRef::Node(n), &np.props)
+    }
+
+    /// All pattern properties equal (ternary-true) the stored ones.
+    fn props_match(
+        &self,
+        env: &Record,
+        entity: cypher_graph::EntityRef,
+        props: &[(String, cypher_parser::ast::Expr)],
+    ) -> Result<bool> {
+        let g = self.graph();
+        for (key, expr) in props {
+            let wanted = eval(&self.ctx, env, expr)?;
+            let stored = g
+                .try_sym(key)
+                .map(|k| g.prop(entity, k))
+                .unwrap_or(Value::Null);
+            if !wanted.cypher_eq(&stored).is_true() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// All (or one, for `Single`) shortest relationship chains from `start` to
+/// `end`, reconstructed backward through the BFS parent sets.
+fn enumerate_shortest(
+    parents: &BTreeMap<NodeId, Vec<(RelId, NodeId)>>,
+    start: NodeId,
+    end: NodeId,
+    kind: cypher_parser::ast::ShortestKind,
+) -> Vec<Vec<RelId>> {
+    use cypher_parser::ast::ShortestKind;
+    if end == start && !parents.contains_key(&end) {
+        return vec![vec![]]; // zero-length path
+    }
+    fn walk(
+        parents: &BTreeMap<NodeId, Vec<(RelId, NodeId)>>,
+        start: NodeId,
+        node: NodeId,
+        single: bool,
+        out: &mut Vec<Vec<RelId>>,
+        suffix: &mut Vec<RelId>,
+    ) {
+        if node == start {
+            let mut path: Vec<RelId> = suffix.clone();
+            path.reverse();
+            out.push(path);
+            return;
+        }
+        let Some(edges) = parents.get(&node) else {
+            return;
+        };
+        for &(rel, prev) in edges {
+            suffix.push(rel);
+            walk(parents, start, prev, single, out, suffix);
+            suffix.pop();
+            if single && !out.is_empty() {
+                return;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut suffix = Vec::new();
+    walk(
+        parents,
+        start,
+        end,
+        kind == ShortestKind::Single,
+        &mut out,
+        &mut suffix,
+    );
+    if kind == ShortestKind::Single {
+        out.truncate(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_parser::ast::Clause;
+    use cypher_parser::parse;
+
+    /// Extract the patterns of the first MATCH clause of `query`.
+    fn patterns_of(query: &str) -> Vec<PathPattern> {
+        let q = parse(query).unwrap();
+        match &q.first.clauses[0] {
+            Clause::Match { patterns, .. } => patterns.clone(),
+            Clause::Merge { patterns, .. } => patterns.clone(),
+            _ => panic!("expected MATCH"),
+        }
+    }
+
+    /// Figure 1 base graph (solid lines).
+    fn figure1() -> (PropertyGraph, BTreeMap<&'static str, NodeId>) {
+        let mut g = PropertyGraph::new();
+        let product = g.sym("Product");
+        let vendor = g.sym("Vendor");
+        let user = g.sym("User");
+        let offers = g.sym("OFFERS");
+        let ordered = g.sym("ORDERED");
+        let id_k = g.sym("id");
+        let name_k = g.sym("name");
+        let v1 = g.create_node(
+            [vendor],
+            [(id_k, Value::Int(60)), (name_k, Value::str("cStore"))],
+        );
+        let p1 = g.create_node(
+            [product],
+            [(id_k, Value::Int(125)), (name_k, Value::str("laptop"))],
+        );
+        let p2 = g.create_node(
+            [product],
+            [(id_k, Value::Int(125)), (name_k, Value::str("notebook"))],
+        );
+        let p3 = g.create_node(
+            [product],
+            [(id_k, Value::Int(85)), (name_k, Value::str("tablet"))],
+        );
+        let u1 = g.create_node(
+            [user],
+            [(id_k, Value::Int(89)), (name_k, Value::str("Bob"))],
+        );
+        let u2 = g.create_node(
+            [user],
+            [(id_k, Value::Int(99)), (name_k, Value::str("Jane"))],
+        );
+        g.create_rel(v1, offers, p1, []).unwrap();
+        g.create_rel(v1, offers, p2, []).unwrap();
+        g.create_rel(u1, ordered, p1, []).unwrap();
+        g.create_rel(u1, ordered, p3, []).unwrap();
+        g.create_rel(u2, ordered, p3, []).unwrap();
+        g.create_rel(u2, offers, p3, []).unwrap();
+        let mut ids = BTreeMap::new();
+        ids.insert("v1", v1);
+        ids.insert("p1", p1);
+        ids.insert("p2", p2);
+        ids.insert("p3", p3);
+        ids.insert("u1", u1);
+        ids.insert("u2", u2);
+        (g, ids)
+    }
+
+    fn run_match(g: &PropertyGraph, query: &str, mode: MatchMode) -> Vec<Record> {
+        let params = BTreeMap::new();
+        let m = Matcher::new(g, &params, mode);
+        m.match_patterns(&Record::new(), &patterns_of(query))
+            .unwrap()
+    }
+
+    #[test]
+    fn query1_pattern_yields_two_records_before_where() {
+        // §2: "the first MATCH clause populates [the table] with two records
+        // (p:p1, v:v1, q:p2) and (p:p2, v:v1, q:p1)".
+        let (g, ids) = figure1();
+        let rows = run_match(
+            &g,
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) RETURN v",
+            MatchMode::EdgeIsomorphic,
+        );
+        assert_eq!(rows.len(), 2);
+        let bindings: Vec<(NodeId, NodeId, NodeId)> = rows
+            .iter()
+            .map(|r| {
+                let Value::Node(p) = r.get("p").unwrap() else {
+                    panic!()
+                };
+                let Value::Node(v) = r.get("v").unwrap() else {
+                    panic!()
+                };
+                let Value::Node(q) = r.get("q").unwrap() else {
+                    panic!()
+                };
+                (*p, *v, *q)
+            })
+            .collect();
+        assert!(bindings.contains(&(ids["p1"], ids["v1"], ids["p2"])));
+        assert!(bindings.contains(&(ids["p2"], ids["v1"], ids["p1"])));
+    }
+
+    #[test]
+    fn edge_isomorphism_blocks_reusing_a_relationship() {
+        // Same pattern but under homomorphic matching p = q becomes
+        // possible (the same :OFFERS edge used twice).
+        let (g, _) = figure1();
+        let iso = run_match(
+            &g,
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) RETURN v",
+            MatchMode::EdgeIsomorphic,
+        );
+        let homo = run_match(
+            &g,
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) RETURN v",
+            MatchMode::Homomorphic,
+        );
+        assert_eq!(iso.len(), 2);
+        // Homomorphic adds (p1,v1,p1), (p2,v1,p2), and p3 with u2 is not a
+        // Vendor; but (p3,u2,p3)? u2 has no :Vendor label, excluded. v1's
+        // edges give 2 + 2 reflexive = 4; plus... p3's offerer u2 is a User.
+        assert_eq!(homo.len(), 4);
+    }
+
+    #[test]
+    fn property_filter_in_pattern() {
+        let (g, ids) = figure1();
+        let rows = run_match(
+            &g,
+            "MATCH (p:Product {name: 'laptop'}) RETURN p",
+            MatchMode::EdgeIsomorphic,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("p"), Some(&Value::Node(ids["p1"])));
+    }
+
+    #[test]
+    fn null_property_in_pattern_never_matches() {
+        let (g, _) = figure1();
+        // No node has name = null, and null = anything is unknown.
+        let rows = run_match(
+            &g,
+            "MATCH (p:Product {name: null}) RETURN p",
+            MatchMode::EdgeIsomorphic,
+        );
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn bound_variable_constrains_match() {
+        let (g, ids) = figure1();
+        let params = BTreeMap::new();
+        let m = Matcher::new(&g, &params, MatchMode::EdgeIsomorphic);
+        let mut rec = Record::new();
+        rec.bind("p", Value::Node(ids["p3"]));
+        let rows = m
+            .match_patterns(
+                &rec,
+                &patterns_of("MATCH (p)<-[:ORDERED]-(u:User) RETURN u"),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2); // u1 and u2 ordered p3
+    }
+
+    #[test]
+    fn bound_null_variable_matches_nothing() {
+        let (g, _) = figure1();
+        let params = BTreeMap::new();
+        let m = Matcher::new(&g, &params, MatchMode::EdgeIsomorphic);
+        let mut rec = Record::new();
+        rec.bind("p", Value::Null);
+        let rows = m
+            .match_patterns(&rec, &patterns_of("MATCH (p)<-[:ORDERED]-(u) RETURN u"))
+            .unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn bound_non_node_is_a_clash() {
+        let (g, _) = figure1();
+        let params = BTreeMap::new();
+        let m = Matcher::new(&g, &params, MatchMode::EdgeIsomorphic);
+        let mut rec = Record::new();
+        rec.bind("p", Value::Int(1));
+        assert!(matches!(
+            m.match_patterns(&rec, &patterns_of("MATCH (p)-->(u) RETURN u")),
+            Err(EvalError::VariableClash(_))
+        ));
+    }
+
+    #[test]
+    fn undirected_step_matches_both_directions() {
+        let (g, ids) = figure1();
+        let rows = run_match(
+            &g,
+            "MATCH (u:User {id: 99})-[:OFFERS]-(x) RETURN x",
+            MatchMode::EdgeIsomorphic,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("x"), Some(&Value::Node(ids["p3"])));
+    }
+
+    #[test]
+    fn multi_pattern_conjunction_shares_variables() {
+        let (g, ids) = figure1();
+        let rows = run_match(
+            &g,
+            "MATCH (v:Vendor)-[:OFFERS]->(p), (u:User)-[:ORDERED]->(p) RETURN p",
+            MatchMode::EdgeIsomorphic,
+        );
+        // v1 offers p1 (ordered by u1) and p2 (ordered by nobody); u2 offers
+        // p3 but is not a Vendor. So only (v1, p1, u1).
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("p"), Some(&Value::Node(ids["p1"])));
+    }
+
+    #[test]
+    fn var_length_paths() {
+        // Chain a->b->c->d.
+        let mut g = PropertyGraph::new();
+        let t = g.sym("TO");
+        let ns: Vec<NodeId> = (0..4).map(|_| g.create_node([], [])).collect();
+        for w in ns.windows(2) {
+            g.create_rel(w[0], t, w[1], []).unwrap();
+        }
+        let rows = run_match(
+            &g,
+            "MATCH (a)-[:TO*]->(b) RETURN a, b",
+            MatchMode::EdgeIsomorphic,
+        );
+        // Paths: 3 of length 1, 2 of length 2, 1 of length 3.
+        assert_eq!(rows.len(), 6);
+        let rows = run_match(
+            &g,
+            "MATCH (a)-[:TO*2..2]->(b) RETURN a, b",
+            MatchMode::EdgeIsomorphic,
+        );
+        assert_eq!(rows.len(), 2);
+        let rows = run_match(
+            &g,
+            "MATCH (a)-[r:TO*1..2]->(b) RETURN r",
+            MatchMode::EdgeIsomorphic,
+        );
+        assert_eq!(rows.len(), 5);
+        // The rel variable binds to a list.
+        assert!(rows
+            .iter()
+            .all(|r| matches!(r.get("r"), Some(Value::List(_)))));
+    }
+
+    #[test]
+    fn var_length_zero_allows_staying_put() {
+        let mut g = PropertyGraph::new();
+        let t = g.sym("TO");
+        let a = g.create_node([], []);
+        let b = g.create_node([], []);
+        g.create_rel(a, t, b, []).unwrap();
+        let rows = run_match(
+            &g,
+            "MATCH (x)-[:TO*0..1]->(y) RETURN x, y",
+            MatchMode::EdgeIsomorphic,
+        );
+        // (a,a), (b,b) at length 0; (a,b) at length 1.
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn self_loop_variable_length_terminates() {
+        // §2's motivating example: a single loop on v. Edge uniqueness
+        // within a path keeps `-[*]->` finite.
+        let mut g = PropertyGraph::new();
+        let t = g.sym("E");
+        let v = g.create_node([], []);
+        g.create_rel(v, t, v, []).unwrap();
+        let rows = run_match(&g, "MATCH (v)-[*]->(v) RETURN v", MatchMode::EdgeIsomorphic);
+        assert_eq!(rows.len(), 1);
+        let rows = run_match(&g, "MATCH (v)-[*]->(v) RETURN v", MatchMode::Homomorphic);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn named_path_binds_path_value() {
+        let (g, _) = figure1();
+        let rows = run_match(
+            &g,
+            "MATCH pth = (u:User {id: 89})-[:ORDERED]->(p) RETURN pth",
+            MatchMode::EdgeIsomorphic,
+        );
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            let Some(Value::Path(p)) = r.get("pth") else {
+                panic!("path not bound")
+            };
+            assert_eq!(p.len(), 1);
+            assert_eq!(p.nodes.len(), 2);
+        }
+    }
+
+    #[test]
+    fn zombie_nodes_match_only_unconstrained_patterns() {
+        let mut g = PropertyGraph::new();
+        let t = g.sym("T");
+        let l = g.sym("L");
+        let a = g.create_node([l], []);
+        let b = g.create_node([l], []);
+        g.create_rel(a, t, b, []).unwrap();
+        g.delete_node(a, cypher_graph::DeleteNodeMode::Force)
+            .unwrap();
+        // Traversal from the live side across the dangling rel reaches the
+        // zombie via an unconstrained node pattern…
+        let rows = run_match(
+            &g,
+            "MATCH (x)<-[:T]-(y) RETURN y",
+            MatchMode::EdgeIsomorphic,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("y"), Some(&Value::Node(a)));
+        // …but a labelled pattern rejects it.
+        let rows = run_match(
+            &g,
+            "MATCH (x)<-[:T]-(y:L) RETURN y",
+            MatchMode::EdgeIsomorphic,
+        );
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn rel_type_alternatives() {
+        let (g, _) = figure1();
+        let rows = run_match(
+            &g,
+            "MATCH (u:User)-[r:ORDERED|OFFERS]->(p) RETURN r",
+            MatchMode::EdgeIsomorphic,
+        );
+        assert_eq!(rows.len(), 4); // u1→p1, u1→p3, u2→p3 (ordered), u2→p3 (offers)
+    }
+
+    #[test]
+    fn deterministic_result_order() {
+        let (g, _) = figure1();
+        let a = run_match(&g, "MATCH (n) RETURN n", MatchMode::EdgeIsomorphic);
+        let b = run_match(&g, "MATCH (n) RETURN n", MatchMode::EdgeIsomorphic);
+        assert_eq!(a, b);
+        // Ascending id order.
+        let ids: Vec<u64> = a
+            .iter()
+            .map(|r| match r.get("n") {
+                Some(Value::Node(n)) => n.raw(),
+                _ => panic!(),
+            })
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -1,0 +1,252 @@
+//! Driving tables.
+//!
+//! §2 of the paper: "tables are bags, or multisets, of *consistent* records,
+//! i.e. of key-value maps with the same set of keys". Clause semantics are
+//! functions from graph–table pairs to graph–table pairs (§8.1); [`Table`]
+//! is the table half of that pair.
+//!
+//! Bags have no inherent order, but every implementation processes records
+//! in *some* order — which is precisely how the legacy `MERGE`/`SET` leak
+//! nondeterminism (§4). Rows here are kept in an explicit order so that the
+//! legacy engine can process them forward or backward on demand and exhibit
+//! both outcomes of Example 3.
+
+use std::collections::BTreeMap;
+
+use cypher_graph::Value;
+
+/// One record: a binding of variable names to values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Record {
+    values: BTreeMap<String, Value>,
+}
+
+impl Record {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a record from pairs (convenience for tests and generators).
+    pub fn from_pairs<I, K>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (K, Value)>,
+        K: Into<String>,
+    {
+        Record {
+            values: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// Look up a variable; `None` when unbound (distinct from bound-to-null).
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Bind (or rebind) a variable.
+    pub fn bind(&mut self, name: impl Into<String>, value: Value) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Remove a binding (projecting out saturation temporaries, §8.2).
+    pub fn unbind(&mut self, name: &str) {
+        self.values.remove(name);
+    }
+
+    /// Variable names, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Keep only the named variables.
+    pub fn project(&self, names: &[String]) -> Record {
+        Record {
+            values: names
+                .iter()
+                .filter_map(|n| self.values.get(n).map(|v| (n.clone(), v.clone())))
+                .collect(),
+        }
+    }
+
+    /// Map every value in place (used by the revised `DELETE` to substitute
+    /// `null` for deleted entities).
+    pub fn map_values(&mut self, f: &mut impl FnMut(&Value) -> Option<Value>) {
+        for v in self.values.values_mut() {
+            if let Some(new) = f(v) {
+                *v = new;
+            }
+        }
+    }
+
+    /// Row of values in the order of the given columns (missing → null).
+    pub fn row(&self, columns: &[String]) -> Vec<Value> {
+        columns
+            .iter()
+            .map(|c| self.values.get(c).cloned().unwrap_or(Value::Null))
+            .collect()
+    }
+}
+
+/// A bag of consistent records, in processing order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    pub rows: Vec<Record>,
+}
+
+impl Table {
+    /// The table containing a single empty record — `T()` of §8.1, the
+    /// starting point of every query evaluation.
+    pub fn unit() -> Self {
+        Table {
+            rows: vec![Record::new()],
+        }
+    }
+
+    /// The empty table (no records at all). Not the same as [`Table::unit`]!
+    pub fn empty() -> Self {
+        Table { rows: vec![] }
+    }
+
+    pub fn from_rows(rows: Vec<Record>) -> Self {
+        Table { rows }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column set of the table: the keys of its records. Consistency means
+    /// every record has the same keys; the first record is authoritative.
+    pub fn columns(&self) -> Vec<String> {
+        self.rows
+            .first()
+            .map(|r| r.keys().map(str::to_owned).collect())
+            .unwrap_or_default()
+    }
+
+    /// Bag union `⊎` (§8.2 `MERGE ALL`): concatenation, duplicates add up.
+    pub fn bag_union(mut self, other: Table) -> Table {
+        self.rows.extend(other.rows);
+        self
+    }
+
+    /// Check record consistency (debug aid; the engine maintains it).
+    pub fn is_consistent(&self) -> bool {
+        let Some(first) = self.rows.first() else {
+            return true;
+        };
+        let keys: Vec<&str> = first.keys().collect();
+        self.rows
+            .iter()
+            .all(|r| r.keys().collect::<Vec<_>>() == keys)
+    }
+
+    /// Reverse the processing order in place (Example 3: "going through the
+    /// driving table bottom-up").
+    pub fn reverse(&mut self) {
+        self.rows.reverse();
+    }
+}
+
+impl FromIterator<Record> for Table {
+    fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
+        Table {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_vs_empty() {
+        assert_eq!(Table::unit().len(), 1);
+        assert!(Table::unit().rows[0].is_empty());
+        assert_eq!(Table::empty().len(), 0);
+    }
+
+    #[test]
+    fn record_bind_and_project() {
+        let mut r = Record::new();
+        r.bind("a", Value::Int(1));
+        r.bind("b", Value::str("x"));
+        assert_eq!(r.get("a"), Some(&Value::Int(1)));
+        assert!(r.is_bound("b"));
+        let p = r.project(&["a".to_owned()]);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_bound("b"));
+        r.unbind("a");
+        assert!(!r.is_bound("a"));
+    }
+
+    #[test]
+    fn unbound_differs_from_null() {
+        let mut r = Record::new();
+        r.bind("a", Value::Null);
+        assert_eq!(r.get("a"), Some(&Value::Null));
+        assert_eq!(r.get("b"), None);
+    }
+
+    #[test]
+    fn bag_union_preserves_duplicates() {
+        let r = Record::from_pairs([("x", Value::Int(1))]);
+        let t1 = Table::from_rows(vec![r.clone(), r.clone()]);
+        let t2 = Table::from_rows(vec![r.clone()]);
+        let u = t1.bag_union(t2);
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn consistency_check() {
+        let t = Table::from_rows(vec![
+            Record::from_pairs([("a", Value::Int(1))]),
+            Record::from_pairs([("a", Value::Int(2))]),
+        ]);
+        assert!(t.is_consistent());
+        let bad = Table::from_rows(vec![
+            Record::from_pairs([("a", Value::Int(1))]),
+            Record::from_pairs([("b", Value::Int(2))]),
+        ]);
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn row_extraction_in_column_order() {
+        let r = Record::from_pairs([("b", Value::Int(2)), ("a", Value::Int(1))]);
+        assert_eq!(
+            r.row(&["a".to_owned(), "b".to_owned(), "c".to_owned()]),
+            vec![Value::Int(1), Value::Int(2), Value::Null]
+        );
+    }
+
+    #[test]
+    fn map_values_substitutes() {
+        let mut r = Record::from_pairs([("a", Value::Int(1)), ("b", Value::Int(2))]);
+        r.map_values(&mut |v| {
+            if *v == Value::Int(1) {
+                Some(Value::Null)
+            } else {
+                None
+            }
+        });
+        assert_eq!(r.get("a"), Some(&Value::Null));
+        assert_eq!(r.get("b"), Some(&Value::Int(2)));
+    }
+}

@@ -1,0 +1,214 @@
+//! `shortestPath` / `allShortestPaths` tests.
+
+use cypher_core::Engine;
+use cypher_graph::PropertyGraph;
+use cypher_graph::Value;
+
+/// A diamond with a long detour:
+///
+/// ```text
+///      ┌─→ b ─→┐
+/// a ───┤       ├──→ d ──→ e
+///      └─→ c ─→┘
+/// ```
+/// Two length-2 routes a→d (via b and via c), one length-3 route a→e… plus
+/// a direct long chain a→x→y→z→e to make the shortest non-obvious.
+fn diamond() -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    Engine::revised()
+        .run(
+            &mut g,
+            "CREATE (a:N {k: 'a'}), (b:N {k: 'b'}), (c:N {k: 'c'}), \
+                    (d:N {k: 'd'}), (e:N {k: 'e'}), \
+                    (x:N {k: 'x'}), (y:N {k: 'y'}), (z:N {k: 'z'}), \
+                    (a)-[:T]->(b), (a)-[:T]->(c), (b)-[:T]->(d), (c)-[:T]->(d), \
+                    (d)-[:T]->(e), \
+                    (a)-[:T]->(x), (x)-[:T]->(y), (y)-[:T]->(z), (z)-[:T]->(e)",
+        )
+        .unwrap();
+    g
+}
+
+#[test]
+fn shortest_path_finds_minimum_length() {
+    let mut g = diamond();
+    let r = Engine::revised()
+        .run(
+            &mut g,
+            "MATCH p = shortestPath((a:N {k: 'a'})-[:T*]->(e:N {k: 'e'})) \
+             RETURN length(p) AS len",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(3)); // a→{b|c}→d→e beats the 4-chain
+}
+
+#[test]
+fn all_shortest_paths_enumerates_ties() {
+    let mut g = diamond();
+    let r = Engine::revised()
+        .run(
+            &mut g,
+            "MATCH p = allShortestPaths((a:N {k: 'a'})-[:T*]->(e:N {k: 'e'})) \
+             RETURN length(p) AS len",
+        )
+        .unwrap();
+    // Two tied routes (via b and via c).
+    assert_eq!(r.rows.len(), 2);
+    assert!(r.rows.iter().all(|row| row[0] == Value::Int(3)));
+}
+
+#[test]
+fn shortest_path_respects_max_bound() {
+    let mut g = diamond();
+    let r = Engine::revised()
+        .run(
+            &mut g,
+            "MATCH p = shortestPath((a:N {k: 'a'})-[:T*..2]->(e:N {k: 'e'})) \
+             RETURN count(*) AS c",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(0)); // no route within 2 hops
+}
+
+#[test]
+fn shortest_path_respects_min_bound() {
+    // With min 4, the 3-hop route is excluded; the 4-chain is returned.
+    let mut g = diamond();
+    let r = Engine::revised()
+        .run(
+            &mut g,
+            "MATCH p = shortestPath((a:N {k: 'a'})-[:T*4..]->(e:N {k: 'e'})) \
+             RETURN length(p) AS len",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(4));
+}
+
+#[test]
+fn shortest_path_per_endpoint_pair() {
+    // Without binding the endpoints, each (start, end) pair gets its own
+    // shortest path.
+    let mut g = PropertyGraph::new();
+    Engine::revised()
+        .run(
+            &mut g,
+            "CREATE (:N {k: 1})-[:T]->(:N {k: 2})-[:T]->(:N {k: 3})",
+        )
+        .unwrap();
+    let r = Engine::revised()
+        .run(
+            &mut g,
+            "MATCH p = shortestPath((a:N)-[:T*]->(b:N)) \
+             RETURN a.k AS a, b.k AS b, length(p) AS len ORDER BY a, b",
+        )
+        .unwrap();
+    // pairs: (1,2) len1, (1,3) len2, (2,3) len1.
+    assert_eq!(r.rows.len(), 3);
+    assert_eq!(r.rows[0], vec![Value::Int(1), Value::Int(2), Value::Int(1)]);
+    assert_eq!(r.rows[1], vec![Value::Int(1), Value::Int(3), Value::Int(2)]);
+    assert_eq!(r.rows[2], vec![Value::Int(2), Value::Int(3), Value::Int(1)]);
+}
+
+#[test]
+fn shortest_path_with_bound_endpoints() {
+    let mut g = diamond();
+    let r = Engine::revised()
+        .run(
+            &mut g,
+            "MATCH (a:N {k: 'a'}), (e:N {k: 'e'}) \
+             MATCH p = shortestPath((a)-[:T*]->(e)) \
+             RETURN length(p) AS len",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(3));
+}
+
+#[test]
+fn shortest_path_undirected() {
+    let mut g = diamond();
+    // Undirected: e can reach a backward.
+    let r = Engine::revised()
+        .run(
+            &mut g,
+            "MATCH p = shortestPath((e:N {k: 'e'})-[:T*]-(a:N {k: 'a'})) \
+             RETURN length(p) AS len",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(3));
+}
+
+#[test]
+fn shortest_path_zero_length_when_min_zero() {
+    let mut g = diamond();
+    let r = Engine::revised()
+        .run(
+            &mut g,
+            "MATCH p = shortestPath((a:N {k: 'a'})-[:T*0..]->(b:N {k: 'a'})) \
+             RETURN length(p) AS len",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(0));
+}
+
+#[test]
+fn shortest_path_single_hop_binds_rel() {
+    let mut g = PropertyGraph::new();
+    Engine::revised()
+        .run(&mut g, "CREATE (:A)-[:T {w: 7}]->(:B)")
+        .unwrap();
+    let r = Engine::revised()
+        .run(
+            &mut g,
+            "MATCH shortestPath((a:A)-[r:T]->(b:B)) RETURN r.w AS w",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(7));
+}
+
+#[test]
+fn shortest_path_rejected_in_create() {
+    let mut g = PropertyGraph::new();
+    let err = Engine::revised()
+        .run(&mut g, "CREATE shortestPath((a:A)-[:T]->(b:B))")
+        .unwrap_err();
+    assert!(err.to_string().contains("shortestPath"));
+}
+
+#[test]
+fn shortest_path_requires_single_step() {
+    let mut g = PropertyGraph::new();
+    assert!(Engine::revised()
+        .run(
+            &mut g,
+            "MATCH shortestPath((a)-[:T]->(b)-[:T]->(c)) RETURN a"
+        )
+        .is_err());
+}
+
+#[test]
+fn shortest_path_no_route_yields_no_rows() {
+    let mut g = PropertyGraph::new();
+    Engine::revised()
+        .run(&mut g, "CREATE (:A {k: 1}), (:B {k: 2})")
+        .unwrap();
+    let r = Engine::revised()
+        .run(
+            &mut g,
+            "MATCH p = shortestPath((a:A)-[:T*]->(b:B)) RETURN p",
+        )
+        .unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn shortest_path_roundtrips_through_pretty_printer() {
+    let text = "MATCH p = shortestPath((a:N {k: 'a'})-[:T*1..5]->(b)) RETURN p";
+    let ast = cypher_parser::parse(text).unwrap();
+    let printed = cypher_parser::print_query(&ast);
+    let ast2 = cypher_parser::parse(&printed).unwrap();
+    assert_eq!(ast, ast2);
+    assert!(printed.contains("shortestPath("));
+}

@@ -1,0 +1,488 @@
+//! Table-driven scenario corpus, in the spirit of the openCypher TCK:
+//! each scenario is a setup script, one query, and an expectation (rows,
+//! a single value, an update summary, or an error). Scenarios run under
+//! the dialect they declare.
+//!
+//! These intentionally probe corner cases that the narrative tests do not:
+//! null propagation through clauses, bag semantics, multiplicity, empty
+//! inputs, and error conditions.
+
+use cypher_core::{Dialect, Engine, QueryResult};
+use cypher_graph::{GraphSummary, PropertyGraph, Value};
+
+enum Expect {
+    /// Result rows, compared after rendering each value to a string
+    /// (order-sensitive — use ORDER BY in the query when needed).
+    Rows(&'static [&'static [&'static str]]),
+    /// Number of result rows only.
+    RowCount(usize),
+    /// Graph summary after the query: (nodes, rels).
+    Shape(usize, usize),
+    /// The query must fail; the error's Display must contain this text.
+    Error(&'static str),
+}
+
+struct Scenario {
+    name: &'static str,
+    dialect: Dialect,
+    setup: &'static str,
+    query: &'static str,
+    expect: Expect,
+}
+
+const L: Dialect = Dialect::Cypher9;
+const R: Dialect = Dialect::Revised;
+
+fn scenarios() -> Vec<Scenario> {
+    use Expect::*;
+    vec![
+        // ----------------------------------------------------------- reads
+        Scenario {
+            name: "match on empty graph returns nothing",
+            dialect: L,
+            setup: "",
+            query: "MATCH (n) RETURN n",
+            expect: RowCount(0),
+        },
+        Scenario {
+            name: "return literal row without match",
+            dialect: L,
+            setup: "",
+            query: "RETURN 1 AS one, 'x' AS s, true AS b, null AS nl",
+            expect: Rows(&[&["1", "'x'", "true", "null"]]),
+        },
+        Scenario {
+            name: "cartesian product of disconnected patterns",
+            dialect: L,
+            setup: "CREATE (:A), (:A), (:B)",
+            query: "MATCH (a:A), (b:B) RETURN count(*) AS c",
+            expect: Rows(&[&["2"]]),
+        },
+        Scenario {
+            name: "self loop matched once per direction pair",
+            dialect: L,
+            setup: "CREATE (a:A)-[:T]->(a)",
+            query: "MATCH (x)-[:T]->(y) RETURN count(*) AS c",
+            expect: Rows(&[&["1"]]),
+        },
+        Scenario {
+            name: "undirected match counts each rel once",
+            dialect: L,
+            setup: "CREATE (:A)-[:T]->(:B)",
+            query: "MATCH (x)-[:T]-(y) RETURN count(*) AS c",
+            expect: Rows(&[&["2"]]), // once from each endpoint
+        },
+        Scenario {
+            name: "multiple matches multiply rows (bag semantics)",
+            dialect: L,
+            setup: "CREATE (a:A), (a)-[:T]->(:B), (a)-[:T]->(:B)",
+            query: "MATCH (:A)-[:T]->(b) MATCH (:A)-[:T]->(c) RETURN count(*) AS c",
+            expect: Rows(&[&["4"]]), // 2 rows × 2 fresh matches — clauses multiply
+        },
+        Scenario {
+            name: "edge isomorphism applies within one clause only",
+            dialect: L,
+            setup: "CREATE (a:A), (a)-[:T]->(:B)",
+            query: "MATCH (:A)-[r1:T]->() MATCH (:A)-[r2:T]->() RETURN r1 = r2 AS same",
+            expect: Rows(&[&["true"]]),
+        },
+        Scenario {
+            name: "optional match preserves multiplicity",
+            dialect: L,
+            setup: "CREATE (:A), (:A)",
+            query: "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(x) RETURN count(*) AS c",
+            expect: Rows(&[&["2"]]),
+        },
+        Scenario {
+            name: "where on missing property filters row out",
+            dialect: L,
+            setup: "CREATE (:A {x: 1}), (:A)",
+            query: "MATCH (a:A) WHERE a.x = 1 RETURN count(*) AS c",
+            expect: Rows(&[&["1"]]),
+        },
+        Scenario {
+            name: "order by mixed types uses global order",
+            dialect: L,
+            setup: "",
+            query: "UNWIND [1, 'a', null, 2.5, true] AS v RETURN v ORDER BY v",
+            expect: Rows(&[&["'a'"], &["true"], &["1"], &["2.5"], &["null"]]),
+        },
+        Scenario {
+            name: "distinct dedups nulls and numerics across types",
+            dialect: L,
+            setup: "",
+            query: "UNWIND [1, 1.0, null, null, 2] AS v RETURN DISTINCT v ORDER BY v",
+            expect: RowCount(3),
+        },
+        Scenario {
+            name: "skip beyond end yields empty",
+            dialect: L,
+            setup: "",
+            query: "UNWIND [1, 2] AS v RETURN v SKIP 10",
+            expect: RowCount(0),
+        },
+        Scenario {
+            name: "limit zero yields empty",
+            dialect: L,
+            setup: "",
+            query: "UNWIND [1, 2] AS v RETURN v LIMIT 0",
+            expect: RowCount(0),
+        },
+        Scenario {
+            name: "aggregation groups by all non-aggregate items",
+            dialect: L,
+            setup: "",
+            query: "UNWIND [[1, 'a'], [1, 'b'], [2, 'a']] AS r \
+                    RETURN r[0] AS k, count(*) AS c ORDER BY k",
+            expect: Rows(&[&["1", "2"], &["2", "1"]]),
+        },
+        Scenario {
+            name: "collect on empty group is empty list",
+            dialect: L,
+            setup: "",
+            query: "MATCH (n:Nothing) RETURN collect(n) AS xs",
+            expect: Rows(&[&["[]"]]),
+        },
+        Scenario {
+            name: "unwind of empty list produces no rows",
+            dialect: L,
+            setup: "",
+            query: "UNWIND [] AS x RETURN x",
+            expect: RowCount(0),
+        },
+        Scenario {
+            name: "nested unwind flattens",
+            dialect: L,
+            setup: "",
+            query: "UNWIND [[1, 2], [3]] AS xs UNWIND xs AS x RETURN count(*) AS c",
+            expect: Rows(&[&["3"]]),
+        },
+        Scenario {
+            name: "with where filters on projected scope",
+            dialect: L,
+            setup: "",
+            query: "UNWIND [1, 2, 3] AS x WITH x * 10 AS y WHERE y > 15 RETURN count(*) AS c",
+            expect: Rows(&[&["2"]]),
+        },
+        Scenario {
+            name: "var length zero matches node itself",
+            dialect: L,
+            setup: "CREATE (:A {id: 1})",
+            query: "MATCH (a:A)-[:T*0..2]->(b) RETURN count(*) AS c",
+            expect: Rows(&[&["1"]]),
+        },
+        Scenario {
+            name: "union distinct collapses identical rows across arms",
+            dialect: L,
+            setup: "CREATE (:A {v: 1})",
+            query: "MATCH (a:A) RETURN a.v AS v UNION MATCH (a:A) RETURN a.v AS v",
+            expect: RowCount(1),
+        },
+        // ---------------------------------------------------------- writes
+        Scenario {
+            name: "create returns bound variables",
+            dialect: L,
+            setup: "",
+            query: "CREATE (a:A {x: 1})-[:T]->(b:B) RETURN a.x AS x",
+            expect: Rows(&[&["1"]]),
+        },
+        Scenario {
+            name: "create with multiple patterns shares variables",
+            dialect: R,
+            setup: "",
+            query: "CREATE (a:A), (a)-[:T]->(:B), (a)-[:T]->(:C) \
+                    MATCH (x) RETURN count(*) AS c",
+            expect: Rows(&[&["3"]]),
+        },
+        Scenario {
+            name: "set property to null removes it",
+            dialect: R,
+            setup: "CREATE (:A {x: 1, y: 2})",
+            query: "MATCH (a:A) SET a.x = null RETURN size(keys(a)) AS n",
+            expect: Rows(&[&["1"]]),
+        },
+        Scenario {
+            name: "set on empty match is a no-op statement",
+            dialect: R,
+            setup: "CREATE (:A)",
+            query: "MATCH (z:Zilch) SET z.x = 1 RETURN count(*) AS c",
+            expect: Rows(&[&["0"]]),
+        },
+        Scenario {
+            name: "remove label to empty label set",
+            dialect: R,
+            setup: "CREATE (:OnlyLabel {x: 1})",
+            query: "MATCH (n:OnlyLabel) REMOVE n:OnlyLabel RETURN size(labels(n)) AS c",
+            expect: Rows(&[&["0"]]),
+        },
+        Scenario {
+            name: "delete nothing is fine",
+            dialect: R,
+            setup: "",
+            query: "MATCH (z:Zilch) DELETE z RETURN count(*) AS c",
+            expect: Rows(&[&["0"]]),
+        },
+        Scenario {
+            name: "detach delete disconnected node",
+            dialect: R,
+            setup: "CREATE (:A), (:B)",
+            query: "MATCH (a:A) DETACH DELETE a",
+            expect: Shape(1, 0),
+        },
+        Scenario {
+            name: "revised delete of node and its rel in one clause",
+            dialect: R,
+            setup: "CREATE (:A)-[:T]->(:B)",
+            query: "MATCH (a:A)-[r]->() DELETE a, r",
+            expect: Shape(1, 0),
+        },
+        Scenario {
+            name: "revised strict delete error names the fix",
+            dialect: R,
+            setup: "CREATE (:A)-[:T]->(:B)",
+            query: "MATCH (a:A) DELETE a",
+            expect: Error("DETACH DELETE"),
+        },
+        Scenario {
+            name: "legacy end-dangling statement fails at commit",
+            dialect: L,
+            setup: "CREATE (:A)-[:T]->(:B)",
+            query: "MATCH (a:A) DELETE a",
+            expect: Error("dangling"),
+        },
+        Scenario {
+            name: "conflicting set error mentions both values",
+            dialect: R,
+            setup: "CREATE (:P {id: 1, v: 'x'}), (:P {id: 1, v: 'y'}), (:Q {id: 9})",
+            query: "MATCH (p:P), (q:Q) SET q.v = p.v",
+            expect: Error("conflicting SET"),
+        },
+        Scenario {
+            name: "foreach over collect applies to every node",
+            dialect: R,
+            setup: "CREATE (:A {x: 1}), (:A {x: 2})",
+            query: "MATCH (a:A) WITH collect(a) AS nodes \
+                    FOREACH (n IN nodes | SET n.seen = true) \
+                    MATCH (m:A {seen: true}) RETURN count(*) AS c",
+            expect: Rows(&[&["2"]]),
+        },
+        // ----------------------------------------------------------- merge
+        Scenario {
+            name: "merge same on empty table creates nothing",
+            dialect: R,
+            setup: "",
+            query: "MATCH (z:Zilch) MERGE SAME (z)-[:T]->(:B)",
+            expect: Shape(0, 0),
+        },
+        Scenario {
+            name: "merge all duplicates per record",
+            dialect: R,
+            setup: "",
+            query: "UNWIND [1, 1, 1] AS x MERGE ALL (:N {v: x})",
+            expect: Shape(3, 0),
+        },
+        Scenario {
+            name: "merge same collapses per clause not per statement",
+            dialect: R,
+            setup: "",
+            query: "UNWIND [1, 1] AS x MERGE SAME (:N {v: x}) MERGE SAME (:N {v: x})",
+            expect: Shape(1, 0), // second MERGE matches the first's output
+        },
+        Scenario {
+            name: "merge same distinguishes directions",
+            dialect: R,
+            setup: "",
+            query: "MERGE SAME (a:X {id: 1})-[:T]->(b:Y {id: 2}), (b)<-[:T]-(a)",
+            expect: Shape(2, 1), // both patterns denote the same a→b rel
+        },
+        Scenario {
+            name: "legacy merge single node matches or creates",
+            dialect: L,
+            setup: "CREATE (:N {v: 1})",
+            query: "UNWIND [1, 2] AS x MERGE (:N {v: x}) \
+                    WITH DISTINCT 1 AS _ MATCH (n:N) RETURN count(*) AS c",
+            expect: Rows(&[&["2"]]),
+        },
+        Scenario {
+            name: "legacy merge reads own writes within clause",
+            dialect: L,
+            setup: "",
+            query: "UNWIND [1, 1] AS x MERGE (:N {v: x}) \
+                    WITH DISTINCT 1 AS _ MATCH (n:N) RETURN count(*) AS c",
+            expect: Rows(&[&["1"]]),
+        },
+        Scenario {
+            name: "merge all never reads own writes",
+            dialect: R,
+            setup: "",
+            query: "UNWIND [1, 1] AS x MERGE ALL (:N {v: x})",
+            expect: Shape(2, 0),
+        },
+        // ------------------------------------------------------ expressions
+        Scenario {
+            name: "division truncates toward zero for integers",
+            dialect: L,
+            setup: "",
+            query: "RETURN -7 / 2 AS q, 7 / 2 AS p",
+            expect: Rows(&[&["-3", "3"]]),
+        },
+        Scenario {
+            name: "string comparison is lexicographic",
+            dialect: L,
+            setup: "",
+            query: "RETURN 'abc' < 'abd' AS x, 'Z' < 'a' AS y",
+            expect: Rows(&[&["true", "true"]]),
+        },
+        Scenario {
+            name: "case falls through to null without else",
+            dialect: L,
+            setup: "",
+            query: "RETURN CASE 5 WHEN 1 THEN 'one' END AS v",
+            expect: Rows(&[&["null"]]),
+        },
+        Scenario {
+            name: "coalesce across property accesses",
+            dialect: L,
+            setup: "CREATE (:A {x: 1})",
+            query: "MATCH (a:A) RETURN coalesce(a.missing, a.x, 99) AS v",
+            expect: Rows(&[&["1"]]),
+        },
+        Scenario {
+            name: "labels of multi-label node are sorted",
+            dialect: R,
+            setup: "CREATE (n:Zeta) SET n:Alpha",
+            query: "MATCH (n:Zeta) RETURN labels(n) AS ls",
+            expect: Rows(&[&["['Alpha', 'Zeta']"]]),
+        },
+        Scenario {
+            name: "id function over relationships",
+            dialect: L,
+            setup: "CREATE (:A)-[:T]->(:B)",
+            query: "MATCH ()-[r]->() RETURN id(r) >= 0 AS ok",
+            expect: Rows(&[&["true"]]),
+        },
+        Scenario {
+            name: "list comprehension inside where",
+            dialect: R,
+            setup: "CREATE (:A {xs: [1, 2, 3]}), (:A {xs: [4]})",
+            query: "MATCH (a:A) WHERE size([x IN a.xs WHERE x > 1]) >= 2 \
+                    RETURN count(*) AS c",
+            expect: Rows(&[&["1"]]),
+        },
+        Scenario {
+            name: "reduce over collected values",
+            dialect: R,
+            setup: "CREATE (:A {v: 1}), (:A {v: 2}), (:A {v: 3})",
+            query: "MATCH (a:A) WITH collect(a.v) AS vs \
+                    RETURN reduce(acc = 0, v IN vs | acc + v) AS total",
+            expect: Rows(&[&["6"]]),
+        },
+        Scenario {
+            name: "parameters missing default to null",
+            dialect: L,
+            setup: "",
+            query: "RETURN $never_bound IS NULL AS missing",
+            expect: Rows(&[&["true"]]),
+        },
+        // ------------------------------------------------------- dialect
+        Scenario {
+            name: "cypher9 demarcation error names the clause",
+            dialect: L,
+            setup: "",
+            query: "CREATE (:A) UNWIND [1] AS x RETURN x",
+            expect: Error("UNWIND"),
+        },
+        Scenario {
+            name: "revised dialect allows update then read",
+            dialect: R,
+            setup: "",
+            query: "CREATE (:A) MATCH (a:A) RETURN count(*) AS c",
+            expect: Rows(&[&["1"]]),
+        },
+        Scenario {
+            name: "unknown function is an error",
+            dialect: L,
+            setup: "",
+            query: "RETURN frobnicate(1) AS x",
+            expect: Error("unknown function"),
+        },
+        Scenario {
+            name: "aggregate in where is rejected",
+            dialect: L,
+            setup: "CREATE (:A)",
+            query: "MATCH (a:A) WHERE count(*) > 0 RETURN a",
+            expect: Error("aggregate"),
+        },
+    ]
+}
+
+fn render_rows(result: &QueryResult) -> Vec<Vec<String>> {
+    result
+        .rows
+        .iter()
+        .map(|r| r.iter().map(Value::to_string).collect())
+        .collect()
+}
+
+#[test]
+fn run_all_scenarios() {
+    let mut failures = Vec::new();
+    for s in scenarios() {
+        let engine = Engine::builder(s.dialect).build();
+        let mut g = PropertyGraph::new();
+        if !s.setup.is_empty() {
+            engine
+                .run(&mut g, s.setup)
+                .unwrap_or_else(|e| panic!("setup failed for {}: {e}", s.name));
+        }
+        let outcome = engine.run(&mut g, s.query);
+        let problem: Option<String> = match (&s.expect, outcome) {
+            (Expect::Rows(expected), Ok(result)) => {
+                let got = render_rows(&result);
+                let want: Vec<Vec<String>> = expected
+                    .iter()
+                    .map(|r| r.iter().map(|c| (*c).to_owned()).collect())
+                    .collect();
+                (got != want).then(|| format!("rows {got:?} != expected {want:?}"))
+            }
+            (Expect::RowCount(n), Ok(result)) => (result.rows.len() != *n)
+                .then(|| format!("row count {} != expected {n}", result.rows.len())),
+            (Expect::Shape(nodes, rels), Ok(_)) => {
+                let summary = GraphSummary::of(&g);
+                (summary.nodes != *nodes || summary.rels != *rels).then(|| {
+                    format!(
+                        "shape {}/{} != expected {nodes}/{rels}",
+                        summary.nodes, summary.rels
+                    )
+                })
+            }
+            (Expect::Error(needle), Err(e)) => {
+                let text = e.to_string().to_lowercase();
+                (!text.contains(&needle.to_lowercase()))
+                    .then(|| format!("error {text:?} does not mention {needle:?}"))
+            }
+            (Expect::Error(needle), Ok(_)) => Some(format!(
+                "expected an error mentioning {needle:?}, got success"
+            )),
+            (_, Err(e)) => Some(format!("unexpected error: {e}")),
+        };
+        if let Some(problem) = problem {
+            failures.push(format!("- {}: {problem}", s.name));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} scenario(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn scenario_names_are_unique() {
+    let mut names: Vec<&str> = scenarios().iter().map(|s| s.name).collect();
+    let before = names.len();
+    names.sort();
+    names.dedup();
+    assert_eq!(before, names.len());
+}

@@ -1,0 +1,203 @@
+//! Minimal CSV support for the import examples.
+//!
+//! §5 reports that `MERGE` "is often used to populate a graph based on a
+//! table that has been produced by importing from a relational database or
+//! a CSV file". The import example round-trips through real CSV text using
+//! this module (quoted fields, embedded commas/quotes/newlines; empty
+//! fields read back as `null`).
+
+use std::collections::BTreeMap;
+
+use cypher_graph::Value;
+
+/// Serialize rows (uniform keys assumed) to CSV with a header line.
+pub fn to_csv(rows: &[Vec<(&str, Value)>]) -> String {
+    let Some(first) = rows.first() else {
+        return String::new();
+    };
+    let headers: Vec<&str> = first.iter().map(|(k, _)| *k).collect();
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|(_, v)| match v {
+                Value::Null => String::new(),
+                Value::Str(s) => escape(s),
+                other => escape(&other.to_string()),
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Parse CSV text into a list of maps (one per data line). Empty fields
+/// become `null`; numeric-looking fields become integers or floats.
+pub fn parse_csv(text: &str) -> Vec<BTreeMap<String, Value>> {
+    let mut records = split_records(text).into_iter();
+    let Some(header) = records.next() else {
+        return vec![];
+    };
+    records
+        .map(|fields| {
+            header
+                .iter()
+                .enumerate()
+                .map(|(i, h)| {
+                    let raw = fields.get(i).map(String::as_str).unwrap_or("");
+                    (h.clone(), parse_field(raw))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Parse CSV into a [`Value::List`] of maps, ready to pass as an engine
+/// parameter for `UNWIND $rows AS row`.
+pub fn csv_as_value(text: &str) -> Value {
+    Value::List(parse_csv(text).into_iter().map(Value::Map).collect())
+}
+
+fn parse_field(raw: &str) -> Value {
+    if raw.is_empty() {
+        return Value::Null;
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Value::Float(f);
+    }
+    // Strip the quotes a stored string value may carry.
+    Value::str(raw)
+}
+
+/// RFC-4180-ish record splitter handling quoted fields.
+fn split_records(text: &str) -> Vec<Vec<String>> {
+    let mut records = Vec::new();
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            '\n' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut fields));
+            }
+            '\r' if !in_quotes => {} // tolerate CRLF
+            c => field.push(c),
+        }
+    }
+    if saw_any && (!field.is_empty() || !fields.is_empty()) {
+        fields.push(field);
+        records.push(fields);
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let rows = vec![
+            vec![("cid", Value::Int(98)), ("pid", Value::Int(125))],
+            vec![("cid", Value::Int(98)), ("pid", Value::Null)],
+        ];
+        let text = to_csv(&rows);
+        assert_eq!(text, "cid,pid\n98,125\n98,\n");
+        let parsed = parse_csv(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0]["cid"], Value::Int(98));
+        assert_eq!(parsed[1]["pid"], Value::Null);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let text = "name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\n";
+        let parsed = parse_csv(text);
+        assert_eq!(parsed[0]["name"], Value::str("Smith, John"));
+        assert_eq!(parsed[0]["notes"], Value::str("said \"hi\""));
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let text = "a,b\n\"line1\nline2\",2\n";
+        let parsed = parse_csv(text);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0]["a"], Value::str("line1\nline2"));
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        let parsed = parse_csv("x,y,z\n1,2.5,abc\n");
+        assert_eq!(parsed[0]["x"], Value::Int(1));
+        assert_eq!(parsed[0]["y"], Value::Float(2.5));
+        assert_eq!(parsed[0]["z"], Value::str("abc"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse_csv("").is_empty());
+        assert_eq!(to_csv(&[]), "");
+    }
+
+    #[test]
+    fn missing_trailing_newline_tolerated() {
+        let parsed = parse_csv("a,b\n1,2");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0]["b"], Value::Int(2));
+    }
+
+    #[test]
+    fn csv_as_value_is_unwindable() {
+        let v = csv_as_value("cid,pid\n98,125\n");
+        let Value::List(items) = v else { panic!() };
+        assert!(matches!(items[0], Value::Map(_)));
+    }
+
+    #[test]
+    fn roundtrip_with_strings_and_escapes() {
+        let rows = vec![vec![
+            ("name", Value::str("a,b")),
+            ("note", Value::str("x\"y")),
+        ]];
+        let text = to_csv(&rows);
+        let parsed = parse_csv(&text);
+        assert_eq!(parsed[0]["name"], Value::str("a,b"));
+        assert_eq!(parsed[0]["note"], Value::str("x\"y"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # cypher-datagen — workloads for the reproduction experiments
+//!
+//! Generators for the graphs and driving tables used throughout the paper
+//! and by the benchmark harness:
+//!
+//! * [`marketplace`] — the Figure 1 running-example graph, plus a scalable
+//!   synthetic marketplace (users / vendors / products / orders) in the
+//!   same schema;
+//! * [`tables`] — driving tables for the `MERGE` experiments: the exact
+//!   tables of Examples 3, 5, 6 and 7, and a parameterized order-table
+//!   generator with tunable duplicate and null ratios (the "import from a
+//!   relational database or a CSV file" workload of §5/§6);
+//! * [`random`] — random property graphs for pattern-matching benchmarks;
+//! * [`csv`] — a minimal CSV reader/writer so the import examples can
+//!   round-trip through actual CSV text.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod csv;
+pub mod marketplace;
+pub mod random;
+pub mod tables;
+
+pub use marketplace::{figure1_graph, marketplace_graph, Figure1Nodes, MarketplaceConfig};
+pub use tables::{
+    example3_table, example5_table, example6_table, example7_table, order_table, rows_as_value,
+    OrderTableConfig,
+};

@@ -1,0 +1,224 @@
+//! Driving-table generators.
+//!
+//! The `MERGE` experiments of §5–§6 all start from "a table that has been
+//! produced by importing from a relational database or a CSV file". A table
+//! here is a `Vec` of rows; [`rows_as_value`] converts one into a
+//! [`Value::List`] of maps so it can be fed to the engine as a statement
+//! parameter (`UNWIND $rows AS row …`).
+
+use std::collections::BTreeMap;
+
+use cypher_graph::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A row: column name → value.
+pub type Row = Vec<(&'static str, Value)>;
+
+/// Convert rows into a list-of-maps parameter value.
+pub fn rows_as_value(rows: &[Row]) -> Value {
+    Value::List(
+        rows.iter()
+            .map(|row| {
+                let map: BTreeMap<String, Value> = row
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                    .collect();
+                Value::Map(map)
+            })
+            .collect(),
+    )
+}
+
+/// Example 3's driving table: (user, product, vendor) over pre-existing
+/// nodes identified by their `k` property.
+pub fn example3_table() -> Vec<Row> {
+    [("u1", "p", "v1"), ("u2", "p", "v2"), ("u1", "p", "v2")]
+        .into_iter()
+        .map(|(u, p, v)| {
+            vec![
+                ("user", Value::str(u)),
+                ("product", Value::str(p)),
+                ("vendor", Value::str(v)),
+            ]
+        })
+        .collect()
+}
+
+/// Example 5's driving table: (cid, pid, date) with duplicate rows and
+/// null ids, exactly as printed in the paper.
+pub fn example5_table() -> Vec<Row> {
+    let row = |cid: i64, pid: Option<i64>, date: Option<&str>| -> Row {
+        vec![
+            ("cid", Value::Int(cid)),
+            ("pid", pid.map(Value::Int).unwrap_or(Value::Null)),
+            ("date", date.map(Value::str).unwrap_or(Value::Null)),
+        ]
+    };
+    vec![
+        row(98, Some(125), Some("2018-06-23")),
+        row(98, Some(125), Some("2018-07-06")),
+        row(98, None, None),
+        row(98, None, None),
+        row(99, Some(125), Some("2018-03-11")),
+        row(99, None, None),
+    ]
+}
+
+/// Example 6's driving table: (bid, pid, sid) — sales between two users.
+pub fn example6_table() -> Vec<Row> {
+    vec![
+        vec![
+            ("bid", Value::Int(98)),
+            ("pid", Value::Int(125)),
+            ("sid", Value::Int(97)),
+        ],
+        vec![
+            ("bid", Value::Int(99)),
+            ("pid", Value::Int(85)),
+            ("sid", Value::Int(98)),
+        ],
+    ]
+}
+
+/// Example 7's driving table: the single clickstream row
+/// (a, b, c, d, e, tgt) = (p1, p2, p3, p1, p2, p4), as product keys.
+pub fn example7_table() -> Vec<Row> {
+    vec![vec![
+        ("a", Value::Int(1)),
+        ("b", Value::Int(2)),
+        ("c", Value::Int(3)),
+        ("d", Value::Int(1)),
+        ("e", Value::Int(2)),
+        ("tgt", Value::Int(4)),
+    ]]
+}
+
+/// Parameters for the synthetic order-import table.
+#[derive(Clone, Copy, Debug)]
+pub struct OrderTableConfig {
+    /// Number of rows to generate.
+    pub rows: usize,
+    /// Distinct customer ids to draw from.
+    pub customers: usize,
+    /// Distinct product ids to draw from.
+    pub products: usize,
+    /// Probability that a row repeats an already-emitted (cid, pid) pair.
+    pub duplicate_ratio: f64,
+    /// Probability that `pid` is null (dirty data, Example 5).
+    pub null_ratio: f64,
+    pub seed: u64,
+}
+
+impl Default for OrderTableConfig {
+    fn default() -> Self {
+        OrderTableConfig {
+            rows: 1_000,
+            customers: 100,
+            products: 200,
+            duplicate_ratio: 0.2,
+            null_ratio: 0.05,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate an import table of (cid, pid, date) rows with controlled
+/// duplication and null density — the §5 "populate a graph based on a
+/// table" workload at benchmark scale.
+pub fn order_table(cfg: &OrderTableConfig) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut emitted: Vec<(i64, Value)> = Vec::new();
+    let mut out = Vec::with_capacity(cfg.rows);
+    for i in 0..cfg.rows {
+        let (cid, pid) = if !emitted.is_empty() && rng.gen_bool(cfg.duplicate_ratio) {
+            emitted[rng.gen_range(0..emitted.len())].clone()
+        } else {
+            let cid = rng.gen_range(0..cfg.customers as i64);
+            let pid = if rng.gen_bool(cfg.null_ratio) {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(0..cfg.products as i64))
+            };
+            emitted.push((cid, pid.clone()));
+            (cid, pid)
+        };
+        out.push(vec![
+            ("cid", Value::Int(cid)),
+            ("pid", pid),
+            ("date", Value::Str(format!("2018-01-{:02}", 1 + i % 28))),
+        ]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example5_table_matches_paper() {
+        let t = example5_table();
+        assert_eq!(t.len(), 6);
+        // Rows 3 and 4 are identical null orders for customer 98.
+        assert_eq!(t[2], t[3]);
+        assert_eq!(t[2][1].1, Value::Null);
+    }
+
+    #[test]
+    fn rows_as_value_builds_maps() {
+        let v = rows_as_value(&example6_table());
+        let Value::List(items) = &v else { panic!() };
+        assert_eq!(items.len(), 2);
+        let Value::Map(m) = &items[0] else { panic!() };
+        assert_eq!(m["bid"], Value::Int(98));
+        assert_eq!(m["sid"], Value::Int(97));
+    }
+
+    #[test]
+    fn order_table_is_deterministic_and_sized() {
+        let cfg = OrderTableConfig {
+            rows: 500,
+            ..Default::default()
+        };
+        let a = order_table(&cfg);
+        let b = order_table(&cfg);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn order_table_duplicate_ratio_has_an_effect() {
+        let base = OrderTableConfig {
+            rows: 2_000,
+            duplicate_ratio: 0.0,
+            null_ratio: 0.0,
+            ..Default::default()
+        };
+        let unique_pairs = |rows: &[Row]| {
+            let mut set = std::collections::BTreeSet::new();
+            for r in rows {
+                set.insert(format!("{}-{}", r[0].1, r[1].1));
+            }
+            set.len()
+        };
+        let none = unique_pairs(&order_table(&base));
+        let heavy = unique_pairs(&order_table(&OrderTableConfig {
+            duplicate_ratio: 0.9,
+            ..base
+        }));
+        assert!(heavy < none / 2, "duplicates should collapse pair count");
+    }
+
+    #[test]
+    fn order_table_null_ratio_has_an_effect() {
+        let rows = order_table(&OrderTableConfig {
+            rows: 1_000,
+            null_ratio: 0.5,
+            duplicate_ratio: 0.0,
+            ..Default::default()
+        });
+        let nulls = rows.iter().filter(|r| r[1].1 == Value::Null).count();
+        assert!(nulls > 300 && nulls < 700, "got {nulls} nulls");
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for graph store operations.
+
+use std::fmt;
+
+use crate::ids::{EntityRef, NodeId, RelId};
+
+/// Errors raised by [`crate::PropertyGraph`] mutations and integrity checks.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphError {
+    /// A node id did not resolve to a live node.
+    NodeNotFound(NodeId),
+    /// A relationship id did not resolve to a live relationship.
+    RelNotFound(RelId),
+    /// Strict deletion of a node that still has relationships attached
+    /// (the paper's §3 example: `DELETE p` fails while `p4` still has an
+    /// `:ORDERED` relationship).
+    NodeStillHasRelationships { node: NodeId, attached: usize },
+    /// A relationship creation named an endpoint that does not exist.
+    EndpointMissing { endpoint: NodeId },
+    /// The graph contains dangling relationships — relationships whose
+    /// source or target node has been deleted. A legal property graph may
+    /// "never have dangling relationships" (§2), so this is a commit-time
+    /// failure for the legacy engine.
+    DanglingRelationships(Vec<RelId>),
+    /// An attempt to store a non-storable value (map, node, relationship,
+    /// path, or a list containing one) as a property.
+    InvalidPropertyValue { entity: EntityRef, key: String },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeNotFound(n) => write!(f, "node {n} not found"),
+            GraphError::RelNotFound(r) => write!(f, "relationship {r} not found"),
+            GraphError::NodeStillHasRelationships { node, attached } => write!(
+                f,
+                "cannot delete node {node}: {attached} relationship(s) still attached \
+                 (use DETACH DELETE)"
+            ),
+            GraphError::EndpointMissing { endpoint } => {
+                write!(f, "relationship endpoint {endpoint} does not exist")
+            }
+            GraphError::DanglingRelationships(rels) => {
+                write!(f, "graph has {} dangling relationship(s): ", rels.len())?;
+                for (i, r) in rels.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                Ok(())
+            }
+            GraphError::InvalidPropertyValue { entity, key } => {
+                write!(f, "value not storable as property {key} of {entity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Convenience alias.
+pub type Result<T, E = GraphError> = std::result::Result<T, E>;

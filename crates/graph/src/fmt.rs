@@ -1,0 +1,120 @@
+//! Human-readable graph dumps in ASCII-art style, used by the experiment
+//! harness to print "measured" figures next to the paper's expected shapes.
+
+use std::fmt::Write as _;
+
+use crate::graph::PropertyGraph;
+use crate::ids::{EntityRef, NodeId, RelId};
+
+/// Render one node as `(:Label1:Label2 {k: v, …})`.
+pub fn node_to_string(g: &PropertyGraph, id: NodeId) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "({id}");
+    if let Some(data) = g.node(id) {
+        for &l in &data.labels {
+            let _ = write!(s, ":{}", g.sym_str(l));
+        }
+        if !data.props.is_empty() {
+            let _ = write!(s, " {}", props_to_string(g, id.into()));
+        }
+    } else if g.is_zombie(id.into()) {
+        let _ = write!(s, " <deleted>");
+    }
+    s.push(')');
+    s
+}
+
+/// Render one relationship as `(src)-[:TYPE {…}]->(tgt)`.
+pub fn rel_to_string(g: &PropertyGraph, id: RelId) -> String {
+    match g.rel(id) {
+        Some(data) => {
+            let props = if data.props.is_empty() {
+                String::new()
+            } else {
+                format!(" {}", props_to_string(g, id.into()))
+            };
+            let src_live = if g.contains_node(data.src) { "" } else { "!" };
+            let tgt_live = if g.contains_node(data.tgt) { "" } else { "!" };
+            format!(
+                "({}{})-[{}:{}{}]->({}{})",
+                src_live,
+                data.src,
+                id,
+                g.sym_str(data.rel_type),
+                props,
+                tgt_live,
+                data.tgt
+            )
+        }
+        None => format!("[{id} <deleted>]"),
+    }
+}
+
+fn props_to_string(g: &PropertyGraph, entity: EntityRef) -> String {
+    let props = g.props(entity);
+    let mut s = String::from("{");
+    for (i, (k, v)) in props.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{}: {}", g.sym_str(*k), v);
+    }
+    s.push('}');
+    s
+}
+
+/// Full deterministic dump: one line per node, then one per relationship,
+/// ascending by id. Dangling endpoints are marked with `!`.
+pub fn dump(g: &PropertyGraph) -> String {
+    let mut out = String::new();
+    for n in g.node_ids() {
+        let _ = writeln!(out, "{}", node_to_string(g, n));
+    }
+    for r in g.rel_ids() {
+        let _ = writeln!(out, "{}", rel_to_string(g, r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DeleteNodeMode;
+    use crate::value::Value;
+
+    #[test]
+    fn dump_is_deterministic_and_readable() {
+        let mut g = PropertyGraph::new();
+        let user = g.sym("User");
+        let product = g.sym("Product");
+        let ordered = g.sym("ORDERED");
+        let id_k = g.sym("id");
+        let u = g.create_node([user], [(id_k, Value::Int(89))]);
+        let p = g.create_node([product], [(id_k, Value::Int(125))]);
+        g.create_rel(u, ordered, p, []).unwrap();
+        let text = dump(&g);
+        assert_eq!(
+            text,
+            "(n0:User {id: 89})\n(n1:Product {id: 125})\n(n0)-[r0:ORDERED]->(n1)\n"
+        );
+    }
+
+    #[test]
+    fn dangling_endpoint_is_flagged() {
+        let mut g = PropertyGraph::new();
+        let t = g.sym("T");
+        let a = g.create_node([], []);
+        let b = g.create_node([], []);
+        let r = g.create_rel(a, t, b, []).unwrap();
+        g.delete_node(a, DeleteNodeMode::Force).unwrap();
+        assert_eq!(rel_to_string(&g, r), "(!n0)-[r0:T]->(n1)");
+    }
+
+    #[test]
+    fn zombie_node_renders_as_deleted() {
+        let mut g = PropertyGraph::new();
+        let n = g.create_node([], []);
+        g.delete_node(n, DeleteNodeMode::Strict).unwrap();
+        assert_eq!(node_to_string(&g, n), "(n0 <deleted>)");
+    }
+}

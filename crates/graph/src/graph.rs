@@ -1,0 +1,1078 @@
+//! The property graph store.
+//!
+//! Implements the formal model of §8.2: a graph `G = ⟨N, R, src, tgt, ι, λ, τ⟩`
+//! where `N` are nodes, `R` relationships, `src`/`tgt` endpoint functions,
+//! `λ` the node-label function, `τ` the relationship-type function and `ι`
+//! the property map. On top of the bare model the store maintains:
+//!
+//! * adjacency indexes (both directions) for pattern matching,
+//! * a label index for `MATCH (n:Label)` scans,
+//! * **tombstones** for deleted entities — required to reproduce the legacy
+//!   (§4.2) behaviour where deleted entities remain addressable "zombies"
+//!   and relationships may dangle mid-statement,
+//! * an **undo journal** with savepoints, so a failing statement can be
+//!   rolled back atomically (see [`crate::txn`]).
+//!
+//! Iteration orders are deterministic everywhere (`BTreeMap`/`BTreeSet`,
+//! insertion-ordered adjacency): the paper is about *semantic*
+//! nondeterminism, so the implementation itself must be reproducible —
+//! the legacy engine exposes order-dependence through an explicit record
+//! processing order, never through accidental hash-map ordering.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::{GraphError, Result};
+use crate::ids::{EntityRef, NodeId, RelId};
+use crate::interner::{Interner, Symbol};
+use crate::value::Value;
+
+/// Property map of a node or relationship: interned keys to storable values.
+/// `null` is never stored — assigning `null` removes the key (Cypher rule).
+pub type PropertyMap = BTreeMap<Symbol, Value>;
+
+/// Stored state of a node.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeData {
+    pub labels: BTreeSet<Symbol>,
+    pub props: PropertyMap,
+}
+
+/// Stored state of a relationship. `src`/`tgt` may refer to tombstoned nodes
+/// while a legacy statement is mid-flight (a *dangling* relationship).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelData {
+    pub src: NodeId,
+    pub tgt: NodeId,
+    pub rel_type: Symbol,
+    pub props: PropertyMap,
+}
+
+/// Direction selector for adjacency queries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Relationships whose source is the given node.
+    Outgoing,
+    /// Relationships whose target is the given node.
+    Incoming,
+    /// Both.
+    Either,
+}
+
+/// How to treat relationships attached to a node being deleted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeleteNodeMode {
+    /// Fail if any relationship is still attached (revised `DELETE`).
+    Strict,
+    /// Also delete all attached relationships (`DETACH DELETE`).
+    Detach,
+    /// Delete the node and leave attached relationships dangling — the
+    /// legacy Cypher 9 mid-statement behaviour of §4.2. The graph is
+    /// illegal until those relationships are deleted too; committing in
+    /// that state fails the integrity check.
+    Force,
+}
+
+/// One reversible mutation, recorded in the undo journal.
+#[derive(Clone, Debug)]
+pub(crate) enum UndoOp {
+    CreateNode(NodeId),
+    CreateRel(RelId),
+    DeleteRel {
+        id: RelId,
+        data: RelData,
+        /// Position the rel occupied in its source's outgoing adjacency list
+        /// (`None` if the source was already tombstoned).
+        src_pos: Option<usize>,
+        /// Position in the target's incoming adjacency list.
+        tgt_pos: Option<usize>,
+    },
+    DeleteNode {
+        id: NodeId,
+        data: NodeData,
+        out: Vec<RelId>,
+        inc: Vec<RelId>,
+    },
+    AddLabel {
+        node: NodeId,
+        label: Symbol,
+    },
+    RemoveLabel {
+        node: NodeId,
+        label: Symbol,
+    },
+    SetProp {
+        entity: EntityRef,
+        key: Symbol,
+        old: Option<Value>,
+    },
+}
+
+/// Opaque marker for a journal position; see [`PropertyGraph::savepoint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Savepoint(pub(crate) usize);
+
+/// Property values wrapped with the global order, usable as index keys.
+/// Equal keys are exactly *equivalent* values (so `1` and `1.0` share an
+/// index slot, as `=` would conflate them).
+#[derive(Clone, Debug)]
+struct OrderedValue(Value);
+
+impl PartialEq for OrderedValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.global_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for OrderedValue {}
+
+impl PartialOrd for OrderedValue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedValue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.global_cmp(&other.0)
+    }
+}
+
+/// An in-memory property graph with tombstones and an undo journal.
+#[derive(Clone, Debug, Default)]
+pub struct PropertyGraph {
+    interner: Interner,
+    nodes: BTreeMap<NodeId, NodeData>,
+    rels: BTreeMap<RelId, RelData>,
+    out_adj: BTreeMap<NodeId, Vec<RelId>>,
+    in_adj: BTreeMap<NodeId, Vec<RelId>>,
+    label_index: BTreeMap<Symbol, BTreeSet<NodeId>>,
+    tomb_nodes: BTreeSet<NodeId>,
+    tomb_rels: BTreeSet<RelId>,
+    /// Composite property indexes: (label, key) → value → nodes. Maintained
+    /// through every mutation including journal rollback.
+    indexes: BTreeMap<(Symbol, Symbol), BTreeMap<OrderedValue, BTreeSet<NodeId>>>,
+    next_node: u64,
+    next_rel: u64,
+    journal: Vec<UndoOp>,
+}
+
+impl PropertyGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Vocabulary
+    // ------------------------------------------------------------------
+
+    /// Intern a label / relationship type / property key.
+    pub fn sym(&mut self, s: &str) -> Symbol {
+        self.interner.intern(s)
+    }
+
+    /// Look up a symbol without interning (read-only paths).
+    pub fn try_sym(&self, s: &str) -> Option<Symbol> {
+        self.interner.get(s)
+    }
+
+    /// Resolve a symbol to its string.
+    pub fn sym_str(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    pub fn node(&self, id: NodeId) -> Option<&NodeData> {
+        self.nodes.get(&id)
+    }
+
+    pub fn rel(&self, id: RelId) -> Option<&RelData> {
+        self.rels.get(&id)
+    }
+
+    pub fn contains_node(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    pub fn contains_rel(&self, id: RelId) -> bool {
+        self.rels.contains_key(&id)
+    }
+
+    /// Was this entity deleted at some point? Zombie references (§4.2) stay
+    /// addressable in the legacy engine and answer property reads with
+    /// `null`.
+    pub fn is_zombie(&self, entity: EntityRef) -> bool {
+        match entity {
+            EntityRef::Node(n) => self.tomb_nodes.contains(&n),
+            EntityRef::Rel(r) => self.tomb_rels.contains(&r),
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn rel_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// All live node ids, ascending.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// All live relationship ids, ascending.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.rels.keys().copied()
+    }
+
+    /// Nodes carrying `label`, ascending by id.
+    pub fn nodes_with_label(&self, label: Symbol) -> impl Iterator<Item = NodeId> + '_ {
+        self.label_index
+            .get(&label)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// Relationships attached to `node` in the given direction, in insertion
+    /// order. A self-loop is reported once for `Either`.
+    pub fn rels_of(&self, node: NodeId, dir: Direction) -> Vec<RelId> {
+        let out = self.out_adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+        let inc = self.in_adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+        match dir {
+            Direction::Outgoing => out.to_vec(),
+            Direction::Incoming => inc.to_vec(),
+            Direction::Either => {
+                let mut v = out.to_vec();
+                for r in inc {
+                    // Avoid double-reporting self-loops.
+                    if self.rels.get(r).map(|d| d.src != d.tgt).unwrap_or(true) {
+                        v.push(*r);
+                    }
+                }
+                v
+            }
+        }
+    }
+
+    /// Number of relationships attached to `node` (self-loops count once).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.rels_of(node, Direction::Either).len()
+    }
+
+    /// Read a property; `null` for missing keys, missing entities and
+    /// zombies.
+    pub fn prop(&self, entity: EntityRef, key: Symbol) -> Value {
+        let map = match entity {
+            EntityRef::Node(n) => self.nodes.get(&n).map(|d| &d.props),
+            EntityRef::Rel(r) => self.rels.get(&r).map(|d| &d.props),
+        };
+        map.and_then(|m| m.get(&key))
+            .cloned()
+            .unwrap_or(Value::Null)
+    }
+
+    /// Full property map of an entity (empty for zombies).
+    pub fn props(&self, entity: EntityRef) -> PropertyMap {
+        match entity {
+            EntityRef::Node(n) => self.nodes.get(&n).map(|d| d.props.clone()),
+            EntityRef::Rel(r) => self.rels.get(&r).map(|d| d.props.clone()),
+        }
+        .unwrap_or_default()
+    }
+
+    /// Labels of a node (empty for zombies), ascending by symbol.
+    pub fn labels(&self, node: NodeId) -> Vec<Symbol> {
+        self.nodes
+            .get(&node)
+            .map(|d| d.labels.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Relationships whose source or target has been deleted. A legal graph
+    /// has none (§2: "there may never be any dangling relationships").
+    pub fn dangling_rels(&self) -> Vec<RelId> {
+        self.rels
+            .iter()
+            .filter(|(_, d)| !self.nodes.contains_key(&d.src) || !self.nodes.contains_key(&d.tgt))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Check the no-dangling-relationships invariant.
+    pub fn integrity_check(&self) -> Result<()> {
+        let dangling = self.dangling_rels();
+        if dangling.is_empty() {
+            Ok(())
+        } else {
+            Err(GraphError::DanglingRelationships(dangling))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Property indexes
+    // ------------------------------------------------------------------
+
+    /// Create a composite index on `(label, key)`, backfilled from the
+    /// current graph. Returns `false` if it already existed. Index
+    /// creation is schema-level and not journaled (it does not change
+    /// graph *content*); rollback keeps indexes but restores their
+    /// entries.
+    pub fn create_index(&mut self, label: Symbol, key: Symbol) -> bool {
+        if self.indexes.contains_key(&(label, key)) {
+            return false;
+        }
+        let mut entries: BTreeMap<OrderedValue, BTreeSet<NodeId>> = BTreeMap::new();
+        if let Some(nodes) = self.label_index.get(&label) {
+            for &n in nodes {
+                if let Some(v) = self.nodes.get(&n).and_then(|d| d.props.get(&key)) {
+                    entries
+                        .entry(OrderedValue(v.clone()))
+                        .or_default()
+                        .insert(n);
+                }
+            }
+        }
+        self.indexes.insert((label, key), entries);
+        true
+    }
+
+    /// Drop an index; returns whether it existed.
+    pub fn drop_index(&mut self, label: Symbol, key: Symbol) -> bool {
+        self.indexes.remove(&(label, key)).is_some()
+    }
+
+    pub fn has_index(&self, label: Symbol, key: Symbol) -> bool {
+        self.indexes.contains_key(&(label, key))
+    }
+
+    /// All existing indexes as (label, key) pairs.
+    pub fn index_list(&self) -> Vec<(Symbol, Symbol)> {
+        self.indexes.keys().copied().collect()
+    }
+
+    /// Exact-value lookup through an index. `None` when no index exists on
+    /// `(label, key)`; `Some(vec![])` when the index exists but holds no
+    /// such value. A `null` probe never matches (it is not stored).
+    pub fn index_lookup(&self, label: Symbol, key: Symbol, value: &Value) -> Option<Vec<NodeId>> {
+        let idx = self.indexes.get(&(label, key))?;
+        if value.is_null() {
+            return Some(vec![]);
+        }
+        Some(
+            idx.get(&OrderedValue(value.clone()))
+                .map(|set| set.iter().copied().collect())
+                .unwrap_or_default(),
+        )
+    }
+
+    fn index_insert(&mut self, label: Symbol, key: Symbol, value: &Value, node: NodeId) {
+        if let Some(idx) = self.indexes.get_mut(&(label, key)) {
+            idx.entry(OrderedValue(value.clone()))
+                .or_default()
+                .insert(node);
+        }
+    }
+
+    fn index_remove(&mut self, label: Symbol, key: Symbol, value: &Value, node: NodeId) {
+        if let Some(idx) = self.indexes.get_mut(&(label, key)) {
+            let probe = OrderedValue(value.clone());
+            if let Some(set) = idx.get_mut(&probe) {
+                set.remove(&node);
+                if set.is_empty() {
+                    idx.remove(&probe);
+                }
+            }
+        }
+    }
+
+    /// Add all of a node's index entries (creation / delete-undo).
+    fn index_node_full(&mut self, id: NodeId, data: &NodeData) {
+        if self.indexes.is_empty() {
+            return;
+        }
+        for &l in &data.labels {
+            for (&k, v) in &data.props {
+                let v = v.clone();
+                self.index_insert(l, k, &v, id);
+            }
+        }
+    }
+
+    /// Remove all of a node's index entries (deletion / create-undo).
+    fn deindex_node_full(&mut self, id: NodeId, data: &NodeData) {
+        if self.indexes.is_empty() {
+            return;
+        }
+        for &l in &data.labels {
+            for (&k, v) in &data.props {
+                let v = v.clone();
+                self.index_remove(l, k, &v, id);
+            }
+        }
+    }
+
+    /// Maintain indexes across one property change on a node.
+    fn reindex_prop(
+        &mut self,
+        node: NodeId,
+        labels: &BTreeSet<Symbol>,
+        key: Symbol,
+        old: Option<&Value>,
+        new: Option<&Value>,
+    ) {
+        if self.indexes.is_empty() {
+            return;
+        }
+        for &l in labels {
+            if let Some(v) = old {
+                let v = v.clone();
+                self.index_remove(l, key, &v, node);
+            }
+            if let Some(v) = new {
+                let v = v.clone();
+                self.index_insert(l, key, &v, node);
+            }
+        }
+    }
+
+    /// Maintain indexes across a label addition/removal on a node.
+    fn reindex_label(&mut self, node: NodeId, label: Symbol, adding: bool) {
+        if self.indexes.is_empty() {
+            return;
+        }
+        let props: Vec<(Symbol, Value)> = self
+            .nodes
+            .get(&node)
+            .map(|d| d.props.iter().map(|(&k, v)| (k, v.clone())).collect())
+            .unwrap_or_default();
+        for (k, v) in props {
+            if adding {
+                self.index_insert(label, k, &v, node);
+            } else {
+                self.index_remove(label, k, &v, node);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations (all journaled)
+    // ------------------------------------------------------------------
+
+    /// See [`Value::storable_as_property`].
+    fn storable(value: &Value) -> bool {
+        value.storable_as_property()
+    }
+
+    /// Create a node with the given labels and properties. `null` property
+    /// values are dropped.
+    pub fn create_node<L, P>(&mut self, labels: L, props: P) -> NodeId
+    where
+        L: IntoIterator<Item = Symbol>,
+        P: IntoIterator<Item = (Symbol, Value)>,
+    {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        let labels: BTreeSet<Symbol> = labels.into_iter().collect();
+        let props: PropertyMap = props
+            .into_iter()
+            .filter(|(_, v)| !v.is_null() && Self::storable(v))
+            .collect();
+        for &l in &labels {
+            self.label_index.entry(l).or_default().insert(id);
+        }
+        let data = NodeData { labels, props };
+        self.index_node_full(id, &data);
+        self.nodes.insert(id, data);
+        self.out_adj.insert(id, Vec::new());
+        self.in_adj.insert(id, Vec::new());
+        self.journal.push(UndoOp::CreateNode(id));
+        id
+    }
+
+    /// Create a relationship. Both endpoints must be live nodes.
+    pub fn create_rel<P>(
+        &mut self,
+        src: NodeId,
+        rel_type: Symbol,
+        tgt: NodeId,
+        props: P,
+    ) -> Result<RelId>
+    where
+        P: IntoIterator<Item = (Symbol, Value)>,
+    {
+        if !self.nodes.contains_key(&src) {
+            return Err(GraphError::EndpointMissing { endpoint: src });
+        }
+        if !self.nodes.contains_key(&tgt) {
+            return Err(GraphError::EndpointMissing { endpoint: tgt });
+        }
+        let id = RelId(self.next_rel);
+        self.next_rel += 1;
+        let props: PropertyMap = props
+            .into_iter()
+            .filter(|(_, v)| !v.is_null() && Self::storable(v))
+            .collect();
+        self.rels.insert(
+            id,
+            RelData {
+                src,
+                tgt,
+                rel_type,
+                props,
+            },
+        );
+        self.out_adj.entry(src).or_default().push(id);
+        self.in_adj.entry(tgt).or_default().push(id);
+        self.journal.push(UndoOp::CreateRel(id));
+        Ok(id)
+    }
+
+    /// Delete a relationship. Idempotent failure: deleting a zombie rel is
+    /// reported as [`GraphError::RelNotFound`]; callers emulating legacy
+    /// semantics treat that as a no-op.
+    pub fn delete_rel(&mut self, id: RelId) -> Result<()> {
+        let data = self.rels.remove(&id).ok_or(GraphError::RelNotFound(id))?;
+        let src_pos = self.detach_from_adj(&data, id, Direction::Outgoing);
+        let tgt_pos = self.detach_from_adj(&data, id, Direction::Incoming);
+        self.tomb_rels.insert(id);
+        self.journal.push(UndoOp::DeleteRel {
+            id,
+            data,
+            src_pos,
+            tgt_pos,
+        });
+        Ok(())
+    }
+
+    fn detach_from_adj(&mut self, data: &RelData, id: RelId, dir: Direction) -> Option<usize> {
+        let (map, node) = match dir {
+            Direction::Outgoing => (&mut self.out_adj, data.src),
+            Direction::Incoming => (&mut self.in_adj, data.tgt),
+            Direction::Either => unreachable!(),
+        };
+        let list = map.get_mut(&node)?;
+        let pos = list.iter().position(|&r| r == id)?;
+        list.remove(pos);
+        Some(pos)
+    }
+
+    /// Delete a node. Returns the ids of any relationships deleted alongside
+    /// it (non-empty only for [`DeleteNodeMode::Detach`]).
+    pub fn delete_node(&mut self, id: NodeId, mode: DeleteNodeMode) -> Result<Vec<RelId>> {
+        if !self.nodes.contains_key(&id) {
+            return Err(GraphError::NodeNotFound(id));
+        }
+        let attached = self.rels_of(id, Direction::Either);
+        let mut cascaded = Vec::new();
+        match mode {
+            DeleteNodeMode::Strict if !attached.is_empty() => {
+                return Err(GraphError::NodeStillHasRelationships {
+                    node: id,
+                    attached: attached.len(),
+                });
+            }
+            DeleteNodeMode::Detach => {
+                for r in attached {
+                    self.delete_rel(r)?;
+                    cascaded.push(r);
+                }
+            }
+            _ => {}
+        }
+        let data = self.nodes.remove(&id).expect("checked above");
+        self.deindex_node_full(id, &data);
+        for &l in &data.labels {
+            if let Some(set) = self.label_index.get_mut(&l) {
+                set.remove(&id);
+            }
+        }
+        let out = self.out_adj.remove(&id).unwrap_or_default();
+        let inc = self.in_adj.remove(&id).unwrap_or_default();
+        self.tomb_nodes.insert(id);
+        self.journal.push(UndoOp::DeleteNode { id, data, out, inc });
+        Ok(cascaded)
+    }
+
+    /// Add a label to a node. Returns whether the label set changed.
+    pub fn add_label(&mut self, node: NodeId, label: Symbol) -> Result<bool> {
+        let data = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(GraphError::NodeNotFound(node))?;
+        let changed = data.labels.insert(label);
+        if changed {
+            self.label_index.entry(label).or_default().insert(node);
+            self.reindex_label(node, label, true);
+            self.journal.push(UndoOp::AddLabel { node, label });
+        }
+        Ok(changed)
+    }
+
+    /// Remove a label from a node. Returns whether the label set changed.
+    pub fn remove_label(&mut self, node: NodeId, label: Symbol) -> Result<bool> {
+        let data = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(GraphError::NodeNotFound(node))?;
+        let changed = data.labels.remove(&label);
+        if changed {
+            if let Some(set) = self.label_index.get_mut(&label) {
+                set.remove(&node);
+            }
+            self.reindex_label(node, label, false);
+            self.journal.push(UndoOp::RemoveLabel { node, label });
+        }
+        Ok(changed)
+    }
+
+    /// Set one property. Assigning `null` removes the key. Non-storable
+    /// values are rejected.
+    pub fn set_prop(&mut self, entity: EntityRef, key: Symbol, value: Value) -> Result<()> {
+        if !value.is_null() && !Self::storable(&value) {
+            let key_name = self.sym_str(key).to_owned();
+            return Err(GraphError::InvalidPropertyValue {
+                entity,
+                key: key_name,
+            });
+        }
+        let new_for_index = if value.is_null() {
+            None
+        } else {
+            Some(value.clone())
+        };
+        let map = self.props_mut(entity)?;
+        let old = if value.is_null() {
+            map.remove(&key)
+        } else {
+            map.insert(key, value)
+        };
+        if let EntityRef::Node(n) = entity {
+            if !self.indexes.is_empty() {
+                let labels = self
+                    .nodes
+                    .get(&n)
+                    .map(|d| d.labels.clone())
+                    .unwrap_or_default();
+                self.reindex_prop(n, &labels, key, old.as_ref(), new_for_index.as_ref());
+            }
+        }
+        self.journal.push(UndoOp::SetProp { entity, key, old });
+        Ok(())
+    }
+
+    /// Replace the entire property map of an entity (`SET n = {map}`).
+    pub fn replace_props(&mut self, entity: EntityRef, new: PropertyMap) -> Result<()> {
+        let existing: Vec<Symbol> = self.props_mut(entity)?.keys().copied().collect();
+        for key in existing {
+            if !new.contains_key(&key) {
+                self.set_prop(entity, key, Value::Null)?;
+            }
+        }
+        for (key, value) in new {
+            self.set_prop(entity, key, value)?;
+        }
+        Ok(())
+    }
+
+    /// Merge properties into an entity (`SET n += {map}`): present keys are
+    /// overwritten (null values remove), absent keys untouched.
+    pub fn merge_props(&mut self, entity: EntityRef, extra: PropertyMap) -> Result<()> {
+        for (key, value) in extra {
+            self.set_prop(entity, key, value)?;
+        }
+        Ok(())
+    }
+
+    fn props_mut(&mut self, entity: EntityRef) -> Result<&mut PropertyMap> {
+        match entity {
+            EntityRef::Node(n) => self
+                .nodes
+                .get_mut(&n)
+                .map(|d| &mut d.props)
+                .ok_or(GraphError::NodeNotFound(n)),
+            EntityRef::Rel(r) => self
+                .rels
+                .get_mut(&r)
+                .map(|d| &mut d.props)
+                .ok_or(GraphError::RelNotFound(r)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Journal / savepoints
+    // ------------------------------------------------------------------
+
+    /// Current journal position. Rolling back to it undoes everything that
+    /// happened after this call.
+    pub fn savepoint(&self) -> Savepoint {
+        Savepoint(self.journal.len())
+    }
+
+    /// Undo all mutations after `sp`, restoring the exact prior state
+    /// (including adjacency order and tombstones).
+    pub fn rollback_to(&mut self, sp: Savepoint) {
+        while self.journal.len() > sp.0 {
+            let op = self.journal.pop().expect("journal non-empty");
+            self.undo(op);
+        }
+    }
+
+    /// Forget journal entries after `sp` (they can no longer be undone).
+    /// Forgetting from the very beginning clears the journal entirely.
+    pub fn commit(&mut self, sp: Savepoint) {
+        debug_assert!(sp.0 <= self.journal.len());
+        if sp.0 == 0 {
+            self.journal.clear();
+            self.journal.shrink_to_fit();
+        }
+        // Entries between an outer savepoint and the journal head must stay,
+        // so that an enclosing rollback can still undo them; only a root
+        // commit truncates.
+    }
+
+    /// Number of pending journal entries (diagnostics / tests).
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    fn undo(&mut self, op: UndoOp) {
+        match op {
+            UndoOp::CreateNode(id) => {
+                let data = self.nodes.remove(&id).expect("undo create: node exists");
+                self.deindex_node_full(id, &data);
+                for &l in &data.labels {
+                    if let Some(set) = self.label_index.get_mut(&l) {
+                        set.remove(&id);
+                    }
+                }
+                self.out_adj.remove(&id);
+                self.in_adj.remove(&id);
+                // A node created after the savepoint was never visible
+                // before it; it is not a tombstone.
+                self.tomb_nodes.remove(&id);
+            }
+            UndoOp::CreateRel(id) => {
+                let data = self.rels.remove(&id).expect("undo create: rel exists");
+                if let Some(list) = self.out_adj.get_mut(&data.src) {
+                    list.retain(|&r| r != id);
+                }
+                if let Some(list) = self.in_adj.get_mut(&data.tgt) {
+                    list.retain(|&r| r != id);
+                }
+                self.tomb_rels.remove(&id);
+            }
+            UndoOp::DeleteRel {
+                id,
+                data,
+                src_pos,
+                tgt_pos,
+            } => {
+                if let (Some(pos), Some(list)) = (src_pos, self.out_adj.get_mut(&data.src)) {
+                    list.insert(pos.min(list.len()), id);
+                }
+                if let (Some(pos), Some(list)) = (tgt_pos, self.in_adj.get_mut(&data.tgt)) {
+                    list.insert(pos.min(list.len()), id);
+                }
+                self.rels.insert(id, data);
+                self.tomb_rels.remove(&id);
+            }
+            UndoOp::DeleteNode { id, data, out, inc } => {
+                for &l in &data.labels {
+                    self.label_index.entry(l).or_default().insert(id);
+                }
+                self.index_node_full(id, &data);
+                self.nodes.insert(id, data);
+                self.out_adj.insert(id, out);
+                self.in_adj.insert(id, inc);
+                self.tomb_nodes.remove(&id);
+            }
+            UndoOp::AddLabel { node, label } => {
+                if let Some(d) = self.nodes.get_mut(&node) {
+                    d.labels.remove(&label);
+                }
+                if let Some(set) = self.label_index.get_mut(&label) {
+                    set.remove(&node);
+                }
+                self.reindex_label(node, label, false);
+            }
+            UndoOp::RemoveLabel { node, label } => {
+                if let Some(d) = self.nodes.get_mut(&node) {
+                    d.labels.insert(label);
+                }
+                self.label_index.entry(label).or_default().insert(node);
+                self.reindex_label(node, label, true);
+            }
+            UndoOp::SetProp { entity, key, old } => {
+                // The entity may have been deleted and restored by an
+                // earlier undo step in the same rollback; it must exist now.
+                let mut replaced: Option<Value> = None;
+                if let Ok(map) = self.props_mut(entity) {
+                    replaced = match &old {
+                        Some(v) => map.insert(key, v.clone()),
+                        None => map.remove(&key),
+                    };
+                }
+                if let EntityRef::Node(n) = entity {
+                    if !self.indexes.is_empty() && self.nodes.contains_key(&n) {
+                        let labels = self
+                            .nodes
+                            .get(&n)
+                            .map(|d| d.labels.clone())
+                            .unwrap_or_default();
+                        self.reindex_prop(n, &labels, key, replaced.as_ref(), old.as_ref());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marketplace() -> (PropertyGraph, Vec<NodeId>) {
+        let mut g = PropertyGraph::new();
+        let product = g.sym("Product");
+        let user = g.sym("User");
+        let id_k = g.sym("id");
+        let name_k = g.sym("name");
+        let ordered = g.sym("ORDERED");
+        let p1 = g.create_node(
+            [product],
+            [(id_k, Value::Int(125)), (name_k, Value::str("laptop"))],
+        );
+        let u1 = g.create_node(
+            [user],
+            [(id_k, Value::Int(89)), (name_k, Value::str("Bob"))],
+        );
+        g.create_rel(u1, ordered, p1, []).unwrap();
+        (g, vec![p1, u1])
+    }
+
+    #[test]
+    fn create_and_read_back() {
+        let (g, ids) = marketplace();
+        let p1 = ids[0];
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.rel_count(), 1);
+        let id_k = g.try_sym("id").unwrap();
+        assert_eq!(g.prop(p1.into(), id_k), Value::Int(125));
+        let product = g.try_sym("Product").unwrap();
+        assert_eq!(g.nodes_with_label(product).collect::<Vec<_>>(), vec![p1]);
+    }
+
+    #[test]
+    fn null_properties_are_not_stored() {
+        let mut g = PropertyGraph::new();
+        let k = g.sym("id");
+        let n = g.create_node([], [(k, Value::Null)]);
+        assert!(g.node(n).unwrap().props.is_empty());
+        g.set_prop(n.into(), k, Value::Int(1)).unwrap();
+        g.set_prop(n.into(), k, Value::Null).unwrap();
+        assert!(g.node(n).unwrap().props.is_empty());
+        assert_eq!(g.prop(n.into(), k), Value::Null);
+    }
+
+    #[test]
+    fn non_storable_property_rejected() {
+        let mut g = PropertyGraph::new();
+        let k = g.sym("bad");
+        let n = g.create_node([], []);
+        let err = g
+            .set_prop(n.into(), k, Value::Map(Default::default()))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidPropertyValue { .. }));
+        let err = g
+            .set_prop(n.into(), k, Value::list([Value::Node(n)]))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidPropertyValue { .. }));
+    }
+
+    #[test]
+    fn strict_delete_fails_with_attached_rels() {
+        let (mut g, ids) = marketplace();
+        let err = g.delete_node(ids[0], DeleteNodeMode::Strict).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::NodeStillHasRelationships { attached: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn detach_delete_cascades() {
+        let (mut g, ids) = marketplace();
+        let cascaded = g.delete_node(ids[0], DeleteNodeMode::Detach).unwrap();
+        assert_eq!(cascaded.len(), 1);
+        assert_eq!(g.rel_count(), 0);
+        assert_eq!(g.node_count(), 1);
+        g.integrity_check().unwrap();
+    }
+
+    #[test]
+    fn force_delete_leaves_dangling_rel() {
+        let (mut g, ids) = marketplace();
+        g.delete_node(ids[0], DeleteNodeMode::Force).unwrap();
+        assert_eq!(g.rel_count(), 1);
+        let dangling = g.dangling_rels();
+        assert_eq!(dangling.len(), 1);
+        assert!(g.integrity_check().is_err());
+        assert!(g.is_zombie(ids[0].into()));
+        // Zombie reads are empty / null.
+        assert_eq!(g.prop(ids[0].into(), g.try_sym("id").unwrap()), Value::Null);
+        assert!(g.labels(ids[0]).is_empty());
+    }
+
+    #[test]
+    fn rel_to_missing_endpoint_rejected() {
+        let mut g = PropertyGraph::new();
+        let t = g.sym("KNOWS");
+        let a = g.create_node([], []);
+        let err = g.create_rel(a, t, NodeId(999), []).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::EndpointMissing {
+                endpoint: NodeId(999)
+            }
+        );
+    }
+
+    #[test]
+    fn self_loop_counted_once_in_either_direction() {
+        let mut g = PropertyGraph::new();
+        let t = g.sym("LOOP");
+        let a = g.create_node([], []);
+        let r = g.create_rel(a, t, a, []).unwrap();
+        assert_eq!(g.rels_of(a, Direction::Either), vec![r]);
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.rels_of(a, Direction::Outgoing), vec![r]);
+        assert_eq!(g.rels_of(a, Direction::Incoming), vec![r]);
+    }
+
+    #[test]
+    fn label_add_remove_keeps_index_consistent() {
+        let mut g = PropertyGraph::new();
+        let l = g.sym("User");
+        let n = g.create_node([], []);
+        assert!(g.add_label(n, l).unwrap());
+        assert!(!g.add_label(n, l).unwrap());
+        assert_eq!(g.nodes_with_label(l).count(), 1);
+        assert!(g.remove_label(n, l).unwrap());
+        assert!(!g.remove_label(n, l).unwrap());
+        assert_eq!(g.nodes_with_label(l).count(), 0);
+    }
+
+    #[test]
+    fn rollback_restores_everything() {
+        let (mut g, ids) = marketplace();
+        let before = g.clone();
+        let sp = g.savepoint();
+
+        let id_k = g.sym("id");
+        let vendor = g.sym("Vendor");
+        let offers = g.sym("OFFERS");
+        let v = g.create_node([vendor], [(id_k, Value::Int(60))]);
+        g.create_rel(v, offers, ids[0], []).unwrap();
+        g.set_prop(ids[0].into(), id_k, Value::Int(999)).unwrap();
+        g.add_label(ids[1], vendor).unwrap();
+        g.delete_node(ids[0], DeleteNodeMode::Force).unwrap();
+
+        g.rollback_to(sp);
+
+        assert_eq!(g.node_count(), before.node_count());
+        assert_eq!(g.rel_count(), before.rel_count());
+        assert_eq!(g.node(ids[0]), before.node(ids[0]));
+        assert_eq!(g.node(ids[1]), before.node(ids[1]));
+        assert!(!g.is_zombie(ids[0].into()));
+        g.integrity_check().unwrap();
+        assert_eq!(g.nodes_with_label(vendor).count(), 0);
+    }
+
+    #[test]
+    fn rollback_restores_adjacency_order() {
+        let mut g = PropertyGraph::new();
+        let t = g.sym("T");
+        let a = g.create_node([], []);
+        let b = g.create_node([], []);
+        let r1 = g.create_rel(a, t, b, []).unwrap();
+        let r2 = g.create_rel(a, t, b, []).unwrap();
+        let r3 = g.create_rel(a, t, b, []).unwrap();
+        let sp = g.savepoint();
+        g.delete_rel(r2).unwrap();
+        assert_eq!(g.rels_of(a, Direction::Outgoing), vec![r1, r3]);
+        g.rollback_to(sp);
+        assert_eq!(g.rels_of(a, Direction::Outgoing), vec![r1, r2, r3]);
+    }
+
+    #[test]
+    fn commit_at_root_clears_journal() {
+        let (mut g, _) = marketplace();
+        assert!(g.journal_len() > 0);
+        g.commit(Savepoint(0));
+        assert_eq!(g.journal_len(), 0);
+    }
+
+    #[test]
+    fn replace_props_removes_stale_keys() {
+        let mut g = PropertyGraph::new();
+        let a_k = g.sym("a");
+        let b_k = g.sym("b");
+        let n = g.create_node([], [(a_k, Value::Int(1)), (b_k, Value::Int(2))]);
+        let mut new = PropertyMap::new();
+        new.insert(b_k, Value::Int(20));
+        g.replace_props(n.into(), new).unwrap();
+        assert_eq!(g.prop(n.into(), a_k), Value::Null);
+        assert_eq!(g.prop(n.into(), b_k), Value::Int(20));
+    }
+
+    #[test]
+    fn merge_props_keeps_absent_keys() {
+        let mut g = PropertyGraph::new();
+        let a_k = g.sym("a");
+        let b_k = g.sym("b");
+        let n = g.create_node([], [(a_k, Value::Int(1))]);
+        let mut extra = PropertyMap::new();
+        extra.insert(b_k, Value::Int(2));
+        g.merge_props(n.into(), extra).unwrap();
+        assert_eq!(g.prop(n.into(), a_k), Value::Int(1));
+        assert_eq!(g.prop(n.into(), b_k), Value::Int(2));
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut g = PropertyGraph::new();
+        let a = g.create_node([], []);
+        g.delete_node(a, DeleteNodeMode::Strict).unwrap();
+        let b = g.create_node([], []);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn delete_rel_then_node_strict_succeeds() {
+        let (mut g, ids) = marketplace();
+        let rels = g.rels_of(ids[0], Direction::Either);
+        for r in rels {
+            g.delete_rel(r).unwrap();
+        }
+        g.delete_node(ids[0], DeleteNodeMode::Strict).unwrap();
+        g.integrity_check().unwrap();
+    }
+
+    #[test]
+    fn nested_savepoints() {
+        let mut g = PropertyGraph::new();
+        let outer = g.savepoint();
+        let a = g.create_node([], []);
+        let inner = g.savepoint();
+        let b = g.create_node([], []);
+        g.rollback_to(inner);
+        assert!(g.contains_node(a));
+        assert!(!g.contains_node(b));
+        g.rollback_to(outer);
+        assert!(!g.contains_node(a));
+        assert_eq!(g.node_count(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Identifier newtypes for graph entities.
+//!
+//! The formal model of the paper (§8.2) treats nodes and relationships as
+//! abstract identifiers; here they are dense `u64`s handed out by the store.
+//! Identifiers are never reused within one [`crate::PropertyGraph`], which is
+//! what allows the legacy engine to keep references to deleted ("zombie")
+//! entities alive, as required to reproduce the §4.2 anomaly.
+
+use std::fmt;
+
+/// Identifier of a node in a property graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+/// Identifier of a relationship in a property graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u64);
+
+/// A reference to either kind of updatable entity.
+///
+/// `SET`, `REMOVE` and `DELETE` operate uniformly on nodes and relationships;
+/// this enum is the common currency for those code paths.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EntityRef {
+    Node(NodeId),
+    Rel(RelId),
+}
+
+impl NodeId {
+    /// Raw numeric value, e.g. for the Cypher `id()` function.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl RelId {
+    /// Raw numeric value, e.g. for the Cypher `id()` function.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<NodeId> for EntityRef {
+    fn from(id: NodeId) -> Self {
+        EntityRef::Node(id)
+    }
+}
+
+impl From<RelId> for EntityRef {
+    fn from(id: RelId) -> Self {
+        EntityRef::Rel(id)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for EntityRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntityRef::Node(n) => write!(f, "{n}"),
+            EntityRef::Rel(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(RelId(3).to_string(), "r3");
+        assert_eq!(EntityRef::from(NodeId(1)).to_string(), "n1");
+        assert_eq!(EntityRef::from(RelId(2)).to_string(), "r2");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(NodeId(2) < NodeId(10));
+        assert!(RelId(0) < RelId(1));
+    }
+
+    #[test]
+    fn entity_ref_orders_nodes_before_rels() {
+        assert!(EntityRef::Node(NodeId(99)) < EntityRef::Rel(RelId(0)));
+    }
+}

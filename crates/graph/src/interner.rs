@@ -1,0 +1,132 @@
+//! String interning for labels, relationship types and property keys.
+//!
+//! A property graph mentions the same small set of strings (`:Product`,
+//! `:ORDERED`, `id`, `name`, …) millions of times. Interning turns every
+//! occurrence into a 4-byte [`Symbol`], which makes label sets, property maps
+//! and the collapsibility checks of `MERGE SAME` (Defs. 1–2 in the paper)
+//! cheap set/map comparisons over integers.
+//!
+//! Labels, types and keys live in separate namespaces in Cypher, but nothing
+//! is gained by separating the tables: a symbol only ever flows into the slot
+//! it was created for, so one shared table is used.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string. Cheap to copy, compare and hash.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; the store guarantees all symbols in one graph come from its own
+/// interner.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Raw index into the interner's table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// Append-only string interner.
+///
+/// Interned strings are never freed; graphs are long-lived and vocabulary
+/// is small, so this is the right trade-off.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, Symbol>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym =
+            Symbol(u32::try_from(self.strings.len()).expect("more than u32::MAX interned strings"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up a symbol for `s` without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Product");
+        let b = i.intern("Product");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("User");
+        let b = i.intern("Vendor");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "User");
+        assert_eq!(i.resolve(b), "Vendor");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("ORDERED"), None);
+        let s = i.intern("ORDERED");
+        assert_eq!(i.get("ORDERED"), Some(s));
+    }
+
+    #[test]
+    fn empty_string_is_internable() {
+        let mut i = Interner::new();
+        let s = i.intern("");
+        assert_eq!(i.resolve(s), "");
+    }
+
+    #[test]
+    fn case_sensitive() {
+        let mut i = Interner::new();
+        assert_ne!(i.intern("product"), i.intern("Product"));
+    }
+}

@@ -1,0 +1,371 @@
+//! Graph comparison up to identifier renaming.
+//!
+//! §8.2 notes that the representative choices in `MERGE SAME` "do not make
+//! the semantics nondeterministic: the output graph-table pairs are the same
+//! up to id renaming". Verifying the paper's figures therefore needs graph
+//! isomorphism over *attributed* graphs: two graphs are the same figure when
+//! there is a bijection between their nodes preserving labels, properties
+//! and relationship structure (type, properties, multiplicity, direction).
+//!
+//! The implementation is a signature-pruned backtracking search. Paper
+//! figures have ≤ 12 nodes; the search is also used by property tests on
+//! modest random graphs, where signature pruning keeps it fast in practice.
+
+use std::collections::BTreeMap;
+
+use crate::graph::PropertyGraph;
+use crate::ids::NodeId;
+use crate::value::Value;
+
+/// Label + property + degree fingerprint of a node, with vocabulary resolved
+/// to strings so graphs with different interners compare correctly.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct NodeSig {
+    labels: Vec<String>,
+    props: Vec<(String, CanonValue)>,
+    out_degree: usize,
+    in_degree: usize,
+}
+
+/// Orderable stand-in for property values (properties are storable values
+/// only, so no graph references appear).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum CanonValue {
+    Bool(bool),
+    Int(i64),
+    /// Total order via bit pattern, with NaN and -0.0 normalized so the
+    /// comparison matches value equivalence.
+    Float(u64),
+    Str(String),
+    List(Vec<CanonValue>),
+    Other(String),
+}
+
+impl CanonValue {
+    fn of(v: &Value) -> CanonValue {
+        match v {
+            Value::Bool(b) => CanonValue::Bool(*b),
+            Value::Int(i) => CanonValue::Int(*i),
+            Value::Float(f) => {
+                // Normalize: all NaNs are one key (matching equivalence),
+                // and -0.0 equals 0.0.
+                let f = if f.is_nan() {
+                    f64::NAN
+                } else if *f == 0.0 {
+                    0.0
+                } else {
+                    *f
+                };
+                CanonValue::Float(f.to_bits())
+            }
+            Value::Str(s) => CanonValue::Str(s.clone()),
+            Value::List(items) => CanonValue::List(items.iter().map(CanonValue::of).collect()),
+            other => CanonValue::Other(other.to_string()),
+        }
+    }
+}
+
+fn node_sig(g: &PropertyGraph, id: NodeId) -> NodeSig {
+    let data = g.node(id).expect("live node");
+    // Labels are stored as interned symbols ordered by interning sequence;
+    // resolve and sort by *name* so graphs built in different vocabulary
+    // orders compare equal.
+    let mut labels: Vec<String> = data
+        .labels
+        .iter()
+        .map(|&l| g.sym_str(l).to_owned())
+        .collect();
+    labels.sort_unstable();
+    NodeSig {
+        labels,
+        props: {
+            let mut props: Vec<(String, CanonValue)> = data
+                .props
+                .iter()
+                .map(|(&k, v)| (g.sym_str(k).to_owned(), CanonValue::of(v)))
+                .collect();
+            props.sort_by(|(a, _), (b, _)| a.cmp(b));
+            props
+        },
+        out_degree: g.rels_of(id, crate::graph::Direction::Outgoing).len(),
+        in_degree: g.rels_of(id, crate::graph::Direction::Incoming).len(),
+    }
+}
+
+type RelKey = (usize, usize, String, Vec<(String, CanonValue)>);
+
+fn rel_multiset(
+    g: &PropertyGraph,
+    index_of: &BTreeMap<NodeId, usize>,
+) -> Option<BTreeMap<RelKey, usize>> {
+    let mut out: BTreeMap<RelKey, usize> = BTreeMap::new();
+    for r in g.rel_ids() {
+        let d = g.rel(r).expect("live rel");
+        let src = *index_of.get(&d.src)?;
+        let tgt = *index_of.get(&d.tgt)?;
+        let mut props: Vec<(String, CanonValue)> = d
+            .props
+            .iter()
+            .map(|(&k, v)| (g.sym_str(k).to_owned(), CanonValue::of(v)))
+            .collect();
+        props.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let key = (src, tgt, g.sym_str(d.rel_type).to_owned(), props);
+        *out.entry(key).or_default() += 1;
+    }
+    Some(out)
+}
+
+/// Are `a` and `b` the same property graph up to id renaming?
+///
+/// Returns `false` for graphs containing dangling relationships (an illegal
+/// graph is not "a figure").
+pub fn isomorphic(a: &PropertyGraph, b: &PropertyGraph) -> bool {
+    if a.node_count() != b.node_count() || a.rel_count() != b.rel_count() {
+        return false;
+    }
+    if a.integrity_check().is_err() || b.integrity_check().is_err() {
+        return false;
+    }
+
+    let a_nodes: Vec<NodeId> = a.node_ids().collect();
+    let b_nodes: Vec<NodeId> = b.node_ids().collect();
+    let a_sigs: Vec<NodeSig> = a_nodes.iter().map(|&n| node_sig(a, n)).collect();
+    let b_sigs: Vec<NodeSig> = b_nodes.iter().map(|&n| node_sig(b, n)).collect();
+
+    // Quick reject: signature multisets must agree.
+    let mut a_hist: BTreeMap<&NodeSig, usize> = BTreeMap::new();
+    let mut b_hist: BTreeMap<&NodeSig, usize> = BTreeMap::new();
+    for s in &a_sigs {
+        *a_hist.entry(s).or_default() += 1;
+    }
+    for s in &b_sigs {
+        *b_hist.entry(s).or_default() += 1;
+    }
+    if a_hist != b_hist {
+        return false;
+    }
+
+    // Backtracking assignment of a-nodes (by position) to b-node positions.
+    let n = a_nodes.len();
+    let mut assignment: Vec<usize> = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+
+    // Process most-constrained nodes first: rarer signatures earlier.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (a_hist[&a_sigs[i]], i));
+
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        depth: usize,
+        order: &[usize],
+        assignment: &mut [usize],
+        used: &mut [bool],
+        a_sigs: &[NodeSig],
+        b_sigs: &[NodeSig],
+        a: &PropertyGraph,
+        b: &PropertyGraph,
+        a_nodes: &[NodeId],
+        b_nodes: &[NodeId],
+    ) -> bool {
+        if depth == order.len() {
+            let a_index: BTreeMap<NodeId, usize> = a_nodes
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (id, assignment[i]))
+                .collect();
+            let b_index: BTreeMap<NodeId, usize> =
+                b_nodes.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+            return rel_multiset(a, &a_index) == rel_multiset(b, &b_index);
+        }
+        let ai = order[depth];
+        for bi in 0..b_sigs.len() {
+            if used[bi] || a_sigs[ai] != b_sigs[bi] {
+                continue;
+            }
+            assignment[ai] = bi;
+            used[bi] = true;
+            if search(
+                depth + 1,
+                order,
+                assignment,
+                used,
+                a_sigs,
+                b_sigs,
+                a,
+                b,
+                a_nodes,
+                b_nodes,
+            ) {
+                return true;
+            }
+            used[bi] = false;
+            assignment[ai] = usize::MAX;
+        }
+        false
+    }
+
+    search(
+        0,
+        &order,
+        &mut assignment,
+        &mut used,
+        &a_sigs,
+        &b_sigs,
+        a,
+        b,
+        &a_nodes,
+        &b_nodes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(ids: &[i64]) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let user = g.sym("User");
+        let k = g.sym("id");
+        let t = g.sym("KNOWS");
+        let mut prev = None;
+        for &i in ids {
+            let n = g.create_node([user], [(k, Value::Int(i))]);
+            if let Some(p) = prev {
+                g.create_rel(p, t, n, []).unwrap();
+            }
+            prev = Some(n);
+        }
+        g
+    }
+
+    #[test]
+    fn identical_graphs_are_isomorphic() {
+        let a = chain(&[1, 2, 3]);
+        let b = chain(&[1, 2, 3]);
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn id_renaming_is_ignored() {
+        let a = chain(&[1, 2, 3]);
+        let mut b = PropertyGraph::new();
+        // Build the same chain but create nodes in a different order so the
+        // internal ids differ.
+        let user = b.sym("User");
+        let k = b.sym("id");
+        let t = b.sym("KNOWS");
+        let n3 = b.create_node([user], [(k, Value::Int(3))]);
+        let n1 = b.create_node([user], [(k, Value::Int(1))]);
+        let n2 = b.create_node([user], [(k, Value::Int(2))]);
+        b.create_rel(n1, t, n2, []).unwrap();
+        b.create_rel(n2, t, n3, []).unwrap();
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn direction_matters() {
+        let mut a = PropertyGraph::new();
+        let t = a.sym("T");
+        let x = a.create_node([], []);
+        let y = a.create_node([], []);
+        a.create_rel(x, t, y, []).unwrap();
+
+        let mut b = PropertyGraph::new();
+        let t2 = b.sym("T");
+        let x2 = b.create_node([], []);
+        let y2 = b.create_node([], []);
+        b.create_rel(y2, t2, x2, []).unwrap();
+        // Two unlabeled property-less nodes and one edge: direction flip is
+        // still isomorphic (swap the nodes).
+        assert!(isomorphic(&a, &b));
+
+        // Pin the nodes with distinct properties; now direction flips are
+        // distinguishable.
+        let k = a.sym("id");
+        a.set_prop(x.into(), k, Value::Int(1)).unwrap();
+        a.set_prop(y.into(), k, Value::Int(2)).unwrap();
+        let k2 = b.sym("id");
+        b.set_prop(x2.into(), k2, Value::Int(1)).unwrap();
+        b.set_prop(y2.into(), k2, Value::Int(2)).unwrap();
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn multiplicity_matters() {
+        let mut a = PropertyGraph::new();
+        let t = a.sym("TO");
+        let x = a.create_node([], []);
+        let y = a.create_node([], []);
+        a.create_rel(x, t, y, []).unwrap();
+        a.create_rel(x, t, y, []).unwrap();
+
+        let mut b = a.clone();
+        let extra = b.rel_ids().next().unwrap();
+        b.delete_rel(extra).unwrap();
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn property_values_matter() {
+        let a = chain(&[1, 2]);
+        let b = chain(&[1, 99]);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn label_differences_matter() {
+        let mut a = PropertyGraph::new();
+        let l = a.sym("User");
+        a.create_node([l], []);
+        let mut b = PropertyGraph::new();
+        let l2 = b.sym("Vendor");
+        b.create_node([l2], []);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn dangling_graphs_never_match() {
+        let mut a = PropertyGraph::new();
+        let t = a.sym("T");
+        let x = a.create_node([], []);
+        let y = a.create_node([], []);
+        a.create_rel(x, t, y, []).unwrap();
+        let b = a.clone();
+        let mut a2 = a.clone();
+        a2.delete_node(x, crate::graph::DeleteNodeMode::Force)
+            .unwrap();
+        assert!(!isomorphic(&a2, &b));
+    }
+
+    #[test]
+    fn vocabulary_interning_order_is_irrelevant() {
+        // Same logical graph, labels and keys interned in opposite orders.
+        let mut a = PropertyGraph::new();
+        let (a_l0, a_l1) = (a.sym("L0"), a.sym("L1"));
+        let (a_k0, a_k1) = (a.sym("k0"), a.sym("k1"));
+        a.create_node([a_l0, a_l1], [(a_k0, Value::Int(1)), (a_k1, Value::Int(2))]);
+
+        let mut b = PropertyGraph::new();
+        let (b_l1, b_l0) = (b.sym("L1"), b.sym("L0"));
+        let (b_k1, b_k0) = (b.sym("k1"), b.sym("k0"));
+        b.create_node([b_l0, b_l1], [(b_k0, Value::Int(1)), (b_k1, Value::Int(2))]);
+
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn symmetric_structure_with_automorphisms() {
+        // A 4-cycle of identical nodes has many automorphisms; isomorphism
+        // must still be found.
+        fn cycle() -> PropertyGraph {
+            let mut g = PropertyGraph::new();
+            let t = g.sym("E");
+            let ns: Vec<_> = (0..4).map(|_| g.create_node([], [])).collect();
+            for i in 0..4 {
+                g.create_rel(ns[i], t, ns[(i + 1) % 4], []).unwrap();
+            }
+            g
+        }
+        assert!(isomorphic(&cycle(), &cycle()));
+    }
+}

@@ -1,0 +1,119 @@
+//! Graph summaries for experiment reporting.
+//!
+//! The paper's figures are compared by *shape*: node count, relationship
+//! count, and label/type histograms. [`GraphSummary`] captures exactly that
+//! and is what EXPERIMENTS.md records as "measured".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::graph::PropertyGraph;
+
+/// Shape summary of a property graph.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct GraphSummary {
+    pub nodes: usize,
+    pub rels: usize,
+    /// Count of nodes per label (a node with two labels counts in both).
+    pub labels: BTreeMap<String, usize>,
+    /// Count of relationships per type.
+    pub types: BTreeMap<String, usize>,
+    /// Relationships whose endpoint(s) have been deleted.
+    pub dangling: usize,
+}
+
+impl GraphSummary {
+    /// Summarize a graph.
+    pub fn of(graph: &PropertyGraph) -> Self {
+        let mut labels: BTreeMap<String, usize> = BTreeMap::new();
+        for n in graph.node_ids() {
+            for l in graph.labels(n) {
+                *labels.entry(graph.sym_str(l).to_owned()).or_default() += 1;
+            }
+        }
+        let mut types: BTreeMap<String, usize> = BTreeMap::new();
+        for r in graph.rel_ids() {
+            let data = graph.rel(r).expect("live rel");
+            *types
+                .entry(graph.sym_str(data.rel_type).to_owned())
+                .or_default() += 1;
+        }
+        GraphSummary {
+            nodes: graph.node_count(),
+            rels: graph.rel_count(),
+            labels,
+            types,
+            dangling: graph.dangling_rels().len(),
+        }
+    }
+}
+
+impl fmt::Display for GraphSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} nodes, {} rels", self.nodes, self.rels)?;
+        if !self.labels.is_empty() {
+            write!(f, "; labels: ")?;
+            for (i, (l, c)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, ":{l}×{c}")?;
+            }
+        }
+        if !self.types.is_empty() {
+            write!(f, "; types: ")?;
+            for (i, (t, c)) in self.types.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, ":{t}×{c}")?;
+            }
+        }
+        if self.dangling > 0 {
+            write!(f, "; {} DANGLING", self.dangling)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn summary_counts_labels_and_types() {
+        let mut g = PropertyGraph::new();
+        let user = g.sym("User");
+        let product = g.sym("Product");
+        let ordered = g.sym("ORDERED");
+        let k = g.sym("id");
+        let u = g.create_node([user], [(k, Value::Int(1))]);
+        let p = g.create_node([product], []);
+        let q = g.create_node([product], []);
+        g.create_rel(u, ordered, p, []).unwrap();
+        g.create_rel(u, ordered, q, []).unwrap();
+        let s = GraphSummary::of(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.rels, 2);
+        assert_eq!(s.labels["User"], 1);
+        assert_eq!(s.labels["Product"], 2);
+        assert_eq!(s.types["ORDERED"], 2);
+        assert_eq!(s.dangling, 0);
+        assert_eq!(
+            s.to_string(),
+            "3 nodes, 2 rels; labels: :Product×2, :User×1; types: :ORDERED×2"
+        );
+    }
+
+    #[test]
+    fn summary_multi_label_node_counts_in_each() {
+        let mut g = PropertyGraph::new();
+        let a = g.sym("A");
+        let b = g.sym("B");
+        g.create_node([a, b], []);
+        let s = GraphSummary::of(&g);
+        assert_eq!(s.labels["A"], 1);
+        assert_eq!(s.labels["B"], 1);
+    }
+}

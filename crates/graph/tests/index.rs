@@ -1,0 +1,174 @@
+//! Property-index behaviour: backfill, maintenance across every mutation,
+//! and consistency through rollback.
+
+use cypher_graph::{DeleteNodeMode, NodeId, PropertyGraph, Value};
+
+fn setup() -> (PropertyGraph, Vec<NodeId>) {
+    let mut g = PropertyGraph::new();
+    let user = g.sym("User");
+    let id_k = g.sym("id");
+    let nodes: Vec<NodeId> = (0..5)
+        .map(|i| g.create_node([user], [(id_k, Value::Int(i % 3))]))
+        .collect();
+    (g, nodes)
+}
+
+#[test]
+fn backfill_on_create_index() {
+    let (mut g, nodes) = setup();
+    let user = g.sym("User");
+    let id_k = g.sym("id");
+    assert!(g.create_index(user, id_k));
+    assert!(!g.create_index(user, id_k), "second creation is a no-op");
+    assert!(g.has_index(user, id_k));
+    assert_eq!(
+        g.index_lookup(user, id_k, &Value::Int(0)).unwrap(),
+        vec![nodes[0], nodes[3]]
+    );
+    assert_eq!(
+        g.index_lookup(user, id_k, &Value::Int(9)).unwrap(),
+        Vec::<NodeId>::new()
+    );
+    let nope = g.sym("nope");
+    assert_eq!(g.index_lookup(user, nope, &Value::Int(0)), None);
+}
+
+#[test]
+fn index_tracks_creations_and_deletions() {
+    let (mut g, nodes) = setup();
+    let user = g.sym("User");
+    let id_k = g.sym("id");
+    g.create_index(user, id_k);
+    let extra = g.create_node([user], [(id_k, Value::Int(0))]);
+    assert_eq!(
+        g.index_lookup(user, id_k, &Value::Int(0)).unwrap(),
+        vec![nodes[0], nodes[3], extra]
+    );
+    g.delete_node(nodes[0], DeleteNodeMode::Strict).unwrap();
+    assert_eq!(
+        g.index_lookup(user, id_k, &Value::Int(0)).unwrap(),
+        vec![nodes[3], extra]
+    );
+}
+
+#[test]
+fn index_tracks_property_updates() {
+    let (mut g, nodes) = setup();
+    let user = g.sym("User");
+    let id_k = g.sym("id");
+    g.create_index(user, id_k);
+    g.set_prop(nodes[0].into(), id_k, Value::Int(99)).unwrap();
+    assert_eq!(
+        g.index_lookup(user, id_k, &Value::Int(0)).unwrap(),
+        vec![nodes[3]]
+    );
+    assert_eq!(
+        g.index_lookup(user, id_k, &Value::Int(99)).unwrap(),
+        vec![nodes[0]]
+    );
+    // Removing the property removes the entry.
+    g.set_prop(nodes[0].into(), id_k, Value::Null).unwrap();
+    assert!(g
+        .index_lookup(user, id_k, &Value::Int(99))
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn index_tracks_label_changes() {
+    let (mut g, nodes) = setup();
+    let user = g.sym("User");
+    let vip = g.sym("Vip");
+    let id_k = g.sym("id");
+    g.create_index(vip, id_k);
+    assert!(g
+        .index_lookup(vip, id_k, &Value::Int(0))
+        .unwrap()
+        .is_empty());
+    g.add_label(nodes[0], vip).unwrap();
+    assert_eq!(
+        g.index_lookup(vip, id_k, &Value::Int(0)).unwrap(),
+        vec![nodes[0]]
+    );
+    g.remove_label(nodes[0], vip).unwrap();
+    assert!(g
+        .index_lookup(vip, id_k, &Value::Int(0))
+        .unwrap()
+        .is_empty());
+    let _ = user;
+}
+
+#[test]
+fn index_consistent_after_rollback() {
+    let (mut g, nodes) = setup();
+    let user = g.sym("User");
+    let id_k = g.sym("id");
+    g.create_index(user, id_k);
+    let before = g.index_lookup(user, id_k, &Value::Int(0)).unwrap();
+
+    let sp = g.savepoint();
+    g.set_prop(nodes[0].into(), id_k, Value::Int(77)).unwrap();
+    g.create_node([user], [(id_k, Value::Int(0))]);
+    g.delete_node(nodes[3], DeleteNodeMode::Strict).unwrap();
+    g.remove_label(nodes[0], user).unwrap();
+    g.rollback_to(sp);
+
+    assert_eq!(g.index_lookup(user, id_k, &Value::Int(0)).unwrap(), before);
+    assert!(g
+        .index_lookup(user, id_k, &Value::Int(77))
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn numeric_equivalence_in_index_keys() {
+    // 1 and 1.0 share an index slot, matching `=` semantics.
+    let mut g = PropertyGraph::new();
+    let l = g.sym("N");
+    let k = g.sym("v");
+    let a = g.create_node([l], [(k, Value::Int(1))]);
+    let b = g.create_node([l], [(k, Value::Float(1.0))]);
+    g.create_index(l, k);
+    assert_eq!(g.index_lookup(l, k, &Value::Int(1)).unwrap(), vec![a, b]);
+    assert_eq!(
+        g.index_lookup(l, k, &Value::Float(1.0)).unwrap(),
+        vec![a, b]
+    );
+}
+
+#[test]
+fn null_probe_never_matches() {
+    let (mut g, _) = setup();
+    let user = g.sym("User");
+    let id_k = g.sym("id");
+    g.create_index(user, id_k);
+    assert!(g.index_lookup(user, id_k, &Value::Null).unwrap().is_empty());
+}
+
+#[test]
+fn drop_index() {
+    let (mut g, _) = setup();
+    let user = g.sym("User");
+    let id_k = g.sym("id");
+    g.create_index(user, id_k);
+    assert_eq!(g.index_list(), vec![(user, id_k)]);
+    assert!(g.drop_index(user, id_k));
+    assert!(!g.drop_index(user, id_k));
+    assert_eq!(g.index_lookup(user, id_k, &Value::Int(0)), None);
+}
+
+#[test]
+fn multi_label_node_is_indexed_under_each_label() {
+    let mut g = PropertyGraph::new();
+    let a = g.sym("A");
+    let b = g.sym("B");
+    let k = g.sym("id");
+    g.create_index(a, k);
+    g.create_index(b, k);
+    let n = g.create_node([a, b], [(k, Value::Int(7))]);
+    assert_eq!(g.index_lookup(a, k, &Value::Int(7)).unwrap(), vec![n]);
+    assert_eq!(g.index_lookup(b, k, &Value::Int(7)).unwrap(), vec![n]);
+    g.delete_node(n, DeleteNodeMode::Strict).unwrap();
+    assert!(g.index_lookup(a, k, &Value::Int(7)).unwrap().is_empty());
+    assert!(g.index_lookup(b, k, &Value::Int(7)).unwrap().is_empty());
+}

@@ -1,0 +1,619 @@
+//! Abstract syntax for Cypher queries, covering the grammars of both
+//! Figures 2–5 (Cypher 9) and Figure 10 (revised Cypher) of the paper.
+//!
+//! One AST serves both dialects: the parser accepts the *union* of the two
+//! grammars and [`crate::validate()`] enforces the dialect-specific rules
+//! (`WITH` demarcation, directed-only `MERGE ALL/SAME` patterns, bare `MERGE`
+//! only in Cypher 9, …).
+
+/// Which language variant a query should be validated/executed under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dialect {
+    /// Cypher 9 as shipped in Neo4j (the paper's §3): legacy `MERGE`,
+    /// mandatory `WITH` between updating and reading clauses.
+    Cypher9,
+    /// The revised language of §7 (Figure 10): clauses mix freely,
+    /// `MERGE ALL` / `MERGE SAME` replace `MERGE`.
+    Revised,
+}
+
+/// A full query: a first single query plus any number of `UNION [ALL]` arms.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    pub first: SingleQuery,
+    pub unions: Vec<(UnionKind, SingleQuery)>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnionKind {
+    /// `UNION` — duplicate rows removed.
+    Distinct,
+    /// `UNION ALL` — bag union.
+    All,
+}
+
+/// A clause sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SingleQuery {
+    pub clauses: Vec<Clause>,
+}
+
+/// Any clause, reading or updating.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Clause {
+    Match {
+        optional: bool,
+        patterns: Vec<PathPattern>,
+        where_clause: Option<Expr>,
+    },
+    Unwind {
+        expr: Expr,
+        alias: String,
+    },
+    With(Projection),
+    Return(Projection),
+    Create {
+        patterns: Vec<PathPattern>,
+    },
+    Set {
+        items: Vec<SetItem>,
+    },
+    Remove {
+        items: Vec<RemoveItem>,
+    },
+    Delete {
+        detach: bool,
+        exprs: Vec<Expr>,
+    },
+    Merge {
+        kind: MergeKind,
+        patterns: Vec<PathPattern>,
+        /// `ON CREATE SET …` actions (legacy `MERGE` only; Cypher 9 §3).
+        on_create: Vec<SetItem>,
+        /// `ON MATCH SET …` actions (legacy `MERGE` only).
+        on_match: Vec<SetItem>,
+    },
+    Foreach {
+        var: String,
+        list: Expr,
+        body: Vec<Clause>,
+    },
+    /// `CREATE INDEX ON :Label(key)` — schema command (Neo4j 3.x syntax).
+    CreateIndex {
+        label: String,
+        key: String,
+    },
+    /// `DROP INDEX ON :Label(key)`.
+    DropIndex {
+        label: String,
+        key: String,
+    },
+}
+
+impl Clause {
+    /// Is this an update clause (Figure 3 / Figure 10 `update clause`)?
+    pub fn is_update(&self) -> bool {
+        matches!(
+            self,
+            Clause::Create { .. }
+                | Clause::Set { .. }
+                | Clause::Remove { .. }
+                | Clause::Delete { .. }
+                | Clause::Merge { .. }
+                | Clause::Foreach { .. }
+        )
+    }
+
+    /// Short clause name for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Clause::Match {
+                optional: false, ..
+            } => "MATCH",
+            Clause::Match { optional: true, .. } => "OPTIONAL MATCH",
+            Clause::Unwind { .. } => "UNWIND",
+            Clause::With(_) => "WITH",
+            Clause::Return(_) => "RETURN",
+            Clause::Create { .. } => "CREATE",
+            Clause::Set { .. } => "SET",
+            Clause::Remove { .. } => "REMOVE",
+            Clause::Delete { detach: false, .. } => "DELETE",
+            Clause::Delete { detach: true, .. } => "DETACH DELETE",
+            Clause::Merge {
+                kind: MergeKind::Legacy,
+                ..
+            } => "MERGE",
+            Clause::Merge {
+                kind: MergeKind::All,
+                ..
+            } => "MERGE ALL",
+            Clause::Merge {
+                kind: MergeKind::Same,
+                ..
+            } => "MERGE SAME",
+            Clause::Foreach { .. } => "FOREACH",
+            Clause::CreateIndex { .. } => "CREATE INDEX",
+            Clause::DropIndex { .. } => "DROP INDEX",
+        }
+    }
+}
+
+/// The flavour of a `MERGE` clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeKind {
+    /// Cypher 9 `MERGE`: per-record match-or-create, reads its own writes.
+    Legacy,
+    /// Revised `MERGE ALL` (§7): atomic, one instance per failing record.
+    All,
+    /// Revised `MERGE SAME` (§7): atomic, Strong-Collapse minimization.
+    Same,
+}
+
+/// `RETURN` / `WITH` body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Projection {
+    pub distinct: bool,
+    pub items: ProjectionItems,
+    pub order_by: Vec<SortItem>,
+    pub skip: Option<Expr>,
+    pub limit: Option<Expr>,
+    /// Only valid on `WITH`.
+    pub where_clause: Option<Expr>,
+}
+
+impl Projection {
+    /// A bare `WITH *` / `RETURN *`.
+    pub fn star() -> Self {
+        Projection {
+            distinct: false,
+            items: ProjectionItems::Star { extra: vec![] },
+            order_by: vec![],
+            skip: None,
+            limit: None,
+            where_clause: None,
+        }
+    }
+
+    /// Projection of the given items.
+    pub fn items(items: Vec<ProjectionItem>) -> Self {
+        Projection {
+            distinct: false,
+            items: ProjectionItems::Items(items),
+            order_by: vec![],
+            skip: None,
+            limit: None,
+            where_clause: None,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProjectionItems {
+    /// `*` plus optional extra items (`RETURN *, count(x) AS c`).
+    Star {
+        extra: Vec<ProjectionItem>,
+    },
+    Items(Vec<ProjectionItem>),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProjectionItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct SortItem {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+/// A path pattern: `name = (a)-[r:T]->(b)…`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathPattern {
+    pub var: Option<String>,
+    /// `shortestPath(…)` / `allShortestPaths(…)` wrapper, if any.
+    pub shortest: Option<ShortestKind>,
+    pub start: NodePattern,
+    pub steps: Vec<(RelPattern, NodePattern)>,
+}
+
+/// Which shortest-path variant wraps a pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShortestKind {
+    /// `shortestPath(…)`: one minimum-length path per endpoint binding.
+    Single,
+    /// `allShortestPaths(…)`: every minimum-length path.
+    All,
+}
+
+impl PathPattern {
+    /// A single-node pattern.
+    pub fn node(start: NodePattern) -> Self {
+        PathPattern {
+            var: None,
+            shortest: None,
+            start,
+            steps: vec![],
+        }
+    }
+}
+
+/// `(var:Label1:Label2 {key: expr, …})`
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodePattern {
+    pub var: Option<String>,
+    pub labels: Vec<String>,
+    pub props: Vec<(String, Expr)>,
+}
+
+/// `-[var:TYPE|TYPE2 *min..max {key: expr}]->`
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelPattern {
+    pub var: Option<String>,
+    /// Alternative types; empty means "any type" (only legal when reading).
+    pub types: Vec<String>,
+    pub props: Vec<(String, Expr)>,
+    pub direction: RelDirection,
+    /// `Some` for variable-length patterns `*`, `*2`, `*1..3`, `*..5`.
+    pub length: Option<VarLength>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelDirection {
+    /// `-[]->`
+    Outgoing,
+    /// `<-[]-`
+    Incoming,
+    /// `-[]-` — only allowed in reading patterns and legacy `MERGE`.
+    Undirected,
+}
+
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VarLength {
+    pub min: Option<u32>,
+    pub max: Option<u32>,
+}
+
+/// `SET` items (Figure 4).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SetItem {
+    /// `expr.key = expr`
+    Property {
+        target: Expr,
+        key: String,
+        value: Expr,
+    },
+    /// `var = expr` — replace the whole property map.
+    Replace { target: String, value: Expr },
+    /// `var += expr` — merge into the property map.
+    MergeProps { target: String, value: Expr },
+    /// `var:Label1:Label2`
+    Labels { target: String, labels: Vec<String> },
+}
+
+/// `REMOVE` items (Figure 4).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RemoveItem {
+    /// `expr.key`
+    Property { target: Expr, key: String },
+    /// `var:Label1:Label2`
+    Labels { target: String, labels: Vec<String> },
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Literal(Lit),
+    Variable(String),
+    Parameter(String),
+    /// `base.key`
+    Property(Box<Expr>, String),
+    List(Vec<Expr>),
+    Map(Vec<(String, Expr)>),
+    Unary(UnaryOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `expr IS NULL` / `IS NOT NULL` (negated = true).
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    /// `base[index]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `base[from..to]`
+    Slice {
+        base: Box<Expr>,
+        from: Option<Box<Expr>>,
+        to: Option<Box<Expr>>,
+    },
+    /// Function or aggregate call. `count(*)` is [`Expr::CountStar`].
+    FnCall {
+        name: String,
+        distinct: bool,
+        args: Vec<Expr>,
+    },
+    CountStar,
+    Case {
+        /// `CASE input WHEN …` (simple form) vs `CASE WHEN cond …`
+        input: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_branch: Option<Box<Expr>>,
+    },
+    /// Label predicate `n:Label1:Label2` in expression position.
+    HasLabels(Box<Expr>, Vec<String>),
+    /// `[x IN list WHERE pred | body]` — filter and/or map a list.
+    ListComprehension {
+        var: String,
+        list: Box<Expr>,
+        filter: Option<Box<Expr>>,
+        body: Option<Box<Expr>>,
+    },
+    /// `all/any/none/single(x IN list WHERE pred)`.
+    Quantifier {
+        kind: QuantifierKind,
+        var: String,
+        list: Box<Expr>,
+        pred: Box<Expr>,
+    },
+    /// `reduce(acc = init, x IN list | expr)`.
+    Reduce {
+        acc: String,
+        init: Box<Expr>,
+        var: String,
+        list: Box<Expr>,
+        body: Box<Expr>,
+    },
+    /// A pattern used as a predicate: `WHERE (a)-[:T]->(:X)`. True when at
+    /// least one embedding extends the current record.
+    PatternPredicate(Box<PathPattern>),
+}
+
+/// The list-predicate quantifiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantifierKind {
+    All,
+    Any,
+    None,
+    Single,
+}
+
+impl QuantifierKind {
+    pub fn from_name(name: &str) -> Option<QuantifierKind> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "all" => QuantifierKind::All,
+            "any" => QuantifierKind::Any,
+            "none" => QuantifierKind::None,
+            "single" => QuantifierKind::Single,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantifierKind::All => "all",
+            QuantifierKind::Any => "any",
+            QuantifierKind::None => "none",
+            QuantifierKind::Single => "single",
+        }
+    }
+}
+
+impl Expr {
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Variable(name.into())
+    }
+
+    pub fn int(i: i64) -> Expr {
+        Expr::Literal(Lit::Int(i))
+    }
+
+    pub fn str(s: impl Into<String>) -> Expr {
+        Expr::Literal(Lit::Str(s.into()))
+    }
+
+    pub fn prop(base: Expr, key: impl Into<String>) -> Expr {
+        Expr::Property(Box::new(base), key.into())
+    }
+
+    /// Does this expression (syntactically) contain an aggregate call?
+    /// Nested aggregation inside an aggregate's arguments still counts.
+    pub fn contains_aggregate(&self) -> bool {
+        if let Expr::FnCall { name, .. } = self {
+            if is_aggregate_fn(name) {
+                return true;
+            }
+        }
+        if matches!(self, Expr::CountStar) {
+            return true;
+        }
+        let mut found = false;
+        self.for_each_child(&mut |c| {
+            if c.contains_aggregate() {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Visit direct sub-expressions.
+    pub fn for_each_child(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            Expr::Literal(_) | Expr::Variable(_) | Expr::Parameter(_) | Expr::CountStar => {}
+            Expr::Property(b, _) => f(b),
+            Expr::List(items) => items.iter().for_each(f),
+            Expr::Map(entries) => entries.iter().for_each(|(_, e)| f(e)),
+            Expr::Unary(_, e) => f(e),
+            Expr::Binary(_, l, r) => {
+                f(l);
+                f(r);
+            }
+            Expr::IsNull { expr, .. } => f(expr),
+            Expr::Index(b, i) => {
+                f(b);
+                f(i);
+            }
+            Expr::Slice { base, from, to } => {
+                f(base);
+                if let Some(e) = from {
+                    f(e);
+                }
+                if let Some(e) = to {
+                    f(e);
+                }
+            }
+            Expr::FnCall { args, .. } => args.iter().for_each(f),
+            Expr::Case {
+                input,
+                branches,
+                else_branch,
+            } => {
+                if let Some(e) = input {
+                    f(e);
+                }
+                for (w, t) in branches {
+                    f(w);
+                    f(t);
+                }
+                if let Some(e) = else_branch {
+                    f(e);
+                }
+            }
+            Expr::HasLabels(b, _) => f(b),
+            Expr::ListComprehension {
+                list, filter, body, ..
+            } => {
+                f(list);
+                if let Some(e) = filter {
+                    f(e);
+                }
+                if let Some(e) = body {
+                    f(e);
+                }
+            }
+            Expr::Quantifier { list, pred, .. } => {
+                f(list);
+                f(pred);
+            }
+            Expr::Reduce {
+                init, list, body, ..
+            } => {
+                f(init);
+                f(list);
+                f(body);
+            }
+            Expr::PatternPredicate(p) => {
+                for (_, e) in &p.start.props {
+                    f(e);
+                }
+                for (rel, node) in &p.steps {
+                    for (_, e) in &rel.props {
+                        f(e);
+                    }
+                    for (_, e) in &node.props {
+                        f(e);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Aggregate function names recognized by the evaluator.
+pub fn is_aggregate_fn(name: &str) -> bool {
+    matches!(
+        name.to_ascii_lowercase().as_str(),
+        "count" | "sum" | "avg" | "min" | "max" | "collect" | "stdev"
+    )
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Lit {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+    Pos,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Pow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Xor,
+    StartsWith,
+    EndsWith,
+    Contains,
+    In,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clause_names() {
+        assert_eq!(
+            Clause::Delete {
+                detach: true,
+                exprs: vec![]
+            }
+            .name(),
+            "DETACH DELETE"
+        );
+        assert_eq!(
+            Clause::Merge {
+                kind: MergeKind::Same,
+                patterns: vec![],
+                on_create: vec![],
+                on_match: vec![]
+            }
+            .name(),
+            "MERGE SAME"
+        );
+    }
+
+    #[test]
+    fn update_classification() {
+        assert!(Clause::Create { patterns: vec![] }.is_update());
+        assert!(!Clause::Return(Projection::star()).is_update());
+        assert!(Clause::Foreach {
+            var: "x".into(),
+            list: Expr::List(vec![]),
+            body: vec![]
+        }
+        .is_update());
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::FnCall {
+            name: "count".into(),
+            distinct: false,
+            args: vec![Expr::var("x")],
+        };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::Binary(BinOp::Add, Box::new(Expr::int(1)), Box::new(agg));
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::prop(Expr::var("n"), "id").contains_aggregate());
+        assert!(Expr::CountStar.contains_aggregate());
+    }
+}

@@ -1,0 +1,76 @@
+//! Parser error type with source spans.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// A lexing, parsing or dialect-validation error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub span: Option<Span>,
+}
+
+impl ParseError {
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    pub fn no_span(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Render the error with a caret line pointing into `source`.
+    pub fn render(&self, source: &str) -> String {
+        let Some(span) = self.span else {
+            return self.message.clone();
+        };
+        let start = span.start.min(source.len());
+        let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = source[start..]
+            .find('\n')
+            .map(|i| start + i)
+            .unwrap_or(source.len());
+        let line_no = source[..start].matches('\n').count() + 1;
+        let col = start - line_start;
+        let mut out = format!("{} (line {line_no}, column {})\n", self.message, col + 1);
+        out.push_str(&source[line_start..line_end]);
+        out.push('\n');
+        out.push_str(&" ".repeat(col));
+        out.push('^');
+        out
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{} at {}..{}", self.message, span.start, span.end),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub type Result<T, E = ParseError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_offending_column() {
+        let src = "MATCH (n)\nRETURN @";
+        let err = ParseError::new("unexpected character '@'", Span::point(17));
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 2, column 8"));
+        assert!(rendered.ends_with("RETURN @\n       ^"));
+    }
+}

@@ -1,0 +1,455 @@
+//! Hand-written lexer for Cypher.
+//!
+//! Design notes:
+//!
+//! * Keywords are not reserved; they are lexed as [`Tok::Ident`] and
+//!   interpreted positionally by the parser (real Cypher allows `MATCH
+//!   (match:Match)`).
+//! * Pattern arrows (`-[`, `]->`, `<-[`) are *not* composite tokens: the
+//!   lexer emits `<`, `-`, `>` individually and the parser recombines them
+//!   in pattern position. This resolves the classic ambiguity between
+//!   `a <- 1` (comparison with unary minus) and `(a)<-[r]-(b)` without
+//!   lexer modes.
+//! * Comments: `//` to end of line and `/* … */` (non-nesting).
+
+use crate::error::{ParseError, Result};
+use crate::token::{Span, Tok, Token};
+
+/// Tokenize `input` into a vector ending with an EOF token.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    Lexer {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(&c) = self.bytes.get(self.pos) else {
+                out.push(Token::new(Tok::Eof, Span::point(self.pos)));
+                return Ok(out);
+            };
+            let tok = match c {
+                b'(' => self.single(Tok::LParen),
+                b')' => self.single(Tok::RParen),
+                b'[' => self.single(Tok::LBracket),
+                b']' => self.single(Tok::RBracket),
+                b'{' => self.single(Tok::LBrace),
+                b'}' => self.single(Tok::RBrace),
+                b',' => self.single(Tok::Comma),
+                b':' => self.single(Tok::Colon),
+                b';' => self.single(Tok::Semicolon),
+                b'|' => self.single(Tok::Pipe),
+                b'*' => self.single(Tok::Star),
+                b'/' => self.single(Tok::Slash),
+                b'%' => self.single(Tok::Percent),
+                b'^' => self.single(Tok::Caret),
+                b'=' => self.single(Tok::Eq),
+                b'-' => self.single(Tok::Minus),
+                b'+' => {
+                    if self.peek_at(1) == Some(b'=') {
+                        self.pos += 2;
+                        Tok::PlusEq
+                    } else {
+                        self.single(Tok::Plus)
+                    }
+                }
+                b'<' => match self.peek_at(1) {
+                    Some(b'=') => {
+                        self.pos += 2;
+                        Tok::Le
+                    }
+                    Some(b'>') => {
+                        self.pos += 2;
+                        Tok::Neq
+                    }
+                    _ => self.single(Tok::Lt),
+                },
+                b'>' => {
+                    if self.peek_at(1) == Some(b'=') {
+                        self.pos += 2;
+                        Tok::Ge
+                    } else {
+                        self.single(Tok::Gt)
+                    }
+                }
+                b'.' => {
+                    if self.peek_at(1) == Some(b'.') {
+                        self.pos += 2;
+                        Tok::DotDot
+                    } else if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                        self.number(start)?
+                    } else {
+                        self.single(Tok::Dot)
+                    }
+                }
+                b'\'' | b'"' => self.string(c)?,
+                b'`' => self.escaped_ident()?,
+                b'$' => self.param()?,
+                b'0'..=b'9' => self.number(start)?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.ident(),
+                other => {
+                    return Err(ParseError::new(
+                        format!("unexpected character {:?}", other as char),
+                        Span::point(start),
+                    ))
+                }
+            };
+            out.push(Token::new(tok, Span::new(start, self.pos)));
+        }
+    }
+
+    fn single(&mut self, tok: Tok) -> Tok {
+        self.pos += 1;
+        tok
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(c) if c.is_ascii_whitespace() => self.pos += 1,
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while self.bytes.get(self.pos).is_some_and(|&c| c != b'\n') {
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match self.bytes.get(self.pos) {
+                            Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => {
+                                return Err(ParseError::new(
+                                    "unterminated block comment",
+                                    Span::new(start, self.pos),
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Tok {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        Tok::Ident(self.input[start..self.pos].to_owned())
+    }
+
+    fn escaped_ident(&mut self) -> Result<Tok> {
+        let start = self.pos;
+        self.pos += 1; // opening backtick
+        let content_start = self.pos;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c == b'`' {
+                let s = self.input[content_start..self.pos].to_owned();
+                self.pos += 1;
+                return Ok(Tok::EscapedIdent(s));
+            }
+            self.pos += 1;
+        }
+        Err(ParseError::new(
+            "unterminated escaped identifier",
+            Span::new(start, self.pos),
+        ))
+    }
+
+    fn param(&mut self) -> Result<Tok> {
+        let start = self.pos;
+        self.pos += 1; // '$'
+        let name_start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == name_start {
+            return Err(ParseError::new(
+                "expected parameter name after '$'",
+                Span::new(start, self.pos),
+            ));
+        }
+        Ok(Tok::Param(self.input[name_start..self.pos].to_owned()))
+    }
+
+    fn string(&mut self, quote: u8) -> Result<Tok> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        while let Some(&c) = self.bytes.get(self.pos) {
+            match c {
+                c if c == quote => {
+                    self.pos += 1;
+                    return Ok(Tok::Str(s));
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).copied().ok_or_else(|| {
+                        ParseError::new("unterminated string", Span::new(start, self.pos))
+                    })?;
+                    s.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'\\' => '\\',
+                        b'\'' => '\'',
+                        b'"' => '"',
+                        other => {
+                            return Err(ParseError::new(
+                                format!("unknown escape \\{}", other as char),
+                                Span::point(self.pos),
+                            ))
+                        }
+                    });
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one full UTF-8 scalar.
+                    let ch = self.input[self.pos..].chars().next().expect("valid utf8");
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        Err(ParseError::new(
+            "unterminated string",
+            Span::new(start, self.pos),
+        ))
+    }
+
+    fn number(&mut self, start: usize) -> Result<Tok> {
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !saw_dot && !saw_exp => {
+                    // Consume the dot only when a digit follows: `1.5` is a
+                    // float, but `1..3` is a range and `1509.key` is a
+                    // property access on an integer literal.
+                    if !self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                        break;
+                    }
+                    saw_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' if !saw_exp => {
+                    // Lookahead for a valid exponent; otherwise this is the
+                    // start of an identifier (e.g. `1e` in `RETURN 1e` is a
+                    // lexing error anyway, keep it simple and consume).
+                    saw_exp = true;
+                    self.pos += 1;
+                    if matches!(self.bytes.get(self.pos), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if saw_dot || saw_exp {
+            text.parse::<f64>().map(Tok::Float).map_err(|e| {
+                ParseError::new(
+                    format!("bad float literal: {e}"),
+                    Span::new(start, self.pos),
+                )
+            })
+        } else {
+            text.parse::<i64>().map(Tok::Int).map_err(|e| {
+                ParseError::new(
+                    format!("bad integer literal: {e}"),
+                    Span::new(start, self.pos),
+                )
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Tok> {
+        lex(input).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lex_simple_match() {
+        assert_eq!(
+            toks("MATCH (p:Product) RETURN p"),
+            vec![
+                Tok::Ident("MATCH".into()),
+                Tok::LParen,
+                Tok::Ident("p".into()),
+                Tok::Colon,
+                Tok::Ident("Product".into()),
+                Tok::RParen,
+                Tok::Ident("RETURN".into()),
+                Tok::Ident("p".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_arrows_as_single_chars() {
+        assert_eq!(
+            toks("<-[r]->"),
+            vec![
+                Tok::Lt,
+                Tok::Minus,
+                Tok::LBracket,
+                Tok::Ident("r".into()),
+                Tok::RBracket,
+                Tok::Minus,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            toks("<> <= >= += = < > .."),
+            vec![
+                Tok::Neq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::PlusEq,
+                Tok::Eq,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::DotDot,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            toks("42 3.25 1e3 2.5e-2 .5"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.25),
+                Tok::Float(1000.0),
+                Tok::Float(0.025),
+                Tok::Float(0.5),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_range_is_not_a_float() {
+        assert_eq!(
+            toks("1..3"),
+            vec![Tok::Int(1), Tok::DotDot, Tok::Int(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_strings_with_escapes() {
+        assert_eq!(
+            toks(r#"'laptop' "a\n'b'" 'it\'s'"#),
+            vec![
+                Tok::Str("laptop".into()),
+                Tok::Str("a\n'b'".into()),
+                Tok::Str("it's".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_unicode_string() {
+        assert_eq!(toks("'héllo→'"), vec![Tok::Str("héllo→".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn lex_comments() {
+        assert_eq!(
+            toks("MATCH // a line comment\n /* block\ncomment */ (n)"),
+            vec![
+                Tok::Ident("MATCH".into()),
+                Tok::LParen,
+                Tok::Ident("n".into()),
+                Tok::RParen,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_escaped_identifier_and_param() {
+        assert_eq!(
+            toks("`weird name` $p1"),
+            vec![
+                Tok::EscapedIdent("weird name".into()),
+                Tok::Param("p1".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let err = lex("MATCH @").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+        assert_eq!(err.span.unwrap().start, 6);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("`oops").is_err());
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn property_access_on_int_lexes_as_dot() {
+        // `p1.id` where p1 is an identifier: covered. `1.id`: the digit
+        // followed by `.i` must not swallow the dot into a float.
+        assert_eq!(
+            toks("p1.id"),
+            vec![
+                Tok::Ident("p1".into()),
+                Tok::Dot,
+                Tok::Ident("id".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,577 @@
+//! Pretty-printer: AST → canonical Cypher text.
+//!
+//! Primarily used for parser round-trip testing (`parse ∘ print ∘ parse`
+//! must be the identity on ASTs) and for diagnostics in the experiment
+//! harness. Output is a single line with minimal but unambiguous
+//! parenthesization (sub-expressions are parenthesized whenever they are
+//! compound).
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Render a query back to Cypher text.
+pub fn print_query(q: &Query) -> String {
+    let mut s = print_single(&q.first);
+    for (kind, sq) in &q.unions {
+        match kind {
+            UnionKind::Distinct => s.push_str(" UNION "),
+            UnionKind::All => s.push_str(" UNION ALL "),
+        }
+        s.push_str(&print_single(sq));
+    }
+    s
+}
+
+fn print_single(sq: &SingleQuery) -> String {
+    sq.clauses
+        .iter()
+        .map(print_clause)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Render one clause.
+pub fn print_clause(c: &Clause) -> String {
+    match c {
+        Clause::Match {
+            optional,
+            patterns,
+            where_clause,
+        } => {
+            let mut s = String::new();
+            if *optional {
+                s.push_str("OPTIONAL ");
+            }
+            s.push_str("MATCH ");
+            s.push_str(&print_patterns(patterns));
+            if let Some(w) = where_clause {
+                let _ = write!(s, " WHERE {}", print_expr(w));
+            }
+            s
+        }
+        Clause::Unwind { expr, alias } => {
+            format!("UNWIND {} AS {}", print_expr(expr), ident(alias))
+        }
+        Clause::With(p) => format!("WITH {}", print_projection(p)),
+        Clause::Return(p) => format!("RETURN {}", print_projection(p)),
+        Clause::Create { patterns } => format!("CREATE {}", print_patterns(patterns)),
+        Clause::Set { items } => {
+            let body = items
+                .iter()
+                .map(print_set_item)
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("SET {body}")
+        }
+        Clause::Remove { items } => {
+            let body = items
+                .iter()
+                .map(print_remove_item)
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("REMOVE {body}")
+        }
+        Clause::Delete { detach, exprs } => {
+            let body = exprs.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+            if *detach {
+                format!("DETACH DELETE {body}")
+            } else {
+                format!("DELETE {body}")
+            }
+        }
+        Clause::Merge {
+            kind,
+            patterns,
+            on_create,
+            on_match,
+        } => {
+            let kw = match kind {
+                MergeKind::Legacy => "MERGE",
+                MergeKind::All => "MERGE ALL",
+                MergeKind::Same => "MERGE SAME",
+            };
+            let mut s = format!("{kw} {}", print_patterns(patterns));
+            if !on_create.is_empty() {
+                let body = on_create
+                    .iter()
+                    .map(print_set_item)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = write!(s, " ON CREATE SET {body}");
+            }
+            if !on_match.is_empty() {
+                let body = on_match
+                    .iter()
+                    .map(print_set_item)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = write!(s, " ON MATCH SET {body}");
+            }
+            s
+        }
+        Clause::Foreach { var, list, body } => {
+            let inner = body.iter().map(print_clause).collect::<Vec<_>>().join(" ");
+            format!("FOREACH ({} IN {} | {inner})", ident(var), print_expr(list))
+        }
+        Clause::CreateIndex { label, key } => {
+            format!("CREATE INDEX ON :{}({})", ident(label), ident(key))
+        }
+        Clause::DropIndex { label, key } => {
+            format!("DROP INDEX ON :{}({})", ident(label), ident(key))
+        }
+    }
+}
+
+fn print_projection(p: &Projection) -> String {
+    let mut s = String::new();
+    if p.distinct {
+        s.push_str("DISTINCT ");
+    }
+    match &p.items {
+        ProjectionItems::Star { extra } => {
+            s.push('*');
+            for item in extra {
+                let _ = write!(s, ", {}", print_projection_item(item));
+            }
+        }
+        ProjectionItems::Items(items) => {
+            s.push_str(
+                &items
+                    .iter()
+                    .map(print_projection_item)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+        }
+    }
+    if !p.order_by.is_empty() {
+        s.push_str(" ORDER BY ");
+        s.push_str(
+            &p.order_by
+                .iter()
+                .map(|si| {
+                    let dir = if si.descending { " DESC" } else { "" };
+                    format!("{}{dir}", print_expr(&si.expr))
+                })
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+    if let Some(skip) = &p.skip {
+        let _ = write!(s, " SKIP {}", print_expr(skip));
+    }
+    if let Some(limit) = &p.limit {
+        let _ = write!(s, " LIMIT {}", print_expr(limit));
+    }
+    if let Some(w) = &p.where_clause {
+        let _ = write!(s, " WHERE {}", print_expr(w));
+    }
+    s
+}
+
+fn print_projection_item(item: &ProjectionItem) -> String {
+    match &item.alias {
+        Some(a) => format!("{} AS {}", print_expr(&item.expr), ident(a)),
+        None => print_expr(&item.expr),
+    }
+}
+
+fn print_set_item(item: &SetItem) -> String {
+    match item {
+        SetItem::Property { target, key, value } => {
+            format!(
+                "{}.{} = {}",
+                print_expr(target),
+                ident(key),
+                print_expr(value)
+            )
+        }
+        SetItem::Replace { target, value } => {
+            format!("{} = {}", ident(target), print_expr(value))
+        }
+        SetItem::MergeProps { target, value } => {
+            format!("{} += {}", ident(target), print_expr(value))
+        }
+        SetItem::Labels { target, labels } => {
+            format!("{}{}", ident(target), label_list(labels))
+        }
+    }
+}
+
+fn print_remove_item(item: &RemoveItem) -> String {
+    match item {
+        RemoveItem::Property { target, key } => {
+            format!("{}.{}", print_expr(target), ident(key))
+        }
+        RemoveItem::Labels { target, labels } => {
+            format!("{}{}", ident(target), label_list(labels))
+        }
+    }
+}
+
+fn label_list(labels: &[String]) -> String {
+    labels.iter().map(|l| format!(":{}", ident(l))).collect()
+}
+
+fn print_patterns(patterns: &[PathPattern]) -> String {
+    patterns
+        .iter()
+        .map(print_path_pattern)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Render one path pattern.
+pub fn print_path_pattern(p: &PathPattern) -> String {
+    let mut s = String::new();
+    if let Some(v) = &p.var {
+        let _ = write!(s, "{} = ", ident(v));
+    }
+    match p.shortest {
+        Some(ShortestKind::Single) => s.push_str("shortestPath("),
+        Some(ShortestKind::All) => s.push_str("allShortestPaths("),
+        None => {}
+    }
+    s.push_str(&print_node_pattern(&p.start));
+    for (rel, node) in &p.steps {
+        s.push_str(&print_rel_pattern(rel));
+        s.push_str(&print_node_pattern(node));
+    }
+    if p.shortest.is_some() {
+        s.push(')');
+    }
+    s
+}
+
+fn print_node_pattern(n: &NodePattern) -> String {
+    let mut s = String::from("(");
+    if let Some(v) = &n.var {
+        s.push_str(&ident(v));
+    }
+    s.push_str(&label_list(&n.labels));
+    if !n.props.is_empty() {
+        if s.len() > 1 {
+            s.push(' ');
+        }
+        s.push_str(&print_prop_map(&n.props));
+    }
+    s.push(')');
+    s
+}
+
+fn print_rel_pattern(r: &RelPattern) -> String {
+    let mut detail = String::new();
+    if let Some(v) = &r.var {
+        detail.push_str(&ident(v));
+    }
+    for (i, t) in r.types.iter().enumerate() {
+        if i == 0 {
+            let _ = write!(detail, ":{}", ident(t));
+        } else {
+            let _ = write!(detail, "|{}", ident(t));
+        }
+    }
+    if let Some(len) = &r.length {
+        detail.push('*');
+        match (len.min, len.max) {
+            (Some(a), Some(b)) if a == b => {
+                let _ = write!(detail, "{a}");
+            }
+            (min, max) => {
+                if let Some(a) = min {
+                    let _ = write!(detail, "{a}");
+                }
+                detail.push_str("..");
+                if let Some(b) = max {
+                    let _ = write!(detail, "{b}");
+                }
+            }
+        }
+    }
+    if !r.props.is_empty() {
+        if !detail.is_empty() {
+            detail.push(' ');
+        }
+        detail.push_str(&print_prop_map(&r.props));
+    }
+    let body = if detail.is_empty() {
+        String::new()
+    } else {
+        format!("[{detail}]")
+    };
+    match r.direction {
+        RelDirection::Outgoing => format!("-{body}->"),
+        RelDirection::Incoming => format!("<-{body}-"),
+        RelDirection::Undirected => format!("-{body}-"),
+    }
+}
+
+fn print_prop_map(entries: &[(String, Expr)]) -> String {
+    let body = entries
+        .iter()
+        .map(|(k, v)| format!("{}: {}", ident(k), print_expr(v)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{body}}}")
+}
+
+fn ident(s: &str) -> String {
+    let plain = !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if plain {
+        s.to_owned()
+    } else {
+        format!("`{s}`")
+    }
+}
+
+/// Render an expression.
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Literal(l) => match l {
+            Lit::Null => "null".into(),
+            Lit::Bool(b) => b.to_string(),
+            Lit::Int(i) => i.to_string(),
+            Lit::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() {
+                    format!("{f:.1}")
+                } else {
+                    format!("{f}")
+                }
+            }
+            Lit::Str(s) => format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'")),
+        },
+        Expr::Variable(v) => ident(v),
+        Expr::Parameter(p) => format!("${p}"),
+        Expr::Property(b, k) => format!("{}.{}", print_operand(b), ident(k)),
+        Expr::List(items) => {
+            // A leading `x IN y` element would re-parse as a list
+            // comprehension header; parenthesize IN-expressions here.
+            let body = items
+                .iter()
+                .map(|item| match item {
+                    Expr::Binary(BinOp::In, _, _) => format!("({})", print_expr(item)),
+                    _ => print_expr(item),
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("[{body}]")
+        }
+        Expr::Map(entries) => {
+            let body = entries
+                .iter()
+                .map(|(k, v)| format!("{}: {}", ident(k), print_expr(v)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{{{body}}}")
+        }
+        Expr::Unary(op, inner) => {
+            let sym = match op {
+                UnaryOp::Not => "NOT ",
+                UnaryOp::Neg => "-",
+                UnaryOp::Pos => "+",
+            };
+            format!("{sym}{}", print_operand(inner))
+        }
+        Expr::Binary(op, l, r) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Pow => "^",
+                BinOp::Eq => "=",
+                BinOp::Ne => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+                BinOp::Xor => "XOR",
+                BinOp::StartsWith => "STARTS WITH",
+                BinOp::EndsWith => "ENDS WITH",
+                BinOp::Contains => "CONTAINS",
+                BinOp::In => "IN",
+            };
+            format!("{} {sym} {}", print_operand(l), print_operand(r))
+        }
+        Expr::IsNull { expr, negated } => {
+            let kw = if *negated { "IS NOT NULL" } else { "IS NULL" };
+            format!("{} {kw}", print_operand(expr))
+        }
+        Expr::Index(b, i) => format!("{}[{}]", print_operand(b), print_expr(i)),
+        Expr::Slice { base, from, to } => {
+            let f = from.as_ref().map(|e| print_expr(e)).unwrap_or_default();
+            let t = to.as_ref().map(|e| print_expr(e)).unwrap_or_default();
+            format!("{}[{f}..{t}]", print_operand(base))
+        }
+        Expr::FnCall {
+            name,
+            distinct,
+            args,
+        } => {
+            let d = if *distinct { "DISTINCT " } else { "" };
+            let body = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+            format!("{}({d}{body})", ident(name))
+        }
+        Expr::CountStar => "count(*)".into(),
+        Expr::Case {
+            input,
+            branches,
+            else_branch,
+        } => {
+            let mut s = String::from("CASE");
+            if let Some(i) = input {
+                let _ = write!(s, " {}", print_expr(i));
+            }
+            for (w, t) in branches {
+                let _ = write!(s, " WHEN {} THEN {}", print_expr(w), print_expr(t));
+            }
+            if let Some(e) = else_branch {
+                let _ = write!(s, " ELSE {}", print_expr(e));
+            }
+            s.push_str(" END");
+            s
+        }
+        Expr::HasLabels(b, labels) => format!("{}{}", print_operand(b), label_list(labels)),
+        Expr::ListComprehension {
+            var,
+            list,
+            filter,
+            body,
+        } => {
+            let mut s = format!("[{} IN {}", ident(var), print_expr(list));
+            if let Some(f) = filter {
+                let _ = write!(s, " WHERE {}", print_expr(f));
+            }
+            if let Some(b) = body {
+                let _ = write!(s, " | {}", print_expr(b));
+            }
+            s.push(']');
+            s
+        }
+        Expr::Quantifier {
+            kind,
+            var,
+            list,
+            pred,
+        } => format!(
+            "{}({} IN {} WHERE {})",
+            kind.name(),
+            ident(var),
+            print_expr(list),
+            print_expr(pred)
+        ),
+        Expr::Reduce {
+            acc,
+            init,
+            var,
+            list,
+            body,
+        } => format!(
+            "reduce({} = {}, {} IN {} | {})",
+            ident(acc),
+            print_expr(init),
+            ident(var),
+            print_expr(list),
+            print_expr(body)
+        ),
+        Expr::PatternPredicate(p) => print_path_pattern(p),
+    }
+}
+
+/// Render a sub-expression, parenthesizing compound forms.
+fn print_operand(e: &Expr) -> String {
+    match e {
+        Expr::Binary(..) | Expr::Unary(..) | Expr::IsNull { .. } | Expr::Case { .. } => {
+            format!("({})", print_expr(e))
+        }
+        _ => print_expr(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(input: &str) {
+        let ast1 = parse(input).unwrap();
+        let printed = print_query(&ast1);
+        let ast2 =
+            parse(&printed).unwrap_or_else(|e| panic!("re-parse of {printed:?} failed: {e}"));
+        // Comparison chains and parenthesization may change the tree shape
+        // only when we print extra parens; ASTs must match exactly because
+        // print_operand parenthesizes deterministically.
+        assert_eq!(
+            ast1, ast2,
+            "round-trip mismatch for {input:?} → {printed:?}"
+        );
+    }
+
+    #[test]
+    fn roundtrip_paper_queries() {
+        for q in [
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) \
+             WHERE p.name = 'laptop' RETURN v",
+            "MATCH (u:User {id: 89}) CREATE (u)-[:ORDERED]->(:New_Product {id: 0})",
+            "MATCH (p:New_Product {id: 0}) SET p:Product, p.id = 120, \
+             p.name = 'smartphone' REMOVE p:New_Product",
+            "MATCH (p:Product {id: 120}) DETACH DELETE p",
+            "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) RETURN p, v",
+            "MERGE ALL (:User {id: cid})-[:ORDERED]->(:Product {id: pid})",
+            "MERGE SAME (:User {id: bid})-[:ORDERED]->(:Product {id: pid})\
+             <-[:OFFERS]-(:User {id: sid})",
+            "MATCH (user)-[order:ORDERED]->(product) DELETE user \
+             SET user.id = 999 DELETE order RETURN user",
+        ] {
+            roundtrip(q);
+        }
+    }
+
+    #[test]
+    fn roundtrip_misc_constructs() {
+        for q in [
+            "UNWIND [1, 2, 3] AS x WITH x WHERE x > 1 RETURN x AS y ORDER BY y DESC SKIP 1 LIMIT 5",
+            "MATCH p = (a)-[r:T*1..3]->(b) RETURN p, r",
+            "MATCH (a)-[:A|B]-(b) RETURN count(DISTINCT a), collect(b.x)",
+            "RETURN CASE WHEN 1 < 2 THEN 'a' ELSE 'b' END",
+            "RETURN CASE x WHEN 1 THEN 'one' END",
+            "MATCH (n) WHERE n.name STARTS WITH 'lap' AND n:Product RETURN n",
+            "FOREACH (x IN [1, 2] | CREATE (:L {v: x}))",
+            "MATCH (a) RETURN a UNION MATCH (b) RETURN b UNION ALL MATCH (c) RETURN c",
+            "MATCH (n) SET n = {a: 1}, n += {b: [1, 2.5, 'x']}, n:L1:L2",
+            "MATCH (n) RETURN *, n.x[0], n.y[1..2], -n.z, NOT (n.a IS NULL)",
+            "MATCH (`weird var`:`odd label`) RETURN `weird var`",
+            "OPTIONAL MATCH (a)-->(b) DELETE a, b",
+            "RETURN $param + 1",
+            "RETURN [x IN [1, 2] WHERE x > 1 | x * 2], [y IN xs], [z IN xs WHERE z]",
+            "RETURN all(x IN xs WHERE x > 0), single(y IN ys WHERE y = 1)",
+            "RETURN reduce(acc = 0, x IN [1, 2] | acc + x)",
+            "MERGE (u:User {id: 1}) ON CREATE SET u.created = true \
+             ON MATCH SET u.hits = u.hits + 1, u.seen = true",
+        ] {
+            roundtrip(q);
+        }
+    }
+
+    #[test]
+    fn in_expression_in_list_literal_is_parenthesized() {
+        // `[x IN xs, …]` would re-parse as a comprehension header.
+        roundtrip("RETURN [(x IN xs), null]");
+        let q = parse("RETURN [(x IN xs), 2]").unwrap();
+        assert_eq!(print_query(&q), "RETURN [(x IN xs), 2]");
+    }
+
+    #[test]
+    fn printed_text_is_stable() {
+        let q = parse("match (n:User{id:1}) return n.id as x").unwrap();
+        assert_eq!(print_query(&q), "MATCH (n:User {id: 1}) RETURN n.id AS x");
+    }
+}

@@ -1,0 +1,127 @@
+//! Token model for the Cypher lexer.
+
+use std::fmt;
+
+/// Byte span of a token in the source text, for error reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span (synthetic tokens, EOF).
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+}
+
+/// Lexical token kinds. Keywords are *not* distinguished here — Cypher
+/// keywords are not reserved, so `Ident` carries them and the parser matches
+/// case-insensitively in clause position.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Backtick-escaped identifier: `` `weird name` ``.
+    EscapedIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// `$param`
+    Param(String),
+
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Semicolon,
+    Dot,
+    DotDot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Caret,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    PlusEq,
+    Pipe,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::EscapedIdent(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Param(p) => write!(f, "${p}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Comma => write!(f, ","),
+            Tok::Colon => write!(f, ":"),
+            Tok::Semicolon => write!(f, ";"),
+            Tok::Dot => write!(f, "."),
+            Tok::DotDot => write!(f, ".."),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Caret => write!(f, "^"),
+            Tok::Eq => write!(f, "="),
+            Tok::Neq => write!(f, "<>"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::PlusEq => write!(f, "+="),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+impl Token {
+    pub fn new(tok: Tok, span: Span) -> Self {
+        Token { tok, span }
+    }
+
+    /// Is this an (unescaped) identifier equal to `kw`, case-insensitively?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        match &self.tok {
+            Tok::Ident(s) => s.eq_ignore_ascii_case(kw),
+            _ => false,
+        }
+    }
+}

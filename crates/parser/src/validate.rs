@@ -1,0 +1,298 @@
+//! Dialect validation.
+//!
+//! The parser accepts the union of the Cypher 9 grammar (Figures 2–5) and
+//! the revised grammar (Figure 10). This module enforces what each dialect
+//! actually allows:
+//!
+//! **Cypher 9** (§3, §4.4):
+//! * `MERGE ALL` / `MERGE SAME` do not exist.
+//! * Legacy `MERGE` takes exactly *one* pattern, whose relationships may be
+//!   undirected.
+//! * A reading clause may not directly follow an update clause — a `WITH`
+//!   is required in between ("a clear demarcation line marking when effects
+//!   of update clauses become visible", §4.4). `RETURN` may end the query.
+//!
+//! **Revised** (§7, Figure 10):
+//! * Bare `MERGE` "will no longer be allowed"; only `MERGE ALL`/`MERGE SAME`.
+//! * `MERGE ALL`/`SAME` take tuples of path patterns whose relationships
+//!   must be directed (same as `CREATE`).
+//! * Clauses mix freely; no `WITH` demarcation requirement.
+//!
+//! **Both dialects**:
+//! * `CREATE` relationships must be directed and carry exactly one type.
+//! * `CREATE`/`MERGE` relationships may not be variable-length.
+//! * `RETURN` only as the last clause; `FOREACH` bodies contain only update
+//!   clauses (guaranteed by the grammar, re-checked here for programmatic
+//!   AST construction).
+
+use crate::ast::*;
+use crate::error::{ParseError, Result};
+
+/// Validate `query` against `dialect`. Errors carry no span (they are
+/// structural, not lexical).
+pub fn validate(query: &Query, dialect: Dialect) -> Result<()> {
+    validate_single(&query.first, dialect)?;
+    for (_, sq) in &query.unions {
+        validate_single(sq, dialect)?;
+    }
+    // All arms of a UNION must produce results; enforce a trailing RETURN
+    // when UNION is used at all.
+    if !query.unions.is_empty() {
+        for sq in std::iter::once(&query.first).chain(query.unions.iter().map(|(_, q)| q)) {
+            if !matches!(sq.clauses.last(), Some(Clause::Return(_))) {
+                return Err(ParseError::no_span(
+                    "every arm of a UNION must end with RETURN",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_single(sq: &SingleQuery, dialect: Dialect) -> Result<()> {
+    let clauses = &sq.clauses;
+    // Schema commands stand alone.
+    if clauses
+        .iter()
+        .any(|c| matches!(c, Clause::CreateIndex { .. } | Clause::DropIndex { .. }))
+        && clauses.len() != 1
+    {
+        return Err(ParseError::no_span(
+            "CREATE INDEX / DROP INDEX must be the only clause in a statement",
+        ));
+    }
+    for (i, clause) in clauses.iter().enumerate() {
+        // RETURN must be last.
+        if matches!(clause, Clause::Return(_)) && i + 1 != clauses.len() {
+            return Err(ParseError::no_span("RETURN must be the final clause"));
+        }
+        // WITH's WHERE is fine; RETURN must not carry WHERE (parser already
+        // prevents this, but programmatic ASTs might not).
+        if let Clause::Return(p) = clause {
+            if p.where_clause.is_some() {
+                return Err(ParseError::no_span("RETURN cannot have a WHERE"));
+            }
+        }
+        validate_clause(clause, dialect)?;
+    }
+
+    if dialect == Dialect::Cypher9 {
+        // Figure 2: reading* update+ [WITH clause-sequence]. Once updates
+        // start, the only permitted readers are a WITH (which resets) or a
+        // final RETURN.
+        let mut seen_update = false;
+        for clause in clauses {
+            match clause {
+                Clause::With(_) => seen_update = false,
+                Clause::Return(_) => {}
+                c if c.is_update() => seen_update = true,
+                c => {
+                    if seen_update {
+                        return Err(ParseError::no_span(format!(
+                            "Cypher 9 requires WITH between update clauses and {} (§4.4)",
+                            c.name()
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_clause(clause: &Clause, dialect: Dialect) -> Result<()> {
+    match clause {
+        Clause::Create { patterns } => {
+            for p in patterns {
+                validate_write_pattern(p, "CREATE", true)?;
+            }
+        }
+        Clause::Merge {
+            kind,
+            patterns,
+            on_create,
+            on_match,
+        } => {
+            if *kind != MergeKind::Legacy && (!on_create.is_empty() || !on_match.is_empty()) {
+                return Err(ParseError::no_span(
+                    "ON CREATE / ON MATCH actions only apply to the legacy MERGE",
+                ));
+            }
+            match (dialect, kind) {
+                (Dialect::Cypher9, MergeKind::Legacy) => {
+                    if patterns.len() != 1 {
+                        return Err(ParseError::no_span(
+                            "Cypher 9 MERGE takes a single pattern (Figure 3)",
+                        ));
+                    }
+                    // Undirected relationships allowed; still no var-length and
+                    // each relationship needs exactly one type.
+                    validate_write_pattern(&patterns[0], "MERGE", false)?;
+                }
+                (Dialect::Cypher9, _) => {
+                    return Err(ParseError::no_span(
+                        "MERGE ALL / MERGE SAME are not part of Cypher 9",
+                    ));
+                }
+                (Dialect::Revised, MergeKind::Legacy) => {
+                    return Err(ParseError::no_span(
+                        "bare MERGE is no longer allowed; use MERGE ALL or MERGE SAME (§7)",
+                    ));
+                }
+                (Dialect::Revised, _) => {
+                    for p in patterns {
+                        validate_write_pattern(p, clause.name(), true)?;
+                    }
+                }
+            }
+        }
+        Clause::Foreach { body, .. } => {
+            for inner in body {
+                if !inner.is_update() {
+                    return Err(ParseError::no_span(format!(
+                        "FOREACH body may only contain update clauses, found {}",
+                        inner.name()
+                    )));
+                }
+                validate_clause(inner, dialect)?;
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Check a pattern used in a writing clause: every relationship must carry
+/// exactly one type, no variable-length, and (when `directed_only`) a
+/// direction.
+fn validate_write_pattern(p: &PathPattern, clause: &str, directed_only: bool) -> Result<()> {
+    if p.shortest.is_some() {
+        return Err(ParseError::no_span(format!(
+            "shortestPath is not allowed in {clause} patterns"
+        )));
+    }
+    for (rel, _) in &p.steps {
+        if rel.types.len() != 1 {
+            return Err(ParseError::no_span(format!(
+                "{clause} relationships must have exactly one type \
+                 (to ensure every relationship has a unique type, §3)"
+            )));
+        }
+        if rel.length.is_some() {
+            return Err(ParseError::no_span(format!(
+                "{clause} relationships cannot be variable-length"
+            )));
+        }
+        if directed_only && rel.direction == RelDirection::Undirected {
+            return Err(ParseError::no_span(format!(
+                "{clause} relationships must be directed"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(input: &str, dialect: Dialect) -> Result<()> {
+        validate(&parse(input).unwrap(), dialect)
+    }
+
+    #[test]
+    fn cypher9_requires_with_after_updates() {
+        let q = "MATCH (n) CREATE (m) MATCH (x) RETURN x";
+        let err = check(q, Dialect::Cypher9).unwrap_err();
+        assert!(err.message.contains("WITH"));
+        // The revised dialect drops the requirement (§7 "Syntax").
+        assert!(check(q, Dialect::Revised).is_ok());
+    }
+
+    #[test]
+    fn cypher9_with_resets_demarcation() {
+        let q = "MATCH (n) CREATE (m) WITH m MATCH (x) RETURN x";
+        assert!(check(q, Dialect::Cypher9).is_ok());
+    }
+
+    #[test]
+    fn cypher9_allows_trailing_return_after_updates() {
+        let q = "MATCH (n) DELETE n RETURN n";
+        assert!(check(q, Dialect::Cypher9).is_ok());
+    }
+
+    #[test]
+    fn merge_all_rejected_in_cypher9() {
+        let err = check("MERGE ALL (:A)-[:T]->(:B)", Dialect::Cypher9).unwrap_err();
+        assert!(err.message.contains("not part of Cypher 9"));
+    }
+
+    #[test]
+    fn bare_merge_rejected_in_revised() {
+        let err = check("MERGE (:A)-[:T]->(:B)", Dialect::Revised).unwrap_err();
+        assert!(err.message.contains("no longer allowed"));
+        assert!(check("MERGE SAME (:A)-[:T]->(:B)", Dialect::Revised).is_ok());
+        assert!(check("MERGE ALL (:A)-[:T]->(:B)", Dialect::Revised).is_ok());
+    }
+
+    #[test]
+    fn legacy_merge_single_pattern_only() {
+        let err = check("MERGE (:A)-[:T]->(:B), (:C)", Dialect::Cypher9).unwrap_err();
+        assert!(err.message.contains("single pattern"));
+    }
+
+    #[test]
+    fn legacy_merge_allows_undirected() {
+        assert!(check("MERGE (a)-[:T]-(b)", Dialect::Cypher9).is_ok());
+    }
+
+    #[test]
+    fn revised_merge_requires_direction() {
+        let err = check("MERGE SAME (a)-[:T]-(b)", Dialect::Revised).unwrap_err();
+        assert!(err.message.contains("directed"));
+    }
+
+    #[test]
+    fn revised_merge_allows_tuples() {
+        assert!(check("MERGE ALL (a)-[:T]->(b), (b)-[:U]->(c)", Dialect::Revised).is_ok());
+    }
+
+    #[test]
+    fn create_requires_direction_and_single_type() {
+        for d in [Dialect::Cypher9, Dialect::Revised] {
+            assert!(check("CREATE (a)-[:T]-(b)", d).is_err());
+            assert!(check("CREATE (a)-[:T|U]->(b)", d).is_err());
+            assert!(check("CREATE (a)-[r]->(b)", d).is_err());
+            assert!(check("CREATE (a)-[:T*2]->(b)", d).is_err());
+            assert!(check("CREATE (a)-[:T]->(b)", d).is_ok());
+        }
+    }
+
+    #[test]
+    fn return_must_be_last() {
+        let err = check("MATCH (n) RETURN n MATCH (m) RETURN m", Dialect::Revised).unwrap_err();
+        assert!(err.message.contains("final clause"));
+    }
+
+    #[test]
+    fn union_arms_need_return() {
+        let err = check(
+            "MATCH (n) RETURN n UNION MATCH (m) DELETE m",
+            Dialect::Revised,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("UNION"));
+    }
+
+    #[test]
+    fn paper_section42_query_is_valid_cypher9() {
+        // DELETE / SET / DELETE / RETURN: updates followed by RETURN only.
+        assert!(check(
+            "MATCH (user)-[order:ORDERED]->(product) \
+             DELETE user SET user.id = 999 DELETE order RETURN user",
+            Dialect::Cypher9
+        )
+        .is_ok());
+    }
+}

@@ -1,0 +1,117 @@
+//! The §5 bulk-import use case: populate a graph from CSV data.
+//!
+//! "MERGE is often used to populate a graph based on a table that has been
+//! produced by importing from a relational database or a CSV file."
+//!
+//! This example round-trips an order table through real CSV text, imports
+//! it with `MERGE SAME` (deduplicating in the engine), and compares the
+//! result with `MERGE ALL` and with the legacy two-phase idiom ("input
+//! nodes first and relationships later", §4.3).
+//!
+//! ```text
+//! cargo run --example csv_import
+//! ```
+
+use cypher_core::{Dialect, Engine};
+use cypher_datagen::{csv, order_table, OrderTableConfig};
+use cypher_graph::{GraphSummary, PropertyGraph};
+
+fn main() {
+    // A dirty import table: 30% duplicate (cid, pid) pairs, 5% null pids.
+    let table = order_table(&OrderTableConfig {
+        rows: 200,
+        customers: 40,
+        products: 60,
+        duplicate_ratio: 0.3,
+        null_ratio: 0.05,
+        seed: 2024,
+    });
+    let text = csv::to_csv(&table);
+    println!("CSV input: {} bytes, first lines:", text.len());
+    for line in text.lines().take(4) {
+        println!("  {line}");
+    }
+
+    // Parse the CSV back into a parameter value.
+    let rows = csv::csv_as_value(&text);
+
+    // Import 1: MERGE SAME — one statement, engine deduplicates.
+    let engine = Engine::builder(Dialect::Revised)
+        .param("rows", rows.clone())
+        .build();
+    let mut g_same = PropertyGraph::new();
+    let res = engine
+        .run(
+            &mut g_same,
+            "UNWIND $rows AS row WITH row.cid AS cid, row.pid AS pid \
+             MERGE SAME (:User {id: cid})-[:ORDERED]->(:Product {id: pid})",
+        )
+        .expect("merge same import");
+    println!("\nMERGE SAME import: {}", GraphSummary::of(&g_same));
+    println!("  stats: {:?}", res.stats);
+
+    // Import 2: MERGE ALL — no deduplication, every row creates.
+    let mut g_all = PropertyGraph::new();
+    engine
+        .run(
+            &mut g_all,
+            "UNWIND $rows AS row WITH row.cid AS cid, row.pid AS pid \
+             MERGE ALL (:User {id: cid})-[:ORDERED]->(:Product {id: pid})",
+        )
+        .expect("merge all import");
+    println!("MERGE ALL  import: {}", GraphSummary::of(&g_all));
+
+    // Import 3: the legacy idiom — nodes first, then relationships, with
+    // per-record MERGE reading its own writes.
+    let legacy = Engine::builder(Dialect::Cypher9)
+        .param("rows", rows)
+        .build();
+    let mut g_legacy = PropertyGraph::new();
+    legacy
+        .run(
+            &mut g_legacy,
+            "UNWIND $rows AS row WITH row.cid AS cid MERGE (:User {id: cid})",
+        )
+        .expect("legacy users");
+    legacy
+        .run(
+            &mut g_legacy,
+            "UNWIND $rows AS row WITH row.pid AS pid MERGE (:Product {id: pid})",
+        )
+        .expect("legacy products");
+    legacy
+        .run(
+            &mut g_legacy,
+            "UNWIND $rows AS row \
+             MATCH (u:User {id: row.cid}), (p:Product {id: row.pid}) \
+             WITH u, p MERGE (u)-[:ORDERED]->(p)",
+        )
+        .expect("legacy rels");
+    println!(
+        "legacy idiom (3 statements): {}",
+        GraphSummary::of(&g_legacy)
+    );
+
+    // Sanity: MERGE SAME in one statement reaches (almost) the legacy
+    // three-statement result — the difference is exactly the null-pid rows,
+    // which legacy MERGE matches per-record against its own writes while
+    // MERGE SAME collapses into a single null product.
+    println!(
+        "\nnull-pid rows in the table: {}",
+        table
+            .iter()
+            .filter(|r| matches!(r[1].1, cypher_graph::Value::Null))
+            .count()
+    );
+    let q = "MATCH (p:Product) WHERE p.id IS NULL RETURN count(*) AS nullProducts";
+    let mut g = g_same;
+    println!(
+        "null products after MERGE SAME: {}",
+        Engine::revised().run(&mut g, q).unwrap().rows[0][0]
+    );
+    let mut g = g_legacy;
+    println!(
+        "null products after legacy idiom: {}",
+        Engine::legacy().run(&mut g, q).unwrap().rows[0][0]
+    );
+}

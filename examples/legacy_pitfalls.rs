@@ -1,0 +1,99 @@
+//! The §4 anomalies, demonstrated live: legacy Cypher 9 on the left,
+//! the revised §7 semantics on the right.
+//!
+//! ```text
+//! cargo run --example legacy_pitfalls
+//! ```
+
+use cypher_core::{Dialect, Engine, ProcessingOrder};
+use cypher_graph::{GraphSummary, PropertyGraph};
+
+fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn main() {
+    let legacy = Engine::legacy();
+    let revised = Engine::revised();
+
+    // ------------------------------------------------------------------
+    section("Example 1 (§4.1): swapping two properties with one SET");
+    let setup = "CREATE (:Product {name: 'laptop', id: 85}), \
+                 (:Product {name: 'tablet', id: 125})";
+    let swap = "MATCH (p1:Product{name:\"laptop\"}), (p2:Product{name:\"tablet\"}) \
+                SET p1.id = p2.id, p2.id = p1.id";
+    let read = "MATCH (p:Product) RETURN p.name AS name, p.id AS id ORDER BY name";
+
+    let mut g = PropertyGraph::new();
+    legacy.run(&mut g, setup).unwrap();
+    legacy.run(&mut g, swap).unwrap();
+    println!("legacy — the swap silently becomes a no-op:");
+    println!("{}", legacy.run(&mut g, read).unwrap().render());
+
+    let mut g = PropertyGraph::new();
+    revised.run(&mut g, setup).unwrap();
+    revised.run(&mut g, swap).unwrap();
+    println!("revised — both assignments evaluate on the input graph:");
+    println!("{}", revised.run(&mut g, read).unwrap().render());
+
+    // ------------------------------------------------------------------
+    section("Example 2 (§4.1): dirty data makes SET nondeterministic");
+    let setup = "CREATE (:Product {id: 125, name: 'laptop'}), \
+                 (:Product {id: 125, name: 'notebook'}), \
+                 (:Product {id: 85, name: 'tablet'})";
+    let query = "MATCH (p1:Product{id:85}), (p2:Product{id:125}) SET p1.name = p2.name";
+
+    for order in [ProcessingOrder::Forward, ProcessingOrder::Reverse] {
+        let e = Engine::builder(Dialect::Cypher9)
+            .processing_order(order)
+            .build();
+        let mut g = PropertyGraph::new();
+        e.run(&mut g, setup).unwrap();
+        e.run(&mut g, query).unwrap();
+        let r = e
+            .run(&mut g, "MATCH (p:Product {id: 85}) RETURN p.name AS name")
+            .unwrap();
+        println!(
+            "legacy, {order:?} record order → p3.name = {}",
+            r.rows[0][0]
+        );
+    }
+    let mut g = PropertyGraph::new();
+    revised.run(&mut g, setup).unwrap();
+    let err = revised.run(&mut g, query).unwrap_err();
+    println!("revised → statement aborts:\n  {err}");
+
+    // ------------------------------------------------------------------
+    section("§4.2: updating and returning a deleted node");
+    let setup = "CREATE (u:User {id: 89})-[:ORDERED]->(:Product {id: 120})";
+    let query = "MATCH (user)-[order:ORDERED]->(product) \
+                 DELETE user SET user.id = 999 DELETE order RETURN user";
+
+    let mut g = PropertyGraph::new();
+    legacy.run(&mut g, setup).unwrap();
+    let r = legacy.run(&mut g, query).unwrap();
+    println!(
+        "legacy — the query 'goes through without an error and returns an empty node': {}",
+        r.rows[0][0]
+    );
+    println!("         graph afterwards: {}", GraphSummary::of(&g));
+
+    let mut g = PropertyGraph::new();
+    revised.run(&mut g, setup).unwrap();
+    let err = revised.run(&mut g, query).unwrap_err();
+    println!("revised — the first DELETE already fails:\n  {err}");
+
+    // ------------------------------------------------------------------
+    section("§4.2 continued: a statement that *ends* dangling");
+    let mut g = PropertyGraph::new();
+    legacy.run(&mut g, setup).unwrap();
+    let err = legacy
+        .run(&mut g, "MATCH (user)-[:ORDERED]->() DELETE user")
+        .unwrap_err();
+    println!("legacy — deletes eagerly, then the commit-time integrity check fires:");
+    println!("  {err}");
+    println!(
+        "  …and the statement rolled back: {} (graph legal again)",
+        GraphSummary::of(&g)
+    );
+}

@@ -1,0 +1,97 @@
+//! Quickstart: the paper's §2–§3 walkthrough in ~60 lines.
+//!
+//! Builds the Figure 1 marketplace graph with Cypher, runs Queries (1)–(5)
+//! and prints each result, ending with the graph state after the `MERGE`.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cypher_core::Engine;
+use cypher_graph::{fmt::dump, GraphSummary, PropertyGraph};
+
+fn main() {
+    // Cypher 9 semantics, as shipped in Neo4j when the paper was written.
+    let engine = Engine::legacy();
+    let mut graph = PropertyGraph::new();
+
+    // Figure 1, solid lines.
+    engine
+        .run(
+            &mut graph,
+            "CREATE (v1:Vendor {id: 60, name: 'cStore'}), \
+                    (p1:Product {id: 125, name: 'laptop'}), \
+                    (p2:Product {id: 125, name: 'notebook'}), \
+                    (p3:Product {id: 85, name: 'tablet'}), \
+                    (u1:User {id: 89, name: 'Bob'}), \
+                    (u2:User {id: 99, name: 'Jane'}), \
+                    (v1)-[:OFFERS]->(p1), (v1)-[:OFFERS]->(p2), \
+                    (u1)-[:ORDERED]->(p1), (u1)-[:ORDERED]->(p3), \
+                    (u2)-[:ORDERED]->(p3), (u2)-[:OFFERS]->(p3)",
+        )
+        .expect("build Figure 1");
+    println!("Figure 1 base graph: {}\n", GraphSummary::of(&graph));
+
+    // Query (1): vendors offering two products, one named "laptop".
+    let q1 = engine
+        .run(
+            &mut graph,
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) \
+             WHERE p.name = \"laptop\" \
+             RETURN v.name AS vendor",
+        )
+        .expect("Query 1");
+    println!(
+        "Query (1) — vendors offering a laptop and another product:\n{}",
+        q1.render()
+    );
+
+    // Query (2): Bob orders a new product.
+    let q2 = engine
+        .run(
+            &mut graph,
+            "MATCH (u:User{id:89}) CREATE (u)-[:ORDERED]->(:New_Product{id:0})",
+        )
+        .expect("Query 2");
+    println!(
+        "Query (2) created {} node(s), {} relationship(s)\n",
+        q2.stats.nodes_created, q2.stats.rels_created
+    );
+
+    // Query (3): fix up the new product.
+    engine
+        .run(
+            &mut graph,
+            "MATCH (p:New_Product{id:0}) \
+             SET p:Product, p.id=120, p.name=\"smartphone\" \
+             REMOVE p:New_Product",
+        )
+        .expect("Query 3");
+
+    // Plain DELETE fails while the :ORDERED relationship is attached…
+    let err = engine
+        .run(&mut graph, "MATCH (p:Product{id:120}) DELETE p")
+        .expect_err("DELETE of a connected node must fail");
+    println!("bare DELETE failed as §3 describes:\n  {err}\n");
+
+    // …Query (4): DETACH DELETE removes node and relationship together.
+    engine
+        .run(&mut graph, "MATCH (p:Product{id:120}) DETACH DELETE p")
+        .expect("Query 4");
+
+    // Query (5): ensure every product has a vendor (match-or-create).
+    let q5 = engine
+        .run(
+            &mut graph,
+            "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) \
+             RETURN p.name AS product, coalesce(v.name, '<new vendor>') AS vendor",
+        )
+        .expect("Query 5");
+    println!(
+        "Query (5) — every product paired with a vendor:\n{}",
+        q5.render()
+    );
+
+    println!("Final graph ({}):", GraphSummary::of(&graph));
+    print!("{}", dump(&graph));
+}

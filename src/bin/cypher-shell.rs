@@ -1,0 +1,297 @@
+//! `cypher-shell` — an interactive REPL over the reproduction engine.
+//!
+//! Statements end with `;`. Both dialects are available at runtime:
+//!
+//! ```text
+//! $ cargo run --bin cypher-shell
+//! cypher (legacy)> CREATE (:User {id: 1});
+//! (no rows) … 1 node created
+//! cypher (legacy)> :dialect revised
+//! cypher (revised)> MERGE SAME (:User {id: 1})-[:ORDERED]->(:Product {id: 9});
+//! ```
+//!
+//! Meta commands:
+//!
+//! | command | effect |
+//! |---|---|
+//! | `:help` | list commands |
+//! | `:dialect legacy\|revised` | switch semantics (§3 vs §7) |
+//! | `:order forward\|reverse` | legacy record processing order (Example 3) |
+//! | `:match iso\|homo` | relationship-uniqueness discipline (Example 7) |
+//! | `:policy atomic\|grouping\|weak\|collapse\|strong\|off` | force a §6 MERGE proposal |
+//! | `:load csv <file> <param>` | load a CSV file into `$param` |
+//! | `:source <file>` | run a `;`-separated Cypher script |
+//! | `:save <file>` | export the graph as a Cypher CREATE script |
+//! | `:dump` | print the graph |
+//! | `:stats` | print the graph summary |
+//! | `:reset` | empty the graph |
+//! | `:quit` | exit |
+
+use std::io::{self, BufRead, Write};
+
+use cypher_core::{Dialect, Engine, EngineBuilder, MatchMode, MergePolicy, ProcessingOrder};
+use cypher_graph::{fmt::dump, GraphSummary, PropertyGraph, Value};
+
+struct Shell {
+    graph: PropertyGraph,
+    dialect: Dialect,
+    order: ProcessingOrder,
+    match_mode: MatchMode,
+    policy: Option<MergePolicy>,
+    params: Vec<(String, Value)>,
+}
+
+impl Shell {
+    fn new() -> Self {
+        Shell {
+            graph: PropertyGraph::new(),
+            dialect: Dialect::Cypher9,
+            order: ProcessingOrder::Forward,
+            match_mode: MatchMode::EdgeIsomorphic,
+            policy: None,
+            params: Vec::new(),
+        }
+    }
+
+    fn engine(&self) -> Engine {
+        let mut b = EngineBuilder::new(self.dialect)
+            .processing_order(self.order)
+            .match_mode(self.match_mode);
+        if let Some(p) = self.policy {
+            b = b.merge_policy(p);
+        }
+        for (k, v) in &self.params {
+            b = b.param(k.clone(), v.clone());
+        }
+        b.build()
+    }
+
+    fn prompt(&self) -> String {
+        let dialect = match self.dialect {
+            Dialect::Cypher9 => "legacy",
+            Dialect::Revised => "revised",
+        };
+        format!("cypher ({dialect})> ")
+    }
+
+    fn run_statement(&mut self, text: &str) {
+        let engine = self.engine();
+        // `EXPLAIN <statement>` describes the evaluation strategy instead
+        // of running it.
+        if text.len() >= 8 && text[..7].eq_ignore_ascii_case("EXPLAIN") {
+            match engine.explain(&self.graph, text[7..].trim()) {
+                Ok(plan) => print!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+            return;
+        }
+        match engine.run(&mut self.graph, text) {
+            Ok(result) => {
+                if result.columns.is_empty() {
+                    println!("(no rows)");
+                } else {
+                    print!("{}", result.render());
+                    println!("({} row(s))", result.rows.len());
+                }
+                if result.stats.contains_updates() {
+                    let s = result.stats;
+                    let mut parts = Vec::new();
+                    for (n, what) in [
+                        (s.nodes_created, "nodes created"),
+                        (s.rels_created, "rels created"),
+                        (s.nodes_deleted, "nodes deleted"),
+                        (s.rels_deleted, "rels deleted"),
+                        (s.props_set, "props set"),
+                        (s.labels_added, "labels added"),
+                        (s.labels_removed, "labels removed"),
+                    ] {
+                        if n > 0 {
+                            parts.push(format!("{n} {what}"));
+                        }
+                    }
+                    println!("{}", parts.join(", "));
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// Returns false when the shell should exit.
+    fn meta(&mut self, line: &str) -> bool {
+        let mut words = line.split_whitespace();
+        match words.next().unwrap_or("") {
+            ":quit" | ":exit" | ":q" => return false,
+            ":help" => {
+                println!(
+                    ":dialect legacy|revised   switch semantics (§3 vs §7)\n\
+                     :order forward|reverse    legacy record order (Example 3)\n\
+                     :match iso|homo           matching discipline (Example 7)\n\
+                     :policy atomic|grouping|weak|collapse|strong|off\n\
+                     :load csv <file> <param>  load CSV rows into $param\n\
+                     :source <file>            run a Cypher script\n\
+                     :save <file>              export graph as a CREATE script\n\
+                     :dump | :stats | :reset | :quit"
+                );
+            }
+            ":dialect" => match words.next() {
+                Some("legacy") => self.dialect = Dialect::Cypher9,
+                Some("revised") => self.dialect = Dialect::Revised,
+                _ => println!("usage: :dialect legacy|revised"),
+            },
+            ":order" => match words.next() {
+                Some("forward") => self.order = ProcessingOrder::Forward,
+                Some("reverse") => self.order = ProcessingOrder::Reverse,
+                _ => println!("usage: :order forward|reverse"),
+            },
+            ":match" => match words.next() {
+                Some("iso") => self.match_mode = MatchMode::EdgeIsomorphic,
+                Some("homo") => self.match_mode = MatchMode::Homomorphic,
+                _ => println!("usage: :match iso|homo"),
+            },
+            ":policy" => match words.next() {
+                Some("atomic") => self.policy = Some(MergePolicy::Atomic),
+                Some("grouping") => self.policy = Some(MergePolicy::Grouping),
+                Some("weak") => self.policy = Some(MergePolicy::WeakCollapse),
+                Some("collapse") => self.policy = Some(MergePolicy::Collapse),
+                Some("strong") => self.policy = Some(MergePolicy::StrongCollapse),
+                Some("off") => self.policy = None,
+                _ => println!("usage: :policy atomic|grouping|weak|collapse|strong|off"),
+            },
+            ":load" => {
+                let (Some("csv"), Some(path), Some(param)) =
+                    (words.next(), words.next(), words.next())
+                else {
+                    println!("usage: :load csv <file> <param>");
+                    return true;
+                };
+                match std::fs::read_to_string(path) {
+                    Ok(text) => {
+                        let rows = cypher_datagen::csv::csv_as_value(&text);
+                        let n = match &rows {
+                            Value::List(items) => items.len(),
+                            _ => 0,
+                        };
+                        self.params.retain(|(k, _)| k != param);
+                        self.params.push((param.to_owned(), rows));
+                        println!("loaded {n} row(s) into ${param}");
+                    }
+                    Err(e) => println!("error reading {path}: {e}"),
+                }
+            }
+            ":source" => {
+                let Some(path) = words.next() else {
+                    println!("usage: :source <file>");
+                    return true;
+                };
+                match std::fs::read_to_string(path) {
+                    Ok(text) => {
+                        let engine = self.engine();
+                        match engine.run_script(&mut self.graph, &text) {
+                            Ok(last) => {
+                                if !last.columns.is_empty() {
+                                    print!("{}", last.render());
+                                }
+                                println!("script ok");
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    Err(e) => println!("error reading {path}: {e}"),
+                }
+            }
+            ":save" => {
+                let Some(path) = words.next() else {
+                    println!("usage: :save <file>");
+                    return true;
+                };
+                let script = cypher_core::graph_to_cypher(&self.graph);
+                match std::fs::write(path, &script) {
+                    Ok(()) => println!("wrote {} byte(s) to {path}", script.len()),
+                    Err(e) => println!("error writing {path}: {e}"),
+                }
+            }
+            ":dump" => print!("{}", dump(&self.graph)),
+            ":stats" => println!("{}", GraphSummary::of(&self.graph)),
+            ":reset" => {
+                self.graph = PropertyGraph::new();
+                println!("graph cleared");
+            }
+            other => println!("unknown command {other}; try :help"),
+        }
+        true
+    }
+}
+
+fn main() {
+    let mut shell = Shell::new();
+    let stdin = io::stdin();
+    let interactive = atty_stdin();
+    if interactive {
+        println!(
+            "cypher-shell — reproduction of \"Updating Graph Databases with Cypher\" \
+             (PVLDB 2019). :help for commands."
+        );
+    }
+    let mut buffer = String::new();
+    loop {
+        if interactive {
+            if buffer.is_empty() {
+                print!("{}", shell.prompt());
+            } else {
+                print!("......> ");
+            }
+            let _ = io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with(':') {
+            if !shell.meta(trimmed) {
+                break;
+            }
+            continue;
+        }
+        if trimmed.is_empty() && buffer.is_empty() {
+            continue;
+        }
+        buffer.push_str(&line);
+        // Execute every complete `;`-terminated statement in the buffer.
+        while let Some(pos) = buffer.find(';') {
+            let stmt: String = buffer[..pos].trim().to_owned();
+            buffer.drain(..=pos);
+            if !stmt.is_empty() {
+                shell.run_statement(&stmt);
+            }
+        }
+        if buffer.trim().is_empty() {
+            buffer.clear();
+        }
+    }
+}
+
+/// Minimal TTY detection without external crates: honor `CYPHER_SHELL_BATCH`
+/// and fall back to checking whether stdin is a terminal via `isatty`.
+fn atty_stdin() -> bool {
+    if std::env::var_os("CYPHER_SHELL_BATCH").is_some() {
+        return false;
+    }
+    // SAFETY: isatty is safe to call with a valid fd.
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn isatty(fd: i32) -> i32;
+        }
+        isatty(0) == 1
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}

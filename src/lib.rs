@@ -1,0 +1,4 @@
+pub use cypher_core;
+pub use cypher_datagen;
+pub use cypher_graph;
+pub use cypher_parser;

@@ -1,0 +1,150 @@
+//! E11 — the §8.1/§8.2 semantics laws, tested through the clause-level API:
+//!
+//! * **Compositionality**: `[[C S]](G, T) = [[S]]([[C]](G, T))` — splitting
+//!   a clause sequence at any point and running the halves sequentially
+//!   gives the same graph and table as running it whole.
+//! * **Read-only clauses leave the graph unchanged**:
+//!   `[[C]](G, T) = (G, [[C]]^ro_G(T))`.
+//! * **Query evaluation starts from `T()`**, the table with one empty
+//!   record — not from the empty table.
+
+use proptest::prelude::*;
+
+use cypher_core::{Engine, Table};
+use cypher_graph::{fmt::dump, PropertyGraph, Value};
+use cypher_parser::parse;
+
+/// Build a non-trivial start graph.
+fn start_graph() -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    Engine::revised()
+        .run(
+            &mut g,
+            "UNWIND range(0, 9) AS i \
+             CREATE (:User {id: i})-[:ORDERED {qty: i % 3}]->(:Product {id: i % 4})",
+        )
+        .expect("setup");
+    g
+}
+
+/// A pool of statements whose clause sequences we split.
+fn statements() -> Vec<&'static str> {
+    vec![
+        // reads only
+        "MATCH (u:User) WHERE u.id > 3 WITH u.id AS i RETURN i ORDER BY i",
+        // read → write → read (revised dialect allows free mixing)
+        "MATCH (u:User {id: 1}) SET u.vip = true MATCH (v:User {id: 2}) \
+         SET v.vip = false RETURN u.vip AS a, v.vip AS b",
+        // unwind → create → merge
+        "UNWIND [10, 11] AS i CREATE (:User {id: i}) \
+         MERGE ALL (:Tag {name: 'new'}) RETURN i",
+        // delete with substitution
+        "MATCH (u:User {id: 0})-[r:ORDERED]->(p) DELETE r, u RETURN u, id(p) AS pid",
+        // aggregation pipeline
+        "MATCH (u:User)-[o:ORDERED]->(p:Product) WITH p, count(o) AS orders \
+         WHERE orders > 1 SET p.popular = true RETURN p.id AS id, orders ORDER BY id",
+        // merge same with on-the-fly table
+        "UNWIND [1, 1, 2] AS x MERGE SAME (:Bucket {v: x % 2}) RETURN x",
+        // foreach + remove
+        "MATCH (u:User {id: 3}) FOREACH (i IN [1, 2] | SET u.touched = i) \
+         REMOVE u.touched RETURN u.touched AS t",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Split each statement's clause list at a random point; running the
+    /// two halves through `apply_clauses` sequentially equals running the
+    /// whole list.
+    #[test]
+    fn clause_sequences_compose(
+        stmt_idx in 0usize..7,
+        split_seed in 0usize..8,
+    ) {
+        let text = statements()[stmt_idx];
+        let query = parse(text).expect("statement parses");
+        let clauses = &query.first.clauses;
+        let split = split_seed % (clauses.len() + 1);
+        let engine = Engine::revised();
+
+        let mut g_whole = start_graph();
+        let t_whole = engine
+            .apply_clauses(&mut g_whole, Table::unit(), clauses)
+            .expect("whole run");
+
+        let mut g_split = start_graph();
+        let t_mid = engine
+            .apply_clauses(&mut g_split, Table::unit(), &clauses[..split])
+            .expect("first half");
+        let t_split = engine
+            .apply_clauses(&mut g_split, t_mid, &clauses[split..])
+            .expect("second half");
+
+        prop_assert_eq!(dump(&g_whole), dump(&g_split), "graphs diverge for {}", text);
+        prop_assert_eq!(t_whole, t_split, "tables diverge for {}", text);
+    }
+
+    /// Read-only clauses never change the graph.
+    #[test]
+    fn read_only_clauses_leave_graph_unchanged(stmt_idx in 0usize..3) {
+        let reads = [
+            "MATCH (u:User)-[o:ORDERED]->(p) RETURN u, o, p",
+            "MATCH (u:User) WITH u.id AS i WHERE i > 2 RETURN i ORDER BY i DESC LIMIT 3",
+            "UNWIND range(0, 5) AS x WITH x WHERE x % 2 = 0 RETURN collect(x) AS xs",
+        ];
+        let query = parse(reads[stmt_idx]).expect("parses");
+        let mut g = start_graph();
+        let before = dump(&g);
+        let engine = Engine::revised();
+        engine
+            .apply_clauses(&mut g, Table::unit(), &query.first.clauses)
+            .expect("read run");
+        prop_assert_eq!(dump(&g), before);
+    }
+}
+
+#[test]
+fn evaluation_starts_from_unit_table_not_empty() {
+    // §8.1: output(Q, G) feeds T(), the table containing one empty tuple.
+    // A clause applied to the *empty* table does nothing.
+    let engine = Engine::revised();
+    let query = parse("CREATE (:X)").unwrap();
+
+    let mut g = PropertyGraph::new();
+    engine
+        .apply_clauses(&mut g, Table::unit(), &query.first.clauses)
+        .unwrap();
+    assert_eq!(g.node_count(), 1);
+
+    let mut g = PropertyGraph::new();
+    engine
+        .apply_clauses(&mut g, Table::empty(), &query.first.clauses)
+        .unwrap();
+    assert_eq!(
+        g.node_count(),
+        0,
+        "empty table means zero records to process"
+    );
+}
+
+#[test]
+fn union_is_left_to_right_side_effects() {
+    // §8.2: "updates are treated as side-effects in a left-to-right
+    // fashion" — the second arm sees the first arm's writes.
+    let mut g = PropertyGraph::new();
+    let engine = Engine::revised();
+    let res = engine
+        .run(
+            &mut g,
+            "CREATE (:A {v: 1}) RETURN 1 AS x \
+             UNION ALL MATCH (a:A) RETURN a.v AS x",
+        )
+        .unwrap();
+    assert_eq!(res.rows.len(), 2);
+    assert_eq!(
+        res.rows[1][0],
+        Value::Int(1),
+        "second arm observed the :A node"
+    );
+}

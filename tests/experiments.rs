@@ -1,0 +1,28 @@
+//! The repository's headline check: every figure/example reproduction in
+//! the experiment harness must pass. `cargo run -p cypher-bench --bin repro`
+//! prints the same reports interactively.
+
+use cypher_bench::run_all;
+
+#[test]
+fn all_paper_experiments_pass() {
+    let reports = run_all();
+    assert_eq!(reports.len(), 10, "the DESIGN.md index lists E1–E10");
+    let mut failures = Vec::new();
+    for r in &reports {
+        println!("{r}");
+        if !r.pass {
+            failures.push(r.id);
+        }
+    }
+    assert!(failures.is_empty(), "failing experiments: {failures:?}");
+}
+
+#[test]
+fn experiment_reports_carry_expectations() {
+    for r in run_all() {
+        assert!(!r.expected.is_empty(), "{} lacks a paper expectation", r.id);
+        assert!(!r.measured.is_empty(), "{} lacks a measurement", r.id);
+        assert!(!r.details.is_empty(), "{} ran no checks", r.id);
+    }
+}

@@ -1,0 +1,193 @@
+//! Grammar coverage: one accepting example for every production of the
+//! paper's grammar figures, and one rejecting example for every rule the
+//! figures exclude.
+//!
+//! * Figure 2 — queries and clause sequences (incl. `UNION [ALL]`);
+//! * Figure 3 — update clauses (`SET`, `REMOVE`, `CREATE`, `DELETE`,
+//!   `MERGE`, `FOREACH`);
+//! * Figure 4 — `SET`/`REMOVE` items and label lists;
+//! * Figure 5 — update patterns (directed and undirected);
+//! * Figure 10 — the revised clause sequence and `MERGE ALL`/`MERGE SAME`.
+
+use cypher_parser::{parse, validate, Dialect};
+
+fn accepts(dialect: Dialect, q: &str) {
+    let ast = parse(q).unwrap_or_else(|e| panic!("{q:?} failed to parse: {e}"));
+    validate(&ast, dialect).unwrap_or_else(|e| panic!("{q:?} failed {dialect:?} validation: {e}"));
+}
+
+fn rejects(dialect: Dialect, q: &str) {
+    if let Ok(ast) = parse(q) {
+        assert!(
+            validate(&ast, dialect).is_err(),
+            "{q:?} should be rejected under {dialect:?}"
+        );
+    }
+}
+
+// -------------------------------------------------------------- Figure 2
+
+#[test]
+fn fig2_query_shapes() {
+    // ⟨clause sequence⟩ ::= ⟨reading clause⟩* ⟨return⟩
+    accepts(Dialect::Cypher9, "RETURN 1 AS one");
+    accepts(Dialect::Cypher9, "MATCH (n) RETURN n");
+    accepts(
+        Dialect::Cypher9,
+        "MATCH (n) MATCH (m) WHERE n.x = m.x RETURN n, m",
+    );
+    // | ⟨reading clause⟩* ⟨update clause⟩+ [⟨with⟩ ⟨clause sequence⟩]?
+    accepts(Dialect::Cypher9, "CREATE (:A)");
+    accepts(
+        Dialect::Cypher9,
+        "MATCH (n) SET n.x = 1 REMOVE n.y DELETE n",
+    );
+    accepts(
+        Dialect::Cypher9,
+        "MATCH (n) CREATE (:A) WITH n MATCH (m) RETURN n, m",
+    );
+    // UNION [ALL]
+    accepts(
+        Dialect::Cypher9,
+        "MATCH (n) RETURN n.x AS x UNION MATCH (m) RETURN m.x AS x",
+    );
+    accepts(
+        Dialect::Cypher9,
+        "MATCH (n) RETURN n.x AS x UNION ALL MATCH (m) RETURN m.x AS x",
+    );
+    // Reading after updates without WITH is NOT derivable from Figure 2.
+    rejects(Dialect::Cypher9, "CREATE (:A) MATCH (n) RETURN n");
+    rejects(
+        Dialect::Cypher9,
+        "MATCH (n) SET n.x = 1 UNWIND [1] AS i RETURN i",
+    );
+}
+
+// -------------------------------------------------------------- Figure 3
+
+#[test]
+fn fig3_update_clauses() {
+    // ⟨set⟩ ::= SET ⟨set item⟩ [, ⟨set item⟩]*
+    accepts(Dialect::Cypher9, "MATCH (n) SET n.a = 1, n.b = 2, n:L");
+    // ⟨remove⟩
+    accepts(Dialect::Cypher9, "MATCH (n) REMOVE n.a, n:L1:L2");
+    // ⟨create⟩ ::= CREATE ⟨dir. upd. pat.⟩ [, ⟨dir. upd. pat.⟩]*
+    accepts(Dialect::Cypher9, "CREATE (:A)-[:T]->(:B), (:C)");
+    // ⟨delete⟩ ::= DELETE ⟨expr⟩ [, ⟨expr⟩]*
+    accepts(Dialect::Cypher9, "MATCH (n)-[r]->(m) DELETE r, n, m");
+    accepts(Dialect::Cypher9, "MATCH (n) DETACH DELETE n");
+    // ⟨merge⟩ ::= MERGE ⟨upd. pat.⟩ — exactly one pattern in Cypher 9.
+    accepts(Dialect::Cypher9, "MERGE (:A)-[:T]-(:B)");
+    rejects(Dialect::Cypher9, "MERGE (:A), (:B)");
+    // ⟨for each⟩ ::= FOREACH (⟨name⟩ IN ⟨expr⟩ | ⟨update clause⟩)
+    accepts(
+        Dialect::Cypher9,
+        "FOREACH (x IN [1, 2] | CREATE (:A {v: x}) SET x.y = 1)",
+    );
+    // FOREACH body cannot contain reading clauses.
+    rejects(Dialect::Cypher9, "FOREACH (x IN [1] | MATCH (n) RETURN n)");
+}
+
+// -------------------------------------------------------------- Figure 4
+
+#[test]
+fn fig4_set_and_remove_items() {
+    // ⟨set item⟩ ::= ⟨expr⟩ = ⟨expr⟩ | ⟨expr⟩ += ⟨expr⟩ | ⟨expr⟩ ⟨label list⟩
+    accepts(Dialect::Cypher9, "MATCH (n) SET n.key = n.other + 1");
+    accepts(Dialect::Cypher9, "MATCH (n) SET n = {a: 1}");
+    accepts(Dialect::Cypher9, "MATCH (n) SET n += {a: 1}");
+    accepts(Dialect::Cypher9, "MATCH (n) SET n:L1:L2:L3");
+    // ⟨rem. item⟩ ::= ⟨expr⟩.⟨key⟩ | ⟨expr⟩ ⟨label list⟩
+    accepts(Dialect::Cypher9, "MATCH (n) REMOVE n.key");
+    accepts(Dialect::Cypher9, "MATCH (n) REMOVE n:L1:L2");
+}
+
+// -------------------------------------------------------------- Figure 5
+
+#[test]
+fn fig5_update_patterns() {
+    // ⟨upd. pat.⟩ with optional name and undirected relationships
+    // (legacy MERGE only).
+    accepts(Dialect::Cypher9, "MERGE p = (a)-[r:T]-(b)");
+    accepts(Dialect::Cypher9, "MERGE (a)<-[:T]-(b)");
+    // ⟨dir. upd. pat.⟩ — CREATE needs directions and single types.
+    accepts(
+        Dialect::Cypher9,
+        "CREATE q = (a:A {x: 1})-[r:T {w: 2}]->(b)",
+    );
+    rejects(Dialect::Cypher9, "CREATE (a)-[:T]-(b)");
+    rejects(Dialect::Cypher9, "CREATE (a)-[:T|U]->(b)");
+    rejects(Dialect::Cypher9, "CREATE (a)-[r]->(b)");
+    // Node patterns: name?, label list?, map?
+    accepts(
+        Dialect::Cypher9,
+        "CREATE (), (x), (:L), (x:L), (x:L1:L2 {a: 1, b: 'c'})",
+    );
+}
+
+// ------------------------------------------------------------- Figure 10
+
+#[test]
+fn fig10_revised_grammar() {
+    // ⟨clause sequence⟩ ::= ⟨clause⟩* [⟨return⟩ | ⟨update clause⟩]:
+    // clauses mix freely.
+    accepts(Dialect::Revised, "MATCH (n) SET n.x = 1 MATCH (m) DELETE m");
+    accepts(
+        Dialect::Revised,
+        "CREATE (:A) UNWIND [1] AS i MERGE ALL (:B {v: i}) RETURN i",
+    );
+    // ⟨merge⟩ ::= MERGE ALL ⟨dir. upd. pat.⟩ [, …] | MERGE SAME …
+    accepts(
+        Dialect::Revised,
+        "MERGE ALL (:A)-[:T]->(:B), (:C)-[:U]->(:D)",
+    );
+    accepts(Dialect::Revised, "MERGE SAME (:A)-[:T]->(:B)");
+    // Bare MERGE removed; undirected rels removed from MERGE.
+    rejects(Dialect::Revised, "MERGE (:A)-[:T]->(:B)");
+    rejects(Dialect::Revised, "MERGE ALL (:A)-[:T]-(:B)");
+    // The paper notes ⟨upd. pat.⟩/⟨rel. upd. pat.⟩ are no longer required:
+    // MERGE ALL patterns are exactly CREATE patterns.
+    rejects(Dialect::Revised, "MERGE SAME (:A)-[:T|U]->(:B)");
+    // RETURN stays final.
+    rejects(Dialect::Revised, "RETURN 1 AS x MATCH (n) RETURN n");
+}
+
+// ------------------------------------------------- paper queries verbatim
+
+#[test]
+fn every_numbered_paper_query_parses_in_its_dialect() {
+    // (1)–(5) and the §4 anomaly queries are Cypher 9 …
+    for q in [
+        "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) \
+         WHERE p.name = \"laptop\" RETURN v",
+        "MATCH (u:User{id:89}) CREATE (u)-[:ORDERED]->(:New_Product{id:0})",
+        "MATCH (p:New_Product{id:0}) SET p:Product, p.id=120,p.name=\"smartphone\" \
+         REMOVE p:New_Product",
+        "MATCH (p:Product{id:120}) DELETE p",
+        "MATCH ()-[r]->(p:Product{id:120}) DELETE r,p",
+        "MATCH (p:Product{id:120}) DETACH DELETE p",
+        "MATCH (u:User{id:89}) CREATE (u)-[:ORDERED]->(p:New_Product{id:0}) \
+         SET p:Product,p.id=120,p.name=\"phone\" REMOVE p:New_Product DETACH DELETE p",
+        "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) RETURN p,v",
+        "MATCH (p1:Product{name:\"laptop\"}), (p2:Product{name:\"tablet\"}) \
+         SET p1.id = p2.id, p2.id = p1.id",
+        "MATCH (p1:Product{id:85}),(p2:Product{id:125}) SET p1.name = p2.name",
+        "MATCH (user)-[order:ORDERED]->(product) DELETE user SET user.id = 999 \
+         DELETE order RETURN user",
+        "MERGE (user)-[:ORDERED]->(product)<-[:OFFERS]-(vendor)",
+        "MERGE (:User{id:cid})-[:ORDERED]->(:Product{id:pid})",
+        "MERGE (:User{id:bid})-[:ORDERED]->(:Product{id:pid})<-[:OFFERS]-(:User{id:sid})",
+        "MERGE (a)-[:TO]->(b)-[:TO]->(c)-[:TO]->(d)-[:TO]->(e)-[:BOUGHT]->(tgt)",
+        "MATCH (a)-[:TO]->(b)-[:TO]->(c)-[:TO]->(d)-[:TO]->(e)-[:BOUGHT]->(tgt)",
+        "MATCH (v) -[*]-> (v) RETURN v",
+    ] {
+        accepts(Dialect::Cypher9, q);
+    }
+    // … and the §7 forms are revised Cypher.
+    for q in [
+        "MERGE ALL (:User{id:cid})-[:ORDERED]->(:Product{id:pid})",
+        "MERGE SAME (:User{id:cid})-[:ORDERED]->(:Product{id:pid})",
+    ] {
+        accepts(Dialect::Revised, q);
+    }
+}

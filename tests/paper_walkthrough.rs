@@ -1,0 +1,186 @@
+//! Workspace integration test: the paper's §2–§3 narrative, executed
+//! verbatim across all crates (datagen graph builders, parser, both
+//! engines, stats, isomorphism).
+
+use cypher_core::{Engine, MatchMode};
+use cypher_datagen::figure1_graph;
+use cypher_graph::{isomorphic, GraphSummary, PropertyGraph, Value};
+
+#[test]
+fn figure1_built_by_cypher_equals_figure1_built_by_api() {
+    // datagen builds Figure 1 through the store API; the same graph built
+    // through the engine must be isomorphic.
+    let (api_graph, _) = figure1_graph();
+    let mut cy_graph = PropertyGraph::new();
+    Engine::legacy()
+        .run(
+            &mut cy_graph,
+            "CREATE (v1:Vendor {id: 60, name: 'cStore'}), \
+                    (p1:Product {id: 125, name: 'laptop'}), \
+                    (p2:Product {id: 125, name: 'notebook'}), \
+                    (p3:Product {id: 85, name: 'tablet'}), \
+                    (u1:User {id: 89, name: 'Bob'}), \
+                    (u2:User {id: 99, name: 'Jane'}), \
+                    (v1)-[:OFFERS]->(p1), (v1)-[:OFFERS]->(p2), \
+                    (u1)-[:ORDERED]->(p1), (u1)-[:ORDERED]->(p3), \
+                    (u2)-[:ORDERED]->(p3), (u2)-[:OFFERS]->(p3)",
+        )
+        .unwrap();
+    assert!(isomorphic(&api_graph, &cy_graph));
+}
+
+#[test]
+fn section2_driving_table_narrative() {
+    // §2 describes the intermediate driving tables of Query (1) in detail.
+    let (mut g, ids) = figure1_graph();
+    let e = Engine::legacy();
+
+    // "the first MATCH clause populates [the table] with two records".
+    let no_where = e
+        .run(
+            &mut g,
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) \
+             RETURN id(p) AS p, id(v) AS v, id(q) AS q",
+        )
+        .unwrap();
+    assert_eq!(no_where.rows.len(), 2);
+    let as_ints = |row: &Vec<Value>| -> (i64, i64, i64) {
+        match (&row[0], &row[1], &row[2]) {
+            (Value::Int(a), Value::Int(b), Value::Int(c)) => (*a, *b, *c),
+            _ => panic!("expected ints"),
+        }
+    };
+    let rows: Vec<_> = no_where.rows.iter().map(as_ints).collect();
+    let (p1, p2, v1) = (
+        ids.p1.raw() as i64,
+        ids.p2.raw() as i64,
+        ids.v1.raw() as i64,
+    );
+    assert!(rows.contains(&(p1, v1, p2)));
+    assert!(rows.contains(&(p2, v1, p1)));
+
+    // "the WHERE clause … would remove the record (p:p2, v:v1, q:p1)".
+    let with_where = e
+        .run(
+            &mut g,
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) \
+             WHERE p.name = \"laptop\" RETURN id(v) AS v",
+        )
+        .unwrap();
+    assert_eq!(with_where.rows.len(), 1);
+    assert_eq!(with_where.rows[0][0], Value::Int(v1));
+
+    // "without the WHERE clause … the final table would have contained two
+    // copies of the record (v:v1)" — bag semantics.
+    let bag = e
+        .run(
+            &mut g,
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) \
+             RETURN id(v) AS v",
+        )
+        .unwrap();
+    assert_eq!(bag.rows.len(), 2);
+    assert_eq!(bag.rows[0], bag.rows[1]);
+}
+
+#[test]
+fn section2_same_node_cannot_bind_p_and_q() {
+    // "Readers experienced in SQL may wonder why the variables p and q
+    // cannot be matched to the same node … distinct relationship patterns
+    // … have to be mapped to distinct relationships".
+    let (mut g, _) = figure1_graph();
+    let iso = Engine::legacy()
+        .run(
+            &mut g,
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(p) RETURN v",
+        )
+        .unwrap();
+    assert_eq!(iso.rows.len(), 0);
+    // Under homomorphic matching the reflexive binding exists.
+    let homo = Engine::builder(cypher_core::Dialect::Cypher9)
+        .match_mode(MatchMode::Homomorphic)
+        .build()
+        .run(
+            &mut g,
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(p) RETURN v",
+        )
+        .unwrap();
+    assert_eq!(homo.rows.len(), 2);
+}
+
+#[test]
+fn section3_full_update_walkthrough() {
+    let (mut g, _) = figure1_graph();
+    let e = Engine::legacy();
+    let base = GraphSummary::of(&g);
+
+    // Query (2).
+    e.run(
+        &mut g,
+        "MATCH (u:User{id:89}) CREATE (u)-[:ORDERED]->(:New_Product{id:0})",
+    )
+    .unwrap();
+    // Query (3).
+    e.run(
+        &mut g,
+        "MATCH (p:New_Product{id:0}) SET p:Product, p.id=120, p.name=\"smartphone\" \
+         REMOVE p:New_Product",
+    )
+    .unwrap();
+    // Deleting via explicit relationship match (§3's first alternative).
+    e.run(&mut g, "MATCH ()-[r]->(p:Product{id:120}) DELETE r, p")
+        .unwrap();
+    assert_eq!(GraphSummary::of(&g), base);
+
+    // The combined illustrative statement of §3 (create, mutate, delete in
+    // one query) leaves the graph unchanged.
+    e.run(
+        &mut g,
+        "MATCH (u:User{id:89}) \
+         CREATE (u)-[:ORDERED]->(p:New_Product{id:0}) \
+         SET p:Product, p.id=120, p.name=\"phone\" \
+         REMOVE p:New_Product \
+         DETACH DELETE p",
+    )
+    .unwrap();
+    assert_eq!(GraphSummary::of(&g), base);
+}
+
+#[test]
+fn query5_merge_returns_matched_and_created_pairs() {
+    let (mut g, ids) = figure1_graph();
+    let e = Engine::legacy();
+    let r = e
+        .run(
+            &mut g,
+            "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) \
+             RETURN id(p) AS p, id(v) AS v",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 3);
+    let v1 = Value::Int(ids.v1.raw() as i64);
+    // p1 and p2 pair with v1; p3 pairs with a node that is not v1.
+    let paired_with_v1 = r.rows.iter().filter(|row| row[1] == v1).count();
+    assert_eq!(paired_with_v1, 2);
+    let s = GraphSummary::of(&g);
+    assert_eq!(s.labels["Vendor"], 2);
+    assert_eq!(s.rels, 7);
+}
+
+#[test]
+fn whole_pipeline_parse_print_reparse_execute() {
+    // Cross-crate round trip: parse → pretty-print → re-parse → execute;
+    // both texts must produce isomorphic graphs.
+    let text = "UNWIND [1, 2, 3] AS x \
+                MERGE SAME (:User {id: x})-[:ORDERED]->(:Product {id: x % 2})";
+    let ast = cypher_parser::parse(text).unwrap();
+    let printed = cypher_parser::print_query(&ast);
+    let e = Engine::revised();
+    let mut g1 = PropertyGraph::new();
+    e.run(&mut g1, text).unwrap();
+    let mut g2 = PropertyGraph::new();
+    e.run(&mut g2, &printed).unwrap();
+    assert!(isomorphic(&g1, &g2));
+    let s = GraphSummary::of(&g1);
+    assert_eq!((s.nodes, s.rels), (5, 3)); // 3 users + 2 products
+}

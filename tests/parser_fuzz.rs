@@ -1,0 +1,67 @@
+//! Parser robustness: arbitrary input must never panic — it either parses
+//! or returns a positioned error. (The lexer and parser are hand-written;
+//! this is the cheap insurance that recursive descent didn't leave an
+//! `unwrap` on a user-controlled path.)
+
+use proptest::prelude::*;
+
+use cypher_parser::{parse, parse_script, validate, Dialect};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Arbitrary printable soup.
+    #[test]
+    fn arbitrary_text_never_panics(input in "[ -~\\n\\t]{0,120}") {
+        let _ = parse(&input);
+        let _ = parse_script(&input);
+    }
+
+    /// Token-shaped soup: concatenations of plausible Cypher fragments are
+    /// far more likely to reach deep parser states.
+    #[test]
+    fn fragment_soup_never_panics(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "MATCH", "OPTIONAL", "RETURN", "WITH", "WHERE", "CREATE", "MERGE",
+                "ALL", "SAME", "DELETE", "DETACH", "SET", "REMOVE", "UNWIND",
+                "FOREACH", "UNION", "ORDER", "BY", "SKIP", "LIMIT", "AS", "IN",
+                "ON", "INDEX", "DROP", "CASE", "WHEN", "THEN", "ELSE", "END",
+                "(n)", "(n:L)", "(:L {a: 1})", "-[:T]->", "<-[r:T]-", "-[*1..2]->",
+                "--", "-->", "n", "n.x", "$p", "1", "2.5", "'s'", "[1, 2]",
+                "{a: 1}", "+", "-", "*", "/", "=", "<>", "<", ">=", "+=", ",",
+                "AND", "OR", "NOT", "XOR", "IS", "NULL", "true", "false",
+                "count(*)", "collect(x)", "reduce(a = 0, x IN xs | a + x)",
+                "[x IN xs WHERE x | x]", "all(x IN xs WHERE x)", "|", ";",
+                "(", ")", "[", "]", "{", "}", ":", ".", "..",
+            ]),
+            0..24,
+        )
+    ) {
+        let input = parts.join(" ");
+        if let Ok(ast) = parse(&input) {
+            // Whatever parses must also survive validation (no panics) and
+            // pretty-printing, and the printed form must re-parse.
+            let _ = validate(&ast, Dialect::Cypher9);
+            let _ = validate(&ast, Dialect::Revised);
+            let printed = cypher_parser::print_query(&ast);
+            parse(&printed).unwrap_or_else(|e| {
+                panic!("printed form of {input:?} failed to re-parse: {printed:?}: {e}")
+            });
+        }
+    }
+
+    /// Errors point inside the input (or carry no span for structural
+    /// errors).
+    #[test]
+    fn error_spans_are_in_bounds(input in "[ -~]{0,80}") {
+        if let Err(e) = parse(&input) {
+            if let Some(span) = e.span {
+                prop_assert!(span.start <= input.len() + 1, "span {span:?} vs len {}", input.len());
+                prop_assert!(span.start <= span.end);
+            }
+            // Rendering the error against the source must not panic.
+            let _ = e.render(&input);
+        }
+    }
+}

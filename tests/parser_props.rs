@@ -1,0 +1,246 @@
+//! Property-based parser tests: pretty-printing is parse-stable, on
+//! randomly generated expressions and update clauses.
+//!
+//! Exact AST round-tripping is too strict — `-3` prints from `Lit::Int(-3)`
+//! but re-parses as unary negation — so the property tested is *print
+//! stability*: `print(parse(print(x))) == print(x)`, which pins down a
+//! canonical form.
+
+use proptest::prelude::*;
+
+use cypher_parser::ast::*;
+use cypher_parser::pretty::{print_clause, print_expr};
+use cypher_parser::{parse, print_query};
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop::sample::select(vec![
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+        BinOp::Pow,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::StartsWith,
+        BinOp::EndsWith,
+        BinOp::Contains,
+        BinOp::In,
+    ])
+}
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Avoid reserved-looking spellings that change parse position meaning
+    // (none are truly reserved, but `AS`, `IN`, … in item position would
+    // change structure).
+    "[a-w][a-z0-9_]{0,6}".prop_filter("avoid keyword-like identifiers", |s| {
+        !matches!(
+            s.to_ascii_uppercase().as_str(),
+            "IS" | "IN"
+                | "AS"
+                | "AND"
+                | "OR"
+                | "XOR"
+                | "NOT"
+                | "NULL"
+                | "TRUE"
+                | "FALSE"
+                | "CASE"
+                | "WHEN"
+                | "THEN"
+                | "ELSE"
+                | "END"
+                | "STARTS"
+                | "ENDS"
+                | "CONTAINS"
+                | "WHERE"
+                | "ORDER"
+                | "SKIP"
+                | "LIMIT"
+                | "UNION"
+                | "MATCH"
+                | "RETURN"
+                | "WITH"
+                | "CREATE"
+                | "DELETE"
+                | "DETACH"
+                | "MERGE"
+                | "SET"
+                | "REMOVE"
+                | "FOREACH"
+                | "UNWIND"
+                | "OPTIONAL"
+                | "DISTINCT"
+                | "ALL"
+                | "SAME"
+                | "COUNT"
+        )
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::Literal(Lit::Null)),
+        any::<bool>().prop_map(|b| Expr::Literal(Lit::Bool(b))),
+        (0i64..10_000).prop_map(|i| Expr::Literal(Lit::Int(i))),
+        (0u32..1000).prop_map(|i| Expr::Literal(Lit::Float(f64::from(i) / 8.0))),
+        "[a-z]{0,8}".prop_map(|s| Expr::Literal(Lit::Str(s))),
+        arb_ident().prop_map(Expr::Variable),
+        arb_ident().prop_map(Expr::Parameter),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::Binary(
+                op,
+                Box::new(l),
+                Box::new(r)
+            )),
+            (inner.clone()).prop_map(|e| Expr::Unary(UnaryOp::Not, Box::new(e))),
+            (inner.clone()).prop_map(|e| Expr::Unary(UnaryOp::Neg, Box::new(e))),
+            (inner.clone(), any::<bool>()).prop_map(|(e, n)| Expr::IsNull {
+                expr: Box::new(e),
+                negated: n
+            }),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Expr::List),
+            prop::collection::vec((arb_ident(), inner.clone()), 0..3).prop_map(|entries| {
+                // Duplicate map keys are legal to print but normalize when
+                // evaluated; keep keys unique for stability.
+                let mut seen = std::collections::BTreeSet::new();
+                Expr::Map(
+                    entries
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+            (inner.clone(), arb_ident()).prop_map(|(e, k)| Expr::Property(Box::new(e), k)),
+            (inner.clone(), inner.clone()).prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i))),
+            (arb_ident(), prop::collection::vec(inner.clone(), 0..3)).prop_map(|(name, args)| {
+                Expr::FnCall {
+                    name,
+                    distinct: false,
+                    args,
+                }
+            }),
+            Just(Expr::CountStar),
+        ]
+    })
+}
+
+fn arb_node_pattern() -> impl Strategy<Value = NodePattern> {
+    (
+        prop::option::of(arb_ident()),
+        prop::collection::vec(arb_ident(), 0..2),
+        prop::collection::vec((arb_ident(), arb_expr()), 0..2),
+    )
+        .prop_map(|(var, labels, props)| {
+            let mut seen = std::collections::BTreeSet::new();
+            NodePattern {
+                var,
+                labels,
+                props: props
+                    .into_iter()
+                    .filter(|(k, _)| seen.insert(k.clone()))
+                    .collect(),
+            }
+        })
+}
+
+fn arb_path_pattern() -> impl Strategy<Value = PathPattern> {
+    (
+        arb_node_pattern(),
+        prop::collection::vec(
+            (
+                prop::option::of(arb_ident()),
+                arb_ident(),
+                prop::sample::select(vec![RelDirection::Outgoing, RelDirection::Incoming]),
+                arb_node_pattern(),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(start, steps)| PathPattern {
+            var: None,
+            shortest: None,
+            start,
+            steps: steps
+                .into_iter()
+                .map(|(var, ty, direction, node)| {
+                    (
+                        RelPattern {
+                            var,
+                            types: vec![ty],
+                            props: vec![],
+                            direction,
+                            length: None,
+                        },
+                        node,
+                    )
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print(parse(print(expr))) == print(expr).
+    #[test]
+    fn expression_print_is_parse_stable(expr in arb_expr()) {
+        let printed = print_expr(&expr);
+        let query_text = format!("RETURN {printed} AS out");
+        let ast = parse(&query_text)
+            .unwrap_or_else(|e| panic!("printed expr failed to parse: {printed:?}: {e}"));
+        let reprinted = print_query(&ast);
+        prop_assert_eq!(reprinted, format!("RETURN {printed} AS out"));
+    }
+
+    /// CREATE clauses built from random patterns round-trip.
+    #[test]
+    fn create_clause_print_is_parse_stable(
+        patterns in prop::collection::vec(arb_path_pattern(), 1..3),
+    ) {
+        let clause = Clause::Create { patterns };
+        let printed = print_clause(&clause);
+        let ast = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed clause failed to parse: {printed:?}: {e}"));
+        let reprinted = print_query(&ast);
+        prop_assert_eq!(reprinted, printed);
+    }
+
+    /// MERGE ALL / MERGE SAME clauses round-trip likewise.
+    #[test]
+    fn merge_clause_print_is_parse_stable(
+        patterns in prop::collection::vec(arb_path_pattern(), 1..3),
+        same in any::<bool>(),
+    ) {
+        let clause = Clause::Merge {
+            kind: if same { MergeKind::Same } else { MergeKind::All },
+            patterns,
+            on_create: vec![],
+            on_match: vec![],
+        };
+        let printed = print_clause(&clause);
+        let ast = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed clause failed to parse: {printed:?}: {e}"));
+        prop_assert_eq!(print_query(&ast), printed);
+    }
+
+    /// The lexer handles arbitrary string literal contents via escaping.
+    #[test]
+    fn string_literals_roundtrip(s in "[ -~]{0,20}") {
+        let expr = Expr::Literal(Lit::Str(s));
+        let printed = print_expr(&expr);
+        let ast = parse(&format!("RETURN {printed} AS out")).unwrap();
+        let Clause::Return(p) = &ast.first.clauses[0] else { panic!() };
+        let ProjectionItems::Items(items) = &p.items else { panic!() };
+        prop_assert_eq!(&items[0].expr, &expr);
+    }
+}

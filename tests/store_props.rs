@@ -1,0 +1,267 @@
+//! Property-based tests for the substrate: value ordering laws, the
+//! journal/rollback machinery, and graph isomorphism.
+
+use proptest::prelude::*;
+
+use cypher_graph::{fmt::dump, isomorphic, DeleteNodeMode, NodeId, PropertyGraph, Ternary, Value};
+
+// ---------------------------------------------------------------------
+// Value laws
+// ---------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        prop_oneof![
+            any::<i32>().prop_map(|i| Value::Float(f64::from(i) / 16.0)),
+            Just(Value::Float(f64::NAN)),
+            Just(Value::Float(f64::INFINITY)),
+        ],
+        "[ -~]{0,8}".prop_map(Value::Str),
+        (0u64..100).prop_map(|i| Value::Node(NodeId(i))),
+    ];
+    leaf.prop_recursive(2, 16, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            prop::collection::btree_map("[a-z]{1,3}", inner, 0..3).prop_map(Value::Map),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `global_cmp` is a total order: reflexive-equal, antisymmetric,
+    /// transitive.
+    #[test]
+    fn global_cmp_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.global_cmp(&a), Ordering::Equal);
+        prop_assert_eq!(a.global_cmp(&b), b.global_cmp(&a).reverse());
+        if a.global_cmp(&b) != Ordering::Greater && b.global_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.global_cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Equivalence is reflexive and symmetric, and ternary-true equality
+    /// implies equivalence.
+    #[test]
+    fn equivalence_laws(a in arb_value(), b in arb_value()) {
+        prop_assert!(a.equivalent(&a));
+        prop_assert_eq!(a.equivalent(&b), b.equivalent(&a));
+        if a.cypher_eq(&b) == Ternary::True {
+            prop_assert!(a.equivalent(&b));
+        }
+    }
+
+    /// Equality involving null is always unknown.
+    #[test]
+    fn null_equality_is_unknown(a in arb_value()) {
+        prop_assert_eq!(Value::Null.cypher_eq(&a), Ternary::Unknown);
+        prop_assert_eq!(a.cypher_eq(&Value::Null), Ternary::Unknown);
+    }
+
+    /// Equivalent values are global_cmp-equal (grouping and ordering agree).
+    #[test]
+    fn equivalence_agrees_with_global_order(a in arb_value(), b in arb_value()) {
+        if a.equivalent(&b) {
+            prop_assert_eq!(a.global_cmp(&b), std::cmp::Ordering::Equal);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Journal / rollback
+// ---------------------------------------------------------------------
+
+/// A random mutation script against the store.
+#[derive(Clone, Debug)]
+enum Op {
+    CreateNode { label: u8, id: i64 },
+    CreateRel { src: usize, tgt: usize, ty: u8 },
+    SetProp { node: usize, value: i64 },
+    AddLabel { node: usize, label: u8 },
+    RemoveLabel { node: usize, label: u8 },
+    DeleteRel { rel: usize },
+    DeleteNodeDetach { node: usize },
+    DeleteNodeForce { node: usize },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..3, 0i64..50).prop_map(|(label, id)| Op::CreateNode { label, id }),
+            (0usize..64, 0usize..64, 0u8..2).prop_map(|(src, tgt, ty)| Op::CreateRel {
+                src,
+                tgt,
+                ty
+            }),
+            (0usize..64, 0i64..100).prop_map(|(node, value)| Op::SetProp { node, value }),
+            (0usize..64, 0u8..3).prop_map(|(node, label)| Op::AddLabel { node, label }),
+            (0usize..64, 0u8..3).prop_map(|(node, label)| Op::RemoveLabel { node, label }),
+            (0usize..64).prop_map(|rel| Op::DeleteRel { rel }),
+            (0usize..64).prop_map(|node| Op::DeleteNodeDetach { node }),
+            (0usize..64).prop_map(|node| Op::DeleteNodeForce { node }),
+        ],
+        0..40,
+    )
+}
+
+fn apply_ops(g: &mut PropertyGraph, ops: &[Op]) {
+    let k = g.sym("v");
+    for op in ops {
+        let nodes: Vec<NodeId> = g.node_ids().collect();
+        let rels: Vec<_> = g.rel_ids().collect();
+        let pick_node = |i: usize| nodes.get(i % nodes.len().max(1)).copied();
+        match op {
+            Op::CreateNode { label, id } => {
+                let l = g.sym(&format!("L{label}"));
+                g.create_node([l], [(k, Value::Int(*id))]);
+            }
+            Op::CreateRel { src, tgt, ty } => {
+                if let (Some(s), Some(t)) = (pick_node(*src), pick_node(*tgt)) {
+                    let ty = g.sym(&format!("T{ty}"));
+                    let _ = g.create_rel(s, ty, t, []);
+                }
+            }
+            Op::SetProp { node, value } => {
+                if let Some(n) = pick_node(*node) {
+                    let _ = g.set_prop(n.into(), k, Value::Int(*value));
+                }
+            }
+            Op::AddLabel { node, label } => {
+                if let Some(n) = pick_node(*node) {
+                    let l = g.sym(&format!("L{label}"));
+                    let _ = g.add_label(n, l);
+                }
+            }
+            Op::RemoveLabel { node, label } => {
+                if let Some(n) = pick_node(*node) {
+                    let l = g.sym(&format!("L{label}"));
+                    let _ = g.remove_label(n, l);
+                }
+            }
+            Op::DeleteRel { rel } => {
+                if let Some(&r) = rels.get(rel % rels.len().max(1)) {
+                    let _ = g.delete_rel(r);
+                }
+            }
+            Op::DeleteNodeDetach { node } => {
+                if let Some(n) = pick_node(*node) {
+                    let _ = g.delete_node(n, DeleteNodeMode::Detach);
+                }
+            }
+            Op::DeleteNodeForce { node } => {
+                if let Some(n) = pick_node(*node) {
+                    let _ = g.delete_node(n, DeleteNodeMode::Force);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Rolling back to a savepoint restores the exact pre-savepoint state,
+    /// for arbitrary mutation scripts (including force-deletes that leave
+    /// dangling relationships).
+    #[test]
+    fn rollback_restores_exactly(setup in arb_ops(), mutation in arb_ops()) {
+        let mut g = PropertyGraph::new();
+        apply_ops(&mut g, &setup);
+        g.commit(g.savepoint()); // not a root commit; just exercise the API
+        let before = dump(&g);
+        let sp = g.savepoint();
+        apply_ops(&mut g, &mutation);
+        g.rollback_to(sp);
+        prop_assert_eq!(dump(&g), before);
+    }
+
+    /// Detach-deleting every node leaves no nodes; the only relationships
+    /// that can survive the sweep are ones that were already *dangling*
+    /// (a force-delete in the setup removed both endpoints, so no node's
+    /// adjacency reaches them). Removing those too leaves an empty, legal
+    /// graph.
+    #[test]
+    fn detach_delete_everything_is_always_legal(setup in arb_ops()) {
+        let mut g = PropertyGraph::new();
+        apply_ops(&mut g, &setup);
+        let pre_dangling: std::collections::BTreeSet<_> =
+            g.dangling_rels().into_iter().collect();
+        let nodes: Vec<NodeId> = g.node_ids().collect();
+        for n in nodes {
+            let _ = g.delete_node(n, DeleteNodeMode::Detach);
+        }
+        prop_assert_eq!(g.node_count(), 0);
+        let survivors: Vec<_> = g.rel_ids().collect();
+        for r in &survivors {
+            prop_assert!(
+                pre_dangling.contains(r),
+                "rel {r} survived the sweep but was not dangling beforehand"
+            );
+            g.delete_rel(*r).expect("delete dangling survivor");
+        }
+        prop_assert_eq!(g.rel_count(), 0);
+        prop_assert!(g.integrity_check().is_ok());
+    }
+
+    /// A graph is isomorphic to a structurally identical copy built in a
+    /// different id order.
+    #[test]
+    fn isomorphism_survives_id_permutation(ids in prop::collection::vec(0i64..10, 1..6)) {
+        let build = |order: &[i64]| {
+            let mut g = PropertyGraph::new();
+            let l = g.sym("N");
+            let k = g.sym("id");
+            let t = g.sym("E");
+            let nodes: Vec<NodeId> = order
+                .iter()
+                .map(|&i| g.create_node([l], [(k, Value::Int(i))]))
+                .collect();
+            // Ring topology keyed by sorted position so both builds create
+            // the same logical graph.
+            let mut sorted: Vec<(i64, NodeId)> =
+                order.iter().copied().zip(nodes.iter().copied()).collect();
+            sorted.sort_by_key(|(v, _)| *v);
+            for w in 0..sorted.len() {
+                let (_, a) = sorted[w];
+                let (_, b) = sorted[(w + 1) % sorted.len()];
+                g.create_rel(a, t, b, []).expect("live");
+            }
+            g
+        };
+        let forward = build(&ids);
+        let mut reversed_ids = ids.clone();
+        reversed_ids.reverse();
+        let backward = build(&reversed_ids);
+        prop_assert!(isomorphic(&forward, &backward));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Export/import round trip: any legal graph serialized to a Cypher
+    /// CREATE script and re-run produces an isomorphic graph.
+    #[test]
+    fn cypher_export_roundtrips(setup in arb_ops()) {
+        let mut g = PropertyGraph::new();
+        apply_ops(&mut g, &setup);
+        // The exporter only represents legal graphs faithfully; drop any
+        // dangling relationships a force-delete left behind.
+        for r in g.dangling_rels() {
+            g.delete_rel(r).expect("delete dangling");
+        }
+        let script = cypher_core::graph_to_cypher(&g);
+        let mut restored = PropertyGraph::new();
+        if !script.trim().is_empty() {
+            cypher_core::Engine::revised()
+                .run_script(&mut restored, &script)
+                .expect("restore script runs");
+        }
+        prop_assert!(isomorphic(&g, &restored));
+    }
+}
