@@ -64,6 +64,9 @@ pub enum EvalError {
     /// Homomorphic matching of an unbounded variable-length pattern would
     /// not terminate; the engine refuses it.
     UnboundedMatch,
+    /// The durability layer failed to log a committed statement (I/O).
+    /// The in-memory result may not survive a crash.
+    Storage(String),
 }
 
 impl fmt::Display for EvalError {
@@ -125,6 +128,7 @@ impl fmt::Display for EvalError {
                 "unbounded variable-length pattern under homomorphic matching is not \
                  finitely evaluable; bound the length"
             ),
+            EvalError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }

@@ -21,19 +21,15 @@ pub fn graph_to_cypher(graph: &PropertyGraph) -> String {
     for id in graph.node_ids() {
         let data = graph.node(id).expect("live node");
         let mut s = format!("({}", var_of(id));
-        for &l in &data.labels {
-            let _ = write!(s, ":{}", escape_name(graph.sym_str(l)));
+        // Labels and properties are stored ordered by interner symbol id,
+        // which depends on vocabulary insertion history; re-sort by name so
+        // equal graphs always export byte-identically.
+        let mut labels: Vec<&str> = data.labels.iter().map(|&l| graph.sym_str(l)).collect();
+        labels.sort_unstable();
+        for l in labels {
+            let _ = write!(s, ":{}", escape_name(l));
         }
-        if !data.props.is_empty() {
-            s.push_str(" {");
-            for (i, (&k, v)) in data.props.iter().enumerate() {
-                if i > 0 {
-                    s.push_str(", ");
-                }
-                let _ = write!(s, "{}: {}", escape_name(graph.sym_str(k)), value_literal(v));
-            }
-            s.push('}');
-        }
+        write_props(&mut s, graph, &data.props);
         s.push(')');
         parts.push(s);
     }
@@ -53,16 +49,7 @@ pub fn graph_to_cypher(graph: &PropertyGraph) -> String {
             var_of(data.src),
             escape_name(graph.sym_str(data.rel_type))
         );
-        if !data.props.is_empty() {
-            s.push_str(" {");
-            for (i, (&k, v)) in data.props.iter().enumerate() {
-                if i > 0 {
-                    s.push_str(", ");
-                }
-                let _ = write!(s, "{}: {}", escape_name(graph.sym_str(k)), value_literal(v));
-            }
-            s.push('}');
-        }
+        write_props(&mut s, graph, &data.props);
         let _ = write!(s, "]->({})", var_of(data.tgt));
         parts.push(s);
     }
@@ -77,6 +64,25 @@ pub fn graph_to_cypher(graph: &PropertyGraph) -> String {
     out.push_str(&parts.join(",\n  "));
     out.push('\n');
     out
+}
+
+/// Append ` {k: v, …}` with keys in name order (canonical across interner
+/// histories); nothing for an empty map.
+fn write_props(s: &mut String, graph: &PropertyGraph, props: &cypher_graph::PropertyMap) {
+    if props.is_empty() {
+        return;
+    }
+    let mut entries: Vec<(&str, &Value)> =
+        props.iter().map(|(&k, v)| (graph.sym_str(k), v)).collect();
+    entries.sort_unstable_by_key(|(k, _)| *k);
+    s.push_str(" {");
+    for (i, (k, v)) in entries.into_iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{}: {}", escape_name(k), value_literal(v));
+    }
+    s.push('}');
 }
 
 /// A literal for any storable value.
@@ -202,6 +208,56 @@ mod tests {
             .unwrap();
         let script = graph_to_cypher(&g);
         assert!(script.contains("// skipped dangling relationship"));
+    }
+
+    #[test]
+    fn export_is_deterministic_and_id_ordered() {
+        // Same logical graph built twice with opposite symbol interning
+        // order: exports must be byte-identical, and entities must appear
+        // in ascending id order regardless of construction order.
+        let build = |reversed: bool| {
+            let mut g = PropertyGraph::new();
+            let vocab = ["Zeta", "Alpha", "t", "z_key", "a_key"];
+            if reversed {
+                for w in vocab.iter().rev() {
+                    g.sym(w);
+                }
+            } else {
+                for w in vocab {
+                    g.sym(w);
+                }
+            }
+            let (zeta, alpha, t) = (g.sym("Zeta"), g.sym("Alpha"), g.sym("t"));
+            let (zk, ak) = (g.sym("z_key"), g.sym("a_key"));
+            let n0 = g.create_node([zeta, alpha], [(zk, Value::Int(1)), (ak, Value::Int(2))]);
+            let gap = g.create_node([], []); // deleted: leaves an id gap
+            let n2 = g.create_node([alpha], [(ak, Value::str("x"))]);
+            g.create_rel(n2, t, n0, [(zk, Value::Bool(true)), (ak, Value::Int(7))])
+                .unwrap();
+            g.delete_node(gap, cypher_graph::DeleteNodeMode::Detach)
+                .unwrap();
+            g
+        };
+        let g = build(false);
+        let script = graph_to_cypher(&g);
+        assert_eq!(script, graph_to_cypher(&g), "repeated export differs");
+        assert_eq!(
+            script,
+            graph_to_cypher(&build(true)),
+            "export depends on interner history"
+        );
+        // Labels and property keys in name order, nodes in id order.
+        let n0_pos = script.find("(n0:Alpha:Zeta {a_key: 2, z_key: 1})").unwrap();
+        let n2_pos = script.find("(n2:Alpha {a_key: 'x'})").unwrap();
+        assert!(
+            n0_pos < n2_pos,
+            "nodes not in ascending id order:\n{script}"
+        );
+        assert!(
+            script.contains("(n2)-[:t {a_key: 7, z_key: true}]->(n0)"),
+            "rel props not in key-name order:\n{script}"
+        );
+        roundtrip(&g);
     }
 
     #[test]

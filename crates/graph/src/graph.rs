@@ -111,6 +111,58 @@ pub(crate) enum UndoOp {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Savepoint(pub(crate) usize);
 
+/// One logical mutation in *redo* form, captured for write-ahead logging
+/// when [`PropertyGraph::enable_delta_capture`] is on.
+///
+/// Delta entries mirror the undo journal one-to-one: every journaled
+/// mutation pushes exactly one `DeltaOp`, and [`PropertyGraph::rollback_to`]
+/// pops the two stacks in lock-step, so the pending delta is always exactly
+/// the net effect of operations that survived rollback. Compound mutations
+/// decompose into their primitives — `DETACH DELETE` records each cascaded
+/// relationship deletion as its own [`DeltaOp::DeleteRel`] before the
+/// [`DeltaOp::DeleteNode`], and `SET n = {map}` records one
+/// [`DeltaOp::SetProp`] per changed key — so replaying a delta in order
+/// through the primitive mutation APIs reproduces the state transition
+/// exactly, including mid-statement dangling phases of the legacy engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaOp {
+    CreateNode {
+        id: NodeId,
+        labels: Vec<Symbol>,
+        props: Vec<(Symbol, Value)>,
+    },
+    CreateRel {
+        id: RelId,
+        src: NodeId,
+        tgt: NodeId,
+        rel_type: Symbol,
+        props: Vec<(Symbol, Value)>,
+    },
+    DeleteRel {
+        id: RelId,
+    },
+    /// The node had no attached relationships at this point of the op
+    /// sequence *unless* the legacy engine force-deleted it; replay with
+    /// [`DeleteNodeMode::Force`] handles both.
+    DeleteNode {
+        id: NodeId,
+    },
+    AddLabel {
+        node: NodeId,
+        label: Symbol,
+    },
+    RemoveLabel {
+        node: NodeId,
+        label: Symbol,
+    },
+    /// `value: None` removes the key (Cypher's `SET n.k = null`).
+    SetProp {
+        entity: EntityRef,
+        key: Symbol,
+        value: Option<Value>,
+    },
+}
+
 /// Property values wrapped with the global order, usable as index keys.
 /// Equal keys are exactly *equivalent* values (so `1` and `1.0` share an
 /// index slot, as `=` would conflate them).
@@ -154,6 +206,10 @@ pub struct PropertyGraph {
     next_node: u64,
     next_rel: u64,
     journal: Vec<UndoOp>,
+    /// Redo log mirroring `journal` (see [`DeltaOp`]); populated only while
+    /// `delta_enabled`, drained by the durability layer after each commit.
+    delta: Vec<DeltaOp>,
+    delta_enabled: bool,
 }
 
 impl PropertyGraph {
@@ -485,6 +541,13 @@ impl PropertyGraph {
         }
         let data = NodeData { labels, props };
         self.index_node_full(id, &data);
+        if self.delta_enabled {
+            self.delta.push(DeltaOp::CreateNode {
+                id,
+                labels: data.labels.iter().copied().collect(),
+                props: data.props.iter().map(|(&k, v)| (k, v.clone())).collect(),
+            });
+        }
         self.nodes.insert(id, data);
         self.out_adj.insert(id, Vec::new());
         self.in_adj.insert(id, Vec::new());
@@ -515,6 +578,15 @@ impl PropertyGraph {
             .into_iter()
             .filter(|(_, v)| !v.is_null() && Self::storable(v))
             .collect();
+        if self.delta_enabled {
+            self.delta.push(DeltaOp::CreateRel {
+                id,
+                src,
+                tgt,
+                rel_type,
+                props: props.iter().map(|(&k, v)| (k, v.clone())).collect(),
+            });
+        }
         self.rels.insert(
             id,
             RelData {
@@ -538,6 +610,9 @@ impl PropertyGraph {
         let src_pos = self.detach_from_adj(&data, id, Direction::Outgoing);
         let tgt_pos = self.detach_from_adj(&data, id, Direction::Incoming);
         self.tomb_rels.insert(id);
+        if self.delta_enabled {
+            self.delta.push(DeltaOp::DeleteRel { id });
+        }
         self.journal.push(UndoOp::DeleteRel {
             id,
             data,
@@ -592,6 +667,9 @@ impl PropertyGraph {
         let out = self.out_adj.remove(&id).unwrap_or_default();
         let inc = self.in_adj.remove(&id).unwrap_or_default();
         self.tomb_nodes.insert(id);
+        if self.delta_enabled {
+            self.delta.push(DeltaOp::DeleteNode { id });
+        }
         self.journal.push(UndoOp::DeleteNode { id, data, out, inc });
         Ok(cascaded)
     }
@@ -606,6 +684,9 @@ impl PropertyGraph {
         if changed {
             self.label_index.entry(label).or_default().insert(node);
             self.reindex_label(node, label, true);
+            if self.delta_enabled {
+                self.delta.push(DeltaOp::AddLabel { node, label });
+            }
             self.journal.push(UndoOp::AddLabel { node, label });
         }
         Ok(changed)
@@ -623,6 +704,9 @@ impl PropertyGraph {
                 set.remove(&node);
             }
             self.reindex_label(node, label, false);
+            if self.delta_enabled {
+                self.delta.push(DeltaOp::RemoveLabel { node, label });
+            }
             self.journal.push(UndoOp::RemoveLabel { node, label });
         }
         Ok(changed)
@@ -658,6 +742,13 @@ impl PropertyGraph {
                     .unwrap_or_default();
                 self.reindex_prop(n, &labels, key, old.as_ref(), new_for_index.as_ref());
             }
+        }
+        if self.delta_enabled {
+            self.delta.push(DeltaOp::SetProp {
+                entity,
+                key,
+                value: new_for_index,
+            });
         }
         self.journal.push(UndoOp::SetProp { entity, key, old });
         Ok(())
@@ -716,6 +807,12 @@ impl PropertyGraph {
     pub fn rollback_to(&mut self, sp: Savepoint) {
         while self.journal.len() > sp.0 {
             let op = self.journal.pop().expect("journal non-empty");
+            if self.delta_enabled {
+                // Journal and delta are pushed in lock-step, so popping one
+                // redo entry per undo entry discards exactly the rolled-back
+                // operations from the pending delta.
+                self.delta.pop().expect("delta mirrors journal");
+            }
             self.undo(op);
         }
     }
@@ -736,6 +833,136 @@ impl PropertyGraph {
     /// Number of pending journal entries (diagnostics / tests).
     pub fn journal_len(&self) -> usize {
         self.journal.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Delta capture (redo log for the durability layer)
+    // ------------------------------------------------------------------
+
+    /// Start recording a [`DeltaOp`] redo log alongside the undo journal.
+    ///
+    /// Must be called at a statement boundary (empty journal): the lock-step
+    /// invariant between journal and delta only holds for operations
+    /// recorded after capture begins.
+    pub fn enable_delta_capture(&mut self) {
+        assert!(
+            self.journal.is_empty(),
+            "delta capture must start at a statement boundary"
+        );
+        self.delta_enabled = true;
+        self.delta.clear();
+    }
+
+    /// Stop recording and discard any pending delta.
+    pub fn disable_delta_capture(&mut self) {
+        self.delta_enabled = false;
+        self.delta.clear();
+    }
+
+    pub fn delta_capture_enabled(&self) -> bool {
+        self.delta_enabled
+    }
+
+    /// The redo entries of all operations recorded since the last
+    /// [`Self::clear_delta`] that were not rolled back.
+    pub fn delta(&self) -> &[DeltaOp] {
+        &self.delta
+    }
+
+    /// Forget the pending delta — called by the durability layer once it has
+    /// been written to the log. Only valid at a statement boundary (empty
+    /// journal), otherwise a later rollback would desynchronise the stacks.
+    pub fn clear_delta(&mut self) {
+        debug_assert!(
+            self.journal.is_empty(),
+            "delta cleared mid-statement would desynchronise rollback"
+        );
+        self.delta.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Restore (recovery-only; not journaled, not delta-captured)
+    // ------------------------------------------------------------------
+
+    /// Insert a node under an explicit id, as read from a snapshot. The id
+    /// must be fresh. Adjacency starts empty and is rebuilt by the
+    /// [`Self::restore_rel`] calls that follow; `next_node` advances past
+    /// `id` so future creations never collide.
+    pub fn restore_node(&mut self, id: NodeId, data: NodeData) {
+        assert!(
+            !self.nodes.contains_key(&id),
+            "restore_node: {id:?} already exists"
+        );
+        for &l in &data.labels {
+            self.label_index.entry(l).or_default().insert(id);
+        }
+        self.index_node_full(id, &data);
+        self.nodes.insert(id, data);
+        self.out_adj.insert(id, Vec::new());
+        self.in_adj.insert(id, Vec::new());
+        self.next_node = self.next_node.max(id.0 + 1);
+    }
+
+    /// Insert a relationship under an explicit id, as read from a snapshot
+    /// or replayed from a log. Both endpoints must already be live.
+    /// Restoring relationships in ascending id order reproduces the
+    /// canonical adjacency order of a committed graph (adjacency lists are
+    /// insertion-ordered, and at statement boundaries insertion order is id
+    /// order).
+    pub fn restore_rel(&mut self, id: RelId, data: RelData) -> Result<()> {
+        assert!(
+            !self.rels.contains_key(&id),
+            "restore_rel: {id:?} already exists"
+        );
+        if !self.nodes.contains_key(&data.src) {
+            return Err(GraphError::EndpointMissing { endpoint: data.src });
+        }
+        if !self.nodes.contains_key(&data.tgt) {
+            return Err(GraphError::EndpointMissing { endpoint: data.tgt });
+        }
+        self.out_adj.entry(data.src).or_default().push(id);
+        self.in_adj.entry(data.tgt).or_default().push(id);
+        self.next_rel = self.next_rel.max(id.0 + 1);
+        self.rels.insert(id, data);
+        Ok(())
+    }
+
+    /// Re-mark entities as formerly-deleted (zombie bookkeeping from a
+    /// snapshot).
+    pub fn restore_tombstones<N, R>(&mut self, nodes: N, rels: R)
+    where
+        N: IntoIterator<Item = NodeId>,
+        R: IntoIterator<Item = RelId>,
+    {
+        self.tomb_nodes.extend(nodes);
+        self.tomb_rels.extend(rels);
+    }
+
+    /// Force the id allocators forward (never backward) to the values a
+    /// snapshot recorded, so ids deleted before the snapshot stay retired.
+    pub fn restore_next_ids(&mut self, next_node: u64, next_rel: u64) {
+        self.next_node = self.next_node.max(next_node);
+        self.next_rel = self.next_rel.max(next_rel);
+    }
+
+    /// Current id allocator positions, for snapshotting.
+    pub fn next_ids(&self) -> (u64, u64) {
+        (self.next_node, self.next_rel)
+    }
+
+    /// Tombstoned node ids, ascending (for snapshotting).
+    pub fn tomb_node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.tomb_nodes.iter().copied()
+    }
+
+    /// Tombstoned relationship ids, ascending (for snapshotting).
+    pub fn tomb_rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.tomb_rels.iter().copied()
+    }
+
+    /// The interner, for serializing the symbol table.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
     fn undo(&mut self, op: UndoOp) {

@@ -81,6 +81,14 @@ impl Interner {
         self.strings.len()
     }
 
+    /// All interned strings in symbol order: the `i`-th item is the string
+    /// of the symbol with [`Symbol::index`] `i`. Re-interning them in this
+    /// order into a fresh interner reproduces identical symbols, which is
+    /// how snapshots keep raw symbol ids valid across a restart.
+    pub fn strings(&self) -> impl Iterator<Item = &str> {
+        self.strings.iter().map(|s| &**s)
+    }
+
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty()
     }

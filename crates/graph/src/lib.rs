@@ -32,7 +32,7 @@ pub mod value;
 
 pub use error::{GraphError, Result};
 pub use graph::{
-    DeleteNodeMode, Direction, NodeData, PropertyGraph, PropertyMap, RelData, Savepoint,
+    DeleteNodeMode, DeltaOp, Direction, NodeData, PropertyGraph, PropertyMap, RelData, Savepoint,
 };
 pub use ids::{EntityRef, NodeId, RelId};
 pub use interner::{Interner, Symbol};

@@ -1,0 +1,298 @@
+//! [`DurableGraph`] — a property graph with crash-safe persistence.
+//!
+//! ## Commit → fsync ordering contract
+//!
+//! In-memory statement atomicity is owned by the engine/transaction layer:
+//! a failing statement rolls back before [`DurableGraph::apply`] sees the
+//! error, so its mutations never reach the log. What `apply` adds is the
+//! durability boundary: after the closure succeeds, the net mutation delta
+//! is framed as one `Begin…Commit` unit, appended to the WAL with a single
+//! write, and **fsynced before `apply` returns**. A result observed by the
+//! caller therefore survives any later crash; a crash before the fsync
+//! completes loses at most the in-flight unit, never a prefix of it (the
+//! recovery scan discards units without their `Commit` frame).
+//!
+//! If the WAL append itself fails mid-way (disk full, I/O error), memory is
+//! ahead of the log and the two can no longer be reconciled; the handle
+//! **poisons** itself and refuses further writes rather than risk silently
+//! diverging state.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use cypher_graph::PropertyGraph;
+
+use crate::record::Record;
+use crate::recover::{recover, SNAPSHOT_FILE, WAL_FILE};
+use crate::wal::Wal;
+
+/// A [`PropertyGraph`] bound to a storage directory (`snapshot.bin` +
+/// `wal.bin`), with write-ahead logging of every committed mutation.
+#[derive(Debug)]
+pub struct DurableGraph {
+    dir: PathBuf,
+    graph: PropertyGraph,
+    wal: Wal,
+    next_txid: u64,
+    poisoned: bool,
+}
+
+impl DurableGraph {
+    /// Open (or create) a storage directory, recovering the last committed
+    /// state: load the snapshot, replay committed WAL units, truncate any
+    /// torn tail, and enable delta capture for future mutations.
+    pub fn open(dir: &Path) -> io::Result<DurableGraph> {
+        std::fs::create_dir_all(dir)?;
+        let rec = recover(dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        let wal = match rec.wal_committed_len {
+            Some(committed) => Wal::open_append(&wal_path, committed)?,
+            None => Wal::create(&wal_path)?,
+        };
+        let mut graph = rec.graph;
+        graph.enable_delta_capture();
+        Ok(DurableGraph {
+            dir: dir.to_owned(),
+            graph,
+            wal,
+            next_txid: rec.last_txid + 1,
+            poisoned: false,
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Read-only view of the graph.
+    pub fn graph(&self) -> &PropertyGraph {
+        &self.graph
+    }
+
+    /// Number of committed units this handle has appended (diagnostics).
+    pub fn next_txid(&self) -> u64 {
+        self.next_txid
+    }
+
+    /// Run a mutation (typically one engine statement) against the graph
+    /// and make its effects durable.
+    ///
+    /// The closure must leave the graph at a statement boundary — every
+    /// engine entry point does: it either commits its transaction or rolls
+    /// it back. Whatever net delta remains afterwards (empty when the
+    /// statement failed and rolled back) is appended to the WAL as one
+    /// commit unit and fsynced. The outer `Result` is the storage layer's;
+    /// the inner one is the closure's own outcome, returned verbatim.
+    pub fn apply<T, E>(
+        &mut self,
+        f: impl FnOnce(&mut PropertyGraph) -> Result<T, E>,
+    ) -> io::Result<Result<T, E>> {
+        self.check_poisoned()?;
+        debug_assert_eq!(
+            self.graph.journal_len(),
+            0,
+            "apply must start at a statement boundary"
+        );
+        let out = f(&mut self.graph);
+        if self.graph.journal_len() != 0 {
+            // The closure left an open transaction; durability cannot be
+            // defined for half a statement.
+            self.poisoned = true;
+            return Err(io::Error::other("closure left an uncommitted transaction"));
+        }
+        if !self.graph.delta().is_empty() {
+            let records: Vec<Record> = self
+                .graph
+                .delta()
+                .iter()
+                .map(|op| Record::from_delta(op, &self.graph))
+                .collect();
+            let txid = self.next_txid;
+            if let Err(e) = self.wal.append_commit_unit(txid, &records) {
+                self.poisoned = true;
+                return Err(e);
+            }
+            self.next_txid += 1;
+            self.graph.clear_delta();
+        }
+        Ok(out)
+    }
+
+    /// Write a full snapshot and truncate the WAL.
+    ///
+    /// Ordering makes this crash-safe at every point: the snapshot is
+    /// written atomically (temp file + rename) and records the txid horizon
+    /// it covers *before* the WAL is reset; a crash in between leaves both
+    /// a complete snapshot and a WAL whose units are all ≤ the horizon,
+    /// which recovery skips via the txid guard.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        self.check_poisoned()?;
+        let covered = self.next_txid - 1;
+        crate::snapshot::write(&self.graph, &self.dir.join(SNAPSHOT_FILE), covered)?;
+        self.wal.reset()?;
+        Ok(())
+    }
+
+    /// Checkpoint and consume the handle, returning the in-memory graph
+    /// (with delta capture switched off). The directory then holds a fresh
+    /// snapshot and an empty log — the cheapest possible next `open`.
+    pub fn close(mut self) -> io::Result<PropertyGraph> {
+        self.checkpoint()?;
+        self.graph.disable_delta_capture();
+        Ok(self.graph)
+    }
+
+    fn check_poisoned(&self) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "durable graph is poisoned: a previous WAL write failed and \
+                 memory may be ahead of the log; reopen to recover",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_graph::{isomorphic, DeleteNodeMode, GraphError, Value};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cypher-durable-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn mutations_survive_reopen() {
+        let dir = tmpdir("reopen");
+        let mut d = DurableGraph::open(&dir).unwrap();
+        d.apply(|g| -> Result<(), GraphError> {
+            let sp = g.savepoint();
+            let user = g.sym("User");
+            let id_k = g.sym("id");
+            g.create_node([user], [(id_k, Value::Int(89))]);
+            g.commit(sp);
+            Ok(())
+        })
+        .unwrap()
+        .unwrap();
+        let before = d.graph().clone();
+        drop(d);
+
+        let d = DurableGraph::open(&dir).unwrap();
+        assert!(isomorphic(&before, d.graph()));
+        assert_eq!(d.graph().node_count(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn failed_statement_writes_nothing() {
+        let dir = tmpdir("failed");
+        let mut d = DurableGraph::open(&dir).unwrap();
+        let wal_before = d.wal.len().unwrap();
+        let result: Result<(), GraphError> = d
+            .apply(|g| {
+                let sp = g.savepoint();
+                g.create_node([], []);
+                // Statement fails: roll back like the engine would.
+                g.rollback_to(sp);
+                Err(GraphError::NodeNotFound(cypher_graph::NodeId(42)))
+            })
+            .unwrap();
+        assert!(result.is_err());
+        assert_eq!(d.wal.len().unwrap(), wal_before, "no unit appended");
+        assert_eq!(d.graph().node_count(), 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_reopen_matches() {
+        let dir = tmpdir("checkpoint");
+        let mut d = DurableGraph::open(&dir).unwrap();
+        for i in 0..5i64 {
+            d.apply(|g| -> Result<(), GraphError> {
+                let sp = g.savepoint();
+                let k = g.sym("i");
+                g.create_node([], [(k, Value::Int(i))]);
+                g.commit(sp);
+                Ok(())
+            })
+            .unwrap()
+            .unwrap();
+        }
+        assert!(!d.wal.is_empty().unwrap());
+        d.checkpoint().unwrap();
+        assert!(d.wal.is_empty().unwrap());
+
+        // More work after the checkpoint lands in the (fresh) WAL.
+        d.apply(|g| -> Result<(), GraphError> {
+            let sp = g.savepoint();
+            let dead = g.create_node([], []);
+            g.delete_node(dead, DeleteNodeMode::Strict).unwrap();
+            g.commit(sp);
+            Ok(())
+        })
+        .unwrap()
+        .unwrap();
+        let before = d.graph().clone();
+        drop(d);
+
+        let d = DurableGraph::open(&dir).unwrap();
+        assert!(isomorphic(&before, d.graph()));
+        assert_eq!(d.graph().next_ids(), before.next_ids());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn stale_wal_units_skipped_after_checkpoint_crash() {
+        // Simulate a crash *between* snapshot rename and WAL truncation:
+        // take a checkpoint, then restore the pre-checkpoint WAL bytes.
+        let dir = tmpdir("staleskip");
+        let mut d = DurableGraph::open(&dir).unwrap();
+        d.apply(|g| -> Result<(), GraphError> {
+            let sp = g.savepoint();
+            g.create_node([], []);
+            g.commit(sp);
+            Ok(())
+        })
+        .unwrap()
+        .unwrap();
+        let wal_bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        let before = d.graph().clone();
+        d.checkpoint().unwrap();
+        drop(d);
+        std::fs::write(dir.join(WAL_FILE), &wal_bytes).unwrap();
+
+        let d = DurableGraph::open(&dir).unwrap();
+        // The unit is still in the WAL but covered by the snapshot; replaying
+        // it would collide on the node id.
+        assert!(isomorphic(&before, d.graph()));
+        assert_eq!(d.graph().node_count(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn close_leaves_fresh_snapshot_and_empty_wal() {
+        let dir = tmpdir("close");
+        let mut d = DurableGraph::open(&dir).unwrap();
+        d.apply(|g| -> Result<(), GraphError> {
+            let sp = g.savepoint();
+            g.create_node([], []);
+            g.commit(sp);
+            Ok(())
+        })
+        .unwrap()
+        .unwrap();
+        let before = d.graph().clone();
+        d.close().unwrap();
+        assert!(dir.join(SNAPSHOT_FILE).exists());
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.replayed, 0, "everything came from the snapshot");
+        assert!(isomorphic(&before, &rec.graph));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

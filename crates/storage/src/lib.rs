@@ -1,0 +1,34 @@
+//! Durability layer for the property graph.
+//!
+//! This crate adds crash-safe persistence on top of `cypher-graph`'s purely
+//! in-memory [`PropertyGraph`](cypher_graph::PropertyGraph), following the
+//! classic snapshot + write-ahead-log design:
+//!
+//! * [`record`] — the logical mutation records (one per graph update) and
+//!   their length-prefixed, CRC-protected binary encoding. Records are
+//!   *logical*: they name labels, keys and types as strings, so a log written
+//!   by one process is replayable in another with a fresh interner.
+//! * [`wal`] — the append-only log file. Each committed statement becomes a
+//!   `Begin{txid} … Commit{txid}` unit; the file is fsynced once per commit.
+//! * [`snapshot`] — full-graph serialization (interner, nodes, relationships,
+//!   tombstones, index schemas) written atomically via temp-file + rename.
+//! * [`recover`] — opening a directory: load the snapshot if present, then
+//!   replay only *committed* WAL units, discarding any torn or uncommitted
+//!   tail without being confused by byte-level corruption.
+//! * [`durable`] — [`DurableGraph`], the user-facing handle tying it all
+//!   together: run mutations, capture their delta, append to the WAL, and
+//!   checkpoint (snapshot + truncate) on demand.
+//!
+//! The crate is std-only: framing, CRC32 and serialization are hand-rolled,
+//! no serde.
+
+pub mod crc;
+pub mod durable;
+pub mod record;
+pub mod recover;
+pub mod snapshot;
+pub mod wal;
+
+pub use durable::DurableGraph;
+pub use record::Record;
+pub use recover::recover;

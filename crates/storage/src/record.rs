@@ -1,0 +1,537 @@
+//! Logical WAL records and their binary encoding.
+//!
+//! A record is one primitive graph mutation (or a transaction boundary
+//! marker). Records are *logical*: labels, relationship types and property
+//! keys are carried as strings, never as interner symbols, so a log written
+//! by one process replays correctly in another with a freshly-built
+//! interner. Entity ids, by contrast, are physical — recovery must
+//! reproduce them exactly, because committed query results may have exposed
+//! them (`id(n)`).
+//!
+//! ## Wire format
+//!
+//! All integers are little-endian. A record's *payload* is a one-byte tag
+//! followed by its fields:
+//!
+//! ```text
+//! u64            as 8 bytes LE
+//! i64            as 8 bytes LE (two's complement)
+//! f64            as 8 bytes LE (IEEE-754 bit pattern)
+//! string         u32 length + UTF-8 bytes
+//! value          1 tag byte + body (see `encode_value`)
+//! props          u32 count + (string key, value) pairs
+//! labels         u32 count + strings
+//! ```
+//!
+//! Framing (length prefix + CRC) is the WAL's job, not the record's — see
+//! [`crate::wal`].
+
+use std::io;
+
+use cypher_graph::{EntityRef, NodeId, RelId, Value};
+
+/// One logical mutation record, or a transaction boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// Start of a committed unit. `txid`s are strictly increasing within
+    /// one log file.
+    Begin {
+        txid: u64,
+    },
+    /// End of a committed unit. A unit whose `Commit` never made it to disk
+    /// is discarded wholesale by recovery.
+    Commit {
+        txid: u64,
+    },
+    CreateNode {
+        id: u64,
+        labels: Vec<String>,
+        props: Vec<(String, Value)>,
+    },
+    CreateRel {
+        id: u64,
+        src: u64,
+        tgt: u64,
+        rel_type: String,
+        props: Vec<(String, Value)>,
+    },
+    DeleteNode {
+        id: u64,
+    },
+    DeleteRel {
+        id: u64,
+    },
+    AddLabel {
+        node: u64,
+        label: String,
+    },
+    RemoveLabel {
+        node: u64,
+        label: String,
+    },
+    SetProp {
+        entity: EntityRef,
+        key: String,
+        /// `None` removes the key.
+        value: Option<Value>,
+    },
+}
+
+// Record tags. Gaps are deliberate headroom for future record kinds.
+const TAG_BEGIN: u8 = 0x01;
+const TAG_COMMIT: u8 = 0x02;
+const TAG_CREATE_NODE: u8 = 0x10;
+const TAG_CREATE_REL: u8 = 0x11;
+const TAG_DELETE_NODE: u8 = 0x12;
+const TAG_DELETE_REL: u8 = 0x13;
+const TAG_ADD_LABEL: u8 = 0x14;
+const TAG_REMOVE_LABEL: u8 = 0x15;
+const TAG_SET_PROP: u8 = 0x16;
+
+// Value tags.
+const VTAG_BOOL: u8 = 0x01;
+const VTAG_INT: u8 = 0x02;
+const VTAG_FLOAT: u8 = 0x03;
+const VTAG_STR: u8 = 0x04;
+const VTAG_LIST: u8 = 0x05;
+
+fn corrupt(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// ---------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(
+        buf,
+        u32::try_from(s.len()).expect("string longer than u32::MAX"),
+    );
+    buf.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Bool(b) => {
+            buf.push(VTAG_BOOL);
+            buf.push(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.push(VTAG_INT);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(VTAG_FLOAT);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(VTAG_STR);
+            put_str(buf, s);
+        }
+        Value::List(items) => {
+            buf.push(VTAG_LIST);
+            put_u32(buf, items.len() as u32);
+            for item in items {
+                encode_value(buf, item);
+            }
+        }
+        other => unreachable!("non-storable value in a mutation record: {other:?}"),
+    }
+}
+
+fn put_props(buf: &mut Vec<u8>, props: &[(String, Value)]) {
+    put_u32(buf, props.len() as u32);
+    for (k, v) in props {
+        put_str(buf, k);
+        encode_value(buf, v);
+    }
+}
+
+fn put_strings(buf: &mut Vec<u8>, items: &[String]) {
+    put_u32(buf, items.len() as u32);
+    for s in items {
+        put_str(buf, s);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive readers — every read is bounds-checked so that a corrupt
+// payload yields `InvalidData`, never a panic.
+// ---------------------------------------------------------------------
+
+pub(crate) struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| corrupt("record payload truncated"))?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn i64(&mut self) -> io::Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("invalid UTF-8 in record string"))
+    }
+
+    pub(crate) fn value(&mut self) -> io::Result<Value> {
+        match self.u8()? {
+            VTAG_BOOL => match self.u8()? {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                b => Err(corrupt(format!("invalid bool byte {b:#x}"))),
+            },
+            VTAG_INT => Ok(Value::Int(self.i64()?)),
+            VTAG_FLOAT => Ok(Value::Float(f64::from_bits(self.u64()?))),
+            VTAG_STR => Ok(Value::Str(self.str()?)),
+            VTAG_LIST => {
+                let n = self.u32()? as usize;
+                // Each element is at least 2 bytes; reject absurd counts
+                // before allocating.
+                if n > self.data.len() - self.pos {
+                    return Err(corrupt("list length exceeds payload"));
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(Value::List(items))
+            }
+            t => Err(corrupt(format!("unknown value tag {t:#x}"))),
+        }
+    }
+
+    fn props(&mut self) -> io::Result<Vec<(String, Value)>> {
+        let n = self.u32()? as usize;
+        if n > self.data.len() - self.pos {
+            return Err(corrupt("property count exceeds payload"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = self.str()?;
+            let v = self.value()?;
+            out.push((k, v));
+        }
+        Ok(out)
+    }
+
+    fn strings(&mut self) -> io::Result<Vec<String>> {
+        let n = self.u32()? as usize;
+        if n > self.data.len() - self.pos {
+            return Err(corrupt("string count exceeds payload"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.str()?);
+        }
+        Ok(out)
+    }
+}
+
+impl Record {
+    /// Append this record's payload (tag + fields, no framing) to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Record::Begin { txid } => {
+                buf.push(TAG_BEGIN);
+                put_u64(buf, *txid);
+            }
+            Record::Commit { txid } => {
+                buf.push(TAG_COMMIT);
+                put_u64(buf, *txid);
+            }
+            Record::CreateNode { id, labels, props } => {
+                buf.push(TAG_CREATE_NODE);
+                put_u64(buf, *id);
+                put_strings(buf, labels);
+                put_props(buf, props);
+            }
+            Record::CreateRel {
+                id,
+                src,
+                tgt,
+                rel_type,
+                props,
+            } => {
+                buf.push(TAG_CREATE_REL);
+                put_u64(buf, *id);
+                put_u64(buf, *src);
+                put_u64(buf, *tgt);
+                put_str(buf, rel_type);
+                put_props(buf, props);
+            }
+            Record::DeleteNode { id } => {
+                buf.push(TAG_DELETE_NODE);
+                put_u64(buf, *id);
+            }
+            Record::DeleteRel { id } => {
+                buf.push(TAG_DELETE_REL);
+                put_u64(buf, *id);
+            }
+            Record::AddLabel { node, label } => {
+                buf.push(TAG_ADD_LABEL);
+                put_u64(buf, *node);
+                put_str(buf, label);
+            }
+            Record::RemoveLabel { node, label } => {
+                buf.push(TAG_REMOVE_LABEL);
+                put_u64(buf, *node);
+                put_str(buf, label);
+            }
+            Record::SetProp { entity, key, value } => {
+                buf.push(TAG_SET_PROP);
+                match entity {
+                    EntityRef::Node(n) => {
+                        buf.push(0);
+                        put_u64(buf, n.0);
+                    }
+                    EntityRef::Rel(r) => {
+                        buf.push(1);
+                        put_u64(buf, r.0);
+                    }
+                }
+                put_str(buf, key);
+                match value {
+                    None => buf.push(0),
+                    Some(v) => {
+                        buf.push(1);
+                        encode_value(buf, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decode one record from a complete payload. The whole payload must be
+    /// consumed — trailing bytes mean corruption the CRC happened to miss.
+    pub fn decode(payload: &[u8]) -> io::Result<Record> {
+        let mut r = Reader::new(payload);
+        let record = match r.u8()? {
+            TAG_BEGIN => Record::Begin { txid: r.u64()? },
+            TAG_COMMIT => Record::Commit { txid: r.u64()? },
+            TAG_CREATE_NODE => Record::CreateNode {
+                id: r.u64()?,
+                labels: r.strings()?,
+                props: r.props()?,
+            },
+            TAG_CREATE_REL => Record::CreateRel {
+                id: r.u64()?,
+                src: r.u64()?,
+                tgt: r.u64()?,
+                rel_type: r.str()?,
+                props: r.props()?,
+            },
+            TAG_DELETE_NODE => Record::DeleteNode { id: r.u64()? },
+            TAG_DELETE_REL => Record::DeleteRel { id: r.u64()? },
+            TAG_ADD_LABEL => Record::AddLabel {
+                node: r.u64()?,
+                label: r.str()?,
+            },
+            TAG_REMOVE_LABEL => Record::RemoveLabel {
+                node: r.u64()?,
+                label: r.str()?,
+            },
+            TAG_SET_PROP => {
+                let entity = match r.u8()? {
+                    0 => EntityRef::Node(NodeId(r.u64()?)),
+                    1 => EntityRef::Rel(RelId(r.u64()?)),
+                    b => return Err(corrupt(format!("invalid entity kind {b:#x}"))),
+                };
+                let key = r.str()?;
+                let value = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.value()?),
+                    b => return Err(corrupt(format!("invalid option byte {b:#x}"))),
+                };
+                Record::SetProp { entity, key, value }
+            }
+            t => return Err(corrupt(format!("unknown record tag {t:#x}"))),
+        };
+        if !r.is_empty() {
+            return Err(corrupt("trailing bytes after record"));
+        }
+        Ok(record)
+    }
+
+    /// Translate one captured [`DeltaOp`](cypher_graph::DeltaOp) into its
+    /// logical record, resolving symbols against the graph that produced it.
+    pub fn from_delta(op: &cypher_graph::DeltaOp, g: &cypher_graph::PropertyGraph) -> Record {
+        use cypher_graph::DeltaOp as D;
+        let s = |sym| g.sym_str(sym).to_owned();
+        match op {
+            D::CreateNode { id, labels, props } => Record::CreateNode {
+                id: id.0,
+                labels: labels.iter().map(|&l| s(l)).collect(),
+                props: props.iter().map(|(k, v)| (s(*k), v.clone())).collect(),
+            },
+            D::CreateRel {
+                id,
+                src,
+                tgt,
+                rel_type,
+                props,
+            } => Record::CreateRel {
+                id: id.0,
+                src: src.0,
+                tgt: tgt.0,
+                rel_type: s(*rel_type),
+                props: props.iter().map(|(k, v)| (s(*k), v.clone())).collect(),
+            },
+            D::DeleteRel { id } => Record::DeleteRel { id: id.0 },
+            D::DeleteNode { id } => Record::DeleteNode { id: id.0 },
+            D::AddLabel { node, label } => Record::AddLabel {
+                node: node.0,
+                label: s(*label),
+            },
+            D::RemoveLabel { node, label } => Record::RemoveLabel {
+                node: node.0,
+                label: s(*label),
+            },
+            D::SetProp { entity, key, value } => Record::SetProp {
+                entity: *entity,
+                key: s(*key),
+                value: value.clone(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(r: Record) {
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert_eq!(Record::decode(&buf).unwrap(), r, "payload {buf:?}");
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Record::Begin { txid: 7 });
+        round_trip(Record::Commit { txid: u64::MAX });
+        round_trip(Record::CreateNode {
+            id: 3,
+            labels: vec!["User".into(), "Vendor".into()],
+            props: vec![
+                ("id".into(), Value::Int(-89)),
+                ("name".into(), Value::Str("Bob".into())),
+                ("score".into(), Value::Float(1.5)),
+                ("active".into(), Value::Bool(true)),
+                (
+                    "tags".into(),
+                    Value::List(vec![Value::Str("a".into()), Value::Int(2)]),
+                ),
+            ],
+        });
+        round_trip(Record::CreateRel {
+            id: 0,
+            src: 1,
+            tgt: 1,
+            rel_type: "SELF".into(),
+            props: vec![],
+        });
+        round_trip(Record::DeleteNode { id: 12 });
+        round_trip(Record::DeleteRel { id: 0 });
+        round_trip(Record::AddLabel {
+            node: 4,
+            label: "Product".into(),
+        });
+        round_trip(Record::RemoveLabel {
+            node: 4,
+            label: "".into(),
+        });
+        round_trip(Record::SetProp {
+            entity: EntityRef::Node(NodeId(9)),
+            key: "k".into(),
+            value: Some(Value::Float(f64::NEG_INFINITY)),
+        });
+        round_trip(Record::SetProp {
+            entity: EntityRef::Rel(RelId(2)),
+            key: "k".into(),
+            value: None,
+        });
+    }
+
+    #[test]
+    fn nan_survives_bit_exactly() {
+        let mut buf = Vec::new();
+        Record::SetProp {
+            entity: EntityRef::Node(NodeId(0)),
+            key: "x".into(),
+            value: Some(Value::Float(f64::NAN)),
+        }
+        .encode(&mut buf);
+        match Record::decode(&buf).unwrap() {
+            Record::SetProp {
+                value: Some(Value::Float(f)),
+                ..
+            } => assert!(f.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_invalid_data_not_panic() {
+        let mut buf = Vec::new();
+        Record::CreateNode {
+            id: 1,
+            labels: vec!["User".into()],
+            props: vec![("id".into(), Value::Int(5))],
+        }
+        .encode(&mut buf);
+        for cut in 0..buf.len() {
+            let err = Record::decode(&buf[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        Record::Begin { txid: 1 }.encode(&mut buf);
+        buf.push(0xAA);
+        assert!(Record::decode(&buf).is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! The append-only write-ahead log file.
+//!
+//! ## File layout
+//!
+//! ```text
+//! [8-byte magic "CYWALv1\n"]
+//! frame*                          where frame = [len u32][crc u32][payload]
+//! ```
+//!
+//! `len` is the payload length, `crc` its CRC-32. Each committed unit is a
+//! frame sequence `Begin{txid}, op*, Commit{txid}`, written with a **single**
+//! `write` call followed by one `fsync`; the commit only counts once the
+//! `Commit` frame is fully on disk.
+//!
+//! ## Torn-tail discipline
+//!
+//! [`scan`] walks frames from the header until the first sign of damage —
+//! a short header, a length running past EOF, a CRC mismatch, an
+//! undecodable payload, or a unit that ends without its `Commit`. Everything
+//! from the last good commit boundary onward is reported as garbage via
+//! [`Scan::committed_len`]; [`Wal::open_append`] truncates it away before
+//! appending anything new, so a crashed half-write can never be interpreted
+//! as data, no matter what bytes it left behind.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::record::Record;
+
+/// Magic + version. Bump the digit when the frame or record format changes.
+pub const MAGIC: &[u8; 8] = b"CYWALv1\n";
+
+/// Per-frame overhead: length prefix + CRC.
+const FRAME_HEADER: usize = 8;
+
+/// Append one framed payload to `buf`.
+fn put_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// An open WAL in append mode.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Wal {
+    /// Create a fresh log (truncating any existing file), write the header
+    /// and fsync it.
+    pub fn create(path: &Path) -> io::Result<Wal> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(MAGIC)?;
+        file.sync_data()?;
+        Ok(Wal {
+            file,
+            path: path.to_owned(),
+        })
+    }
+
+    /// Open an existing log for appending, first truncating it to
+    /// `committed_len` (as determined by [`scan`]) to drop any torn tail.
+    /// The truncation is fsynced before the handle is returned.
+    pub fn open_append(path: &Path, committed_len: u64) -> io::Result<Wal> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        debug_assert!(committed_len >= MAGIC.len() as u64);
+        if file.metadata()?.len() != committed_len {
+            file.set_len(committed_len)?;
+            file.sync_data()?;
+        }
+        let mut wal = Wal {
+            file,
+            path: path.to_owned(),
+        };
+        wal.file.seek_end()?;
+        Ok(wal)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one committed unit — `Begin{txid}`, the given operation
+    /// records, `Commit{txid}` — as a single write, then fsync.
+    ///
+    /// On return the unit is durable: a crash at any later point replays
+    /// it in full. On error nothing before the `Commit` frame counts, and
+    /// the next [`scan`]/`open_append` pair will discard whatever partial
+    /// bytes made it out.
+    pub fn append_commit_unit(&mut self, txid: u64, ops: &[Record]) -> io::Result<()> {
+        let mut unit = Vec::with_capacity(64 + ops.len() * 32);
+        let mut payload = Vec::with_capacity(64);
+        Record::Begin { txid }.encode(&mut payload);
+        put_frame(&mut unit, &payload);
+        for op in ops {
+            debug_assert!(!matches!(op, Record::Begin { .. } | Record::Commit { .. }));
+            payload.clear();
+            op.encode(&mut payload);
+            put_frame(&mut unit, &payload);
+        }
+        payload.clear();
+        Record::Commit { txid }.encode(&mut payload);
+        put_frame(&mut unit, &payload);
+
+        self.file.write_all(&unit)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Reset the log to an empty (header-only) state — the checkpoint
+    /// truncation step. Fsynced before returning.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(MAGIC.len() as u64)?;
+        self.file.seek_end()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Current file length (diagnostics / tests).
+    pub fn len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? <= MAGIC.len() as u64)
+    }
+}
+
+/// Seek-to-end helper; `File::seek` needs `Seek` in scope, which would
+/// otherwise leak into every caller.
+trait SeekEnd {
+    fn seek_end(&mut self) -> io::Result<u64>;
+}
+
+impl SeekEnd for File {
+    fn seek_end(&mut self) -> io::Result<u64> {
+        use std::io::Seek;
+        self.seek(io::SeekFrom::End(0))
+    }
+}
+
+/// Result of scanning a log file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Fully-committed units in log order: `(txid, ops)`.
+    pub units: Vec<(u64, Vec<Record>)>,
+    /// Byte offset just past the last committed unit (at least the header
+    /// length). Everything beyond it is a torn tail to truncate.
+    pub committed_len: u64,
+    /// Diagnostic describing why scanning stopped early, if it did.
+    pub torn: Option<String>,
+}
+
+impl Scan {
+    /// Highest committed txid, if any unit exists.
+    pub fn last_txid(&self) -> Option<u64> {
+        self.units.last().map(|(txid, _)| *txid)
+    }
+}
+
+/// Scan a WAL file, collecting committed units and locating the commit
+/// horizon. Corruption never errors — it just ends the scan — but a
+/// missing/garbled *header* does error, because that means the file is not
+/// a WAL at all (truncating it on such evidence could destroy user data).
+pub fn scan(path: &Path) -> io::Result<Scan> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} is not a WAL file (bad magic)", path.display()),
+        ));
+    }
+
+    let mut scan = Scan {
+        committed_len: MAGIC.len() as u64,
+        ..Scan::default()
+    };
+    let mut pos = MAGIC.len();
+    // The unit currently being assembled: (txid, ops).
+    let mut open_unit: Option<(u64, Vec<Record>)> = None;
+
+    macro_rules! torn {
+        ($($msg:tt)*) => {{
+            scan.torn = Some(format!($($msg)*));
+            return Ok(scan);
+        }};
+    }
+
+    while pos < data.len() {
+        if data.len() - pos < FRAME_HEADER {
+            torn!("short frame header at offset {pos}");
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        let start = pos + FRAME_HEADER;
+        let Some(end) = start.checked_add(len).filter(|&e| e <= data.len()) else {
+            torn!("frame at offset {pos} runs past end of file");
+        };
+        let payload = &data[start..end];
+        if crc32(payload) != crc {
+            torn!("CRC mismatch at offset {pos}");
+        }
+        let record = match Record::decode(payload) {
+            Ok(r) => r,
+            Err(e) => torn!("undecodable record at offset {pos}: {e}"),
+        };
+        match (&mut open_unit, record) {
+            (None, Record::Begin { txid }) => open_unit = Some((txid, Vec::new())),
+            (None, other) => torn!("record outside Begin/Commit at offset {pos}: {other:?}"),
+            (Some((txid, _)), Record::Commit { txid: c }) if *txid == c => {
+                let (txid, ops) = open_unit.take().expect("unit open");
+                scan.units.push((txid, ops));
+                scan.committed_len = end as u64;
+            }
+            (Some((txid, _)), Record::Commit { txid: c }) => {
+                torn!("commit txid {c} does not match begin txid {txid} at offset {pos}");
+            }
+            (Some(_), Record::Begin { txid }) => {
+                torn!("nested Begin {{txid: {txid}}} at offset {pos}");
+            }
+            (Some((_, ops)), op) => ops.push(op),
+        }
+        pos = end;
+    }
+    if let Some((txid, _)) = open_unit {
+        scan.torn = Some(format!("unit {txid} has no Commit (crash mid-write)"));
+    }
+    Ok(scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_graph::Value;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cypher-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ops() -> Vec<Record> {
+        vec![
+            Record::CreateNode {
+                id: 0,
+                labels: vec!["User".into()],
+                props: vec![("id".into(), Value::Int(89))],
+            },
+            Record::AddLabel {
+                node: 0,
+                label: "Vendor".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn append_then_scan_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("wal.bin");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append_commit_unit(1, &ops()).unwrap();
+        wal.append_commit_unit(2, &[Record::DeleteNode { id: 0 }])
+            .unwrap();
+        let scan = scan(&path).unwrap();
+        assert!(scan.torn.is_none());
+        assert_eq!(scan.units.len(), 2);
+        assert_eq!(scan.units[0], (1, ops()));
+        assert_eq!(scan.units[1].0, 2);
+        assert_eq!(scan.committed_len, wal.len().unwrap());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_committed_prefix() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("wal.bin");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append_commit_unit(1, &ops()).unwrap();
+        let after_first = wal.len().unwrap();
+        wal.append_commit_unit(2, &[Record::DeleteNode { id: 0 }])
+            .unwrap();
+        let full = std::fs::read(&path).unwrap();
+        drop(wal);
+
+        for cut in MAGIC.len()..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let scan = scan(&path).unwrap();
+            // Only whole committed units survive, whatever the cut point.
+            let (units, horizon) = if cut == full.len() {
+                (2, full.len() as u64)
+            } else if (cut as u64) >= after_first {
+                (1, after_first)
+            } else {
+                (0, MAGIC.len() as u64)
+            };
+            assert_eq!(scan.units.len(), units, "cut at {cut}");
+            assert_eq!(scan.committed_len, horizon, "cut at {cut}");
+            // A cut exactly on a commit boundary looks like a clean file;
+            // anywhere else the scanner must flag the torn tail.
+            let on_boundary = cut == MAGIC.len() || cut as u64 == after_first || cut == full.len();
+            assert_eq!(scan.torn.is_some(), !on_boundary, "cut at {cut}");
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_committed_region_stops_scan_there() {
+        let dir = tmpdir("bitflip");
+        let path = dir.join("wal.bin");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append_commit_unit(1, &ops()).unwrap();
+        let after_first = wal.len().unwrap();
+        wal.append_commit_unit(2, &[Record::DeleteNode { id: 0 }])
+            .unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let i = after_first as usize + FRAME_HEADER; // first payload byte of unit 2
+        bytes[i] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = scan(&path).unwrap();
+        assert_eq!(scan.units.len(), 1);
+        assert_eq!(scan.committed_len, after_first);
+        assert!(scan.torn.unwrap().contains("CRC mismatch"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn open_append_truncates_torn_tail() {
+        let dir = tmpdir("reopen");
+        let path = dir.join("wal.bin");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append_commit_unit(1, &ops()).unwrap();
+        let committed = wal.len().unwrap();
+        drop(wal);
+        // Simulate a crash mid-append: garbage after the commit horizon.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let s = scan(&path).unwrap();
+        assert_eq!(s.committed_len, committed);
+        let mut wal = Wal::open_append(&path, s.committed_len).unwrap();
+        assert_eq!(wal.len().unwrap(), committed);
+        wal.append_commit_unit(2, &[Record::DeleteNode { id: 0 }])
+            .unwrap();
+        let s = scan(&path).unwrap();
+        assert!(s.torn.is_none());
+        assert_eq!(s.units.len(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn non_wal_file_is_an_error_not_a_truncation_candidate() {
+        let dir = tmpdir("magic");
+        let path = dir.join("not-a-wal");
+        std::fs::write(&path, b"precious user data, definitely not a WAL").unwrap();
+        assert_eq!(scan(&path).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

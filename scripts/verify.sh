@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Local verification gate: build, test, format check, lint.
+#
+# Runs everything the CI tier-1 gate runs, plus fmt/clippy when the
+# toolchain has them (each is skipped with a notice otherwise). Exits
+# non-zero iff a step that *ran* failed. Fully offline.
+#
+# Usage: ./scripts/verify.sh            # from the repo root
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+failed=0
+
+run() {
+    name=$1
+    shift
+    printf '==> %s: %s\n' "$name" "$*"
+    if "$@"; then
+        printf '==> %s: OK\n\n' "$name"
+    else
+        printf '==> %s: FAILED\n\n' "$name"
+        failed=1
+    fi
+}
+
+skip() {
+    printf '==> %s: skipped (%s)\n\n' "$1" "$2"
+}
+
+if ! command -v cargo >/dev/null 2>&1; then
+    echo "cargo not found on PATH" >&2
+    exit 1
+fi
+
+# Tier-1: the gate the repo must always pass.
+run "build (release)" cargo build --release --offline
+run "test" cargo test -q --offline
+
+# Bench crate is excluded from default-members; make sure it still compiles.
+run "build (workspace incl. bench)" cargo build --workspace --offline
+
+if cargo fmt --version >/dev/null 2>&1; then
+    run "fmt" cargo fmt --all --check
+else
+    skip "fmt" "rustfmt not installed"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    run "clippy" cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    skip "clippy" "clippy not installed"
+fi
+
+if [ "$failed" -ne 0 ]; then
+    echo "verify: FAILED"
+    exit 1
+fi
+echo "verify: all checks passed"

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `criterion` cannot be fetched. This shim keeps the workspace's benches
+//! compiling and runnable: each registered routine is warmed up once and
+//! then timed over a small fixed number of iterations, with mean wall-clock
+//! time printed to stdout. There are no statistics, outlier analyses or
+//! reports — for publishable numbers, build against the real crate.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; accepted and ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation; accepted and echoed in output.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A `function_id/parameter` pair naming one series point.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to routines; `iter`/`iter_batched` time the closure.
+pub struct Bencher {
+    iterations: u32,
+    /// Mean time per iteration, recorded for the caller to print.
+    pub(crate) elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed() / self.iterations;
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total / self.iterations;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    iterations: u32,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// The real crate's statistical sample count; reused here as a (capped)
+    /// iteration count so heavyweight benches stay quick.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = (n as u32).clamp(1, 20);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<R>(&mut self, id: impl fmt::Display, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iterations: self.iterations,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        self.report(&id.to_string(), b.elapsed);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iterations: self.iterations,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b, input);
+        self.report(&id.to_string(), b.elapsed);
+        self
+    }
+
+    fn report(&self, id: &str, mean: Duration) {
+        match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+                println!("{}/{id}: {mean:?}/iter ({rate:.1} MiB/s)", self.name);
+            }
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / mean.as_secs_f64();
+                println!("{}/{id}: {mean:?}/iter ({rate:.0} elem/s)", self.name);
+            }
+            None => println!("{}/{id}: {mean:?}/iter", self.name),
+        }
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry object.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iterations: 5,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<R>(&mut self, id: &str, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(id.to_owned())
+            .bench_function("run", routine);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

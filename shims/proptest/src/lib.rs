@@ -1,0 +1,162 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `proptest` cannot be fetched. This shim is a miniature property-testing
+//! framework covering exactly the API surface the workspace's tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_filter`, `prop_recursive`
+//!   and `boxed`,
+//! * strategies for integer ranges, tuples, [`Just`], `any::<T>()`, and
+//!   string-from-regex (`"[a-z]{1,3}"` — a small regex subset),
+//! * `prop::collection::{vec, btree_map, btree_set}`, `prop::sample::select`,
+//!   `prop::option::{of, weighted}`,
+//! * the `proptest!` macro with `#![proptest_config(..)]`, and the
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_oneof!`
+//!   macro family.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   `Debug`-printed; minimization is manual.
+//! * **Deterministic seeding.** Each test derives its RNG seed from its full
+//!   module path, so runs are reproducible; set `PROPTEST_SEED=<u64>` to
+//!   perturb all streams at once. `*.proptest-regressions` files are ignored.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Entry point macro: an optional `#![proptest_config(..)]` inner attribute
+/// followed by `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut rng);
+                    )+
+                    let __inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(&::std::format!(
+                                "\n  {} = {:?}",
+                                stringify!($arg),
+                                $arg
+                            ));
+                        )+
+                        s
+                    };
+                    let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = result {
+                        ::core::panic!(
+                            "proptest case {} of {} failed: {}\ninputs:{}",
+                            case, config.cases, e, __inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args..)` — early-return
+/// a [`test_runner::TestCaseError`] instead of panicking, so the harness can
+/// attach the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), left, right,
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}\n  both: {:?}",
+            ::std::format!($($fmt)+), left,
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

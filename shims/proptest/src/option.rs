@@ -1,0 +1,34 @@
+//! `option::{of, weighted}` — strategies for `Option<T>`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+    some_probability: f64,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.chance(self.some_probability) {
+            Some(self.inner.gen_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Some` half the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    weighted(0.5, inner)
+}
+
+/// `Some` with the given probability.
+pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> OptionStrategy<S> {
+    OptionStrategy {
+        inner,
+        some_probability,
+    }
+}

@@ -1,0 +1,181 @@
+//! String strategies from a small regex subset.
+//!
+//! A `&'static str` is itself a strategy (as in the real crate); the
+//! supported pattern language is what the workspace's tests use: a sequence
+//! of atoms — a literal character, an escape (`\n`, `\t`, `\\`), or a
+//! character class `[..]` of literals, ranges (`a-z`) and escapes — each
+//! optionally followed by a `{n}` or `{m,n}` repetition.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// Candidate characters (singleton for a literal).
+    Class(Vec<char>),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other, // \\, \-, \], \. …
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => break,
+            '\\' => {
+                let e = unescape(chars.next().expect("dangling escape in class"));
+                out.push(e);
+                prev = Some(e);
+            }
+            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let start = prev.take().expect("range start");
+                let mut end = chars.next().expect("range end");
+                if end == '\\' {
+                    end = unescape(chars.next().expect("dangling escape in class"));
+                }
+                assert!(start <= end, "inverted class range {start}-{end}");
+                // `start` was already pushed as a literal; extend with the rest.
+                out.extend(((start as u32 + 1)..=(end as u32)).filter_map(char::from_u32));
+            }
+            other => {
+                out.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    assert!(!out.is_empty(), "empty character class");
+    out
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut body = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        body.push(c);
+    }
+    match body.split_once(',') {
+        Some((m, n)) => (
+            m.trim().parse().expect("bad repeat lower bound"),
+            n.trim().parse().expect("bad repeat upper bound"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("bad repeat count");
+            (n, n)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Class(vec![unescape(chars.next().expect("dangling escape"))]),
+            other => Atom::Class(vec![other]),
+        };
+        let (min, max) = parse_repeat(&mut chars);
+        assert!(min <= max, "inverted repeat {{{min},{max}}} in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let n = rng.range(piece.min..piece.max + 1);
+            let Atom::Class(ref candidates) = piece.atom;
+            for _ in 0..n {
+                out.push(candidates[rng.below(candidates.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string::tests")
+    }
+
+    #[test]
+    fn class_with_range_and_repeat() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,3}".gen_value(&mut r);
+            assert!((1..=3).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[ -~]{0,8}".gen_value(&mut r);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_in_class() {
+        let mut r = rng();
+        let mut saw_newline = false;
+        for _ in 0..500 {
+            let s = "[ -~\\n\\t]{0,20}".gen_value(&mut r);
+            saw_newline |= s.contains('\n') || s.contains('\t');
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+        assert!(saw_newline);
+    }
+
+    #[test]
+    fn concatenated_atoms() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-w][a-z0-9_]{0,6}".gen_value(&mut r);
+            assert!(!s.is_empty() && s.len() <= 7);
+            let first = s.chars().next().unwrap();
+            assert!(('a'..='w').contains(&first), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_atoms() {
+        let mut r = rng();
+        assert_eq!("abc".gen_value(&mut r), "abc");
+    }
+}

@@ -1,0 +1,86 @@
+//! Configuration, RNG, and failure plumbing for the `proptest!` harness.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore as _, SeedableRng as _};
+
+/// Number-of-cases knob; mirrors the field the workspace's tests set.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failing property, carrying the assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Seeded generator handed to strategies.
+///
+/// Each test's stream is derived from its fully qualified name, so runs are
+/// reproducible run-to-run; setting `PROPTEST_SEED=<u64>` perturbs every
+/// stream at once for exploratory fuzzing.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let extra = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng(StdRng::seed_from_u64(h ^ extra))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n)
+    }
+
+    pub fn range<T, S: rand::SampleRange<T>>(&mut self, r: S) -> T {
+        self.0.gen_range(r)
+    }
+
+    pub fn range_inclusive<T, S: rand::SampleRange<T>>(&mut self, r: S) -> T {
+        self.0.gen_range(r)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.0.gen_bool(p)
+    }
+}

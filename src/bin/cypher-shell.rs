@@ -22,6 +22,9 @@
 //! | `:load csv <file> <param>` | load a CSV file into `$param` |
 //! | `:source <file>` | run a `;`-separated Cypher script |
 //! | `:save <file>` | export the graph as a Cypher CREATE script |
+//! | `:open <dir>` | open a durable store (WAL + snapshot) in `<dir>` |
+//! | `:checkpoint` | snapshot the open store and truncate its WAL |
+//! | `:close` | checkpoint and detach from the store |
 //! | `:dump` | print the graph |
 //! | `:stats` | print the graph summary |
 //! | `:reset` | empty the graph |
@@ -31,9 +34,26 @@ use std::io::{self, BufRead, Write};
 
 use cypher_core::{Dialect, Engine, EngineBuilder, MatchMode, MergePolicy, ProcessingOrder};
 use cypher_graph::{fmt::dump, GraphSummary, PropertyGraph, Value};
+use cypher_storage::DurableGraph;
+
+/// Where statements execute: a plain in-memory graph, or one bound to a
+/// storage directory with every committed statement write-ahead logged.
+enum Store {
+    Memory(PropertyGraph),
+    Durable(DurableGraph),
+}
+
+impl Store {
+    fn graph(&self) -> &PropertyGraph {
+        match self {
+            Store::Memory(g) => g,
+            Store::Durable(d) => d.graph(),
+        }
+    }
+}
 
 struct Shell {
-    graph: PropertyGraph,
+    store: Store,
     dialect: Dialect,
     order: ProcessingOrder,
     match_mode: MatchMode,
@@ -44,12 +64,33 @@ struct Shell {
 impl Shell {
     fn new() -> Self {
         Shell {
-            graph: PropertyGraph::new(),
+            store: Store::Memory(PropertyGraph::new()),
             dialect: Dialect::Cypher9,
             order: ProcessingOrder::Forward,
             match_mode: MatchMode::EdgeIsomorphic,
             policy: None,
             params: Vec::new(),
+        }
+    }
+
+    /// Run `f` against the active graph; in durable mode the statement's
+    /// committed delta is WAL-appended and fsynced before this returns.
+    fn exec<T>(
+        &mut self,
+        f: impl FnOnce(&Engine, &mut PropertyGraph) -> cypher_core::Result<T>,
+    ) -> cypher_core::Result<T> {
+        let engine = self.engine();
+        match &mut self.store {
+            Store::Memory(g) => f(&engine, g),
+            Store::Durable(d) => match d.apply(|g| f(&engine, g)) {
+                Ok(result) => result,
+                Err(io_err) => {
+                    // Storage failure: the statement's in-memory effect may
+                    // not be durable. The handle poisons itself against
+                    // further writes.
+                    Err(cypher_core::EvalError::Storage(io_err.to_string()))
+                }
+            },
         }
     }
 
@@ -75,17 +116,17 @@ impl Shell {
     }
 
     fn run_statement(&mut self, text: &str) {
-        let engine = self.engine();
         // `EXPLAIN <statement>` describes the evaluation strategy instead
         // of running it.
         if text.len() >= 8 && text[..7].eq_ignore_ascii_case("EXPLAIN") {
-            match engine.explain(&self.graph, text[7..].trim()) {
+            let engine = self.engine();
+            match engine.explain(self.store.graph(), text[7..].trim()) {
                 Ok(plan) => print!("{plan}"),
                 Err(e) => println!("error: {e}"),
             }
             return;
         }
-        match engine.run(&mut self.graph, text) {
+        match self.exec(|engine, g| engine.run(g, text)) {
             Ok(result) => {
                 if result.columns.is_empty() {
                     println!("(no rows)");
@@ -130,6 +171,9 @@ impl Shell {
                      :load csv <file> <param>  load CSV rows into $param\n\
                      :source <file>            run a Cypher script\n\
                      :save <file>              export graph as a CREATE script\n\
+                     :open <dir>               open a durable store (WAL + snapshot)\n\
+                     :checkpoint               snapshot the store, truncate the WAL\n\
+                     :close                    checkpoint and detach from the store\n\
                      :dump | :stats | :reset | :quit"
                 );
             }
@@ -184,18 +228,15 @@ impl Shell {
                     return true;
                 };
                 match std::fs::read_to_string(path) {
-                    Ok(text) => {
-                        let engine = self.engine();
-                        match engine.run_script(&mut self.graph, &text) {
-                            Ok(last) => {
-                                if !last.columns.is_empty() {
-                                    print!("{}", last.render());
-                                }
-                                println!("script ok");
+                    Ok(text) => match self.exec(|engine, g| engine.run_script(g, &text)) {
+                        Ok(last) => {
+                            if !last.columns.is_empty() {
+                                print!("{}", last.render());
                             }
-                            Err(e) => println!("error: {e}"),
+                            println!("script ok");
                         }
-                    }
+                        Err(e) => println!("error: {e}"),
+                    },
                     Err(e) => println!("error reading {path}: {e}"),
                 }
             }
@@ -204,18 +245,74 @@ impl Shell {
                     println!("usage: :save <file>");
                     return true;
                 };
-                let script = cypher_core::graph_to_cypher(&self.graph);
+                let script = cypher_core::graph_to_cypher(self.store.graph());
                 match std::fs::write(path, &script) {
                     Ok(()) => println!("wrote {} byte(s) to {path}", script.len()),
                     Err(e) => println!("error writing {path}: {e}"),
                 }
             }
-            ":dump" => print!("{}", dump(&self.graph)),
-            ":stats" => println!("{}", GraphSummary::of(&self.graph)),
-            ":reset" => {
-                self.graph = PropertyGraph::new();
-                println!("graph cleared");
+            ":open" => {
+                let Some(path) = words.next() else {
+                    println!("usage: :open <dir>");
+                    return true;
+                };
+                if matches!(self.store, Store::Durable(_)) {
+                    println!("a store is already open; :close it first");
+                    return true;
+                }
+                if self.store.graph().node_count() > 0 {
+                    println!("note: replacing the in-memory graph with the store's contents");
+                }
+                match DurableGraph::open(std::path::Path::new(path)) {
+                    Ok(d) => {
+                        let g = d.graph();
+                        println!(
+                            "opened {path}: {} node(s), {} rel(s) recovered",
+                            g.node_count(),
+                            g.rel_count()
+                        );
+                        self.store = Store::Durable(d);
+                    }
+                    Err(e) => println!("error opening {path}: {e}"),
+                }
             }
+            ":checkpoint" => match &mut self.store {
+                Store::Durable(d) => match d.checkpoint() {
+                    Ok(()) => println!("checkpoint written, WAL truncated"),
+                    Err(e) => println!("checkpoint failed: {e}"),
+                },
+                Store::Memory(_) => println!("no store open; use :open <dir>"),
+            },
+            ":close" => {
+                match std::mem::replace(&mut self.store, Store::Memory(PropertyGraph::new())) {
+                    Store::Durable(d) => {
+                        let dir = d.dir().display().to_string();
+                        match d.close() {
+                            Ok(graph) => {
+                                // Keep working on the same graph, detached.
+                                self.store = Store::Memory(graph);
+                                println!("closed {dir} (graph stays in memory)");
+                            }
+                            Err(e) => println!("close failed: {e}"),
+                        }
+                    }
+                    mem => {
+                        self.store = mem;
+                        println!("no store open");
+                    }
+                }
+            }
+            ":dump" => print!("{}", dump(self.store.graph())),
+            ":stats" => println!("{}", GraphSummary::of(self.store.graph())),
+            ":reset" => match &self.store {
+                Store::Memory(_) => {
+                    self.store = Store::Memory(PropertyGraph::new());
+                    println!("graph cleared");
+                }
+                Store::Durable(_) => {
+                    println!("a store is open; :close it before :reset");
+                }
+            },
             other => println!("unknown command {other}; try :help"),
         }
         true

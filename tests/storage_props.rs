@@ -1,0 +1,244 @@
+//! Property-based tests for the durability layer.
+//!
+//! Two invariants, on randomized inputs:
+//!
+//! 1. **Snapshot round-trip**: any reachable graph — random labels,
+//!    mixed-type properties (including nulls and lists), parallel edges,
+//!    self-loops, tombstones — survives `snapshot::write` → `snapshot::load`
+//!    isomorphically (in fact id-for-id).
+//! 2. **Replay fidelity**: executing a random statement sequence through
+//!    [`DurableGraph`] and then recovering from disk (snapshot + WAL
+//!    replay) yields the same graph as executing the sequence purely in
+//!    memory — under both the legacy and the revised engine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use cypher_core::{Dialect, Engine};
+use cypher_graph::{isomorphic, DeleteNodeMode, PropertyGraph, Value};
+use cypher_storage::{recover, snapshot, DurableGraph};
+
+/// Fresh scratch directory per case (cases run sequentially, but a counter
+/// keeps reruns from tripping over leftovers of a crashed process).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cypher-storage-props-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+// ---------------------------------------------------------------------
+// Random graphs, built directly against the store API
+// ---------------------------------------------------------------------
+
+fn scalar_strategy() -> BoxedStrategy<Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-16i64..16).prop_map(|n| Value::Float(n as f64 / 4.0)),
+        "[ -~]{0,8}".prop_map(Value::Str),
+    ]
+    .boxed()
+}
+
+/// Storable property values: scalars and lists of scalars — plus `null`,
+/// which the store must treat as "remove the key".
+fn prop_value_strategy() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        scalar_strategy(),
+        prop::collection::vec(scalar_strategy(), 0..4).prop_map(Value::List),
+    ]
+    .boxed()
+}
+
+#[derive(Clone, Debug)]
+struct NodeSpec {
+    labels: Vec<String>,
+    props: Vec<(String, Value)>,
+    /// Delete this node again after the edges are in (tombstone +
+    /// cascaded edge deletions).
+    delete_after: bool,
+}
+
+/// (src index, tgt index, type, props) — indices taken modulo the node
+/// count, so parallel edges and self-loops occur organically.
+type RelSpec = (usize, usize, String, Vec<(String, Value)>);
+
+#[derive(Clone, Debug)]
+struct GraphSpec {
+    nodes: Vec<NodeSpec>,
+    rels: Vec<RelSpec>,
+}
+
+fn label_pool() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "User".to_owned(),
+        "Product".to_owned(),
+        "Vendor".to_owned(),
+    ])
+}
+
+fn key_pool() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "id".to_owned(),
+        "name".to_owned(),
+        "score".to_owned(),
+        "tags".to_owned(),
+    ])
+}
+
+fn node_spec_strategy() -> impl Strategy<Value = NodeSpec> {
+    (
+        prop::collection::vec(label_pool(), 0..3),
+        prop::collection::vec((key_pool(), prop_value_strategy()), 0..4),
+        prop::option::weighted(0.15, Just(())),
+    )
+        .prop_map(|(labels, props, del)| NodeSpec {
+            labels,
+            props,
+            delete_after: del.is_some(),
+        })
+}
+
+fn graph_spec_strategy() -> impl Strategy<Value = GraphSpec> {
+    (
+        prop::collection::vec(node_spec_strategy(), 0..8),
+        prop::collection::vec(
+            (
+                0usize..8,
+                0usize..8,
+                prop::sample::select(vec!["ORDERED".to_owned(), "KNOWS".to_owned()]),
+                prop::collection::vec((key_pool(), prop_value_strategy()), 0..3),
+            ),
+            0..12,
+        ),
+    )
+        .prop_map(|(nodes, rels)| GraphSpec { nodes, rels })
+}
+
+fn build(spec: &GraphSpec) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let mut ids = Vec::new();
+    for n in &spec.nodes {
+        let labels: Vec<_> = n.labels.iter().map(|l| g.sym(l)).collect();
+        let props: Vec<_> = n.props.iter().map(|(k, v)| (g.sym(k), v.clone())).collect();
+        ids.push(g.create_node(labels, props));
+    }
+    if !ids.is_empty() {
+        for (s, t, ty, props) in &spec.rels {
+            let ty = g.sym(ty);
+            let props: Vec<_> = props.iter().map(|(k, v)| (g.sym(k), v.clone())).collect();
+            g.create_rel(ids[s % ids.len()], ty, ids[t % ids.len()], props)
+                .unwrap();
+        }
+    }
+    for (i, n) in spec.nodes.iter().enumerate() {
+        if n.delete_after {
+            g.delete_node(ids[i], DeleteNodeMode::Detach).unwrap();
+        }
+    }
+    g
+}
+
+// ---------------------------------------------------------------------
+// Random statement workloads, run through the engine
+// ---------------------------------------------------------------------
+
+fn statement_strategy() -> BoxedStrategy<String> {
+    let label = || prop::sample::select(vec!["A".to_owned(), "B".to_owned(), "C".to_owned()]);
+    prop_oneof![
+        (label(), 0i64..30, 0i64..30)
+            .prop_map(|(l, i, n)| format!("CREATE (:{l} {{id: {i}, name: 'n{n}'}})")),
+        (label(), label(), 0i64..9).prop_map(|(a, b, w)| format!(
+            "MATCH (a:{a}) MATCH (b:{b}) CREATE (a)-[:R {{w: {w}}}]->(b)"
+        )),
+        (label(), -5i64..100).prop_map(|(l, v)| format!("MATCH (n:{l}) SET n.score = {v}")),
+        label().prop_map(|l| format!("MATCH (n:{l}) SET n:Extra REMOVE n.name")),
+        (label(), 0i64..30)
+            .prop_map(|(l, i)| format!("MATCH (n:{l}) WHERE n.id = {i} DETACH DELETE n")),
+        (label(), 0i64..9)
+            .prop_map(|(l, x)| format!("MATCH (n:{l}) SET n.tags = ['a', {x}, true]")),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Snapshot round-trip: write → load reproduces the graph exactly.
+    #[test]
+    fn snapshot_round_trip_is_lossless(spec in graph_spec_strategy()) {
+        let g = build(&spec);
+        let dir = scratch("roundtrip");
+        let path = dir.join("snapshot.bin");
+        snapshot::write(&g, &path, 0).unwrap();
+        let h = snapshot::load(&path).unwrap().graph;
+        prop_assert!(isomorphic(&g, &h), "loaded snapshot not isomorphic");
+        // Id-exact, allocator-exact, tombstone-exact.
+        prop_assert_eq!(g.node_ids().collect::<Vec<_>>(), h.node_ids().collect::<Vec<_>>());
+        prop_assert_eq!(g.rel_ids().collect::<Vec<_>>(), h.rel_ids().collect::<Vec<_>>());
+        prop_assert_eq!(g.next_ids(), h.next_ids());
+        prop_assert_eq!(
+            g.tomb_node_ids().collect::<Vec<_>>(),
+            h.tomb_node_ids().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            g.tomb_rel_ids().collect::<Vec<_>>(),
+            h.tomb_rel_ids().collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Durable execution + recovery ≡ in-memory execution, both dialects.
+    /// A mid-sequence checkpoint must not change the outcome either.
+    #[test]
+    fn recovery_matches_in_memory_execution(
+        stmts in prop::collection::vec(statement_strategy(), 1..10),
+        checkpoint_at in prop::option::of(0usize..10),
+    ) {
+        for dialect in [Dialect::Cypher9, Dialect::Revised] {
+            let engine = Engine::builder(dialect).build();
+
+            // Reference: pure in-memory execution.
+            let mut mem = PropertyGraph::new();
+            for s in &stmts {
+                engine.run(&mut mem, s).unwrap();
+            }
+
+            // Durable execution with an optional checkpoint in the middle,
+            // then crash (drop without close) and recover.
+            let dir = scratch("replay");
+            let mut d = DurableGraph::open(&dir).unwrap();
+            for (i, s) in stmts.iter().enumerate() {
+                d.apply(|g| engine.run(g, s)).unwrap().unwrap();
+                if checkpoint_at == Some(i) {
+                    d.checkpoint().unwrap();
+                }
+            }
+            let committed = d.graph().clone();
+            drop(d);
+
+            let rec = recover(&dir).unwrap();
+            prop_assert!(
+                isomorphic(&rec.graph, &committed),
+                "{dialect:?}: recovered != committed"
+            );
+            prop_assert!(
+                isomorphic(&rec.graph, &mem),
+                "{dialect:?}: recovered != in-memory reference"
+            );
+            prop_assert_eq!(
+                rec.graph.node_ids().collect::<Vec<_>>(),
+                mem.node_ids().collect::<Vec<_>>()
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
