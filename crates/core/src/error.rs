@@ -67,6 +67,15 @@ pub enum EvalError {
     /// The durability layer failed to log a committed statement (I/O).
     /// The in-memory result may not survive a crash.
     Storage(String),
+    /// The statement exceeded an execution budget (rows, write operations,
+    /// or wall-clock time) configured via `EngineBuilder::limits`. The
+    /// statement is aborted and rolled back; the session stays alive.
+    ResourceExhausted {
+        /// Which budget tripped: `"rows"`, `"writes"` or `"time (ms)"`.
+        resource: &'static str,
+        /// The configured limit (milliseconds for the time budget).
+        limit: u64,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -129,6 +138,11 @@ impl fmt::Display for EvalError {
                  finitely evaluable; bound the length"
             ),
             EvalError::Storage(msg) => write!(f, "storage error: {msg}"),
+            EvalError::ResourceExhausted { resource, limit } => write!(
+                f,
+                "resource exhausted: statement exceeded its {resource} budget of {limit} \
+                 and was rolled back"
+            ),
         }
     }
 }

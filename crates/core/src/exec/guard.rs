@@ -1,0 +1,181 @@
+//! Execution budgets and cooperative cancellation.
+//!
+//! The paper's update semantics make unbounded amplification easy to write
+//! — `MERGE` fans out per driving record, `FOREACH` nests, `UNWIND
+//! range(...)` manufactures rows from thin air. A production engine must
+//! bound a statement instead of hanging: [`ExecLimits`] declares budgets
+//! (rows materialized, write operations, wall-clock time) and [`ExecGuard`]
+//! enforces them cooperatively at record granularity inside the exec loops.
+//!
+//! Checks are *cooperative*: a budget may be overshot by the one record in
+//! flight before the next check notices (`used > limit`, strictly). When a
+//! budget trips, the statement fails with the typed
+//! [`EvalError::ResourceExhausted`]; the engine's transaction layer rolls
+//! the graph back to the statement boundary, so a budget violation is
+//! always side-effect free.
+
+use std::time::{Duration, Instant};
+
+use crate::error::{EvalError, Result};
+
+use super::UpdateStats;
+
+/// Per-statement execution budgets. `None` means unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Maximum rows any single clause may materialize (cumulative over the
+    /// statement's clause pipeline).
+    pub max_rows: Option<u64>,
+    /// Maximum primitive write operations (nodes/rels created or deleted,
+    /// properties set, labels added or removed).
+    pub max_writes: Option<u64>,
+    /// Wall-clock deadline for the whole statement.
+    pub timeout: Option<Duration>,
+}
+
+impl ExecLimits {
+    /// No budgets at all — the default.
+    pub const NONE: ExecLimits = ExecLimits {
+        max_rows: None,
+        max_writes: None,
+        timeout: None,
+    };
+
+    pub fn is_unlimited(&self) -> bool {
+        *self == ExecLimits::NONE
+    }
+}
+
+/// Live budget state for one statement execution.
+#[derive(Debug)]
+pub(crate) struct ExecGuard {
+    limits: ExecLimits,
+    rows: u64,
+    deadline: Option<Instant>,
+}
+
+impl ExecGuard {
+    pub(crate) fn new(limits: ExecLimits) -> ExecGuard {
+        ExecGuard {
+            limits,
+            rows: 0,
+            // The deadline is fixed at statement start; a zero timeout
+            // trips on the very first check (`now >= deadline`).
+            deadline: limits
+                .timeout
+                .map(|t| Instant::now().checked_add(t).unwrap_or_else(Instant::now)),
+        }
+    }
+
+    /// Charge `n` materialized rows and check the row budget + deadline.
+    pub(crate) fn charge_rows(&mut self, n: usize) -> Result<()> {
+        self.check_deadline()?;
+        self.rows = self.rows.saturating_add(n as u64);
+        if let Some(limit) = self.limits.max_rows {
+            if self.rows > limit {
+                return Err(EvalError::ResourceExhausted {
+                    resource: "rows",
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Check the write budget against the statement's running counters,
+    /// plus the deadline.
+    pub(crate) fn check_writes(&mut self, stats: &UpdateStats) -> Result<()> {
+        self.check_deadline()?;
+        if let Some(limit) = self.limits.max_writes {
+            if stats.total_ops() as u64 > limit {
+                return Err(EvalError::ResourceExhausted {
+                    resource: "writes",
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Cooperative cancellation point: has the wall-clock deadline passed?
+    pub(crate) fn check_deadline(&self) -> Result<()> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(EvalError::ResourceExhausted {
+                    resource: "time (ms)",
+                    limit: self
+                        .limits
+                        .timeout
+                        .map(|t| t.as_millis() as u64)
+                        .unwrap_or(0),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_never_trips() {
+        let mut g = ExecGuard::new(ExecLimits::NONE);
+        g.charge_rows(usize::MAX).unwrap();
+        g.check_writes(&UpdateStats {
+            nodes_created: usize::MAX,
+            ..UpdateStats::default()
+        })
+        .unwrap();
+        g.check_deadline().unwrap();
+    }
+
+    #[test]
+    fn row_budget_is_cumulative_and_strict() {
+        let mut g = ExecGuard::new(ExecLimits {
+            max_rows: Some(10),
+            ..ExecLimits::NONE
+        });
+        g.charge_rows(6).unwrap();
+        g.charge_rows(4).unwrap(); // exactly at the limit: fine
+        let err = g.charge_rows(1).unwrap_err();
+        assert!(matches!(
+            err,
+            EvalError::ResourceExhausted {
+                resource: "rows",
+                limit: 10
+            }
+        ));
+    }
+
+    #[test]
+    fn write_budget_reads_statement_counters() {
+        let mut g = ExecGuard::new(ExecLimits {
+            max_writes: Some(2),
+            ..ExecLimits::NONE
+        });
+        let mut stats = UpdateStats {
+            nodes_created: 2,
+            ..UpdateStats::default()
+        };
+        g.check_writes(&stats).unwrap();
+        stats.props_set = 1;
+        assert!(g.check_writes(&stats).is_err());
+    }
+
+    #[test]
+    fn zero_timeout_always_trips() {
+        let g = ExecGuard::new(ExecLimits {
+            timeout: Some(Duration::ZERO),
+            ..ExecLimits::NONE
+        });
+        assert!(matches!(
+            g.check_deadline().unwrap_err(),
+            EvalError::ResourceExhausted {
+                resource: "time (ms)",
+                ..
+            }
+        ));
+    }
+}

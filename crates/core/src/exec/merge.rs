@@ -141,6 +141,8 @@ fn merge_legacy(
     } {
         let rec = &input.rows[i];
         let matches = ctx.matcher().match_patterns(rec, patterns)?;
+        // A failing record still materializes one (created) output row.
+        ctx.charge_rows(matches.len().max(1))?;
         if matches.is_empty() {
             let mut created = rec.clone();
             for pattern in patterns {
@@ -160,6 +162,7 @@ fn merge_legacy(
             }
             out.extend(matches);
         }
+        ctx.guard_writes()?;
     }
     ctx.table = Table::from_rows(out);
     Ok(())
@@ -280,12 +283,11 @@ fn merge_atomic_family(
     // ---- Phase 1: match everything against the *input* graph. ----
     // rows_out[i] = Some(matched rows) or None (failing record).
     let mut matched: Vec<Option<Vec<Record>>> = Vec::with_capacity(input.len());
-    {
-        let matcher = ctx.matcher();
-        for rec in &input.rows {
-            let m = matcher.match_patterns(rec, patterns)?;
-            matched.push(if m.is_empty() { None } else { Some(m) });
-        }
+    for rec in &input.rows {
+        let m = ctx.matcher().match_patterns(rec, patterns)?;
+        // A failing record still materializes one (created) output row.
+        ctx.charge_rows(m.len().max(1))?;
+        matched.push(if m.is_empty() { None } else { Some(m) });
     }
 
     // ---- Phase 2: build blueprints for failing records. ----
@@ -440,6 +442,7 @@ fn merge_atomic_family(
         ctx.stats.nodes_created += 1;
         ctx.stats.labels_added += n_labels;
         ctx.stats.props_set += n_props;
+        ctx.guard_writes()?;
         node_ids.push(id);
     }
     let resolve_node = |gi: usize, slot: usize| -> NodeId {
@@ -463,6 +466,7 @@ fn merge_atomic_family(
         let id = ctx.graph.create_rel(src, ty, tgt, props)?;
         ctx.stats.rels_created += 1;
         ctx.stats.props_set += n_props;
+        ctx.guard_writes()?;
         rel_ids.push(id);
     }
 

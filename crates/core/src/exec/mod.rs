@@ -18,11 +18,15 @@
 //! independently of the surface syntax.
 
 mod explain;
+mod guard;
 mod merge;
 mod read;
 mod write;
 
+pub use guard::ExecLimits;
 pub use merge::MergePolicy;
+
+pub(crate) use guard::ExecGuard;
 
 use std::collections::BTreeMap;
 
@@ -63,6 +67,18 @@ impl UpdateStats {
     /// Did the statement change anything?
     pub fn contains_updates(&self) -> bool {
         *self != UpdateStats::default()
+    }
+
+    /// Total primitive write operations — the quantity the write budget of
+    /// [`ExecLimits`] is measured in.
+    pub fn total_ops(&self) -> usize {
+        self.nodes_created
+            + self.rels_created
+            + self.nodes_deleted
+            + self.rels_deleted
+            + self.props_set
+            + self.labels_added
+            + self.labels_removed
     }
 }
 
@@ -123,6 +139,7 @@ pub struct EngineBuilder {
     order: ProcessingOrder,
     merge_override: Option<MergePolicy>,
     params: BTreeMap<String, Value>,
+    limits: ExecLimits,
 }
 
 impl EngineBuilder {
@@ -133,6 +150,7 @@ impl EngineBuilder {
             order: ProcessingOrder::Forward,
             merge_override: None,
             params: BTreeMap::new(),
+            limits: ExecLimits::NONE,
         }
     }
 
@@ -161,6 +179,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Per-statement execution budgets (rows, writes, wall-clock). A
+    /// statement that exceeds a budget fails with
+    /// [`EvalError::ResourceExhausted`](crate::EvalError::ResourceExhausted)
+    /// and rolls back.
+    pub fn limits(mut self, limits: ExecLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
     pub fn build(self) -> Engine {
         Engine {
             dialect: self.dialect,
@@ -168,6 +195,7 @@ impl EngineBuilder {
             order: self.order,
             merge_override: self.merge_override,
             params: self.params,
+            limits: self.limits,
         }
     }
 }
@@ -180,6 +208,7 @@ pub struct Engine {
     pub order: ProcessingOrder,
     pub merge_override: Option<MergePolicy>,
     pub params: BTreeMap<String, Value>,
+    pub limits: ExecLimits,
 }
 
 impl Engine {
@@ -260,11 +289,13 @@ impl Engine {
         clauses: &[Clause],
     ) -> Result<Table> {
         let mut stats = UpdateStats::default();
+        let mut guard = ExecGuard::new(self.limits);
         let mut ctx = ExecCtx {
             graph,
             table,
             engine: self,
             stats: &mut stats,
+            guard: &mut guard,
             result_columns: None,
         };
         for clause in clauses {
@@ -275,7 +306,9 @@ impl Engine {
 
     fn run_union(&self, graph: &mut PropertyGraph, query: &Query) -> Result<QueryResult> {
         let mut stats = UpdateStats::default();
-        let first = self.run_single(graph, &query.first, &mut stats)?;
+        // One guard for the whole statement: union arms share the budgets.
+        let mut guard = ExecGuard::new(self.limits);
+        let first = self.run_single(graph, &query.first, &mut stats, &mut guard)?;
         if query.unions.is_empty() {
             return Ok(QueryResult {
                 columns: first.0,
@@ -289,7 +322,7 @@ impl Engine {
         for (kind, sq) in &query.unions {
             // §8.2: updates in unions are side-effects applied left-to-right
             // on the graph; tables are unioned.
-            let (cols, arm_rows) = self.run_single(graph, sq, &mut stats)?;
+            let (cols, arm_rows) = self.run_single(graph, sq, &mut stats, &mut guard)?;
             if cols != columns {
                 return Err(EvalError::Dialect(format!(
                     "UNION arms must return the same columns ({columns:?} vs {cols:?})"
@@ -323,12 +356,14 @@ impl Engine {
         graph: &mut PropertyGraph,
         sq: &SingleQuery,
         stats: &mut UpdateStats,
+        guard: &mut ExecGuard,
     ) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
         let mut ctx = ExecCtx {
             graph,
             table: Table::unit(),
             engine: self,
             stats,
+            guard,
             result_columns: None,
         };
         for clause in &sq.clauses {
@@ -350,6 +385,7 @@ pub(crate) struct ExecCtx<'g, 'e> {
     pub table: Table,
     pub engine: &'e Engine,
     pub stats: &'e mut UpdateStats,
+    pub guard: &'e mut ExecGuard,
     /// Set by a RETURN clause: the declared column order.
     pub result_columns: Option<Vec<String>>,
 }
@@ -405,6 +441,18 @@ impl ExecCtx<'_, '_> {
                 Ok(())
             }
         }
+    }
+
+    /// Charge `n` materialized rows against the statement's row budget
+    /// (also a cooperative cancellation point for the deadline).
+    pub(crate) fn charge_rows(&mut self, n: usize) -> Result<()> {
+        self.guard.charge_rows(n)
+    }
+
+    /// Check the write budget against the statement's running counters
+    /// (also a cooperative cancellation point for the deadline).
+    pub(crate) fn guard_writes(&mut self) -> Result<()> {
+        self.guard.check_writes(self.stats)
     }
 
     /// Indices of the driving table in the legacy processing order.

@@ -39,11 +39,13 @@ pub(crate) fn match_clause(
                 None => true,
             };
             if keep {
+                ctx.charge_rows(1)?;
                 any = true;
                 out.push(m);
             }
         }
         if optional && !any {
+            ctx.charge_rows(1)?;
             let mut null_rec = rec.clone();
             for var in pattern_variables(patterns) {
                 if !null_rec.is_bound(&var) {
@@ -90,12 +92,14 @@ pub(crate) fn unwind(ctx: &mut ExecCtx, expr: &Expr, alias: &str) -> Result<()> 
             Value::Null => {}
             Value::List(items) => {
                 for item in items {
+                    ctx.charge_rows(1)?;
                     let mut r = rec.clone();
                     r.bind(alias.to_owned(), item);
                     out.push(r);
                 }
             }
             other => {
+                ctx.charge_rows(1)?;
                 let mut r = rec.clone();
                 r.bind(alias.to_owned(), other);
                 out.push(r);
@@ -192,6 +196,7 @@ pub(crate) fn projection(ctx: &mut ExecCtx, proj: &Projection, is_with: bool) ->
             pairs.push((out, rec.clone()));
         }
     }
+    ctx.charge_rows(pairs.len())?;
 
     // 3. DISTINCT.
     if proj.distinct {

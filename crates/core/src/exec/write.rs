@@ -41,6 +41,7 @@ pub(crate) fn create(ctx: &mut ExecCtx, patterns: &[PathPattern]) -> Result<()> 
         for pattern in patterns {
             create_one_path(ctx, &mut rec, pattern)?;
         }
+        ctx.guard_writes()?;
         out.push(rec);
     }
     ctx.table = Table::from_rows(out);
@@ -170,6 +171,7 @@ pub(crate) fn set_legacy(ctx: &mut ExecCtx, items: &[SetItem]) -> Result<()> {
         for item in items {
             apply_set_item_now(ctx, rec, item)?;
         }
+        ctx.guard_writes()?;
     }
     Ok(())
 }
@@ -260,6 +262,7 @@ pub(crate) fn set_atomic(ctx: &mut ExecCtx, items: &[SetItem]) -> Result<()> {
             ctx.graph.set_prop(entity, k, v)?;
             ctx.stats.props_set += 1;
         }
+        ctx.guard_writes()?;
     }
     for (node, label) in label_adds {
         if ctx.graph.contains_node(node) {
@@ -268,6 +271,7 @@ pub(crate) fn set_atomic(ctx: &mut ExecCtx, items: &[SetItem]) -> Result<()> {
                 ctx.stats.labels_added += 1;
             }
         }
+        ctx.guard_writes()?;
     }
     Ok(())
 }
@@ -427,6 +431,7 @@ pub(crate) fn remove_legacy(ctx: &mut ExecCtx, items: &[RemoveItem]) -> Result<(
         for item in items {
             apply_remove_item(ctx, &rows[i], item)?;
         }
+        ctx.guard_writes()?;
     }
     Ok(())
 }
@@ -467,6 +472,7 @@ pub(crate) fn remove_atomic(ctx: &mut ExecCtx, items: &[RemoveItem]) -> Result<(
             ctx.graph.set_prop(entity, k, Value::Null)?;
             ctx.stats.props_set += 1;
         }
+        ctx.guard_writes()?;
     }
     for (node, label) in label_removals {
         if ctx.graph.contains_node(node) {
@@ -476,6 +482,7 @@ pub(crate) fn remove_atomic(ctx: &mut ExecCtx, items: &[RemoveItem]) -> Result<(
                 }
             }
         }
+        ctx.guard_writes()?;
     }
     Ok(())
 }
@@ -530,6 +537,7 @@ pub(crate) fn delete_legacy(ctx: &mut ExecCtx, detach: bool, exprs: &[Expr]) -> 
             let v = ctx.eval(&rows[i], expr)?;
             delete_value_now(ctx, v, detach)?;
         }
+        ctx.guard_writes()?;
     }
     Ok(())
 }
@@ -612,12 +620,14 @@ pub(crate) fn delete_atomic(ctx: &mut ExecCtx, detach: bool, exprs: &[Expr]) -> 
             ctx.graph.delete_rel(r)?;
             ctx.stats.rels_deleted += 1;
         }
+        ctx.guard_writes()?;
     }
     for &n in &nodes {
         if ctx.graph.contains_node(n) {
             ctx.graph.delete_node(n, DeleteNodeMode::Strict)?;
             ctx.stats.nodes_deleted += 1;
         }
+        ctx.guard_writes()?;
     }
 
     // Phase 3: "any reference to a deleted entity in the driving table is
@@ -715,6 +725,9 @@ pub(crate) fn foreach(ctx: &mut ExecCtx, var: &str, list: &Expr, body: &[Clause]
             other => return Err(type_err("list", &other, "FOREACH")),
         };
         for item in items {
+            // Each iteration materializes one inner driving record; the
+            // budget bounds runaway `FOREACH (x IN range(...) | ...)`.
+            ctx.charge_rows(1)?;
             let mut inner = rows[i].clone();
             inner.bind(var.to_owned(), item);
             let saved = mem::replace(&mut ctx.table, Table::from_rows(vec![inner]));

@@ -46,7 +46,9 @@ pub mod pattern;
 pub mod table;
 
 pub use error::{EvalError, Result};
-pub use exec::{Engine, EngineBuilder, MergePolicy, ProcessingOrder, QueryResult, UpdateStats};
+pub use exec::{
+    Engine, EngineBuilder, ExecLimits, MergePolicy, ProcessingOrder, QueryResult, UpdateStats,
+};
 pub use export::graph_to_cypher;
 pub use pattern::{MatchMode, Matcher};
 pub use table::{Record, Table};

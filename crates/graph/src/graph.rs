@@ -817,6 +817,14 @@ impl PropertyGraph {
         }
     }
 
+    /// Undo *everything* in the journal, back to the last statement
+    /// boundary. This is the recovery path for a panic that unwound out of
+    /// a statement without running its transaction's rollback (the
+    /// durability layer's post-panic reconciliation).
+    pub fn rollback_all(&mut self) {
+        self.rollback_to(Savepoint(0));
+    }
+
     /// Forget journal entries after `sp` (they can no longer be undone).
     /// Forgetting from the very beginning clears the journal entirely.
     pub fn commit(&mut self, sp: Savepoint) {

@@ -12,18 +12,39 @@
 //! completes loses at most the in-flight unit, never a prefix of it (the
 //! recovery scan discards units without their `Commit` frame).
 //!
-//! If the WAL append itself fails mid-way (disk full, I/O error), memory is
-//! ahead of the log and the two can no longer be reconciled; the handle
-//! **poisons** itself and refuses further writes rather than risk silently
-//! diverging state.
+//! ## Seal semantics
+//!
+//! If the WAL append itself fails (fsync failure, short write, `ENOSPC`),
+//! memory is ahead of the log and the two can no longer be reconciled by
+//! appending; the handle **seals** itself read-only. A sealed handle:
+//!
+//! * rejects [`apply`](DurableGraph::apply) with the typed
+//!   [`StorageError::Sealed`] — no silent divergence, ever;
+//! * still serves reads via [`graph`](DurableGraph::graph);
+//! * still accepts [`checkpoint`](DurableGraph::checkpoint) (and the
+//!   bounded-retry [`checkpoint_with_retry`](DurableGraph::checkpoint_with_retry)):
+//!   a snapshot captures the *current* in-memory state — including the
+//!   delta the WAL refused — atomically, so a successful checkpoint
+//!   re-establishes the memory-equals-disk invariant and **unseals** the
+//!   handle.
+//!
+//! A failed *snapshot* write does not seal: nothing durable changed, the
+//! previous snapshot and the WAL are intact, and the operation can simply
+//! be retried. A failed WAL truncation after a successful snapshot does
+//! seal — the handle's append cursor can no longer be trusted — but the
+//! next checkpoint attempt (or a reopen) reconciles via the snapshot's
+//! covered-txid guard.
 
-use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 use cypher_graph::PropertyGraph;
 
+use crate::error::StorageError;
+use crate::fs::{RealFs, StorageFs};
 use crate::record::Record;
-use crate::recover::{recover, SNAPSHOT_FILE, WAL_FILE};
+use crate::recover::{recover_with, SNAPSHOT_FILE, WAL_FILE};
 use crate::wal::Wal;
 
 /// A [`PropertyGraph`] bound to a storage directory (`snapshot.bin` +
@@ -34,20 +55,29 @@ pub struct DurableGraph {
     graph: PropertyGraph,
     wal: Wal,
     next_txid: u64,
-    poisoned: bool,
+    fs: Arc<dyn StorageFs>,
+    /// `Some(reason)` once a commit-unit failure sealed the handle.
+    sealed: Option<String>,
 }
 
 impl DurableGraph {
-    /// Open (or create) a storage directory, recovering the last committed
-    /// state: load the snapshot, replay committed WAL units, truncate any
-    /// torn tail, and enable delta capture for future mutations.
-    pub fn open(dir: &Path) -> io::Result<DurableGraph> {
-        std::fs::create_dir_all(dir)?;
-        let rec = recover(dir)?;
+    /// Open (or create) a storage directory on the real filesystem,
+    /// recovering the last committed state: load the snapshot, replay
+    /// committed WAL units, truncate any torn tail, and enable delta
+    /// capture for future mutations.
+    pub fn open(dir: &Path) -> Result<DurableGraph, StorageError> {
+        DurableGraph::open_with(RealFs::arc(), dir)
+    }
+
+    /// [`open`](DurableGraph::open) through an arbitrary [`StorageFs`] —
+    /// the fault-injection entry point.
+    pub fn open_with(fs: Arc<dyn StorageFs>, dir: &Path) -> Result<DurableGraph, StorageError> {
+        fs.create_dir_all(dir)?;
+        let rec = recover_with(fs.as_ref(), dir)?;
         let wal_path = dir.join(WAL_FILE);
         let wal = match rec.wal_committed_len {
-            Some(committed) => Wal::open_append(&wal_path, committed)?,
-            None => Wal::create(&wal_path)?,
+            Some(committed) => Wal::open_append(fs.as_ref(), &wal_path, committed)?,
+            None => Wal::create(fs.as_ref(), &wal_path)?,
         };
         let mut graph = rec.graph;
         graph.enable_delta_capture();
@@ -56,7 +86,8 @@ impl DurableGraph {
             graph,
             wal,
             next_txid: rec.last_txid + 1,
-            poisoned: false,
+            fs,
+            sealed: None,
         })
     }
 
@@ -64,7 +95,7 @@ impl DurableGraph {
         &self.dir
     }
 
-    /// Read-only view of the graph.
+    /// Read-only view of the graph. Always available, sealed or not.
     pub fn graph(&self) -> &PropertyGraph {
         &self.graph
     }
@@ -72,6 +103,31 @@ impl DurableGraph {
     /// Number of committed units this handle has appended (diagnostics).
     pub fn next_txid(&self) -> u64 {
         self.next_txid
+    }
+
+    /// Is the handle sealed read-only after a commit-unit failure?
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.is_some()
+    }
+
+    /// Why the handle sealed, if it did.
+    pub fn seal_reason(&self) -> Option<&str> {
+        self.sealed.as_deref()
+    }
+
+    fn seal(&mut self, reason: impl Into<String>) {
+        if self.sealed.is_none() {
+            self.sealed = Some(reason.into());
+        }
+    }
+
+    fn check_sealed(&self) -> Result<(), StorageError> {
+        match &self.sealed {
+            Some(reason) => Err(StorageError::Sealed {
+                reason: reason.clone(),
+            }),
+            None => Ok(()),
+        }
     }
 
     /// Run a mutation (typically one engine statement) against the graph
@@ -83,11 +139,15 @@ impl DurableGraph {
     /// statement failed and rolled back) is appended to the WAL as one
     /// commit unit and fsynced. The outer `Result` is the storage layer's;
     /// the inner one is the closure's own outcome, returned verbatim.
+    ///
+    /// If the append fails, the handle seals (see the module docs) and the
+    /// outer error reports the I/O failure; every subsequent `apply`
+    /// returns [`StorageError::Sealed`] until a checkpoint reconciles.
     pub fn apply<T, E>(
         &mut self,
         f: impl FnOnce(&mut PropertyGraph) -> Result<T, E>,
-    ) -> io::Result<Result<T, E>> {
-        self.check_poisoned()?;
+    ) -> Result<Result<T, E>, StorageError> {
+        self.check_sealed()?;
         debug_assert_eq!(
             self.graph.journal_len(),
             0,
@@ -97,8 +157,10 @@ impl DurableGraph {
         if self.graph.journal_len() != 0 {
             // The closure left an open transaction; durability cannot be
             // defined for half a statement.
-            self.poisoned = true;
-            return Err(io::Error::other("closure left an uncommitted transaction"));
+            self.seal("a mutation closure left an uncommitted transaction");
+            return Err(StorageError::Io(std::io::Error::other(
+                "closure left an uncommitted transaction",
+            )));
         }
         if !self.graph.delta().is_empty() {
             let records: Vec<Record> = self
@@ -109,8 +171,11 @@ impl DurableGraph {
                 .collect();
             let txid = self.next_txid;
             if let Err(e) = self.wal.append_commit_unit(txid, &records) {
-                self.poisoned = true;
-                return Err(e);
+                // Memory is ahead of the log: seal. The delta stays in
+                // place so a later successful checkpoint (which snapshots
+                // the full graph) can fold it in and unseal.
+                self.seal(format!("WAL append for txn {txid} failed: {e}"));
+                return Err(StorageError::Io(e));
             }
             self.next_txid += 1;
             self.graph.clear_delta();
@@ -125,37 +190,103 @@ impl DurableGraph {
     /// it covers *before* the WAL is reset; a crash in between leaves both
     /// a complete snapshot and a WAL whose units are all ≤ the horizon,
     /// which recovery skips via the txid guard.
-    pub fn checkpoint(&mut self) -> io::Result<()> {
-        self.check_poisoned()?;
+    ///
+    /// Unlike [`apply`](DurableGraph::apply), a checkpoint is attemptable
+    /// on a **sealed** handle — it is the reconciliation path: on success
+    /// the snapshot has absorbed everything in memory (including any delta
+    /// the WAL refused), so the handle unseals.
+    pub fn checkpoint(&mut self) -> Result<(), StorageError> {
+        if self.graph.journal_len() != 0 {
+            return Err(StorageError::Io(std::io::Error::other(
+                "cannot checkpoint mid-statement (open transaction)",
+            )));
+        }
         let covered = self.next_txid - 1;
-        crate::snapshot::write(&self.graph, &self.dir.join(SNAPSHOT_FILE), covered)?;
-        self.wal.reset()?;
+        crate::snapshot::write(
+            self.fs.as_ref(),
+            &self.graph,
+            &self.dir.join(SNAPSHOT_FILE),
+            covered,
+        )?;
+        // The snapshot is durable and self-contained from here on. A WAL
+        // truncation failure leaves an untrustworthy append cursor, so it
+        // seals; recovery (and the next checkpoint attempt) stay correct
+        // via the covered-txid guard.
+        if let Err(e) = self.wal.reset() {
+            self.seal(format!("WAL truncation after checkpoint failed: {e}"));
+            return Err(StorageError::Io(e));
+        }
+        if self.sealed.take().is_some() {
+            // The snapshot folded in the delta the WAL refused earlier.
+            self.graph.clear_delta();
+        }
         Ok(())
+    }
+
+    /// [`checkpoint`](DurableGraph::checkpoint) with bounded retry and
+    /// exponential backoff, for transient errors (`ENOSPC` after space is
+    /// reclaimed, intermittent fsync failures). Tries up to `attempts`
+    /// times, sleeping `backoff`, `2×backoff`, … between tries. Returns the
+    /// last error if every attempt fails.
+    pub fn checkpoint_with_retry(
+        &mut self,
+        attempts: u32,
+        backoff: Duration,
+    ) -> Result<(), StorageError> {
+        let mut wait = backoff;
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(wait);
+                wait = wait.saturating_mul(2);
+            }
+            match self.checkpoint() {
+                Ok(()) => return Ok(()),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            StorageError::Io(std::io::Error::other(
+                "checkpoint retry loop ran zero attempts",
+            ))
+        }))
+    }
+
+    /// Re-establish the statement-boundary invariants after a panic
+    /// unwound through a mutation closure.
+    ///
+    /// The engine's transaction RAII already rolls back the in-memory
+    /// mutations (journal and delta shrink in lock-step during unwind), so
+    /// in the common case this is a no-op. If the panic struck outside a
+    /// transaction scope and left residue behind, the graph is rolled back
+    /// to the last statement boundary; if un-logged delta remains even so,
+    /// the handle seals — a checkpoint then reconciles, exactly as for a
+    /// failed append.
+    pub fn reconcile_after_panic(&mut self) {
+        if self.graph.journal_len() != 0 {
+            self.graph.rollback_all();
+        }
+        if !self.graph.delta().is_empty() {
+            self.seal("a panic left uncommitted changes in memory");
+        }
     }
 
     /// Checkpoint and consume the handle, returning the in-memory graph
     /// (with delta capture switched off). The directory then holds a fresh
     /// snapshot and an empty log — the cheapest possible next `open`.
-    pub fn close(mut self) -> io::Result<PropertyGraph> {
+    ///
+    /// Works on a sealed handle too (the checkpoint is the reconciliation).
+    pub fn close(mut self) -> Result<PropertyGraph, StorageError> {
         self.checkpoint()?;
         self.graph.disable_delta_capture();
         Ok(self.graph)
-    }
-
-    fn check_poisoned(&self) -> io::Result<()> {
-        if self.poisoned {
-            return Err(io::Error::other(
-                "durable graph is poisoned: a previous WAL write failed and \
-                 memory may be ahead of the log; reopen to recover",
-            ));
-        }
-        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fs::{FaultFs, FaultKind, OpKind};
     use cypher_graph::{isomorphic, DeleteNodeMode, GraphError, Value};
 
     fn tmpdir(name: &str) -> PathBuf {
@@ -163,6 +294,13 @@ mod tests {
             std::env::temp_dir().join(format!("cypher-durable-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    fn create_one(g: &mut PropertyGraph) -> Result<(), GraphError> {
+        let sp = g.savepoint();
+        g.create_node([], []);
+        g.commit(sp);
+        Ok(())
     }
 
     #[test]
@@ -252,14 +390,7 @@ mod tests {
         // take a checkpoint, then restore the pre-checkpoint WAL bytes.
         let dir = tmpdir("staleskip");
         let mut d = DurableGraph::open(&dir).unwrap();
-        d.apply(|g| -> Result<(), GraphError> {
-            let sp = g.savepoint();
-            g.create_node([], []);
-            g.commit(sp);
-            Ok(())
-        })
-        .unwrap()
-        .unwrap();
+        d.apply(create_one).unwrap().unwrap();
         let wal_bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
         let before = d.graph().clone();
         d.checkpoint().unwrap();
@@ -278,21 +409,116 @@ mod tests {
     fn close_leaves_fresh_snapshot_and_empty_wal() {
         let dir = tmpdir("close");
         let mut d = DurableGraph::open(&dir).unwrap();
-        d.apply(|g| -> Result<(), GraphError> {
-            let sp = g.savepoint();
-            g.create_node([], []);
-            g.commit(sp);
-            Ok(())
-        })
-        .unwrap()
-        .unwrap();
+        d.apply(create_one).unwrap().unwrap();
         let before = d.graph().clone();
         d.close().unwrap();
         assert!(dir.join(SNAPSHOT_FILE).exists());
 
-        let rec = recover(&dir).unwrap();
+        let rec = crate::recover::recover(&dir).unwrap();
         assert_eq!(rec.replayed, 0, "everything came from the snapshot");
         assert!(isomorphic(&before, &rec.graph));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A failed commit-unit fsync seals the handle; further applies return
+    /// the typed `Sealed` error and in-memory state is preserved.
+    #[test]
+    fn failed_append_seals_the_handle() {
+        let dir = tmpdir("seal");
+        let mut d = DurableGraph::open(&dir).unwrap();
+        d.apply(create_one).unwrap().unwrap();
+        drop(d);
+
+        // Measure how many fs ops a reopen of this dir costs, then plan a
+        // fault at the fsync of the next append (reopen + write + sync).
+        let counting = FaultFs::counting();
+        drop(DurableGraph::open_with(counting.arc(), &dir).unwrap());
+        let open_ops = counting.ops();
+
+        let fault = FaultFs::fail_at(open_ops + 1);
+        let mut d = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        let err = d.apply(create_one).unwrap_err();
+        assert!(
+            matches!(err, StorageError::Io(_)),
+            "first failure is the I/O error"
+        );
+        assert!(d.is_sealed());
+        assert!(fault.triggered());
+
+        // Reads still work; writes are refused with the typed Sealed error.
+        assert_eq!(d.graph().node_count(), 2, "memory kept the mutation");
+        let err = d.apply(create_one).unwrap_err();
+        assert!(matches!(err, StorageError::Sealed { .. }));
+        assert!(err.to_string().contains("sealed"));
+
+        // On-disk state is still the last committed one.
+        let rec = crate::recover::recover(&dir).unwrap();
+        assert_eq!(rec.graph.node_count(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A successful checkpoint reconciles a sealed handle: the snapshot
+    /// absorbs the refused delta, the handle unseals, and new applies work.
+    #[test]
+    fn checkpoint_unseals_and_preserves_memory_state() {
+        let dir = tmpdir("unseal");
+        drop(DurableGraph::open(&dir).unwrap());
+
+        // Reopening a header-only log does no fsync, so the first sync
+        // after this open is the first append's commit fsync.
+        let fault = FaultFs::fail_on(OpKind::Sync, 0, FaultKind::SyncFailure);
+        let mut d = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        d.apply(create_one).unwrap_err();
+        assert!(d.is_sealed());
+
+        // Checkpoint (fault is one-shot, storage is healthy again).
+        d.checkpoint().unwrap();
+        assert!(!d.is_sealed());
+        d.apply(create_one).unwrap().unwrap();
+        assert_eq!(d.graph().node_count(), 2);
+        let before = d.graph().clone();
+        drop(d);
+
+        let d = DurableGraph::open(&dir).unwrap();
+        assert!(isomorphic(&before, d.graph()));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// `checkpoint_with_retry` survives a transient snapshot-write failure.
+    #[test]
+    fn checkpoint_retry_recovers_from_transient_fault() {
+        let dir = tmpdir("retry");
+        let mut d = DurableGraph::open(&dir).unwrap();
+        d.apply(create_one).unwrap().unwrap();
+        drop(d);
+
+        // Reopen does no `create`; the first one is the snapshot temp file
+        // of the first checkpoint attempt.
+        let fault = FaultFs::fail_on(OpKind::Create, 0, FaultKind::NoSpace);
+        let mut d = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        d.checkpoint_with_retry(3, Duration::from_millis(1))
+            .unwrap();
+        assert!(!d.is_sealed());
+        assert!(d.wal.is_empty().unwrap());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A failed snapshot write does NOT seal: nothing durable changed.
+    #[test]
+    fn failed_snapshot_write_does_not_seal() {
+        let dir = tmpdir("snapfail");
+        let fault = FaultFs::counting();
+        let mut d = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        d.apply(create_one).unwrap().unwrap();
+        drop(d);
+
+        let fault = FaultFs::fail_on(OpKind::Rename, 0, FaultKind::RenameFailure);
+        let mut d = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        let err = d.checkpoint().unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert!(!d.is_sealed(), "snapshot failure is retryable, not sealing");
+        d.apply(create_one).unwrap().unwrap();
+        assert_eq!(d.graph().node_count(), 2);
         std::fs::remove_dir_all(dir).unwrap();
     }
 }

@@ -1,0 +1,55 @@
+//! Typed storage errors.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the durability layer.
+///
+/// [`StorageError::Sealed`] is the poisoned-state signal: a commit-unit
+/// write failed, so in-memory state may be ahead of the log and the handle
+/// refuses further writes until a successful checkpoint re-establishes the
+/// memory-equals-disk invariant (see `DESIGN.md` §8).
+#[derive(Debug)]
+pub enum StorageError {
+    /// The handle is sealed read-only after a failed commit unit.
+    Sealed {
+        /// What sealed it — the original failure, for diagnostics.
+        reason: String,
+    },
+    /// An I/O error from the underlying [`StorageFs`](crate::fs::StorageFs).
+    Io(io::Error),
+}
+
+impl StorageError {
+    pub fn is_sealed(&self) -> bool {
+        matches!(self, StorageError::Sealed { .. })
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Sealed { reason } => write!(
+                f,
+                "storage handle is sealed read-only ({reason}); \
+                 checkpoint to reconcile, or reopen to recover"
+            ),
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Sealed { .. } => None,
+            StorageError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}

@@ -1,0 +1,469 @@
+//! Storage I/O abstraction: every byte this crate reads or writes goes
+//! through a [`StorageFs`], so the whole durability stack can be driven
+//! against a deterministic fault injector as well as the real filesystem.
+//!
+//! * [`RealFs`] delegates to `std::fs` — the production path.
+//! * [`FaultFs`] wraps another `StorageFs` and injects exactly one error
+//!   (fsync failure, short write, `ENOSPC`, rename failure) at a chosen
+//!   operation index, SQLite-test-VFS style. Every fallible call counts as
+//!   one operation, so a *counting* pass over a workload yields the exact
+//!   index space a torture sweep must cover (`tests/storage_torture.rs`).
+//!
+//! The fault is **one-shot**: after it fires, the injector behaves like the
+//! inner filesystem again. That models a transient error and lets the
+//! post-fault recovery path run against healthy storage — which is exactly
+//! the situation the seal/checkpoint-retry machinery has to handle.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// An open file handle behind the storage abstraction.
+// `len` returns io::Result, so clippy's usual is_empty pairing is moot.
+#[allow(clippy::len_without_is_empty)]
+pub trait StorageFile: Debug + Send {
+    /// Write the whole buffer (one logical write; short writes are faults).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flush file contents to stable storage (`fsync`/`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Truncate or extend to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Current length in bytes.
+    fn len(&self) -> io::Result<u64>;
+    /// Move the cursor to the end of the file, returning the offset.
+    fn seek_end(&mut self) -> io::Result<u64>;
+}
+
+/// The filesystem operations the durability layer needs. Object-safe so a
+/// [`DurableGraph`](crate::DurableGraph) can hold `Arc<dyn StorageFs>`.
+pub trait StorageFs: Debug + Send + Sync {
+    /// Create (truncating) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Open an existing file for read/write.
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Read a whole file into memory.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically rename `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Fsync a directory, making renames within it durable. Callers treat
+    /// failures as best-effort (some filesystems reject directory fsync),
+    /// but the operation still counts for fault injection.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Create a directory and its parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Does the path exist? Infallible by design (and not a counted op):
+    /// existence probes steer control flow, they don't move data.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+// ---------------------------------------------------------------------
+// RealFs
+// ---------------------------------------------------------------------
+
+/// The production [`StorageFs`]: plain `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+impl RealFs {
+    /// Shorthand for the `Arc<dyn StorageFs>` most entry points take.
+    pub fn arc() -> Arc<dyn StorageFs> {
+        Arc::new(RealFs)
+    }
+}
+
+#[derive(Debug)]
+struct RealFile(File);
+
+impl StorageFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.0.metadata()?.len())
+    }
+    fn seek_end(&mut self) -> io::Result<u64> {
+        self.0.seek(io::SeekFrom::End(0))
+    }
+}
+
+impl StorageFs for RealFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut data = Vec::new();
+        File::open(path)?.read_to_end(&mut data)?;
+        Ok(data)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_data()
+    }
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultFs
+// ---------------------------------------------------------------------
+
+/// The kind of filesystem operation, for per-kind fault targeting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    Create,
+    Open,
+    Read,
+    Write,
+    Sync,
+    SetLen,
+    SeekEnd,
+    Rename,
+    Remove,
+    SyncDir,
+    CreateDir,
+}
+
+/// The flavour of error a fault injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Pick a realistic flavour for the faulted operation: a short write
+    /// for writes, an fsync failure for syncs, a rename failure for
+    /// renames, `ENOSPC` otherwise.
+    Auto,
+    /// `ENOSPC` — no space left on device.
+    NoSpace,
+    /// The write persists only a prefix of the buffer, then errors.
+    ShortWrite,
+    /// `fsync` reports failure (contents may or may not be durable).
+    SyncFailure,
+    /// The rename does not happen.
+    RenameFailure,
+}
+
+impl FaultKind {
+    fn resolve(self, op: OpKind) -> FaultKind {
+        match self {
+            FaultKind::Auto => match op {
+                OpKind::Write => FaultKind::ShortWrite,
+                OpKind::Sync | OpKind::SyncDir => FaultKind::SyncFailure,
+                OpKind::Rename => FaultKind::RenameFailure,
+                _ => FaultKind::NoSpace,
+            },
+            other => other,
+        }
+    }
+
+    fn to_error(self) -> io::Error {
+        match self {
+            FaultKind::NoSpace => io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected fault: no space left on device",
+            ),
+            FaultKind::ShortWrite => {
+                io::Error::new(io::ErrorKind::WriteZero, "injected fault: short write")
+            }
+            FaultKind::SyncFailure => io::Error::other("injected fault: fsync failed"),
+            FaultKind::RenameFailure => io::Error::other("injected fault: rename failed"),
+            FaultKind::Auto => io::Error::other("injected fault"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Trigger {
+    /// Fire at the N-th fallible operation overall (0-based).
+    GlobalIndex(u64),
+    /// Fire at the N-th operation of a given kind (0-based).
+    KindIndex(OpKind, u64),
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    ops: u64,
+    per_kind: HashMap<OpKind, u64>,
+    plan: Option<(Trigger, FaultKind)>,
+    triggered: bool,
+}
+
+impl FaultState {
+    /// Count one operation; return the fault to inject, if this is the one.
+    fn step(&mut self, op: OpKind) -> Option<FaultKind> {
+        let global = self.ops;
+        self.ops += 1;
+        let kind_count = self.per_kind.entry(op).or_insert(0);
+        let nth_of_kind = *kind_count;
+        *kind_count += 1;
+
+        if self.triggered {
+            return None;
+        }
+        let (trigger, fault) = self.plan?;
+        let hit = match trigger {
+            Trigger::GlobalIndex(at) => global == at,
+            Trigger::KindIndex(kind, at) => kind == op && nth_of_kind == at,
+        };
+        if hit {
+            self.triggered = true;
+            Some(fault.resolve(op))
+        } else {
+            None
+        }
+    }
+}
+
+/// A deterministic fault-injecting [`StorageFs`] wrapper.
+///
+/// Cloning shares the counter/trigger state, so keep a clone to query
+/// [`ops`](FaultFs::ops)/[`triggered`](FaultFs::triggered) after handing an
+/// `Arc<dyn StorageFs>` to the storage layer.
+#[derive(Debug, Clone)]
+pub struct FaultFs {
+    inner: Arc<dyn StorageFs>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultFs {
+    fn with_plan(plan: Option<(Trigger, FaultKind)>) -> FaultFs {
+        FaultFs {
+            inner: Arc::new(RealFs),
+            state: Arc::new(Mutex::new(FaultState {
+                plan,
+                ..FaultState::default()
+            })),
+        }
+    }
+
+    /// Count operations without ever injecting a fault — the measuring pass
+    /// of a torture sweep.
+    pub fn counting() -> FaultFs {
+        FaultFs::with_plan(None)
+    }
+
+    /// Inject one fault at the `index`-th fallible operation (0-based),
+    /// with an [`FaultKind::Auto`] flavour.
+    pub fn fail_at(index: u64) -> FaultFs {
+        FaultFs::with_plan(Some((Trigger::GlobalIndex(index), FaultKind::Auto)))
+    }
+
+    /// Inject `fault` at the `nth` operation (0-based) of kind `op`.
+    pub fn fail_on(op: OpKind, nth: u64, fault: FaultKind) -> FaultFs {
+        FaultFs::with_plan(Some((Trigger::KindIndex(op, nth), fault)))
+    }
+
+    /// Wrap a specific inner filesystem instead of [`RealFs`].
+    pub fn over(mut self, inner: Arc<dyn StorageFs>) -> FaultFs {
+        self.inner = inner;
+        self
+    }
+
+    /// This clone-shared handle as an `Arc<dyn StorageFs>`.
+    pub fn arc(&self) -> Arc<dyn StorageFs> {
+        Arc::new(self.clone())
+    }
+
+    /// Total fallible operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Has the planned fault fired yet?
+    pub fn triggered(&self) -> bool {
+        self.lock().triggered
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FaultState> {
+        // A panic while holding this mutex cannot leave the counters in a
+        // torn state (all updates are single-field); recover the guard.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn step(&self, op: OpKind) -> Result<(), FaultKind> {
+        match self.lock().step(op) {
+            Some(fault) => Err(fault),
+            None => Ok(()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultFile {
+    inner: Box<dyn StorageFile>,
+    fs: FaultFs,
+}
+
+impl StorageFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.fs.step(OpKind::Write) {
+            Ok(()) => self.inner.write_all(buf),
+            Err(FaultKind::ShortWrite) => {
+                // Persist a prefix, then report failure: the bytes that
+                // "made it out" before the disk filled up.
+                let _ = self.inner.write_all(&buf[..buf.len() / 2]);
+                Err(FaultKind::ShortWrite.to_error())
+            }
+            Err(fault) => Err(fault.to_error()),
+        }
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.fs.step(OpKind::Sync).map_err(FaultKind::to_error)?;
+        self.inner.sync_data()
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.fs.step(OpKind::SetLen).map_err(FaultKind::to_error)?;
+        self.inner.set_len(len)
+    }
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len() // diagnostic read, not a counted op
+    }
+    fn seek_end(&mut self) -> io::Result<u64> {
+        self.fs.step(OpKind::SeekEnd).map_err(FaultKind::to_error)?;
+        self.inner.seek_end()
+    }
+}
+
+impl StorageFs for FaultFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        self.step(OpKind::Create).map_err(FaultKind::to_error)?;
+        Ok(Box::new(FaultFile {
+            inner: self.inner.create(path)?,
+            fs: self.clone(),
+        }))
+    }
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        self.step(OpKind::Open).map_err(FaultKind::to_error)?;
+        Ok(Box::new(FaultFile {
+            inner: self.inner.open_rw(path)?,
+            fs: self.clone(),
+        }))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.step(OpKind::Read).map_err(FaultKind::to_error)?;
+        self.inner.read(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.step(OpKind::Rename).map_err(FaultKind::to_error)?;
+        self.inner.rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.step(OpKind::Remove).map_err(FaultKind::to_error)?;
+        self.inner.remove_file(path)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.step(OpKind::SyncDir).map_err(FaultKind::to_error)?;
+        self.inner.sync_dir(dir)
+    }
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.step(OpKind::CreateDir).map_err(FaultKind::to_error)?;
+        self.inner.create_dir_all(dir)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cypher-fs-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn counting_pass_is_fault_free_and_counts() {
+        let dir = tmpdir("count");
+        let fault = FaultFs::counting();
+        let fs = fault.arc();
+        let mut f = fs.create(&dir.join("a")).unwrap(); // op 0
+        f.write_all(b"hello").unwrap(); // op 1
+        f.sync_data().unwrap(); // op 2
+        fs.rename(&dir.join("a"), &dir.join("b")).unwrap(); // op 3
+        assert_eq!(fault.ops(), 4);
+        assert!(!fault.triggered());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn fail_at_fires_exactly_once_at_the_index() {
+        let dir = tmpdir("once");
+        let fault = FaultFs::fail_at(2);
+        let fs = fault.arc();
+        let mut f = fs.create(&dir.join("a")).unwrap(); // op 0
+        f.write_all(b"x").unwrap(); // op 1
+        let err = f.sync_data().unwrap_err(); // op 2: fsync fault
+        assert!(err.to_string().contains("injected fault"));
+        assert!(fault.triggered());
+        // One-shot: the same operation now succeeds.
+        f.sync_data().unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_persists_a_prefix() {
+        let dir = tmpdir("short");
+        let path = dir.join("a");
+        let fault = FaultFs::fail_on(OpKind::Write, 0, FaultKind::ShortWrite);
+        let fs = fault.arc();
+        let mut f = fs.create(&path).unwrap();
+        let err = f.write_all(b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"01234");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rename_fault_leaves_source_in_place() {
+        let dir = tmpdir("rename");
+        std::fs::write(dir.join("a"), b"data").unwrap();
+        let fault = FaultFs::fail_on(OpKind::Rename, 0, FaultKind::RenameFailure);
+        let fs = fault.arc();
+        assert!(fs.rename(&dir.join("a"), &dir.join("b")).is_err());
+        assert!(dir.join("a").exists());
+        assert!(!dir.join("b").exists());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn nospace_maps_to_storage_full() {
+        let dir = tmpdir("nospace");
+        let fault = FaultFs::fail_on(OpKind::Create, 0, FaultKind::NoSpace);
+        let fs = fault.arc();
+        let err = fs.create(&dir.join("a")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

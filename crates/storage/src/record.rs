@@ -103,6 +103,15 @@ fn corrupt(msg: impl Into<String>) -> io::Error {
 // Primitive writers
 // ---------------------------------------------------------------------
 
+/// Copy a slice into a fixed-size array. Callers guarantee `s.len() == N`
+/// (every call site sizes the slice with a bounds-checked `take`/range), so
+/// this is the panic-free spelling of `try_into().unwrap()`.
+pub(crate) fn arr<const N: usize>(s: &[u8]) -> [u8; N] {
+    let mut a = [0u8; N];
+    a.copy_from_slice(s);
+    a
+}
+
 pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
@@ -112,10 +121,11 @@ pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
 }
 
 pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
-    put_u32(
-        buf,
-        u32::try_from(s.len()).expect("string longer than u32::MAX"),
-    );
+    // Strings come from interned symbols and property values; a 4 GiB one
+    // cannot be constructed through the engine. Saturating keeps the
+    // encoder total; the decoder's bounds checks reject the frame anyway.
+    debug_assert!(s.len() <= u32::MAX as usize, "string longer than u32::MAX");
+    put_u32(buf, u32::try_from(s.len()).unwrap_or(u32::MAX));
     buf.extend_from_slice(s.as_bytes());
 }
 
@@ -198,15 +208,15 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(arr(self.take(4)?)))
     }
 
     pub(crate) fn u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(arr(self.take(8)?)))
     }
 
     pub(crate) fn i64(&mut self) -> io::Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(arr(self.take(8)?)))
     }
 
     pub(crate) fn str(&mut self) -> io::Result<String> {

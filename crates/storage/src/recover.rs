@@ -24,6 +24,7 @@ use cypher_graph::{
     DeleteNodeMode, EntityRef, NodeData, NodeId, PropertyGraph, RelData, RelId, Value,
 };
 
+use crate::fs::{RealFs, StorageFs};
 use crate::record::Record;
 use crate::{snapshot, wal};
 
@@ -43,7 +44,8 @@ pub struct Recovered {
     pub last_txid: u64,
     /// Commit horizon of the WAL file — pass to
     /// [`Wal::open_append`](crate::wal::Wal::open_append). `None` when no
-    /// WAL file exists yet.
+    /// WAL file exists yet; less than the header length when the file is a
+    /// torn header (`open_append` recreates the log in that case).
     pub wal_committed_len: Option<u64>,
     /// Number of WAL units replayed (diagnostics).
     pub replayed: usize,
@@ -51,13 +53,19 @@ pub struct Recovered {
     pub torn: Option<String>,
 }
 
-/// Recover the last committed graph from `dir`.
+/// Recover the last committed graph from `dir` via the real filesystem.
 pub fn recover(dir: &Path) -> io::Result<Recovered> {
+    recover_with(&RealFs, dir)
+}
+
+/// Recover the last committed graph from `dir` through an arbitrary
+/// [`StorageFs`] (fault injection drives this entry point).
+pub fn recover_with(fs: &dyn StorageFs, dir: &Path) -> io::Result<Recovered> {
     let snap_path = dir.join(SNAPSHOT_FILE);
     let wal_path = dir.join(WAL_FILE);
 
-    let (mut graph, covered_txid) = if snap_path.exists() {
-        let loaded = snapshot::load(&snap_path)?;
+    let (mut graph, covered_txid) = if fs.exists(&snap_path) {
+        let loaded = snapshot::load(fs, &snap_path)?;
         (loaded.graph, loaded.covered_txid)
     } else {
         (PropertyGraph::new(), 0)
@@ -71,8 +79,8 @@ pub fn recover(dir: &Path) -> io::Result<Recovered> {
     let mut replayed = 0;
     let mut wal_committed_len = None;
     let mut torn = None;
-    if wal_path.exists() {
-        let scan = wal::scan(&wal_path)?;
+    if fs.exists(&wal_path) {
+        let scan = wal::scan(fs, &wal_path)?;
         for (txid, ops) in &scan.units {
             if *txid <= covered_txid {
                 continue; // already folded into the snapshot

@@ -27,14 +27,14 @@
 //! previous snapshot untouched; a crash mid-rename is resolved by POSIX
 //! rename atomicity.
 
-use std::fs::File;
-use std::io::{self, Read, Write};
+use std::io;
 use std::path::Path;
 
 use cypher_graph::{NodeData, NodeId, PropertyGraph, RelData, RelId, Symbol};
 
 use crate::crc::crc32;
-use crate::record::{put_u32, put_u64, Reader};
+use crate::fs::StorageFs;
+use crate::record::{arr, put_u32, put_u64, Reader};
 
 pub const MAGIC: &[u8; 8] = b"CYSNAPv1";
 
@@ -46,7 +46,7 @@ fn corrupt(msg: impl Into<String>) -> io::Error {
 // Writing
 // ---------------------------------------------------------------------
 
-fn encode_body(g: &PropertyGraph, covered_txid: u64) -> Vec<u8> {
+fn encode_body(g: &PropertyGraph, covered_txid: u64) -> io::Result<Vec<u8>> {
     let mut b = Vec::with_capacity(4096);
     put_u64(&mut b, covered_txid);
 
@@ -81,7 +81,11 @@ fn encode_body(g: &PropertyGraph, covered_txid: u64) -> Vec<u8> {
 
     put_u64(&mut b, g.node_count() as u64);
     for id in g.node_ids().collect::<Vec<_>>() {
-        let data = g.node(id).expect("listed node exists");
+        let data = g.node(id).ok_or_else(|| {
+            io::Error::other(format!(
+                "graph invariant broken: listed node {id:?} missing"
+            ))
+        })?;
         put_u64(&mut b, id.0);
         put_u32(&mut b, data.labels.len() as u32);
         for &l in &data.labels {
@@ -96,7 +100,9 @@ fn encode_body(g: &PropertyGraph, covered_txid: u64) -> Vec<u8> {
 
     put_u64(&mut b, g.rel_count() as u64);
     for id in g.rel_ids().collect::<Vec<_>>() {
-        let data = g.rel(id).expect("listed rel exists");
+        let data = g.rel(id).ok_or_else(|| {
+            io::Error::other(format!("graph invariant broken: listed rel {id:?} missing"))
+        })?;
         put_u64(&mut b, id.0);
         put_u64(&mut b, data.src.0);
         put_u64(&mut b, data.tgt.0);
@@ -107,29 +113,44 @@ fn encode_body(g: &PropertyGraph, covered_txid: u64) -> Vec<u8> {
             crate::record::encode_value(&mut b, v);
         }
     }
-    b
+    Ok(b)
 }
 
 /// Write a snapshot of `g` to `path`, atomically. `covered_txid` is the
 /// highest WAL transaction already reflected in `g`; recovery uses it to
 /// skip WAL units the snapshot has absorbed (the crash window between
 /// snapshot rename and WAL truncation).
-pub fn write(g: &PropertyGraph, path: &Path, covered_txid: u64) -> io::Result<()> {
-    let body = encode_body(g, covered_txid);
+///
+/// The write is all-or-nothing from the reader's point of view: serialize
+/// to `<path>.tmp`, fsync, rename over `<path>`, fsync the directory. On
+/// any error before the rename the previous snapshot is untouched; the
+/// stray temp file is removed best-effort (recovery ignores it regardless).
+pub fn write(
+    fs: &dyn StorageFs,
+    g: &PropertyGraph,
+    path: &Path,
+    covered_txid: u64,
+) -> io::Result<()> {
+    let body = encode_body(g, covered_txid)?;
     let tmp = path.with_extension("tmp");
-    {
-        let mut f = File::create(&tmp)?;
+    let staged = (|| -> io::Result<()> {
+        let mut f = fs.create(&tmp)?;
         f.write_all(MAGIC)?;
         f.write_all(&crc32(&body).to_le_bytes())?;
         f.write_all(&body)?;
         f.sync_data()?;
+        Ok(())
+    })();
+    if let Err(e) = staged {
+        let _ = fs.remove_file(&tmp);
+        return Err(e);
     }
-    std::fs::rename(&tmp, path)?;
-    // Make the rename itself durable.
+    fs.rename(&tmp, path)?;
+    // Make the rename itself durable. Best-effort: some filesystems reject
+    // directory fsync, and losing it only risks the rename after a crash —
+    // in which case the previous snapshot + WAL still recover.
     if let Some(dir) = path.parent() {
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_data(); // best-effort: some filesystems reject dir fsync
-        }
+        let _ = fs.sync_dir(dir);
     }
     Ok(())
 }
@@ -149,16 +170,15 @@ pub struct Loaded {
 /// Load a snapshot file. Unlike WAL scanning, *any* damage is an error:
 /// a snapshot is written atomically, so a corrupt one means real data loss
 /// that must be surfaced, not silently repaired around.
-pub fn load(path: &Path) -> io::Result<Loaded> {
-    let mut data = Vec::new();
-    File::open(path)?.read_to_end(&mut data)?;
+pub fn load(fs: &dyn StorageFs, path: &Path) -> io::Result<Loaded> {
+    let data = fs.read(path)?;
     if data.len() < MAGIC.len() + 4 || &data[..MAGIC.len()] != MAGIC {
         return Err(corrupt(format!(
             "{} is not a snapshot file (bad magic)",
             path.display()
         )));
     }
-    let crc = u32::from_le_bytes(data[MAGIC.len()..MAGIC.len() + 4].try_into().unwrap());
+    let crc = u32::from_le_bytes(arr(&data[MAGIC.len()..MAGIC.len() + 4]));
     let body = &data[MAGIC.len() + 4..];
     if crc32(body) != crc {
         return Err(corrupt(format!("snapshot {} fails CRC", path.display())));
@@ -258,6 +278,7 @@ pub fn load(path: &Path) -> io::Result<Loaded> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fs::RealFs;
     use cypher_graph::{isomorphic, DeleteNodeMode, Value};
     use std::path::PathBuf;
 
@@ -296,8 +317,8 @@ mod tests {
         let dir = tmpdir("roundtrip");
         let path = dir.join("snapshot.bin");
         let g = sample_graph();
-        write(&g, &path, 42).unwrap();
-        let loaded = load(&path).unwrap();
+        write(&RealFs, &g, &path, 42).unwrap();
+        let loaded = load(&RealFs, &path).unwrap();
         assert_eq!(loaded.covered_txid, 42);
         let h = loaded.graph;
         assert!(isomorphic(&g, &h));
@@ -330,8 +351,8 @@ mod tests {
         let dir = tmpdir("adjacency");
         let path = dir.join("snapshot.bin");
         let g = sample_graph();
-        write(&g, &path, 0).unwrap();
-        let h = load(&path).unwrap().graph;
+        write(&RealFs, &g, &path, 0).unwrap();
+        let h = load(&RealFs, &path).unwrap().graph;
         for n in g.node_ids() {
             assert_eq!(
                 g.rels_of(n, cypher_graph::Direction::Outgoing),
@@ -351,12 +372,15 @@ mod tests {
     fn corrupt_snapshot_is_an_error() {
         let dir = tmpdir("corrupt");
         let path = dir.join("snapshot.bin");
-        write(&sample_graph(), &path, 0).unwrap();
+        write(&RealFs, &sample_graph(), &path, 0).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0x40;
         std::fs::write(&path, &bytes).unwrap();
-        assert_eq!(load(&path).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        assert_eq!(
+            load(&RealFs, &path).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
         std::fs::remove_dir_all(dir).unwrap();
     }
 
@@ -365,8 +389,8 @@ mod tests {
         let dir = tmpdir("empty");
         let path = dir.join("snapshot.bin");
         let g = PropertyGraph::new();
-        write(&g, &path, 0).unwrap();
-        let h = load(&path).unwrap().graph;
+        write(&RealFs, &g, &path, 0).unwrap();
+        let h = load(&RealFs, &path).unwrap().graph;
         assert_eq!(h.node_count(), 0);
         assert_eq!(h.rel_count(), 0);
         std::fs::remove_dir_all(dir).unwrap();

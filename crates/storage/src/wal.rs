@@ -21,13 +21,26 @@
 //! [`Scan::committed_len`]; [`Wal::open_append`] truncates it away before
 //! appending anything new, so a crashed half-write can never be interpreted
 //! as data, no matter what bytes it left behind.
+//!
+//! ## Durable-length discipline
+//!
+//! The handle tracks [`durable_len`](Wal::durable_len): the byte offset up
+//! to which the file is known fsynced. It advances **only after** a
+//! successful `write + sync` pair; when either step fails, the append
+//! restores the file to `durable_len` (best-effort truncate + re-seek) and
+//! reports the error with the in-memory horizon unmoved. The in-memory view
+//! therefore can never run ahead of what is durable — the invariant
+//! [`DurableGraph`](crate::DurableGraph)'s seal logic builds on.
+//!
+//! All I/O goes through a [`StorageFs`], so every path here is exercised
+//! under deterministic fault injection (see [`crate::fs::FaultFs`]).
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::crc::crc32;
-use crate::record::Record;
+use crate::fs::{StorageFile, StorageFs};
+use crate::record::{arr, Record};
 
 /// Magic + version. Bump the digit when the frame or record format changes.
 pub const MAGIC: &[u8; 8] = b"CYWALv1\n";
@@ -45,56 +58,66 @@ fn put_frame(buf: &mut Vec<u8>, payload: &[u8]) {
 /// An open WAL in append mode.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
+    /// Byte offset up to which the file is known durable (≥ header).
+    durable_len: u64,
 }
 
 impl Wal {
     /// Create a fresh log (truncating any existing file), write the header
     /// and fsync it.
-    pub fn create(path: &Path) -> io::Result<Wal> {
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+    pub fn create(fs: &dyn StorageFs, path: &Path) -> io::Result<Wal> {
+        let mut file = fs.create(path)?;
         file.write_all(MAGIC)?;
         file.sync_data()?;
         Ok(Wal {
             file,
             path: path.to_owned(),
+            durable_len: MAGIC.len() as u64,
         })
     }
 
     /// Open an existing log for appending, first truncating it to
     /// `committed_len` (as determined by [`scan`]) to drop any torn tail.
     /// The truncation is fsynced before the handle is returned.
-    pub fn open_append(path: &Path, committed_len: u64) -> io::Result<Wal> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
-        debug_assert!(committed_len >= MAGIC.len() as u64);
-        if file.metadata()?.len() != committed_len {
+    ///
+    /// A `committed_len` below the header length means the file never got a
+    /// complete header (a crash during creation); the log is recreated.
+    pub fn open_append(fs: &dyn StorageFs, path: &Path, committed_len: u64) -> io::Result<Wal> {
+        if committed_len < MAGIC.len() as u64 {
+            return Wal::create(fs, path);
+        }
+        let mut file = fs.open_rw(path)?;
+        if file.len()? != committed_len {
             file.set_len(committed_len)?;
             file.sync_data()?;
         }
-        let mut wal = Wal {
+        file.seek_end()?;
+        Ok(Wal {
             file,
             path: path.to_owned(),
-        };
-        wal.file.seek_end()?;
-        Ok(wal)
+            durable_len: committed_len,
+        })
     }
 
     pub fn path(&self) -> &Path {
         &self.path
     }
 
+    /// Byte offset up to which the log is known durable.
+    pub fn durable_len(&self) -> u64 {
+        self.durable_len
+    }
+
     /// Append one committed unit — `Begin{txid}`, the given operation
     /// records, `Commit{txid}` — as a single write, then fsync.
     ///
-    /// On return the unit is durable: a crash at any later point replays
-    /// it in full. On error nothing before the `Commit` frame counts, and
-    /// the next [`scan`]/`open_append` pair will discard whatever partial
-    /// bytes made it out.
+    /// On success the unit is durable and `durable_len` advances past it: a
+    /// crash at any later point replays it in full. On error the in-memory
+    /// horizon does **not** move; whatever partial bytes made it out are
+    /// truncated away (best-effort here, and again by the next
+    /// [`scan`]/[`open_append`] pair if the truncation itself fails).
     pub fn append_commit_unit(&mut self, txid: u64, ops: &[Record]) -> io::Result<()> {
         let mut unit = Vec::with_capacity(64 + ops.len() * 32);
         let mut payload = Vec::with_capacity(64);
@@ -110,40 +133,43 @@ impl Wal {
         Record::Commit { txid }.encode(&mut payload);
         put_frame(&mut unit, &payload);
 
-        self.file.write_all(&unit)?;
-        self.file.sync_data()?;
-        Ok(())
+        let write = self.file.write_all(&unit);
+        let synced = write.and_then(|()| self.file.sync_data());
+        match synced {
+            Ok(()) => {
+                // Only now — after the fsync — does the horizon advance.
+                self.durable_len += unit.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Roll the file back to the durable horizon so a surviving
+                // process doesn't append after garbage. If this fails too,
+                // the scan-side torn-tail discipline still protects reopen.
+                let _ = self.file.set_len(self.durable_len);
+                let _ = self.file.seek_end();
+                Err(e)
+            }
+        }
     }
 
     /// Reset the log to an empty (header-only) state — the checkpoint
-    /// truncation step. Fsynced before returning.
+    /// truncation step. Fsynced before returning. The durable horizon only
+    /// moves if every step succeeds.
     pub fn reset(&mut self) -> io::Result<()> {
         self.file.set_len(MAGIC.len() as u64)?;
         self.file.seek_end()?;
         self.file.sync_data()?;
+        self.durable_len = MAGIC.len() as u64;
         Ok(())
     }
 
     /// Current file length (diagnostics / tests).
     pub fn len(&self) -> io::Result<u64> {
-        Ok(self.file.metadata()?.len())
+        self.file.len()
     }
 
     pub fn is_empty(&self) -> io::Result<bool> {
         Ok(self.len()? <= MAGIC.len() as u64)
-    }
-}
-
-/// Seek-to-end helper; `File::seek` needs `Seek` in scope, which would
-/// otherwise leak into every caller.
-trait SeekEnd {
-    fn seek_end(&mut self) -> io::Result<u64>;
-}
-
-impl SeekEnd for File {
-    fn seek_end(&mut self) -> io::Result<u64> {
-        use std::io::Seek;
-        self.seek(io::SeekFrom::End(0))
     }
 }
 
@@ -152,8 +178,10 @@ impl SeekEnd for File {
 pub struct Scan {
     /// Fully-committed units in log order: `(txid, ops)`.
     pub units: Vec<(u64, Vec<Record>)>,
-    /// Byte offset just past the last committed unit (at least the header
-    /// length). Everything beyond it is a torn tail to truncate.
+    /// Byte offset just past the last committed unit. Normally at least the
+    /// header length; **less** than the header length only when the file is
+    /// a torn header (crash during log creation), in which case
+    /// [`Wal::open_append`] recreates the log.
     pub committed_len: u64,
     /// Diagnostic describing why scanning stopped early, if it did.
     pub torn: Option<String>,
@@ -167,13 +195,32 @@ impl Scan {
 }
 
 /// Scan a WAL file, collecting committed units and locating the commit
-/// horizon. Corruption never errors — it just ends the scan — but a
-/// missing/garbled *header* does error, because that means the file is not
-/// a WAL at all (truncating it on such evidence could destroy user data).
-pub fn scan(path: &Path) -> io::Result<Scan> {
-    let mut data = Vec::new();
-    File::open(path)?.read_to_end(&mut data)?;
-    if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+/// horizon. Corruption never errors — it just ends the scan. A file that is
+/// a strict prefix of the magic (including empty) is a crash during log
+/// creation and scans as an empty log with `committed_len == 0`; any other
+/// garbled *header* does error, because that means the file is not a WAL at
+/// all (truncating it on such evidence could destroy user data).
+pub fn scan(fs: &dyn StorageFs, path: &Path) -> io::Result<Scan> {
+    let data = fs.read(path)?;
+    if data.len() < MAGIC.len() {
+        return if data[..] == MAGIC[..data.len()] {
+            Ok(Scan {
+                committed_len: 0,
+                torn: Some(format!(
+                    "torn header ({} of {} bytes)",
+                    data.len(),
+                    MAGIC.len()
+                )),
+                ..Scan::default()
+            })
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a WAL file (bad magic)", path.display()),
+            ))
+        };
+    }
+    if &data[..MAGIC.len()] != MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("{} is not a WAL file (bad magic)", path.display()),
@@ -199,8 +246,8 @@ pub fn scan(path: &Path) -> io::Result<Scan> {
         if data.len() - pos < FRAME_HEADER {
             torn!("short frame header at offset {pos}");
         }
-        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        let len = u32::from_le_bytes(arr(&data[pos..pos + 4])) as usize;
+        let crc = u32::from_le_bytes(arr(&data[pos + 4..pos + 8]));
         let start = pos + FRAME_HEADER;
         let Some(end) = start.checked_add(len).filter(|&e| e <= data.len()) else {
             torn!("frame at offset {pos} runs past end of file");
@@ -217,9 +264,10 @@ pub fn scan(path: &Path) -> io::Result<Scan> {
             (None, Record::Begin { txid }) => open_unit = Some((txid, Vec::new())),
             (None, other) => torn!("record outside Begin/Commit at offset {pos}: {other:?}"),
             (Some((txid, _)), Record::Commit { txid: c }) if *txid == c => {
-                let (txid, ops) = open_unit.take().expect("unit open");
-                scan.units.push((txid, ops));
-                scan.committed_len = end as u64;
+                if let Some(unit) = open_unit.take() {
+                    scan.units.push(unit);
+                    scan.committed_len = end as u64;
+                }
             }
             (Some((txid, _)), Record::Commit { txid: c }) => {
                 torn!("commit txid {c} does not match begin txid {txid} at offset {pos}");
@@ -240,6 +288,7 @@ pub fn scan(path: &Path) -> io::Result<Scan> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fs::{FaultFs, FaultKind, OpKind, RealFs};
     use cypher_graph::Value;
 
     fn tmpdir(name: &str) -> PathBuf {
@@ -267,16 +316,17 @@ mod tests {
     fn append_then_scan_round_trips() {
         let dir = tmpdir("roundtrip");
         let path = dir.join("wal.bin");
-        let mut wal = Wal::create(&path).unwrap();
+        let mut wal = Wal::create(&RealFs, &path).unwrap();
         wal.append_commit_unit(1, &ops()).unwrap();
         wal.append_commit_unit(2, &[Record::DeleteNode { id: 0 }])
             .unwrap();
-        let scan = scan(&path).unwrap();
+        let scan = scan(&RealFs, &path).unwrap();
         assert!(scan.torn.is_none());
         assert_eq!(scan.units.len(), 2);
         assert_eq!(scan.units[0], (1, ops()));
         assert_eq!(scan.units[1].0, 2);
         assert_eq!(scan.committed_len, wal.len().unwrap());
+        assert_eq!(scan.committed_len, wal.durable_len());
         std::fs::remove_dir_all(dir).unwrap();
     }
 
@@ -284,7 +334,7 @@ mod tests {
     fn every_truncation_point_recovers_committed_prefix() {
         let dir = tmpdir("trunc");
         let path = dir.join("wal.bin");
-        let mut wal = Wal::create(&path).unwrap();
+        let mut wal = Wal::create(&RealFs, &path).unwrap();
         wal.append_commit_unit(1, &ops()).unwrap();
         let after_first = wal.len().unwrap();
         wal.append_commit_unit(2, &[Record::DeleteNode { id: 0 }])
@@ -292,16 +342,18 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         drop(wal);
 
-        for cut in MAGIC.len()..=full.len() {
+        for cut in 0..=full.len() {
             std::fs::write(&path, &full[..cut]).unwrap();
-            let scan = scan(&path).unwrap();
+            let scan = scan(&RealFs, &path).unwrap();
             // Only whole committed units survive, whatever the cut point.
             let (units, horizon) = if cut == full.len() {
                 (2, full.len() as u64)
             } else if (cut as u64) >= after_first {
                 (1, after_first)
-            } else {
+            } else if cut >= MAGIC.len() {
                 (0, MAGIC.len() as u64)
+            } else {
+                (0, 0) // torn header: recreate territory
             };
             assert_eq!(scan.units.len(), units, "cut at {cut}");
             assert_eq!(scan.committed_len, horizon, "cut at {cut}");
@@ -317,7 +369,7 @@ mod tests {
     fn bit_flip_in_committed_region_stops_scan_there() {
         let dir = tmpdir("bitflip");
         let path = dir.join("wal.bin");
-        let mut wal = Wal::create(&path).unwrap();
+        let mut wal = Wal::create(&RealFs, &path).unwrap();
         wal.append_commit_unit(1, &ops()).unwrap();
         let after_first = wal.len().unwrap();
         wal.append_commit_unit(2, &[Record::DeleteNode { id: 0 }])
@@ -327,7 +379,7 @@ mod tests {
         let i = after_first as usize + FRAME_HEADER; // first payload byte of unit 2
         bytes[i] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        let scan = scan(&path).unwrap();
+        let scan = scan(&RealFs, &path).unwrap();
         assert_eq!(scan.units.len(), 1);
         assert_eq!(scan.committed_len, after_first);
         assert!(scan.torn.unwrap().contains("CRC mismatch"));
@@ -338,7 +390,7 @@ mod tests {
     fn open_append_truncates_torn_tail() {
         let dir = tmpdir("reopen");
         let path = dir.join("wal.bin");
-        let mut wal = Wal::create(&path).unwrap();
+        let mut wal = Wal::create(&RealFs, &path).unwrap();
         wal.append_commit_unit(1, &ops()).unwrap();
         let committed = wal.len().unwrap();
         drop(wal);
@@ -347,15 +399,31 @@ mod tests {
         bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01]);
         std::fs::write(&path, &bytes).unwrap();
 
-        let s = scan(&path).unwrap();
+        let s = scan(&RealFs, &path).unwrap();
         assert_eq!(s.committed_len, committed);
-        let mut wal = Wal::open_append(&path, s.committed_len).unwrap();
+        let mut wal = Wal::open_append(&RealFs, &path, s.committed_len).unwrap();
         assert_eq!(wal.len().unwrap(), committed);
         wal.append_commit_unit(2, &[Record::DeleteNode { id: 0 }])
             .unwrap();
-        let s = scan(&path).unwrap();
+        let s = scan(&RealFs, &path).unwrap();
         assert!(s.torn.is_none());
         assert_eq!(s.units.len(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn torn_header_recreates_instead_of_erroring() {
+        let dir = tmpdir("tornheader");
+        let path = dir.join("wal.bin");
+        // Crash mid-creation: only part of the magic made it out.
+        std::fs::write(&path, &MAGIC[..3]).unwrap();
+        let s = scan(&RealFs, &path).unwrap();
+        assert_eq!(s.committed_len, 0);
+        assert!(s.torn.unwrap().contains("torn header"));
+        let mut wal = Wal::open_append(&RealFs, &path, 0).unwrap();
+        wal.append_commit_unit(1, &ops()).unwrap();
+        let s = scan(&RealFs, &path).unwrap();
+        assert_eq!(s.units.len(), 1);
         std::fs::remove_dir_all(dir).unwrap();
     }
 
@@ -364,7 +432,63 @@ mod tests {
         let dir = tmpdir("magic");
         let path = dir.join("not-a-wal");
         std::fs::write(&path, b"precious user data, definitely not a WAL").unwrap();
-        assert_eq!(scan(&path).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        assert_eq!(
+            scan(&RealFs, &path).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Short but non-prefix garbage is equally protected.
+        std::fs::write(&path, b"hi").unwrap();
+        assert_eq!(
+            scan(&RealFs, &path).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// The satellite regression: a failed `sync_data` after a successful
+    /// `write` must not advance the durable horizon, and the partial bytes
+    /// must be rolled back so a follow-up append lands at the right offset.
+    #[test]
+    fn failed_fsync_does_not_advance_durable_len() {
+        let dir = tmpdir("fsyncfail");
+        let path = dir.join("wal.bin");
+        // Sync 0 is Wal::create's header sync; sync 1 is the first append's.
+        let fault = FaultFs::fail_on(OpKind::Sync, 1, FaultKind::SyncFailure);
+        let fs = fault.arc();
+        let mut wal = Wal::create(fs.as_ref(), &path).unwrap();
+        let before = wal.durable_len();
+        let err = wal.append_commit_unit(1, &ops()).unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        assert!(fault.triggered());
+        assert_eq!(wal.durable_len(), before, "horizon must not move");
+        assert_eq!(wal.len().unwrap(), before, "partial bytes truncated");
+
+        // The handle is still usable at the storage level (the durable
+        // layer seals above; the WAL itself reconciled): a retried append
+        // lands exactly at the durable horizon.
+        wal.append_commit_unit(1, &ops()).unwrap();
+        let s = scan(&RealFs, &path).unwrap();
+        assert!(s.torn.is_none());
+        assert_eq!(s.units.len(), 1);
+        assert_eq!(s.units[0], (1, ops()));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Same discipline for a short write (ENOSPC mid-buffer).
+    #[test]
+    fn short_write_rolls_back_to_durable_horizon() {
+        let dir = tmpdir("shortwrite");
+        let path = dir.join("wal.bin");
+        // Write 0 is the header; write 1 is the first commit unit.
+        let fault = FaultFs::fail_on(OpKind::Write, 1, FaultKind::ShortWrite);
+        let fs = fault.arc();
+        let mut wal = Wal::create(fs.as_ref(), &path).unwrap();
+        wal.append_commit_unit(1, &ops()).unwrap_err();
+        assert_eq!(wal.durable_len(), MAGIC.len() as u64);
+        assert_eq!(wal.len().unwrap(), MAGIC.len() as u64);
+        let s = scan(&RealFs, &path).unwrap();
+        assert!(s.units.is_empty());
+        assert!(s.torn.is_none(), "partial unit fully rolled back");
         std::fs::remove_dir_all(dir).unwrap();
     }
 }

@@ -1,0 +1,27 @@
+# Task runner recipes (https://just.systems). Everything is offline; the
+# same steps work as plain shell commands if `just` is not installed.
+
+# Full local gate: build, tests, torture sweep, fmt, clippy.
+default: verify
+
+verify:
+    ./scripts/verify.sh
+
+# Fault-injection torture sweep: the storage workload re-run with a
+# deterministic fault at every fallible filesystem operation index.
+torture:
+    cargo test -q --offline --test storage_torture -- --nocapture
+
+# Execution-budget property tests (ExecLimits / ResourceExhausted).
+guards:
+    cargo test -q --offline --test exec_guard_props
+
+# Scoped lint: the storage crate bans unwrap()/expect() outside tests.
+clippy-storage:
+    cargo clippy -p cypher-storage --offline -- -D warnings
+
+test:
+    cargo test -q --offline
+
+build:
+    cargo build --release --offline

@@ -37,6 +37,10 @@ fi
 run "build (release)" cargo build --release --offline
 run "test" cargo test -q --offline
 
+# Robustness: the fault-injection torture sweep (one run per fallible
+# filesystem operation of the workload; see tests/storage_torture.rs).
+run "torture" cargo test -q --offline --test storage_torture
+
 # Bench crate is excluded from default-members; make sure it still compiles.
 run "build (workspace incl. bench)" cargo build --workspace --offline
 
@@ -48,6 +52,10 @@ fi
 
 if cargo clippy --version >/dev/null 2>&1; then
     run "clippy" cargo clippy --workspace --all-targets --offline -- -D warnings
+    # The storage crate additionally denies unwrap/expect in non-test code
+    # (scoped #![deny] in its lib.rs); lint it on its own so a workspace-
+    # level allow can never mask a regression.
+    run "clippy (storage, unwrap ban)" cargo clippy -p cypher-storage --offline -- -D warnings
 else
     skip "clippy" "clippy not installed"
 fi

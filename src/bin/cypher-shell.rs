@@ -25,14 +25,19 @@
 //! | `:open <dir>` | open a durable store (WAL + snapshot) in `<dir>` |
 //! | `:checkpoint` | snapshot the open store and truncate its WAL |
 //! | `:close` | checkpoint and detach from the store |
+//! | `:limits [rows N] [writes N] [time MS] \| off` | per-statement execution budgets |
 //! | `:dump` | print the graph |
 //! | `:stats` | print the graph summary |
 //! | `:reset` | empty the graph |
 //! | `:quit` | exit |
 
 use std::io::{self, BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
-use cypher_core::{Dialect, Engine, EngineBuilder, MatchMode, MergePolicy, ProcessingOrder};
+use cypher_core::{
+    Dialect, Engine, EngineBuilder, ExecLimits, MatchMode, MergePolicy, ProcessingOrder,
+};
 use cypher_graph::{fmt::dump, GraphSummary, PropertyGraph, Value};
 use cypher_storage::DurableGraph;
 
@@ -59,6 +64,7 @@ struct Shell {
     match_mode: MatchMode,
     policy: Option<MergePolicy>,
     params: Vec<(String, Value)>,
+    limits: ExecLimits,
 }
 
 impl Shell {
@@ -70,6 +76,7 @@ impl Shell {
             match_mode: MatchMode::EdgeIsomorphic,
             policy: None,
             params: Vec::new(),
+            limits: ExecLimits::NONE,
         }
     }
 
@@ -84,20 +91,51 @@ impl Shell {
             Store::Memory(g) => f(&engine, g),
             Store::Durable(d) => match d.apply(|g| f(&engine, g)) {
                 Ok(result) => result,
-                Err(io_err) => {
+                Err(storage_err) => {
                     // Storage failure: the statement's in-memory effect may
                     // not be durable. The handle poisons itself against
-                    // further writes.
-                    Err(cypher_core::EvalError::Storage(io_err.to_string()))
+                    // further writes (`StorageError::Sealed` from then on).
+                    Err(cypher_core::EvalError::Storage(storage_err.to_string()))
                 }
             },
+        }
+    }
+
+    /// [`exec`](Self::exec) behind a panic boundary: a bug in the engine
+    /// aborts the statement, not the session. The in-memory transaction is
+    /// rolled back to the statement boundary; a durable handle additionally
+    /// seals itself if a panic escaped after mutations were journaled.
+    fn exec_caught<T>(
+        &mut self,
+        f: impl FnOnce(&Engine, &mut PropertyGraph) -> cypher_core::Result<T>,
+    ) -> Option<cypher_core::Result<T>> {
+        match catch_unwind(AssertUnwindSafe(|| self.exec(f))) {
+            Ok(result) => Some(result),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                println!("statement panicked ({msg}); rolled back, session kept alive");
+                match &mut self.store {
+                    Store::Memory(g) => {
+                        if g.journal_len() != 0 {
+                            g.rollback_all();
+                        }
+                    }
+                    Store::Durable(d) => d.reconcile_after_panic(),
+                }
+                None
+            }
         }
     }
 
     fn engine(&self) -> Engine {
         let mut b = EngineBuilder::new(self.dialect)
             .processing_order(self.order)
-            .match_mode(self.match_mode);
+            .match_mode(self.match_mode)
+            .limits(self.limits);
         if let Some(p) = self.policy {
             b = b.merge_policy(p);
         }
@@ -126,7 +164,10 @@ impl Shell {
             }
             return;
         }
-        match self.exec(|engine, g| engine.run(g, text)) {
+        let Some(outcome) = self.exec_caught(|engine, g| engine.run(g, text)) else {
+            return; // panic: already reported and reconciled
+        };
+        match outcome {
             Ok(result) => {
                 if result.columns.is_empty() {
                     println!("(no rows)");
@@ -174,6 +215,8 @@ impl Shell {
                      :open <dir>               open a durable store (WAL + snapshot)\n\
                      :checkpoint               snapshot the store, truncate the WAL\n\
                      :close                    checkpoint and detach from the store\n\
+                     :limits [rows N] [writes N] [time MS] | off\n\
+                     \x20                          per-statement execution budgets\n\
                      :dump | :stats | :reset | :quit"
                 );
             }
@@ -228,15 +271,18 @@ impl Shell {
                     return true;
                 };
                 match std::fs::read_to_string(path) {
-                    Ok(text) => match self.exec(|engine, g| engine.run_script(g, &text)) {
-                        Ok(last) => {
-                            if !last.columns.is_empty() {
-                                print!("{}", last.render());
+                    Ok(text) => {
+                        match self.exec_caught(|engine, g| engine.run_script(g, &text)) {
+                            Some(Ok(last)) => {
+                                if !last.columns.is_empty() {
+                                    print!("{}", last.render());
+                                }
+                                println!("script ok");
                             }
-                            println!("script ok");
+                            Some(Err(e)) => println!("error: {e}"),
+                            None => {} // panic: already reported and reconciled
                         }
-                        Err(e) => println!("error: {e}"),
-                    },
+                    }
                     Err(e) => println!("error reading {path}: {e}"),
                 }
             }
@@ -277,12 +323,46 @@ impl Shell {
                 }
             }
             ":checkpoint" => match &mut self.store {
-                Store::Durable(d) => match d.checkpoint() {
+                // Bounded retry with backoff: a transient I/O failure (full
+                // disk freed, device back) should not leave the handle
+                // sealed when a fresh snapshot can reconcile it.
+                Store::Durable(d) => match d.checkpoint_with_retry(3, Duration::from_millis(20)) {
                     Ok(()) => println!("checkpoint written, WAL truncated"),
                     Err(e) => println!("checkpoint failed: {e}"),
                 },
                 Store::Memory(_) => println!("no store open; use :open <dir>"),
             },
+            ":limits" => {
+                let args: Vec<&str> = words.collect();
+                if args.is_empty() {
+                    println!("{}", render_limits(&self.limits));
+                    return true;
+                }
+                if args == ["off"] {
+                    self.limits = ExecLimits::NONE;
+                    println!("{}", render_limits(&self.limits));
+                    return true;
+                }
+                let mut new = self.limits;
+                let mut it = args.iter();
+                while let Some(&key) = it.next() {
+                    let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                        println!("usage: :limits [rows N] [writes N] [time MS] | off");
+                        return true;
+                    };
+                    match key {
+                        "rows" => new.max_rows = Some(n),
+                        "writes" => new.max_writes = Some(n),
+                        "time" => new.timeout = Some(Duration::from_millis(n)),
+                        _ => {
+                            println!("usage: :limits [rows N] [writes N] [time MS] | off");
+                            return true;
+                        }
+                    }
+                }
+                self.limits = new;
+                println!("{}", render_limits(&self.limits));
+            }
             ":close" => {
                 match std::mem::replace(&mut self.store, Store::Memory(PropertyGraph::new())) {
                     Store::Durable(d) => {
@@ -317,6 +397,23 @@ impl Shell {
         }
         true
     }
+}
+
+fn render_limits(l: &ExecLimits) -> String {
+    if l.is_unlimited() {
+        return "limits: off".to_owned();
+    }
+    let mut parts = Vec::new();
+    if let Some(n) = l.max_rows {
+        parts.push(format!("rows {n}"));
+    }
+    if let Some(n) = l.max_writes {
+        parts.push(format!("writes {n}"));
+    }
+    if let Some(t) = l.timeout {
+        parts.push(format!("time {} ms", t.as_millis()));
+    }
+    format!("limits: {}", parts.join(", "))
 }
 
 fn main() {

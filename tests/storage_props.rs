@@ -17,7 +17,7 @@ use proptest::prelude::*;
 
 use cypher_core::{Dialect, Engine};
 use cypher_graph::{isomorphic, DeleteNodeMode, PropertyGraph, Value};
-use cypher_storage::{recover, snapshot, DurableGraph};
+use cypher_storage::{recover, snapshot, DurableGraph, RealFs};
 
 /// Fresh scratch directory per case (cases run sequentially, but a counter
 /// keeps reruns from tripping over leftovers of a crashed process).
@@ -178,8 +178,8 @@ proptest! {
         let g = build(&spec);
         let dir = scratch("roundtrip");
         let path = dir.join("snapshot.bin");
-        snapshot::write(&g, &path, 0).unwrap();
-        let h = snapshot::load(&path).unwrap().graph;
+        snapshot::write(&RealFs, &g, &path, 0).unwrap();
+        let h = snapshot::load(&RealFs, &path).unwrap().graph;
         prop_assert!(isomorphic(&g, &h), "loaded snapshot not isomorphic");
         // Id-exact, allocator-exact, tombstone-exact.
         prop_assert_eq!(g.node_ids().collect::<Vec<_>>(), h.node_ids().collect::<Vec<_>>());
