@@ -1,0 +1,255 @@
+//! Planner performance harness — produces `BENCH_3.json`.
+//!
+//! Runs two traversal-heavy workloads over a synthetic marketplace graph
+//! (Figure 1 schema, ≥10k nodes) twice in the same process: once with the
+//! cost-based planner (the default engine) and once with `force_naive`
+//! (first-node anchoring, the pre-planner strategy). Both runs produce the
+//! same answers — the harness checks that — so the timing difference is
+//! purely the access-path and join-order choice.
+//!
+//! * `W1 typed 2-hop MATCH`: `MATCH (v:Vendor)-[:OFFERS]->(p:Product)
+//!   <-[:ORDERED]-(u:User {id: N})`. Naive anchoring label-scans `:Vendor`
+//!   and enumerates every offer; the planner reverses the pattern onto the
+//!   `:User(id)` index probe and walks typed adjacency partitions.
+//! * `W2 MERGE per row`: legacy `MERGE` of a `(:Product {id})<-[:VIEWED]-`
+//!   pattern per driving row. Naive anchoring label-scans `:Product` for
+//!   every row; the planner anchors on the bound `u` and checks its (empty)
+//!   `VIEWED` adjacency.
+//!
+//! Usage: `bench [--check] [--out PATH]`. `--check` is the CI smoke mode:
+//! a tiny graph, assertions only (planner picks the index probe, both
+//! engines agree, execution fits an `ExecGuard` budget), no JSON output.
+
+use std::time::{Duration, Instant};
+
+use cypher_core::{Dialect, Engine, EngineBuilder, ExecLimits};
+use cypher_datagen::{marketplace_graph, MarketplaceConfig};
+use cypher_graph::PropertyGraph;
+
+struct WorkloadResult {
+    name: &'static str,
+    queries: usize,
+    rows: usize,
+    naive: Duration,
+    planned: Duration,
+}
+
+impl WorkloadResult {
+    fn speedup(&self) -> f64 {
+        self.naive.as_secs_f64() / self.planned.as_secs_f64().max(1e-9)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_3.json")
+        .to_owned();
+
+    let cfg = if check {
+        MarketplaceConfig::default() // 100 users / 10 vendors / 200 products
+    } else {
+        MarketplaceConfig {
+            users: 7_000,
+            vendors: 400,
+            products: 3_000,
+            orders: 12_000,
+            offers: 6_000,
+            seed: 42,
+        }
+    };
+    let queries = if check { 5 } else { 200 };
+    let merge_rows = if check { 20 } else { 2_000 };
+
+    let mut graph = marketplace_graph(&cfg);
+    let setup = Engine::revised();
+    setup.run(&mut graph, "CREATE INDEX ON :User(id)").unwrap();
+    let nodes = graph.node_count();
+    let rels = graph.rel_count();
+    eprintln!("graph: {nodes} nodes, {rels} rels (seed {})", cfg.seed);
+
+    // A generous budget: the smoke test asserts the planner stays inside
+    // it, which it does by orders of magnitude.
+    let limits = ExecLimits {
+        max_rows: Some(5_000_000),
+        max_writes: None,
+        timeout: Some(Duration::from_secs(120)),
+    };
+    let planned_rd = EngineBuilder::new(Dialect::Revised).limits(limits).build();
+    let naive_rd = EngineBuilder::new(Dialect::Revised)
+        .limits(limits)
+        .force_naive(true)
+        .build();
+
+    if check {
+        let plan = planned_rd
+            .explain(&graph, "MATCH (u:User {id: 3}) RETURN u")
+            .unwrap();
+        assert!(
+            plan.contains("index probe (:User(id))"),
+            "planner did not pick the index probe:\n{plan}"
+        );
+        eprintln!("check: planner picks index probe (:User(id))");
+    }
+
+    let w1 = run_w1(&graph, &planned_rd, &naive_rd, &cfg, queries);
+    let w2 = run_w2(&graph, limits, &cfg, merge_rows);
+
+    for w in [&w1, &w2] {
+        eprintln!(
+            "{}: naive {:.1} ms, planned {:.1} ms, speedup {:.1}x ({} queries, {} rows)",
+            w.name,
+            w.naive.as_secs_f64() * 1e3,
+            w.planned.as_secs_f64() * 1e3,
+            w.speedup(),
+            w.queries,
+            w.rows,
+        );
+    }
+
+    if check {
+        // Smoke assertions only; thresholds are asserted on the full run.
+        eprintln!("check: ok");
+        return;
+    }
+
+    assert!(
+        w1.speedup() >= 5.0,
+        "W1 speedup {:.2}x below the 5x acceptance threshold",
+        w1.speedup()
+    );
+
+    let json = render_json(&cfg, nodes, rels, &[w1, w2]);
+    std::fs::write(&out_path, json).unwrap();
+    eprintln!("wrote {out_path}");
+}
+
+/// W1: typed 2-hop reads anchored (by the planner) on the `:User(id)`
+/// index probe at the far end of the written pattern.
+fn run_w1(
+    graph: &PropertyGraph,
+    planned: &Engine,
+    naive: &Engine,
+    cfg: &MarketplaceConfig,
+    queries: usize,
+) -> WorkloadResult {
+    let stmts: Vec<String> = (0..queries)
+        .map(|i| {
+            // Spread probes across the id space deterministically.
+            let uid = (i * 37) % cfg.users;
+            format!(
+                "MATCH (v:Vendor)-[:OFFERS]->(p:Product)<-[:ORDERED]-(u:User {{id: {uid}}}) \
+                 RETURN v.name AS v, p.name AS p ORDER BY v, p"
+            )
+        })
+        .collect();
+
+    let run = |engine: &Engine| {
+        // Reads only — but `run` takes &mut for the transaction wrapper.
+        let mut g = graph.clone();
+        let mut rows = 0usize;
+        let mut outputs = Vec::with_capacity(stmts.len());
+        let t0 = Instant::now();
+        for s in &stmts {
+            let r = engine.run(&mut g, s).unwrap();
+            rows += r.rows.len();
+            outputs.push(r.render());
+        }
+        (t0.elapsed(), rows, outputs)
+    };
+
+    let (naive_t, naive_rows, naive_out) = run(naive);
+    let (planned_t, planned_rows, planned_out) = run(planned);
+    assert_eq!(naive_rows, planned_rows, "W1 row counts diverge");
+    assert_eq!(naive_out, planned_out, "W1 rendered tables diverge");
+
+    WorkloadResult {
+        name: "w1_typed_2hop_match",
+        queries,
+        rows: planned_rows,
+        naive: naive_t,
+        planned: planned_t,
+    }
+}
+
+/// W2: legacy per-row MERGE whose written pattern anchors naive matching
+/// on a `:Product` label scan for every driving row.
+fn run_w2(
+    graph: &PropertyGraph,
+    limits: ExecLimits,
+    cfg: &MarketplaceConfig,
+    merge_rows: usize,
+) -> WorkloadResult {
+    let planned = EngineBuilder::new(Dialect::Cypher9).limits(limits).build();
+    let naive = EngineBuilder::new(Dialect::Cypher9)
+        .limits(limits)
+        .force_naive(true)
+        .build();
+    let rows = merge_rows.min(cfg.users);
+    let stmt = format!(
+        "MATCH (u:User) WHERE u.id < {rows} \
+         MERGE (p:Product {{id: u.id + 10000}})<-[:VIEWED]-(u) \
+         RETURN count(p) AS n"
+    );
+
+    let run = |engine: &Engine| {
+        let mut g = graph.clone();
+        let t0 = Instant::now();
+        let r = engine.run(&mut g, &stmt).unwrap();
+        (t0.elapsed(), r.rows.len(), r.render(), g)
+    };
+
+    let (naive_t, _, naive_out, naive_g) = run(&naive);
+    let (planned_t, planned_rows, planned_out, planned_g) = run(&planned);
+    assert_eq!(naive_out, planned_out, "W2 rendered tables diverge");
+    assert!(
+        cypher_graph::isomorphic(&naive_g, &planned_g),
+        "W2 result graphs diverge"
+    );
+
+    WorkloadResult {
+        name: "w2_merge_per_row",
+        queries: 1,
+        rows: planned_rows,
+        naive: naive_t,
+        planned: planned_t,
+    }
+}
+
+fn render_json(
+    cfg: &MarketplaceConfig,
+    nodes: usize,
+    rels: usize,
+    workloads: &[WorkloadResult],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"planner vs force_naive (same process, same graph)\",\n");
+    s.push_str("  \"harness\": \"crates/bench/src/bin/bench.rs (std::time::Instant)\",\n");
+    s.push_str(&format!(
+        "  \"graph\": {{\"nodes\": {nodes}, \"rels\": {rels}, \"users\": {}, \"vendors\": {}, \
+         \"products\": {}, \"orders\": {}, \"offers\": {}, \"seed\": {}}},\n",
+        cfg.users, cfg.vendors, cfg.products, cfg.orders, cfg.offers, cfg.seed
+    ));
+    s.push_str("  \"index\": \":User(id)\",\n  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"queries\": {}, \"result_rows\": {}, \
+             \"naive_ms\": {:.3}, \"planned_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            w.name,
+            w.queries,
+            w.rows,
+            w.naive.as_secs_f64() * 1e3,
+            w.planned.as_secs_f64() * 1e3,
+            w.speedup(),
+            if i + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"acceptance\": {\"min_speedup_w1\": 5.0, \"pass\": true}\n}\n");
+    s
+}

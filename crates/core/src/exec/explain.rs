@@ -1,27 +1,33 @@
 //! `EXPLAIN`: render the evaluation strategy for a statement — which
-//! semantics each clause runs under, which access path each node pattern
-//! would use (index probe / label scan / all-nodes scan), and how the
+//! semantics each clause runs under, the physical plan the cost-based
+//! planner picks for each `MATCH`/`MERGE` (anchor access path, traversal
+//! directions, join order, estimated cardinalities), and how the
 //! projection is computed.
 //!
-//! This is a *description* of the interpreter's fixed strategy, not a
-//! cost-based plan; it exists so users can see when a property index would
-//! (or would not) be picked up, and which of the paper's semantic regimes
-//! will execute each update clause.
+//! Estimated row counts come from the store's live cardinality statistics
+//! (the same numbers the planner optimizes with). *Actual* row counts come
+//! from executing the statement clause by clause against a throwaway copy
+//! of the graph — the caller's graph is never modified, and each clause is
+//! planned against the graph state it actually sees, so the estimate/actual
+//! comparison is honest even for multi-clause updates.
 
 use std::fmt::Write as _;
 
 use cypher_graph::PropertyGraph;
 use cypher_parser::ast::{
     Clause, Dialect, MergeKind, NodePattern, PathPattern, Projection, ProjectionItems, Query,
-    RelPattern,
+    RelDirection, RelPattern,
 };
 
 use crate::exec::{Engine, MergePolicy};
+use crate::plan::ClausePlan;
+use crate::table::Table;
 
 impl Engine {
-    /// Describe how this engine would evaluate `query` against `graph`.
-    /// Purely analytical — the graph is not modified and the query is not
-    /// run (it is, however, dialect-validated).
+    /// Describe how this engine evaluates `query` against `graph`,
+    /// including the physical plan and estimated vs. actual row counts.
+    /// The statement runs against a scratch copy of the graph; the
+    /// caller's graph is never modified.
     pub fn explain(&self, graph: &PropertyGraph, text: &str) -> crate::error::Result<String> {
         let query = cypher_parser::parse(text)?;
         cypher_parser::validate(&query, self.dialect)
@@ -49,6 +55,19 @@ impl Engine {
                 None => String::new(),
             }
         );
+        let _ = writeln!(
+            out,
+            "planner:   {}",
+            if self.force_naive {
+                "disabled (force_naive — naive first-node anchoring)"
+            } else {
+                "cost-based (live stats pick anchor, direction, join order)"
+            }
+        );
+
+        // Scratch execution for actual cardinalities; UNION arms see each
+        // other's side-effects left to right, like real execution.
+        let mut scratch = graph.clone();
         for (arm, sq) in std::iter::once(&query.first)
             .chain(query.unions.iter().map(|(_, q)| q))
             .enumerate()
@@ -56,17 +75,54 @@ impl Engine {
             if arm > 0 {
                 let _ = writeln!(out, "UNION arm {arm} (side-effects apply left-to-right):");
             }
+            let mut table: Option<Table> = Some(Table::unit());
+            let mut error: Option<String> = None;
             for clause in &sq.clauses {
-                self.explain_clause(graph, clause, &mut out, 0);
+                // Plan with the graph state and table columns this clause
+                // actually sees (mirrors what execution would pick).
+                let plan = match (&table, clause) {
+                    (Some(t), Clause::Match { patterns, .. } | Clause::Merge { patterns, .. })
+                        if !self.force_naive =>
+                    {
+                        crate::plan::plan_clause(&scratch, &self.params, patterns, &t.columns())
+                    }
+                    _ => None,
+                };
+                let est = plan.as_ref().zip(table.as_ref()).map(|(p, t)| {
+                    let per_row: f64 = p.meta.iter().map(|m| m.est_rows).product();
+                    per_row * t.len() as f64
+                });
+                let actual = match table.take() {
+                    Some(t) => match self.apply_clause(&mut scratch, t, clause) {
+                        Ok(t2) => {
+                            let n = t2.len();
+                            table = Some(t2);
+                            Rows::Actual(n)
+                        }
+                        Err(e) => {
+                            error = Some(e.to_string());
+                            Rows::Failed
+                        }
+                    },
+                    None => Rows::NotRun,
+                };
+                self.explain_clause(graph, clause, plan.as_ref(), est, actual, &mut out, 0);
+            }
+            if let Some(e) = error {
+                let _ = writeln!(out, "  (execution stopped: {e})");
             }
         }
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn explain_clause(
         &self,
         graph: &PropertyGraph,
         clause: &Clause,
+        plan: Option<&ClausePlan>,
+        est: Option<f64>,
+        actual: Rows,
         out: &mut String,
         depth: usize,
     ) {
@@ -78,10 +134,8 @@ impl Engine {
                 where_clause,
             } => {
                 let kw = if *optional { "OPTIONAL MATCH" } else { "MATCH" };
-                let _ = writeln!(out, "{pad}{kw}:");
-                for p in patterns {
-                    explain_pattern(graph, p, out, depth + 1);
-                }
+                let _ = writeln!(out, "{pad}{kw}:{}", rows_note(est, actual));
+                explain_pattern_list(graph, patterns, plan, out, depth + 1);
                 if where_clause.is_some() {
                     let _ = writeln!(out, "{pad}  filter: WHERE (ternary; unknown drops row)");
                 }
@@ -170,10 +224,13 @@ impl Engine {
                         "grouping + full Defs. 1–2 collapse (nodes and relationships)"
                     }
                 };
-                let _ = writeln!(out, "{pad}{} [{policy}]: {how}", clause.name());
-                for p in patterns {
-                    explain_pattern(graph, p, out, depth + 1);
-                }
+                let _ = writeln!(
+                    out,
+                    "{pad}{} [{policy}]: {how}{}",
+                    clause.name(),
+                    rows_note(est, actual)
+                );
+                explain_pattern_list(graph, patterns, plan, out, depth + 1);
                 if !on_create.is_empty() {
                     let _ = writeln!(out, "{pad}  ON CREATE SET: {} item(s)", on_create.len());
                 }
@@ -184,7 +241,7 @@ impl Engine {
             Clause::Foreach { body, .. } => {
                 let _ = writeln!(out, "{pad}FOREACH: per list element, run:");
                 for inner in body {
-                    self.explain_clause(graph, inner, out, depth + 1);
+                    self.explain_clause(graph, inner, None, None, Rows::NotRun, out, depth + 1);
                 }
             }
             Clause::CreateIndex { label, key } => {
@@ -197,57 +254,102 @@ impl Engine {
     }
 }
 
-fn explain_projection(p: &Projection) -> String {
-    let mut parts = Vec::new();
-    let has_agg = match &p.items {
-        ProjectionItems::Star { extra } => extra.iter().any(|i| i.expr.contains_aggregate()),
-        ProjectionItems::Items(items) => items.iter().any(|i| i.expr.contains_aggregate()),
-    };
-    parts.push(if has_agg {
-        "aggregate (implicit grouping by non-aggregate items)".to_owned()
-    } else {
-        "row-wise projection".to_owned()
-    });
-    if p.distinct {
-        parts.push("DISTINCT (dedup by equivalence)".to_owned());
-    }
-    if !p.order_by.is_empty() {
-        parts.push(format!(
-            "ORDER BY {} key(s) (global order)",
-            p.order_by.len()
-        ));
-    }
-    if p.skip.is_some() {
-        parts.push("SKIP".to_owned());
-    }
-    if p.limit.is_some() {
-        parts.push("LIMIT".to_owned());
-    }
-    if p.where_clause.is_some() {
-        parts.push("WHERE on projected scope".to_owned());
-    }
-    parts.join(", ")
+/// Actual-cardinality outcome for one clause of the scratch execution.
+#[derive(Clone, Copy)]
+enum Rows {
+    Actual(usize),
+    Failed,
+    NotRun,
 }
 
-fn explain_pattern(graph: &PropertyGraph, p: &PathPattern, out: &mut String, depth: usize) {
+fn rows_note(est: Option<f64>, actual: Rows) -> String {
+    let est = est.map(|e| format!("est ≈ {}", fmt_est(e)));
+    let act = match actual {
+        Rows::Actual(n) => Some(format!("actual {n}")),
+        Rows::Failed => Some("failed".to_owned()),
+        Rows::NotRun => None,
+    };
+    match (est, act) {
+        (Some(e), Some(a)) => format!("  [rows: {e}, {a}]"),
+        (Some(e), None) => format!("  [rows: {e}]"),
+        (None, Some(a)) => format!("  [rows: {a}]"),
+        (None, None) => String::new(),
+    }
+}
+
+fn fmt_est(e: f64) -> String {
+    if e >= 10.0 || e == e.trunc() {
+        format!("{}", e.round() as u64)
+    } else {
+        format!("{e:.1}")
+    }
+}
+
+/// Render the physical plan of a pattern list (in execution order), or the
+/// naive strategy when no plan exists (force_naive / shortest paths).
+fn explain_pattern_list(
+    graph: &PropertyGraph,
+    patterns: &[PathPattern],
+    plan: Option<&ClausePlan>,
+    out: &mut String,
+    depth: usize,
+) {
     let pad = "  ".repeat(depth);
-    let _ = writeln!(
-        out,
-        "{pad}start {}: {}",
-        describe_node(&p.start),
-        access_path(graph, &p.start)
-    );
-    for (rel, node) in &p.steps {
+    let Some(plan) = plan else {
+        for p in patterns {
+            if p.shortest.is_some() {
+                let _ = writeln!(out, "{pad}shortest-path BFS (runs on the naive matcher):");
+            }
+            let _ = writeln!(
+                out,
+                "{pad}start {}: {}",
+                describe_node(&p.start),
+                access_path(graph, &p.start)
+            );
+            for (rel, node) in &p.steps {
+                let _ = writeln!(
+                    out,
+                    "{pad}  expand {} to {} (adjacency; target checked in place)",
+                    describe_rel(rel),
+                    describe_node(node),
+                );
+            }
+        }
+        return;
+    };
+    for (i, (p, m)) in plan.pats.iter().zip(&plan.meta).enumerate() {
+        let mut note = String::new();
+        if m.orig != i {
+            let _ = write!(note, "; written as pattern {}", m.orig + 1);
+        }
+        if m.reversed {
+            note.push_str("; reversed");
+        }
         let _ = writeln!(
             out,
-            "{pad}  expand {} to {} (adjacency; target checked in place)",
-            describe_rel(rel),
-            describe_node(node),
+            "{pad}anchor {} via {} (≈ {} node(s){note})",
+            describe_node(&p.start),
+            m.anchor,
+            fmt_est(m.anchor_est),
         );
+        for (rel, node) in &p.steps {
+            let _ = writeln!(
+                out,
+                "{pad}  expand {} to {} ({}; target checked in place)",
+                describe_rel(rel),
+                describe_node(node),
+                if rel.types.len() == 1 {
+                    "typed adjacency partition"
+                } else {
+                    "adjacency"
+                },
+            );
+        }
     }
 }
 
-/// Which access path `node_candidates` would choose for an unbound start.
+/// Which access path `node_candidates` would choose for an unbound start
+/// (used only when no cost-based plan is available).
 fn access_path(graph: &PropertyGraph, np: &NodePattern) -> String {
     for label in &np.labels {
         let Some(lsym) = graph.try_sym(label) else {
@@ -296,7 +398,43 @@ fn describe_rel(rp: &RelPattern) -> String {
         ),
         None => String::new(),
     };
-    format!("-[{types}{len}]-")
+    match rp.direction {
+        RelDirection::Outgoing => format!("-[{types}{len}]->"),
+        RelDirection::Incoming => format!("<-[{types}{len}]-"),
+        RelDirection::Undirected => format!("-[{types}{len}]-"),
+    }
+}
+
+fn explain_projection(p: &Projection) -> String {
+    let mut parts = Vec::new();
+    let has_agg = match &p.items {
+        ProjectionItems::Star { extra } => extra.iter().any(|i| i.expr.contains_aggregate()),
+        ProjectionItems::Items(items) => items.iter().any(|i| i.expr.contains_aggregate()),
+    };
+    parts.push(if has_agg {
+        "aggregate (implicit grouping by non-aggregate items)".to_owned()
+    } else {
+        "row-wise projection".to_owned()
+    });
+    if p.distinct {
+        parts.push("DISTINCT (dedup by equivalence)".to_owned());
+    }
+    if !p.order_by.is_empty() {
+        parts.push(format!(
+            "ORDER BY {} key(s) (global order)",
+            p.order_by.len()
+        ));
+    }
+    if p.skip.is_some() {
+        parts.push("SKIP".to_owned());
+    }
+    if p.limit.is_some() {
+        parts.push("LIMIT".to_owned());
+    }
+    if p.where_clause.is_some() {
+        parts.push("WHERE on projected scope".to_owned());
+    }
+    parts.join(", ")
 }
 
 // `contains_aggregate` lives on Expr; re-exported trait-less use above.
@@ -325,6 +463,67 @@ mod tests {
         e.run(&mut g, "CREATE INDEX ON :User(id)").unwrap();
         let plan = e.explain(&g, "MATCH (u:User {id: 3}) RETURN u").unwrap();
         assert!(plan.contains("index probe (:User(id))"), "{plan}");
+    }
+
+    #[test]
+    fn explain_reports_estimated_and_actual_rows() {
+        let mut g = PropertyGraph::new();
+        let e = Engine::revised();
+        e.run(&mut g, "UNWIND range(0, 9) AS i CREATE (:User {id: i})")
+            .unwrap();
+        e.run(&mut g, "CREATE INDEX ON :User(id)").unwrap();
+        let plan = e.explain(&g, "MATCH (u:User {id: 3}) RETURN u").unwrap();
+        assert!(plan.contains("est ≈ 1"), "{plan}");
+        assert!(plan.contains("actual 1"), "{plan}");
+        // The probe estimate comes from the live index bucket.
+        assert!(plan.contains("≈ 1 node(s)"), "{plan}");
+    }
+
+    #[test]
+    fn explain_marks_reversed_patterns_and_directions() {
+        let mut g = PropertyGraph::new();
+        let e = Engine::revised();
+        e.run(
+            &mut g,
+            "UNWIND range(0, 9) AS i \
+             CREATE (:User {id: i})-[:ORDERED]->(:Product {id: i})",
+        )
+        .unwrap();
+        e.run(&mut g, "CREATE INDEX ON :User(id)").unwrap();
+        let plan = e
+            .explain(
+                &g,
+                "MATCH (p:Product)<-[:ORDERED]-(u:User {id: 3}) RETURN p",
+            )
+            .unwrap();
+        assert!(plan.contains("reversed"), "{plan}");
+        assert!(plan.contains("index probe (:User(id))"), "{plan}");
+        // Reversed execution walks the ORDERED step outgoing from the user.
+        assert!(plan.contains("-[ORDERED]->"), "{plan}");
+        assert!(plan.contains("typed adjacency partition"), "{plan}");
+    }
+
+    #[test]
+    fn explain_respects_force_naive() {
+        let g = PropertyGraph::new();
+        let plan = EngineBuilder::new(Dialect::Revised)
+            .force_naive(true)
+            .build()
+            .explain(&g, "MATCH (n) RETURN n")
+            .unwrap();
+        assert!(plan.contains("force_naive"), "{plan}");
+        assert!(plan.contains("all-nodes scan"), "{plan}");
+    }
+
+    #[test]
+    fn explain_does_not_modify_the_graph() {
+        let mut g = PropertyGraph::new();
+        let e = Engine::revised();
+        e.run(&mut g, "CREATE (:User {id: 1})").unwrap();
+        let before = g.clone();
+        e.explain(&g, "MATCH (u:User) DETACH DELETE u").unwrap();
+        e.explain(&g, "CREATE (:User {id: 2})").unwrap();
+        assert!(cypher_graph::isomorphic(&before, &g));
     }
 
     #[test]

@@ -131,6 +131,10 @@ fn merge_legacy(
     on_create: &[cypher_parser::ast::SetItem],
     on_match: &[cypher_parser::ast::SetItem],
 ) -> Result<()> {
+    // One plan for the whole clause: legacy MERGE mutates the graph
+    // between rows, which drifts the estimates but never the plan's
+    // validity (candidate sets are access-path-invariant).
+    let plan = ctx.plan_patterns(patterns);
     let input = mem::take(&mut ctx.table);
     let mut out = Vec::new();
     for i in match ctx.engine.order {
@@ -140,7 +144,7 @@ fn merge_legacy(
         crate::exec::ProcessingOrder::Reverse => Box::new((0..input.len()).rev()),
     } {
         let rec = &input.rows[i];
-        let matches = ctx.matcher().match_patterns(rec, patterns)?;
+        let matches = ctx.match_with_plan(rec, patterns, plan.as_ref())?;
         // A failing record still materializes one (created) output row.
         ctx.charge_rows(matches.len().max(1))?;
         if matches.is_empty() {
@@ -278,13 +282,14 @@ fn merge_atomic_family(
     policy: MergePolicy,
     patterns: &[PathPattern],
 ) -> Result<()> {
+    let plan = ctx.plan_patterns(patterns);
     let input = mem::take(&mut ctx.table);
 
     // ---- Phase 1: match everything against the *input* graph. ----
     // rows_out[i] = Some(matched rows) or None (failing record).
     let mut matched: Vec<Option<Vec<Record>>> = Vec::with_capacity(input.len());
     for rec in &input.rows {
-        let m = ctx.matcher().match_patterns(rec, patterns)?;
+        let m = ctx.match_with_plan(rec, patterns, plan.as_ref())?;
         // A failing record still materializes one (created) output row.
         ctx.charge_rows(m.len().max(1))?;
         matched.push(if m.is_empty() { None } else { Some(m) });

@@ -20,7 +20,7 @@
 mod explain;
 mod guard;
 mod merge;
-mod read;
+pub(crate) mod read;
 mod write;
 
 pub use guard::ExecLimits;
@@ -140,6 +140,7 @@ pub struct EngineBuilder {
     merge_override: Option<MergePolicy>,
     params: BTreeMap<String, Value>,
     limits: ExecLimits,
+    force_naive: bool,
 }
 
 impl EngineBuilder {
@@ -151,6 +152,7 @@ impl EngineBuilder {
             merge_override: None,
             params: BTreeMap::new(),
             limits: ExecLimits::NONE,
+            force_naive: false,
         }
     }
 
@@ -188,6 +190,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Disable the cost-based physical planner: every `MATCH`/`MERGE` runs
+    /// with the naive first-node anchoring strategy. Escape hatch for
+    /// differential testing and benchmarking — results are identical
+    /// either way (the planner re-sorts into the naive order).
+    pub fn force_naive(mut self, naive: bool) -> Self {
+        self.force_naive = naive;
+        self
+    }
+
     pub fn build(self) -> Engine {
         Engine {
             dialect: self.dialect,
@@ -196,6 +207,7 @@ impl EngineBuilder {
             merge_override: self.merge_override,
             params: self.params,
             limits: self.limits,
+            force_naive: self.force_naive,
         }
     }
 }
@@ -209,6 +221,8 @@ pub struct Engine {
     pub merge_override: Option<MergePolicy>,
     pub params: BTreeMap<String, Value>,
     pub limits: ExecLimits,
+    /// Planner disabled (see [`EngineBuilder::force_naive`]).
+    pub force_naive: bool,
 }
 
 impl Engine {
@@ -467,6 +481,35 @@ impl ExecCtx<'_, '_> {
     /// Pattern matcher over the current graph state.
     pub(crate) fn matcher(&self) -> crate::pattern::Matcher<'_> {
         crate::pattern::Matcher::new(self.graph, &self.engine.params, self.engine.match_mode)
+    }
+
+    /// Physical plan for a clause's pattern list against the current
+    /// driving-table columns, or `None` when planning is disabled
+    /// (`force_naive`) or unsupported (shortest-path patterns). Call
+    /// before taking the table: all records bind the same columns, so one
+    /// plan serves the whole clause.
+    pub(crate) fn plan_patterns(
+        &self,
+        patterns: &[cypher_parser::ast::PathPattern],
+    ) -> Option<crate::plan::ClausePlan> {
+        if self.engine.force_naive {
+            return None;
+        }
+        let cols = self.table.columns();
+        crate::plan::plan_clause(self.graph, &self.engine.params, patterns, &cols)
+    }
+
+    /// Match `patterns` for one record, through the plan when one exists.
+    pub(crate) fn match_with_plan(
+        &self,
+        rec: &Record,
+        patterns: &[cypher_parser::ast::PathPattern],
+        plan: Option<&crate::plan::ClausePlan>,
+    ) -> Result<Vec<Record>> {
+        match plan {
+            Some(p) => self.matcher().match_patterns_planned(rec, p),
+            None => self.matcher().match_patterns(rec, patterns),
+        }
     }
 
     /// Read-only evaluation context over the current graph state.

@@ -28,10 +28,11 @@ pub(crate) fn match_clause(
     patterns: &[PathPattern],
     where_clause: Option<&Expr>,
 ) -> Result<()> {
+    let plan = ctx.plan_patterns(patterns);
     let input = std::mem::take(&mut ctx.table);
     let mut out = Vec::new();
     for rec in &input.rows {
-        let matches = ctx.matcher().match_patterns(rec, patterns)?;
+        let matches = ctx.match_with_plan(rec, patterns, plan.as_ref())?;
         let mut any = false;
         for m in matches {
             let keep = match where_clause {

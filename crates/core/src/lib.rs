@@ -43,6 +43,7 @@ pub mod eval;
 pub mod exec;
 pub mod export;
 pub mod pattern;
+pub mod plan;
 pub mod table;
 
 pub use error::{EvalError, Result};
@@ -51,6 +52,7 @@ pub use exec::{
 };
 pub use export::graph_to_cypher;
 pub use pattern::{MatchMode, Matcher};
+pub use plan::{Anchor, ClausePlan};
 pub use table::{Record, Table};
 
 // Re-export the dialect selector for convenience: engines are parameterized

@@ -25,12 +25,71 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use cypher_graph::{Direction, NodeId, PathValue, PropertyGraph, RelId, Value};
+use cypher_graph::{Direction, NodeId, PathValue, PropertyGraph, RelId, Symbol, Value};
 use cypher_parser::ast::{NodePattern, PathPattern, RelDirection, RelPattern};
 
 use crate::error::{EvalError, Result};
 use crate::eval::{eval, EvalCtx};
+use crate::plan::ClausePlan;
 use crate::table::Record;
+
+/// One token of the naive-order key (see `crate::plan` module docs):
+/// `(0, node)` start, `(1, 0)` var-length terminator, `(2 + class, rel)`
+/// relationship, where class 0 = traversed via the out-list and 1 = via
+/// the in-list (undirected steps enumerate out-rels first).
+type Tok = (u8, u64);
+/// Naive-order key of one pattern's traversal.
+type PatKey = Vec<Tok>;
+/// Var-length segment terminator: sorts before every relationship token,
+/// making a closed segment order before its own extensions.
+const TOK_TERM: Tok = (1, 0);
+
+/// Key class of a relationship traversed from `cur` by a step with
+/// direction `dir` (undirected steps need the stored source to know which
+/// adjacency list the naive matcher would have found the rel in).
+fn rel_class(g: &PropertyGraph, dir: RelDirection, cur: NodeId, rel: RelId) -> u8 {
+    match dir {
+        RelDirection::Outgoing => 0,
+        RelDirection::Incoming => 1,
+        RelDirection::Undirected => {
+            let d = g.rel(rel).expect("live rel");
+            u8::from(d.src != cur)
+        }
+    }
+}
+
+/// Naive-order key of a completed fixed-length traversal, given the path
+/// oriented the way the pattern is written.
+fn fixed_path_key(
+    g: &PropertyGraph,
+    dirs: &[RelDirection],
+    nodes: &[NodeId],
+    rels: &[RelId],
+) -> PatKey {
+    let mut key = Vec::with_capacity(1 + rels.len());
+    key.push((0, nodes[0].raw()));
+    for (i, &r) in rels.iter().enumerate() {
+        key.push((2 + rel_class(g, dirs[i], nodes[i], r), r.raw()));
+    }
+    key
+}
+
+/// The pattern list under execution plus, in planned mode, its metadata.
+struct Pats<'p> {
+    list: &'p [PathPattern],
+    meta: Option<&'p [crate::plan::PatMeta]>,
+}
+
+impl Pats<'_> {
+    fn reversed(&self, pi: usize) -> bool {
+        self.meta.map(|m| m[pi].reversed).unwrap_or(false)
+    }
+
+    /// Written position of the pattern executed at `pi`.
+    fn orig(&self, pi: usize) -> usize {
+        self.meta.map(|m| m[pi].orig).unwrap_or(pi)
+    }
+}
 
 /// Relationship-uniqueness discipline.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -73,39 +132,84 @@ impl<'a> Matcher<'a> {
     /// Enumerate all extensions of `rec` matching the conjunction of
     /// `patterns`. The input record is part of every result.
     pub fn match_patterns(&self, rec: &Record, patterns: &[PathPattern]) -> Result<Vec<Record>> {
+        let pats = Pats {
+            list: patterns,
+            meta: None,
+        };
         let mut results = Vec::new();
-        self.go_pattern(patterns, 0, rec.clone(), BTreeSet::new(), &mut results)?;
-        Ok(results)
+        self.go_pattern(&pats, 0, rec.clone(), BTreeSet::new(), None, &mut results)?;
+        Ok(results.into_iter().map(|(r, _)| r).collect())
     }
 
-    /// Does at least one match exist? (Early-exit variant used by `MERGE`.)
+    /// Enumerate matches through a physical plan, then restore the
+    /// documented naive result order by sorting on each result's
+    /// naive-order key (see [`crate::plan`]).
+    pub fn match_patterns_planned(&self, rec: &Record, plan: &ClausePlan) -> Result<Vec<Record>> {
+        if plan.identity {
+            return self.match_patterns(rec, &plan.pats);
+        }
+        let pats = Pats {
+            list: &plan.pats,
+            meta: Some(&plan.meta),
+        };
+        let mut results = Vec::new();
+        let keys = vec![PatKey::new(); plan.pats.len()];
+        self.go_pattern(
+            &pats,
+            0,
+            rec.clone(),
+            BTreeSet::new(),
+            Some(keys),
+            &mut results,
+        )?;
+        let mut keyed: Vec<(Vec<PatKey>, Record)> = results
+            .into_iter()
+            .map(|(r, k)| (k.expect("planned mode tracks keys"), r))
+            .collect();
+        keyed.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Ok(keyed.into_iter().map(|(_, r)| r).collect())
+    }
+
+    /// Does at least one match exist? (Existence is plan-independent, so
+    /// `MERGE` can call this on either strategy's pattern list.)
     pub fn any_match(&self, rec: &Record, patterns: &[PathPattern]) -> Result<bool> {
         Ok(!self.match_patterns(rec, patterns)?.is_empty())
     }
 
     fn go_pattern(
         &self,
-        patterns: &[PathPattern],
+        pats: &Pats<'_>,
         pi: usize,
         env: Record,
         used: BTreeSet<RelId>,
-        results: &mut Vec<Record>,
+        keys: Option<Vec<PatKey>>,
+        results: &mut Vec<(Record, Option<Vec<PatKey>>)>,
     ) -> Result<()> {
-        let Some(pattern) = patterns.get(pi) else {
-            results.push(env);
+        let Some(pattern) = pats.list.get(pi) else {
+            results.push((env, keys));
             return Ok(());
         };
         if pattern.shortest.is_some() {
-            return self.go_shortest(patterns, pi, env, used, results);
+            // The planner refuses clauses with shortest-path patterns, so
+            // this branch only runs in naive mode (no key tracking).
+            debug_assert!(keys.is_none(), "shortest paths are never planned");
+            return self.go_shortest(pats, pi, env, used, keys, results);
         }
         let starts = self.node_candidates(&env, &pattern.start)?;
+        let reversed = pats.reversed(pi);
         for start in starts {
             let mut env2 = env.clone();
             if let Some(var) = &pattern.start.var {
                 env2.bind(var.clone(), Value::Node(start));
             }
+            let mut keys2 = keys.clone();
+            if !reversed {
+                if let Some(ks) = &mut keys2 {
+                    ks[pats.orig(pi)].push((0, start.raw()));
+                }
+            }
             self.go_steps(
-                patterns,
+                pats,
                 pi,
                 0,
                 start,
@@ -113,6 +217,7 @@ impl<'a> Matcher<'a> {
                 used.clone(),
                 vec![start],
                 vec![],
+                keys2,
                 results,
             )?;
         }
@@ -128,13 +233,14 @@ impl<'a> Matcher<'a> {
     /// clause-wide used set is respected and extended.
     fn go_shortest(
         &self,
-        patterns: &[PathPattern],
+        pats: &Pats<'_>,
         pi: usize,
         env: Record,
         used: BTreeSet<RelId>,
-        results: &mut Vec<Record>,
+        keys: Option<Vec<PatKey>>,
+        results: &mut Vec<(Record, Option<Vec<PatKey>>)>,
     ) -> Result<()> {
-        let pattern = &patterns[pi];
+        let pattern = &pats.list[pi];
         let kind = pattern.shortest.expect("caller checked");
         let (rel_pat, end_pat) = &pattern.steps[0];
         let (min, max) = match rel_pat.length {
@@ -153,7 +259,8 @@ impl<'a> Matcher<'a> {
                 // minimum hop count exceeds the true shortest distance:
                 // enumerate candidate paths instead and keep the minima.
                 self.shortest_by_enumeration(
-                    patterns, pi, start, &env_s, &used, rel_pat, end_pat, min, max, kind, results,
+                    pats, pi, start, &env_s, &used, rel_pat, end_pat, min, max, kind, &keys,
+                    results,
                 )?;
                 continue;
             }
@@ -234,7 +341,7 @@ impl<'a> Matcher<'a> {
                             }),
                         );
                     }
-                    self.go_pattern(patterns, pi + 1, env2, used2, results)?;
+                    self.go_pattern(pats, pi + 1, env2, used2, keys.clone(), results)?;
                 }
             }
         }
@@ -247,7 +354,7 @@ impl<'a> Matcher<'a> {
     #[allow(clippy::too_many_arguments)]
     fn shortest_by_enumeration(
         &self,
-        patterns: &[PathPattern],
+        pats: &Pats<'_>,
         pi: usize,
         start: NodeId,
         env_s: &Record,
@@ -257,10 +364,11 @@ impl<'a> Matcher<'a> {
         min: u32,
         max: u32,
         kind: cypher_parser::ast::ShortestKind,
-        results: &mut Vec<Record>,
+        keys: &Option<Vec<PatKey>>,
+        results: &mut Vec<(Record, Option<Vec<PatKey>>)>,
     ) -> Result<()> {
         use cypher_parser::ast::ShortestKind;
-        let pattern = &patterns[pi];
+        let pattern = &pats.list[pi];
         // DFS collecting (end, rels) candidates.
         let mut candidates: Vec<(NodeId, Vec<RelId>)> = Vec::new();
         let mut stack: Vec<(NodeId, Vec<RelId>)> = vec![(start, vec![])];
@@ -324,7 +432,7 @@ impl<'a> Matcher<'a> {
                     }),
                 );
             }
-            self.go_pattern(patterns, pi + 1, env2, used2, results)?;
+            self.go_pattern(pats, pi + 1, env2, used2, keys.clone(), results)?;
         }
         Ok(())
     }
@@ -332,7 +440,7 @@ impl<'a> Matcher<'a> {
     #[allow(clippy::too_many_arguments)]
     fn go_steps(
         &self,
-        patterns: &[PathPattern],
+        pats: &Pats<'_>,
         pi: usize,
         si: usize,
         cur: NodeId,
@@ -340,30 +448,46 @@ impl<'a> Matcher<'a> {
         used: BTreeSet<RelId>,
         path_nodes: Vec<NodeId>,
         path_rels: Vec<RelId>,
-        results: &mut Vec<Record>,
+        keys: Option<Vec<PatKey>>,
+        results: &mut Vec<(Record, Option<Vec<PatKey>>)>,
     ) -> Result<()> {
-        let pattern = &patterns[pi];
+        let pattern = &pats.list[pi];
         let Some((rel_pat, node_pat)) = pattern.steps.get(si) else {
-            // Path pattern complete; bind the path variable if named.
+            // Path pattern complete. A reversed pattern traversed the path
+            // back-to-front: orient it the way the pattern is written
+            // before binding the path variable or rebuilding the key.
             let mut env = env;
-            if let Some(pvar) = &pattern.var {
-                env.bind(
-                    pvar.clone(),
-                    Value::Path(PathValue {
-                        nodes: path_nodes,
-                        rels: path_rels,
-                    }),
-                );
+            let mut keys = keys;
+            let reversed = pats.reversed(pi);
+            let (nodes, rels) = if reversed {
+                let mut n = path_nodes;
+                n.reverse();
+                let mut r = path_rels;
+                r.reverse();
+                (n, r)
+            } else {
+                (path_nodes, path_rels)
+            };
+            if reversed {
+                if let Some(ks) = &mut keys {
+                    let dirs = &pats.meta.expect("reversed implies planned")[pi].orig_dirs;
+                    ks[pats.orig(pi)] = fixed_path_key(self.graph(), dirs, &nodes, &rels);
+                }
             }
-            return self.go_pattern(patterns, pi + 1, env, used, results);
+            if let Some(pvar) = &pattern.var {
+                env.bind(pvar.clone(), Value::Path(PathValue { nodes, rels }));
+            }
+            return self.go_pattern(pats, pi + 1, env, used, keys, results);
         };
 
         if rel_pat.length.is_some() {
             return self.go_varlen_step(
-                patterns, pi, si, cur, env, used, path_nodes, path_rels, rel_pat, node_pat, results,
+                pats, pi, si, cur, env, used, path_nodes, path_rels, rel_pat, node_pat, keys,
+                results,
             );
         }
 
+        let reversed = pats.reversed(pi);
         for (rel, next) in self.rel_candidates(&env, cur, rel_pat, &used)? {
             // Next node must satisfy its pattern (bound variable, labels,
             // properties).
@@ -385,8 +509,15 @@ impl<'a> Matcher<'a> {
             nodes2.push(next);
             let mut rels2 = path_rels.clone();
             rels2.push(rel);
+            let mut keys2 = keys.clone();
+            if !reversed {
+                if let Some(ks) = &mut keys2 {
+                    let class = rel_class(self.graph(), rel_pat.direction, cur, rel);
+                    ks[pats.orig(pi)].push((2 + class, rel.raw()));
+                }
+            }
             self.go_steps(
-                patterns,
+                pats,
                 pi,
                 si + 1,
                 next,
@@ -394,6 +525,7 @@ impl<'a> Matcher<'a> {
                 used2,
                 nodes2,
                 rels2,
+                keys2,
                 results,
             )?;
         }
@@ -403,7 +535,7 @@ impl<'a> Matcher<'a> {
     #[allow(clippy::too_many_arguments)]
     fn go_varlen_step(
         &self,
-        patterns: &[PathPattern],
+        pats: &Pats<'_>,
         pi: usize,
         si: usize,
         cur: NodeId,
@@ -413,8 +545,12 @@ impl<'a> Matcher<'a> {
         path_rels: Vec<RelId>,
         rel_pat: &RelPattern,
         node_pat: &NodePattern,
-        results: &mut Vec<Record>,
+        keys: Option<Vec<PatKey>>,
+        results: &mut Vec<(Record, Option<Vec<PatKey>>)>,
     ) -> Result<()> {
+        // The planner never reverses var-length patterns, so key tokens can
+        // be recorded in traversal order.
+        debug_assert!(!pats.reversed(pi) || keys.is_none());
         let len = rel_pat.length.expect("caller checked");
         if rel_pat.var.is_some() && env.is_bound(rel_pat.var.as_ref().unwrap()) {
             return Err(EvalError::VariableClash(
@@ -461,8 +597,19 @@ impl<'a> Matcher<'a> {
                     nodes2.extend(frame.segment_nodes.iter().copied());
                     let mut rels2 = path_rels.clone();
                     rels2.extend(frame.segment_rels.iter().copied());
+                    let mut keys2 = keys.clone();
+                    if let Some(ks) = &mut keys2 {
+                        let k = &mut ks[pats.orig(pi)];
+                        let mut prev = cur;
+                        for (i, &r) in frame.segment_rels.iter().enumerate() {
+                            let class = rel_class(self.graph(), rel_pat.direction, prev, r);
+                            k.push((2 + class, r.raw()));
+                            prev = frame.segment_nodes[i];
+                        }
+                        k.push(TOK_TERM);
+                    }
                     self.go_steps(
-                        patterns,
+                        pats,
                         pi,
                         si + 1,
                         frame.node,
@@ -470,6 +617,7 @@ impl<'a> Matcher<'a> {
                         used2,
                         nodes2,
                         rels2,
+                        keys2,
                         results,
                     )?;
                 }
@@ -524,8 +672,31 @@ impl<'a> Matcher<'a> {
             }
             None => None,
         };
+        // Resolve the type constraint to interned symbols once per call: a
+        // single type selects its adjacency partition directly; several
+        // types compare interned symbols per rel (no string lookups). A
+        // type that was never interned cannot label any relationship.
+        let mut single: Option<Symbol> = None;
+        let mut multi: Vec<Symbol> = Vec::new();
+        match rel_pat.types.len() {
+            0 => {}
+            1 => match g.try_sym(&rel_pat.types[0]) {
+                Some(s) => single = Some(s),
+                None => return Ok(vec![]),
+            },
+            _ => {
+                multi = rel_pat.types.iter().filter_map(|t| g.try_sym(t)).collect();
+                if multi.is_empty() {
+                    return Ok(vec![]);
+                }
+            }
+        }
+        let iter = match single {
+            Some(ty) => g.rels_typed(cur, dir, ty),
+            None => g.rels_iter(cur, dir),
+        };
         let mut out = Vec::new();
-        for rel in g.rels_of(cur, dir) {
+        for rel in iter {
             if self.mode == MatchMode::EdgeIsomorphic && used.contains(&rel) {
                 continue;
             }
@@ -535,11 +706,8 @@ impl<'a> Matcher<'a> {
                 }
             }
             let Some(data) = g.rel(rel) else { continue };
-            if !rel_pat.types.is_empty() {
-                let type_name = g.sym_str(data.rel_type);
-                if !rel_pat.types.iter().any(|t| t == type_name) {
-                    continue;
-                }
+            if !multi.is_empty() && !multi.contains(&data.rel_type) {
+                continue;
             }
             if !self.props_match(env, cypher_graph::EntityRef::Rel(rel), &rel_pat.props)? {
                 continue;
@@ -596,14 +764,18 @@ impl<'a> Matcher<'a> {
                 break 'probe;
             }
         }
+        // Scan the *smallest* label of the pattern: the final candidate set
+        // (and its ascending order) is the same whichever label is scanned,
+        // since `node_accepts_unbound` re-checks every label.
         let candidates: Vec<NodeId> = match indexed {
             Some(hits) => hits,
-            None => match np.labels.first() {
-                Some(first_label) => match g.try_sym(first_label) {
-                    Some(sym) => g.nodes_with_label(sym).collect(),
-                    None => return Ok(vec![]),
-                },
-                None => g.node_ids().collect(),
+            None => match crate::plan::smallest_label(g, np) {
+                Some((label, _)) => {
+                    let sym = g.try_sym(&label).expect("smallest_label interned it");
+                    g.nodes_with_label(sym).collect()
+                }
+                None if np.labels.is_empty() => g.node_ids().collect(),
+                None => return Ok(vec![]),
             },
         };
         let mut out = Vec::new();

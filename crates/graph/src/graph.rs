@@ -20,11 +20,14 @@
 //! processing order, never through accidental hash-map ordering.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::{GraphError, Result};
 use crate::ids::{EntityRef, NodeId, RelId};
 use crate::interner::{Interner, Symbol};
 use crate::value::Value;
+
+const EMPTY_ADJ: &[RelId] = &[];
 
 /// Property map of a node or relationship: interned keys to storable values.
 /// `null` is never stored — assigning `null` removes the key (Cypher rule).
@@ -56,6 +59,147 @@ pub enum Direction {
     Incoming,
     /// Both.
     Either,
+}
+
+/// Per-node adjacency: the canonical insertion-ordered list plus per-type
+/// partitions, so typed traversals touch only matching relationships.
+///
+/// Invariant: `by_type[t]` is exactly the subsequence of `all` whose
+/// relationships have type `t`, in the same relative order, and `loops`
+/// counts the self-loops present in `all`. Undo restores positions in `all`,
+/// and the partition insertion point is recomputed from the prefix, so the
+/// invariant survives rollback.
+#[derive(Clone, Debug, Default)]
+struct AdjList {
+    all: Vec<RelId>,
+    by_type: BTreeMap<Symbol, Vec<RelId>>,
+    loops: usize,
+}
+
+impl AdjList {
+    fn push(&mut self, id: RelId, rel_type: Symbol, is_loop: bool) {
+        self.all.push(id);
+        self.by_type.entry(rel_type).or_default().push(id);
+        if is_loop {
+            self.loops += 1;
+        }
+    }
+
+    /// Remove `id`, returning the position it occupied in `all`.
+    fn remove(&mut self, id: RelId, rel_type: Symbol, is_loop: bool) -> Option<usize> {
+        let pos = self.all.iter().position(|&r| r == id)?;
+        self.all.remove(pos);
+        if let Some(part) = self.by_type.get_mut(&rel_type) {
+            if let Some(p) = part.iter().position(|&r| r == id) {
+                part.remove(p);
+            }
+            if part.is_empty() {
+                self.by_type.remove(&rel_type);
+            }
+        }
+        if is_loop {
+            self.loops -= 1;
+        }
+        Some(pos)
+    }
+
+    /// Re-insert `id` at `pos` of `all` (undo of a deletion). The partition
+    /// insertion point is the number of same-type relationships before
+    /// `pos`, which keeps `by_type` a stable filter of `all`.
+    fn insert_at(
+        &mut self,
+        pos: usize,
+        id: RelId,
+        rel_type: Symbol,
+        is_loop: bool,
+        rels: &BTreeMap<RelId, RelData>,
+    ) {
+        let pos = pos.min(self.all.len());
+        let part_pos = self.all[..pos]
+            .iter()
+            .filter(|r| rels.get(r).map(|d| d.rel_type == rel_type).unwrap_or(false))
+            .count();
+        self.all.insert(pos, id);
+        let part = self.by_type.entry(rel_type).or_default();
+        part.insert(part_pos.min(part.len()), id);
+        if is_loop {
+            self.loops += 1;
+        }
+    }
+
+    /// Rebuild partitions from a plain ordered rel list (undo of a node
+    /// deletion journals only `all`; every listed rel is live again by the
+    /// time the node's deletion is undone, because undo runs in reverse).
+    fn rebuild(all: Vec<RelId>, rels: &BTreeMap<RelId, RelData>) -> Self {
+        let mut list = AdjList::default();
+        for &id in &all {
+            let data = rels.get(&id).expect("adjacency refers to live rel");
+            list.by_type.entry(data.rel_type).or_default().push(id);
+            if data.src == data.tgt {
+                list.loops += 1;
+            }
+        }
+        list.all = all;
+        list
+    }
+}
+
+/// Borrowing iterator over a node's adjacency; see
+/// [`PropertyGraph::rels_iter`] / [`PropertyGraph::rels_typed`]. Yields the
+/// same relationships in the same order as [`PropertyGraph::rels_of`]
+/// (filtered by type for the typed variant) without allocating.
+pub struct AdjIter<'g> {
+    first: std::slice::Iter<'g, RelId>,
+    second: std::slice::Iter<'g, RelId>,
+    /// `Some` when self-loops must be skipped in `second` (`Either` on a
+    /// node that has at least one self-loop).
+    dedup: Option<&'g BTreeMap<RelId, RelData>>,
+}
+
+impl Iterator for AdjIter<'_> {
+    type Item = RelId;
+
+    fn next(&mut self) -> Option<RelId> {
+        if let Some(&r) = self.first.next() {
+            return Some(r);
+        }
+        for &r in self.second.by_ref() {
+            match self.dedup {
+                None => return Some(r),
+                Some(rels) => {
+                    if rels.get(&r).map(|d| d.src != d.tgt).unwrap_or(true) {
+                        return Some(r);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let lo = self.first.len()
+            + if self.dedup.is_some() {
+                0
+            } else {
+                self.second.len()
+            };
+        (lo, Some(self.first.len() + self.second.len()))
+    }
+}
+
+/// Size and usage statistics of one composite property index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexStats {
+    pub label: Symbol,
+    pub key: Symbol,
+    /// Total `(value, node)` postings.
+    pub entries: usize,
+    /// Distinct indexed values.
+    pub distinct: usize,
+    /// Probes that found at least one node.
+    pub hits: u64,
+    /// Probes that found none.
+    pub misses: u64,
 }
 
 /// How to treat relationships attached to a node being deleted.
@@ -189,20 +333,46 @@ impl Ord for OrderedValue {
     }
 }
 
+/// One composite property index with always-on usage counters. The counters
+/// are atomics only so that probes can count through `&self`; the graph is
+/// not otherwise concurrent.
+#[derive(Debug, Default)]
+struct PropIndex {
+    map: BTreeMap<OrderedValue, BTreeSet<NodeId>>,
+    /// Total `(value, node)` postings, maintained incrementally.
+    entries: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Clone for PropIndex {
+    fn clone(&self) -> Self {
+        PropIndex {
+            map: self.map.clone(),
+            entries: self.entries,
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 /// An in-memory property graph with tombstones and an undo journal.
 #[derive(Clone, Debug, Default)]
 pub struct PropertyGraph {
     interner: Interner,
     nodes: BTreeMap<NodeId, NodeData>,
     rels: BTreeMap<RelId, RelData>,
-    out_adj: BTreeMap<NodeId, Vec<RelId>>,
-    in_adj: BTreeMap<NodeId, Vec<RelId>>,
+    out_adj: BTreeMap<NodeId, AdjList>,
+    in_adj: BTreeMap<NodeId, AdjList>,
     label_index: BTreeMap<Symbol, BTreeSet<NodeId>>,
     tomb_nodes: BTreeSet<NodeId>,
     tomb_rels: BTreeSet<RelId>,
     /// Composite property indexes: (label, key) → value → nodes. Maintained
     /// through every mutation including journal rollback.
-    indexes: BTreeMap<(Symbol, Symbol), BTreeMap<OrderedValue, BTreeSet<NodeId>>>,
+    indexes: BTreeMap<(Symbol, Symbol), PropIndex>,
+    /// Live relationships per type, maintained incrementally through every
+    /// mutation including journal rollback (cardinality statistics).
+    rel_type_counts: BTreeMap<Symbol, usize>,
     next_node: u64,
     next_rel: u64,
     journal: Vec<UndoOp>,
@@ -294,28 +464,177 @@ impl PropertyGraph {
 
     /// Relationships attached to `node` in the given direction, in insertion
     /// order. A self-loop is reported once for `Either`.
+    ///
+    /// Allocates a fresh `Vec`; hot paths should prefer the borrowing
+    /// [`Self::rels_iter`] / [`Self::rels_typed`], which yield the same
+    /// relationships in the same order.
     pub fn rels_of(&self, node: NodeId, dir: Direction) -> Vec<RelId> {
-        let out = self.out_adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
-        let inc = self.in_adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+        self.rels_iter(node, dir).collect()
+    }
+
+    /// Outgoing adjacency of `node` as a borrowed slice, insertion order.
+    pub fn rels_out(&self, node: NodeId) -> &[RelId] {
+        self.out_adj
+            .get(&node)
+            .map(|l| l.all.as_slice())
+            .unwrap_or(EMPTY_ADJ)
+    }
+
+    /// Incoming adjacency of `node` as a borrowed slice, insertion order.
+    pub fn rels_in(&self, node: NodeId) -> &[RelId] {
+        self.in_adj
+            .get(&node)
+            .map(|l| l.all.as_slice())
+            .unwrap_or(EMPTY_ADJ)
+    }
+
+    /// Allocation-free version of [`Self::rels_of`]: same relationships in
+    /// the same order, self-loops reported once for `Either`.
+    pub fn rels_iter(&self, node: NodeId, dir: Direction) -> AdjIter<'_> {
+        let out = self.rels_out(node);
+        let inc_list = self.in_adj.get(&node);
+        let inc = inc_list.map(|l| l.all.as_slice()).unwrap_or(EMPTY_ADJ);
         match dir {
-            Direction::Outgoing => out.to_vec(),
-            Direction::Incoming => inc.to_vec(),
-            Direction::Either => {
-                let mut v = out.to_vec();
-                for r in inc {
-                    // Avoid double-reporting self-loops.
-                    if self.rels.get(r).map(|d| d.src != d.tgt).unwrap_or(true) {
-                        v.push(*r);
-                    }
-                }
-                v
-            }
+            Direction::Outgoing => AdjIter {
+                first: out.iter(),
+                second: EMPTY_ADJ.iter(),
+                dedup: None,
+            },
+            Direction::Incoming => AdjIter {
+                first: inc.iter(),
+                second: EMPTY_ADJ.iter(),
+                dedup: None,
+            },
+            Direction::Either => AdjIter {
+                first: out.iter(),
+                second: inc.iter(),
+                dedup: inc_list.filter(|l| l.loops > 0).map(|_| &self.rels),
+            },
+        }
+    }
+
+    /// Relationships of `node` in `dir` whose type is `ty`, via the per-type
+    /// adjacency partitions: the order equals [`Self::rels_of`] filtered by
+    /// type (partitions are stable filters of the insertion-ordered list).
+    pub fn rels_typed(&self, node: NodeId, dir: Direction, ty: Symbol) -> AdjIter<'_> {
+        let out = self
+            .out_adj
+            .get(&node)
+            .and_then(|l| l.by_type.get(&ty))
+            .map(Vec::as_slice)
+            .unwrap_or(EMPTY_ADJ);
+        let inc_list = self.in_adj.get(&node);
+        let inc = inc_list
+            .and_then(|l| l.by_type.get(&ty))
+            .map(Vec::as_slice)
+            .unwrap_or(EMPTY_ADJ);
+        match dir {
+            Direction::Outgoing => AdjIter {
+                first: out.iter(),
+                second: EMPTY_ADJ.iter(),
+                dedup: None,
+            },
+            Direction::Incoming => AdjIter {
+                first: inc.iter(),
+                second: EMPTY_ADJ.iter(),
+                dedup: None,
+            },
+            Direction::Either => AdjIter {
+                first: out.iter(),
+                second: inc.iter(),
+                dedup: inc_list.filter(|l| l.loops > 0).map(|_| &self.rels),
+            },
         }
     }
 
     /// Number of relationships attached to `node` (self-loops count once).
+    /// O(1): list lengths minus the incoming self-loop count.
     pub fn degree(&self, node: NodeId) -> usize {
-        self.rels_of(node, Direction::Either).len()
+        let out = self.out_adj.get(&node).map(|l| l.all.len()).unwrap_or(0);
+        let (inc, loops) = self
+            .in_adj
+            .get(&node)
+            .map(|l| (l.all.len(), l.loops))
+            .unwrap_or((0, 0));
+        out + inc - loops
+    }
+
+    /// Number of relationships attached to `node` in one direction, O(1).
+    pub fn degree_dir(&self, node: NodeId, dir: Direction) -> usize {
+        match dir {
+            Direction::Outgoing => self.rels_out(node).len(),
+            Direction::Incoming => self.rels_in(node).len(),
+            Direction::Either => self.degree(node),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cardinality statistics (always on, maintained incrementally)
+    // ------------------------------------------------------------------
+
+    /// Number of live nodes carrying `label` — O(log n) off the label index.
+    pub fn label_count(&self, label: Symbol) -> usize {
+        self.label_index.get(&label).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// Number of live relationships of type `ty`, maintained incrementally.
+    pub fn rel_type_count(&self, ty: Symbol) -> usize {
+        self.rel_type_counts.get(&ty).copied().unwrap_or(0)
+    }
+
+    /// Live `(label, node count)` pairs, ascending by symbol, zero counts
+    /// skipped.
+    pub fn label_counts(&self) -> impl Iterator<Item = (Symbol, usize)> + '_ {
+        self.label_index
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(&l, s)| (l, s.len()))
+    }
+
+    /// Live `(rel type, count)` pairs, ascending by symbol.
+    pub fn rel_type_counts(&self) -> impl Iterator<Item = (Symbol, usize)> + '_ {
+        self.rel_type_counts.iter().map(|(&t, &c)| (t, c))
+    }
+
+    /// Expected rows from an exact probe of the `(label, key)` index: the
+    /// average bucket size. `None` if the index doesn't exist, `0.0` if it
+    /// is empty.
+    pub fn index_selectivity(&self, label: Symbol, key: Symbol) -> Option<f64> {
+        let idx = self.indexes.get(&(label, key))?;
+        if idx.map.is_empty() {
+            return Some(0.0);
+        }
+        Some(idx.entries as f64 / idx.map.len() as f64)
+    }
+
+    /// Exact bucket size for a known probe value, without touching the
+    /// hit/miss counters (planner estimation only).
+    pub fn index_bucket_size(&self, label: Symbol, key: Symbol, value: &Value) -> Option<usize> {
+        let idx = self.indexes.get(&(label, key))?;
+        if value.is_null() {
+            return Some(0);
+        }
+        Some(
+            idx.map
+                .get(&OrderedValue(value.clone()))
+                .map(BTreeSet::len)
+                .unwrap_or(0),
+        )
+    }
+
+    /// Size and usage statistics for every index, ascending by (label, key).
+    pub fn index_stats(&self) -> Vec<IndexStats> {
+        self.indexes
+            .iter()
+            .map(|(&(label, key), idx)| IndexStats {
+                label,
+                key,
+                entries: idx.entries,
+                distinct: idx.map.len(),
+                hits: idx.hits.load(Ordering::Relaxed),
+                misses: idx.misses.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Read a property; `null` for missing keys, missing entities and
@@ -380,18 +699,26 @@ impl PropertyGraph {
         if self.indexes.contains_key(&(label, key)) {
             return false;
         }
-        let mut entries: BTreeMap<OrderedValue, BTreeSet<NodeId>> = BTreeMap::new();
+        let mut map: BTreeMap<OrderedValue, BTreeSet<NodeId>> = BTreeMap::new();
+        let mut entries = 0usize;
         if let Some(nodes) = self.label_index.get(&label) {
             for &n in nodes {
                 if let Some(v) = self.nodes.get(&n).and_then(|d| d.props.get(&key)) {
-                    entries
-                        .entry(OrderedValue(v.clone()))
-                        .or_default()
-                        .insert(n);
+                    if map.entry(OrderedValue(v.clone())).or_default().insert(n) {
+                        entries += 1;
+                    }
                 }
             }
         }
-        self.indexes.insert((label, key), entries);
+        self.indexes.insert(
+            (label, key),
+            PropIndex {
+                map,
+                entries,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            },
+        );
         true
     }
 
@@ -411,34 +738,48 @@ impl PropertyGraph {
 
     /// Exact-value lookup through an index. `None` when no index exists on
     /// `(label, key)`; `Some(vec![])` when the index exists but holds no
-    /// such value. A `null` probe never matches (it is not stored).
+    /// such value. A `null` probe never matches (it is not stored). Every
+    /// probe bumps the index's hit (≥1 node) or miss (0 nodes) counter.
     pub fn index_lookup(&self, label: Symbol, key: Symbol, value: &Value) -> Option<Vec<NodeId>> {
         let idx = self.indexes.get(&(label, key))?;
         if value.is_null() {
+            idx.misses.fetch_add(1, Ordering::Relaxed);
             return Some(vec![]);
         }
-        Some(
-            idx.get(&OrderedValue(value.clone()))
-                .map(|set| set.iter().copied().collect())
-                .unwrap_or_default(),
-        )
+        match idx.map.get(&OrderedValue(value.clone())) {
+            Some(set) => {
+                idx.hits.fetch_add(1, Ordering::Relaxed);
+                Some(set.iter().copied().collect())
+            }
+            None => {
+                idx.misses.fetch_add(1, Ordering::Relaxed);
+                Some(vec![])
+            }
+        }
     }
 
     fn index_insert(&mut self, label: Symbol, key: Symbol, value: &Value, node: NodeId) {
         if let Some(idx) = self.indexes.get_mut(&(label, key)) {
-            idx.entry(OrderedValue(value.clone()))
+            if idx
+                .map
+                .entry(OrderedValue(value.clone()))
                 .or_default()
-                .insert(node);
+                .insert(node)
+            {
+                idx.entries += 1;
+            }
         }
     }
 
     fn index_remove(&mut self, label: Symbol, key: Symbol, value: &Value, node: NodeId) {
         if let Some(idx) = self.indexes.get_mut(&(label, key)) {
             let probe = OrderedValue(value.clone());
-            if let Some(set) = idx.get_mut(&probe) {
-                set.remove(&node);
+            if let Some(set) = idx.map.get_mut(&probe) {
+                if set.remove(&node) {
+                    idx.entries -= 1;
+                }
                 if set.is_empty() {
-                    idx.remove(&probe);
+                    idx.map.remove(&probe);
                 }
             }
         }
@@ -549,8 +890,8 @@ impl PropertyGraph {
             });
         }
         self.nodes.insert(id, data);
-        self.out_adj.insert(id, Vec::new());
-        self.in_adj.insert(id, Vec::new());
+        self.out_adj.insert(id, AdjList::default());
+        self.in_adj.insert(id, AdjList::default());
         self.journal.push(UndoOp::CreateNode(id));
         id
     }
@@ -596,8 +937,16 @@ impl PropertyGraph {
                 props,
             },
         );
-        self.out_adj.entry(src).or_default().push(id);
-        self.in_adj.entry(tgt).or_default().push(id);
+        let is_loop = src == tgt;
+        self.out_adj
+            .entry(src)
+            .or_default()
+            .push(id, rel_type, is_loop);
+        self.in_adj
+            .entry(tgt)
+            .or_default()
+            .push(id, rel_type, is_loop);
+        *self.rel_type_counts.entry(rel_type).or_default() += 1;
         self.journal.push(UndoOp::CreateRel(id));
         Ok(id)
     }
@@ -609,6 +958,7 @@ impl PropertyGraph {
         let data = self.rels.remove(&id).ok_or(GraphError::RelNotFound(id))?;
         let src_pos = self.detach_from_adj(&data, id, Direction::Outgoing);
         let tgt_pos = self.detach_from_adj(&data, id, Direction::Incoming);
+        self.note_rel_removed(data.rel_type);
         self.tomb_rels.insert(id);
         if self.delta_enabled {
             self.delta.push(DeltaOp::DeleteRel { id });
@@ -629,9 +979,17 @@ impl PropertyGraph {
             Direction::Either => unreachable!(),
         };
         let list = map.get_mut(&node)?;
-        let pos = list.iter().position(|&r| r == id)?;
-        list.remove(pos);
-        Some(pos)
+        list.remove(id, data.rel_type, data.src == data.tgt)
+    }
+
+    /// Decrement the per-type relationship counter.
+    fn note_rel_removed(&mut self, ty: Symbol) {
+        if let Some(c) = self.rel_type_counts.get_mut(&ty) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.rel_type_counts.remove(&ty);
+            }
+        }
     }
 
     /// Delete a node. Returns the ids of any relationships deleted alongside
@@ -664,8 +1022,8 @@ impl PropertyGraph {
                 set.remove(&id);
             }
         }
-        let out = self.out_adj.remove(&id).unwrap_or_default();
-        let inc = self.in_adj.remove(&id).unwrap_or_default();
+        let out = self.out_adj.remove(&id).unwrap_or_default().all;
+        let inc = self.in_adj.remove(&id).unwrap_or_default().all;
         self.tomb_nodes.insert(id);
         if self.delta_enabled {
             self.delta.push(DeltaOp::DeleteNode { id });
@@ -906,8 +1264,8 @@ impl PropertyGraph {
         }
         self.index_node_full(id, &data);
         self.nodes.insert(id, data);
-        self.out_adj.insert(id, Vec::new());
-        self.in_adj.insert(id, Vec::new());
+        self.out_adj.insert(id, AdjList::default());
+        self.in_adj.insert(id, AdjList::default());
         self.next_node = self.next_node.max(id.0 + 1);
     }
 
@@ -928,8 +1286,16 @@ impl PropertyGraph {
         if !self.nodes.contains_key(&data.tgt) {
             return Err(GraphError::EndpointMissing { endpoint: data.tgt });
         }
-        self.out_adj.entry(data.src).or_default().push(id);
-        self.in_adj.entry(data.tgt).or_default().push(id);
+        let is_loop = data.src == data.tgt;
+        self.out_adj
+            .entry(data.src)
+            .or_default()
+            .push(id, data.rel_type, is_loop);
+        self.in_adj
+            .entry(data.tgt)
+            .or_default()
+            .push(id, data.rel_type, is_loop);
+        *self.rel_type_counts.entry(data.rel_type).or_default() += 1;
         self.next_rel = self.next_rel.max(id.0 + 1);
         self.rels.insert(id, data);
         Ok(())
@@ -991,12 +1357,14 @@ impl PropertyGraph {
             }
             UndoOp::CreateRel(id) => {
                 let data = self.rels.remove(&id).expect("undo create: rel exists");
+                let is_loop = data.src == data.tgt;
                 if let Some(list) = self.out_adj.get_mut(&data.src) {
-                    list.retain(|&r| r != id);
+                    list.remove(id, data.rel_type, is_loop);
                 }
                 if let Some(list) = self.in_adj.get_mut(&data.tgt) {
-                    list.retain(|&r| r != id);
+                    list.remove(id, data.rel_type, is_loop);
                 }
+                self.note_rel_removed(data.rel_type);
                 self.tomb_rels.remove(&id);
             }
             UndoOp::DeleteRel {
@@ -1005,12 +1373,18 @@ impl PropertyGraph {
                 src_pos,
                 tgt_pos,
             } => {
-                if let (Some(pos), Some(list)) = (src_pos, self.out_adj.get_mut(&data.src)) {
-                    list.insert(pos.min(list.len()), id);
+                let is_loop = data.src == data.tgt;
+                if let Some(pos) = src_pos {
+                    if let Some(list) = self.out_adj.get_mut(&data.src) {
+                        list.insert_at(pos, id, data.rel_type, is_loop, &self.rels);
+                    }
                 }
-                if let (Some(pos), Some(list)) = (tgt_pos, self.in_adj.get_mut(&data.tgt)) {
-                    list.insert(pos.min(list.len()), id);
+                if let Some(pos) = tgt_pos {
+                    if let Some(list) = self.in_adj.get_mut(&data.tgt) {
+                        list.insert_at(pos, id, data.rel_type, is_loop, &self.rels);
+                    }
                 }
+                *self.rel_type_counts.entry(data.rel_type).or_default() += 1;
                 self.rels.insert(id, data);
                 self.tomb_rels.remove(&id);
             }
@@ -1020,6 +1394,10 @@ impl PropertyGraph {
                 }
                 self.index_node_full(id, &data);
                 self.nodes.insert(id, data);
+                // Undo runs newest-first, so every relationship listed here
+                // is live again by now; partitions rebuild from their types.
+                let out = AdjList::rebuild(out, &self.rels);
+                let inc = AdjList::rebuild(inc, &self.rels);
                 self.out_adj.insert(id, out);
                 self.in_adj.insert(id, inc);
                 self.tomb_nodes.remove(&id);
@@ -1294,6 +1672,138 @@ mod tests {
         }
         g.delete_node(ids[0], DeleteNodeMode::Strict).unwrap();
         g.integrity_check().unwrap();
+    }
+
+    /// Check `rels_iter`/`rels_typed`/`degree` against the reference
+    /// `rels_of` on every node and direction.
+    fn check_adjacency_consistency(g: &PropertyGraph) {
+        use Direction::*;
+        let types: Vec<Symbol> = g.rel_type_counts().map(|(t, _)| t).collect();
+        for n in g.node_ids() {
+            for dir in [Outgoing, Incoming, Either] {
+                let reference = g.rels_of(n, dir);
+                assert_eq!(g.rels_iter(n, dir).collect::<Vec<_>>(), reference);
+                for &ty in &types {
+                    let filtered: Vec<RelId> = reference
+                        .iter()
+                        .copied()
+                        .filter(|r| g.rel(*r).map(|d| d.rel_type == ty).unwrap_or(false))
+                        .collect();
+                    assert_eq!(g.rels_typed(n, dir, ty).collect::<Vec<_>>(), filtered);
+                }
+            }
+            assert_eq!(g.degree(n), g.rels_of(n, Either).len());
+        }
+    }
+
+    #[test]
+    fn typed_partitions_match_filtered_adjacency() {
+        let mut g = PropertyGraph::new();
+        let a_t = g.sym("A");
+        let b_t = g.sym("B");
+        let n1 = g.create_node([], []);
+        let n2 = g.create_node([], []);
+        g.create_rel(n1, a_t, n2, []).unwrap();
+        g.create_rel(n1, b_t, n2, []).unwrap();
+        let r3 = g.create_rel(n2, a_t, n1, []).unwrap();
+        g.create_rel(n1, a_t, n1, []).unwrap(); // self-loop
+        g.create_rel(n1, a_t, n2, []).unwrap();
+        check_adjacency_consistency(&g);
+        g.delete_rel(r3).unwrap();
+        check_adjacency_consistency(&g);
+    }
+
+    #[test]
+    fn partitions_survive_rollback() {
+        let mut g = PropertyGraph::new();
+        let a_t = g.sym("A");
+        let b_t = g.sym("B");
+        let n1 = g.create_node([], []);
+        let n2 = g.create_node([], []);
+        let r1 = g.create_rel(n1, a_t, n2, []).unwrap();
+        let r2 = g.create_rel(n1, b_t, n2, []).unwrap();
+        let r3 = g.create_rel(n1, a_t, n2, []).unwrap();
+        let sp = g.savepoint();
+        g.delete_rel(r1).unwrap();
+        g.create_rel(n1, a_t, n2, []).unwrap();
+        g.delete_node(n2, DeleteNodeMode::Detach).unwrap();
+        g.rollback_to(sp);
+        check_adjacency_consistency(&g);
+        assert_eq!(g.rels_of(n1, Direction::Outgoing), vec![r1, r2, r3]);
+        assert_eq!(
+            g.rels_typed(n1, Direction::Outgoing, a_t)
+                .collect::<Vec<_>>(),
+            vec![r1, r3]
+        );
+        assert_eq!(g.rel_type_count(a_t), 2);
+        assert_eq!(g.rel_type_count(b_t), 1);
+    }
+
+    #[test]
+    fn self_loop_rollback_keeps_loop_count() {
+        let mut g = PropertyGraph::new();
+        let t = g.sym("LOOP");
+        let a = g.create_node([], []);
+        let r = g.create_rel(a, t, a, []).unwrap();
+        let sp = g.savepoint();
+        g.delete_rel(r).unwrap();
+        assert_eq!(g.degree(a), 0);
+        g.rollback_to(sp);
+        assert_eq!(g.degree(a), 1);
+        check_adjacency_consistency(&g);
+        let sp2 = g.savepoint();
+        g.delete_node(a, DeleteNodeMode::Detach).unwrap();
+        g.rollback_to(sp2);
+        assert_eq!(g.degree(a), 1);
+        check_adjacency_consistency(&g);
+    }
+
+    #[test]
+    fn rel_type_counts_track_mutations() {
+        let (mut g, ids) = marketplace();
+        let ordered = g.try_sym("ORDERED").unwrap();
+        assert_eq!(g.rel_type_count(ordered), 1);
+        let sp = g.savepoint();
+        g.delete_node(ids[1], DeleteNodeMode::Detach).unwrap();
+        assert_eq!(g.rel_type_count(ordered), 0);
+        g.rollback_to(sp);
+        assert_eq!(g.rel_type_count(ordered), 1);
+        assert_eq!(g.rel_type_counts().collect::<Vec<_>>(), vec![(ordered, 1)]);
+    }
+
+    #[test]
+    fn label_counts_skip_emptied_labels() {
+        let mut g = PropertyGraph::new();
+        let l = g.sym("User");
+        let n = g.create_node([l], []);
+        assert_eq!(g.label_count(l), 1);
+        g.remove_label(n, l).unwrap();
+        assert_eq!(g.label_count(l), 0);
+        assert!(g.label_counts().next().is_none());
+    }
+
+    #[test]
+    fn index_counters_and_selectivity() {
+        let mut g = PropertyGraph::new();
+        let user = g.sym("User");
+        let id_k = g.sym("id");
+        for i in 0..4 {
+            g.create_node([user], [(id_k, Value::Int(i))]);
+        }
+        g.create_index(user, id_k);
+        assert_eq!(g.index_selectivity(user, id_k), Some(1.0));
+        assert_eq!(g.index_bucket_size(user, id_k, &Value::Int(2)), Some(1));
+        g.index_lookup(user, id_k, &Value::Int(2)).unwrap();
+        g.index_lookup(user, id_k, &Value::Int(99)).unwrap();
+        let stats = g.index_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].entries, 4);
+        assert_eq!(stats[0].distinct, 4);
+        assert_eq!(stats[0].hits, 1);
+        assert_eq!(stats[0].misses, 1);
+        // Estimation probes do not count.
+        g.index_bucket_size(user, id_k, &Value::Int(3));
+        assert_eq!(g.index_stats()[0].hits, 1);
     }
 
     #[test]

@@ -32,11 +32,12 @@ pub mod value;
 
 pub use error::{GraphError, Result};
 pub use graph::{
-    DeleteNodeMode, DeltaOp, Direction, NodeData, PropertyGraph, PropertyMap, RelData, Savepoint,
+    AdjIter, DeleteNodeMode, DeltaOp, Direction, IndexStats, NodeData, PropertyGraph, PropertyMap,
+    RelData, Savepoint,
 };
 pub use ids::{EntityRef, NodeId, RelId};
 pub use interner::{Interner, Symbol};
 pub use iso::isomorphic;
-pub use stats::GraphSummary;
+pub use stats::{CardinalityStats, GraphSummary};
 pub use txn::Transaction;
 pub use value::{PathValue, Ternary, Value};

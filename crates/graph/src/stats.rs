@@ -9,6 +9,79 @@ use std::fmt;
 
 use crate::graph::PropertyGraph;
 
+/// Live cardinality statistics, read off the store's incrementally
+/// maintained counters in O(labels + types + indexes) — no graph scan.
+/// This is what the planner consults and what the shell's `:stats` prints.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct CardinalityStats {
+    pub nodes: usize,
+    pub rels: usize,
+    /// Live nodes per label (zero counts omitted).
+    pub labels: BTreeMap<String, usize>,
+    /// Live relationships per type.
+    pub rel_types: BTreeMap<String, usize>,
+    /// Per-index: (label, key, postings, distinct values, hits, misses).
+    pub indexes: Vec<(String, String, usize, usize, u64, u64)>,
+}
+
+impl CardinalityStats {
+    pub fn of(graph: &PropertyGraph) -> Self {
+        CardinalityStats {
+            nodes: graph.node_count(),
+            rels: graph.rel_count(),
+            labels: graph
+                .label_counts()
+                .map(|(l, c)| (graph.sym_str(l).to_owned(), c))
+                .collect(),
+            rel_types: graph
+                .rel_type_counts()
+                .map(|(t, c)| (graph.sym_str(t).to_owned(), c))
+                .collect(),
+            indexes: graph
+                .index_stats()
+                .into_iter()
+                .map(|s| {
+                    (
+                        graph.sym_str(s.label).to_owned(),
+                        graph.sym_str(s.key).to_owned(),
+                        s.entries,
+                        s.distinct,
+                        s.hits,
+                        s.misses,
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for CardinalityStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} nodes, {} rels", self.nodes, self.rels)?;
+        for (l, c) in &self.labels {
+            writeln!(f, "  label :{l} × {c}")?;
+        }
+        for (t, c) in &self.rel_types {
+            writeln!(f, "  type :{t} × {c}")?;
+        }
+        if self.indexes.is_empty() {
+            write!(f, "  no indexes")?;
+        } else {
+            for (i, (l, k, entries, distinct, hits, misses)) in self.indexes.iter().enumerate() {
+                if i > 0 {
+                    writeln!(f)?;
+                }
+                write!(
+                    f,
+                    "  index :{l}({k}): {entries} entries, {distinct} distinct, \
+                     {hits} hits, {misses} misses"
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Shape summary of a property graph.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct GraphSummary {

@@ -16,6 +16,15 @@ torture:
 guards:
     cargo test -q --offline --test exec_guard_props
 
+# Planner performance harness: full run over the ≥10k-node marketplace,
+# asserts the ≥5x W1 speedup and rewrites BENCH_3.json.
+bench:
+    cargo run -p cypher-bench --bin bench --release --offline -q
+
+# Fast smoke mode of the harness (tiny graph, assertions only, no JSON).
+bench-check:
+    cargo run -p cypher-bench --bin bench --offline -q -- --check
+
 # Scoped lint: the storage crate bans unwrap()/expect() outside tests.
 clippy-storage:
     cargo clippy -p cypher-storage --offline -- -D warnings

@@ -44,6 +44,10 @@ run "torture" cargo test -q --offline --test storage_torture
 # Bench crate is excluded from default-members; make sure it still compiles.
 run "build (workspace incl. bench)" cargo build --workspace --offline
 
+# Planner bench smoke: tiny graph, asserts the planner picks the index
+# probe and agrees byte-for-byte with force_naive (full run: `just bench`).
+run "bench smoke" cargo run -p cypher-bench --bin bench --offline -q -- --check
+
 if cargo fmt --version >/dev/null 2>&1; then
     run "fmt" cargo fmt --all --check
 else

@@ -27,7 +27,7 @@
 //! | `:close` | checkpoint and detach from the store |
 //! | `:limits [rows N] [writes N] [time MS] \| off` | per-statement execution budgets |
 //! | `:dump` | print the graph |
-//! | `:stats` | print the graph summary |
+//! | `:stats` | print cardinality statistics and per-index hit/miss counters |
 //! | `:reset` | empty the graph |
 //! | `:quit` | exit |
 
@@ -38,7 +38,7 @@ use std::time::Duration;
 use cypher_core::{
     Dialect, Engine, EngineBuilder, ExecLimits, MatchMode, MergePolicy, ProcessingOrder,
 };
-use cypher_graph::{fmt::dump, GraphSummary, PropertyGraph, Value};
+use cypher_graph::{fmt::dump, CardinalityStats, GraphSummary, PropertyGraph, Value};
 use cypher_storage::DurableGraph;
 
 /// Where statements execute: a plain in-memory graph, or one bound to a
@@ -383,7 +383,13 @@ impl Shell {
                 }
             }
             ":dump" => print!("{}", dump(self.store.graph())),
-            ":stats" => println!("{}", GraphSummary::of(self.store.graph())),
+            ":stats" => {
+                // Shape summary (includes dangling count) followed by the
+                // planner's live cardinality stats and index hit/miss
+                // counters.
+                println!("{}", GraphSummary::of(self.store.graph()));
+                println!("{}", CardinalityStats::of(self.store.graph()));
+            }
             ":reset" => match &self.store {
                 Store::Memory(_) => {
                     self.store = Store::Memory(PropertyGraph::new());
