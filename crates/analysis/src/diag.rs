@@ -1,0 +1,204 @@
+//! Diagnostic model for the static analyzer.
+//!
+//! Every finding is a [`Diagnostic`]: a stable [`Code`], a [`Severity`], an
+//! optional byte [`Span`] into the analyzed source, a human message, and an
+//! optional note pointing at the paper section that motivates the check.
+
+use std::fmt;
+
+use cypher_parser::{render_caret, Span};
+
+/// How serious a diagnostic is.
+///
+/// Ordering matters: `Info < Warning < Error`, so "any diagnostic at least
+/// as severe as X" is a plain comparison.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// A migration hint; the query is fine as written.
+    Info,
+    /// The query is accepted but its behaviour is one of the paper's
+    /// documented anomalies (order dependence, zombies, read-own-writes).
+    Warning,
+    /// The query is wrong: it cannot behave as intended under the selected
+    /// dialect (unbound variables, kind mismatches, dialect violations).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes.
+///
+/// `Exx` codes are correctness errors; `Wxx` codes are the update hazards
+/// catalogued by the paper (see `DESIGN.md` §10 for the full mapping).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Code {
+    /// Dialect validation failure (§3 / §7 grammar restrictions).
+    E00DialectViolation,
+    /// Use of a variable that is not bound in the driving table.
+    E01UnboundVariable,
+    /// A variable is used with a kind incompatible with its binding
+    /// (node vs relationship vs path vs value).
+    E02KindMismatch,
+    /// An expression whose shape can never make sense (property access on
+    /// a scalar literal, arithmetic on a boolean, …).
+    E03BadShape,
+    /// One `SET` clause writes a property and then reads or re-writes it
+    /// (paper Example 1: the non-atomic swap).
+    W01ConflictingSet,
+    /// One `SET` clause both reads and writes the same property key across
+    /// different variables under a multi-row table (paper Example 2:
+    /// order-dependent result on dirty data).
+    W02OrderDependentSet,
+    /// Use of a deleted variable, or a non-`DETACH` `DELETE` of a node
+    /// known to have relationships (paper §4.2: dangling edges, zombies).
+    W03DeleteHazard,
+    /// Legacy `MERGE` over a multi-row table mixing bound and unbound
+    /// pattern elements: it reads its own writes (paper Example 3).
+    W04MergeReadsOwnWrites,
+    /// Legacy bare `MERGE` was removed in the revised language; suggest
+    /// `MERGE ALL` / `MERGE SAME` (§7).
+    W05LegacyMergeMigration,
+}
+
+impl Code {
+    /// Short stable code string, e.g. `"W01"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::E00DialectViolation => "E00",
+            Code::E01UnboundVariable => "E01",
+            Code::E02KindMismatch => "E02",
+            Code::E03BadShape => "E03",
+            Code::W01ConflictingSet => "W01",
+            Code::W02OrderDependentSet => "W02",
+            Code::W03DeleteHazard => "W03",
+            Code::W04MergeReadsOwnWrites => "W04",
+            Code::W05LegacyMergeMigration => "W05",
+        }
+    }
+
+    /// The fixed severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::E00DialectViolation
+            | Code::E01UnboundVariable
+            | Code::E02KindMismatch
+            | Code::E03BadShape => Severity::Error,
+            Code::W01ConflictingSet
+            | Code::W02OrderDependentSet
+            | Code::W03DeleteHazard
+            | Code::W04MergeReadsOwnWrites => Severity::Warning,
+            Code::W05LegacyMergeMigration => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    /// Byte span into the analyzed source, when one could be attributed.
+    pub span: Option<Span>,
+    pub message: String,
+    /// Secondary text: the paper reference and/or a suggested rewrite.
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(code: Code, span: Option<Span>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+            note: None,
+        }
+    }
+
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// Render with a caret line pointing into `source`, in the same format
+    /// parse and dialect errors use:
+    ///
+    /// ```text
+    /// warning[W01]: SET reads `p1.id` after writing it (line 1, column 64)
+    /// MATCH ... SET p1.id = p2.id, p2.id = p1.id
+    ///                                       ^
+    ///   note: legacy SET applies items per record, left to right (Example 1)
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let head = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        let mut out = match self.span {
+            Some(span) => render_caret(source, span, &head),
+            None => head,
+        };
+        if let Some(note) = &self.note {
+            out.push_str("\n  note: ");
+            out.push_str(note);
+        }
+        out
+    }
+}
+
+/// The highest severity among `diags`, if any.
+pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn codes_have_fixed_severities() {
+        assert_eq!(Code::W01ConflictingSet.severity(), Severity::Warning);
+        assert_eq!(Code::E01UnboundVariable.severity(), Severity::Error);
+        assert_eq!(Code::W05LegacyMergeMigration.severity(), Severity::Info);
+        assert_eq!(Code::W01ConflictingSet.as_str(), "W01");
+    }
+
+    #[test]
+    fn render_includes_code_caret_and_note() {
+        let src = "SET p.x = 1";
+        let d = Diagnostic::new(Code::W01ConflictingSet, Some(Span::new(4, 7)), "boom")
+            .with_note("see Example 1");
+        let r = d.render(src);
+        assert!(r.starts_with("warning[W01]: boom (line 1, column 5)"));
+        assert!(r.contains("SET p.x = 1"));
+        assert!(r.contains("    ^"));
+        assert!(r.ends_with("note: see Example 1"));
+    }
+
+    #[test]
+    fn max_severity_over_mixed() {
+        let diags = vec![
+            Diagnostic::new(Code::W05LegacyMergeMigration, None, "a"),
+            Diagnostic::new(Code::W02OrderDependentSet, None, "b"),
+        ];
+        assert_eq!(max_severity(&diags), Some(Severity::Warning));
+        assert_eq!(max_severity(&[]), None);
+    }
+}

@@ -1,0 +1,496 @@
+//! Pass 2 — update-hazard detection.
+//!
+//! Detects the defect catalogue of *Updating Graph Databases with Cypher*
+//! before execution:
+//!
+//! * **W01** — one `SET` clause writes a property and then reads or
+//!   re-writes it (the non-atomic swap of Example 1);
+//! * **W02** — one `SET` clause both reads and writes the same property
+//!   key through different variables while the driving table may hold
+//!   several rows (the order-dependent update of Example 2);
+//! * **W03** — use of a variable after `DELETE`, and non-`DETACH`
+//!   `DELETE` of a node with known incident relationships (§4.2);
+//! * **W04** — legacy `MERGE` under a multi-row table mixing bound and
+//!   unbound pattern elements: it reads its own writes, so the outcome
+//!   depends on row order (Example 3, Figure 6);
+//! * **W05** — migration hint: bare `MERGE` was removed in §7's revised
+//!   language in favour of `MERGE ALL` / `MERGE SAME`.
+
+use std::collections::{HashMap, HashSet};
+
+use cypher_graph::EntityKind;
+use cypher_parser::ast::{
+    Clause, Dialect, Expr, MergeKind, PathPattern, ProjectionItems, RemoveItem, SetItem,
+    SingleQuery,
+};
+use cypher_parser::{Span, Token};
+
+use crate::diag::{Code, Diagnostic};
+use crate::scope::{ClauseFacts, VarKind};
+use crate::spans::{clause_tokens, find_keyword, find_prop_ref, find_var};
+
+/// Run the hazard pass, consuming the scope pass's per-clause facts.
+pub fn hazard_pass(
+    source: &str,
+    sq: &SingleQuery,
+    dialect: Dialect,
+    facts: &[ClauseFacts],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (i, clause) in sq.clauses.iter().enumerate() {
+        let Some(f) = facts.get(i) else { break };
+        let span = sq.clause_span(i);
+        let tokens = span.and_then(|s| clause_tokens(source, s));
+        let ctx = ClauseCtx {
+            span,
+            tokens: tokens.as_deref(),
+            facts: f,
+            dialect,
+        };
+        check_use_after_delete(clause, &ctx, diags);
+        check_clause(clause, &ctx, ctx.facts.multi_row, diags);
+    }
+}
+
+struct ClauseCtx<'a> {
+    span: Option<Span>,
+    tokens: Option<&'a [Token]>,
+    facts: &'a ClauseFacts,
+    dialect: Dialect,
+}
+
+impl ClauseCtx<'_> {
+    fn prop_span(&self, var: &str, key: &str, nth: usize) -> Option<Span> {
+        self.tokens
+            .and_then(|t| find_prop_ref(t, var, key, nth))
+            .or(self.span)
+    }
+
+    fn var_span(&self, var: &str) -> Option<Span> {
+        self.tokens.and_then(|t| find_var(t, var, 0)).or(self.span)
+    }
+
+    fn keyword_span(&self, kw: &str) -> Option<Span> {
+        self.tokens.and_then(|t| find_keyword(t, kw)).or(self.span)
+    }
+}
+
+/// Dispatch hazard checks for one clause. `multi_row` is passed separately
+/// so `FOREACH` bodies (which iterate a list) can force it on.
+fn check_clause(clause: &Clause, ctx: &ClauseCtx, multi_row: bool, diags: &mut Vec<Diagnostic>) {
+    match clause {
+        Clause::Set { items } => check_set(items, ctx, multi_row, diags),
+        Clause::Delete { detach, exprs } => check_delete(*detach, exprs, ctx, diags),
+        Clause::Merge { kind, patterns, .. } => check_merge(*kind, patterns, ctx, multi_row, diags),
+        Clause::Foreach { body, .. } => {
+            for c in body {
+                check_clause(c, ctx, true, diags);
+            }
+        }
+        _ => {}
+    }
+}
+
+// ------------------------------------------------------------------
+// W01 / W02 — SET hazards
+// ------------------------------------------------------------------
+
+fn check_set(items: &[SetItem], ctx: &ClauseCtx, multi_row: bool, diags: &mut Vec<Diagnostic>) {
+    // (variable, key) pairs written by items processed so far.
+    let mut written: HashSet<(String, String)> = HashSet::new();
+    // Textual occurrence counters per (variable, key), for caret placement.
+    let mut occurrences: HashMap<(String, String), usize> = HashMap::new();
+    // Keys already reported as W01, to suppress the weaker W02 on them.
+    let mut w01_keys: HashSet<String> = HashSet::new();
+    // key -> writing variables; key -> (reading variable, occurrence).
+    let mut writes_by_key: HashMap<String, HashSet<String>> = HashMap::new();
+    let mut reads_by_key: HashMap<String, Vec<(String, usize)>> = HashMap::new();
+
+    let bump = |occ: &mut HashMap<(String, String), usize>, var: &str, key: &str| -> usize {
+        let slot = occ.entry((var.to_owned(), key.to_owned())).or_insert(0);
+        let n = *slot;
+        *slot += 1;
+        n
+    };
+
+    for item in items {
+        let SetItem::Property { target, key, value } = item else {
+            continue;
+        };
+        let Expr::Variable(tv) = target else { continue };
+        let write_occ = bump(&mut occurrences, tv, key);
+
+        // Reads in the right-hand side, in source order.
+        let mut reads = Vec::new();
+        collect_prop_reads(value, &mut reads);
+        for (rv, rk) in &reads {
+            let read_occ = bump(&mut occurrences, rv, rk);
+            if written.contains(&(rv.clone(), rk.clone())) && ctx.dialect == Dialect::Cypher9 {
+                diags.push(
+                    Diagnostic::new(
+                        Code::W01ConflictingSet,
+                        ctx.prop_span(rv, rk, read_occ),
+                        format!(
+                            "SET reads `{rv}.{rk}` after an earlier item in the same clause \
+                             wrote it; legacy SET applies items left to right, so the original \
+                             value is lost"
+                        ),
+                    )
+                    .with_note(
+                        "paper Example 1: the property swap silently fails under Cypher 9; \
+                         the revised atomic SET (§7) reads all right-hand sides first",
+                    ),
+                );
+                w01_keys.insert(rk.clone());
+            }
+            reads_by_key
+                .entry(rk.clone())
+                .or_default()
+                .push((rv.clone(), read_occ));
+        }
+
+        if !written.insert((tv.clone(), key.clone())) {
+            diags.push(
+                Diagnostic::new(
+                    Code::W01ConflictingSet,
+                    ctx.prop_span(tv, key, write_occ),
+                    format!("`{tv}.{key}` is assigned twice in one SET clause"),
+                )
+                .with_note(
+                    "under legacy semantics the last assignment silently wins; the revised \
+                     atomic SET (§7) aborts on conflicting values",
+                ),
+            );
+            w01_keys.insert(key.clone());
+        }
+        writes_by_key
+            .entry(key.clone())
+            .or_default()
+            .insert(tv.clone());
+    }
+
+    // W02: same key read and written through different variables. Only a
+    // hazard when several rows can interleave (Example 2's dirty data) and
+    // only under legacy semantics — the revised SET reads a snapshot.
+    if !multi_row || ctx.dialect != Dialect::Cypher9 {
+        return;
+    }
+    let mut reported: HashSet<String> = HashSet::new();
+    for (key, reads) in &reads_by_key {
+        if w01_keys.contains(key) || reported.contains(key) {
+            continue;
+        }
+        let Some(writers) = writes_by_key.get(key) else {
+            continue;
+        };
+        for (rv, occ) in reads {
+            if writers.iter().any(|w| w != rv) {
+                diags.push(
+                    Diagnostic::new(
+                        Code::W02OrderDependentSet,
+                        ctx.prop_span(rv, key, *occ),
+                        format!(
+                            "SET both reads and writes property `{key}` (read via `{rv}`) \
+                             while the driving table may hold several rows; the result \
+                             depends on row order"
+                        ),
+                    )
+                    .with_note(
+                        "paper Example 2: on dirty data the legacy per-record SET makes the \
+                         outcome order-dependent; the revised SET (§7) reads all values up \
+                         front and aborts on conflict",
+                    ),
+                );
+                reported.insert(key.clone());
+                break;
+            }
+        }
+    }
+}
+
+/// Property reads of the form `var.key`, in (approximate) source order.
+fn collect_prop_reads(expr: &Expr, out: &mut Vec<(String, String)>) {
+    if let Expr::Property(base, key) = expr {
+        if let Expr::Variable(v) = base.as_ref() {
+            out.push((v.clone(), key.clone()));
+            return;
+        }
+    }
+    expr.for_each_child(&mut |c| collect_prop_reads(c, out));
+}
+
+// ------------------------------------------------------------------
+// W03 — DELETE hazards
+// ------------------------------------------------------------------
+
+fn check_delete(detach: bool, exprs: &[Expr], ctx: &ClauseCtx, diags: &mut Vec<Diagnostic>) {
+    if detach {
+        return;
+    }
+    let deleted_rel_vars: HashSet<&str> = exprs
+        .iter()
+        .filter_map(|e| match e {
+            Expr::Variable(v)
+                if ctx.facts.env.get(v) == Some(&VarKind::Entity(EntityKind::Relationship)) =>
+            {
+                Some(v.as_str())
+            }
+            _ => None,
+        })
+        .collect();
+    for e in exprs {
+        let Expr::Variable(v) = e else { continue };
+        if ctx.facts.env.get(v) != Some(&VarKind::Entity(EntityKind::Node)) {
+            continue;
+        }
+        let Some(incident) = ctx.facts.incident_rels.get(v) else {
+            continue;
+        };
+        let all_covered = !incident.is_empty()
+            && incident.iter().all(|slot| {
+                slot.as_deref()
+                    .is_some_and(|r| deleted_rel_vars.contains(r))
+            });
+        if incident.is_empty() || all_covered {
+            continue;
+        }
+        let effect = match ctx.dialect {
+            Dialect::Cypher9 => {
+                "under legacy semantics this leaves dangling relationships mid-statement"
+            }
+            Dialect::Revised => "the revised DELETE (§7) will raise an error at run time",
+        };
+        diags.push(
+            Diagnostic::new(
+                Code::W03DeleteHazard,
+                ctx.var_span(v),
+                format!(
+                    "DELETE of node `{v}` which was matched with incident relationships; \
+                     {effect}"
+                ),
+            )
+            .with_note(
+                "§4.2: delete the incident relationships in the same clause or use \
+                 DETACH DELETE",
+            ),
+        );
+    }
+}
+
+/// W03 (use-after-delete): a variable deleted by an earlier clause is used
+/// again. Bare pass-through projection (`WITH n`, `RETURN n`) is allowed —
+/// projecting a deleted entity is how the paper's examples observe zombies.
+fn check_use_after_delete(clause: &Clause, ctx: &ClauseCtx, diags: &mut Vec<Diagnostic>) {
+    if ctx.facts.deleted.is_empty() {
+        return;
+    }
+    let mut used: Vec<String> = Vec::new();
+    collect_nontrivial_uses(clause, &mut used);
+    let mut reported: HashSet<&str> = HashSet::new();
+    for v in &used {
+        if let Some(&at) = ctx.facts.deleted.get(v) {
+            if !reported.insert(v.as_str()) {
+                continue;
+            }
+            let effect = match ctx.dialect {
+                Dialect::Cypher9 => {
+                    "legacy semantics keeps a reference to the deleted entity (a zombie)"
+                }
+                Dialect::Revised => "the revised semantics (§7) substitutes null",
+            };
+            diags.push(
+                Diagnostic::new(
+                    Code::W03DeleteHazard,
+                    ctx.var_span(v),
+                    format!("variable `{v}` was DELETEd by clause {}; {effect}", at + 1),
+                )
+                .with_note("§4.2: deleted entities must not be updated or re-matched"),
+            );
+        }
+    }
+}
+
+fn collect_nontrivial_uses(clause: &Clause, out: &mut Vec<String>) {
+    let expr_vars = |e: &Expr, out: &mut Vec<String>| collect_vars(e, out);
+    match clause {
+        Clause::Match {
+            patterns,
+            where_clause,
+            ..
+        } => {
+            for p in patterns {
+                collect_pattern_vars(p, out);
+            }
+            if let Some(w) = where_clause {
+                expr_vars(w, out);
+            }
+        }
+        Clause::Unwind { expr, .. } => expr_vars(expr, out),
+        Clause::With(p) | Clause::Return(p) => {
+            let items = match &p.items {
+                ProjectionItems::Star { extra } => extra,
+                ProjectionItems::Items(items) => items,
+            };
+            for item in items {
+                // A bare variable projection is a pass-through, not a use.
+                if matches!(&item.expr, Expr::Variable(_)) {
+                    continue;
+                }
+                expr_vars(&item.expr, out);
+            }
+            for si in &p.order_by {
+                expr_vars(&si.expr, out);
+            }
+            for e in p.skip.iter().chain(&p.limit).chain(&p.where_clause) {
+                expr_vars(e, out);
+            }
+        }
+        Clause::Create { patterns } => {
+            for p in patterns {
+                collect_pattern_vars(p, out);
+            }
+        }
+        Clause::Set { items } => {
+            for item in items {
+                match item {
+                    SetItem::Property { target, value, .. } => {
+                        expr_vars(target, out);
+                        expr_vars(value, out);
+                    }
+                    SetItem::Replace { target, value } | SetItem::MergeProps { target, value } => {
+                        out.push(target.clone());
+                        expr_vars(value, out);
+                    }
+                    SetItem::Labels { target, .. } => out.push(target.clone()),
+                }
+            }
+        }
+        Clause::Remove { items } => {
+            for item in items {
+                match item {
+                    RemoveItem::Property { target, .. } => expr_vars(target, out),
+                    RemoveItem::Labels { target, .. } => out.push(target.clone()),
+                }
+            }
+        }
+        Clause::Delete { exprs, .. } => {
+            for e in exprs {
+                expr_vars(e, out);
+            }
+        }
+        Clause::Merge {
+            patterns,
+            on_create,
+            on_match,
+            ..
+        } => {
+            for p in patterns {
+                collect_pattern_vars(p, out);
+            }
+            for item in on_create.iter().chain(on_match) {
+                if let SetItem::Property { target, value, .. } = item {
+                    expr_vars(target, out);
+                    expr_vars(value, out);
+                }
+            }
+        }
+        Clause::Foreach { list, body, .. } => {
+            expr_vars(list, out);
+            for c in body {
+                collect_nontrivial_uses(c, out);
+            }
+        }
+        Clause::CreateIndex { .. } | Clause::DropIndex { .. } => {}
+    }
+}
+
+fn collect_vars(expr: &Expr, out: &mut Vec<String>) {
+    if let Expr::Variable(v) = expr {
+        out.push(v.clone());
+        return;
+    }
+    expr.for_each_child(&mut |c| collect_vars(c, out));
+}
+
+fn collect_pattern_vars(p: &PathPattern, out: &mut Vec<String>) {
+    if let Some(v) = &p.start.var {
+        out.push(v.clone());
+    }
+    for (_, e) in &p.start.props {
+        collect_vars(e, out);
+    }
+    for (rel, node) in &p.steps {
+        for v in rel.var.iter().chain(&node.var) {
+            out.push(v.clone());
+        }
+        for (_, e) in rel.props.iter().chain(&node.props) {
+            collect_vars(e, out);
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// W04 / W05 — MERGE hazards
+// ------------------------------------------------------------------
+
+fn check_merge(
+    kind: MergeKind,
+    patterns: &[PathPattern],
+    ctx: &ClauseCtx,
+    multi_row: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if kind != MergeKind::Legacy {
+        return;
+    }
+
+    // W04: a legacy MERGE whose pattern mixes already-bound variables with
+    // fresh elements, under a table that may hold several rows. Each row's
+    // match-or-create sees the creations of previous rows (Example 3).
+    if multi_row {
+        let mut bound = 0usize;
+        let mut unbound = 0usize;
+        let mut count = |var: &Option<String>| match var {
+            Some(v) if ctx.facts.env.contains_key(v) => bound += 1,
+            _ => unbound += 1,
+        };
+        for p in patterns {
+            count(&p.start.var);
+            for (rel, n) in &p.steps {
+                count(&rel.var);
+                count(&n.var);
+            }
+        }
+        if bound > 0 && unbound > 0 {
+            diags.push(
+                Diagnostic::new(
+                    Code::W04MergeReadsOwnWrites,
+                    ctx.keyword_span("MERGE"),
+                    "legacy MERGE under a multi-row driving table mixes bound variables \
+                     with fresh pattern elements; each row sees the creations of earlier \
+                     rows, so the outcome depends on row order",
+                )
+                .with_note(
+                    "paper Example 3 / Figure 6: the marketplace MERGE creates different \
+                     graphs for different row orders; use MERGE ALL or MERGE SAME (§7)",
+                ),
+            );
+        }
+    }
+
+    // W05: migration hint — always applicable to a bare legacy MERGE when
+    // analyzing Cypher 9 (under the revised dialect it is an E00 instead).
+    if ctx.dialect == Dialect::Cypher9 {
+        diags.push(
+            Diagnostic::new(
+                Code::W05LegacyMergeMigration,
+                ctx.keyword_span("MERGE"),
+                "bare MERGE is removed in the revised language",
+            )
+            .with_note(
+                "§7: use MERGE ALL (atomic match-or-create per row) or MERGE SAME \
+                 (additionally collapses duplicates)",
+            ),
+        );
+    }
+}

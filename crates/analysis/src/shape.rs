@@ -1,0 +1,252 @@
+//! Pass 3 — lightweight type/shape inference.
+//!
+//! A conservative bottom-up check over expressions: only shapes that are
+//! certainly wrong are reported (**E03**), so the pass never second-guesses
+//! dynamically-typed code that could be fine at run time. Covered:
+//!
+//! * property access / indexing / slicing on a scalar literal;
+//! * arithmetic on boolean literals, or non-`+` arithmetic on string and
+//!   list literals (`+` concatenates, so it is allowed);
+//! * unary minus/plus on booleans, strings and lists.
+
+use cypher_parser::ast::{
+    BinOp, Clause, Expr, Lit, Projection, ProjectionItems, RemoveItem, SetItem, SingleQuery,
+    UnaryOp,
+};
+use cypher_parser::Span;
+
+use crate::diag::{Code, Diagnostic};
+
+/// Run the shape pass over one single query.
+pub fn shape_pass(sq: &SingleQuery, diags: &mut Vec<Diagnostic>) {
+    for (i, clause) in sq.clauses.iter().enumerate() {
+        check_clause(clause, sq.clause_span(i), diags);
+    }
+}
+
+fn check_clause(clause: &Clause, span: Option<Span>, diags: &mut Vec<Diagnostic>) {
+    let mut exprs: Vec<&Expr> = Vec::new();
+    match clause {
+        Clause::Match {
+            patterns,
+            where_clause,
+            ..
+        } => {
+            for p in patterns {
+                collect_pattern_exprs(p, &mut exprs);
+            }
+            exprs.extend(where_clause.iter());
+        }
+        Clause::Unwind { expr, .. } => exprs.push(expr),
+        Clause::With(p) | Clause::Return(p) => collect_projection_exprs(p, &mut exprs),
+        Clause::Create { patterns } => {
+            for p in patterns {
+                collect_pattern_exprs(p, &mut exprs);
+            }
+        }
+        Clause::Set { items } => {
+            for item in items {
+                match item {
+                    SetItem::Property { target, value, .. } => {
+                        exprs.push(target);
+                        exprs.push(value);
+                    }
+                    SetItem::Replace { value, .. } | SetItem::MergeProps { value, .. } => {
+                        exprs.push(value)
+                    }
+                    SetItem::Labels { .. } => {}
+                }
+            }
+        }
+        Clause::Remove { items } => {
+            for item in items {
+                if let RemoveItem::Property { target, .. } = item {
+                    exprs.push(target);
+                }
+            }
+        }
+        Clause::Delete { exprs: es, .. } => exprs.extend(es.iter()),
+        Clause::Merge {
+            patterns,
+            on_create,
+            on_match,
+            ..
+        } => {
+            for p in patterns {
+                collect_pattern_exprs(p, &mut exprs);
+            }
+            for item in on_create.iter().chain(on_match) {
+                if let SetItem::Property { target, value, .. } = item {
+                    exprs.push(target);
+                    exprs.push(value);
+                }
+            }
+        }
+        Clause::Foreach { list, body, .. } => {
+            exprs.push(list);
+            for c in body {
+                check_clause(c, span, diags);
+            }
+        }
+        Clause::CreateIndex { .. } | Clause::DropIndex { .. } => {}
+    }
+    for e in exprs {
+        check_expr(e, span, diags);
+    }
+}
+
+fn collect_pattern_exprs<'a>(p: &'a cypher_parser::ast::PathPattern, out: &mut Vec<&'a Expr>) {
+    for (_, e) in &p.start.props {
+        out.push(e);
+    }
+    for (rel, node) in &p.steps {
+        for (_, e) in rel.props.iter().chain(&node.props) {
+            out.push(e);
+        }
+    }
+}
+
+fn collect_projection_exprs<'a>(p: &'a Projection, out: &mut Vec<&'a Expr>) {
+    let items = match &p.items {
+        ProjectionItems::Star { extra } => extra,
+        ProjectionItems::Items(items) => items,
+    };
+    for item in items {
+        out.push(&item.expr);
+    }
+    for si in &p.order_by {
+        out.push(&si.expr);
+    }
+    out.extend(p.skip.iter().chain(&p.limit).chain(&p.where_clause));
+}
+
+/// Shape classes the pass can be certain about.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LitShape {
+    Number,
+    Bool,
+    Str,
+    List,
+    Null,
+}
+
+fn literal_shape(e: &Expr) -> Option<LitShape> {
+    match e {
+        Expr::Literal(Lit::Int(_) | Lit::Float(_)) => Some(LitShape::Number),
+        Expr::Literal(Lit::Bool(_)) => Some(LitShape::Bool),
+        Expr::Literal(Lit::Str(_)) => Some(LitShape::Str),
+        Expr::Literal(Lit::Null) => Some(LitShape::Null),
+        Expr::List(_) => Some(LitShape::List),
+        _ => None,
+    }
+}
+
+fn check_expr(expr: &Expr, span: Option<Span>, diags: &mut Vec<Diagnostic>) {
+    match expr {
+        Expr::Property(base, key) => {
+            if matches!(
+                literal_shape(base),
+                Some(LitShape::Number | LitShape::Bool | LitShape::Str)
+            ) {
+                diags.push(Diagnostic::new(
+                    Code::E03BadShape,
+                    span,
+                    format!("property access `.{key}` on a scalar literal can never succeed"),
+                ));
+            }
+        }
+        Expr::Index(base, _) | Expr::Slice { base, .. } => {
+            if matches!(literal_shape(base), Some(LitShape::Number | LitShape::Bool)) {
+                diags.push(Diagnostic::new(
+                    Code::E03BadShape,
+                    span,
+                    "indexing a scalar literal can never succeed".to_owned(),
+                ));
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let arith = matches!(
+                op,
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod | BinOp::Pow
+            );
+            if arith {
+                for side in [l.as_ref(), r.as_ref()] {
+                    match literal_shape(side) {
+                        Some(LitShape::Bool) => diags.push(Diagnostic::new(
+                            Code::E03BadShape,
+                            span,
+                            "arithmetic on a boolean literal".to_owned(),
+                        )),
+                        Some(LitShape::Str | LitShape::List) if *op != BinOp::Add => {
+                            diags.push(Diagnostic::new(
+                                Code::E03BadShape,
+                                span,
+                                format!(
+                                    "operator `{op:?}` on a {} literal",
+                                    if literal_shape(side) == Some(LitShape::Str) {
+                                        "string"
+                                    } else {
+                                        "list"
+                                    }
+                                ),
+                            ))
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Expr::Unary(UnaryOp::Neg | UnaryOp::Pos, inner) => {
+            if matches!(
+                literal_shape(inner),
+                Some(LitShape::Bool | LitShape::Str | LitShape::List)
+            ) {
+                diags.push(Diagnostic::new(
+                    Code::E03BadShape,
+                    span,
+                    "unary arithmetic on a non-numeric literal".to_owned(),
+                ));
+            }
+        }
+        _ => {}
+    }
+    expr.for_each_child(&mut |c| check_expr(c, span, diags));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_parser::parse;
+
+    fn diags_for(src: &str) -> Vec<Diagnostic> {
+        let q = parse(src).unwrap();
+        let mut diags = Vec::new();
+        shape_pass(&q.first, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn property_on_scalar_literal() {
+        let d = diags_for("RETURN true.name AS x");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::E03BadShape);
+    }
+
+    #[test]
+    fn arithmetic_on_bool() {
+        let d = diags_for("RETURN 1 + true AS x");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::E03BadShape);
+    }
+
+    #[test]
+    fn string_concat_is_fine_but_subtraction_is_not() {
+        assert!(diags_for("RETURN 'a' + 'b' AS x").is_empty());
+        assert_eq!(diags_for("RETURN 'a' - 'b' AS x").len(), 2);
+    }
+
+    #[test]
+    fn dynamic_expressions_are_left_alone() {
+        assert!(diags_for("MATCH (n) RETURN n.x + n.y AS s").is_empty());
+    }
+}

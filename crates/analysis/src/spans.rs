@@ -1,0 +1,119 @@
+//! Sub-clause span refinement.
+//!
+//! The parser records one byte span per *clause* (see
+//! [`cypher_parser::SingleQuery::clause_spans`]); the analyzer wants carets
+//! on individual variables and property references. Rather than threading
+//! spans through every AST node, we re-lex the clause's source slice — the
+//! lexer is cheap and deterministic — and look the tokens up positionally.
+//!
+//! All helpers degrade gracefully: if the slice fails to lex (it cannot,
+//! for source that already parsed, but the analyzer never panics) or the
+//! requested occurrence is absent, the caller falls back to the clause span.
+
+use cypher_parser::lexer::lex;
+use cypher_parser::{Span, Tok, Token};
+
+/// Tokens of `source[span]`, with their spans rebased to the full source.
+/// `None` when the slice does not lex (never the case for parsed input).
+pub fn clause_tokens(source: &str, span: Span) -> Option<Vec<Token>> {
+    let start = span.start.min(source.len());
+    let end = span.end.min(source.len()).max(start);
+    let slice = source.get(start..end)?;
+    let mut tokens = lex(slice).ok()?;
+    for t in &mut tokens {
+        t.span.start += start;
+        t.span.end += start;
+    }
+    Some(tokens)
+}
+
+fn ident_matches(tok: &Tok, name: &str) -> bool {
+    match tok {
+        Tok::Ident(s) | Tok::EscapedIdent(s) => s == name,
+        _ => false,
+    }
+}
+
+/// Span of the `nth` (0-based) occurrence of the property reference
+/// `var.key` among the tokens, covering `var` through `key`.
+pub fn find_prop_ref(tokens: &[Token], var: &str, key: &str, nth: usize) -> Option<Span> {
+    let mut seen = 0;
+    for w in tokens.windows(3) {
+        if ident_matches(&w[0].tok, var) && w[1].tok == Tok::Dot && ident_matches(&w[2].tok, key) {
+            if seen == nth {
+                return Some(Span::new(w[0].span.start, w[2].span.end));
+            }
+            seen += 1;
+        }
+    }
+    None
+}
+
+/// Span of the `nth` (0-based) standalone occurrence of variable `var`
+/// (an identifier token not preceded by `.`, so `x` in `a.x` won't match).
+pub fn find_var(tokens: &[Token], var: &str, nth: usize) -> Option<Span> {
+    let mut seen = 0;
+    for (i, t) in tokens.iter().enumerate() {
+        if !ident_matches(&t.tok, var) {
+            continue;
+        }
+        if i > 0 && tokens[i - 1].tok == Tok::Dot {
+            continue;
+        }
+        if seen == nth {
+            return Some(t.span);
+        }
+        seen += 1;
+    }
+    None
+}
+
+/// Span of the first occurrence of keyword `kw` (case-insensitive).
+pub fn find_keyword(tokens: &[Token], kw: &str) -> Option<Span> {
+    tokens
+        .iter()
+        .find(|t| matches!(&t.tok, Tok::Ident(s) if s.eq_ignore_ascii_case(kw)))
+        .map(|t| t.span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "MATCH (p1), (p2) SET p1.id = p2.id, p2.id = p1.id";
+
+    fn toks() -> Vec<Token> {
+        clause_tokens(SRC, Span::new(0, SRC.len())).unwrap()
+    }
+
+    #[test]
+    fn prop_ref_occurrences() {
+        let t = toks();
+        let first = find_prop_ref(&t, "p1", "id", 0).unwrap();
+        assert_eq!(&SRC[first.start..first.end], "p1.id");
+        assert_eq!(first.start, 21);
+        let second = find_prop_ref(&t, "p1", "id", 1).unwrap();
+        assert_eq!(second.start, 44);
+        assert!(find_prop_ref(&t, "p1", "id", 2).is_none());
+    }
+
+    #[test]
+    fn var_occurrences_skip_property_keys() {
+        let src = "SET p.id = id";
+        let t = clause_tokens(src, Span::new(0, src.len())).unwrap();
+        // `id` after the dot is a key, the bare `id` is a variable.
+        let v = find_var(&t, "id", 0).unwrap();
+        assert_eq!(v.start, 11);
+        assert!(find_var(&t, "id", 1).is_none());
+    }
+
+    #[test]
+    fn rebased_spans_survive_offsets() {
+        let src = "MATCH (n) DELETE n";
+        let t = clause_tokens(src, Span::new(10, src.len())).unwrap();
+        let kw = find_keyword(&t, "delete").unwrap();
+        assert_eq!(&src[kw.start..kw.end], "DELETE");
+        let v = find_var(&t, "n", 0).unwrap();
+        assert_eq!(v.start, 17);
+    }
+}

@@ -1,0 +1,257 @@
+//! Lint corpus: one fixture per diagnostic code, including the paper's
+//! Examples 1–3 verbatim. Each test pins down the code, severity and the
+//! exact source span the caret lands on, so diagnostics stay stable.
+
+use cypher_analysis::{lint, Code, Diagnostic, Severity};
+use cypher_parser::Dialect;
+
+fn lint9(src: &str) -> Vec<Diagnostic> {
+    lint(src, Dialect::Cypher9).unwrap()
+}
+
+fn span_text<'a>(src: &'a str, d: &Diagnostic) -> &'a str {
+    let span = d
+        .span
+        .unwrap_or_else(|| panic!("diagnostic {d:?} has no span"));
+    &src[span.start..span.end]
+}
+
+fn find(diags: &[Diagnostic], code: Code) -> &Diagnostic {
+    diags
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("no {code} in {diags:?}"))
+}
+
+// ------------------------------------------------------------------
+// Errors
+// ------------------------------------------------------------------
+
+#[test]
+fn e00_dialect_violation_carries_clause_span() {
+    // Bare MERGE was removed from the revised language (§7).
+    let src = "MERGE (n:N) RETURN n";
+    let diags = lint(src, Dialect::Revised).unwrap();
+    let d = find(&diags, Code::E00DialectViolation);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(span_text(src, d), "MERGE (n:N)");
+}
+
+#[test]
+fn e01_unbound_variable_points_at_the_use() {
+    let src = "MATCH (n:User) RETURN n.name, m.name";
+    let diags = lint9(src);
+    let d = find(&diags, Code::E01UnboundVariable);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(span_text(src, d), "m");
+    assert_eq!(d.span.unwrap().start, src.rfind("m.name").unwrap());
+}
+
+#[test]
+fn e02_kind_mismatch_node_reused_as_relationship() {
+    let src = "MATCH (n)-[r]->(m) MATCH (a)-[n]->(b) RETURN n";
+    let diags = lint9(src);
+    let d = find(&diags, Code::E02KindMismatch);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("already bound as a node"));
+}
+
+#[test]
+fn e03_bad_shape_arithmetic_on_boolean() {
+    let src = "RETURN 1 + true AS x";
+    let diags = lint9(src);
+    let d = find(&diags, Code::E03BadShape);
+    assert_eq!(d.severity, Severity::Error);
+}
+
+// ------------------------------------------------------------------
+// W01 — paper Example 1: the non-atomic swap
+// ------------------------------------------------------------------
+
+const EXAMPLE_1: &str = "MATCH (p1:Product {name: 'laptop'}), (p2:Product {name: 'tablet'}) \
+                         SET p1.id = p2.id, p2.id = p1.id";
+
+#[test]
+fn w01_example_1_swap_flags_the_read_back() {
+    let diags = lint9(EXAMPLE_1);
+    let d = find(&diags, Code::W01ConflictingSet);
+    assert_eq!(d.severity, Severity::Warning);
+    // The caret lands on the *second* `p1.id` — the read that no longer
+    // sees the original value.
+    assert_eq!(span_text(EXAMPLE_1, d), "p1.id");
+    assert_eq!(d.span.unwrap().start, EXAMPLE_1.rfind("p1.id").unwrap());
+    assert!(d.note.as_deref().unwrap().contains("Example 1"));
+    // W02 is suppressed for a key already flagged W01.
+    assert!(!diags.iter().any(|d| d.code == Code::W02OrderDependentSet));
+}
+
+#[test]
+fn w01_double_assignment_of_one_property() {
+    let src = "MATCH (p:Product) SET p.id = 1, p.id = 2";
+    let diags = lint9(src);
+    let d = find(&diags, Code::W01ConflictingSet);
+    assert!(d.message.contains("assigned twice"));
+    // Caret on the second assignment's target.
+    assert_eq!(d.span.unwrap().start, src.rfind("p.id").unwrap());
+}
+
+#[test]
+fn w01_is_silent_under_the_revised_dialect_for_reads() {
+    // The revised atomic SET (§7) reads all right-hand sides first, so the
+    // swap is correct there.
+    let diags = lint(EXAMPLE_1, Dialect::Revised).unwrap();
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.code == Code::W01ConflictingSet && d.message.contains("reads")),
+        "{diags:?}"
+    );
+}
+
+// ------------------------------------------------------------------
+// W02 — paper Example 2: order-dependent update on dirty data
+// ------------------------------------------------------------------
+
+const EXAMPLE_2: &str = "MATCH (p1:Product {id: 85}), (p2:Product {id: 125}) SET p1.name = p2.name";
+
+#[test]
+fn w02_example_2_flags_the_cross_variable_read() {
+    let diags = lint9(EXAMPLE_2);
+    let d = find(&diags, Code::W02OrderDependentSet);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(span_text(EXAMPLE_2, d), "p2.name");
+    assert!(d.note.as_deref().unwrap().contains("Example 2"));
+}
+
+#[test]
+fn w02_needs_a_multi_row_table() {
+    // Without a preceding MATCH/UNWIND the table is a single row; the
+    // read/write overlap cannot interleave across records.
+    let src = "CREATE (p1:P), (p2:P) SET p1.name = p2.name";
+    let diags = lint9(src);
+    assert!(!diags.iter().any(|d| d.code == Code::W02OrderDependentSet));
+}
+
+// ------------------------------------------------------------------
+// W03 — §4.2: DELETE hazards
+// ------------------------------------------------------------------
+
+#[test]
+fn w03_use_after_delete() {
+    let src = "MATCH (n:User) DELETE n SET n.deleted = true";
+    let diags = lint9(src);
+    let d = find(&diags, Code::W03DeleteHazard);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("DELETEd by clause 2"));
+    // Caret on the `n` inside the SET clause, not the DELETE.
+    assert_eq!(d.span.unwrap().start, src.find("n.deleted").unwrap());
+}
+
+#[test]
+fn w03_bare_return_of_deleted_variable_is_allowed() {
+    // Projecting a deleted entity is how the paper observes zombies; only
+    // *updates and re-matches* of the variable are hazards.
+    let src = "MATCH (n:User) DELETE n RETURN n";
+    let diags = lint9(src);
+    assert!(!diags.iter().any(|d| d.code == Code::W03DeleteHazard));
+}
+
+#[test]
+fn w03_non_detach_delete_of_attached_node() {
+    let src = "MATCH (a:User)-[r:ORDERED]->(b:Product) DELETE a";
+    let diags = lint9(src);
+    let d = find(&diags, Code::W03DeleteHazard);
+    assert_eq!(span_text(src, d), "a");
+    assert_eq!(d.span.unwrap().start, src.rfind('a').unwrap());
+    assert!(d.note.as_deref().unwrap().contains("DETACH DELETE"));
+}
+
+#[test]
+fn w03_silent_when_incident_rel_deleted_too() {
+    let src = "MATCH (a:User)-[r:ORDERED]->(b:Product) DELETE r, a";
+    let diags = lint9(src);
+    assert!(!diags.iter().any(|d| d.code == Code::W03DeleteHazard));
+}
+
+// ------------------------------------------------------------------
+// W04 — paper Example 3: legacy MERGE reads its own writes
+// ------------------------------------------------------------------
+
+const EXAMPLE_3: &str = "UNWIND [['u1', 'p', 'v1'], ['u2', 'p', 'v2'], ['u1', 'p', 'v2']] AS row \
+                         MATCH (user:N {k: row[0]}), (product:N {k: row[1]}), (vendor:N {k: row[2]}) \
+                         WITH user, product, vendor \
+                         MERGE (user)-[:ORDERED]->(product)<-[:OFFERS]-(vendor)";
+
+#[test]
+fn w04_example_3_marketplace_merge() {
+    let diags = lint9(EXAMPLE_3);
+    let d = find(&diags, Code::W04MergeReadsOwnWrites);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(span_text(EXAMPLE_3, d), "MERGE");
+    assert!(d.note.as_deref().unwrap().contains("Example 3"));
+    assert!(d.note.as_deref().unwrap().contains("MERGE ALL"));
+}
+
+#[test]
+fn w04_needs_bound_and_unbound_mix() {
+    // All-fresh MERGE: no reads of prior bindings, each row creates or
+    // matches independently of the others' *bound* entities.
+    let src = "UNWIND [1, 2] AS x MERGE (n:N {k: 'fixed'})";
+    let diags = lint9(src);
+    assert!(!diags.iter().any(|d| d.code == Code::W04MergeReadsOwnWrites));
+}
+
+#[test]
+fn w04_single_row_table_is_fine() {
+    let src = "MATCH (u:User {id: 1}) WITH u LIMIT 1 MERGE (u)-[:OWNS]->(c:Cart)";
+    let diags = lint9(src);
+    assert!(!diags.iter().any(|d| d.code == Code::W04MergeReadsOwnWrites));
+}
+
+// ------------------------------------------------------------------
+// W05 — §7 migration hint
+// ------------------------------------------------------------------
+
+#[test]
+fn w05_bare_merge_migration_hint() {
+    let src = "MERGE (n:N {k: 1})";
+    let diags = lint9(src);
+    let d = find(&diags, Code::W05LegacyMergeMigration);
+    assert_eq!(d.severity, Severity::Info);
+    assert_eq!(span_text(src, d), "MERGE");
+    assert!(d.note.as_deref().unwrap().contains("MERGE SAME"));
+}
+
+#[test]
+fn w05_not_emitted_for_revised_merges() {
+    let diags = lint("MERGE ALL (n:N {k: 1})", Dialect::Revised).unwrap();
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ------------------------------------------------------------------
+// Rendering
+// ------------------------------------------------------------------
+
+#[test]
+fn rendered_diagnostics_show_code_line_and_caret() {
+    let diags = lint9(EXAMPLE_2);
+    let rendered = diags[0].render(EXAMPLE_2);
+    assert!(rendered.starts_with("warning[W02]:"), "{rendered}");
+    assert!(rendered.contains("(line 1, column"), "{rendered}");
+    assert!(rendered.contains('^'), "{rendered}");
+    assert!(rendered.contains("note:"), "{rendered}");
+}
+
+#[test]
+fn clean_paper_queries_stay_clean() {
+    // Well-formed statements from the shipped examples must not warn.
+    for src in [
+        "CREATE (:User {id: 89, name: 'Bob'})",
+        "MATCH (u:User {id: 89}) SET u.name = 'Alice' RETURN u.name AS name",
+        "MATCH (a:User)-[r:ORDERED]->(b:Product) DETACH DELETE a",
+        "MATCH (n:User) WITH n ORDER BY n.id LIMIT 10 RETURN collect(n.name) AS names",
+    ] {
+        let diags = lint9(src);
+        assert!(diags.is_empty(), "{src}: {diags:?}");
+    }
+}

@@ -10,6 +10,7 @@
 
 use std::fmt;
 
+use cypher_analysis::Diagnostic;
 use cypher_graph::{EntityRef, GraphError, NodeId, Value};
 use cypher_parser::ParseError;
 
@@ -59,14 +60,21 @@ pub enum EvalError {
     Arithmetic(String),
     /// Integer out of the range required by the context (SKIP/LIMIT/range).
     BadCount { context: &'static str, value: Value },
-    /// The dialect validator rejected the query for this engine.
-    Dialect(String),
+    /// The dialect validator rejected the query for this engine. Carries
+    /// the full [`ParseError`] so callers can render a caret into the
+    /// offending clause via [`ParseError::render`].
+    Dialect(ParseError),
     /// Homomorphic matching of an unbounded variable-length pattern would
     /// not terminate; the engine refuses it.
     UnboundedMatch,
     /// The durability layer failed to log a committed statement (I/O).
     /// The in-memory result may not survive a crash.
     Storage(String),
+    /// The static analyzer found warning-or-worse diagnostics and the
+    /// engine is configured with
+    /// [`LintMode::Deny`](crate::exec::LintMode::Deny); the statement was
+    /// refused before touching the graph.
+    Lint(Vec<Diagnostic>),
     /// The statement exceeded an execution budget (rows, write operations,
     /// or wall-clock time) configured via `EngineBuilder::limits`. The
     /// statement is aborted and rolled back; the session stays alive.
@@ -131,13 +139,26 @@ impl fmt::Display for EvalError {
             EvalError::BadCount { context, value } => {
                 write!(f, "{context} requires a non-negative integer, got {value}")
             }
-            EvalError::Dialect(msg) => write!(f, "dialect error: {msg}"),
+            EvalError::Dialect(e) => write!(f, "dialect error: {}", e.message),
             EvalError::UnboundedMatch => write!(
                 f,
                 "unbounded variable-length pattern under homomorphic matching is not \
                  finitely evaluable; bound the length"
             ),
             EvalError::Storage(msg) => write!(f, "storage error: {msg}"),
+            EvalError::Lint(diags) => {
+                let first = diags
+                    .iter()
+                    .max_by_key(|d| d.severity)
+                    .map(|d| format!("{}[{}]: {}", d.severity, d.code, d.message))
+                    .unwrap_or_default();
+                write!(
+                    f,
+                    "statement refused by lint ({} diagnostic{}): {first}",
+                    diags.len(),
+                    if diags.len() == 1 { "" } else { "s" }
+                )
+            }
             EvalError::ResourceExhausted { resource, limit } => write!(
                 f,
                 "resource exhausted: statement exceeded its {resource} budget of {limit} \

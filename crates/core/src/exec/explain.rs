@@ -30,8 +30,7 @@ impl Engine {
     /// caller's graph is never modified.
     pub fn explain(&self, graph: &PropertyGraph, text: &str) -> crate::error::Result<String> {
         let query = cypher_parser::parse(text)?;
-        cypher_parser::validate(&query, self.dialect)
-            .map_err(|e| crate::error::EvalError::Dialect(e.message))?;
+        cypher_parser::validate(&query, self.dialect).map_err(crate::error::EvalError::Dialect)?;
         Ok(self.explain_query(graph, &query))
     }
 

@@ -31,6 +31,7 @@ use std::mem;
 
 use cypher_graph::{NodeId, PathValue, Value};
 use cypher_parser::ast::{NodePattern, PathPattern, RelDirection};
+use cypher_parser::ParseError;
 
 use crate::error::{EvalError, Result};
 use crate::exec::{write, ExecCtx};
@@ -107,9 +108,9 @@ pub(crate) fn merge(
         MergePolicy::Legacy => merge_legacy(ctx, patterns, on_create, on_match),
         _ => {
             if !on_create.is_empty() || !on_match.is_empty() {
-                return Err(EvalError::Dialect(
-                    "ON CREATE / ON MATCH actions only apply to the legacy MERGE".into(),
-                ));
+                return Err(EvalError::Dialect(ParseError::no_span(
+                    "ON CREATE / ON MATCH actions only apply to the legacy MERGE",
+                )));
             }
             merge_atomic_family(ctx, policy, patterns)
         }

@@ -32,7 +32,7 @@ use std::collections::BTreeMap;
 
 use cypher_graph::{PropertyGraph, Transaction, Value};
 use cypher_parser::ast::{Clause, Dialect, MergeKind, Query, SingleQuery, UnionKind};
-use cypher_parser::{parse, validate};
+use cypher_parser::{parse, validate, ParseError};
 
 use crate::error::{EvalError, Result};
 use crate::pattern::MatchMode;
@@ -131,6 +131,22 @@ impl QueryResult {
     }
 }
 
+/// What the engine does with static-analysis diagnostics
+/// (see [`cypher_analysis`]) before running a statement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LintMode {
+    /// No analysis. The default: execution is byte-for-byte identical to
+    /// engines that predate the linter.
+    #[default]
+    Off,
+    /// Run the analyzer and print rendered diagnostics to stderr; the
+    /// statement still executes exactly as under [`LintMode::Off`].
+    Warn,
+    /// Refuse to execute statements with warning-or-worse diagnostics:
+    /// they fail with [`EvalError::Lint`] before touching the graph.
+    Deny,
+}
+
 /// Builder for [`Engine`].
 #[derive(Clone, Debug)]
 pub struct EngineBuilder {
@@ -141,6 +157,7 @@ pub struct EngineBuilder {
     params: BTreeMap<String, Value>,
     limits: ExecLimits,
     force_naive: bool,
+    lint_mode: LintMode,
 }
 
 impl EngineBuilder {
@@ -153,6 +170,7 @@ impl EngineBuilder {
             params: BTreeMap::new(),
             limits: ExecLimits::NONE,
             force_naive: false,
+            lint_mode: LintMode::Off,
         }
     }
 
@@ -199,6 +217,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Static-analysis policy for statements run from source text
+    /// ([`Engine::run`] / [`Engine::run_script`]). `Warn` reports the
+    /// paper's update hazards (Examples 1–3, §4.2) on stderr without
+    /// changing execution; `Deny` refuses hazardous statements outright.
+    pub fn lint_mode(mut self, mode: LintMode) -> Self {
+        self.lint_mode = mode;
+        self
+    }
+
     pub fn build(self) -> Engine {
         Engine {
             dialect: self.dialect,
@@ -208,6 +235,7 @@ impl EngineBuilder {
             params: self.params,
             limits: self.limits,
             force_naive: self.force_naive,
+            lint_mode: self.lint_mode,
         }
     }
 }
@@ -223,6 +251,8 @@ pub struct Engine {
     pub limits: ExecLimits,
     /// Planner disabled (see [`EngineBuilder::force_naive`]).
     pub force_naive: bool,
+    /// Static-analysis policy (see [`EngineBuilder::lint_mode`]).
+    pub lint_mode: LintMode,
 }
 
 impl Engine {
@@ -246,12 +276,16 @@ impl Engine {
     /// in an illegal state fails here).
     pub fn run(&self, graph: &mut PropertyGraph, text: &str) -> Result<QueryResult> {
         let query = parse(text)?;
+        self.lint_gate(text, &query)?;
         self.run_query(graph, &query)
     }
 
     /// Run several `;`-separated statements, returning the last result.
     pub fn run_script(&self, graph: &mut PropertyGraph, text: &str) -> Result<QueryResult> {
         let queries = cypher_parser::parse_script(text)?;
+        for q in &queries {
+            self.lint_gate(text, q)?;
+        }
         let mut last = QueryResult::default();
         for q in &queries {
             last = self.run_query(graph, q)?;
@@ -259,9 +293,38 @@ impl Engine {
         Ok(last)
     }
 
+    /// Apply [`LintMode`] to a statement about to run from source `text`.
+    /// `Warn` reports to stderr and always returns `Ok`; `Deny` fails with
+    /// [`EvalError::Lint`] when any diagnostic is warning-or-worse, before
+    /// the statement touches the graph.
+    fn lint_gate(&self, text: &str, query: &cypher_parser::ast::Query) -> Result<()> {
+        if self.lint_mode == LintMode::Off {
+            return Ok(());
+        }
+        let diags = cypher_analysis::analyze(text, query, self.dialect);
+        match self.lint_mode {
+            LintMode::Off => Ok(()),
+            LintMode::Warn => {
+                for d in &diags {
+                    eprintln!("{}", d.render(text));
+                }
+                Ok(())
+            }
+            LintMode::Deny => {
+                if cypher_analysis::max_severity(&diags)
+                    .is_some_and(|s| s >= cypher_analysis::Severity::Warning)
+                {
+                    Err(EvalError::Lint(diags))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
     /// Run an already-parsed statement.
     pub fn run_query(&self, graph: &mut PropertyGraph, query: &Query) -> Result<QueryResult> {
-        validate(query, self.dialect).map_err(|e| EvalError::Dialect(e.message))?;
+        validate(query, self.dialect).map_err(EvalError::Dialect)?;
 
         let mut tx = Transaction::begin(graph);
         let result = self.run_union(&mut tx, query);
@@ -338,9 +401,9 @@ impl Engine {
             // on the graph; tables are unioned.
             let (cols, arm_rows) = self.run_single(graph, sq, &mut stats, &mut guard)?;
             if cols != columns {
-                return Err(EvalError::Dialect(format!(
+                return Err(EvalError::Dialect(ParseError::no_span(format!(
                     "UNION arms must return the same columns ({columns:?} vs {cols:?})"
-                )));
+                ))));
             }
             rows.extend(arm_rows);
             if *kind == UnionKind::All {

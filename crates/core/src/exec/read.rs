@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use cypher_graph::Value;
 use cypher_parser::ast::{Expr, PathPattern, Projection, ProjectionItem, ProjectionItems};
 use cypher_parser::pretty::print_expr;
+use cypher_parser::ParseError;
 
 use crate::error::{EvalError, Result};
 use crate::eval::agg::{AggKind, Aggregator};
@@ -146,9 +147,9 @@ pub(crate) fn projection(ctx: &mut ExecCtx, proj: &Projection, is_with: bool) ->
         sorted.sort();
         sorted.dedup();
         if sorted.len() != columns.len() {
-            return Err(EvalError::Dialect(
-                "duplicate column names in projection".into(),
-            ));
+            return Err(EvalError::Dialect(ParseError::no_span(
+                "duplicate column names in projection",
+            )));
         }
     }
 
@@ -222,7 +223,10 @@ pub(crate) fn projection(ctx: &mut ExecCtx, proj: &Projection, is_with: bool) ->
         for (rec, src) in pairs {
             let mut env = if has_agg { Record::new() } else { src.clone() };
             for k in rec.keys().map(str::to_owned).collect::<Vec<_>>() {
-                env.bind(k.clone(), rec.get(&k).expect("own key").clone());
+                let Some(v) = rec.get(&k) else {
+                    unreachable!("iterating the record's own keys");
+                };
+                env.bind(k.clone(), v.clone());
             }
             let mut keys = Vec::new();
             for si in &proj.order_by {
@@ -279,10 +283,10 @@ fn expand_items(ctx: &ExecCtx, proj: &Projection, is_with: bool) -> Result<Vec<(
             None => match &item.expr {
                 Expr::Variable(v) => v.clone(),
                 other if is_with => {
-                    return Err(EvalError::Dialect(format!(
+                    return Err(EvalError::Dialect(ParseError::no_span(format!(
                         "expression `{}` in WITH must be aliased",
                         print_expr(other)
-                    )))
+                    ))))
                 }
                 other => print_expr(other),
             },
@@ -297,9 +301,9 @@ fn expand_items(ctx: &ExecCtx, proj: &Projection, is_with: bool) -> Result<Vec<(
                 out.push((col.clone(), Expr::Variable(col)));
             }
             if out.is_empty() && extra.is_empty() {
-                return Err(EvalError::Dialect(
-                    "RETURN * with no variables in scope".into(),
-                ));
+                return Err(EvalError::Dialect(ParseError::no_span(
+                    "RETURN * with no variables in scope",
+                )));
             }
             for item in extra {
                 add_item(&mut out, item, is_with)?;
@@ -346,7 +350,9 @@ fn eval_in_group(ctx: &EvalCtx, rows: &[Record], rep: &Record, expr: &Expr) -> R
             distinct,
             args,
         } if cypher_parser::ast::is_aggregate_fn(name) => {
-            let kind = AggKind::from_name(name).expect("known aggregate");
+            let Some(kind) = AggKind::from_name(name) else {
+                unreachable!("is_aggregate_fn and AggKind::from_name agree on `{name}`");
+            };
             if args.len() != 1 {
                 return Err(EvalError::BadArguments {
                     function: name.clone(),

@@ -19,7 +19,7 @@ pub fn graph_to_cypher(graph: &PropertyGraph) -> String {
     let var_of = |n: NodeId| format!("n{}", n.raw());
 
     for id in graph.node_ids() {
-        let data = graph.node(id).expect("live node");
+        let Some(data) = graph.node(id) else { continue };
         let mut s = format!("({}", var_of(id));
         // Labels and properties are stored ordered by interner symbol id,
         // which depends on vocabulary insertion history; re-sort by name so
@@ -35,7 +35,7 @@ pub fn graph_to_cypher(graph: &PropertyGraph) -> String {
     }
 
     for id in graph.rel_ids() {
-        let data = graph.rel(id).expect("live rel");
+        let Some(data) = graph.rel(id) else { continue };
         if !graph.contains_node(data.src) || !graph.contains_node(data.tgt) {
             let _ = writeln!(
                 out,

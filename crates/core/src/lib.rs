@@ -38,6 +38,8 @@
 //! homomorphic modes of Example 7), [`exec`] (clause semantics and the
 //! [`Engine`]), [`error`] (the revised semantics' new error conditions).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod error;
 pub mod eval;
 pub mod exec;
@@ -48,7 +50,8 @@ pub mod table;
 
 pub use error::{EvalError, Result};
 pub use exec::{
-    Engine, EngineBuilder, ExecLimits, MergePolicy, ProcessingOrder, QueryResult, UpdateStats,
+    Engine, EngineBuilder, ExecLimits, LintMode, MergePolicy, ProcessingOrder, QueryResult,
+    UpdateStats,
 };
 pub use export::graph_to_cypher;
 pub use pattern::{MatchMode, Matcher};
@@ -58,3 +61,10 @@ pub use table::{Record, Table};
 // Re-export the dialect selector for convenience: engines are parameterized
 // on it.
 pub use cypher_parser::Dialect;
+
+// Re-export the analyzer's diagnostic surface so embedders configuring
+// [`LintMode`] can inspect [`EvalError::Lint`] payloads without a direct
+// `cypher-analysis` dependency.
+pub use cypher_analysis::{
+    Code as LintCode, Diagnostic as LintDiagnostic, Severity as LintSeverity,
+};

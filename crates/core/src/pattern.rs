@@ -52,7 +52,9 @@ fn rel_class(g: &PropertyGraph, dir: RelDirection, cur: NodeId, rel: RelId) -> u
         RelDirection::Outgoing => 0,
         RelDirection::Incoming => 1,
         RelDirection::Undirected => {
-            let d = g.rel(rel).expect("live rel");
+            let Some(d) = g.rel(rel) else {
+                unreachable!("rel_class: adjacency yields only live rels");
+            };
             u8::from(d.src != cur)
         }
     }
@@ -164,7 +166,7 @@ impl<'a> Matcher<'a> {
         )?;
         let mut keyed: Vec<(Vec<PatKey>, Record)> = results
             .into_iter()
-            .map(|(r, k)| (k.expect("planned mode tracks keys"), r))
+            .filter_map(|(r, k)| k.map(|key| (key, r)))
             .collect();
         keyed.sort_by(|(a, _), (b, _)| a.cmp(b));
         Ok(keyed.into_iter().map(|(_, r)| r).collect())
@@ -241,7 +243,9 @@ impl<'a> Matcher<'a> {
         results: &mut Vec<(Record, Option<Vec<PatKey>>)>,
     ) -> Result<()> {
         let pattern = &pats.list[pi];
-        let kind = pattern.shortest.expect("caller checked");
+        let Some(kind) = pattern.shortest else {
+            unreachable!("match_shortest is only called on shortest-path patterns");
+        };
         let (rel_pat, end_pat) = &pattern.steps[0];
         let (min, max) = match rel_pat.length {
             Some(l) => (l.min.unwrap_or(1), l.max.unwrap_or(u32::MAX)),
@@ -329,7 +333,9 @@ impl<'a> Matcher<'a> {
                         let mut nodes = vec![start];
                         let mut cur = start;
                         for &r in &rels {
-                            let d = self.graph().rel(r).expect("live rel");
+                            let Some(d) = self.graph().rel(r) else {
+                                unreachable!("path rels are live while matching");
+                            };
                             cur = if d.src == cur { d.tgt } else { d.src };
                             nodes.push(cur);
                         }
@@ -420,7 +426,9 @@ impl<'a> Matcher<'a> {
                 let mut nodes = vec![start];
                 let mut cur = start;
                 for &r in &rels {
-                    let d = self.graph().rel(r).expect("live rel");
+                    let Some(d) = self.graph().rel(r) else {
+                        unreachable!("path rels are live while matching");
+                    };
                     cur = if d.src == cur { d.tgt } else { d.src };
                     nodes.push(cur);
                 }
@@ -470,7 +478,10 @@ impl<'a> Matcher<'a> {
             };
             if reversed {
                 if let Some(ks) = &mut keys {
-                    let dirs = &pats.meta.expect("reversed implies planned")[pi].orig_dirs;
+                    let Some(meta) = &pats.meta else {
+                        unreachable!("reversed patterns only exist in planned mode");
+                    };
+                    let dirs = &meta[pi].orig_dirs;
                     ks[pats.orig(pi)] = fixed_path_key(self.graph(), dirs, &nodes, &rels);
                 }
             }
@@ -551,11 +562,13 @@ impl<'a> Matcher<'a> {
         // The planner never reverses var-length patterns, so key tokens can
         // be recorded in traversal order.
         debug_assert!(!pats.reversed(pi) || keys.is_none());
-        let len = rel_pat.length.expect("caller checked");
-        if rel_pat.var.is_some() && env.is_bound(rel_pat.var.as_ref().unwrap()) {
-            return Err(EvalError::VariableClash(
-                rel_pat.var.clone().expect("checked"),
-            ));
+        let Some(len) = rel_pat.length else {
+            unreachable!("match_var_length is only called on var-length patterns");
+        };
+        if let Some(v) = &rel_pat.var {
+            if env.is_bound(v) {
+                return Err(EvalError::VariableClash(v.clone()));
+            }
         }
         let min = len.min.unwrap_or(1);
         let max = len.max.unwrap_or(VARLEN_DEFAULT_MAX);
@@ -667,7 +680,7 @@ impl<'a> Matcher<'a> {
             Some(Value::Null) => return Ok(vec![]),
             Some(_) => {
                 return Err(EvalError::VariableClash(
-                    rel_pat.var.clone().expect("var present"),
+                    rel_pat.var.clone().unwrap_or_default(),
                 ))
             }
             None => None,
@@ -770,10 +783,10 @@ impl<'a> Matcher<'a> {
         let candidates: Vec<NodeId> = match indexed {
             Some(hits) => hits,
             None => match crate::plan::smallest_label(g, np) {
-                Some((label, _)) => {
-                    let sym = g.try_sym(&label).expect("smallest_label interned it");
-                    g.nodes_with_label(sym).collect()
-                }
+                Some((label, _)) => match g.try_sym(&label) {
+                    Some(sym) => g.nodes_with_label(sym).collect(),
+                    None => vec![],
+                },
                 None if np.labels.is_empty() => g.node_ids().collect(),
                 None => return Ok(vec![]),
             },

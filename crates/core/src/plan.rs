@@ -143,7 +143,9 @@ pub fn plan_clause(
                 best = Some((slot, cand));
             }
         }
-        let (slot, cand) = best.expect("remaining is non-empty");
+        let Some((slot, cand)) = best else {
+            unreachable!("the loop over a non-empty `remaining` always picks a candidate");
+        };
         let pi = remaining.remove(slot);
         let p = &patterns[pi];
         for v in single_pattern_vars(p) {
@@ -199,7 +201,10 @@ fn best_orientation(
         est_rows: anchor_est * fanout,
     };
     if reversible(p) {
-        let end = &p.steps.last().expect("reversible implies steps").1;
+        let Some(last_step) = p.steps.last() else {
+            unreachable!("reversible patterns have at least one step");
+        };
+        let end = &last_step.1;
         let (ra, re) = anchor_for(g, ctx, end, bound);
         if re < cand.anchor_est {
             cand = Candidate {
@@ -338,7 +343,10 @@ fn reverse_pattern(p: &PathPattern) -> PathPattern {
         rels.push(r);
         nodes.push(n);
     }
-    let start = (*nodes.last().expect("non-empty")).clone();
+    let Some(&last_node) = nodes.last() else {
+        unreachable!("`nodes` starts with the pattern start node");
+    };
+    let start = last_node.clone();
     let mut steps = Vec::with_capacity(rels.len());
     for i in (0..rels.len()).rev() {
         let mut r = rels[i].clone();

@@ -193,7 +193,7 @@ fn with_requires_aliases_for_expressions() {
     let err = Engine::legacy()
         .run(&mut g, "MATCH (u:User) WITH u.name RETURN 1 AS one")
         .unwrap_err();
-    assert!(matches!(err, EvalError::Dialect(m) if m.contains("aliased")));
+    assert!(matches!(err, EvalError::Dialect(m) if m.message.contains("aliased")));
 }
 
 #[test]

@@ -1,0 +1,146 @@
+//! Differential suite for [`LintMode`]: `Warn` is observation-only — for
+//! every statement it must produce byte-identical results and an
+//! isomorphic final graph compared to `Off` — while `Deny` refuses
+//! hazardous statements before they touch the graph.
+
+use cypher_core::{Dialect, EngineBuilder, EvalError, LintMode, LintSeverity};
+use cypher_graph::{isomorphic, PropertyGraph};
+
+/// Statements covering reads, every write clause, scripts and — crucially —
+/// the very hazards the linter warns about: a warning must never change
+/// what executes.
+const WORKLOAD: &[&str] = &[
+    "CREATE (:Product {id: 85, name: 'laptop'}), (:Product {id: 125, name: 'tablet'})",
+    "CREATE (:User {id: 89, name: 'Tim'})",
+    "MATCH (u:User {id: 89}), (p:Product {id: 85}) CREATE (u)-[:ORDERED]->(p)",
+    // Example 1: the swap that W01 flags.
+    "MATCH (p1:Product {name: 'laptop'}), (p2:Product {name: 'tablet'}) \
+     SET p1.id = p2.id, p2.id = p1.id",
+    // Example 2 shape: cross-variable read/write that W02 flags.
+    "MATCH (p1:Product), (p2:Product) WHERE p1.id < p2.id SET p1.name = p2.name",
+    // W04/W05: legacy MERGE under a multi-row table.
+    "UNWIND [85, 125] AS pid MATCH (u:User), (p:Product {id: pid}) \
+     MERGE (u)-[:ORDERED]->(p)",
+    "MATCH (u:User) RETURN u.name AS name ORDER BY name",
+    // W03: delete then project the zombie.
+    "MATCH (u:User) DETACH DELETE u RETURN u",
+];
+
+fn run_workload(mode: LintMode) -> (PropertyGraph, Vec<String>) {
+    let engine = EngineBuilder::new(Dialect::Cypher9).lint_mode(mode).build();
+    let mut g = PropertyGraph::new();
+    let mut outputs = Vec::new();
+    for stmt in WORKLOAD {
+        let result = engine
+            .run(&mut g, stmt)
+            .unwrap_or_else(|e| panic!("{mode:?} failed on {stmt:?}: {e}"));
+        outputs.push(format!(
+            "{:?}|{:?}|{:?}",
+            result.columns, result.rows, result.stats
+        ));
+    }
+    (g, outputs)
+}
+
+#[test]
+fn warn_is_observation_only() {
+    let (g_off, out_off) = run_workload(LintMode::Off);
+    let (g_warn, out_warn) = run_workload(LintMode::Warn);
+    assert_eq!(out_off, out_warn, "Warn changed a statement's result");
+    assert!(
+        isomorphic(&g_off, &g_warn),
+        "Warn changed the final graph state"
+    );
+}
+
+#[test]
+fn warn_is_observation_only_for_scripts() {
+    let script = WORKLOAD.join(";\n");
+    let mut g_off = PropertyGraph::new();
+    let mut g_warn = PropertyGraph::new();
+    let off = EngineBuilder::new(Dialect::Cypher9)
+        .build()
+        .run_script(&mut g_off, &script)
+        .expect("script under Off");
+    let warn = EngineBuilder::new(Dialect::Cypher9)
+        .lint_mode(LintMode::Warn)
+        .build()
+        .run_script(&mut g_warn, &script)
+        .expect("script under Warn");
+    assert_eq!(off, warn);
+    assert!(isomorphic(&g_off, &g_warn));
+}
+
+#[test]
+fn deny_refuses_a_hazardous_statement_before_any_write() {
+    let engine = EngineBuilder::new(Dialect::Cypher9)
+        .lint_mode(LintMode::Deny)
+        .build();
+    let mut g = PropertyGraph::new();
+    engine
+        .run(&mut g, "CREATE (:Product {id: 85, name: 'laptop'})")
+        .expect("clean statement passes Deny");
+    engine
+        .run(&mut g, "CREATE (:Product {id: 125, name: 'tablet'})")
+        .expect("clean statement passes Deny");
+    let before = g.clone();
+
+    // Example 1 under Deny: refused with the diagnostics as the payload.
+    let err = engine
+        .run(
+            &mut g,
+            "MATCH (p1:Product {name: 'laptop'}), (p2:Product {name: 'tablet'}) \
+             SET p1.id = p2.id, p2.id = p1.id",
+        )
+        .expect_err("hazardous SET must be refused");
+    let EvalError::Lint(diags) = err else {
+        panic!("expected EvalError::Lint, got {err:?}");
+    };
+    assert!(diags
+        .iter()
+        .any(|d| d.code.to_string() == "W01" && d.severity == LintSeverity::Warning));
+    assert!(
+        isomorphic(&before, &g),
+        "a refused statement must not touch the graph"
+    );
+
+    let msg = EvalError::Lint(diags).to_string();
+    assert!(msg.contains("refused by lint"), "{msg}");
+    assert!(msg.contains("W01"), "{msg}");
+}
+
+#[test]
+fn deny_refuses_hazards_inside_scripts() {
+    let engine = EngineBuilder::new(Dialect::Cypher9)
+        .lint_mode(LintMode::Deny)
+        .build();
+    let mut g = PropertyGraph::new();
+    // The hazard sits in the *last* statement; the pre-flight lint of the
+    // whole script must refuse before the first statement runs.
+    let err = engine
+        .run_script(
+            &mut g,
+            "CREATE (:User {id: 1});\n\
+             MATCH (n:User) DELETE n SET n.gone = true;",
+        )
+        .expect_err("script with a hazard must be refused");
+    assert!(matches!(err, EvalError::Lint(_)), "{err:?}");
+    assert_eq!(
+        g.node_count(),
+        0,
+        "no statement of a refused script may run"
+    );
+}
+
+#[test]
+fn off_is_the_default_and_skips_analysis_entirely() {
+    let engine = EngineBuilder::new(Dialect::Cypher9).build();
+    let mut g = PropertyGraph::new();
+    // A statement the analyzer would warn on runs without protest.
+    engine
+        .run(&mut g, "CREATE (:P {id: 1})")
+        .expect("default engine runs");
+    engine
+        .run(&mut g, "MATCH (p:P) SET p.id = 1, p.id = 2")
+        .expect("default engine does not lint");
+}

@@ -133,7 +133,9 @@ impl AdjList {
     fn rebuild(all: Vec<RelId>, rels: &BTreeMap<RelId, RelData>) -> Self {
         let mut list = AdjList::default();
         for &id in &all {
-            let data = rels.get(&id).expect("adjacency refers to live rel");
+            let Some(data) = rels.get(&id) else {
+                unreachable!("adjacency refers to live rel {id}");
+            };
             list.by_type.entry(data.rel_type).or_default().push(id);
             if data.src == data.tgt {
                 list.loops += 1;
@@ -1015,7 +1017,9 @@ impl PropertyGraph {
             }
             _ => {}
         }
-        let data = self.nodes.remove(&id).expect("checked above");
+        let Some(data) = self.nodes.remove(&id) else {
+            unreachable!("delete_node: liveness of {id} checked above");
+        };
         self.deindex_node_full(id, &data);
         for &l in &data.labels {
             if let Some(set) = self.label_index.get_mut(&l) {
@@ -1164,12 +1168,16 @@ impl PropertyGraph {
     /// (including adjacency order and tombstones).
     pub fn rollback_to(&mut self, sp: Savepoint) {
         while self.journal.len() > sp.0 {
-            let op = self.journal.pop().expect("journal non-empty");
+            // The loop condition guarantees the journal is longer than the
+            // savepoint mark, so there is always an entry to pop.
+            let Some(op) = self.journal.pop() else { break };
             if self.delta_enabled {
                 // Journal and delta are pushed in lock-step, so popping one
                 // redo entry per undo entry discards exactly the rolled-back
                 // operations from the pending delta.
-                self.delta.pop().expect("delta mirrors journal");
+                if self.delta.pop().is_none() {
+                    unreachable!("delta mirrors journal");
+                }
             }
             self.undo(op);
         }
@@ -1342,7 +1350,9 @@ impl PropertyGraph {
     fn undo(&mut self, op: UndoOp) {
         match op {
             UndoOp::CreateNode(id) => {
-                let data = self.nodes.remove(&id).expect("undo create: node exists");
+                let Some(data) = self.nodes.remove(&id) else {
+                    unreachable!("undo create: node {id} exists");
+                };
                 self.deindex_node_full(id, &data);
                 for &l in &data.labels {
                     if let Some(set) = self.label_index.get_mut(&l) {
@@ -1356,7 +1366,9 @@ impl PropertyGraph {
                 self.tomb_nodes.remove(&id);
             }
             UndoOp::CreateRel(id) => {
-                let data = self.rels.remove(&id).expect("undo create: rel exists");
+                let Some(data) = self.rels.remove(&id) else {
+                    unreachable!("undo create: rel {id} exists");
+                };
                 let is_loop = data.src == data.tgt;
                 if let Some(list) = self.out_adj.get_mut(&data.src) {
                     list.remove(id, data.rel_type, is_loop);

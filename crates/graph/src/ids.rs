@@ -26,6 +26,38 @@ pub enum EntityRef {
     Rel(RelId),
 }
 
+/// The kind of a graph entity, without its identity.
+///
+/// The static analyzer tracks the kind a Cypher variable is bound to so it
+/// can reject e.g. `DETACH DELETE r` on a relationship variable or a node
+/// variable used in relationship position; the engine uses the same enum to
+/// describe what an [`EntityRef`] points at.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EntityKind {
+    Node,
+    Relationship,
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntityKind::Node => write!(f, "node"),
+            EntityKind::Relationship => write!(f, "relationship"),
+        }
+    }
+}
+
+impl EntityRef {
+    /// The kind of entity this reference points at.
+    #[inline]
+    pub fn kind(self) -> EntityKind {
+        match self {
+            EntityRef::Node(_) => EntityKind::Node,
+            EntityRef::Rel(_) => EntityKind::Relationship,
+        }
+    }
+}
+
 impl NodeId {
     /// Raw numeric value, e.g. for the Cypher `id()` function.
     #[inline]
@@ -108,5 +140,13 @@ mod tests {
     #[test]
     fn entity_ref_orders_nodes_before_rels() {
         assert!(EntityRef::Node(NodeId(99)) < EntityRef::Rel(RelId(0)));
+    }
+
+    #[test]
+    fn entity_kind_of_refs() {
+        assert_eq!(EntityRef::from(NodeId(1)).kind(), EntityKind::Node);
+        assert_eq!(EntityRef::from(RelId(2)).kind(), EntityKind::Relationship);
+        assert_eq!(EntityKind::Node.to_string(), "node");
+        assert_eq!(EntityKind::Relationship.to_string(), "relationship");
     }
 }

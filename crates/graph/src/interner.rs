@@ -55,8 +55,10 @@ impl Interner {
         if let Some(&sym) = self.lookup.get(s) {
             return sym;
         }
-        let sym =
-            Symbol(u32::try_from(self.strings.len()).expect("more than u32::MAX interned strings"));
+        let Ok(idx) = u32::try_from(self.strings.len()) else {
+            panic!("interner overflow: more than u32::MAX interned strings");
+        };
+        let sym = Symbol(idx);
         let boxed: Box<str> = s.into();
         self.strings.push(boxed.clone());
         self.lookup.insert(boxed, sym);

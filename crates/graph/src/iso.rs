@@ -66,7 +66,9 @@ impl CanonValue {
 }
 
 fn node_sig(g: &PropertyGraph, id: NodeId) -> NodeSig {
-    let data = g.node(id).expect("live node");
+    let Some(data) = g.node(id) else {
+        unreachable!("node_ids yields only live nodes");
+    };
     // Labels are stored as interned symbols ordered by interning sequence;
     // resolve and sort by *name* so graphs built in different vocabulary
     // orders compare equal.
@@ -100,7 +102,9 @@ fn rel_multiset(
 ) -> Option<BTreeMap<RelKey, usize>> {
     let mut out: BTreeMap<RelKey, usize> = BTreeMap::new();
     for r in g.rel_ids() {
-        let d = g.rel(r).expect("live rel");
+        let Some(d) = g.rel(r) else {
+            unreachable!("rel_ids yields only live rels");
+        };
         let src = *index_of.get(&d.src)?;
         let tgt = *index_of.get(&d.tgt)?;
         let mut props: Vec<(String, CanonValue)> = d

@@ -20,6 +20,8 @@
 //! Everything downstream (parser, interpreter, workload generators,
 //! experiment harness) builds on these types.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod error;
 pub mod fmt;
 pub mod graph;
@@ -35,7 +37,7 @@ pub use graph::{
     AdjIter, DeleteNodeMode, DeltaOp, Direction, IndexStats, NodeData, PropertyGraph, PropertyMap,
     RelData, Savepoint,
 };
-pub use ids::{EntityRef, NodeId, RelId};
+pub use ids::{EntityKind, EntityRef, NodeId, RelId};
 pub use interner::{Interner, Symbol};
 pub use iso::isomorphic;
 pub use stats::{CardinalityStats, GraphSummary};

@@ -106,7 +106,7 @@ impl GraphSummary {
         }
         let mut types: BTreeMap<String, usize> = BTreeMap::new();
         for r in graph.rel_ids() {
-            let data = graph.rel(r).expect("live rel");
+            let Some(data) = graph.rel(r) else { continue };
             *types
                 .entry(graph.sym_str(data.rel_type).to_owned())
                 .or_default() += 1;

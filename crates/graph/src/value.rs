@@ -184,7 +184,10 @@ impl Value {
             (Null, _) | (_, Null) => Ternary::Unknown,
             (Int(a), Int(b)) => Ternary::from_bool(a == b),
             (Int(_), Float(_)) | (Float(_), Int(_)) | (Float(_), Float(_)) => {
-                let (a, b) = (self.as_f64().unwrap(), other.as_f64().unwrap());
+                let (a, b) = (
+                    self.as_f64().unwrap_or(f64::NAN),
+                    other.as_f64().unwrap_or(f64::NAN),
+                );
                 Ternary::from_bool(a == b)
             }
             (Bool(a), Bool(b)) => Ternary::from_bool(a == b),
@@ -234,7 +237,10 @@ impl Value {
             (Int(_) | Float(_), Int(_) | Float(_)) => match (self, other) {
                 (Int(a), Int(b)) => a == b,
                 _ => {
-                    let (a, b) = (self.as_f64().unwrap(), other.as_f64().unwrap());
+                    let (a, b) = (
+                        self.as_f64().unwrap_or(f64::NAN),
+                        other.as_f64().unwrap_or(f64::NAN),
+                    );
                     (a.is_nan() && b.is_nan()) || a == b
                 }
             },
@@ -262,9 +268,10 @@ impl Value {
         use Value::*;
         match (self, other) {
             (Int(a), Int(b)) => Some(a.cmp(b)),
-            (Int(_) | Float(_), Int(_) | Float(_)) => {
-                self.as_f64().unwrap().partial_cmp(&other.as_f64().unwrap())
-            }
+            (Int(_) | Float(_), Int(_) | Float(_)) => self
+                .as_f64()
+                .unwrap_or(f64::NAN)
+                .partial_cmp(&other.as_f64().unwrap_or(f64::NAN)),
             (Str(a), Str(b)) => Some(a.cmp(b)),
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
             (List(a), List(b)) => {
@@ -313,12 +320,15 @@ impl Value {
             (Node(a), Node(b)) => a.cmp(b),
             (Rel(a), Rel(b)) => a.cmp(b),
             (Int(_) | Float(_), Int(_) | Float(_)) => {
-                let (a, b) = (self.as_f64().unwrap(), other.as_f64().unwrap());
+                let (a, b) = (
+                    self.as_f64().unwrap_or(f64::NAN),
+                    other.as_f64().unwrap_or(f64::NAN),
+                );
                 match (a.is_nan(), b.is_nan()) {
                     (true, true) => Ordering::Equal,
                     (true, false) => Ordering::Greater,
                     (false, true) => Ordering::Less,
-                    (false, false) => a.partial_cmp(&b).unwrap(),
+                    (false, false) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
                 }
             }
             (List(a), List(b)) => {

@@ -6,6 +6,8 @@
 //! (`WITH` demarcation, directed-only `MERGE ALL/SAME` patterns, bare `MERGE`
 //! only in Cypher 9, …).
 
+use crate::token::Span;
+
 /// Which language variant a query should be validated/executed under.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Dialect {
@@ -33,9 +35,34 @@ pub enum UnionKind {
 }
 
 /// A clause sequence.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct SingleQuery {
     pub clauses: Vec<Clause>,
+    /// Byte span of each clause in the source text, parallel to `clauses`.
+    /// Empty for programmatically constructed queries; excluded from
+    /// equality so that pretty-print round-trips compare equal.
+    pub clause_spans: Vec<Span>,
+}
+
+impl SingleQuery {
+    /// A query from bare clauses, without source spans.
+    pub fn new(clauses: Vec<Clause>) -> Self {
+        SingleQuery {
+            clauses,
+            clause_spans: Vec::new(),
+        }
+    }
+
+    /// Source span of clause `i`, when known.
+    pub fn clause_span(&self, i: usize) -> Option<Span> {
+        self.clause_spans.get(i).copied()
+    }
+}
+
+impl PartialEq for SingleQuery {
+    fn eq(&self, other: &Self) -> bool {
+        self.clauses == other.clauses
+    }
 }
 
 /// Any clause, reading or updating.

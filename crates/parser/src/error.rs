@@ -31,21 +31,29 @@ impl ParseError {
         let Some(span) = self.span else {
             return self.message.clone();
         };
-        let start = span.start.min(source.len());
-        let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
-        let line_end = source[start..]
-            .find('\n')
-            .map(|i| start + i)
-            .unwrap_or(source.len());
-        let line_no = source[..start].matches('\n').count() + 1;
-        let col = start - line_start;
-        let mut out = format!("{} (line {line_no}, column {})\n", self.message, col + 1);
-        out.push_str(&source[line_start..line_end]);
-        out.push('\n');
-        out.push_str(&" ".repeat(col));
-        out.push('^');
-        out
+        render_caret(source, span, &self.message)
     }
+}
+
+/// Render `message` positioned at `span` within `source`, followed by the
+/// offending source line and a caret column marker. Shared by parse errors,
+/// dialect-validation errors and lint diagnostics so every layer reports
+/// positions identically.
+pub fn render_caret(source: &str, span: Span, message: &str) -> String {
+    let start = span.start.min(source.len());
+    let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = source[start..]
+        .find('\n')
+        .map(|i| start + i)
+        .unwrap_or(source.len());
+    let line_no = source[..start].matches('\n').count() + 1;
+    let col = start - line_start;
+    let mut out = format!("{message} (line {line_no}, column {})\n", col + 1);
+    out.push_str(&source[line_start..line_end]);
+    out.push('\n');
+    out.push_str(&" ".repeat(col));
+    out.push('^');
+    out
 }
 
 impl fmt::Display for ParseError {

@@ -235,8 +235,11 @@ impl Lexer<'_> {
                     self.pos += 1;
                 }
                 _ => {
-                    // Consume one full UTF-8 scalar.
-                    let ch = self.input[self.pos..].chars().next().expect("valid utf8");
+                    // Consume one full UTF-8 scalar; at end-of-input fall
+                    // through to the unterminated-string error below.
+                    let Some(ch) = self.input[self.pos..].chars().next() else {
+                        break;
+                    };
                     s.push(ch);
                     self.pos += ch.len_utf8();
                 }

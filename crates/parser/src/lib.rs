@@ -21,6 +21,8 @@
 //! assert!(validate(&q, Dialect::Revised).is_err()); // bare MERGE removed in §7
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ast;
 pub mod error;
 pub mod lexer;
@@ -34,7 +36,8 @@ pub use ast::{
     ProjectionItem, ProjectionItems, Query, RelDirection, RelPattern, RemoveItem, SetItem,
     SingleQuery, SortItem, UnaryOp, UnionKind, VarLength,
 };
-pub use error::ParseError;
+pub use error::{render_caret, ParseError};
 pub use parser::{parse, parse_script};
 pub use pretty::{print_clause, print_expr, print_query};
+pub use token::{Span, Tok, Token};
 pub use validate::validate;

@@ -17,7 +17,7 @@
 use crate::ast::*;
 use crate::error::{ParseError, Result};
 use crate::lexer::lex;
-use crate::token::{Tok, Token};
+use crate::token::{Span, Tok, Token};
 
 /// Parse a single Cypher statement (an optional trailing `;` is allowed).
 pub fn parse(input: &str) -> Result<Query> {
@@ -132,6 +132,11 @@ impl Parser {
         ParseError::new(msg, self.peek().span)
     }
 
+    /// End offset of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        self.tokens[self.pos.saturating_sub(1)].span.end
+    }
+
     /// Identifier (plain or escaped) in name position.
     fn name(&mut self, what: &str) -> Result<String> {
         match &self.peek().tok {
@@ -170,16 +175,22 @@ impl Parser {
 
     fn single_query(&mut self) -> Result<SingleQuery> {
         let mut clauses = Vec::new();
+        let mut clause_spans = Vec::new();
         loop {
             if self.at(&Tok::Eof) || self.at(&Tok::Semicolon) || self.at_kw("UNION") {
                 break;
             }
+            let start = self.peek().span.start;
             clauses.push(self.clause()?);
+            clause_spans.push(Span::new(start, self.prev_end()));
         }
         if clauses.is_empty() {
             return Err(self.err_here("expected a clause"));
         }
-        Ok(SingleQuery { clauses })
+        Ok(SingleQuery {
+            clauses,
+            clause_spans,
+        })
     }
 
     fn clause(&mut self) -> Result<Clause> {
@@ -852,7 +863,11 @@ impl Parser {
                     };
                 } else {
                     self.expect(&Tok::RBracket)?;
-                    let idx = from.expect("index without `..` must have an expression");
+                    // `from` is always present here: a leading `..` would
+                    // have taken the slice branch above.
+                    let Some(idx) = from else {
+                        return Err(self.err_here("expected an index expression"));
+                    };
                     base = Expr::Index(Box::new(base), idx);
                 }
             } else if self.at(&Tok::Colon) {
@@ -1453,6 +1468,24 @@ mod tests {
         };
         assert!(matches!(&items[0], SetItem::Replace { .. }));
         assert!(matches!(&items[1], SetItem::MergeProps { .. }));
+    }
+
+    #[test]
+    fn clause_spans_cover_the_source() {
+        let src = "MATCH (n) RETURN n";
+        let query = q(src);
+        assert_eq!(query.first.clause_spans.len(), 2);
+        let s0 = query.first.clause_span(0).unwrap();
+        assert_eq!(&src[s0.start..s0.end], "MATCH (n)");
+        let s1 = query.first.clause_span(1).unwrap();
+        assert_eq!(&src[s1.start..s1.end], "RETURN n");
+    }
+
+    #[test]
+    fn clause_spans_do_not_affect_equality() {
+        // Same clauses, different surrounding whitespace → different spans,
+        // equal ASTs (pretty-print round-trips rely on this).
+        assert_eq!(q("MATCH (n)  RETURN n"), q("MATCH (n) RETURN n"));
     }
 
     #[test]

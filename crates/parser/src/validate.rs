@@ -27,9 +27,20 @@
 
 use crate::ast::*;
 use crate::error::{ParseError, Result};
+use crate::token::Span;
 
-/// Validate `query` against `dialect`. Errors carry no span (they are
-/// structural, not lexical).
+/// Build an error carrying the offending clause's source span when the AST
+/// was produced by the parser, and no span for programmatic ASTs.
+fn err_at(message: impl Into<String>, span: Option<Span>) -> ParseError {
+    match span {
+        Some(s) => ParseError::new(message, s),
+        None => ParseError::no_span(message),
+    }
+}
+
+/// Validate `query` against `dialect`. Errors point at the offending clause
+/// (parser-produced ASTs carry per-clause spans; programmatic ASTs yield
+/// span-less errors).
 pub fn validate(query: &Query, dialect: Dialect) -> Result<()> {
     validate_single(&query.first, dialect)?;
     for (_, sq) in &query.unions {
@@ -40,8 +51,10 @@ pub fn validate(query: &Query, dialect: Dialect) -> Result<()> {
     if !query.unions.is_empty() {
         for sq in std::iter::once(&query.first).chain(query.unions.iter().map(|(_, q)| q)) {
             if !matches!(sq.clauses.last(), Some(Clause::Return(_))) {
-                return Err(ParseError::no_span(
+                let last = sq.clauses.len().wrapping_sub(1);
+                return Err(err_at(
                     "every arm of a UNION must end with RETURN",
+                    sq.clause_span(last),
                 ));
             }
         }
@@ -52,28 +65,31 @@ pub fn validate(query: &Query, dialect: Dialect) -> Result<()> {
 fn validate_single(sq: &SingleQuery, dialect: Dialect) -> Result<()> {
     let clauses = &sq.clauses;
     // Schema commands stand alone.
-    if clauses
+    if let Some(i) = clauses
         .iter()
-        .any(|c| matches!(c, Clause::CreateIndex { .. } | Clause::DropIndex { .. }))
-        && clauses.len() != 1
+        .position(|c| matches!(c, Clause::CreateIndex { .. } | Clause::DropIndex { .. }))
     {
-        return Err(ParseError::no_span(
-            "CREATE INDEX / DROP INDEX must be the only clause in a statement",
-        ));
+        if clauses.len() != 1 {
+            return Err(err_at(
+                "CREATE INDEX / DROP INDEX must be the only clause in a statement",
+                sq.clause_span(i),
+            ));
+        }
     }
     for (i, clause) in clauses.iter().enumerate() {
+        let span = sq.clause_span(i);
         // RETURN must be last.
         if matches!(clause, Clause::Return(_)) && i + 1 != clauses.len() {
-            return Err(ParseError::no_span("RETURN must be the final clause"));
+            return Err(err_at("RETURN must be the final clause", span));
         }
         // WITH's WHERE is fine; RETURN must not carry WHERE (parser already
         // prevents this, but programmatic ASTs might not).
         if let Clause::Return(p) = clause {
             if p.where_clause.is_some() {
-                return Err(ParseError::no_span("RETURN cannot have a WHERE"));
+                return Err(err_at("RETURN cannot have a WHERE", span));
             }
         }
-        validate_clause(clause, dialect)?;
+        validate_clause(clause, dialect, span)?;
     }
 
     if dialect == Dialect::Cypher9 {
@@ -81,17 +97,20 @@ fn validate_single(sq: &SingleQuery, dialect: Dialect) -> Result<()> {
         // start, the only permitted readers are a WITH (which resets) or a
         // final RETURN.
         let mut seen_update = false;
-        for clause in clauses {
+        for (i, clause) in clauses.iter().enumerate() {
             match clause {
                 Clause::With(_) => seen_update = false,
                 Clause::Return(_) => {}
                 c if c.is_update() => seen_update = true,
                 c => {
                     if seen_update {
-                        return Err(ParseError::no_span(format!(
-                            "Cypher 9 requires WITH between update clauses and {} (§4.4)",
-                            c.name()
-                        )));
+                        return Err(err_at(
+                            format!(
+                                "Cypher 9 requires WITH between update clauses and {} (§4.4)",
+                                c.name()
+                            ),
+                            sq.clause_span(i),
+                        ));
                     }
                 }
             }
@@ -100,11 +119,11 @@ fn validate_single(sq: &SingleQuery, dialect: Dialect) -> Result<()> {
     Ok(())
 }
 
-fn validate_clause(clause: &Clause, dialect: Dialect) -> Result<()> {
+fn validate_clause(clause: &Clause, dialect: Dialect, span: Option<Span>) -> Result<()> {
     match clause {
         Clause::Create { patterns } => {
             for p in patterns {
-                validate_write_pattern(p, "CREATE", true)?;
+                validate_write_pattern(p, "CREATE", true, span)?;
             }
         }
         Clause::Merge {
@@ -114,34 +133,38 @@ fn validate_clause(clause: &Clause, dialect: Dialect) -> Result<()> {
             on_match,
         } => {
             if *kind != MergeKind::Legacy && (!on_create.is_empty() || !on_match.is_empty()) {
-                return Err(ParseError::no_span(
+                return Err(err_at(
                     "ON CREATE / ON MATCH actions only apply to the legacy MERGE",
+                    span,
                 ));
             }
             match (dialect, kind) {
                 (Dialect::Cypher9, MergeKind::Legacy) => {
                     if patterns.len() != 1 {
-                        return Err(ParseError::no_span(
+                        return Err(err_at(
                             "Cypher 9 MERGE takes a single pattern (Figure 3)",
+                            span,
                         ));
                     }
                     // Undirected relationships allowed; still no var-length and
                     // each relationship needs exactly one type.
-                    validate_write_pattern(&patterns[0], "MERGE", false)?;
+                    validate_write_pattern(&patterns[0], "MERGE", false, span)?;
                 }
                 (Dialect::Cypher9, _) => {
-                    return Err(ParseError::no_span(
+                    return Err(err_at(
                         "MERGE ALL / MERGE SAME are not part of Cypher 9",
+                        span,
                     ));
                 }
                 (Dialect::Revised, MergeKind::Legacy) => {
-                    return Err(ParseError::no_span(
+                    return Err(err_at(
                         "bare MERGE is no longer allowed; use MERGE ALL or MERGE SAME (§7)",
+                        span,
                     ));
                 }
                 (Dialect::Revised, _) => {
                     for p in patterns {
-                        validate_write_pattern(p, clause.name(), true)?;
+                        validate_write_pattern(p, clause.name(), true, span)?;
                     }
                 }
             }
@@ -149,12 +172,15 @@ fn validate_clause(clause: &Clause, dialect: Dialect) -> Result<()> {
         Clause::Foreach { body, .. } => {
             for inner in body {
                 if !inner.is_update() {
-                    return Err(ParseError::no_span(format!(
-                        "FOREACH body may only contain update clauses, found {}",
-                        inner.name()
-                    )));
+                    return Err(err_at(
+                        format!(
+                            "FOREACH body may only contain update clauses, found {}",
+                            inner.name()
+                        ),
+                        span,
+                    ));
                 }
-                validate_clause(inner, dialect)?;
+                validate_clause(inner, dialect, span)?;
             }
         }
         _ => {}
@@ -165,28 +191,39 @@ fn validate_clause(clause: &Clause, dialect: Dialect) -> Result<()> {
 /// Check a pattern used in a writing clause: every relationship must carry
 /// exactly one type, no variable-length, and (when `directed_only`) a
 /// direction.
-fn validate_write_pattern(p: &PathPattern, clause: &str, directed_only: bool) -> Result<()> {
+fn validate_write_pattern(
+    p: &PathPattern,
+    clause: &str,
+    directed_only: bool,
+    span: Option<Span>,
+) -> Result<()> {
     if p.shortest.is_some() {
-        return Err(ParseError::no_span(format!(
-            "shortestPath is not allowed in {clause} patterns"
-        )));
+        return Err(err_at(
+            format!("shortestPath is not allowed in {clause} patterns"),
+            span,
+        ));
     }
     for (rel, _) in &p.steps {
         if rel.types.len() != 1 {
-            return Err(ParseError::no_span(format!(
-                "{clause} relationships must have exactly one type \
-                 (to ensure every relationship has a unique type, §3)"
-            )));
+            return Err(err_at(
+                format!(
+                    "{clause} relationships must have exactly one type \
+                     (to ensure every relationship has a unique type, §3)"
+                ),
+                span,
+            ));
         }
         if rel.length.is_some() {
-            return Err(ParseError::no_span(format!(
-                "{clause} relationships cannot be variable-length"
-            )));
+            return Err(err_at(
+                format!("{clause} relationships cannot be variable-length"),
+                span,
+            ));
         }
         if directed_only && rel.direction == RelDirection::Undirected {
-            return Err(ParseError::no_span(format!(
-                "{clause} relationships must be directed"
-            )));
+            return Err(err_at(
+                format!("{clause} relationships must be directed"),
+                span,
+            ));
         }
     }
     Ok(())
@@ -283,6 +320,41 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("UNION"));
+    }
+
+    #[test]
+    fn dialect_errors_carry_clause_spans() {
+        let src = "MATCH (n) CREATE (m) MATCH (x) RETURN x";
+        let err = check(src, Dialect::Cypher9).unwrap_err();
+        let span = err.span.expect("validation error should carry a span");
+        assert_eq!(&src[span.start..span.end], "MATCH (x)");
+        // Renders with the same caret formatting the lexer/parser use.
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 1, column 22"), "{rendered}");
+        assert!(rendered.ends_with('^'), "{rendered}");
+    }
+
+    #[test]
+    fn merge_errors_point_at_the_merge_clause() {
+        let src = "MATCH (a) MERGE SAME (a)-[:T]-(b)";
+        let err = check(src, Dialect::Revised).unwrap_err();
+        let span = err.span.expect("span");
+        assert!(src[span.start..span.end].starts_with("MERGE SAME"));
+    }
+
+    #[test]
+    fn programmatic_asts_still_validate_without_spans() {
+        use crate::ast::{Projection, SingleQuery};
+        let q = Query {
+            first: SingleQuery::new(vec![
+                Clause::Return(Projection::star()),
+                Clause::Return(Projection::star()),
+            ]),
+            unions: vec![],
+        };
+        let err = validate(&q, Dialect::Cypher9).unwrap_err();
+        assert!(err.span.is_none());
+        assert!(err.message.contains("final clause"));
     }
 
     #[test]

@@ -1,0 +1,30 @@
+// The defect catalogue from "Updating Graph Databases with Cypher"
+// (PVLDB 2019), one statement per hazard. Under the legacy dialect none of
+// these are errors — they parse, run, and silently do the wrong thing —
+// which is exactly why the linter exists. `cypher-lint` prints W01–W05
+// warnings for this file but still exits 0 (warnings only fail the build
+// with --deny-warnings).
+
+// Example 1 (W01): the id swap that silently assigns one value to both
+// products, because the second SET item reads p1.id after it was written.
+MATCH (p1:Product {name: 'laptop'}), (p2:Product {name: 'tablet'})
+SET p1.id = p2.id, p2.id = p1.id;
+
+// Example 2 (W02): under a multi-row driving table the rename depends on
+// record processing order when names are already dirty.
+MATCH (p1:Product {id: 85}), (p2:Product {id: 125})
+SET p1.name = p2.name;
+
+// §4.2 (W03): updating a variable after DELETE writes to a zombie …
+MATCH (n:User) DELETE n SET n.deleted = true;
+
+// … and non-DETACH DELETE of a node that still has relationships leaves
+// them dangling.
+MATCH (a:User)-[r:ORDERED]->(b:Product) DELETE a;
+
+// Example 3 (W04/W05): the legacy MERGE mixes bound and fresh pattern
+// parts, so later records can read relationships earlier records created.
+UNWIND [[89, 85, 12], [14, 125, 7], [89, 125, 7]] AS row
+MATCH (user:User {id: row[0]}), (product:Product {id: row[1]}),
+      (vendor:Vendor {id: row[2]})
+MERGE (user)-[:ORDERED]->(product)<-[:OFFERS]-(vendor);

@@ -29,6 +29,12 @@ bench-check:
 clippy-storage:
     cargo clippy -p cypher-storage --offline -- -D warnings
 
+# Static analysis: clippy over the whole workspace, then the update-hazard
+# linter (W01-W05) over every shipped .cypher example.
+lint:
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+    cargo run --bin cypher-lint --offline -q -- examples/*.cypher
+
 test:
     cargo test -q --offline
 

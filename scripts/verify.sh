@@ -48,6 +48,10 @@ run "build (workspace incl. bench)" cargo build --workspace --offline
 # probe and agrees byte-for-byte with force_naive (full run: `just bench`).
 run "bench smoke" cargo run -p cypher-bench --bin bench --offline -q -- --check
 
+# Static-analysis self-check: every shipped .cypher example must lint
+# clean (warnings allowed, error-severity diagnostics fail the build).
+run "cypher-lint (examples)" cargo run --bin cypher-lint --offline -q -- examples/*.cypher
+
 if cargo fmt --version >/dev/null 2>&1; then
     run "fmt" cargo fmt --all --check
 else
@@ -56,10 +60,10 @@ fi
 
 if cargo clippy --version >/dev/null 2>&1; then
     run "clippy" cargo clippy --workspace --all-targets --offline -- -D warnings
-    # The storage crate additionally denies unwrap/expect in non-test code
-    # (scoped #![deny] in its lib.rs); lint it on its own so a workspace-
-    # level allow can never mask a regression.
-    run "clippy (storage, unwrap ban)" cargo clippy -p cypher-storage --offline -- -D warnings
+    # These crates additionally deny unwrap/expect in non-test code
+    # (scoped #![deny] in their lib.rs); lint them on their own so a
+    # workspace-level allow can never mask a regression.
+    run "clippy (unwrap ban)" cargo clippy -p cypher-storage -p cypher-parser -p cypher-graph -p cypher-core -p cypher-analysis --offline -- -D warnings
 else
     skip "clippy" "clippy not installed"
 fi

@@ -1,0 +1,121 @@
+//! `cypher-lint` — lint `.cypher` files (or stdin) for the update hazards
+//! catalogued in "Updating Graph Databases with Cypher" (PVLDB 2019), plus
+//! scope and shape errors. Intended for CI: the exit code is
+//!
+//! * `0` — clean, or only warnings/info (without `--deny-warnings`);
+//! * `1` — at least one error-severity diagnostic (or warning under
+//!   `--deny-warnings`);
+//! * `2` — a file failed to read or parse.
+//!
+//! ```text
+//! $ cypher-lint examples/*.cypher
+//! $ cypher-lint --dialect revised --deny-warnings migration.cypher
+//! $ echo "MATCH (n) DELETE n RETURN n.name" | cypher-lint -
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use cypher_analysis::{lint_script, max_severity, Severity};
+use cypher_parser::Dialect;
+
+struct Options {
+    dialect: Dialect,
+    deny_warnings: bool,
+    inputs: Vec<String>,
+}
+
+const USAGE: &str =
+    "usage: cypher-lint [--dialect legacy|revised] [--deny-warnings] <file.cypher>... | -";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        dialect: Dialect::Cypher9,
+        deny_warnings: false,
+        inputs: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dialect" => match args.next().as_deref() {
+                Some("legacy") | Some("cypher9") => opts.dialect = Dialect::Cypher9,
+                Some("revised") => opts.dialect = Dialect::Revised,
+                _ => return Err("--dialect takes `legacy` or `revised`".to_owned()),
+            },
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            path => opts.inputs.push(path.to_owned()),
+        }
+    }
+    if opts.inputs.is_empty() {
+        return Err("no input files (use `-` for stdin)".to_owned());
+    }
+    Ok(opts)
+}
+
+fn read_input(path: &str) -> std::io::Result<String> {
+    if path == "-" {
+        let mut text = String::new();
+        std::io::stdin().read_to_string(&mut text)?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path)
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let fail_at = if opts.deny_warnings {
+        Severity::Warning
+    } else {
+        Severity::Error
+    };
+    let mut failed = false;
+    let mut broken = false;
+    for path in &opts.inputs {
+        let label = if path == "-" { "<stdin>" } else { path };
+        let text = match read_input(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{label}: cannot read: {e}");
+                broken = true;
+                continue;
+            }
+        };
+        match lint_script(&text, opts.dialect) {
+            Ok(diags) => {
+                for d in &diags {
+                    eprintln!("{label}: {}", d.render(&text));
+                }
+                if max_severity(&diags).is_some_and(|s| s >= fail_at) {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("{label}: parse error: {}", e.render(&text));
+                broken = true;
+            }
+        }
+    }
+    if broken {
+        ExitCode::from(2)
+    } else if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

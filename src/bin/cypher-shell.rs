@@ -26,6 +26,7 @@
 //! | `:checkpoint` | snapshot the open store and truncate its WAL |
 //! | `:close` | checkpoint and detach from the store |
 //! | `:limits [rows N] [writes N] [time MS] \| off` | per-statement execution budgets |
+//! | `:lint off\|warn\|deny` | static update-hazard analysis before each statement |
 //! | `:dump` | print the graph |
 //! | `:stats` | print cardinality statistics and per-index hit/miss counters |
 //! | `:reset` | empty the graph |
@@ -36,7 +37,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 use cypher_core::{
-    Dialect, Engine, EngineBuilder, ExecLimits, MatchMode, MergePolicy, ProcessingOrder,
+    Dialect, Engine, EngineBuilder, ExecLimits, LintMode, MatchMode, MergePolicy, ProcessingOrder,
 };
 use cypher_graph::{fmt::dump, CardinalityStats, GraphSummary, PropertyGraph, Value};
 use cypher_storage::DurableGraph;
@@ -65,6 +66,7 @@ struct Shell {
     policy: Option<MergePolicy>,
     params: Vec<(String, Value)>,
     limits: ExecLimits,
+    lint: LintMode,
 }
 
 impl Shell {
@@ -77,7 +79,33 @@ impl Shell {
             policy: None,
             params: Vec::new(),
             limits: ExecLimits::NONE,
+            // Warn by default: hazards print with carets but never change
+            // what executes (the differential suite pins this down).
+            lint: LintMode::Warn,
         }
+    }
+
+    /// Lint `text` (a statement or whole script) and render diagnostics.
+    /// Returns `false` when [`LintMode::Deny`] refuses execution. Parse
+    /// errors are left for the engine so they are reported exactly once.
+    fn lint_gate(&self, text: &str) -> bool {
+        if self.lint == LintMode::Off {
+            return true;
+        }
+        let Ok(diags) = cypher_analysis::lint_script(text, self.dialect) else {
+            return true;
+        };
+        for d in &diags {
+            println!("{}", d.render(text));
+        }
+        if self.lint == LintMode::Deny
+            && cypher_analysis::max_severity(&diags)
+                .is_some_and(|s| s >= cypher_core::LintSeverity::Warning)
+        {
+            println!("statement refused (:lint deny); fix the diagnostics or :lint warn");
+            return false;
+        }
+        true
     }
 
     /// Run `f` against the active graph; in durable mode the statement's
@@ -164,6 +192,9 @@ impl Shell {
             }
             return;
         }
+        if !self.lint_gate(text) {
+            return;
+        }
         let Some(outcome) = self.exec_caught(|engine, g| engine.run(g, text)) else {
             return; // panic: already reported and reconciled
         };
@@ -217,6 +248,7 @@ impl Shell {
                      :close                    checkpoint and detach from the store\n\
                      :limits [rows N] [writes N] [time MS] | off\n\
                      \x20                          per-statement execution budgets\n\
+                     :lint off|warn|deny       static update-hazard analysis (W01-W05)\n\
                      :dump | :stats | :reset | :quit"
                 );
             }
@@ -272,6 +304,9 @@ impl Shell {
                 };
                 match std::fs::read_to_string(path) {
                     Ok(text) => {
+                        if !self.lint_gate(&text) {
+                            return true;
+                        }
                         match self.exec_caught(|engine, g| engine.run_script(g, &text)) {
                             Some(Ok(last)) => {
                                 if !last.columns.is_empty() {
@@ -363,6 +398,13 @@ impl Shell {
                 self.limits = new;
                 println!("{}", render_limits(&self.limits));
             }
+            ":lint" => match words.next() {
+                Some("off") => self.lint = LintMode::Off,
+                Some("warn") => self.lint = LintMode::Warn,
+                Some("deny") => self.lint = LintMode::Deny,
+                None => println!("lint: {:?}", self.lint),
+                _ => println!("usage: :lint off|warn|deny"),
+            },
             ":close" => {
                 match std::mem::replace(&mut self.store, Store::Memory(PropertyGraph::new())) {
                     Store::Durable(d) => {
