@@ -6,7 +6,7 @@
 
 use std::fmt;
 
-use cypher_parser::{render_caret, Span};
+use cypher_parser::{line_col, render_caret, Span};
 
 /// How serious a diagnostic is.
 ///
@@ -155,6 +155,59 @@ impl Diagnostic {
         }
         out
     }
+
+    /// Render as one JSON object for machine consumption
+    /// (`cypher-lint --format json`). `file` labels the source (a path or
+    /// `<stdin>`); `source` supplies the line/column computation. Span-less
+    /// diagnostics emit `"span": null`. Keys are emitted in a fixed order
+    /// so output is byte-stable across runs.
+    pub fn render_json(&self, file: &str, source: &str) -> String {
+        let mut out = String::from("{");
+        push_json_field(&mut out, "file", file);
+        out.push(',');
+        push_json_field(&mut out, "severity", &self.severity.to_string());
+        out.push(',');
+        push_json_field(&mut out, "code", self.code.as_str());
+        out.push(',');
+        match self.span {
+            Some(span) => {
+                let (line, col) = line_col(source, span.start);
+                out.push_str(&format!(
+                    "\"span\":{{\"start\":{},\"end\":{},\"line\":{line},\"column\":{col}}}",
+                    span.start, span.end
+                ));
+            }
+            None => out.push_str("\"span\":null"),
+        }
+        out.push(',');
+        push_json_field(&mut out, "message", &self.message);
+        out.push(',');
+        match &self.note {
+            Some(note) => push_json_field(&mut out, "note", note),
+            None => out.push_str("\"note\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Append `"key":"escaped value"` to `out`.
+fn push_json_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// The highest severity among `diags`, if any.
@@ -190,6 +243,25 @@ mod tests {
         assert!(r.contains("SET p.x = 1"));
         assert!(r.contains("    ^"));
         assert!(r.ends_with("note: see Example 1"));
+    }
+
+    #[test]
+    fn render_json_is_one_stable_object() {
+        let src = "SET p.x = 1";
+        let d = Diagnostic::new(Code::W01ConflictingSet, Some(Span::new(4, 7)), "say \"hi\"")
+            .with_note("see Example 1");
+        assert_eq!(
+            d.render_json("a.cypher", src),
+            "{\"file\":\"a.cypher\",\"severity\":\"warning\",\"code\":\"W01\",\
+             \"span\":{\"start\":4,\"end\":7,\"line\":1,\"column\":5},\
+             \"message\":\"say \\\"hi\\\"\",\"note\":\"see Example 1\"}"
+        );
+        let d = Diagnostic::new(Code::E00DialectViolation, None, "bad");
+        assert_eq!(
+            d.render_json("<stdin>", src),
+            "{\"file\":\"<stdin>\",\"severity\":\"error\",\"code\":\"E00\",\
+             \"span\":null,\"message\":\"bad\",\"note\":null}"
+        );
     }
 
     #[test]

@@ -20,8 +20,11 @@
 //! a tiny graph, assertions only (planner picks the index probe, both
 //! engines agree, execution fits an `ExecGuard` budget), no JSON output.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::{Duration, Instant};
 
+use cypher_bench::MustExt;
 use cypher_core::{Dialect, Engine, EngineBuilder, ExecLimits};
 use cypher_datagen::{marketplace_graph, MarketplaceConfig};
 use cypher_graph::PropertyGraph;
@@ -68,7 +71,9 @@ fn main() {
 
     let mut graph = marketplace_graph(&cfg);
     let setup = Engine::revised();
-    setup.run(&mut graph, "CREATE INDEX ON :User(id)").unwrap();
+    setup
+        .run(&mut graph, "CREATE INDEX ON :User(id)")
+        .must("create :User(id) index");
     let nodes = graph.node_count();
     let rels = graph.rel_count();
     eprintln!("graph: {nodes} nodes, {rels} rels (seed {})", cfg.seed);
@@ -89,7 +94,7 @@ fn main() {
     if check {
         let plan = planned_rd
             .explain(&graph, "MATCH (u:User {id: 3}) RETURN u")
-            .unwrap();
+            .must("explain the probe query");
         assert!(
             plan.contains("index probe (:User(id))"),
             "planner did not pick the index probe:\n{plan}"
@@ -125,7 +130,7 @@ fn main() {
     );
 
     let json = render_json(&cfg, nodes, rels, &[w1, w2]);
-    std::fs::write(&out_path, json).unwrap();
+    std::fs::write(&out_path, json).must("write the benchmark report");
     eprintln!("wrote {out_path}");
 }
 
@@ -156,7 +161,7 @@ fn run_w1(
         let mut outputs = Vec::with_capacity(stmts.len());
         let t0 = Instant::now();
         for s in &stmts {
-            let r = engine.run(&mut g, s).unwrap();
+            let r = engine.run(&mut g, s).must("W1 query");
             rows += r.rows.len();
             outputs.push(r.render());
         }
@@ -200,7 +205,7 @@ fn run_w2(
     let run = |engine: &Engine| {
         let mut g = graph.clone();
         let t0 = Instant::now();
-        let r = engine.run(&mut g, &stmt).unwrap();
+        let r = engine.run(&mut g, &stmt).must("W2 merge statement");
         (t0.elapsed(), r.rows.len(), r.render(), g)
     };
 

@@ -9,6 +9,8 @@
 //!
 //! Exits non-zero if any experiment fails its paper-derived checks.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::process::ExitCode;
 
 use cypher_bench::run_all;

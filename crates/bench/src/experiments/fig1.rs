@@ -5,6 +5,7 @@ use cypher_datagen::figure1_graph;
 use cypher_graph::{GraphSummary, Value};
 
 use crate::ExperimentReport;
+use crate::MustExt;
 
 pub fn e1_running_example() -> ExperimentReport {
     let mut r = ExperimentReport::new("E1", "Figure 1 and Queries (1)–(5), §2–§3");
@@ -27,7 +28,7 @@ pub fn e1_running_example() -> ExperimentReport {
             "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) \
              WHERE p.name = \"laptop\" RETURN v",
         )
-        .expect("Q1");
+        .must("Q1");
     r.check("Q1 returns exactly one record", q1.rows.len() == 1);
     // §2: without the WHERE the table has two records (v1 twice).
     let q1_nowhere = engine
@@ -35,7 +36,7 @@ pub fn e1_running_example() -> ExperimentReport {
             &mut g,
             "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) RETURN v",
         )
-        .expect("Q1 without WHERE");
+        .must("Q1 without WHERE");
     r.check(
         "without WHERE the bag has two copies of (v: v1)",
         q1_nowhere.rows.len() == 2 && q1_nowhere.rows[0] == q1_nowhere.rows[1],
@@ -47,7 +48,7 @@ pub fn e1_running_example() -> ExperimentReport {
             &mut g,
             "MATCH (u:User{id:89}) CREATE (u)-[:ORDERED]->(:New_Product{id:0})",
         )
-        .expect("Q2");
+        .must("Q2");
     r.check(
         "Q2 creates one node and one relationship",
         q2.stats.nodes_created == 1 && q2.stats.rels_created == 1,
@@ -61,13 +62,13 @@ pub fn e1_running_example() -> ExperimentReport {
              SET p:Product, p.id=120, p.name=\"smartphone\" \
              REMOVE p:New_Product",
         )
-        .expect("Q3");
+        .must("Q3");
     let relabeled = engine
         .run(
             &mut g,
             "MATCH (p:Product {id: 120}) RETURN p.name AS name, labels(p) AS ls",
         )
-        .expect("relabel check");
+        .must("relabel check");
     r.check(
         "Q3 leaves a :Product named smartphone",
         relabeled.rows.len() == 1
@@ -85,7 +86,7 @@ pub fn e1_running_example() -> ExperimentReport {
     // paper's alternative, Query (4): DETACH DELETE.
     let q4 = engine
         .run(&mut g, "MATCH (p:Product{id:120}) DETACH DELETE p")
-        .expect("Q4");
+        .must("Q4");
     r.check(
         "Q4 DETACH DELETE removes node and relationship",
         q4.stats.nodes_deleted == 1 && q4.stats.rels_deleted == 1,
@@ -101,7 +102,7 @@ pub fn e1_running_example() -> ExperimentReport {
             &mut g,
             "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) RETURN p, v",
         )
-        .expect("Q5");
+        .must("Q5");
     r.check("Q5 returns three product/vendor pairs", q5.rows.len() == 3);
     let after = GraphSummary::of(&g);
     r.check(

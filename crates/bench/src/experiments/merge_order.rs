@@ -5,7 +5,7 @@ use cypher_core::{Dialect, Engine, MergePolicy, ProcessingOrder};
 use cypher_datagen::{example3_table, rows_as_value};
 use cypher_graph::{isomorphic, PropertyGraph};
 
-use crate::experiments::{build_expected, shape};
+use crate::experiments::{build_expected, shape, MustExt};
 use crate::ExperimentReport;
 
 /// Five nodes u1, u2, p, v1, v2 (no relationships), per Example 3.
@@ -17,7 +17,7 @@ fn example3_setup(engine: &Engine) -> PropertyGraph {
             "CREATE (:N {k: 'u1'}), (:N {k: 'u2'}), (:N {k: 'p'}), \
                     (:N {k: 'v1'}), (:N {k: 'v2'})",
         )
-        .expect("setup");
+        .must("setup");
     g
 }
 
@@ -88,7 +88,7 @@ pub fn e5_example3_legacy_merge() -> ExperimentReport {
             .param("rows", rows.clone())
             .build();
         let mut g = example3_setup(&engine);
-        engine.run(&mut g, EXAMPLE3_MERGE).expect("example 3 merge");
+        engine.run(&mut g, EXAMPLE3_MERGE).must("example 3 merge");
         r.check(
             &format!("{name} produces the expected figure graph"),
             isomorphic(&g, &expected),
@@ -121,7 +121,7 @@ pub fn e6_example4_proposals() -> ExperimentReport {
             let mut g = example3_setup(&engine);
             engine
                 .run(&mut g, EXAMPLE3_MERGE_ALL)
-                .expect("example 4 merge");
+                .must("example 4 merge");
             outcomes.push(g);
         }
         r.check(

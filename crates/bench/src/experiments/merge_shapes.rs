@@ -7,7 +7,7 @@ use cypher_core::{Dialect, Engine, MatchMode, MergePolicy, ProcessingOrder};
 use cypher_datagen::{example6_table, rows_as_value};
 use cypher_graph::{isomorphic, PropertyGraph, Value};
 
-use crate::experiments::{build_expected, run_example5, shape};
+use crate::experiments::{build_expected, run_example5, shape, MustExt};
 use crate::ExperimentReport;
 
 /// Figure 7a: twelve nodes, six relationships (one pair per record).
@@ -44,7 +44,7 @@ fn figure7a() -> PropertyGraph {
     let ordered = g.sym("ORDERED");
     for i in 0..6 {
         g.create_rel(ids[&format!("u{i}")], ordered, ids[&format!("p{i}")], [])
-            .expect("live endpoints");
+            .must("live endpoints");
     }
     g
 }
@@ -134,7 +134,7 @@ fn run_example6(policy: MergePolicy) -> PropertyGraph {
              MERGE ALL (:User {id: bid})-[:ORDERED]->(:Product {id: pid})\
              <-[:OFFERS]-(:User {id: sid})",
         )
-        .expect("example 6 query");
+        .must("example 6 query");
     g
 }
 
@@ -215,7 +215,7 @@ fn run_example7(policy: MergePolicy) -> PropertyGraph {
             &mut g,
             "CREATE (:P {k: 1}), (:P {k: 2}), (:P {k: 3}), (:P {k: 4})",
         )
-        .expect("products");
+        .must("products");
     engine
         .run(
             &mut g,
@@ -223,7 +223,7 @@ fn run_example7(policy: MergePolicy) -> PropertyGraph {
                    (e:P {k: 2}), (tgt:P {k: 4}) \
              MERGE ALL (a)-[:TO]->(b)-[:TO]->(c)-[:TO]->(d)-[:TO]->(e)-[:BOUGHT]->(tgt)",
         )
-        .expect("example 7 query");
+        .must("example 7 query");
     g
 }
 
@@ -303,9 +303,7 @@ pub fn e9_example7_figure9() -> ExperimentReport {
     let rematch = "MATCH (a)-[:TO]->(b)-[:TO]->(c)-[:TO]->(d)-[:TO]->(e)\
                    -[:BOUGHT]->(tgt) RETURN count(*) AS c";
     let mut g = g_strong;
-    let iso = Engine::revised()
-        .run(&mut g, rematch)
-        .expect("iso re-match");
+    let iso = Engine::revised().run(&mut g, rematch).must("iso re-match");
     r.check(
         "re-match fails under edge-isomorphic semantics",
         iso.rows[0][0] == Value::Int(0),
@@ -314,7 +312,7 @@ pub fn e9_example7_figure9() -> ExperimentReport {
         .match_mode(MatchMode::Homomorphic)
         .build()
         .run(&mut g, rematch)
-        .expect("homomorphic re-match");
+        .must("homomorphic re-match");
     let Value::Int(h) = homo.rows[0][0] else {
         panic!("count missing")
     };

@@ -7,6 +7,7 @@ pub mod merge_shapes;
 pub mod set_delete;
 pub mod syntax;
 
+use crate::MustExt;
 use cypher_core::{Dialect, Engine, MergePolicy, ProcessingOrder};
 use cypher_graph::{GraphSummary, PropertyGraph, Value};
 
@@ -34,7 +35,7 @@ pub(crate) fn run_example5(policy: MergePolicy, order: ProcessingOrder) -> Prope
              WITH row.cid AS cid, row.pid AS pid, row.date AS date \
              MERGE ALL (:User {id: cid})-[:ORDERED]->(:Product {id: pid})",
         )
-        .expect("example 5 query");
+        .must("example 5 query");
     g
 }
 
@@ -58,7 +59,7 @@ pub(crate) fn build_expected(
     for (src, ty, tgt) in rels {
         let ty = g.sym(ty);
         g.create_rel(ids[*src], ty, ids[*tgt], [])
-            .expect("live endpoints");
+            .must("live endpoints");
     }
     g
 }

@@ -6,6 +6,7 @@ use cypher_core::{Dialect, Engine, EvalError, ProcessingOrder};
 use cypher_graph::{GraphError, PropertyGraph, Value};
 
 use crate::ExperimentReport;
+use crate::MustExt;
 
 fn example1_graph() -> PropertyGraph {
     // Ids switched by a data-entry error: laptop carries the tablet's id.
@@ -15,7 +16,7 @@ fn example1_graph() -> PropertyGraph {
             &mut g,
             "CREATE (:Product {name: 'laptop', id: 85}), (:Product {name: 'tablet', id: 125})",
         )
-        .expect("setup");
+        .must("setup");
     g
 }
 
@@ -28,7 +29,7 @@ fn ids_by_name(g: &mut PropertyGraph) -> (i64, i64) {
             g,
             "MATCH (p:Product) RETURN p.name AS n, p.id AS id ORDER BY n",
         )
-        .expect("read ids");
+        .must("read ids");
     let get = |row: &Vec<Value>| match row[1] {
         Value::Int(i) => i,
         _ => panic!("non-integer id"),
@@ -41,7 +42,7 @@ pub fn e2_example1_set_swap() -> ExperimentReport {
     r.expected = "legacy: swap lost, both ids become 125; revised: ids swapped (125/85)".into();
 
     let mut g = example1_graph();
-    Engine::legacy().run(&mut g, SWAP).expect("legacy swap");
+    Engine::legacy().run(&mut g, SWAP).must("legacy swap");
     let (laptop, tablet) = ids_by_name(&mut g);
     r.check(
         "legacy SET equalizes the ids (no-op second assignment)",
@@ -50,7 +51,7 @@ pub fn e2_example1_set_swap() -> ExperimentReport {
     let legacy_outcome = format!("legacy: laptop={laptop}, tablet={tablet}");
 
     let mut g = example1_graph();
-    Engine::revised().run(&mut g, SWAP).expect("revised swap");
+    Engine::revised().run(&mut g, SWAP).must("revised swap");
     let (laptop, tablet) = ids_by_name(&mut g);
     r.check(
         "revised SET performs the swap atomically",
@@ -69,7 +70,7 @@ fn example2_graph() -> PropertyGraph {
                     (:Product {id: 125, name: 'notebook'}), \
                     (:Product {id: 85, name: 'tablet'})",
         )
-        .expect("setup");
+        .must("setup");
     g
 }
 
@@ -87,10 +88,10 @@ pub fn e3_example2_set_conflict() -> ExperimentReport {
         let e = Engine::builder(Dialect::Cypher9)
             .processing_order(order)
             .build();
-        e.run(&mut g, EXAMPLE2).expect("legacy example 2");
+        e.run(&mut g, EXAMPLE2).must("legacy example 2");
         let res = e
             .run(&mut g, "MATCH (p:Product {id: 85}) RETURN p.name AS n")
-            .expect("read back");
+            .must("read back");
         let Value::Str(name) = res.rows[0][0].clone() else {
             panic!("name missing")
         };
@@ -111,7 +112,7 @@ pub fn e3_example2_set_conflict() -> ExperimentReport {
     r.check("revised SET aborts with ConflictingSet", conflicted);
     let untouched = Engine::revised()
         .run(&mut g, "MATCH (p:Product {id: 85}) RETURN p.name AS n")
-        .expect("read back");
+        .must("read back");
     r.check(
         "graph unchanged after the aborted statement",
         untouched.rows[0][0] == Value::str("tablet"),
@@ -137,8 +138,8 @@ pub fn e4_delete_anomaly() -> ExperimentReport {
     // Legacy: runs to completion.
     let mut g = PropertyGraph::new();
     let legacy = Engine::legacy();
-    legacy.run(&mut g, setup).expect("setup");
-    let res = legacy.run(&mut g, query).expect("legacy anomaly query");
+    legacy.run(&mut g, setup).must("setup");
+    let res = legacy.run(&mut g, query).must("legacy anomaly query");
     r.check("legacy query returns one row", res.rows.len() == 1);
     let zombie_ok = match &res.rows[0][0] {
         Value::Node(n) => g.is_zombie((*n).into()) && g.node(*n).is_none(),
@@ -157,7 +158,7 @@ pub fn e4_delete_anomaly() -> ExperimentReport {
     // Legacy, but ending mid-anomaly: DELETE user alone leaves a dangling
     // relationship, which the commit-time integrity check rejects.
     let mut g = PropertyGraph::new();
-    legacy.run(&mut g, setup).expect("setup");
+    legacy.run(&mut g, setup).must("setup");
     let err = legacy.run(&mut g, "MATCH (user)-[:ORDERED]->() DELETE user");
     r.check(
         "legacy statement ending in a dangling state fails at commit",
@@ -174,7 +175,7 @@ pub fn e4_delete_anomaly() -> ExperimentReport {
     // Revised: the first DELETE errors immediately.
     let mut g = PropertyGraph::new();
     let revised = Engine::revised();
-    revised.run(&mut g, setup).expect("setup");
+    revised.run(&mut g, setup).must("setup");
     let err = revised.run(&mut g, query);
     r.check(
         "revised engine rejects the plain DELETE (§7 strict semantics)",
@@ -184,13 +185,13 @@ pub fn e4_delete_anomaly() -> ExperimentReport {
     // Revised equivalent with null substitution: delete rel + node in one
     // clause; the returned reference is null.
     let mut g = PropertyGraph::new();
-    revised.run(&mut g, setup).expect("setup");
+    revised.run(&mut g, setup).must("setup");
     let res = revised
         .run(
             &mut g,
             "MATCH (user)-[order:ORDERED]->(product) DELETE user, order RETURN user",
         )
-        .expect("revised strict delete");
+        .must("revised strict delete");
     r.check(
         "revised DELETE substitutes null for the deleted reference",
         res.rows.len() == 1 && res.rows[0][0] == Value::Null,

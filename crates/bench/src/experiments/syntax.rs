@@ -9,6 +9,7 @@ use cypher_graph::{isomorphic, GraphSummary, PropertyGraph};
 use cypher_parser::{parse, validate};
 
 use crate::ExperimentReport;
+use crate::MustExt;
 
 fn run_new_syntax(merge_kw: &str) -> PropertyGraph {
     let mut g = PropertyGraph::new();
@@ -25,7 +26,7 @@ fn run_new_syntax(merge_kw: &str) -> PropertyGraph {
                  {merge_kw} (:User {{id: cid}})-[:ORDERED]->(:Product {{id: pid}})"
             ),
         )
-        .expect("new-syntax merge");
+        .must("new-syntax merge");
     g
 }
 
@@ -55,7 +56,7 @@ pub fn e10_new_syntax() -> ExperimentReport {
 
     // "The query used in Example 5 (without ALL or SAME) will no longer be
     // allowed."
-    let bare = parse("MERGE (:User {id: 1})-[:ORDERED]->(:Product)").expect("parses");
+    let bare = parse("MERGE (:User {id: 1})-[:ORDERED]->(:Product)").must("parses");
     r.check(
         "bare MERGE is rejected by the revised dialect",
         validate(&bare, Dialect::Revised).is_err(),
@@ -66,7 +67,7 @@ pub fn e10_new_syntax() -> ExperimentReport {
     );
 
     // §4.4 / §7: the WITH demarcation requirement is dropped.
-    let mixed = parse("MATCH (n) CREATE (:M) MATCH (m:M) RETURN m").expect("parses");
+    let mixed = parse("MATCH (n) CREATE (:M) MATCH (m:M) RETURN m").must("parses");
     r.check(
         "update→read without WITH is invalid Cypher 9",
         validate(&mixed, Dialect::Cypher9).is_err(),
@@ -77,12 +78,12 @@ pub fn e10_new_syntax() -> ExperimentReport {
     );
 
     // Figure 10: MERGE takes tuples of *directed* update patterns.
-    let tuple = parse("MERGE ALL (a:X)-[:T]->(b:Y), (b)-[:U]->(:Z)").expect("parses");
+    let tuple = parse("MERGE ALL (a:X)-[:T]->(b:Y), (b)-[:U]->(:Z)").must("parses");
     r.check(
         "MERGE ALL accepts pattern tuples",
         validate(&tuple, Dialect::Revised).is_ok(),
     );
-    let undirected = parse("MERGE SAME (a)-[:T]-(b)").expect("parses");
+    let undirected = parse("MERGE SAME (a)-[:T]-(b)").must("parses");
     r.check(
         "undirected relationships are rejected in MERGE SAME",
         validate(&undirected, Dialect::Revised).is_err(),
@@ -90,7 +91,7 @@ pub fn e10_new_syntax() -> ExperimentReport {
     r.check(
         "undirected relationships were allowed in legacy MERGE",
         validate(
-            &parse("MERGE (a)-[:T]-(b)").expect("parses"),
+            &parse("MERGE (a)-[:T]-(b)").must("parses"),
             Dialect::Cypher9,
         )
         .is_ok(),

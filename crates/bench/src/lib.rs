@@ -11,9 +11,29 @@
 //! import workloads, pattern matching, parsing, and an end-to-end import
 //! pipeline.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod experiments;
 
 use std::fmt;
+
+/// Unwrap a harness step. Every statement the experiments run is a fixed
+/// reproduction of a paper example, so a failure is a bug in the harness
+/// (or the engine) — abort with the step name rather than limp on and
+/// report a misleading pass/fail. Centralizing the panic here keeps the
+/// crate-wide `deny(unwrap_used, expect_used)` meaningful everywhere else.
+pub trait MustExt<T> {
+    fn must(self, step: &str) -> T;
+}
+
+impl<T, E: fmt::Display> MustExt<T> for Result<T, E> {
+    fn must(self, step: &str) -> T {
+        match self {
+            Ok(v) => v,
+            Err(e) => panic!("experiment step `{step}` failed: {e}"),
+        }
+    }
+}
 
 /// Outcome of one reproduction.
 #[derive(Clone, Debug)]

@@ -84,6 +84,13 @@ pub enum EvalError {
         /// The configured limit (milliseconds for the time budget).
         limit: u64,
     },
+    /// The statement contains a mutating clause but was submitted through
+    /// the read-only path (`Engine::run_read`, or a server session reading
+    /// from a shared snapshot). Refused before execution starts.
+    ReadOnlyStatement {
+        /// Name of the first mutating clause encountered.
+        clause: &'static str,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -163,6 +170,11 @@ impl fmt::Display for EvalError {
                 f,
                 "resource exhausted: statement exceeded its {resource} budget of {limit} \
                  and was rolled back"
+            ),
+            EvalError::ReadOnlyStatement { clause } => write!(
+                f,
+                "read-only session: statement contains the updating clause {clause} \
+                 and was refused"
             ),
         }
     }

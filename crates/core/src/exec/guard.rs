@@ -14,6 +14,7 @@
 //! the graph back to the statement boundary, so a budget violation is
 //! always side-effect free.
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use crate::error::{EvalError, Result};
@@ -43,6 +44,31 @@ impl ExecLimits {
 
     pub fn is_unlimited(&self) -> bool {
         *self == ExecLimits::NONE
+    }
+}
+
+/// The one human-readable rendering of a budget set, shared by the shell's
+/// `:limits` command and the server's per-session log line:
+/// `limits: off` or `limits: rows 100, writes 10, time 250 ms`.
+impl fmt::Display for ExecLimits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unlimited() {
+            return write!(f, "limits: off");
+        }
+        write!(f, "limits: ")?;
+        let mut sep = "";
+        if let Some(n) = self.max_rows {
+            write!(f, "rows {n}")?;
+            sep = ", ";
+        }
+        if let Some(n) = self.max_writes {
+            write!(f, "{sep}writes {n}")?;
+            sep = ", ";
+        }
+        if let Some(t) = self.timeout {
+            write!(f, "{sep}time {} ms", t.as_millis())?;
+        }
+        Ok(())
     }
 }
 
@@ -118,6 +144,23 @@ impl ExecGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn display_matches_shell_format() {
+        assert_eq!(ExecLimits::NONE.to_string(), "limits: off");
+        let l = ExecLimits {
+            max_rows: Some(100),
+            max_writes: None,
+            timeout: Some(Duration::from_millis(250)),
+        };
+        assert_eq!(l.to_string(), "limits: rows 100, time 250 ms");
+        let l = ExecLimits {
+            max_rows: Some(1),
+            max_writes: Some(2),
+            timeout: Some(Duration::from_millis(3)),
+        };
+        assert_eq!(l.to_string(), "limits: rows 1, writes 2, time 3 ms");
+    }
 
     #[test]
     fn unlimited_guard_never_trips() {

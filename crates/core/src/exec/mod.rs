@@ -29,6 +29,7 @@ pub use merge::MergePolicy;
 pub(crate) use guard::ExecGuard;
 
 use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
 
 use cypher_graph::{PropertyGraph, Transaction, Value};
 use cypher_parser::ast::{Clause, Dialect, MergeKind, Query, SingleQuery, UnionKind};
@@ -327,7 +328,7 @@ impl Engine {
         validate(query, self.dialect).map_err(EvalError::Dialect)?;
 
         let mut tx = Transaction::begin(graph);
-        let result = self.run_union(&mut tx, query);
+        let result = self.run_union(GraphMut::Excl(&mut tx), query);
         match result {
             Ok(res) => {
                 tx.commit()?;
@@ -338,6 +339,34 @@ impl Engine {
                 Err(e)
             }
         }
+    }
+
+    /// Parse, validate and run one **read-only** statement against a shared
+    /// graph reference. This is the multi-session entry point: several
+    /// threads may hold `&PropertyGraph` (e.g. through an `Arc` snapshot)
+    /// and evaluate queries concurrently without serializing on a write
+    /// lock. A statement containing any mutating clause — including
+    /// `CREATE INDEX` / `DROP INDEX` — is refused up front with
+    /// [`EvalError::ReadOnlyStatement`] before execution starts.
+    ///
+    /// Lint gating and execution budgets apply exactly as in
+    /// [`Engine::run`]; there is no transaction because a read-only
+    /// statement has nothing to roll back.
+    pub fn run_read(&self, graph: &PropertyGraph, text: &str) -> Result<QueryResult> {
+        let query = parse(text)?;
+        self.lint_gate(text, &query)?;
+        self.run_read_query(graph, &query)
+    }
+
+    /// Run an already-parsed read-only statement (see [`Engine::run_read`]).
+    pub fn run_read_query(&self, graph: &PropertyGraph, query: &Query) -> Result<QueryResult> {
+        validate(query, self.dialect).map_err(EvalError::Dialect)?;
+        if let Some(clause) = query.first_mutating_clause() {
+            return Err(EvalError::ReadOnlyStatement {
+                clause: clause.name(),
+            });
+        }
+        self.run_union(GraphMut::Shared(graph), query)
     }
 
     /// Apply one clause as the semantic function of §8.1: a map from
@@ -368,7 +397,7 @@ impl Engine {
         let mut stats = UpdateStats::default();
         let mut guard = ExecGuard::new(self.limits);
         let mut ctx = ExecCtx {
-            graph,
+            graph: GraphMut::Excl(graph),
             table,
             engine: self,
             stats: &mut stats,
@@ -381,11 +410,11 @@ impl Engine {
         Ok(ctx.table)
     }
 
-    fn run_union(&self, graph: &mut PropertyGraph, query: &Query) -> Result<QueryResult> {
+    fn run_union(&self, mut access: GraphMut<'_>, query: &Query) -> Result<QueryResult> {
         let mut stats = UpdateStats::default();
         // One guard for the whole statement: union arms share the budgets.
         let mut guard = ExecGuard::new(self.limits);
-        let first = self.run_single(graph, &query.first, &mut stats, &mut guard)?;
+        let first = self.run_single(access.reborrow(), &query.first, &mut stats, &mut guard)?;
         if query.unions.is_empty() {
             return Ok(QueryResult {
                 columns: first.0,
@@ -399,7 +428,8 @@ impl Engine {
         for (kind, sq) in &query.unions {
             // §8.2: updates in unions are side-effects applied left-to-right
             // on the graph; tables are unioned.
-            let (cols, arm_rows) = self.run_single(graph, sq, &mut stats, &mut guard)?;
+            let (cols, arm_rows) =
+                self.run_single(access.reborrow(), sq, &mut stats, &mut guard)?;
             if cols != columns {
                 return Err(EvalError::Dialect(ParseError::no_span(format!(
                     "UNION arms must return the same columns ({columns:?} vs {cols:?})"
@@ -430,7 +460,7 @@ impl Engine {
 
     fn run_single(
         &self,
-        graph: &mut PropertyGraph,
+        graph: GraphMut<'_>,
         sq: &SingleQuery,
         stats: &mut UpdateStats,
         guard: &mut ExecGuard,
@@ -456,9 +486,61 @@ impl Engine {
     }
 }
 
+/// Shared-or-exclusive access to the graph during statement execution.
+///
+/// The interpreter historically monopolized `&mut PropertyGraph` for every
+/// statement, read or write. Multi-session embedders (the `cypher-server`
+/// snapshot readers) need read-only statements to run against a shared
+/// `&PropertyGraph` — an `Arc` snapshot several threads hold at once — so
+/// execution is parameterized over this handle instead. The `Deref` impls
+/// keep the clause implementations untouched: read paths auto-deref to
+/// `&PropertyGraph` either way, and a write path (which only
+/// [`Engine::run_read`]'s `is_read_only` gate can keep off a `Shared`
+/// handle) derefs mutably.
+pub(crate) enum GraphMut<'g> {
+    /// A shared snapshot: any mutable deref is a bug, because
+    /// [`Engine::run_read`] refuses statements with mutating clauses
+    /// before execution starts.
+    Shared(&'g PropertyGraph),
+    /// The classic exclusive borrow.
+    Excl(&'g mut PropertyGraph),
+}
+
+impl GraphMut<'_> {
+    /// Reborrow for a shorter lifetime (one per `UNION` arm).
+    pub(crate) fn reborrow(&mut self) -> GraphMut<'_> {
+        match self {
+            GraphMut::Shared(g) => GraphMut::Shared(g),
+            GraphMut::Excl(g) => GraphMut::Excl(g),
+        }
+    }
+}
+
+impl Deref for GraphMut<'_> {
+    type Target = PropertyGraph;
+    fn deref(&self) -> &PropertyGraph {
+        match self {
+            GraphMut::Shared(g) => g,
+            GraphMut::Excl(g) => g,
+        }
+    }
+}
+
+impl DerefMut for GraphMut<'_> {
+    fn deref_mut(&mut self) -> &mut PropertyGraph {
+        match self {
+            GraphMut::Excl(g) => g,
+            GraphMut::Shared(_) => unreachable!(
+                "write operation reached a read-only snapshot; run_read \
+                 guards execution with Clause::is_read_only"
+            ),
+        }
+    }
+}
+
 /// Mutable execution state for one single-query.
 pub(crate) struct ExecCtx<'g, 'e> {
-    pub graph: &'g mut PropertyGraph,
+    pub graph: GraphMut<'g>,
     pub table: Table,
     pub engine: &'e Engine,
     pub stats: &'e mut UpdateStats,
@@ -543,7 +625,7 @@ impl ExecCtx<'_, '_> {
 
     /// Pattern matcher over the current graph state.
     pub(crate) fn matcher(&self) -> crate::pattern::Matcher<'_> {
-        crate::pattern::Matcher::new(self.graph, &self.engine.params, self.engine.match_mode)
+        crate::pattern::Matcher::new(&self.graph, &self.engine.params, self.engine.match_mode)
     }
 
     /// Physical plan for a clause's pattern list against the current
@@ -559,7 +641,7 @@ impl ExecCtx<'_, '_> {
             return None;
         }
         let cols = self.table.columns();
-        crate::plan::plan_clause(self.graph, &self.engine.params, patterns, &cols)
+        crate::plan::plan_clause(&self.graph, &self.engine.params, patterns, &cols)
     }
 
     /// Match `patterns` for one record, through the plan when one exists.
@@ -577,7 +659,7 @@ impl ExecCtx<'_, '_> {
 
     /// Read-only evaluation context over the current graph state.
     pub(crate) fn eval_ctx(&self) -> crate::eval::EvalCtx<'_> {
-        crate::eval::EvalCtx::new(self.graph, &self.engine.params)
+        crate::eval::EvalCtx::new(&self.graph, &self.engine.params)
             .with_match_mode(self.engine.match_mode)
     }
 

@@ -1,0 +1,136 @@
+//! Integration tests for the read-only execution path (`Engine::run_read`):
+//! shared-reference evaluation, the mutating-clause gate, and that budgets
+//! and lint policy apply identically to the exclusive path.
+
+use std::sync::Arc;
+use std::thread;
+
+use cypher_core::{Engine, EngineBuilder, EvalError, ExecLimits, LintMode};
+use cypher_graph::PropertyGraph;
+use cypher_parser::ast::Dialect;
+
+fn setup() -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    Engine::revised()
+        .run(
+            &mut g,
+            "CREATE (a:User {id: 1, name: 'Ann'}), \
+                    (b:User {id: 2, name: 'Bob'}), \
+                    (p:Product {id: 10, name: 'laptop'}), \
+                    (a)-[:ORDERED {qty: 2}]->(p), \
+                    (b)-[:ORDERED {qty: 5}]->(p)",
+        )
+        .unwrap();
+    g
+}
+
+#[test]
+fn run_read_equals_run_on_a_clone() {
+    let g = setup();
+    let engine = Engine::revised();
+    let queries = [
+        "MATCH (u:User) RETURN u.name ORDER BY u.name",
+        "MATCH (u:User)-[o:ORDERED]->(p) RETURN u.name, o.qty, p.name ORDER BY o.qty",
+        "UNWIND range(1, 3) AS x RETURN x * 2 AS y",
+        "MATCH (u:User) WITH count(u) AS n RETURN n",
+        "MATCH (u {id: 1}) RETURN u.name UNION MATCH (u {id: 2}) RETURN u.name",
+    ];
+    for q in queries {
+        let read = engine.run_read(&g, q).unwrap();
+        let mut clone = g.clone();
+        let writable = engine.run(&mut clone, q).unwrap();
+        assert_eq!(read, writable, "divergence on {q}");
+    }
+}
+
+#[test]
+fn run_read_refuses_every_mutating_clause() {
+    let g = setup();
+    let engine = Engine::revised();
+    let rejected = [
+        ("CREATE (:X)", "CREATE"),
+        ("MATCH (u:User) SET u.age = 1", "SET"),
+        ("MATCH (u:User) REMOVE u.name", "REMOVE"),
+        ("MATCH (u:User) DETACH DELETE u", "DETACH DELETE"),
+        ("MERGE ALL (:User {id: 1})", "MERGE ALL"),
+        ("CREATE INDEX ON :User(id)", "CREATE INDEX"),
+        ("DROP INDEX ON :User(id)", "DROP INDEX"),
+        // A mutating clause hidden in a later UNION arm must also trip.
+        (
+            "MATCH (u:User) RETURN u.name UNION CREATE (:X) RETURN 'x' AS name",
+            "CREATE",
+        ),
+    ];
+    for (q, clause) in rejected {
+        match engine.run_read(&g, q) {
+            Err(EvalError::ReadOnlyStatement { clause: c }) => {
+                assert_eq!(c, clause, "wrong clause reported for {q}")
+            }
+            other => panic!("expected ReadOnlyStatement for {q}, got {other:?}"),
+        }
+    }
+    // The gate fires before execution: the graph is untouched.
+    assert_eq!(g.node_count(), 3);
+}
+
+#[test]
+fn run_read_honors_row_budget() {
+    let g = setup();
+    let engine = EngineBuilder::new(Dialect::Revised)
+        .limits(ExecLimits {
+            max_rows: Some(5),
+            ..ExecLimits::NONE
+        })
+        .build();
+    let err = engine
+        .run_read(&g, "UNWIND range(1, 100) AS x RETURN x")
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        EvalError::ResourceExhausted {
+            resource: "rows",
+            limit: 5
+        }
+    ));
+}
+
+#[test]
+fn run_read_honors_lint_deny() {
+    let g = setup();
+    let engine = EngineBuilder::new(Dialect::Cypher9)
+        .lint_mode(LintMode::Deny)
+        .build();
+    // Example 1's conflicting-SET hazard; the lint gate fires before the
+    // read-only gate even sees the statement.
+    let err = engine
+        .run_read(
+            &g,
+            "MATCH (p1:User {id: 1}), (p2:User {id: 2}) \
+             SET p1.id = p2.id, p2.id = p1.id",
+        )
+        .unwrap_err();
+    assert!(matches!(err, EvalError::Lint(_)), "got {err:?}");
+}
+
+#[test]
+fn concurrent_readers_share_one_graph() {
+    let g = Arc::new(setup());
+    let engine = Engine::revised();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let g = Arc::clone(&g);
+            let engine = engine.clone();
+            thread::spawn(move || {
+                for _ in 0..50 {
+                    let res = engine
+                        .run_read(&g, "MATCH (u:User)-[o:ORDERED]->() RETURN sum(o.qty) AS s")
+                        .unwrap();
+                    assert_eq!(res.rows, vec![vec![cypher_graph::Value::Int(7)]]);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}

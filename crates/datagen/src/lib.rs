@@ -16,12 +16,27 @@
 //!
 //! All generators are deterministic given a seed.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod csv;
 pub mod marketplace;
 pub mod random;
 pub mod tables;
 
 pub use marketplace::{figure1_graph, marketplace_graph, Figure1Nodes, MarketplaceConfig};
+
+/// Link two nodes a generator just created. Endpoints are always live
+/// here, so failure means the generator itself is broken.
+pub(crate) fn link(
+    g: &mut cypher_graph::PropertyGraph,
+    src: cypher_graph::NodeId,
+    ty: cypher_graph::Symbol,
+    tgt: cypher_graph::NodeId,
+) {
+    if g.create_rel(src, ty, tgt, []).is_err() {
+        unreachable!("generator linked a deleted node");
+    }
+}
 pub use tables::{
     example3_table, example5_table, example6_table, example7_table, order_table, rows_as_value,
     OrderTableConfig,

@@ -52,12 +52,12 @@ pub fn figure1_graph() -> (PropertyGraph, Figure1Nodes) {
         [user],
         [(id_k, Value::Int(99)), (name_k, Value::str("Jane"))],
     );
-    g.create_rel(v1, offers, p1, []).expect("live endpoints");
-    g.create_rel(v1, offers, p2, []).expect("live endpoints");
-    g.create_rel(u1, ordered, p1, []).expect("live endpoints");
-    g.create_rel(u1, ordered, p3, []).expect("live endpoints");
-    g.create_rel(u2, ordered, p3, []).expect("live endpoints");
-    g.create_rel(u2, offers, p3, []).expect("live endpoints");
+    crate::link(&mut g, v1, offers, p1);
+    crate::link(&mut g, v1, offers, p2);
+    crate::link(&mut g, u1, ordered, p1);
+    crate::link(&mut g, u1, ordered, p3);
+    crate::link(&mut g, u2, ordered, p3);
+    crate::link(&mut g, u2, offers, p3);
 
     (
         g,
@@ -151,19 +151,19 @@ pub fn marketplace_graph(cfg: &MarketplaceConfig) -> PropertyGraph {
     if !vendors.is_empty() {
         for (i, &p) in products.iter().enumerate() {
             let home = vendors[i % vendors.len()];
-            g.create_rel(home, offers, p, []).expect("live endpoints");
+            crate::link(&mut g, home, offers, p);
         }
         for _ in products.len()..cfg.offers {
             let v = vendors[rng.gen_range(0..vendors.len())];
             let p = products[rng.gen_range(0..products.len())];
-            g.create_rel(v, offers, p, []).expect("live endpoints");
+            crate::link(&mut g, v, offers, p);
         }
     }
     if !users.is_empty() && !products.is_empty() {
         for _ in 0..cfg.orders {
             let u = users[rng.gen_range(0..users.len())];
             let p = products[rng.gen_range(0..products.len())];
-            g.create_rel(u, ordered, p, []).expect("live endpoints");
+            crate::link(&mut g, u, ordered, p);
         }
     }
     g

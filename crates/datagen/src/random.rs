@@ -52,7 +52,7 @@ pub fn random_graph(cfg: &RandomGraphConfig) -> PropertyGraph {
             let src = nodes[rng.gen_range(0..nodes.len())];
             let tgt = nodes[rng.gen_range(0..nodes.len())];
             let ty = types[rng.gen_range(0..types.len())];
-            g.create_rel(src, ty, tgt, []).expect("live endpoints");
+            crate::link(&mut g, src, ty, tgt);
         }
     }
     g
@@ -69,7 +69,7 @@ pub fn chain_graph(len: usize) -> PropertyGraph {
     for i in 0..len {
         let n = g.create_node([node_l], [(id_k, Value::Int(i as i64))]);
         if let Some(p) = prev {
-            g.create_rel(p, next_t, n, []).expect("live endpoints");
+            crate::link(&mut g, p, next_t, n);
         }
         prev = Some(n);
     }

@@ -1,0 +1,173 @@
+//! Write-epoch snapshot publication.
+//!
+//! The paper's statement-atomicity guarantee (§4.2/§8: a statement maps one
+//! legal graph to another, with no observable intermediate state) gives a
+//! natural unit for multi-session isolation: a *snapshot* taken at a
+//! statement boundary is always a legal graph. [`EpochSnapshots`] tracks a
+//! monotonically increasing **write epoch** — bumped by whoever owns the
+//! mutable graph, once per committed batch of statements — and caches at
+//! most one published [`Arc<PropertyGraph>`] clone per epoch.
+//!
+//! The intended protocol (used by the `cypher-server` apply queue):
+//!
+//! 1. the single writer applies statements, then calls [`bump`] — an
+//!    `O(1)` atomic increment that invalidates the cached snapshot;
+//! 2. a reader calls [`cached`]; a hit is a cheap `Arc` clone and involves
+//!    no synchronization with the writer at all;
+//! 3. on a miss the reader asks the writer (through its queue) to
+//!    [`publish`] at the next statement boundary — the only place a full
+//!    graph clone happens, at most **once per epoch** no matter how many
+//!    readers arrive.
+//!
+//! Readers therefore never block the writer while *executing* a query (they
+//! hold their own `Arc`), and the writer never waits for readers: epoch
+//! bumps and cache invalidation are wait-free.
+//!
+//! [`bump`]: EpochSnapshots::bump
+//! [`cached`]: EpochSnapshots::cached
+//! [`publish`]: EpochSnapshots::publish
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::graph::PropertyGraph;
+
+/// Epoch counter plus the (at most one) snapshot published for the current
+/// epoch. Cheap to share: readers touch the atomic and a short critical
+/// section around an `Option<Arc>`.
+#[derive(Debug, Default)]
+pub struct EpochSnapshots {
+    /// The current write epoch. Even a freshly created cell starts at 0
+    /// with nothing published, so `cached()` is `None` until the first
+    /// `publish`.
+    epoch: AtomicU64,
+    /// Snapshot published for `epoch`, if any. The tag detects the race
+    /// where a publish from epoch `e` lands after a bump to `e + 1`.
+    published: Mutex<Option<(u64, Arc<PropertyGraph>)>>,
+}
+
+impl EpochSnapshots {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current write epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Record that the graph changed: advance the epoch and drop the cached
+    /// snapshot. Called by the writer at a statement (or commit-batch)
+    /// boundary. Returns the new epoch.
+    pub fn bump(&self) -> u64 {
+        let next = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        *self.lock() = None;
+        next
+    }
+
+    /// The snapshot published for the *current* epoch, if one exists.
+    /// A stale snapshot (published before the last [`bump`](Self::bump))
+    /// is never returned.
+    pub fn cached(&self) -> Option<Arc<PropertyGraph>> {
+        let guard = self.lock();
+        match &*guard {
+            Some((e, snap)) if *e == self.epoch() => Some(Arc::clone(snap)),
+            _ => None,
+        }
+    }
+
+    /// Publish a snapshot of `graph` for the current epoch and return it.
+    /// Must be called with the graph at a statement boundary (the caller is
+    /// the graph's owner, so it is the only one who can know). The clone is
+    /// skipped when a snapshot for this epoch is already cached.
+    pub fn publish(&self, graph: &PropertyGraph) -> Arc<PropertyGraph> {
+        let epoch = self.epoch();
+        let mut guard = self.lock();
+        if let Some((e, snap)) = &*guard {
+            if *e == epoch {
+                return Arc::clone(snap);
+            }
+        }
+        // Snapshots must not inherit delta-capture state: the clone is a
+        // read-only view, and keeping capture on would make it accumulate
+        // a phantom delta if anyone ever cloned-and-mutated it.
+        let mut clone = graph.clone();
+        clone.disable_delta_capture();
+        let snap = Arc::new(clone);
+        *guard = Some((epoch, Arc::clone(&snap)));
+        snap
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<(u64, Arc<PropertyGraph>)>> {
+        // A poisoned publish cache only ever holds a complete value or
+        // `None`; recovering the data is always safe.
+        self.published
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cell_has_no_snapshot() {
+        let s = EpochSnapshots::new();
+        assert_eq!(s.epoch(), 0);
+        assert!(s.cached().is_none());
+    }
+
+    #[test]
+    fn publish_caches_one_clone_per_epoch() {
+        let s = EpochSnapshots::new();
+        let mut g = PropertyGraph::new();
+        g.create_node([], []);
+        let a = s.publish(&g);
+        let b = s.publish(&g);
+        assert!(Arc::ptr_eq(&a, &b), "second publish reuses the cache");
+        assert_eq!(s.cached().map(|c| c.node_count()), Some(1));
+    }
+
+    #[test]
+    fn bump_invalidates_the_cache() {
+        let s = EpochSnapshots::new();
+        let mut g = PropertyGraph::new();
+        let old = s.publish(&g);
+        assert_eq!(s.bump(), 1);
+        assert!(s.cached().is_none(), "stale snapshot never served");
+        g.create_node([], []);
+        let new = s.publish(&g);
+        assert!(!Arc::ptr_eq(&old, &new));
+        assert_eq!(new.node_count(), 1);
+        assert_eq!(old.node_count(), 0, "readers keep their old view");
+    }
+
+    #[test]
+    fn published_snapshot_has_delta_capture_off() {
+        let s = EpochSnapshots::new();
+        let mut g = PropertyGraph::new();
+        g.enable_delta_capture();
+        let snap = s.publish(&g);
+        assert!(!snap.delta_capture_enabled());
+        assert!(g.delta_capture_enabled(), "source graph untouched");
+    }
+
+    #[test]
+    fn epochs_are_monotonic_across_threads() {
+        let s = Arc::new(EpochSnapshots::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    s.bump();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("bumper thread panicked");
+        }
+        assert_eq!(s.epoch(), 400);
+    }
+}

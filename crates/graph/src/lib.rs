@@ -12,6 +12,8 @@
 //!   indexes, tombstones for legacy "zombie" semantics, and an undo journal,
 //! * [`txn`] — RAII statement transactions with the no-dangling integrity
 //!   check at commit,
+//! * [`epoch`] — write-epoch snapshot publication for multi-session
+//!   readers (statement-atomic views shared across threads),
 //! * [`stats`] — shape summaries used by the experiment harness,
 //! * [`iso`] — graph isomorphism up to id renaming (figures are compared
 //!   with it),
@@ -22,6 +24,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod epoch;
 pub mod error;
 pub mod fmt;
 pub mod graph;
@@ -32,6 +35,7 @@ pub mod stats;
 pub mod txn;
 pub mod value;
 
+pub use epoch::EpochSnapshots;
 pub use error::{GraphError, Result};
 pub use graph::{
     AdjIter, DeleteNodeMode, DeltaOp, Direction, IndexStats, NodeData, PropertyGraph, PropertyMap,

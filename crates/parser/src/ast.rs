@@ -26,6 +26,18 @@ pub struct Query {
     pub unions: Vec<(UnionKind, SingleQuery)>,
 }
 
+impl Query {
+    /// The first clause (in any `UNION` arm) that would mutate the graph,
+    /// or `None` for a statement that is safe to run against a shared,
+    /// immutable snapshot (see [`Clause::is_read_only`]).
+    pub fn first_mutating_clause(&self) -> Option<&Clause> {
+        std::iter::once(&self.first)
+            .chain(self.unions.iter().map(|(_, sq)| sq))
+            .flat_map(|sq| sq.clauses.iter())
+            .find(|c| !c.is_read_only())
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum UnionKind {
     /// `UNION` — duplicate rows removed.
@@ -128,6 +140,19 @@ impl Clause {
                 | Clause::Delete { .. }
                 | Clause::Merge { .. }
                 | Clause::Foreach { .. }
+        )
+    }
+
+    /// Can this clause execute against a shared, immutable graph? The
+    /// whitelist polarity is deliberate: a future clause kind counts as
+    /// mutating until proven otherwise. Note this is *not* the complement
+    /// of [`is_update`](Clause::is_update) — the schema commands
+    /// (`CREATE INDEX` / `DROP INDEX`) are not Figure 3 update clauses but
+    /// still mutate the store.
+    pub fn is_read_only(&self) -> bool {
+        matches!(
+            self,
+            Clause::Match { .. } | Clause::Unwind { .. } | Clause::With(_) | Clause::Return(_)
         )
     }
 

@@ -35,20 +35,30 @@ impl ParseError {
     }
 }
 
+/// 1-based line and column of byte offset `start` within `source`. The
+/// arithmetic [`render_caret`] uses for its header, exposed so other
+/// renderers (the linter's JSON output) report identical positions.
+pub fn line_col(source: &str, start: usize) -> (usize, usize) {
+    let start = start.min(source.len());
+    let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_no = source[..start].matches('\n').count() + 1;
+    (line_no, start - line_start + 1)
+}
+
 /// Render `message` positioned at `span` within `source`, followed by the
 /// offending source line and a caret column marker. Shared by parse errors,
 /// dialect-validation errors and lint diagnostics so every layer reports
 /// positions identically.
 pub fn render_caret(source: &str, span: Span, message: &str) -> String {
     let start = span.start.min(source.len());
-    let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let (line_no, col1) = line_col(source, start);
+    let line_start = start - (col1 - 1);
     let line_end = source[start..]
         .find('\n')
         .map(|i| start + i)
         .unwrap_or(source.len());
-    let line_no = source[..start].matches('\n').count() + 1;
-    let col = start - line_start;
-    let mut out = format!("{message} (line {line_no}, column {})\n", col + 1);
+    let col = col1 - 1;
+    let mut out = format!("{message} (line {line_no}, column {col1})\n");
     out.push_str(&source[line_start..line_end]);
     out.push('\n');
     out.push_str(&" ".repeat(col));

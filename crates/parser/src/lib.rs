@@ -36,7 +36,7 @@ pub use ast::{
     ProjectionItem, ProjectionItems, Query, RelDirection, RelPattern, RemoveItem, SetItem,
     SingleQuery, SortItem, UnaryOp, UnionKind, VarLength,
 };
-pub use error::{render_caret, ParseError};
+pub use error::{line_col, render_caret, ParseError};
 pub use parser::{parse, parse_script};
 pub use pretty::{print_clause, print_expr, print_query};
 pub use token::{Span, Tok, Token};

@@ -1,0 +1,346 @@
+//! `cypher-client` — scripted client and load generator for `cypher-serve`.
+//!
+//! Scripted mode runs actions in command-line order:
+//!
+//! ```text
+//! $ cypher-client --addr 127.0.0.1:7878 \
+//!       --run "CREATE (:User {id: 1})" \
+//!       --run "MATCH (u:User) RETURN u.id" \
+//!       --expect-error "UNWIND range(1, 1000000) AS x RETURN x" \
+//!       --dump --commit-log --checkpoint --shutdown
+//! ```
+//!
+//! `--expect-error` succeeds only if the statement FAILS server-side (used
+//! by verify.sh to prove budget refusals travel the wire as typed errors).
+//!
+//! Load mode opens `--threads` concurrent sessions, each running `--load`
+//! statements (a write/read mix), retries `Busy` refusals, and writes
+//! throughput + latency percentiles to `--out` (default `BENCH_5.json`):
+//!
+//! ```text
+//! $ cypher-client --addr 127.0.0.1:7878 --load 500 --threads 8 --out BENCH_5.json
+//! ```
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use cypher_server::{Client, HelloOptions};
+
+const USAGE: &str = "usage: cypher-client --addr HOST:PORT \
+[--dialect legacy|revised] [--lint off|warn|deny] [--rows N] [--writes N] [--time MS] \
+( [--run STMT | --expect-error STMT | --dump | --commit-log | --checkpoint]... \
+[--goodbye] [--shutdown] | --load N --threads T [--out FILE] )";
+
+enum Action {
+    Run(String),
+    ExpectError(String),
+    Dump,
+    CommitLog,
+    Checkpoint,
+    Goodbye,
+    Shutdown,
+}
+
+struct Options {
+    addr: String,
+    hello: HelloOptions,
+    actions: Vec<Action>,
+    load: Option<(u64, u64, String)>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: String::new(),
+        hello: HelloOptions::server_defaults(),
+        actions: Vec::new(),
+        load: None,
+    };
+    let mut load_n: Option<u64> = None;
+    let mut threads: u64 = 4;
+    let mut out = "BENCH_5.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |flag: &str| args.next().ok_or(format!("{flag} takes a value"));
+        match arg.as_str() {
+            "--addr" => opts.addr = next("--addr")?,
+            "--dialect" => match next("--dialect")?.as_str() {
+                "legacy" | "cypher9" => opts.hello.dialect = 0,
+                "revised" => opts.hello.dialect = 1,
+                _ => return Err("--dialect takes `legacy` or `revised`".to_owned()),
+            },
+            "--lint" => match next("--lint")?.as_str() {
+                "off" => opts.hello.lint = 0,
+                "warn" => opts.hello.lint = 1,
+                "deny" => opts.hello.lint = 2,
+                _ => return Err("--lint takes off|warn|deny".to_owned()),
+            },
+            "--rows" => opts.hello.max_rows = parse_u64(&next("--rows")?)?,
+            "--writes" => opts.hello.max_writes = parse_u64(&next("--writes")?)?,
+            "--time" => opts.hello.timeout_ms = parse_u64(&next("--time")?)?,
+            "--run" => opts.actions.push(Action::Run(next("--run")?)),
+            "--expect-error" => opts
+                .actions
+                .push(Action::ExpectError(next("--expect-error")?)),
+            "--dump" => opts.actions.push(Action::Dump),
+            "--commit-log" => opts.actions.push(Action::CommitLog),
+            "--checkpoint" => opts.actions.push(Action::Checkpoint),
+            "--goodbye" => opts.actions.push(Action::Goodbye),
+            "--shutdown" => opts.actions.push(Action::Shutdown),
+            "--load" => load_n = parse_u64(&next("--load")?)?,
+            "--threads" => {
+                threads = parse_u64(&next("--threads")?)?.ok_or("--threads takes a number")?
+            }
+            "--out" => out = next("--out")?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err("--addr HOST:PORT is required".to_owned());
+    }
+    if let Some(n) = load_n {
+        opts.load = Some((n, threads.max(1), out));
+    }
+    if opts.actions.is_empty() && opts.load.is_none() {
+        return Err("nothing to do: give --run/--dump/... actions or --load".to_owned());
+    }
+    Ok(opts)
+}
+
+fn parse_u64(s: &str) -> Result<Option<u64>, String> {
+    s.parse::<u64>()
+        .map(Some)
+        .map_err(|_| format!("`{s}` is not a number"))
+}
+
+fn scripted(opts: Options) -> ExitCode {
+    let mut client = match Client::connect(&opts.addr, &opts.hello) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: connect {}: {e}", opts.addr);
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "connected: session {} ({})",
+        client.session_id(),
+        client.limits()
+    );
+    for action in &opts.actions {
+        let failed = match action {
+            Action::Run(text) => match client.run_with_retry(text, 10) {
+                Ok(outcome) => {
+                    print_outcome(text, &outcome);
+                    false
+                }
+                Err(e) => {
+                    eprintln!("error: {text}: {e}");
+                    true
+                }
+            },
+            Action::ExpectError(text) => match client.run_with_retry(text, 10) {
+                Ok(_) => {
+                    eprintln!("error: `{text}` unexpectedly succeeded");
+                    true
+                }
+                Err(e) => {
+                    println!("expected error: {e}");
+                    false
+                }
+            },
+            Action::Dump => match client.dump_graph() {
+                Ok(script) => {
+                    print!("{script}");
+                    false
+                }
+                Err(e) => {
+                    eprintln!("error: dump: {e}");
+                    true
+                }
+            },
+            Action::CommitLog => match client.commit_log() {
+                Ok(stmts) => {
+                    for s in &stmts {
+                        println!("{s}");
+                    }
+                    false
+                }
+                Err(e) => {
+                    eprintln!("error: commit-log: {e}");
+                    true
+                }
+            },
+            Action::Checkpoint => match client.commit() {
+                Ok(()) => {
+                    println!("checkpointed");
+                    false
+                }
+                Err(e) => {
+                    eprintln!("error: checkpoint: {e}");
+                    true
+                }
+            },
+            Action::Goodbye => {
+                let r = client.goodbye();
+                if let Err(e) = r {
+                    eprintln!("error: goodbye: {e}");
+                    return ExitCode::from(1);
+                }
+                return ExitCode::SUCCESS;
+            }
+            Action::Shutdown => {
+                let r = client.shutdown_server();
+                if let Err(e) = r {
+                    eprintln!("error: shutdown: {e}");
+                    return ExitCode::from(1);
+                }
+                println!("server shutting down");
+                return ExitCode::SUCCESS;
+            }
+        };
+        if failed {
+            return ExitCode::from(1);
+        }
+    }
+    let _ = client.goodbye();
+    ExitCode::SUCCESS
+}
+
+fn print_outcome(text: &str, outcome: &cypher_server::RunOutcome) {
+    let kind = if outcome.read_only { "read" } else { "write" };
+    println!(
+        "ok ({kind}, epoch {}, {} row{}): {text}",
+        outcome.epoch,
+        outcome.rows.len(),
+        if outcome.rows.len() == 1 { "" } else { "s" }
+    );
+    for row in &outcome.rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("  {}", cells.join(" | "));
+    }
+}
+
+/// The load generator: `threads` sessions × `n` statements each, 50/50
+/// write/read mix, Busy retried. Latencies are recorded per statement.
+fn load_test(addr: &str, hello: &HelloOptions, n: u64, threads: u64, out: &str) -> ExitCode {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let addr = addr.to_owned();
+            let hello = hello.clone();
+            std::thread::spawn(move || -> Result<(Vec<u64>, Vec<u64>), String> {
+                let mut client =
+                    Client::connect(&addr, &hello).map_err(|e| format!("connect: {e}"))?;
+                let mut write_us = Vec::with_capacity((n / 2 + 1) as usize);
+                let mut read_us = Vec::with_capacity((n / 2 + 1) as usize);
+                for i in 0..n {
+                    let (text, lat) = if i % 2 == 0 {
+                        (
+                            format!("CREATE (:Load {{thread: {t}, seq: {i}}})"),
+                            &mut write_us,
+                        )
+                    } else {
+                        (
+                            format!(
+                                "MATCH (x:Load {{thread: {t}, seq: {}}}) RETURN x.seq",
+                                i - 1
+                            ),
+                            &mut read_us,
+                        )
+                    };
+                    let t0 = Instant::now();
+                    client
+                        .run_with_retry(&text, 1000)
+                        .map_err(|e| format!("statement {i}: {e}"))?;
+                    lat.push(t0.elapsed().as_micros() as u64);
+                }
+                client.goodbye().map_err(|e| format!("goodbye: {e}"))?;
+                Ok((write_us, read_us))
+            })
+        })
+        .collect();
+
+    let mut write_us = Vec::new();
+    let mut read_us = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok(Ok((w, r))) => {
+                write_us.extend(w);
+                read_us.extend(r);
+            }
+            Ok(Err(e)) => {
+                eprintln!("error: load thread: {e}");
+                return ExitCode::from(1);
+            }
+            Err(_) => {
+                eprintln!("error: load thread panicked");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    let total = write_us.len() + read_us.len();
+    let throughput = total as f64 / elapsed.as_secs_f64();
+
+    let report = format!(
+        "{{\n  \"benchmark\": \"server_load\",\n  \"threads\": {threads},\n  \
+         \"statements_per_session\": {n},\n  \"total_statements\": {total},\n  \
+         \"elapsed_ms\": {},\n  \"throughput_stmts_per_s\": {:.1},\n  \
+         \"write\": {},\n  \"read\": {}\n}}\n",
+        elapsed.as_millis(),
+        throughput,
+        percentiles_json(&mut write_us),
+        percentiles_json(&mut read_us),
+    );
+    print!("{report}");
+    match std::fs::File::create(out).and_then(|mut f| f.write_all(report.as_bytes())) {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn percentiles_json(lat_us: &mut [u64]) -> String {
+    if lat_us.is_empty() {
+        return "null".to_owned();
+    }
+    lat_us.sort_unstable();
+    let pick = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+    format!(
+        "{{ \"count\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {} }}",
+        lat_us.len(),
+        pick(0.50),
+        pick(0.90),
+        pick(0.99),
+        lat_us[lat_us.len() - 1]
+    )
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match &opts.load {
+        Some((n, threads, out)) => {
+            let (n, threads, out) = (*n, *threads, out.clone());
+            load_test(&opts.addr, &opts.hello, n, threads, &out)
+        }
+        None => scripted(opts),
+    }
+}

@@ -1,0 +1,101 @@
+//! `cypher-serve` — serve a durable graph over the wire protocol.
+//!
+//! ```text
+//! $ cypher-serve --data ./graphdb --addr 127.0.0.1:7878
+//! $ cypher-serve --data ./graphdb --addr 127.0.0.1:0 --allow-shutdown \
+//!       --dialect revised --lint deny --rows 100000 --time 5000
+//! ```
+//!
+//! Prints `listening on <addr>` on stdout once bound (port `0` resolves to
+//! the ephemeral port, so scripts can parse the line), then serves until a
+//! client sends `Shutdown` (only honored with `--allow-shutdown`) or the
+//! process is killed. All mutation is WAL-durable before acknowledgement;
+//! a kill loses nothing that was acknowledged.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cypher_core::{Dialect, ExecLimits, LintMode};
+use cypher_server::{serve, ServerConfig};
+
+const USAGE: &str = "usage: cypher-serve --data DIR [--addr HOST:PORT] \
+[--dialect legacy|revised] [--lint off|warn|deny] \
+[--rows N] [--writes N] [--time MS] \
+[--max-inflight N] [--queue-depth N] [--max-batch N] [--allow-shutdown]";
+
+fn parse_config() -> Result<ServerConfig, String> {
+    let mut data: Option<String> = None;
+    let mut config = ServerConfig::new("");
+    let mut args = std::env::args().skip(1);
+    let next_u64 = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| format!("{flag} takes a number"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--data" => data = args.next(),
+            "--addr" => {
+                config.addr = args.next().ok_or("--addr takes HOST:PORT")?;
+            }
+            "--dialect" => match args.next().as_deref() {
+                Some("legacy") | Some("cypher9") => config.dialect = Dialect::Cypher9,
+                Some("revised") => config.dialect = Dialect::Revised,
+                _ => return Err("--dialect takes `legacy` or `revised`".to_owned()),
+            },
+            "--lint" => match args.next().as_deref() {
+                Some("off") => config.lint = LintMode::Off,
+                Some("warn") => config.lint = LintMode::Warn,
+                Some("deny") => config.lint = LintMode::Deny,
+                _ => return Err("--lint takes off|warn|deny".to_owned()),
+            },
+            "--rows" => config.limits.max_rows = Some(next_u64(&mut args, "--rows")?),
+            "--writes" => config.limits.max_writes = Some(next_u64(&mut args, "--writes")?),
+            "--time" => {
+                config.limits.timeout = Some(Duration::from_millis(next_u64(&mut args, "--time")?))
+            }
+            "--max-inflight" => {
+                config.max_inflight = next_u64(&mut args, "--max-inflight")? as usize
+            }
+            "--queue-depth" => config.queue_depth = next_u64(&mut args, "--queue-depth")? as usize,
+            "--max-batch" => config.max_batch = next_u64(&mut args, "--max-batch")? as usize,
+            "--allow-shutdown" => config.allow_shutdown = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let data = data.ok_or("--data DIR is required")?;
+    config.data_dir = data.into();
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_config() {
+        Ok(c) => c,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let limits: ExecLimits = config.limits;
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("listening on {}", handle.addr());
+    eprintln!("session defaults: {limits}");
+    // Serve until a Shutdown frame flips the flag (or the process dies).
+    handle.wait();
+    handle.stop();
+    eprintln!("server stopped");
+    ExitCode::SUCCESS
+}

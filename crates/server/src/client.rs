@@ -1,0 +1,280 @@
+//! Blocking client for the wire protocol.
+//!
+//! Used by the `cypher-client` binary, the integration tests and the load
+//! generator. One [`Client`] is one session: `connect` performs the
+//! versioned handshake, `run` executes a statement and pulls every row,
+//! and `run_with_retry` resubmits on the retryable `Busy` refusal with
+//! linear backoff (the documented client half of the backpressure
+//! contract).
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use cypher_graph::Value;
+
+use crate::error::ErrorCode;
+use crate::wire::{read_frame, write_frame, Request, Response, WireError, PROTOCOL_VERSION};
+
+/// Session options for the handshake. `None` budget fields defer to the
+/// server's defaults (the `u64::MAX` wire sentinel).
+#[derive(Clone, Debug, Default)]
+pub struct HelloOptions {
+    /// 0 = legacy, 1 = revised, other = server default.
+    pub dialect: u8,
+    /// 0 = off, 1 = warn, 2 = deny, other = server default.
+    pub lint: u8,
+    pub max_rows: Option<u64>,
+    pub max_writes: Option<u64>,
+    pub timeout_ms: Option<u64>,
+}
+
+impl HelloOptions {
+    /// Server defaults for everything except the dialect/lint bytes,
+    /// which default to "server default" too (`0xFF`).
+    pub fn server_defaults() -> HelloOptions {
+        HelloOptions {
+            dialect: 0xFF,
+            lint: 0xFF,
+            ..HelloOptions::default()
+        }
+    }
+}
+
+/// A statement's complete outcome: columns, all rows, update stats.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOutcome {
+    pub read_only: bool,
+    pub epoch: u64,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+    /// nodes created/deleted, rels created/deleted, props set, labels
+    /// added/removed (same order as the wire).
+    pub stats: [u64; 7],
+}
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    Wire(WireError),
+    /// The server answered with an error frame.
+    Server {
+        code: ErrorCode,
+        retryable: bool,
+        message: String,
+        detail: String,
+    },
+    /// The server answered, but not with the frame this call expects.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server { code, message, .. } => write!(f, "[{code}] {message}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl ClientError {
+    pub fn is_busy(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                retryable: true,
+                ..
+            }
+        )
+    }
+
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+pub type ClientResult<T> = std::result::Result<T, ClientError>;
+
+/// One connected, handshaken session.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    session: u64,
+    limits: String,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs, opts: &HelloOptions) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        stream.set_nodelay(true).ok();
+        let read_half = stream.try_clone().map_err(WireError::Io)?;
+        let mut client = Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            session: 0,
+            limits: String::new(),
+        };
+        let hello = Request::Hello {
+            version: PROTOCOL_VERSION,
+            dialect: opts.dialect,
+            lint: opts.lint,
+            max_rows: opts.max_rows.unwrap_or(u64::MAX),
+            max_writes: opts.max_writes.unwrap_or(u64::MAX),
+            timeout_ms: opts.timeout_ms.unwrap_or(u64::MAX),
+        };
+        match client.call(&hello)? {
+            Response::HelloOk {
+                session, limits, ..
+            } => {
+                client.session = session;
+                client.limits = limits;
+                Ok(client)
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    /// The session's effective budgets, as the server rendered them.
+    pub fn limits(&self) -> &str {
+        &self.limits
+    }
+
+    /// Run a statement and pull every row.
+    pub fn run(&mut self, text: &str) -> ClientResult<RunOutcome> {
+        let (read_only, epoch, columns) = match self.call(&Request::Run {
+            text: text.to_owned(),
+        })? {
+            Response::RunOk {
+                read_only,
+                epoch,
+                columns,
+            } => (read_only, epoch, columns),
+            other => return Err(unexpected(other)),
+        };
+        let mut rows = Vec::new();
+        let stats = loop {
+            match self.call(&Request::Pull { max: 1024 })? {
+                Response::Rows {
+                    rows: block,
+                    has_more,
+                    stats,
+                } => {
+                    rows.extend(block);
+                    if !has_more {
+                        break stats;
+                    }
+                }
+                other => return Err(unexpected(other)),
+            }
+        };
+        Ok(RunOutcome {
+            read_only,
+            epoch,
+            columns,
+            rows,
+            stats,
+        })
+    }
+
+    /// [`run`](Client::run), retrying the retryable `Busy` refusal up to
+    /// `attempts` times with linear backoff.
+    pub fn run_with_retry(&mut self, text: &str, attempts: u32) -> ClientResult<RunOutcome> {
+        let mut tries = 0;
+        loop {
+            match self.run(text) {
+                Err(e) if e.is_busy() && tries < attempts => {
+                    tries += 1;
+                    std::thread::sleep(Duration::from_millis(2 * u64::from(tries)));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Checkpoint the server's durable store.
+    pub fn commit(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Commit)? {
+            Response::CommitOk => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Discard any half-pulled result.
+    pub fn reset(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Reset)? {
+            Response::ResetOk => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Canonical `CREATE` script of the server's current graph.
+    pub fn dump_graph(&mut self) -> ClientResult<String> {
+        match self.call(&Request::DumpGraph)? {
+            Response::DumpOk { script } => Ok(script),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Committed statement texts in commit order.
+    pub fn commit_log(&mut self) -> ClientResult<Vec<String>> {
+        match self.call(&Request::CommitLog)? {
+            Response::LogOk { statements } => Ok(statements),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Polite close; consumes the client.
+    pub fn goodbye(mut self) -> ClientResult<()> {
+        match self.call(&Request::Goodbye)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ask the server to shut down (requires `--allow-shutdown`).
+    pub fn shutdown_server(mut self) -> ClientResult<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> ClientResult<Response> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let payload = read_frame(&mut self.reader)?;
+        match Response::decode(&payload)? {
+            Response::Error {
+                code,
+                retryable,
+                message,
+                detail,
+            } => Err(ClientError::Server {
+                code,
+                retryable,
+                message,
+                detail,
+            }),
+            resp => Ok(resp),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> ClientError {
+    ClientError::Unexpected(format!("{resp:?}"))
+}

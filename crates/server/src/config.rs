@@ -1,0 +1,74 @@
+//! Server configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use cypher_core::{Dialect, ExecLimits, LintMode};
+
+/// Everything `cypher-serve` needs to run, with defaults suitable for
+/// tests (ephemeral port, no shutdown frame, modest capacity).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; port `0` picks an ephemeral port (the bound address
+    /// is reported by [`ServerHandle::addr`](crate::ServerHandle::addr)).
+    pub addr: String,
+    /// Directory for the durable store (WAL + snapshots).
+    pub data_dir: PathBuf,
+    /// Dialect sessions get unless their `Hello` overrides it.
+    pub dialect: Dialect,
+    /// Lint policy sessions get unless their `Hello` overrides it.
+    pub lint: LintMode,
+    /// Session budgets applied when the `Hello` leaves them at the
+    /// server-default sentinel.
+    pub limits: ExecLimits,
+    /// Global cap on statements executing at once (readers and writers).
+    /// Admission beyond the cap fails with the retryable `Busy` error.
+    pub max_inflight: usize,
+    /// Bound of the apply queue; a full queue refuses writers with `Busy`.
+    pub queue_depth: usize,
+    /// Statements the apply worker group-commits under one fsync.
+    pub max_batch: usize,
+    /// Whether the `Shutdown` frame is honored (off by default; the load
+    /// test and verify scripts turn it on).
+    pub allow_shutdown: bool,
+}
+
+impl ServerConfig {
+    /// Defaults: ephemeral loopback port, revised dialect, lint off,
+    /// unlimited budgets, 64 in-flight, queue of 128, batches of 32.
+    pub fn new(data_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            data_dir: data_dir.into(),
+            dialect: Dialect::Revised,
+            lint: LintMode::Off,
+            limits: ExecLimits::NONE,
+            max_inflight: 64,
+            queue_depth: 128,
+            max_batch: 32,
+            allow_shutdown: false,
+        }
+    }
+
+    pub fn with_limits(mut self, limits: ExecLimits) -> ServerConfig {
+        self.limits = limits;
+        self
+    }
+
+    /// Parse a `Hello` budget field: the `u64::MAX` sentinel keeps the
+    /// server default.
+    pub fn session_limits(&self, max_rows: u64, max_writes: u64, timeout_ms: u64) -> ExecLimits {
+        let pick = |wire: u64, fallback: Option<u64>| match wire {
+            u64::MAX => fallback,
+            n => Some(n),
+        };
+        ExecLimits {
+            max_rows: pick(max_rows, self.limits.max_rows),
+            max_writes: pick(max_writes, self.limits.max_writes),
+            timeout: match timeout_ms {
+                u64::MAX => self.limits.timeout,
+                ms => Some(Duration::from_millis(ms)),
+            },
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Wire-level error codes and the mapping from engine/storage errors.
+//!
+//! The protocol reports every failure as one `Error` frame carrying a
+//! stable numeric code, a retryable flag, a human message and an optional
+//! structured detail payload. Codes partition the engine's error taxonomy
+//! so clients can react without parsing messages:
+//!
+//! * transient server states (`Busy`) are **retryable** — the load
+//!   generator and the client library retry them with backoff;
+//! * statement-level failures (`Parse`, `Dialect`, `Runtime`, `Lint`,
+//!   `ResourceExhausted`, `ReadOnly`) leave the session healthy;
+//! * `Storage` and `Sealed` indicate durability trouble — the statement
+//!   was **not** acknowledged and the store needs a checkpoint (`Commit`
+//!   frame) or operator attention;
+//! * `Protocol` and `Version` mean the conversation itself is broken and
+//!   the server will close the connection after sending the frame.
+
+use cypher_core::EvalError;
+use cypher_storage::StorageError;
+
+use crate::wire::Response;
+
+/// Stable numeric error codes (the `u16` on the wire).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Malformed frame or message out of protocol order.
+    Protocol = 1,
+    /// The statement failed to parse.
+    Parse = 2,
+    /// The statement is invalid under the session's dialect.
+    Dialect = 3,
+    /// Any runtime evaluation failure (type errors, conflicting SET,
+    /// delete-would-dangle, arithmetic, …). The statement rolled back.
+    Runtime = 4,
+    /// Refused by the server's lint policy; detail carries the
+    /// diagnostics as JSON lines.
+    Lint = 5,
+    /// The statement exceeded a session execution budget and rolled back.
+    ResourceExhausted = 6,
+    /// The durability layer failed; the statement was not acknowledged.
+    Storage = 7,
+    /// The durable handle is sealed read-only; send `Commit` to
+    /// checkpoint-reconcile.
+    Sealed = 8,
+    /// Admission control refused the statement (in-flight cap or apply
+    /// queue full). Always retryable.
+    Busy = 9,
+    /// The server is shutting down.
+    Unavailable = 10,
+    /// Handshake version mismatch.
+    Version = 11,
+    /// A mutating statement arrived through a path that only serves reads.
+    ReadOnly = 12,
+    /// Code received from a newer peer that this build does not know.
+    Unknown = 0xFFFF,
+}
+
+impl ErrorCode {
+    pub fn from_u16(v: u16) -> ErrorCode {
+        match v {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::Parse,
+            3 => ErrorCode::Dialect,
+            4 => ErrorCode::Runtime,
+            5 => ErrorCode::Lint,
+            6 => ErrorCode::ResourceExhausted,
+            7 => ErrorCode::Storage,
+            8 => ErrorCode::Sealed,
+            9 => ErrorCode::Busy,
+            10 => ErrorCode::Unavailable,
+            11 => ErrorCode::Version,
+            12 => ErrorCode::ReadOnly,
+            _ => ErrorCode::Unknown,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Dialect => "dialect",
+            ErrorCode::Runtime => "runtime",
+            ErrorCode::Lint => "lint",
+            ErrorCode::ResourceExhausted => "resource-exhausted",
+            ErrorCode::Storage => "storage",
+            ErrorCode::Sealed => "sealed",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Version => "version",
+            ErrorCode::ReadOnly => "read-only",
+            ErrorCode::Unknown => "unknown",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Map an engine error onto its error frame. `source` is the statement
+/// text, used to render lint diagnostics into the JSON detail payload.
+pub fn eval_error_frame(e: &EvalError, source: &str) -> Response {
+    let (code, detail) = match e {
+        EvalError::Parse(_) => (ErrorCode::Parse, String::new()),
+        EvalError::Dialect(_) => (ErrorCode::Dialect, String::new()),
+        EvalError::Lint(diags) => {
+            let detail = diags
+                .iter()
+                .map(|d| d.render_json("<statement>", source))
+                .collect::<Vec<_>>()
+                .join("\n");
+            (ErrorCode::Lint, detail)
+        }
+        EvalError::ResourceExhausted { .. } => (ErrorCode::ResourceExhausted, String::new()),
+        EvalError::ReadOnlyStatement { .. } => (ErrorCode::ReadOnly, String::new()),
+        EvalError::Storage(_) => (ErrorCode::Storage, String::new()),
+        _ => (ErrorCode::Runtime, String::new()),
+    };
+    Response::Error {
+        code,
+        retryable: false,
+        message: e.to_string(),
+        detail,
+    }
+}
+
+/// Map a storage error onto its error frame.
+pub fn storage_error_frame(e: &StorageError) -> Response {
+    let code = if e.is_sealed() {
+        ErrorCode::Sealed
+    } else {
+        ErrorCode::Storage
+    };
+    Response::Error {
+        code,
+        retryable: false,
+        message: e.to_string(),
+        detail: String::new(),
+    }
+}
+
+/// The retryable admission-control refusal.
+pub fn busy_frame(reason: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::Busy,
+        retryable: true,
+        message: format!("server at capacity: {reason}; retry"),
+        detail: String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_through_u16() {
+        for code in [
+            ErrorCode::Protocol,
+            ErrorCode::Parse,
+            ErrorCode::Dialect,
+            ErrorCode::Runtime,
+            ErrorCode::Lint,
+            ErrorCode::ResourceExhausted,
+            ErrorCode::Storage,
+            ErrorCode::Sealed,
+            ErrorCode::Busy,
+            ErrorCode::Unavailable,
+            ErrorCode::Version,
+            ErrorCode::ReadOnly,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code as u16), code);
+        }
+        assert_eq!(ErrorCode::from_u16(9999), ErrorCode::Unknown);
+    }
+
+    #[test]
+    fn budget_and_readonly_map_to_typed_codes() {
+        let e = EvalError::ResourceExhausted {
+            resource: "rows",
+            limit: 5,
+        };
+        let Response::Error {
+            code, retryable, ..
+        } = eval_error_frame(&e, "")
+        else {
+            panic!("not an error frame")
+        };
+        assert_eq!(code, ErrorCode::ResourceExhausted);
+        assert!(!retryable);
+
+        let e = EvalError::ReadOnlyStatement { clause: "CREATE" };
+        let Response::Error { code, .. } = eval_error_frame(&e, "") else {
+            panic!("not an error frame")
+        };
+        assert_eq!(code, ErrorCode::ReadOnly);
+    }
+
+    #[test]
+    fn lint_detail_is_json_lines() {
+        let source = "MATCH (p1:P), (p2:P) SET p1.id = p2.id, p2.id = p1.id";
+        let query = cypher_parser::parse(source).unwrap();
+        let diags = cypher_analysis::analyze(source, &query, cypher_parser::Dialect::Cypher9);
+        assert!(!diags.is_empty());
+        let Response::Error { code, detail, .. } =
+            eval_error_frame(&EvalError::Lint(diags), source)
+        else {
+            panic!("not an error frame")
+        };
+        assert_eq!(code, ErrorCode::Lint);
+        assert!(detail
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(detail.contains("\"code\":\"W01\""));
+    }
+}

@@ -1,0 +1,52 @@
+//! Multi-session network front end for the Cypher engine.
+//!
+//! The paper defines one statement as the unit of atomicity (§4.2, §8); a
+//! server must extend that guarantee *across sessions*: no client may ever
+//! observe another client's statement half-applied — in particular, never a
+//! dangling relationship mid-`DELETE`. This crate does so with a strict
+//! single-writer design:
+//!
+//! * [`wire`] — the length-prefixed, CRC-framed binary protocol: a
+//!   versioned handshake, `Run`/`Pull` statement execution, admin frames
+//!   for checkpointing and introspection, and a typed error frame carrying
+//!   the engine's [`EvalError`](cypher_core::EvalError) /
+//!   [`StorageError`](cypher_storage::StorageError) taxonomy.
+//! * [`error`] — the wire-level error codes and the mapping from engine
+//!   and storage errors onto them (including which are retryable).
+//! * [`store`] — [`SharedStore`]: all writers serialize through one apply
+//!   queue owned by a single worker thread holding the
+//!   [`DurableGraph`](cypher_storage::DurableGraph). The worker batches
+//!   queued statements and **group-commits** them with one fsync
+//!   (`apply_buffered` + `flush`), acknowledging only after the flush.
+//!   Readers never enter the queue when the epoch is unchanged: they run
+//!   against cheap [`EpochSnapshots`](cypher_graph::EpochSnapshots) —
+//!   `Arc` clones taken at statement boundaries — so a reader never blocks
+//!   a writer and always sees a statement-atomic graph.
+//! * [`session`] — one blocking session loop per connection: handshake,
+//!   statement classification (read statements go to snapshots, updates to
+//!   the queue), result streaming, per-session
+//!   [`ExecLimits`](cypher_core::ExecLimits) budgets.
+//! * [`server`] — the TCP listener/accept loop and clean shutdown.
+//! * [`client`] — a blocking client library used by the `cypher-client`
+//!   binary, the integration tests and the load generator.
+//!
+//! Admission control is two-layered: a global in-flight statement cap
+//! (try-acquire; over cap → the retryable `Busy` error) and a bounded
+//! apply queue (full → `Busy` as well). Backpressure is therefore always a
+//! *typed, retryable* refusal, never an unbounded stall.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod server;
+pub mod session;
+pub mod store;
+pub mod wire;
+
+pub use client::{Client, ClientError, HelloOptions, RunOutcome};
+pub use config::ServerConfig;
+pub use error::ErrorCode;
+pub use server::{serve, serve_with, ServerHandle};
+pub use store::SharedStore;

@@ -1,0 +1,174 @@
+//! TCP listener, accept loop and clean shutdown.
+//!
+//! Thread-per-connection over blocking `std::net` sockets — no async
+//! runtime. Shutdown is cooperative: a flag flips, the accept loop is
+//! woken with a self-connection, and every live session socket is shut
+//! down so its blocking `read` returns; session threads are then joined,
+//! the apply worker drains and flushes, and the bound port is released.
+
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use cypher_storage::DurableGraph;
+
+use crate::config::ServerConfig;
+use crate::session::run_session;
+use crate::store::SharedStore;
+
+/// A running server. Dropping the handle does NOT stop it; call
+/// [`ServerHandle::stop`].
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    store: Arc<SharedStore>,
+}
+
+struct Shared {
+    stopping: AtomicBool,
+    next_session: AtomicU64,
+    /// One clone of every live session's stream, used to unblock their
+    /// reads at shutdown. Sessions remove themselves when they exit.
+    live: Mutex<Vec<(u64, TcpStream)>>,
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Open the durable store, bind the listener and start accepting.
+pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    std::fs::create_dir_all(&config.data_dir)?;
+    let durable = DurableGraph::open(&config.data_dir).map_err(std::io::Error::other)?;
+    let store = SharedStore::start(
+        durable,
+        config.queue_depth,
+        config.max_batch,
+        config.max_inflight,
+    );
+    serve_with(config, store)
+}
+
+/// Start the listener over an already-running store (tests use this to
+/// share a store between direct handles and the network path).
+pub fn serve_with(config: ServerConfig, store: Arc<SharedStore>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        stopping: AtomicBool::new(false),
+        next_session: AtomicU64::new(1),
+        live: Mutex::new(Vec::new()),
+        sessions: Mutex::new(Vec::new()),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_store = Arc::clone(&store);
+    let accept_thread = std::thread::Builder::new()
+        .name("cypher-accept".to_owned())
+        .spawn(move || accept_loop(listener, config, accept_shared, accept_store))?;
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Mutex::new(Some(accept_thread)),
+        store,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    pub fn store(&self) -> &Arc<SharedStore> {
+        &self.store
+    }
+
+    /// Has a session requested shutdown (or [`stop`](ServerHandle::stop)
+    /// been called)?
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::Acquire)
+    }
+
+    /// Block until the accept loop exits (i.e. until shutdown is
+    /// requested by a session's `Shutdown` frame).
+    pub fn wait(&self) {
+        if let Ok(mut guard) = self.accept_thread.lock() {
+            if let Some(h) = guard.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Stop accepting, unblock and join every session, drain and flush the
+    /// apply queue. Idempotent.
+    pub fn stop(&self) {
+        request_stop(&self.shared, self.addr);
+        self.wait();
+        self.store.shutdown();
+    }
+}
+
+fn request_stop(shared: &Arc<Shared>, addr: std::net::SocketAddr) {
+    if shared.stopping.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    // Wake the blocking accept with a throwaway connection.
+    let _ = TcpStream::connect(addr);
+    // Unblock every session stuck in read_frame.
+    if let Ok(live) = shared.live.lock() {
+        for (_, stream) in live.iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+    store: Arc<SharedStore>,
+) {
+    let addr = listener.local_addr().ok();
+    for incoming in listener.incoming() {
+        if shared.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        if let (Ok(clone), Ok(mut live)) = (stream.try_clone(), shared.live.lock()) {
+            live.push((id, clone));
+        }
+        let config = config.clone();
+        let session_shared = Arc::clone(&shared);
+        let session_store = Arc::clone(&store);
+        let handle = std::thread::Builder::new()
+            .name(format!("cypher-session-{id}"))
+            .spawn(move || {
+                let wants_shutdown = run_session(stream, id, &config, &session_store);
+                if let Ok(mut live) = session_shared.live.lock() {
+                    live.retain(|(sid, _)| *sid != id);
+                }
+                if wants_shutdown {
+                    if let Some(addr) = addr {
+                        request_stop(&session_shared, addr);
+                    }
+                }
+            });
+        if let Ok(handle) = handle {
+            if let Ok(mut sessions) = shared.sessions.lock() {
+                sessions.push(handle);
+            }
+        }
+    }
+    // Stopping: join sessions so their last responses are flushed before
+    // the caller tears the store down.
+    let handles = shared
+        .sessions
+        .lock()
+        .map(|mut s| std::mem::take(&mut *s))
+        .unwrap_or_default();
+    for h in handles {
+        let _ = h.join();
+    }
+}

@@ -1,0 +1,298 @@
+//! One session per connection.
+//!
+//! The session owns the protocol state machine: handshake first, then a
+//! strict request/response loop. Each `Run` is classified by
+//! [`Query::first_mutating_clause`](cypher_parser::ast::Query): statements
+//! with no mutating clause execute on an epoch snapshot via
+//! [`Engine::run_read`] — concurrently with every other reader and with
+//! the writer — while updates are submitted to the apply queue and block
+//! until their group commit is flushed. Results are materialized per
+//! statement and streamed to the client in `Pull`-sized row blocks.
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use cypher_core::{Dialect, Engine, EngineBuilder, LintMode, QueryResult, UpdateStats};
+use cypher_parser::parse;
+
+use crate::config::ServerConfig;
+use crate::error::{busy_frame, eval_error_frame, storage_error_frame, ErrorCode};
+use crate::store::{SharedStore, WriteOutcome};
+use crate::wire::{read_frame, write_frame, Request, Response, WireError, PROTOCOL_VERSION};
+
+/// A statement's materialized result, drained by `Pull` frames.
+struct Pending {
+    result: QueryResult,
+    next_row: usize,
+}
+
+/// Run one connection to completion. Returns when the client says
+/// `Goodbye`, closes the socket, breaks protocol, or the server shuts the
+/// stream down. The returned flag is `true` when the client requested
+/// server shutdown (and the config allows it).
+pub fn run_session(
+    stream: TcpStream,
+    session_id: u64,
+    config: &ServerConfig,
+    store: &Arc<SharedStore>,
+) -> bool {
+    let Ok(read_half) = stream.try_clone() else {
+        return false;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    // ---- handshake -------------------------------------------------------
+    let engine = match read_request(&mut reader) {
+        Ok(Request::Hello {
+            version,
+            dialect,
+            lint,
+            max_rows,
+            max_writes,
+            timeout_ms,
+        }) => {
+            if version != PROTOCOL_VERSION {
+                let _ = send(
+                    &mut writer,
+                    &Response::Error {
+                        code: ErrorCode::Version,
+                        retryable: false,
+                        message: format!(
+                            "protocol version {version} not supported (server speaks \
+                             {PROTOCOL_VERSION})"
+                        ),
+                        detail: String::new(),
+                    },
+                );
+                return false;
+            }
+            let dialect = match dialect {
+                0 => Dialect::Cypher9,
+                1 => Dialect::Revised,
+                _ => config.dialect,
+            };
+            let lint = match lint {
+                0 => LintMode::Off,
+                1 => LintMode::Warn,
+                2 => LintMode::Deny,
+                _ => config.lint,
+            };
+            let limits = config.session_limits(max_rows, max_writes, timeout_ms);
+            // The same rendering the shell's `:limits` prints — one
+            // formatting, two surfaces.
+            eprintln!("session {session_id}: dialect {dialect:?}, lint {lint:?}, {limits}");
+            let engine = EngineBuilder::new(dialect)
+                .lint_mode(lint)
+                .limits(limits)
+                .build();
+            if send(
+                &mut writer,
+                &Response::HelloOk {
+                    version: PROTOCOL_VERSION,
+                    session: session_id,
+                    limits: limits.to_string(),
+                },
+            )
+            .is_err()
+            {
+                return false;
+            }
+            engine
+        }
+        Ok(_) => {
+            let _ = send(
+                &mut writer,
+                &Response::Error {
+                    code: ErrorCode::Protocol,
+                    retryable: false,
+                    message: "expected Hello as the first message".to_owned(),
+                    detail: String::new(),
+                },
+            );
+            return false;
+        }
+        Err(_) => return false,
+    };
+
+    // ---- request loop ----------------------------------------------------
+    let mut pending: Option<Pending> = None;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(e) => {
+                if !e.is_clean_eof() {
+                    let _ = send(
+                        &mut writer,
+                        &Response::Error {
+                            code: ErrorCode::Protocol,
+                            retryable: false,
+                            message: e.to_string(),
+                            detail: String::new(),
+                        },
+                    );
+                }
+                return false;
+            }
+        };
+        let response = match request {
+            Request::Hello { .. } => Response::Error {
+                code: ErrorCode::Protocol,
+                retryable: false,
+                message: "duplicate Hello".to_owned(),
+                detail: String::new(),
+            },
+            Request::Run { text } => {
+                let (resp, new_pending) = run_statement(&engine, store, &text);
+                pending = new_pending;
+                resp
+            }
+            Request::Pull { max } => match pending.as_mut() {
+                None => Response::Error {
+                    code: ErrorCode::Protocol,
+                    retryable: false,
+                    message: "Pull without a pending result".to_owned(),
+                    detail: String::new(),
+                },
+                Some(p) => {
+                    let end = p
+                        .next_row
+                        .saturating_add(max.max(1) as usize)
+                        .min(p.result.rows.len());
+                    let rows = p.result.rows[p.next_row..end].to_vec();
+                    p.next_row = end;
+                    let has_more = end < p.result.rows.len();
+                    let stats = if has_more {
+                        [0; 7]
+                    } else {
+                        stats_array(&p.result.stats)
+                    };
+                    if !has_more {
+                        pending = None;
+                    }
+                    Response::Rows {
+                        rows,
+                        has_more,
+                        stats,
+                    }
+                }
+            },
+            Request::Commit => match store.checkpoint() {
+                Ok(Ok(())) => Response::CommitOk,
+                Ok(Err(e)) => storage_error_frame(&e),
+                Err(b) => busy_frame(b.0),
+            },
+            Request::Reset => {
+                pending = None;
+                Response::ResetOk
+            }
+            Request::Goodbye => {
+                let _ = send(&mut writer, &Response::Bye);
+                return false;
+            }
+            Request::Shutdown => {
+                if config.allow_shutdown {
+                    let _ = send(&mut writer, &Response::Bye);
+                    return true;
+                }
+                Response::Error {
+                    code: ErrorCode::Protocol,
+                    retryable: false,
+                    message: "shutdown is disabled on this server".to_owned(),
+                    detail: String::new(),
+                }
+            }
+            Request::DumpGraph => match store.snapshot() {
+                Some(snap) => Response::DumpOk {
+                    script: cypher_core::graph_to_cypher(&snap),
+                },
+                None => busy_frame("apply queue full"),
+            },
+            Request::CommitLog => match store.commit_log() {
+                Ok(statements) => Response::LogOk { statements },
+                Err(b) => busy_frame(b.0),
+            },
+        };
+        if send(&mut writer, &response).is_err() {
+            return false;
+        }
+    }
+}
+
+/// Execute one statement under admission control; returns the immediate
+/// response and, on success, the pending result for `Pull`.
+fn run_statement(
+    engine: &Engine,
+    store: &Arc<SharedStore>,
+    text: &str,
+) -> (Response, Option<Pending>) {
+    // Admission layer one: the global in-flight cap.
+    let Some(_slot) = store.gate().try_acquire() else {
+        return (busy_frame("in-flight statement cap reached"), None);
+    };
+
+    // Classify: parse here (cheap, and parse errors shouldn't cost a queue
+    // slot). The engine re-parses internally; statement texts are small.
+    let query = match parse(text) {
+        Ok(q) => q,
+        Err(e) => return (eval_error_frame(&e.into(), text), None),
+    };
+
+    if query.first_mutating_clause().is_none() {
+        // Reader: wait-free snapshot when the epoch is unchanged.
+        let Some(snap) = store.snapshot() else {
+            return (busy_frame("apply queue full"), None);
+        };
+        let epoch = store.epoch();
+        match engine.run_read(&snap, text) {
+            Ok(result) => ok_response(result, true, epoch),
+            Err(e) => (eval_error_frame(&e, text), None),
+        }
+    } else {
+        // Writer: serialize through the apply queue; the reply arrives
+        // only after the statement's batch is flushed (durable).
+        match store.submit_write(text.to_owned(), engine.clone()) {
+            Ok(WriteOutcome::Ok(result)) => ok_response(result, false, store.epoch()),
+            Ok(WriteOutcome::Eval(e)) => (eval_error_frame(&e, text), None),
+            Ok(WriteOutcome::Storage(e)) => (storage_error_frame(&e), None),
+            Err(b) => (busy_frame(b.0), None),
+        }
+    }
+}
+
+fn ok_response(result: QueryResult, read_only: bool, epoch: u64) -> (Response, Option<Pending>) {
+    let resp = Response::RunOk {
+        read_only,
+        epoch,
+        columns: result.columns.clone(),
+    };
+    (
+        resp,
+        Some(Pending {
+            result,
+            next_row: 0,
+        }),
+    )
+}
+
+fn stats_array(s: &UpdateStats) -> [u64; 7] {
+    [
+        s.nodes_created as u64,
+        s.rels_created as u64,
+        s.nodes_deleted as u64,
+        s.rels_deleted as u64,
+        s.props_set as u64,
+        s.labels_added as u64,
+        s.labels_removed as u64,
+    ]
+}
+
+fn read_request(r: &mut impl std::io::Read) -> Result<Request, WireError> {
+    let payload = read_frame(r)?;
+    Request::decode(&payload)
+}
+
+fn send(w: &mut impl std::io::Write, resp: &Response) -> Result<(), WireError> {
+    write_frame(w, &resp.encode())
+}

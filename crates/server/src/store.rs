@@ -1,0 +1,458 @@
+//! The shared store: one writer, many snapshot readers.
+//!
+//! All mutation funnels through a single **apply worker** thread that owns
+//! the [`DurableGraph`]. Sessions enqueue jobs on a bounded channel; the
+//! worker drains up to a batch, runs each write through
+//! [`DurableGraph::apply_buffered`] and then **group-commits** the batch
+//! with one [`DurableGraph::flush`] (one fsync amortized over the batch).
+//! A write is acknowledged to its session only after that flush — the
+//! classic durability-before-acknowledge protocol — so a failed batch
+//! fsync reports a storage error to *every* statement of the batch, whose
+//! commit units were all rolled off the log together.
+//!
+//! Readers never touch the queue in steady state: the worker bumps an
+//! epoch counter after every batch that changed the graph, and sessions
+//! read through [`EpochSnapshots`] — at most one `Arc<PropertyGraph>`
+//! clone is taken per epoch, at a statement boundary, so a snapshot is
+//! always statement-atomic (never a dangling relationship mid-`DELETE`,
+//! extending §4.2's guarantee across sessions). When the cached snapshot
+//! is stale a session enqueues a [`Job::Snapshot`]; queue FIFO order then
+//! guarantees read-your-writes: the snapshot job runs after every write
+//! the same session already had acknowledged.
+//!
+//! The worker also maintains the **commit log** — the texts of
+//! successfully committed update statements in apply order — which is the
+//! serialization oracle for the differential tests: replaying the log
+//! through a single-threaded engine must reproduce the server's graph
+//! byte-for-byte.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use cypher_core::{Engine, EvalError, QueryResult};
+use cypher_graph::{EpochSnapshots, PropertyGraph};
+use cypher_storage::{DurableGraph, StorageError};
+
+/// Outcome of a write submitted to the apply queue.
+#[derive(Debug)]
+pub enum WriteOutcome {
+    /// Executed and durable (the batch's fsync succeeded).
+    Ok(QueryResult),
+    /// The statement itself failed and rolled back; the store is fine.
+    Eval(EvalError),
+    /// The durability layer failed; the statement is NOT acknowledged.
+    Storage(StorageError),
+}
+
+/// A unit of work for the apply worker.
+pub enum Job {
+    /// Run one update statement. The engine rides along because budgets,
+    /// dialect and lint policy are per-session.
+    Write {
+        text: String,
+        engine: Engine,
+        resp: SyncSender<WriteOutcome>,
+    },
+    /// Publish a fresh epoch snapshot (only sent when the cache is stale).
+    Snapshot {
+        resp: SyncSender<Arc<PropertyGraph>>,
+    },
+    /// Checkpoint the durable store (snapshot + WAL truncate); also the
+    /// reconciliation path for a sealed handle.
+    Checkpoint {
+        resp: SyncSender<Result<(), StorageError>>,
+    },
+    /// The committed-statement texts, in commit order.
+    CommitLog { resp: SyncSender<Vec<String>> },
+    /// Drain, flush and exit.
+    Shutdown,
+}
+
+/// Global in-flight statement cap (admission control layer one).
+///
+/// `try_acquire` never blocks: over the cap means the caller sends the
+/// retryable `Busy` error instead of queueing unbounded work.
+pub struct Gate {
+    inflight: AtomicUsize,
+    cap: usize,
+}
+
+impl Gate {
+    pub fn new(cap: usize) -> Gate {
+        Gate {
+            inflight: AtomicUsize::new(0),
+            cap,
+        }
+    }
+
+    pub fn try_acquire(self: &Arc<Self>) -> Option<GateGuard> {
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.cap {
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(GateGuard {
+                        gate: Arc::clone(self),
+                    })
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII release of one in-flight slot.
+pub struct GateGuard {
+    gate: Arc<Gate>,
+}
+
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        self.gate.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Handle to the apply worker plus the reader-side snapshot cache.
+/// Cloneable across sessions; the worker exits when [`shutdown`]
+/// (`SharedStore::shutdown`) runs or every handle is dropped.
+pub struct SharedStore {
+    tx: SyncSender<Job>,
+    snaps: Arc<EpochSnapshots>,
+    gate: Arc<Gate>,
+    max_batch: usize,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl SharedStore {
+    /// Spawn the apply worker over an already-opened durable graph.
+    pub fn start(
+        durable: DurableGraph,
+        queue_depth: usize,
+        max_batch: usize,
+        max_inflight: usize,
+    ) -> Arc<SharedStore> {
+        let (tx, rx) = mpsc::sync_channel(queue_depth.max(1));
+        let snaps = Arc::new(EpochSnapshots::new());
+        let worker_snaps = Arc::clone(&snaps);
+        let batch = max_batch.max(1);
+        let worker = std::thread::Builder::new()
+            .name("cypher-apply".to_owned())
+            .spawn(move || apply_worker(durable, rx, worker_snaps, batch))
+            .ok();
+        Arc::new(SharedStore {
+            tx,
+            snaps,
+            gate: Arc::new(Gate::new(max_inflight.max(1))),
+            max_batch: batch,
+            worker: Mutex::new(worker),
+        })
+    }
+
+    pub fn gate(&self) -> &Arc<Gate> {
+        &self.gate
+    }
+
+    /// Current write epoch (diagnostics; also stamped into `RunOk`).
+    pub fn epoch(&self) -> u64 {
+        self.snaps.epoch()
+    }
+
+    /// A statement-atomic snapshot for a reader. Wait-free when the cache
+    /// is current; otherwise one `Snapshot` job goes through the queue
+    /// (FIFO ⇒ read-your-writes) and the worker publishes a fresh clone.
+    /// `None` means the queue refused (full or worker gone) — the caller
+    /// reports `Busy`.
+    pub fn snapshot(&self) -> Option<Arc<PropertyGraph>> {
+        if let Some(g) = self.snaps.cached() {
+            return Some(g);
+        }
+        let (resp, rx) = mpsc::sync_channel(1);
+        self.try_submit(Job::Snapshot { resp }).ok()?;
+        rx.recv().ok()
+    }
+
+    /// Submit a write statement; blocks until the worker has flushed the
+    /// batch containing it. `Err` means the queue refused admission.
+    pub fn submit_write(&self, text: String, engine: Engine) -> Result<WriteOutcome, Busy> {
+        let (resp, rx) = mpsc::sync_channel(1);
+        self.try_submit(Job::Write { text, engine, resp })?;
+        rx.recv().map_err(|_| Busy("apply worker exited"))
+    }
+
+    /// Checkpoint the durable store (the wire `Commit` frame).
+    pub fn checkpoint(&self) -> Result<Result<(), StorageError>, Busy> {
+        let (resp, rx) = mpsc::sync_channel(1);
+        self.try_submit(Job::Checkpoint { resp })?;
+        rx.recv().map_err(|_| Busy("apply worker exited"))
+    }
+
+    /// The commit log (differential-test oracle and `CommitLog` frame).
+    pub fn commit_log(&self) -> Result<Vec<String>, Busy> {
+        let (resp, rx) = mpsc::sync_channel(1);
+        self.try_submit(Job::CommitLog { resp })?;
+        rx.recv().map_err(|_| Busy("apply worker exited"))
+    }
+
+    fn try_submit(&self, job: Job) -> Result<(), Busy> {
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(Busy("apply queue full")),
+            Err(TrySendError::Disconnected(_)) => Err(Busy("apply worker exited")),
+        }
+    }
+
+    /// Stop the worker after it drains everything already queued. Blocking
+    /// send: shutdown must not be refused by a momentarily full queue.
+    pub fn shutdown(&self) {
+        let _ = self.tx.send(Job::Shutdown);
+        if let Ok(mut guard) = self.worker.lock() {
+            if let Some(h) = guard.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// The configured group-commit batch size (diagnostics).
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+}
+
+/// Admission refused; carries the reason for the `Busy` error message.
+#[derive(Debug, Clone, Copy)]
+pub struct Busy(pub &'static str);
+
+fn apply_worker(
+    mut durable: DurableGraph,
+    rx: Receiver<Job>,
+    snaps: Arc<EpochSnapshots>,
+    max_batch: usize,
+) {
+    let mut commit_log: Vec<String> = Vec::new();
+    loop {
+        // Block for the first job, then opportunistically drain more up to
+        // the batch bound. Only writes extend a batch: the first non-write
+        // job closes it (it must observe the flushed, epoch-bumped state).
+        let Ok(first) = rx.recv() else {
+            // Every SharedStore handle dropped: flush and exit.
+            let _ = durable.flush();
+            return;
+        };
+        let mut writes: Vec<(String, Engine, SyncSender<WriteOutcome>)> = Vec::new();
+        let mut tail: Option<Job> = None;
+        match first {
+            Job::Write { text, engine, resp } => writes.push((text, engine, resp)),
+            other => tail = Some(other),
+        }
+        while tail.is_none() && writes.len() < max_batch {
+            match rx.try_recv() {
+                Ok(Job::Write { text, engine, resp }) => writes.push((text, engine, resp)),
+                Ok(other) => tail = Some(other),
+                Err(_) => break,
+            }
+        }
+
+        if !writes.is_empty() {
+            run_write_batch(&mut durable, &snaps, &mut commit_log, writes);
+        }
+
+        match tail {
+            None => {}
+            Some(Job::Snapshot { resp }) => {
+                let _ = resp.send(snaps.publish(durable.graph()));
+            }
+            Some(Job::Checkpoint { resp }) => {
+                let _ = resp.send(durable.checkpoint());
+            }
+            Some(Job::CommitLog { resp }) => {
+                let _ = resp.send(commit_log.clone());
+            }
+            Some(Job::Shutdown) => {
+                let _ = durable.flush();
+                return;
+            }
+            Some(Job::Write { .. }) => unreachable!("writes never land in tail"),
+        }
+    }
+}
+
+/// Execute a batch of update statements under one group commit.
+///
+/// Each statement runs through `apply_buffered`; its commit unit joins the
+/// un-synced WAL window. One `flush` then makes the whole batch durable —
+/// only after that are the per-statement outcomes acknowledged. If the
+/// flush fails, every buffered unit was discarded with the WAL rollback,
+/// so every statement of the batch (even ones that executed cleanly)
+/// reports the storage error: none of them was ever acknowledged, so none
+/// of them is lost *silently*.
+fn run_write_batch(
+    durable: &mut DurableGraph,
+    snaps: &EpochSnapshots,
+    commit_log: &mut Vec<String>,
+    writes: Vec<(String, Engine, SyncSender<WriteOutcome>)>,
+) {
+    let mut outcomes: Vec<(SyncSender<WriteOutcome>, WriteOutcome)> = Vec::new();
+    let mut batch_updates = false;
+    let mut batch_log: Vec<String> = Vec::new();
+    let mut flush_err: Option<StorageError> = None;
+
+    for (text, engine, resp) in writes {
+        let applied = durable.apply_buffered(|g| engine.run(g, &text));
+        match applied {
+            Ok(Ok(result)) => {
+                if result.stats.contains_updates() {
+                    batch_updates = true;
+                    batch_log.push(text);
+                }
+                outcomes.push((resp, WriteOutcome::Ok(result)));
+            }
+            Ok(Err(e)) => outcomes.push((resp, WriteOutcome::Eval(e))),
+            Err(e) => {
+                // Append failure seals the handle; later statements of the
+                // batch will see Sealed from their own apply_buffered.
+                outcomes.push((resp, WriteOutcome::Storage(e)));
+            }
+        }
+    }
+
+    if let Err(e) = durable.flush() {
+        flush_err = Some(e);
+    }
+
+    match flush_err {
+        None => {
+            if batch_updates {
+                // New statement-boundary state: invalidate reader caches.
+                snaps.bump();
+                commit_log.extend(batch_log);
+            }
+            for (resp, outcome) in outcomes {
+                let _ = resp.send(outcome);
+            }
+        }
+        Some(e) => {
+            // The WAL rolled back to the durable horizon: nothing in this
+            // batch is durable, nothing is acknowledged as committed.
+            // Memory is ahead of the log until a checkpoint reconciles;
+            // readers may still observe the batch's effects, which is the
+            // documented sealed-state semantic (same as the embedded
+            // DurableGraph). The epoch still bumps so no reader keeps a
+            // pre-batch cache while the in-memory graph moved on.
+            if batch_updates {
+                snaps.bump();
+            }
+            for (resp, outcome) in outcomes {
+                let downgraded = match outcome {
+                    WriteOutcome::Ok(_) => WriteOutcome::Storage(StorageError::Io(
+                        std::io::Error::other(format!("group-commit fsync failed: {e}")),
+                    )),
+                    other => other,
+                };
+                let _ = resp.send(downgraded);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_core::graph_to_cypher;
+
+    fn temp_store(name: &str, queue: usize, batch: usize, inflight: usize) -> Arc<SharedStore> {
+        let dir =
+            std::env::temp_dir().join(format!("cypher-server-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let durable = DurableGraph::open(&dir).unwrap();
+        SharedStore::start(durable, queue, batch, inflight)
+    }
+
+    #[test]
+    fn writes_commit_and_readers_see_them() {
+        let store = temp_store("rw", 16, 8, 8);
+        let engine = Engine::revised();
+        match store
+            .submit_write("CREATE (:A {id: 1})".into(), engine.clone())
+            .unwrap()
+        {
+            WriteOutcome::Ok(res) => assert_eq!(res.stats.nodes_created, 1),
+            other => panic!("{other:?}"),
+        }
+        let snap = store.snapshot().unwrap();
+        assert_eq!(snap.node_count(), 1);
+        // Same epoch: second snapshot is the cached Arc, not a new clone.
+        let again = store.snapshot().unwrap();
+        assert!(Arc::ptr_eq(&snap, &again));
+        store.shutdown();
+    }
+
+    #[test]
+    fn commit_log_replay_reproduces_the_graph() {
+        let store = temp_store("log", 16, 8, 8);
+        let engine = Engine::revised();
+        for stmt in [
+            "CREATE (:A {id: 1})",
+            "CREATE (:B {id: 2})",
+            "MATCH (a:A), (b:B) CREATE (a)-[:R]->(b)",
+        ] {
+            match store.submit_write(stmt.into(), engine.clone()).unwrap() {
+                WriteOutcome::Ok(_) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        // A failed statement must not enter the log.
+        match store
+            .submit_write("MATCH (a:A) DELETE a".into(), engine.clone())
+            .unwrap()
+        {
+            WriteOutcome::Eval(EvalError::DeleteWouldDangle { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        let log = store.commit_log().unwrap();
+        assert_eq!(log.len(), 3);
+        let snap = store.snapshot().unwrap();
+        let mut replay = cypher_graph::PropertyGraph::new();
+        for stmt in &log {
+            engine.run(&mut replay, stmt).unwrap();
+        }
+        assert_eq!(graph_to_cypher(&replay), graph_to_cypher(&snap));
+        store.shutdown();
+    }
+
+    #[test]
+    fn gate_refuses_over_cap_and_releases() {
+        let gate = Arc::new(Gate::new(2));
+        let a = gate.try_acquire().unwrap();
+        let _b = gate.try_acquire().unwrap();
+        assert!(gate.try_acquire().is_none());
+        drop(a);
+        assert!(gate.try_acquire().is_some());
+    }
+
+    #[test]
+    fn full_queue_reports_busy() {
+        // Queue depth 1 with a worker kept busy is racy to arrange; use the
+        // cheaper invariant instead: after shutdown the channel disconnects
+        // and submission reports Busy rather than panicking.
+        let store = temp_store("busy", 1, 1, 1);
+        store.shutdown();
+        assert!(store
+            .submit_write("CREATE (:A)".into(), Engine::revised())
+            .is_err());
+        assert!(store.commit_log().is_err());
+    }
+}

@@ -1,0 +1,382 @@
+//! End-to-end tests over real TCP connections.
+//!
+//! The two load-bearing ones are the ISSUE's concurrency suite:
+//!
+//! * `concurrent_writers_serialize_to_the_commit_log` — T writer threads
+//!   race N statements each through the server; the final graph dump must
+//!   be **byte-identical** to replaying the server's own commit log
+//!   through a fresh single-threaded engine (i.e. the concurrent execution
+//!   equals some serial order — the one the commit log records).
+//! * `readers_never_observe_a_dangling_relationship` — a writer churns
+//!   create/detach-delete cycles while readers snapshot continuously; no
+//!   snapshot may ever expose a dangling relationship or a torn statement.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cypher_core::{graph_to_cypher, Engine};
+use cypher_graph::{PropertyGraph, Value};
+use cypher_server::wire::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+use cypher_server::{serve, Client, ErrorCode, HelloOptions, ServerConfig};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cypher-server-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(name: &str, tweak: impl FnOnce(&mut ServerConfig)) -> cypher_server::ServerHandle {
+    let mut config = ServerConfig::new(temp_dir(name));
+    config.allow_shutdown = true;
+    tweak(&mut config);
+    serve(config).unwrap()
+}
+
+fn hello() -> HelloOptions {
+    HelloOptions::server_defaults()
+}
+
+#[test]
+fn handshake_roundtrip_and_session_basics() {
+    let server = start("basics", |_| {});
+    let mut client = Client::connect(server.addr(), &hello()).unwrap();
+    assert_eq!(client.limits(), "limits: off");
+
+    let out = client
+        .run("CREATE (a:User {name: 'Ann'})-[:KNOWS]->(:User {name: 'Bob'})")
+        .unwrap();
+    assert!(!out.read_only);
+    assert_eq!(out.stats[0], 2); // nodes created
+    assert_eq!(out.stats[1], 1); // rels created
+
+    let out = client
+        .run("MATCH (u:User) RETURN u.name ORDER BY u.name")
+        .unwrap();
+    assert!(out.read_only);
+    assert_eq!(out.columns, vec!["u.name".to_string()]);
+    assert_eq!(
+        out.rows,
+        vec![vec![Value::str("Ann")], vec![Value::str("Bob")]]
+    );
+
+    // MERGE matches the existing node: no new writes.
+    let out = client.run("MERGE ALL (:User {name: 'Ann'})").unwrap();
+    assert_eq!(out.stats, [0; 7]);
+
+    let out = client
+        .run("MATCH (u:User {name: 'Bob'}) DETACH DELETE u")
+        .unwrap();
+    assert_eq!(out.stats[2], 1);
+
+    client.commit().unwrap();
+    client.reset().unwrap();
+    client.goodbye().unwrap();
+    server.stop();
+}
+
+#[test]
+fn concurrent_writers_serialize_to_the_commit_log() {
+    let server = start("differential", |c| {
+        c.max_batch = 8;
+        c.queue_depth = 64;
+    });
+    const THREADS: u64 = 4;
+    const STMTS: u64 = 24;
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let addr = server.addr();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, &hello()).unwrap();
+                for i in 0..STMTS {
+                    // Per-thread namespace so every interleaving succeeds;
+                    // the *order across threads* is what the server picks.
+                    let text = match i % 3 {
+                        0 => format!("CREATE (:T{t} {{seq: {i}}})"),
+                        1 => format!("MATCH (n:T{t} {{seq: {}}}) SET n.done = true", i - 1),
+                        _ => format!("MATCH (a:T{t} {{seq: {}}}) CREATE (a)-[:NEXT]->(a)", i - 2),
+                    };
+                    let out = client.run_with_retry(&text, 100).unwrap();
+                    assert!(!out.read_only);
+                }
+                client.goodbye().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut admin = Client::connect(server.addr(), &hello()).unwrap();
+    let dump = admin.dump_graph().unwrap();
+    let log = admin.commit_log().unwrap();
+    assert_eq!(log.len(), (THREADS * STMTS) as usize);
+
+    // Oracle: replay the commit log serially through a fresh engine.
+    let engine = Engine::revised();
+    let mut replay = PropertyGraph::new();
+    for stmt in &log {
+        engine.run(&mut replay, stmt).unwrap();
+    }
+    assert_eq!(
+        graph_to_cypher(&replay),
+        dump,
+        "server graph must equal a serial replay of its own commit log"
+    );
+
+    // Every thread's statements appear in per-thread submission order
+    // (sessions are synchronous, so the serialization respects them).
+    for t in 0..THREADS {
+        let prefix = format!("CREATE (:T{t} {{seq: ");
+        let seqs: Vec<u64> = log
+            .iter()
+            .filter_map(|s| s.strip_prefix(&prefix))
+            .filter_map(|rest| rest.trim_end_matches("})").parse().ok())
+            .collect();
+        assert_eq!(seqs.len(), (STMTS / 3) as usize);
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "thread {t}'s statements reordered in the log: {seqs:?}"
+        );
+    }
+    admin.goodbye().unwrap();
+    server.stop();
+}
+
+#[test]
+fn readers_never_observe_a_dangling_relationship() {
+    let server = start("isolation", |c| {
+        c.max_batch = 4;
+    });
+    let store = Arc::clone(server.store());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Readers: continuously snapshot and check statement-atomicity
+    // invariants. Snapshots come from the same epoch machinery the wire
+    // sessions read through.
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut checked = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let Some(snap) = store.snapshot() else {
+                        continue;
+                    };
+                    assert!(
+                        snap.dangling_rels().is_empty(),
+                        "snapshot exposed dangling relationships"
+                    );
+                    // Writer creates and deletes (:A)-[:R]->(:B) as whole
+                    // statements, so any snapshot sees #A == #B == #R.
+                    let engine = Engine::revised();
+                    let res = engine
+                        .run_read(
+                            &snap,
+                            "MATCH (a:A) WITH count(a) AS na \
+                             MATCH (b:B) WITH na, count(b) AS nb \
+                             RETURN na, nb",
+                        )
+                        .unwrap();
+                    if let Some(row) = res.rows.first() {
+                        assert_eq!(row[0], row[1], "torn statement visible: {row:?}");
+                    }
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    // Writer over the wire: churn paired create/detach-delete statements.
+    let mut writer = Client::connect(server.addr(), &hello()).unwrap();
+    for k in 0..60 {
+        writer
+            .run_with_retry(
+                &format!("CREATE (:A {{k: {k}}})-[:R]->(:B {{k: {k}}})"),
+                100,
+            )
+            .unwrap();
+        if k % 2 == 1 {
+            let out = writer
+                .run_with_retry(
+                    &format!("MATCH (a:A {{k: {k}}})-[:R]->(b:B {{k: {k}}}) DETACH DELETE a, b"),
+                    100,
+                )
+                .unwrap();
+            assert_eq!(out.stats[2], 2, "delete must remove both endpoints");
+        }
+    }
+    writer.goodbye().unwrap();
+
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        let checked = r.join().unwrap();
+        assert!(checked > 0, "reader thread never got a snapshot");
+    }
+    server.stop();
+}
+
+#[test]
+fn budget_trip_and_lint_deny_travel_as_typed_errors() {
+    let server = start("budgets", |_| {});
+
+    // Session budget from the handshake.
+    let mut opts = hello();
+    opts.max_rows = Some(10);
+    let mut client = Client::connect(server.addr(), &opts).unwrap();
+    assert_eq!(client.limits(), "limits: rows 10");
+    let err = client
+        .run("UNWIND range(1, 1000) AS x RETURN x")
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::ResourceExhausted));
+    assert!(!err.is_busy());
+    // The session survives the refusal.
+    let out = client.run("RETURN 1 AS one").unwrap();
+    assert_eq!(out.rows, vec![vec![Value::Int(1)]]);
+    client.goodbye().unwrap();
+
+    // Lint deny: legacy dialect, Example 1's hazardous swap.
+    let mut opts = hello();
+    opts.dialect = 0;
+    opts.lint = 2;
+    let mut client = Client::connect(server.addr(), &opts).unwrap();
+    client.run("CREATE (:P {id: 1})").unwrap();
+    client.run("CREATE (:P {id: 2})").unwrap();
+    let err = client
+        .run("MATCH (p1:P {id: 1}), (p2:P {id: 2}) SET p1.id = p2.id, p2.id = p1.id")
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Lint));
+    let cypher_server::ClientError::Server { detail, .. } = err else {
+        panic!("expected server error");
+    };
+    assert!(detail.contains("\"code\":\"W01\""), "detail: {detail}");
+    client.goodbye().unwrap();
+    server.stop();
+}
+
+#[test]
+fn version_mismatch_and_protocol_errors_are_refused() {
+    let server = start("version", |_| {});
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let bad_hello = Request::Hello {
+        version: PROTOCOL_VERSION + 1,
+        dialect: 0xFF,
+        lint: 0xFF,
+        max_rows: u64::MAX,
+        max_writes: u64::MAX,
+        timeout_ms: u64::MAX,
+    };
+    write_frame(&mut stream, &bad_hello.encode()).unwrap();
+    let payload = read_frame(&mut stream).unwrap();
+    match Response::decode(&payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Version),
+        other => panic!("expected Version error, got {other:?}"),
+    }
+
+    // A first message that is not Hello is a protocol error.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut stream, &Request::Commit.encode()).unwrap();
+    let payload = read_frame(&mut stream).unwrap();
+    match Response::decode(&payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+    server.stop();
+}
+
+#[test]
+fn busy_backpressure_is_retryable_and_recovers() {
+    let server = start("busy", |c| {
+        c.max_inflight = 1;
+    });
+
+    // Occupy the single in-flight slot with a slow statement on one
+    // session while another hammers the server until it sees Busy.
+    let addr = server.addr();
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr, &hello()).unwrap();
+        // A million-row aggregation: slow, but bounded. Retried because
+        // the hammering session below can hold the single slot when this
+        // statement first arrives.
+        let out = c
+            .run_with_retry(
+                "UNWIND range(1, 1000000) AS x WITH count(x) AS n RETURN n",
+                1000,
+            )
+            .unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(1_000_000)]]);
+        c.goodbye().unwrap();
+    });
+
+    let mut other = Client::connect(server.addr(), &hello()).unwrap();
+    let mut saw_busy = false;
+    for _ in 0..10_000 {
+        match other.run("RETURN 1 AS one") {
+            Ok(_) => {
+                if saw_busy {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) if e.is_busy() => {
+                assert_eq!(e.code(), Some(ErrorCode::Busy));
+                saw_busy = true;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    slow.join().unwrap();
+    assert!(saw_busy, "never saw the Busy refusal under a 1-slot cap");
+    // After the slow statement finishes, the server admits again.
+    let out = other.run_with_retry("RETURN 2 AS two", 100).unwrap();
+    assert_eq!(out.rows, vec![vec![Value::Int(2)]]);
+    other.goodbye().unwrap();
+    server.stop();
+}
+
+#[test]
+fn acknowledged_writes_survive_server_restart() {
+    let dir = temp_dir("durability");
+    let mut config = ServerConfig::new(&dir);
+    config.allow_shutdown = true;
+    let server = serve(config.clone()).unwrap();
+    let mut client = Client::connect(server.addr(), &hello()).unwrap();
+    for i in 0..10 {
+        client
+            .run(&format!("CREATE (:Persist {{seq: {i}}})"))
+            .unwrap();
+    }
+    let dump_before = client.dump_graph().unwrap();
+    client.goodbye().unwrap();
+    // No checkpoint: recovery must come from the WAL alone.
+    server.stop();
+
+    let server = serve(config).unwrap();
+    let mut client = Client::connect(server.addr(), &hello()).unwrap();
+    let dump_after = client.dump_graph().unwrap();
+    assert_eq!(
+        dump_before, dump_after,
+        "WAL recovery lost acknowledged writes"
+    );
+    client.goodbye().unwrap();
+    server.stop();
+}
+
+#[test]
+fn shutdown_frame_stops_the_server_cleanly() {
+    let server = start("shutdown", |_| {});
+    let client = Client::connect(server.addr(), &hello()).unwrap();
+    client.shutdown_server().unwrap();
+    // The accept loop exits on its own; wait() must return.
+    server.wait();
+    assert!(server.is_stopping());
+    server.stop();
+    // The port is released: a fresh connection must fail.
+    assert!(Client::connect(server.addr(), &hello()).is_err());
+}

@@ -147,6 +147,24 @@ impl DurableGraph {
         &mut self,
         f: impl FnOnce(&mut PropertyGraph) -> Result<T, E>,
     ) -> Result<Result<T, E>, StorageError> {
+        let out = self.apply_buffered(f)?;
+        self.flush()?;
+        Ok(out)
+    }
+
+    /// [`apply`](DurableGraph::apply) without the trailing fsync — the
+    /// **group-commit** fast path. The statement's commit unit is written
+    /// to the WAL but sits in the un-synced window until the next
+    /// successful [`flush`](DurableGraph::flush); the caller must not
+    /// acknowledge the statement to anyone before that flush returns `Ok`.
+    ///
+    /// A server's apply queue uses this to amortize one fsync over a batch
+    /// of statements: run each through `apply_buffered`, `flush` once, then
+    /// acknowledge the whole batch.
+    pub fn apply_buffered<T, E>(
+        &mut self,
+        f: impl FnOnce(&mut PropertyGraph) -> Result<T, E>,
+    ) -> Result<Result<T, E>, StorageError> {
         self.check_sealed()?;
         debug_assert_eq!(
             self.graph.journal_len(),
@@ -170,10 +188,11 @@ impl DurableGraph {
                 .map(|op| Record::from_delta(op, &self.graph))
                 .collect();
             let txid = self.next_txid;
-            if let Err(e) = self.wal.append_commit_unit(txid, &records) {
-                // Memory is ahead of the log: seal. The delta stays in
-                // place so a later successful checkpoint (which snapshots
-                // the full graph) can fold it in and unseal.
+            if let Err(e) = self.wal.append_commit_unit_buffered(txid, &records) {
+                // Memory is ahead of the log — and the failed write rolled
+                // the file back to the durable horizon, discarding every
+                // pending unit of the batch with it. Seal: the snapshot
+                // taken by the next checkpoint reconciles all of it.
                 self.seal(format!("WAL append for txn {txid} failed: {e}"));
                 return Err(StorageError::Io(e));
             }
@@ -181,6 +200,26 @@ impl DurableGraph {
             self.graph.clear_delta();
         }
         Ok(out)
+    }
+
+    /// Fsync the group-commit window opened by
+    /// [`apply_buffered`](DurableGraph::apply_buffered). On success every
+    /// buffered statement of the batch is durable. On failure **none** of
+    /// them is: the WAL is rolled back to the durable horizon, memory is
+    /// ahead of the log, and the handle seals (checkpoint reconciles, as
+    /// for any commit-unit failure). A no-op when nothing is pending.
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        if let Err(e) = self.wal.sync() {
+            self.seal(format!("WAL group-commit fsync failed: {e}"));
+            return Err(StorageError::Io(e));
+        }
+        Ok(())
+    }
+
+    /// Statements buffered but not yet durable (diagnostics for the apply
+    /// queue: non-zero between `apply_buffered` and `flush`).
+    pub fn pending_bytes(&self) -> u64 {
+        self.wal.pending()
     }
 
     /// Write a full snapshot and truncate the WAL.
@@ -500,6 +539,78 @@ mod tests {
             .unwrap();
         assert!(!d.is_sealed());
         assert!(d.wal.is_empty().unwrap());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Group commit: a batch of buffered applies becomes durable with a
+    /// single fsync, and a reopen replays every statement of the batch.
+    #[test]
+    fn buffered_batch_is_durable_after_one_flush() {
+        let dir = tmpdir("groupbatch");
+        let counting = FaultFs::counting();
+        let mut d = DurableGraph::open_with(counting.arc(), &dir).unwrap();
+        let syncs_before = counting.ops_of(OpKind::Sync);
+        for _ in 0..5 {
+            d.apply_buffered(create_one).unwrap().unwrap();
+        }
+        assert!(d.pending_bytes() > 0);
+        d.flush().unwrap();
+        assert_eq!(d.pending_bytes(), 0);
+        assert_eq!(
+            counting.ops_of(OpKind::Sync) - syncs_before,
+            1,
+            "five statements, one fsync"
+        );
+        let before = d.graph().clone();
+        drop(d);
+        let d = DurableGraph::open(&dir).unwrap();
+        assert!(isomorphic(&before, d.graph()));
+        assert_eq!(d.graph().node_count(), 5);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A failed batch flush seals the handle; on-disk state is the last
+    /// durable prefix (none of the batch), memory keeps everything, and a
+    /// checkpoint reconciles + unseals.
+    #[test]
+    fn failed_flush_seals_and_checkpoint_reconciles() {
+        let dir = tmpdir("groupflushfail");
+        drop(DurableGraph::open(&dir).unwrap());
+        // Reopening a header-only log does no fsync, so the first sync
+        // after this open is the batch flush.
+        let fault = FaultFs::fail_on(OpKind::Sync, 0, FaultKind::SyncFailure);
+        let mut d = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        d.apply_buffered(create_one).unwrap().unwrap();
+        d.apply_buffered(create_one).unwrap().unwrap();
+        let err = d.flush().unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert!(d.is_sealed());
+        assert_eq!(d.graph().node_count(), 2, "memory kept the batch");
+
+        // On-disk: nothing from the batch survived the rollback.
+        let rec = crate::recover::recover(&dir).unwrap();
+        assert_eq!(rec.graph.node_count(), 0);
+
+        // Checkpoint reconciles (fault was one-shot) and unseals.
+        d.checkpoint().unwrap();
+        assert!(!d.is_sealed());
+        let before = d.graph().clone();
+        drop(d);
+        let d = DurableGraph::open(&dir).unwrap();
+        assert!(isomorphic(&before, d.graph()));
+        assert_eq!(d.graph().node_count(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// `flush` on an empty window is free and `apply` still means
+    /// buffered-apply + flush (durability before acknowledge).
+    #[test]
+    fn flush_with_nothing_pending_is_ok() {
+        let dir = tmpdir("emptyflush");
+        let mut d = DurableGraph::open(&dir).unwrap();
+        d.flush().unwrap();
+        d.apply(create_one).unwrap().unwrap();
+        assert_eq!(d.pending_bytes(), 0, "apply flushes its own unit");
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -295,6 +295,12 @@ impl FaultFs {
         self.lock().ops
     }
 
+    /// Fallible operations of one kind observed so far (e.g. how many
+    /// fsyncs a workload issued — the group-commit tests count these).
+    pub fn ops_of(&self, op: OpKind) -> u64 {
+        self.lock().per_kind.get(&op).copied().unwrap_or(0)
+    }
+
     /// Has the planned fault fired yet?
     pub fn triggered(&self) -> bool {
         self.lock().triggered

@@ -62,6 +62,10 @@ pub struct Wal {
     path: PathBuf,
     /// Byte offset up to which the file is known durable (≥ header).
     durable_len: u64,
+    /// Bytes written past `durable_len` but not yet fsynced — the group
+    /// commit window (see [`Wal::append_commit_unit_buffered`]). Zero
+    /// outside a batch.
+    pending: u64,
 }
 
 impl Wal {
@@ -75,6 +79,7 @@ impl Wal {
             file,
             path: path.to_owned(),
             durable_len: MAGIC.len() as u64,
+            pending: 0,
         })
     }
 
@@ -98,6 +103,7 @@ impl Wal {
             file,
             path: path.to_owned(),
             durable_len: committed_len,
+            pending: 0,
         })
     }
 
@@ -119,6 +125,20 @@ impl Wal {
     /// truncated away (best-effort here, and again by the next
     /// [`scan`]/[`open_append`] pair if the truncation itself fails).
     pub fn append_commit_unit(&mut self, txid: u64, ops: &[Record]) -> io::Result<()> {
+        self.append_commit_unit_buffered(txid, ops)?;
+        self.sync()
+    }
+
+    /// Append one committed unit **without** fsyncing — the group-commit
+    /// fast path. The unit's bytes are handed to the OS in a single write
+    /// but do not count as durable until the next successful
+    /// [`sync`](Wal::sync); until then they sit in the `pending` window.
+    ///
+    /// On a write failure the file is rolled back to the durable horizon,
+    /// which discards **every** pending unit of the current batch, not just
+    /// this one — the caller (the durable layer) must treat the whole batch
+    /// as unlogged.
+    pub fn append_commit_unit_buffered(&mut self, txid: u64, ops: &[Record]) -> io::Result<()> {
         let mut unit = Vec::with_capacity(64 + ops.len() * 32);
         let mut payload = Vec::with_capacity(64);
         Record::Begin { txid }.encode(&mut payload);
@@ -133,33 +153,67 @@ impl Wal {
         Record::Commit { txid }.encode(&mut payload);
         put_frame(&mut unit, &payload);
 
-        let write = self.file.write_all(&unit);
-        let synced = write.and_then(|()| self.file.sync_data());
-        match synced {
+        match self.file.write_all(&unit) {
+            Ok(()) => {
+                self.pending += unit.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                self.rollback_to_durable();
+                Err(e)
+            }
+        }
+    }
+
+    /// Fsync the pending group-commit window. On success every buffered
+    /// unit becomes durable at once — one fsync amortized over the batch —
+    /// and the horizon advances past all of them. On failure the file is
+    /// rolled back to the durable horizon (all pending units discarded) and
+    /// the error is reported with the horizon unmoved. A no-op when nothing
+    /// is pending.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        match self.file.sync_data() {
             Ok(()) => {
                 // Only now — after the fsync — does the horizon advance.
-                self.durable_len += unit.len() as u64;
+                self.durable_len += self.pending;
+                self.pending = 0;
                 Ok(())
             }
             Err(e) => {
                 // Roll the file back to the durable horizon so a surviving
                 // process doesn't append after garbage. If this fails too,
                 // the scan-side torn-tail discipline still protects reopen.
-                let _ = self.file.set_len(self.durable_len);
-                let _ = self.file.seek_end();
+                self.rollback_to_durable();
                 Err(e)
             }
         }
     }
 
+    /// Bytes appended but not yet fsynced (the open group-commit window).
+    pub fn pending(&self) -> u64 {
+        self.pending
+    }
+
+    fn rollback_to_durable(&mut self) {
+        let _ = self.file.set_len(self.durable_len);
+        let _ = self.file.seek_end();
+        self.pending = 0;
+    }
+
     /// Reset the log to an empty (header-only) state — the checkpoint
     /// truncation step. Fsynced before returning. The durable horizon only
-    /// moves if every step succeeds.
+    /// moves if every step succeeds. Any pending (un-synced) units are
+    /// discarded with the rest of the log: the caller checkpoints the full
+    /// in-memory graph, which subsumes them.
     pub fn reset(&mut self) -> io::Result<()> {
         self.file.set_len(MAGIC.len() as u64)?;
         self.file.seek_end()?;
         self.file.sync_data()?;
         self.durable_len = MAGIC.len() as u64;
+        self.pending = 0;
         Ok(())
     }
 
@@ -471,6 +525,70 @@ mod tests {
         assert!(s.torn.is_none());
         assert_eq!(s.units.len(), 1);
         assert_eq!(s.units[0], (1, ops()));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Group commit: several buffered units become durable with one fsync.
+    #[test]
+    fn buffered_units_become_durable_on_one_sync() {
+        let dir = tmpdir("groupcommit");
+        let path = dir.join("wal.bin");
+        let counting = FaultFs::counting();
+        let fs = counting.arc();
+        let mut wal = Wal::create(fs.as_ref(), &path).unwrap();
+        let syncs_after_create = counting.ops_of(OpKind::Sync);
+        let before = wal.durable_len();
+        wal.append_commit_unit_buffered(1, &ops()).unwrap();
+        wal.append_commit_unit_buffered(2, &[Record::DeleteNode { id: 0 }])
+            .unwrap();
+        assert_eq!(wal.durable_len(), before, "horizon waits for the sync");
+        assert!(wal.pending() > 0);
+        wal.sync().unwrap();
+        assert_eq!(wal.pending(), 0);
+        assert_eq!(wal.durable_len(), wal.len().unwrap());
+        assert_eq!(
+            counting.ops_of(OpKind::Sync) - syncs_after_create,
+            1,
+            "exactly one fsync for the whole batch"
+        );
+        let s = scan(&RealFs, &path).unwrap();
+        assert_eq!(s.units.len(), 2);
+        assert!(s.torn.is_none());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A failed batch fsync discards every pending unit, not a prefix.
+    #[test]
+    fn failed_batch_sync_discards_all_pending_units() {
+        let dir = tmpdir("groupsyncfail");
+        let path = dir.join("wal.bin");
+        // Sync 0 is Wal::create's header sync; sync 1 is the batch sync.
+        let fault = FaultFs::fail_on(OpKind::Sync, 1, FaultKind::SyncFailure);
+        let fs = fault.arc();
+        let mut wal = Wal::create(fs.as_ref(), &path).unwrap();
+        wal.append_commit_unit_buffered(1, &ops()).unwrap();
+        wal.append_commit_unit_buffered(2, &[Record::DeleteNode { id: 0 }])
+            .unwrap();
+        wal.sync().unwrap_err();
+        assert_eq!(wal.pending(), 0);
+        assert_eq!(wal.durable_len(), MAGIC.len() as u64);
+        assert_eq!(wal.len().unwrap(), MAGIC.len() as u64);
+        let s = scan(&RealFs, &path).unwrap();
+        assert!(s.units.is_empty(), "no unit of the batch survived");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// `sync` with an empty window is free (no fsync issued).
+    #[test]
+    fn sync_without_pending_is_a_noop() {
+        let dir = tmpdir("noopsync");
+        let path = dir.join("wal.bin");
+        let counting = FaultFs::counting();
+        let fs = counting.arc();
+        let mut wal = Wal::create(fs.as_ref(), &path).unwrap();
+        let syncs = counting.ops_of(OpKind::Sync);
+        wal.sync().unwrap();
+        assert_eq!(counting.ops_of(OpKind::Sync), syncs);
         std::fs::remove_dir_all(dir).unwrap();
     }
 

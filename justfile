@@ -25,6 +25,18 @@ bench:
 bench-check:
     cargo run -p cypher-bench --bin bench --offline -q -- --check
 
+# Serve a durable graph over the wire protocol (Ctrl-C to stop, or pass
+# --allow-shutdown and send a Shutdown frame from cypher-client).
+serve data="./graphdb" addr="127.0.0.1:7878":
+    cargo run -p cypher-server --bin cypher-serve --release --offline -q -- \
+        --data {{data}} --addr {{addr}} --allow-shutdown
+
+# Load-test a running server: N statements per session over T concurrent
+# sessions, writing throughput/latency percentiles to BENCH_5.json.
+loadtest addr="127.0.0.1:7878" n="500" threads="8":
+    cargo run -p cypher-server --bin cypher-client --release --offline -q -- \
+        --addr {{addr}} --load {{n}} --threads {{threads}} --out BENCH_5.json
+
 # Scoped lint: the storage crate bans unwrap()/expect() outside tests.
 clippy-storage:
     cargo clippy -p cypher-storage --offline -- -D warnings

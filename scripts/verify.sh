@@ -52,6 +52,44 @@ run "bench smoke" cargo run -p cypher-bench --bin bench --offline -q -- --check
 # clean (warnings allowed, error-severity diagnostics fail the build).
 run "cypher-lint (examples)" cargo run --bin cypher-lint --offline -q -- examples/*.cypher
 
+# Server round trip: start cypher-serve on an ephemeral port, drive it
+# with a scripted cypher-client session (create/match/merge/delete plus a
+# deliberately budget-tripped statement that must come back as a typed
+# error), then shut it down over the wire and check a clean exit.
+server_roundtrip() {
+    data_dir=$(mktemp -d) || return 1
+    log="$data_dir/serve.log"
+    cargo build -q --offline -p cypher-server || return 1
+    ./target/debug/cypher-serve --data "$data_dir/db" --addr 127.0.0.1:0 \
+        --allow-shutdown >"$log" 2>&1 &
+    serve_pid=$!
+    addr=""
+    tries=0
+    while [ -z "$addr" ] && [ "$tries" -lt 100 ]; do
+        addr=$(sed -n 's/^listening on //p' "$log" 2>/dev/null | head -n 1)
+        [ -z "$addr" ] && { tries=$((tries + 1)); sleep 0.1; }
+    done
+    if [ -z "$addr" ]; then
+        echo "cypher-serve never reported its address" >&2
+        kill "$serve_pid" 2>/dev/null
+        rm -rf "$data_dir"
+        return 1
+    fi
+    ./target/debug/cypher-client --addr "$addr" --rows 100 \
+        --run "CREATE (a:User {name: 'Ann'})-[:KNOWS]->(:User {name: 'Bob'})" \
+        --run "MATCH (u:User) RETURN u.name ORDER BY u.name" \
+        --run "MERGE ALL (:User {name: 'Ann'})" \
+        --expect-error "UNWIND range(1, 100000) AS x RETURN x" \
+        --run "MATCH (u:User {name: 'Bob'}) DETACH DELETE u" \
+        --dump --checkpoint --shutdown
+    client_status=$?
+    wait "$serve_pid"
+    serve_status=$?
+    rm -rf "$data_dir"
+    [ "$client_status" -eq 0 ] && [ "$serve_status" -eq 0 ]
+}
+run "server round trip" server_roundtrip
+
 if cargo fmt --version >/dev/null 2>&1; then
     run "fmt" cargo fmt --all --check
 else
@@ -63,7 +101,7 @@ if cargo clippy --version >/dev/null 2>&1; then
     # These crates additionally deny unwrap/expect in non-test code
     # (scoped #![deny] in their lib.rs); lint them on their own so a
     # workspace-level allow can never mask a regression.
-    run "clippy (unwrap ban)" cargo clippy -p cypher-storage -p cypher-parser -p cypher-graph -p cypher-core -p cypher-analysis --offline -- -D warnings
+    run "clippy (unwrap ban)" cargo clippy -p cypher-storage -p cypher-parser -p cypher-graph -p cypher-core -p cypher-analysis -p cypher-server -p cypher-bench -p cypher-datagen --offline -- -D warnings
 else
     skip "clippy" "clippy not installed"
 fi

@@ -11,6 +11,7 @@
 //! $ cypher-lint examples/*.cypher
 //! $ cypher-lint --dialect revised --deny-warnings migration.cypher
 //! $ echo "MATCH (n) DELETE n RETURN n.name" | cypher-lint -
+//! $ cypher-lint --format json hazards.cypher   # one JSON object per line
 //! ```
 
 use std::io::Read;
@@ -19,19 +20,32 @@ use std::process::ExitCode;
 use cypher_analysis::{lint_script, max_severity, Severity};
 use cypher_parser::Dialect;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// Caret-rendered diagnostics on stderr (the default).
+    Text,
+    /// One JSON object per diagnostic on stdout (JSON Lines), with
+    /// file, span (byte offsets + line/column), code, severity, message
+    /// and note fields. Parse errors are emitted in the same shape with
+    /// code `"PARSE"`.
+    Json,
+}
+
 struct Options {
     dialect: Dialect,
     deny_warnings: bool,
+    format: Format,
     inputs: Vec<String>,
 }
 
-const USAGE: &str =
-    "usage: cypher-lint [--dialect legacy|revised] [--deny-warnings] <file.cypher>... | -";
+const USAGE: &str = "usage: cypher-lint [--dialect legacy|revised] [--deny-warnings] \
+[--format text|json] <file.cypher>... | -";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         dialect: Dialect::Cypher9,
         deny_warnings: false,
+        format: Format::Text,
         inputs: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -43,6 +57,11 @@ fn parse_args() -> Result<Options, String> {
                 _ => return Err("--dialect takes `legacy` or `revised`".to_owned()),
             },
             "--deny-warnings" => opts.deny_warnings = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                _ => return Err("--format takes `text` or `json`".to_owned()),
+            },
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
@@ -64,6 +83,35 @@ fn read_input(path: &str) -> std::io::Result<String> {
     } else {
         std::fs::read_to_string(path)
     }
+}
+
+/// A parse error in the same JSON-lines shape as a diagnostic, so a JSON
+/// consumer needs a single parser. Severity is `error`, code `PARSE`.
+fn parse_error_json(file: &str, source: &str, e: &cypher_parser::ParseError) -> String {
+    let span = match e.span {
+        Some(s) => {
+            let (line, col) = cypher_parser::line_col(source, s.start);
+            format!(
+                "{{\"start\":{},\"end\":{},\"line\":{line},\"column\":{col}}}",
+                s.start, s.end
+            )
+        }
+        None => "null".to_owned(),
+    };
+    let escaped: String = e
+        .message
+        .chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    format!(
+        "{{\"file\":\"{file}\",\"severity\":\"error\",\"code\":\"PARSE\",\
+         \"span\":{span},\"message\":\"{escaped}\",\"note\":null}}"
+    )
 }
 
 fn main() -> ExitCode {
@@ -99,14 +147,20 @@ fn main() -> ExitCode {
         match lint_script(&text, opts.dialect) {
             Ok(diags) => {
                 for d in &diags {
-                    eprintln!("{label}: {}", d.render(&text));
+                    match opts.format {
+                        Format::Text => eprintln!("{label}: {}", d.render(&text)),
+                        Format::Json => println!("{}", d.render_json(label, &text)),
+                    }
                 }
                 if max_severity(&diags).is_some_and(|s| s >= fail_at) {
                     failed = true;
                 }
             }
             Err(e) => {
-                eprintln!("{label}: parse error: {}", e.render(&text));
+                match opts.format {
+                    Format::Text => eprintln!("{label}: parse error: {}", e.render(&text)),
+                    Format::Json => println!("{}", parse_error_json(label, &text, &e)),
+                }
                 broken = true;
             }
         }

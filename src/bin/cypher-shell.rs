@@ -370,12 +370,12 @@ impl Shell {
             ":limits" => {
                 let args: Vec<&str> = words.collect();
                 if args.is_empty() {
-                    println!("{}", render_limits(&self.limits));
+                    println!("{}", self.limits);
                     return true;
                 }
                 if args == ["off"] {
                     self.limits = ExecLimits::NONE;
-                    println!("{}", render_limits(&self.limits));
+                    println!("{}", self.limits);
                     return true;
                 }
                 let mut new = self.limits;
@@ -396,7 +396,7 @@ impl Shell {
                     }
                 }
                 self.limits = new;
-                println!("{}", render_limits(&self.limits));
+                println!("{}", self.limits);
             }
             ":lint" => match words.next() {
                 Some("off") => self.lint = LintMode::Off,
@@ -445,23 +445,6 @@ impl Shell {
         }
         true
     }
-}
-
-fn render_limits(l: &ExecLimits) -> String {
-    if l.is_unlimited() {
-        return "limits: off".to_owned();
-    }
-    let mut parts = Vec::new();
-    if let Some(n) = l.max_rows {
-        parts.push(format!("rows {n}"));
-    }
-    if let Some(n) = l.max_writes {
-        parts.push(format!("writes {n}"));
-    }
-    if let Some(t) = l.timeout {
-        parts.push(format!("time {} ms", t.as_millis()));
-    }
-    format!("limits: {}", parts.join(", "))
 }
 
 fn main() {
