@@ -92,7 +92,7 @@ fn main() -> ExitCode {
         }
     };
     println!("listening on {}", handle.addr());
-    eprintln!("session defaults: {limits}");
+    eprintln!("session budget ceilings: {limits}");
     // Serve until a Shutdown frame flips the flag (or the process dies).
     handle.wait();
     handle.stop();

@@ -17,7 +17,9 @@ use crate::error::ErrorCode;
 use crate::wire::{read_frame, write_frame, Request, Response, WireError, PROTOCOL_VERSION};
 
 /// Session options for the handshake. `None` budget fields defer to the
-/// server's defaults (the `u64::MAX` wire sentinel).
+/// server's values (the `u64::MAX` wire sentinel); `Some` requests are
+/// clamped server-side to the operator's configured ceilings — the
+/// handshake reply carries the effective limits.
 #[derive(Clone, Debug, Default)]
 pub struct HelloOptions {
     /// 0 = legacy, 1 = revised, other = server default.
@@ -48,8 +50,8 @@ pub struct RunOutcome {
     pub epoch: u64,
     pub columns: Vec<String>,
     pub rows: Vec<Vec<Value>>,
-    /// nodes created/deleted, rels created/deleted, props set, labels
-    /// added/removed (same order as the wire).
+    /// nodes created, rels created, nodes deleted, rels deleted, props
+    /// set, labels added, labels removed (same order as the wire).
     pub stats: [u64; 7],
 }
 

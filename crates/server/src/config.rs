@@ -18,8 +18,10 @@ pub struct ServerConfig {
     pub dialect: Dialect,
     /// Lint policy sessions get unless their `Hello` overrides it.
     pub lint: LintMode,
-    /// Session budgets applied when the `Hello` leaves them at the
-    /// server-default sentinel.
+    /// Session budgets: applied when a `Hello` leaves a field at the
+    /// server-default sentinel, and a hard ceiling otherwise — a client
+    /// may tighten its budgets but never raise them past the operator's
+    /// flags (see [`session_limits`](ServerConfig::session_limits)).
     pub limits: ExecLimits,
     /// Global cap on statements executing at once (readers and writers).
     /// Admission beyond the cap fails with the retryable `Busy` error.
@@ -55,20 +57,69 @@ impl ServerConfig {
         self
     }
 
-    /// Parse a `Hello` budget field: the `u64::MAX` sentinel keeps the
-    /// server default.
+    /// Resolve a `Hello`'s budget fields against the server config: the
+    /// `u64::MAX` sentinel takes the server value verbatim; any other
+    /// request is **clamped** to the server-configured budget when one
+    /// exists. Operator flags are hard ceilings, not defaults — a hostile
+    /// or buggy client cannot lift its own limits past them.
     pub fn session_limits(&self, max_rows: u64, max_writes: u64, timeout_ms: u64) -> ExecLimits {
-        let pick = |wire: u64, fallback: Option<u64>| match wire {
-            u64::MAX => fallback,
-            n => Some(n),
+        let pick = |wire: u64, ceiling: Option<u64>| match (wire, ceiling) {
+            (u64::MAX, c) => c,
+            (n, Some(c)) => Some(n.min(c)),
+            (n, None) => Some(n),
         };
         ExecLimits {
             max_rows: pick(max_rows, self.limits.max_rows),
             max_writes: pick(max_writes, self.limits.max_writes),
-            timeout: match timeout_ms {
-                u64::MAX => self.limits.timeout,
-                ms => Some(Duration::from_millis(ms)),
+            timeout: match (timeout_ms, self.limits.timeout) {
+                (u64::MAX, ceiling) => ceiling,
+                (ms, Some(ceiling)) => Some(Duration::from_millis(ms).min(ceiling)),
+                (ms, None) => Some(Duration::from_millis(ms)),
             },
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounded() -> ServerConfig {
+        ServerConfig::new("unused").with_limits(ExecLimits {
+            max_rows: Some(100),
+            max_writes: Some(10),
+            timeout: Some(Duration::from_millis(500)),
+        })
+    }
+
+    #[test]
+    fn sentinel_takes_server_values() {
+        let l = bounded().session_limits(u64::MAX, u64::MAX, u64::MAX);
+        assert_eq!(l.max_rows, Some(100));
+        assert_eq!(l.max_writes, Some(10));
+        assert_eq!(l.timeout, Some(Duration::from_millis(500)));
+    }
+
+    #[test]
+    fn client_may_tighten_but_not_raise_budgets() {
+        // Tightening is honored…
+        let l = bounded().session_limits(50, 5, 100);
+        assert_eq!(l.max_rows, Some(50));
+        assert_eq!(l.max_writes, Some(5));
+        assert_eq!(l.timeout, Some(Duration::from_millis(100)));
+        // …raising is clamped back to the operator's flags.
+        let l = bounded().session_limits(1_000_000, u64::MAX - 1, 60_000);
+        assert_eq!(l.max_rows, Some(100));
+        assert_eq!(l.max_writes, Some(10));
+        assert_eq!(l.timeout, Some(Duration::from_millis(500)));
+    }
+
+    #[test]
+    fn unbounded_server_accepts_any_client_budget() {
+        let cfg = ServerConfig::new("unused");
+        let l = cfg.session_limits(7, u64::MAX, 250);
+        assert_eq!(l.max_rows, Some(7));
+        assert_eq!(l.max_writes, None);
+        assert_eq!(l.timeout, Some(Duration::from_millis(250)));
     }
 }

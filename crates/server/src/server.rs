@@ -32,6 +32,9 @@ struct Shared {
     /// One clone of every live session's stream, used to unblock their
     /// reads at shutdown. Sessions remove themselves when they exit.
     live: Mutex<Vec<(u64, TcpStream)>>,
+    /// Join handles of session threads. Finished handles are reaped each
+    /// time a new connection is accepted; the remainder are joined when
+    /// the accept loop exits.
     sessions: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -157,6 +160,10 @@ fn accept_loop(
             });
         if let Ok(handle) = handle {
             if let Ok(mut sessions) = shared.sessions.lock() {
+                // Reap exited sessions opportunistically so a long-running
+                // server doesn't hold one JoinHandle per connection ever
+                // accepted.
+                sessions.retain(|h| !h.is_finished());
                 sessions.push(handle);
             }
         }

@@ -294,10 +294,11 @@ fn apply_worker(
 /// Each statement runs through `apply_buffered`; its commit unit joins the
 /// un-synced WAL window. One `flush` then makes the whole batch durable —
 /// only after that are the per-statement outcomes acknowledged. If the
-/// flush fails, every buffered unit was discarded with the WAL rollback,
-/// so every statement of the batch (even ones that executed cleanly)
-/// reports the storage error: none of them was ever acknowledged, so none
-/// of them is lost *silently*.
+/// flush fails — including the mid-batch-append case, where the WAL
+/// rollback already discarded every pending unit and sealed the handle so
+/// `flush` reports `Sealed` — every statement of the batch (even ones
+/// that executed cleanly before the failure) reports the storage error:
+/// none of them was ever acknowledged, so none of them is lost *silently*.
 fn run_write_batch(
     durable: &mut DurableGraph,
     snaps: &EpochSnapshots,
@@ -322,7 +323,9 @@ fn run_write_batch(
             Ok(Err(e)) => outcomes.push((resp, WriteOutcome::Eval(e))),
             Err(e) => {
                 // Append failure seals the handle; later statements of the
-                // batch will see Sealed from their own apply_buffered.
+                // batch see Sealed from their own apply_buffered, and the
+                // batch flush below reports Sealed too, downgrading every
+                // earlier Ok (their units were rolled off the log).
                 outcomes.push((resp, WriteOutcome::Storage(e)));
             }
         }
@@ -357,7 +360,7 @@ fn run_write_batch(
             for (resp, outcome) in outcomes {
                 let downgraded = match outcome {
                     WriteOutcome::Ok(_) => WriteOutcome::Storage(StorageError::Io(
-                        std::io::Error::other(format!("group-commit fsync failed: {e}")),
+                        std::io::Error::other(format!("group commit failed: {e}")),
                     )),
                     other => other,
                 };
@@ -431,6 +434,49 @@ mod tests {
         }
         assert_eq!(graph_to_cypher(&replay), graph_to_cypher(&snap));
         store.shutdown();
+    }
+
+    /// A mid-batch WAL append failure rolls back every pending unit of the
+    /// batch, so statements that executed *earlier* in the same batch must
+    /// not be acknowledged as `Ok` — their units are gone. Every statement
+    /// of the batch reports a storage error and the commit log stays empty.
+    #[test]
+    fn midbatch_append_failure_downgrades_earlier_acks() {
+        use cypher_storage::{FaultFs, FaultKind, OpKind};
+        let dir = std::env::temp_dir().join(format!(
+            "cypher-server-store-midbatch-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Write 0 is the WAL header; write 1 is the first statement's
+        // commit unit; write 2 (the second statement's unit) fails and
+        // rolls the file back to the durable horizon, taking write 1 too.
+        let fault = FaultFs::fail_on(OpKind::Write, 2, FaultKind::ShortWrite);
+        let mut durable = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        let snaps = EpochSnapshots::new();
+        let mut commit_log = Vec::new();
+        let engine = Engine::revised();
+        let (tx_a, rx_a) = mpsc::sync_channel(1);
+        let (tx_b, rx_b) = mpsc::sync_channel(1);
+        run_write_batch(
+            &mut durable,
+            &snaps,
+            &mut commit_log,
+            vec![
+                ("CREATE (:A)".to_owned(), engine.clone(), tx_a),
+                ("CREATE (:B)".to_owned(), engine, tx_b),
+            ],
+        );
+        match rx_a.recv().unwrap() {
+            WriteOutcome::Storage(_) => {}
+            other => panic!("first statement must not be acked after the rollback: {other:?}"),
+        }
+        match rx_b.recv().unwrap() {
+            WriteOutcome::Storage(_) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(commit_log.is_empty(), "nothing durable, nothing logged");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

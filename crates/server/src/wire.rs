@@ -14,7 +14,7 @@
 //!
 //! | tag    | message     | direction | fields |
 //! |--------|-------------|-----------|--------|
-//! | `0x01` | Hello       | C→S | `u16` protocol version, `u8` dialect, `u8` lint mode, 3×`u64` budgets (`u64::MAX` = server default) |
+//! | `0x01` | Hello       | C→S | `u16` protocol version, `u8` dialect, `u8` lint mode, 3×`u64` budgets (`u64::MAX` = server value; others clamped to the server's ceilings) |
 //! | `0x02` | Run         | C→S | statement text |
 //! | `0x03` | Pull        | C→S | `u32` max rows |
 //! | `0x04` | Commit      | C→S | — (checkpoint the durable store) |
@@ -25,7 +25,7 @@
 //! | `0x09` | CommitLog   | C→S | — (committed statements, in commit order) |
 //! | `0x81` | HelloOk     | S→C | `u16` version, `u64` session id, effective-limits string |
 //! | `0x82` | RunOk       | S→C | `u8` read-only flag, `u64` epoch, column names |
-//! | `0x83` | Rows        | S→C | row block, `u8` has-more flag, 7×`u64` update stats |
+//! | `0x83` | Rows        | S→C | row block, `u8` has-more flag, 7×`u64` update stats (nodes created, rels created, nodes deleted, rels deleted, props set, labels added, labels removed) |
 //! | `0x84` | CommitOk    | S→C | — |
 //! | `0x85` | ResetOk     | S→C | — |
 //! | `0x86` | Bye         | S→C | — (also acknowledges Shutdown) |
@@ -61,7 +61,10 @@ pub enum Request {
         dialect: u8,
         /// 0 = off, 1 = warn, 2 = deny.
         lint: u8,
-        /// Session budgets; `u64::MAX` means "use the server default".
+        /// Session budgets; `u64::MAX` means "use the server value".
+        /// Anything else is clamped to the server-configured budget (the
+        /// operator's flags are ceilings, not defaults) — the `HelloOk`
+        /// reports the effective limits.
         max_rows: u64,
         max_writes: u64,
         timeout_ms: u64,
@@ -100,8 +103,9 @@ pub enum Response {
     Rows {
         rows: Vec<Vec<Value>>,
         has_more: bool,
-        /// nodes created/deleted, rels created/deleted, props set,
-        /// labels added/removed — zero until the final block.
+        /// nodes created, rels created, nodes deleted, rels deleted,
+        /// props set, labels added, labels removed — zero until the
+        /// final block.
         stats: [u64; 7],
     },
     CommitOk,

@@ -208,7 +208,14 @@ impl DurableGraph {
     /// them is: the WAL is rolled back to the durable horizon, memory is
     /// ahead of the log, and the handle seals (checkpoint reconciles, as
     /// for any commit-unit failure). A no-op when nothing is pending.
+    ///
+    /// Errors with [`StorageError::Sealed`] when an earlier append already
+    /// sealed the handle: that append's rollback discarded **every**
+    /// pending unit of the batch, so the window being empty means the
+    /// batch was lost, not that it is durable — the caller must not
+    /// acknowledge any statement buffered before the seal.
     pub fn flush(&mut self) -> Result<(), StorageError> {
+        self.check_sealed()?;
         if let Err(e) = self.wal.sync() {
             self.seal(format!("WAL group-commit fsync failed: {e}"));
             return Err(StorageError::Io(e));
@@ -599,6 +606,33 @@ mod tests {
         let d = DurableGraph::open(&dir).unwrap();
         assert!(isomorphic(&before, d.graph()));
         assert_eq!(d.graph().node_count(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A mid-batch append failure rolls back every pending unit (including
+    /// earlier statements of the batch) and seals; a subsequent `flush`
+    /// must report `Sealed` instead of silently no-opping over the emptied
+    /// window — otherwise the caller would acknowledge discarded units.
+    #[test]
+    fn flush_after_midbatch_append_failure_reports_sealed() {
+        let dir = tmpdir("midbatchseal");
+        // Write 0 is the WAL header; write 1 is the first buffered unit;
+        // write 2 (the second unit) fails and rolls the file back to the
+        // durable horizon, discarding write 1 with it.
+        let fault = FaultFs::fail_on(OpKind::Write, 2, FaultKind::ShortWrite);
+        let mut d = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        d.apply_buffered(create_one).unwrap().unwrap();
+        assert!(d.pending_bytes() > 0);
+        let err = d.apply_buffered(create_one).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert!(d.is_sealed());
+        // The rollback emptied the window; a bare WAL sync would no-op.
+        assert_eq!(d.pending_bytes(), 0);
+        let err = d.flush().unwrap_err();
+        assert!(matches!(err, StorageError::Sealed { .. }));
+        // On disk nothing of the batch survived.
+        let rec = crate::recover::recover(&dir).unwrap();
+        assert_eq!(rec.graph.node_count(), 0);
         std::fs::remove_dir_all(dir).unwrap();
     }
 
