@@ -1,0 +1,172 @@
+//! Primary-side fan-out of committed units.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+
+use crate::unit::ShippedUnit;
+
+/// One subscribed replica's feed, as handed to its session thread.
+///
+/// Dropping the subscription (the session ends) makes the next `publish`
+/// notice the closed channel and unregister the peer.
+pub struct Subscription {
+    /// Committed units, in sequence order, starting right after the
+    /// backlog the subscriber was handed at attach time.
+    pub rx: Receiver<ShippedUnit>,
+}
+
+struct Peer {
+    label: String,
+    tx: SyncSender<ShippedUnit>,
+    /// Highest sequence number enqueued to this peer (0 = none yet).
+    sent: Arc<AtomicU64>,
+}
+
+/// Fan-out point between the apply worker (publisher) and the per-replica
+/// session threads (consumers).
+///
+/// Channels are bounded: a replica that stops draining — dead TCP peer,
+/// stalled apply — would otherwise pin unbounded memory on the primary.
+/// When a peer's queue is full, `publish` **drops the peer** instead of
+/// blocking the apply worker; the replica's tailer notices the closed
+/// stream, reconnects, and catches up from its own durable sequence
+/// number. Losing a subscription is always recoverable; stalling the
+/// primary's commit path is not.
+pub struct ReplicationHub {
+    depth: usize,
+    peers: Mutex<Vec<Peer>>,
+}
+
+impl ReplicationHub {
+    /// `depth` is the per-subscriber queue bound, in units.
+    pub fn new(depth: usize) -> Self {
+        ReplicationHub {
+            depth: depth.max(1),
+            peers: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Peer>> {
+        match self.peers.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Register a subscriber. `label` identifies the peer in Stats output
+    /// (the session's remote address); `caught_up_to` is the sequence
+    /// number of the last unit the subscriber already holds (backlog
+    /// included), so lag reporting starts truthful.
+    ///
+    /// The caller must ensure attach-vs-publish atomicity externally: the
+    /// apply worker both publishes and (on behalf of Subscribe jobs)
+    /// attaches, so a unit is either in the handed-out backlog or in the
+    /// channel, never neither.
+    pub fn attach(&self, label: &str, caught_up_to: u64) -> Subscription {
+        let (tx, rx) = sync_channel(self.depth);
+        let sent = Arc::new(AtomicU64::new(caught_up_to));
+        self.lock().push(Peer {
+            label: label.to_owned(),
+            tx,
+            sent,
+        });
+        Subscription { rx }
+    }
+
+    /// Enqueue freshly-committed units to every subscriber. Returns the
+    /// labels of peers dropped for not keeping up (diagnostics).
+    pub fn publish(&self, units: &[ShippedUnit]) -> Vec<String> {
+        if units.is_empty() {
+            return Vec::new();
+        }
+        let mut dropped = Vec::new();
+        let mut peers = self.lock();
+        peers.retain_mut(|peer| {
+            for unit in units {
+                match peer.tx.try_send(unit.clone()) {
+                    Ok(()) => {
+                        peer.sent.store(unit.seq, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                        dropped.push(peer.label.clone());
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        dropped
+    }
+
+    /// `(label, highest sequence enqueued)` per live subscriber — the
+    /// primary side of per-replica lag (`commit_seq - sent`).
+    pub fn peers(&self) -> Vec<(String, u64)> {
+        self.lock()
+            .iter()
+            .map(|p| (p.label.clone(), p.sent.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    pub fn peer_count(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Drop every subscription (failover/shutdown): each feeder session
+    /// sees its channel close and ends its stream.
+    pub fn disconnect_all(&self) {
+        self.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(seq: u64) -> ShippedUnit {
+        ShippedUnit {
+            seq,
+            dialect: 1,
+            text: format!("CREATE (:N {{seq: {seq}}})"),
+        }
+    }
+
+    #[test]
+    fn units_fan_out_in_order() {
+        let hub = ReplicationHub::new(8);
+        let a = hub.attach("a", 0);
+        let b = hub.attach("b", 0);
+        assert!(hub.publish(&[unit(1), unit(2)]).is_empty());
+        for sub in [&a, &b] {
+            assert_eq!(sub.rx.try_recv().unwrap().seq, 1);
+            assert_eq!(sub.rx.try_recv().unwrap().seq, 2);
+        }
+        assert_eq!(hub.peers(), vec![("a".into(), 2), ("b".into(), 2)]);
+    }
+
+    #[test]
+    fn slow_peer_is_dropped_not_waited_on() {
+        let hub = ReplicationHub::new(2);
+        let slow = hub.attach("slow", 0);
+        let fast = hub.attach("fast", 0);
+        assert!(hub.publish(&[unit(1), unit(2)]).is_empty());
+        // `fast` drains; `slow` does not.
+        while fast.rx.try_recv().is_ok() {}
+        assert_eq!(hub.publish(&[unit(3)]), vec!["slow".to_owned()]);
+        assert_eq!(hub.peer_count(), 1);
+        // The dropped peer's channel is closed once the publisher forgot it.
+        assert_eq!(slow.rx.try_recv().unwrap().seq, 1);
+        assert_eq!(slow.rx.try_recv().unwrap().seq, 2);
+        assert!(slow.rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn dropped_subscription_is_reaped_on_next_publish() {
+        let hub = ReplicationHub::new(2);
+        let sub = hub.attach("gone", 7);
+        assert_eq!(hub.peers(), vec![("gone".into(), 7)]);
+        drop(sub);
+        hub.publish(&[unit(8)]);
+        assert_eq!(hub.peer_count(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Replication by commit-log shipping.
+//!
+//! The server's durability layer already gives every committed statement a
+//! monotonic sequence number (its WAL txid) and keeps the statement text
+//! inside the commit unit (`Record::Stmt`). Replication is then just log
+//! shipping: the primary streams committed units, in sequence order, to any
+//! number of subscribed replicas, which re-run each statement through their
+//! own single-writer apply queue. Because serial replay of the commit log
+//! is byte-identical to the live graph (the repo's standing differential
+//! oracle), a replica that has applied units `1..=n` holds exactly the
+//! primary's state at sequence `n`.
+//!
+//! This crate holds the transport-agnostic pieces:
+//!
+//! * [`ShippedUnit`] — one committed statement with its sequence number.
+//! * [`ReplicationHub`] — the primary-side fan-out: bounded per-subscriber
+//!   queues, published to *after* the group-commit fsync (a replica can
+//!   never see a unit the primary could still lose). A subscriber that
+//!   falls too far behind is dropped, not waited on; it reconnects and
+//!   catches up from its own durable position.
+//! * [`Role`] / [`RoleCell`] — what this server currently is: primary,
+//!   replica of some primary, or fenced after a failover.
+//!
+//! The wire frames, the replica-side tailer, and the apply-queue
+//! integration live in `cypher-server`; durable fencing lives in
+//! `cypher-storage` (`DurableGraph::fence`).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod hub;
+pub mod role;
+pub mod unit;
+
+pub use hub::{ReplicationHub, Subscription};
+pub use role::{Role, RoleCell};
+pub use unit::ShippedUnit;

@@ -1,0 +1,105 @@
+//! Server role: primary, replica, or fenced.
+
+use std::sync::Mutex;
+
+/// What a server currently is within a replication group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes, ships committed units to subscribers.
+    Primary,
+    /// Applies shipped units; rejects client writes with `NotPrimary`
+    /// pointing at the primary it tails.
+    Replica {
+        /// Address of the primary this replica tails.
+        primary: String,
+    },
+    /// A demoted ex-primary: permanently write-refusing (the durable fence
+    /// in the storage layer enforces this even across restarts).
+    Fenced {
+        /// Address of the promoted primary, when known.
+        new_primary: Option<String>,
+    },
+}
+
+impl Role {
+    pub fn is_primary(&self) -> bool {
+        matches!(self, Role::Primary)
+    }
+
+    /// Where a client should send writes instead, when this server can't
+    /// take them.
+    pub fn redirect(&self) -> Option<&str> {
+        match self {
+            Role::Primary => None,
+            Role::Replica { primary } => Some(primary),
+            Role::Fenced { new_primary } => new_primary.as_deref(),
+        }
+    }
+
+    /// Stable numeric encoding for the Stats wire frame.
+    pub fn as_u8(&self) -> u8 {
+        match self {
+            Role::Primary => 0,
+            Role::Replica { .. } => 1,
+            Role::Fenced { .. } => 2,
+        }
+    }
+}
+
+/// Shared, mutable role — read by every session on every write statement,
+/// flipped by `Promote`/`Fence` admin frames and by the tailer.
+#[derive(Debug)]
+pub struct RoleCell(Mutex<Role>);
+
+impl RoleCell {
+    pub fn new(role: Role) -> Self {
+        RoleCell(Mutex::new(role))
+    }
+
+    pub fn get(&self) -> Role {
+        match self.0.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    pub fn set(&self, role: Role) {
+        match self.0.lock() {
+            Ok(mut g) => *g = role,
+            Err(poisoned) => *poisoned.into_inner() = role,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redirect_points_where_writes_should_go() {
+        assert_eq!(Role::Primary.redirect(), None);
+        assert_eq!(
+            Role::Replica {
+                primary: "a:1".into()
+            }
+            .redirect(),
+            Some("a:1")
+        );
+        assert_eq!(
+            Role::Fenced {
+                new_primary: Some("b:2".into())
+            }
+            .redirect(),
+            Some("b:2")
+        );
+        assert_eq!(Role::Fenced { new_primary: None }.redirect(), None);
+    }
+
+    #[test]
+    fn cell_swaps_roles() {
+        let cell = RoleCell::new(Role::Primary);
+        assert!(cell.get().is_primary());
+        cell.set(Role::Fenced { new_primary: None });
+        assert_eq!(cell.get().as_u8(), 2);
+    }
+}

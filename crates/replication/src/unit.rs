@@ -1,0 +1,18 @@
+//! The unit of replication: one committed statement.
+
+/// One committed statement as shipped from primary to replica.
+///
+/// `seq` is the statement's WAL txid on the primary — strictly increasing,
+/// durable across restarts, and identical on every replica that applies the
+/// stream in order (a replica asserts `applied txid == seq` on every unit;
+/// a mismatch is divergence and aborts the tail).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShippedUnit {
+    /// Primary-side WAL txid of the commit unit.
+    pub seq: u64,
+    /// Dialect byte the statement was executed under (0 = Cypher 9,
+    /// 1 = revised semantics).
+    pub dialect: u8,
+    /// The statement text, re-run verbatim on the replica.
+    pub text: String,
+}

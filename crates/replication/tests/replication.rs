@@ -1,0 +1,323 @@
+//! End-to-end replication: catch-up, live tailing, failover, fencing.
+//!
+//! Every test spins real servers over real sockets (ephemeral loopback
+//! ports) and drives them through the public client — the same path
+//! `cypher-serve`/`cypher-client` use. The core correctness bar is the
+//! differential oracle: after convergence, the primary's dump, the
+//! replica's dump and a serial replay of the shipped commit log must be
+//! **byte-identical**.
+
+use std::time::{Duration, Instant};
+
+use cypher_server::{serve, Client, ErrorCode, HelloOptions, ServerConfig, ServerHandle};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cypher-repl-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn hello() -> HelloOptions {
+    HelloOptions::server_defaults()
+}
+
+fn start_primary(dir: &std::path::Path, addr: &str) -> ServerHandle {
+    let mut config = ServerConfig::new(dir);
+    config.addr = addr.to_owned();
+    config.allow_admin = true;
+    serve(config).unwrap()
+}
+
+fn start_replica(dir: &std::path::Path, primary: &str) -> ServerHandle {
+    let mut config = ServerConfig::new(dir);
+    config.allow_admin = true;
+    config.replica_of = Some(primary.to_owned());
+    serve(config).unwrap()
+}
+
+/// Poll the replica's `Stats` until its commit sequence reaches `target`.
+fn wait_caught_up(replica: &ServerHandle, target: u64) {
+    let mut client = Client::connect(replica.addr(), &hello()).unwrap();
+    let t0 = Instant::now();
+    while t0.elapsed() < Duration::from_secs(20) {
+        let s = client.stats().unwrap();
+        if s.commit_seq >= target {
+            client.goodbye().unwrap();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("replica never reached seq {target}");
+}
+
+fn dump(handle: &ServerHandle) -> String {
+    let mut client = Client::connect(handle.addr(), &hello()).unwrap();
+    let d = client.dump_graph().unwrap();
+    client.goodbye().unwrap();
+    d
+}
+
+/// The tentpole oracle: concurrent writers race through the primary; the
+/// replica tails the shipped log. After convergence the primary dump, the
+/// replica dump and a single-threaded replay of the shipped statements
+/// agree byte-for-byte.
+#[test]
+fn differential_oracle_primary_replica_and_replay_agree() {
+    let primary = start_primary(&temp_dir("oracle-p"), "127.0.0.1:0");
+    let replica = start_replica(&temp_dir("oracle-r"), &primary.addr().to_string());
+
+    let writers: Vec<_> = (0..4)
+        .map(|t| {
+            let addr = primary.addr();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, &hello()).unwrap();
+                for i in 0..25 {
+                    c.run_with_retry(&format!("CREATE (:W {{thread: {t}, seq: {i}}})"), 1000)
+                        .unwrap();
+                }
+                c.goodbye().unwrap();
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+
+    let mut admin = Client::connect(primary.addr(), &hello()).unwrap();
+    let target = admin.stats().unwrap().commit_seq;
+    assert_eq!(target, 100, "every write must have shipped a unit");
+    wait_caught_up(&replica, target);
+
+    let primary_dump = dump(&primary);
+    let replica_dump = dump(&replica);
+    assert_eq!(
+        primary_dump, replica_dump,
+        "replica state must be byte-identical to the primary"
+    );
+
+    // Serial replay of the primary's commit log through a fresh engine.
+    let log = admin.commit_log().unwrap();
+    assert_eq!(log.len(), 100);
+    let engine = cypher_core::Engine::revised();
+    let mut replay = cypher_graph::PropertyGraph::new();
+    for stmt in &log {
+        engine.run(&mut replay, stmt).unwrap();
+    }
+    assert_eq!(
+        cypher_core::graph_to_cypher(&replay),
+        primary_dump,
+        "shipped log must replay to the primary's graph"
+    );
+    admin.goodbye().unwrap();
+    // Per-replica lag shows up in the primary's stats.
+    let mut admin = Client::connect(primary.addr(), &hello()).unwrap();
+    let stats = admin.stats().unwrap();
+    assert_eq!(stats.replicas.len(), 1, "one subscriber expected");
+    assert_eq!(stats.replicas[0].1, target, "subscriber fully caught up");
+    admin.goodbye().unwrap();
+
+    replica.stop();
+    primary.stop();
+}
+
+/// A replica refuses client writes with the typed `NotPrimary` error whose
+/// detail carries the primary's address — reads keep working.
+#[test]
+fn replica_rejects_writes_and_redirects_to_primary() {
+    let primary = start_primary(&temp_dir("redir-p"), "127.0.0.1:0");
+    let primary_addr = primary.addr().to_string();
+    let replica = start_replica(&temp_dir("redir-r"), &primary_addr);
+
+    let mut writer = Client::connect(primary.addr(), &hello()).unwrap();
+    writer.run("CREATE (:Only {id: 1})").unwrap();
+    let target = writer.stats().unwrap().commit_seq;
+    writer.goodbye().unwrap();
+    wait_caught_up(&replica, target);
+
+    let mut client = Client::connect(replica.addr(), &hello()).unwrap();
+    let err = client.run("CREATE (:Refused)").unwrap_err();
+    match err {
+        cypher_server::ClientError::Server { code, detail, .. } => {
+            assert_eq!(code, ErrorCode::NotPrimary);
+            assert_eq!(detail, primary_addr, "detail must carry the primary");
+        }
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+    // Reads still served (that is the point of a read replica).
+    let out = client.run("MATCH (n:Only) RETURN n.id").unwrap();
+    assert_eq!(out.rows.len(), 1);
+    client.goodbye().unwrap();
+
+    replica.stop();
+    primary.stop();
+}
+
+/// A subscriber whose position predates the primary's retained window
+/// (here: a fresh replica joining after a checkpoint + restart) bootstraps
+/// from a shipped snapshot, then tails live units.
+#[test]
+fn late_replica_bootstraps_from_snapshot_and_tails() {
+    let dir = temp_dir("boot-p");
+    let primary = start_primary(&dir, "127.0.0.1:0");
+    let addr = primary.addr().to_string();
+    let mut client = Client::connect(primary.addr(), &hello()).unwrap();
+    client.run("CREATE (:Old {id: 1})").unwrap();
+    client.run("CREATE (:Old {id: 2})").unwrap();
+    client.commit().unwrap(); // checkpoint truncates the WAL
+    client.goodbye().unwrap();
+    primary.stop();
+
+    // Restart: the new process's retained window starts at the checkpoint,
+    // so a from-zero subscriber cannot be served from the backlog.
+    let primary = start_primary(&dir, &addr);
+    let mut client = Client::connect(primary.addr(), &hello()).unwrap();
+    client.run("CREATE (:New {id: 3})").unwrap();
+    let target = client.stats().unwrap().commit_seq;
+
+    let replica = start_replica(&temp_dir("boot-r"), &addr);
+    wait_caught_up(&replica, target);
+    assert_eq!(dump(&primary), dump(&replica));
+
+    // And the bootstrapped replica keeps tailing live writes.
+    client.run("CREATE (:New {id: 4})").unwrap();
+    let target = client.stats().unwrap().commit_seq;
+    client.goodbye().unwrap();
+    wait_caught_up(&replica, target);
+    assert_eq!(dump(&primary), dump(&replica));
+
+    replica.stop();
+    primary.stop();
+}
+
+/// Failover: promote the replica while the old primary is still up; the
+/// promotion fences the old primary over the wire, durably — even across
+/// a restart, the zombie refuses every write with the typed redirect.
+#[test]
+fn failover_fences_the_old_primary_durably() {
+    let old_dir = temp_dir("failover-p");
+    let primary = start_primary(&old_dir, "127.0.0.1:0");
+    let old_addr = primary.addr().to_string();
+    let replica = start_replica(&temp_dir("failover-r"), &old_addr);
+    let new_addr = replica.addr().to_string();
+
+    let mut client = Client::connect(primary.addr(), &hello()).unwrap();
+    client.run("CREATE (:Data {id: 1})").unwrap();
+    let target = client.stats().unwrap().commit_seq;
+    client.goodbye().unwrap();
+    wait_caught_up(&replica, target);
+
+    // Promote the replica. Its session spawns a best-effort wire fence of
+    // the old primary, which is still reachable here.
+    let mut admin = Client::connect(replica.addr(), &hello()).unwrap();
+    let seq = admin.promote().unwrap();
+    assert_eq!(seq, target);
+    // The new primary takes writes immediately.
+    admin.run("CREATE (:Data {id: 2})").unwrap();
+    assert_eq!(admin.stats().unwrap().role, 0, "promoted to primary");
+    admin.goodbye().unwrap();
+
+    // The old primary becomes write-fenced (asynchronously): every write
+    // is refused with NotPrimary pointing at the new primary.
+    let t0 = Instant::now();
+    let mut fenced = false;
+    while t0.elapsed() < Duration::from_secs(10) && !fenced {
+        let mut c = Client::connect(&old_addr, &hello()).unwrap();
+        match c.run("CREATE (:Zombie)") {
+            Err(cypher_server::ClientError::Server {
+                code: ErrorCode::NotPrimary,
+                detail,
+                ..
+            }) => {
+                assert_eq!(detail, new_addr, "refusal must redirect to the new primary");
+                fenced = true;
+            }
+            Ok(_) | Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+        let _ = c.goodbye();
+    }
+    assert!(fenced, "old primary never got fenced");
+    primary.stop();
+
+    // The fence is durable: a restarted zombie stays fenced even though
+    // its command line says "primary".
+    let zombie = start_primary(&old_dir, "127.0.0.1:0");
+    let mut c = Client::connect(zombie.addr(), &hello()).unwrap();
+    assert_eq!(c.stats().unwrap().role, 2, "restarted zombie is fenced");
+    let err = c.run("CREATE (:Zombie)").unwrap_err();
+    match err {
+        cypher_server::ClientError::Server { code, detail, .. } => {
+            assert_eq!(code, ErrorCode::NotPrimary);
+            assert_eq!(detail, new_addr);
+        }
+        other => panic!("expected typed refusal, got {other:?}"),
+    }
+    c.goodbye().unwrap();
+    zombie.stop();
+    replica.stop();
+}
+
+/// Fault: the primary dies mid-stream and comes back (same address, same
+/// data). The replica's tailer reconnects on its own and catches up from
+/// its durable position — acknowledged writes from both incarnations land.
+#[test]
+fn killed_stream_reconnects_and_catches_up() {
+    let dir = temp_dir("killed-p");
+    let primary = start_primary(&dir, "127.0.0.1:0");
+    let addr = primary.addr().to_string();
+    let replica = start_replica(&temp_dir("killed-r"), &addr);
+
+    let mut client = Client::connect(primary.addr(), &hello()).unwrap();
+    client.run("CREATE (:Gen {id: 1})").unwrap();
+    let target = client.stats().unwrap().commit_seq;
+    client.goodbye().unwrap();
+    wait_caught_up(&replica, target);
+
+    // Kill the stream by stopping the whole primary.
+    primary.stop();
+
+    // Bring it back on the same address and keep writing.
+    let primary = start_primary(&dir, &addr);
+    let mut client = Client::connect(primary.addr(), &hello()).unwrap();
+    client.run("CREATE (:Gen {id: 2})").unwrap();
+    client.run("CREATE (:Gen {id: 3})").unwrap();
+    let target = client.stats().unwrap().commit_seq;
+    client.goodbye().unwrap();
+
+    wait_caught_up(&replica, target);
+    assert_eq!(dump(&primary), dump(&replica));
+    replica.stop();
+    primary.stop();
+}
+
+/// Fault: the replica crashes mid-tail and restarts over the same data
+/// directory while the primary keeps committing. It resumes from its
+/// durable sequence — no unit lost, none applied twice.
+#[test]
+fn replica_restart_resumes_from_durable_position() {
+    let primary = start_primary(&temp_dir("resume-p"), "127.0.0.1:0");
+    let addr = primary.addr().to_string();
+    let replica_dir = temp_dir("resume-r");
+    let replica = start_replica(&replica_dir, &addr);
+
+    let mut client = Client::connect(primary.addr(), &hello()).unwrap();
+    for i in 0..10 {
+        client.run(&format!("CREATE (:R {{seq: {i}}})")).unwrap();
+    }
+    let target = client.stats().unwrap().commit_seq;
+    wait_caught_up(&replica, target);
+    replica.stop();
+
+    // The replica is down; the primary keeps going.
+    for i in 10..20 {
+        client.run(&format!("CREATE (:R {{seq: {i}}})")).unwrap();
+    }
+    let target = client.stats().unwrap().commit_seq;
+    client.goodbye().unwrap();
+
+    let replica = start_replica(&replica_dir, &addr);
+    wait_caught_up(&replica, target);
+    assert_eq!(dump(&primary), dump(&replica));
+    replica.stop();
+    primary.stop();
+}

@@ -20,6 +20,13 @@
 //! ```text
 //! $ cypher-client --addr 127.0.0.1:7878 --load 500 --threads 8 --out BENCH_5.json
 //! ```
+//!
+//! With `--read-addr` the load generator exercises a replication pair:
+//! writes go to `--addr` (the primary), reads go to `--read-addr` (a
+//! replica), a monitor thread samples both servers' `Stats` to record the
+//! maximum replication lag, and the run ends by waiting for the replica
+//! to converge on the primary's final sequence (default out:
+//! `BENCH_6.json`).
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
@@ -31,8 +38,9 @@ use cypher_server::{Client, HelloOptions};
 
 const USAGE: &str = "usage: cypher-client --addr HOST:PORT \
 [--dialect legacy|revised] [--lint off|warn|deny] [--rows N] [--writes N] [--time MS] \
-( [--run STMT | --expect-error STMT | --dump | --commit-log | --checkpoint]... \
-[--goodbye] [--shutdown] | --load N --threads T [--out FILE] )";
+( [--run STMT | --expect-error STMT | --dump | --commit-log | --checkpoint \
+| --stats | --promote | --fence ADDR]... \
+[--goodbye] [--shutdown] | --load N --threads T [--read-addr HOST:PORT] [--out FILE] )";
 
 enum Action {
     Run(String),
@@ -40,6 +48,9 @@ enum Action {
     Dump,
     CommitLog,
     Checkpoint,
+    Stats,
+    Promote,
+    Fence(String),
     Goodbye,
     Shutdown,
 }
@@ -49,6 +60,7 @@ struct Options {
     hello: HelloOptions,
     actions: Vec<Action>,
     load: Option<(u64, u64, String)>,
+    read_addr: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -57,10 +69,11 @@ fn parse_args() -> Result<Options, String> {
         hello: HelloOptions::server_defaults(),
         actions: Vec::new(),
         load: None,
+        read_addr: None,
     };
     let mut load_n: Option<u64> = None;
     let mut threads: u64 = 4;
-    let mut out = "BENCH_5.json".to_owned();
+    let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut next = |flag: &str| args.next().ok_or(format!("{flag} takes a value"));
@@ -87,13 +100,17 @@ fn parse_args() -> Result<Options, String> {
             "--dump" => opts.actions.push(Action::Dump),
             "--commit-log" => opts.actions.push(Action::CommitLog),
             "--checkpoint" => opts.actions.push(Action::Checkpoint),
+            "--stats" => opts.actions.push(Action::Stats),
+            "--promote" => opts.actions.push(Action::Promote),
+            "--fence" => opts.actions.push(Action::Fence(next("--fence")?)),
             "--goodbye" => opts.actions.push(Action::Goodbye),
             "--shutdown" => opts.actions.push(Action::Shutdown),
             "--load" => load_n = parse_u64(&next("--load")?)?,
             "--threads" => {
                 threads = parse_u64(&next("--threads")?)?.ok_or("--threads takes a number")?
             }
-            "--out" => out = next("--out")?,
+            "--out" => out = Some(next("--out")?),
+            "--read-addr" => opts.read_addr = Some(next("--read-addr")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -102,7 +119,16 @@ fn parse_args() -> Result<Options, String> {
         return Err("--addr HOST:PORT is required".to_owned());
     }
     if let Some(n) = load_n {
-        opts.load = Some((n, threads.max(1), out));
+        let default_out = if opts.read_addr.is_some() {
+            "BENCH_6.json"
+        } else {
+            "BENCH_5.json"
+        };
+        opts.load = Some((
+            n,
+            threads.max(1),
+            out.unwrap_or_else(|| default_out.to_owned()),
+        ));
     }
     if opts.actions.is_empty() && opts.load.is_none() {
         return Err("nothing to do: give --run/--dump/... actions or --load".to_owned());
@@ -183,6 +209,36 @@ fn scripted(opts: Options) -> ExitCode {
                     true
                 }
             },
+            Action::Stats => match client.stats() {
+                Ok(s) => {
+                    print_stats(&s);
+                    false
+                }
+                Err(e) => {
+                    eprintln!("error: stats: {e}");
+                    true
+                }
+            },
+            Action::Promote => match client.promote() {
+                Ok(seq) => {
+                    println!("promoted to primary at seq {seq}");
+                    false
+                }
+                Err(e) => {
+                    eprintln!("error: promote: {e}");
+                    true
+                }
+            },
+            Action::Fence(new_primary) => match client.fence(new_primary) {
+                Ok(()) => {
+                    println!("fenced (writes redirect to `{new_primary}`)");
+                    false
+                }
+                Err(e) => {
+                    eprintln!("error: fence: {e}");
+                    true
+                }
+            },
             Action::Goodbye => {
                 let r = client.goodbye();
                 if let Err(e) = r {
@@ -207,6 +263,32 @@ fn scripted(opts: Options) -> ExitCode {
     }
     let _ = client.goodbye();
     ExitCode::SUCCESS
+}
+
+fn print_stats(s: &cypher_server::StatsOutcome) {
+    let role = match s.role {
+        0 => "primary",
+        1 => "replica",
+        2 => "fenced",
+        _ => "unknown",
+    };
+    println!("role: {role}");
+    if !s.redirect.is_empty() {
+        println!("writes-go-to: {}", s.redirect);
+    }
+    println!("epoch: {}", s.epoch);
+    println!("commit-seq: {}", s.commit_seq);
+    println!("queue-len: {}", s.queue_len);
+    if s.role == 1 {
+        println!("primary-seen: {}", s.primary_seen);
+        println!("apply-lag: {}", s.primary_seen.saturating_sub(s.commit_seq));
+    }
+    for (addr, sent) in &s.replicas {
+        println!(
+            "replica {addr}: sent-seq {sent} (send-lag {})",
+            s.commit_seq.saturating_sub(*sent)
+        );
+    }
 }
 
 fn print_outcome(text: &str, outcome: &cypher_server::RunOutcome) {
@@ -308,6 +390,167 @@ fn load_test(addr: &str, hello: &HelloOptions, n: u64, threads: u64, out: &str) 
     }
 }
 
+/// The replication load generator: writes stream to the primary while
+/// reads hit the replica, a monitor samples both `Stats` frames for the
+/// maximum replication lag (primary commit seq − replica commit seq), and
+/// the run ends by waiting for full convergence.
+fn replica_load_test(
+    addr: &str,
+    read_addr: &str,
+    hello: &HelloOptions,
+    n: u64,
+    threads: u64,
+    out: &str,
+) -> ExitCode {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let started = Instant::now();
+    let stop = Arc::new(AtomicBool::new(false));
+    let max_lag = Arc::new(AtomicU64::new(0));
+
+    // Monitor: sample both servers' commit sequences and keep the worst
+    // spread seen. Uses its own sessions so it never queues behind load.
+    let monitor = {
+        let (addr, read_addr, hello) = (addr.to_owned(), read_addr.to_owned(), hello.clone());
+        let (stop, max_lag) = (Arc::clone(&stop), Arc::clone(&max_lag));
+        std::thread::spawn(move || {
+            let Ok(mut primary) = Client::connect(&addr, &hello) else {
+                return;
+            };
+            let Ok(mut replica) = Client::connect(&read_addr, &hello) else {
+                return;
+            };
+            while !stop.load(Ordering::Acquire) {
+                if let (Ok(p), Ok(r)) = (primary.stats(), replica.stats()) {
+                    let lag = p.commit_seq.saturating_sub(r.commit_seq);
+                    max_lag.fetch_max(lag, Ordering::AcqRel);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        })
+    };
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let (addr, read_addr, hello) = (addr.to_owned(), read_addr.to_owned(), hello.clone());
+            std::thread::spawn(move || -> Result<(Vec<u64>, Vec<u64>), String> {
+                let mut writer =
+                    Client::connect(&addr, &hello).map_err(|e| format!("connect primary: {e}"))?;
+                let mut reader = Client::connect(&read_addr, &hello)
+                    .map_err(|e| format!("connect replica: {e}"))?;
+                let mut write_us = Vec::with_capacity((n / 2 + 1) as usize);
+                let mut read_us = Vec::with_capacity((n / 2 + 1) as usize);
+                for i in 0..n {
+                    if i % 2 == 0 {
+                        let text = format!("CREATE (:Load {{thread: {t}, seq: {i}}})");
+                        let t0 = Instant::now();
+                        writer
+                            .run_with_retry(&text, 1000)
+                            .map_err(|e| format!("write {i}: {e}"))?;
+                        write_us.push(t0.elapsed().as_micros() as u64);
+                    } else {
+                        // The replica serves this wait-free from its own
+                        // epoch snapshot; an empty result just means the
+                        // write has not replicated yet — that gap is what
+                        // the lag monitor quantifies.
+                        let text = format!(
+                            "MATCH (x:Load {{thread: {t}, seq: {}}}) RETURN x.seq",
+                            i - 1
+                        );
+                        let t0 = Instant::now();
+                        reader
+                            .run_with_retry(&text, 1000)
+                            .map_err(|e| format!("read {i}: {e}"))?;
+                        read_us.push(t0.elapsed().as_micros() as u64);
+                    }
+                }
+                writer.goodbye().map_err(|e| format!("goodbye: {e}"))?;
+                reader.goodbye().map_err(|e| format!("goodbye: {e}"))?;
+                Ok((write_us, read_us))
+            })
+        })
+        .collect();
+
+    let mut write_us = Vec::new();
+    let mut read_us = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok(Ok((w, r))) => {
+                write_us.extend(w);
+                read_us.extend(r);
+            }
+            Ok(Err(e)) => {
+                eprintln!("error: load thread: {e}");
+                stop.store(true, Ordering::Release);
+                let _ = monitor.join();
+                return ExitCode::from(1);
+            }
+            Err(_) => {
+                eprintln!("error: load thread panicked");
+                stop.store(true, Ordering::Release);
+                let _ = monitor.join();
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Release);
+    let _ = monitor.join();
+
+    // Convergence: wait (bounded) for the replica to reach the primary's
+    // final commit sequence.
+    let converge_ms = {
+        let t0 = Instant::now();
+        let result = (|| -> Result<u128, String> {
+            let mut primary = Client::connect(addr, hello).map_err(|e| e.to_string())?;
+            let mut replica = Client::connect(read_addr, hello).map_err(|e| e.to_string())?;
+            let target = primary.stats().map_err(|e| e.to_string())?.commit_seq;
+            while t0.elapsed() < std::time::Duration::from_secs(30) {
+                let seq = replica.stats().map_err(|e| e.to_string())?.commit_seq;
+                if seq >= target {
+                    return Ok(t0.elapsed().as_millis());
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err("replica did not converge within 30s".to_owned())
+        })();
+        match result {
+            Ok(ms) => ms,
+            Err(e) => {
+                eprintln!("error: convergence: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    };
+
+    let total = write_us.len() + read_us.len();
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let report = format!(
+        "{{\n  \"benchmark\": \"replica_load\",\n  \"threads\": {threads},\n  \
+         \"statements_per_session\": {n},\n  \"total_statements\": {total},\n  \
+         \"elapsed_ms\": {},\n  \"throughput_stmts_per_s\": {:.1},\n  \
+         \"max_replication_lag_units\": {},\n  \"converge_ms\": {converge_ms},\n  \
+         \"write\": {},\n  \"read_replica\": {}\n}}\n",
+        elapsed.as_millis(),
+        throughput,
+        max_lag.load(Ordering::Acquire),
+        percentiles_json(&mut write_us),
+        percentiles_json(&mut read_us),
+    );
+    print!("{report}");
+    match std::fs::File::create(out).and_then(|mut f| f.write_all(report.as_bytes())) {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
 fn percentiles_json(lat_us: &mut [u64]) -> String {
     if lat_us.is_empty() {
         return "null".to_owned();
@@ -339,7 +582,13 @@ fn main() -> ExitCode {
     match &opts.load {
         Some((n, threads, out)) => {
             let (n, threads, out) = (*n, *threads, out.clone());
-            load_test(&opts.addr, &opts.hello, n, threads, &out)
+            match &opts.read_addr {
+                Some(read_addr) => {
+                    let read_addr = read_addr.clone();
+                    replica_load_test(&opts.addr, &read_addr, &opts.hello, n, threads, &out)
+                }
+                None => load_test(&opts.addr, &opts.hello, n, threads, &out),
+            }
         }
         None => scripted(opts),
     }

@@ -8,13 +8,21 @@
 //!
 //! Prints `listening on <addr>` on stdout once bound (port `0` resolves to
 //! the ephemeral port, so scripts can parse the line), then serves until a
-//! client sends `Shutdown` (only honored with `--allow-shutdown`) or the
-//! process is killed. All mutation is WAL-durable before acknowledgement;
-//! a kill loses nothing that was acknowledged.
+//! client sends `Shutdown` (only honored with `--allow-shutdown`), SIGTERM
+//! or SIGINT arrives (both trigger the same clean flush + checkpoint
+//! shutdown as the frame), or the process is killed outright. All mutation
+//! is WAL-durable before acknowledgement; even a hard kill loses nothing
+//! that was acknowledged.
+//!
+//! Replication: `--replica-of HOST:PORT` starts this server as a read
+//! replica tailing that primary — client writes are refused with the
+//! typed `NotPrimary` error carrying the primary's address. `--allow-admin`
+//! enables the `Promote` and `Fence` frames (manual failover).
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use cypher_core::{Dialect, ExecLimits, LintMode};
@@ -23,7 +31,8 @@ use cypher_server::{serve, ServerConfig};
 const USAGE: &str = "usage: cypher-serve --data DIR [--addr HOST:PORT] \
 [--dialect legacy|revised] [--lint off|warn|deny] \
 [--rows N] [--writes N] [--time MS] \
-[--max-inflight N] [--queue-depth N] [--max-batch N] [--allow-shutdown]";
+[--max-inflight N] [--queue-depth N] [--max-batch N] [--allow-shutdown] \
+[--replica-of HOST:PORT] [--advertise HOST:PORT] [--allow-admin]";
 
 fn parse_config() -> Result<ServerConfig, String> {
     let mut data: Option<String> = None;
@@ -62,6 +71,13 @@ fn parse_config() -> Result<ServerConfig, String> {
             "--queue-depth" => config.queue_depth = next_u64(&mut args, "--queue-depth")? as usize,
             "--max-batch" => config.max_batch = next_u64(&mut args, "--max-batch")? as usize,
             "--allow-shutdown" => config.allow_shutdown = true,
+            "--allow-admin" => config.allow_admin = true,
+            "--replica-of" => {
+                config.replica_of = Some(args.next().ok_or("--replica-of takes HOST:PORT")?)
+            }
+            "--advertise" => {
+                config.advertise_addr = Some(args.next().ok_or("--advertise takes HOST:PORT")?)
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -70,6 +86,30 @@ fn parse_config() -> Result<ServerConfig, String> {
     config.data_dir = data.into();
     Ok(config)
 }
+
+/// Flipped by SIGTERM/SIGINT; polled by the main loop. Storing an atomic
+/// is async-signal-safe, which is all the handler does.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn main() -> ExitCode {
     let config = match parse_config() {
@@ -93,8 +133,15 @@ fn main() -> ExitCode {
     };
     println!("listening on {}", handle.addr());
     eprintln!("session budget ceilings: {limits}");
-    // Serve until a Shutdown frame flips the flag (or the process dies).
-    handle.wait();
+    install_signal_handlers();
+    // Serve until a Shutdown frame flips the stopping flag or a signal
+    // lands; both take the same clean path (flush, checkpoint, exit).
+    while !handle.is_stopping() && !SIGNALED.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    if SIGNALED.load(Ordering::SeqCst) {
+        eprintln!("signal received; shutting down");
+    }
     handle.stop();
     eprintln!("server stopped");
     ExitCode::SUCCESS

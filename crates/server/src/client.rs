@@ -43,6 +43,22 @@ impl HelloOptions {
     }
 }
 
+/// A `Stats` reply: role, progress counters and per-replica lag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsOutcome {
+    /// 0 = primary, 1 = replica, 2 = fenced.
+    pub role: u8,
+    /// Where writes should go instead (empty on a primary / unknown).
+    pub redirect: String,
+    pub epoch: u64,
+    pub commit_seq: u64,
+    pub queue_len: u64,
+    /// Replica: highest sequence received from the primary.
+    pub primary_seen: u64,
+    /// Primary: `(address, highest sequence enqueued)` per subscriber.
+    pub replicas: Vec<(String, u64)>,
+}
+
 /// A statement's complete outcome: columns, all rows, update stats.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunOutcome {
@@ -237,6 +253,50 @@ impl Client {
     pub fn commit_log(&mut self) -> ClientResult<Vec<String>> {
         match self.call(&Request::CommitLog)? {
             Response::LogOk { statements } => Ok(statements),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Replication and queue statistics snapshot.
+    pub fn stats(&mut self) -> ClientResult<StatsOutcome> {
+        match self.call(&Request::Stats)? {
+            Response::StatsOk {
+                role,
+                redirect,
+                epoch,
+                commit_seq,
+                queue_len,
+                primary_seen,
+                replicas,
+            } => Ok(StatsOutcome {
+                role,
+                redirect,
+                epoch,
+                commit_seq,
+                queue_len,
+                primary_seen,
+                replicas,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Promote a replica to primary (requires `--allow-admin`). Returns
+    /// the commit sequence the new primary starts serving writes from.
+    pub fn promote(&mut self) -> ClientResult<u64> {
+        match self.call(&Request::Promote)? {
+            Response::PromoteOk { seq } => Ok(seq),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Durably fence the server (requires `--allow-admin`). `new_primary`
+    /// is the address its refusals will redirect writes to ("" = unknown).
+    pub fn fence(&mut self, new_primary: &str) -> ClientResult<()> {
+        match self.call(&Request::Fence {
+            new_primary: new_primary.to_owned(),
+        })? {
+            Response::FenceOk => Ok(()),
             other => Err(unexpected(other)),
         }
     }

@@ -33,6 +33,18 @@ pub struct ServerConfig {
     /// Whether the `Shutdown` frame is honored (off by default; the load
     /// test and verify scripts turn it on).
     pub allow_shutdown: bool,
+    /// Whether the `Promote` and `Fence` admin frames are honored (off by
+    /// default — failover is an operator action, not a client one).
+    pub allow_admin: bool,
+    /// Start as a replica tailing the primary at this address. The server
+    /// rejects client writes with `NotPrimary` and applies shipped units
+    /// instead; `Promote` (when admin frames are allowed) turns it into a
+    /// primary.
+    pub replica_of: Option<String>,
+    /// The address this server tells peers to reach it at (for fencing
+    /// redirects and `Stats`); defaults to the bound listen address, which
+    /// is wrong behind NAT or with port 0.
+    pub advertise_addr: Option<String>,
 }
 
 impl ServerConfig {
@@ -49,6 +61,9 @@ impl ServerConfig {
             queue_depth: 128,
             max_batch: 32,
             allow_shutdown: false,
+            allow_admin: false,
+            replica_of: None,
+            advertise_addr: None,
         }
     }
 

@@ -52,6 +52,10 @@ pub enum ErrorCode {
     Version = 11,
     /// A mutating statement arrived through a path that only serves reads.
     ReadOnly = 12,
+    /// This server cannot take writes: it is a replica or a fenced
+    /// ex-primary. The frame's detail carries the primary's address when
+    /// known — clients should reconnect there.
+    NotPrimary = 13,
     /// Code received from a newer peer that this build does not know.
     Unknown = 0xFFFF,
 }
@@ -71,6 +75,7 @@ impl ErrorCode {
             10 => ErrorCode::Unavailable,
             11 => ErrorCode::Version,
             12 => ErrorCode::ReadOnly,
+            13 => ErrorCode::NotPrimary,
             _ => ErrorCode::Unknown,
         }
     }
@@ -91,6 +96,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Unavailable => "unavailable",
             ErrorCode::Version => "version",
             ErrorCode::ReadOnly => "read-only",
+            ErrorCode::NotPrimary => "not-primary",
             ErrorCode::Unknown => "unknown",
         };
         write!(f, "{name}")
@@ -124,8 +130,13 @@ pub fn eval_error_frame(e: &EvalError, source: &str) -> Response {
     }
 }
 
-/// Map a storage error onto its error frame.
+/// Map a storage error onto its error frame. A fence is reported as
+/// `NotPrimary` (the replication-level meaning of a fenced handle), with
+/// the promoted primary's address in the detail payload when known.
 pub fn storage_error_frame(e: &StorageError) -> Response {
+    if let StorageError::Fenced { new_primary } = e {
+        return not_primary_frame(new_primary.as_deref(), "server is fenced after failover");
+    }
     let code = if e.is_sealed() {
         ErrorCode::Sealed
     } else {
@@ -136,6 +147,22 @@ pub fn storage_error_frame(e: &StorageError) -> Response {
         retryable: false,
         message: e.to_string(),
         detail: String::new(),
+    }
+}
+
+/// The typed write-rejection of a replica or fenced server. `detail`
+/// carries the primary's address (empty when unknown) so a client can
+/// redirect without parsing the message.
+pub fn not_primary_frame(primary: Option<&str>, why: &str) -> Response {
+    let message = match primary {
+        Some(addr) => format!("{why}; writes go to the primary at {addr}"),
+        None => format!("{why}; no primary address known"),
+    };
+    Response::Error {
+        code: ErrorCode::NotPrimary,
+        retryable: false,
+        message,
+        detail: primary.unwrap_or("").to_owned(),
     }
 }
 
@@ -168,10 +195,23 @@ mod tests {
             ErrorCode::Unavailable,
             ErrorCode::Version,
             ErrorCode::ReadOnly,
+            ErrorCode::NotPrimary,
         ] {
             assert_eq!(ErrorCode::from_u16(code as u16), code);
         }
         assert_eq!(ErrorCode::from_u16(9999), ErrorCode::Unknown);
+    }
+
+    #[test]
+    fn fenced_storage_error_maps_to_not_primary_with_redirect() {
+        let e = StorageError::Fenced {
+            new_primary: Some("10.0.0.2:7878".into()),
+        };
+        let Response::Error { code, detail, .. } = storage_error_frame(&e) else {
+            panic!("not an error frame")
+        };
+        assert_eq!(code, ErrorCode::NotPrimary);
+        assert_eq!(detail, "10.0.0.2:7878");
     }
 
     #[test]

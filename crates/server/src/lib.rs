@@ -27,6 +27,9 @@
 //!   the queue), result streaming, per-session
 //!   [`ExecLimits`](cypher_core::ExecLimits) budgets.
 //! * [`server`] — the TCP listener/accept loop and clean shutdown.
+//! * [`replica`] — the replica-side tailer thread: subscribes to a
+//!   primary's commit-log stream, applies shipped units through the same
+//!   apply queue, and reconnects/catches up after any fault.
 //! * [`client`] — a blocking client library used by the `cypher-client`
 //!   binary, the integration tests and the load generator.
 //!
@@ -40,13 +43,14 @@
 pub mod client;
 pub mod config;
 pub mod error;
+pub mod replica;
 pub mod server;
 pub mod session;
 pub mod store;
 pub mod wire;
 
-pub use client::{Client, ClientError, HelloOptions, RunOutcome};
+pub use client::{Client, ClientError, HelloOptions, RunOutcome, StatsOutcome};
 pub use config::ServerConfig;
 pub use error::ErrorCode;
 pub use server::{serve, serve_with, ServerHandle};
-pub use store::SharedStore;
+pub use store::{ReplicaApply, SharedStore, StoreStats};

@@ -1,0 +1,186 @@
+//! The replica-side tailer: subscribe, catch up, apply, repeat.
+//!
+//! One background thread per replica server. It dials the primary, does
+//! the normal protocol handshake, then sends `Subscribe` with its own
+//! durable commit sequence — the primary answers with either the backlog
+//! of missed units or a full snapshot bootstrap, followed by the live
+//! stream. Every unit goes through the same single-writer apply queue as
+//! client writes would, so replica reads keep the exact statement-boundary
+//! atomicity guarantees of the primary.
+//!
+//! The tailer is deliberately dumb about failures: **any** trouble — a
+//! killed stream, a truncated frame, a sequence gap, a storage hiccup —
+//! tears the connection down and reconnects from the replica's durable
+//! position after a short backoff. Catch-up is idempotent (duplicates are
+//! skipped by sequence), so reconnecting is always safe. The only fatal
+//! outcome is divergence: a unit that does not reproduce the primary's
+//! effect stops the tail for good rather than serving wrong answers that
+//! look fresh.
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cypher_replication::{Role, ShippedUnit};
+
+use crate::store::{ReplicaApply, SharedStore};
+use crate::wire::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+
+/// Dead-stream detector: the primary's feeder sends a keepalive every
+/// 500 ms, so a healthy stream never goes this long without a frame. When
+/// it does, the connection is abandoned (never resumed mid-frame — a
+/// timeout could have split a frame) and re-established.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Backoff between reconnect attempts.
+const RETRY_DELAY: Duration = Duration::from_millis(200);
+
+/// Spawn the tailer thread. It exits when `stop` flips, when the role
+/// leaves `Replica` (promotion), or on divergence.
+pub fn spawn_tailer(
+    store: Arc<SharedStore>,
+    primary: String,
+    stop: Arc<AtomicBool>,
+) -> Option<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("cypher-tail".to_owned())
+        .spawn(move || tail_loop(&store, &primary, &stop))
+        .ok()
+}
+
+fn should_run(store: &SharedStore, stop: &AtomicBool) -> bool {
+    !stop.load(Ordering::Acquire) && matches!(store.role().get(), Role::Replica { .. })
+}
+
+fn tail_loop(store: &Arc<SharedStore>, primary: &str, stop: &Arc<AtomicBool>) {
+    while should_run(store, stop) {
+        match tail_once(store, primary, stop) {
+            TailEnd::Retry(reason) => {
+                if should_run(store, stop) {
+                    eprintln!("cypher-tail: stream to {primary} ended ({reason}); reconnecting");
+                    std::thread::sleep(RETRY_DELAY);
+                }
+            }
+            TailEnd::Stop(reason) => {
+                eprintln!("cypher-tail: stopping: {reason}");
+                return;
+            }
+        }
+    }
+}
+
+enum TailEnd {
+    /// Transient: reconnect and catch up from the durable position.
+    Retry(String),
+    /// Terminal: shutdown, promotion, or divergence.
+    Stop(String),
+}
+
+/// One connect-subscribe-apply cycle; returns why the stream ended.
+fn tail_once(store: &Arc<SharedStore>, primary: &str, stop: &Arc<AtomicBool>) -> TailEnd {
+    let stream = match TcpStream::connect(primary) {
+        Ok(s) => s,
+        Err(e) => return TailEnd::Retry(format!("connect: {e}")),
+    };
+    stream.set_nodelay(true).ok();
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return TailEnd::Retry("set_read_timeout failed".to_owned());
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return TailEnd::Retry("stream clone failed".to_owned());
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    // Handshake with server defaults; the tailer never runs statements
+    // through the session path, so budgets are irrelevant.
+    let hello = Request::Hello {
+        version: PROTOCOL_VERSION,
+        dialect: 0xFF,
+        lint: 0xFF,
+        max_rows: u64::MAX,
+        max_writes: u64::MAX,
+        timeout_ms: u64::MAX,
+    };
+    if write_frame(&mut writer, &hello.encode()).is_err() {
+        return TailEnd::Retry("handshake send failed".to_owned());
+    }
+    match read_response(&mut reader) {
+        Ok(Response::HelloOk { .. }) => {}
+        Ok(other) => return TailEnd::Retry(format!("handshake: unexpected {other:?}")),
+        Err(e) => return TailEnd::Retry(format!("handshake: {e}")),
+    }
+
+    let from = store.commit_seq();
+    let subscribe = Request::Subscribe { from };
+    if write_frame(&mut writer, &subscribe.encode()).is_err() {
+        return TailEnd::Retry("subscribe send failed".to_owned());
+    }
+
+    loop {
+        if !should_run(store, stop) {
+            return TailEnd::Stop("shutdown or role change".to_owned());
+        }
+        let frame = match read_response(&mut reader) {
+            Ok(f) => f,
+            Err(e) => return TailEnd::Retry(e),
+        };
+        match frame {
+            Response::SubscribeOk { seq } => {
+                // Initial ack and periodic keepalive/lag beacon.
+                store.note_primary_seen(seq);
+            }
+            Response::Snapshot { seq, bytes } => {
+                // Bootstrap: our position predates the primary's retained
+                // window. Replace everything with the shipped snapshot.
+                match store.install_snapshot(bytes) {
+                    Ok(Ok(covered)) => {
+                        eprintln!("cypher-tail: installed bootstrap snapshot at seq {covered}");
+                        debug_assert_eq!(covered, seq);
+                    }
+                    Ok(Err(e)) => return TailEnd::Retry(format!("snapshot install: {e}")),
+                    Err(b) => return TailEnd::Retry(format!("snapshot install refused: {}", b.0)),
+                }
+            }
+            Response::Unit { seq, dialect, text } => {
+                let unit = ShippedUnit { seq, dialect, text };
+                match store.replicate(unit) {
+                    Ok(ReplicaApply::Applied) | Ok(ReplicaApply::Skipped) => {}
+                    Ok(ReplicaApply::Gap { expected }) => {
+                        return TailEnd::Retry(format!(
+                            "sequence gap: got {seq}, expected {expected}"
+                        ))
+                    }
+                    Ok(ReplicaApply::Diverged(why)) => {
+                        return TailEnd::Stop(format!(
+                            "DIVERGED from primary: {why}; refusing to serve unverifiable state \
+                             (wipe the data directory and re-bootstrap to rejoin)"
+                        ))
+                    }
+                    Ok(ReplicaApply::Storage(e)) => {
+                        return TailEnd::Retry(format!("apply failed: {e}"))
+                    }
+                    Err(b) => return TailEnd::Retry(format!("apply refused: {}", b.0)),
+                }
+            }
+            Response::Error { code, message, .. } => {
+                // A fenced ex-primary refuses Subscribe with NotPrimary;
+                // anything else is equally non-actionable here. Keep
+                // retrying — the operator repoints or promotes us.
+                return TailEnd::Retry(format!("primary refused: [{code}] {message}"));
+            }
+            other => return TailEnd::Retry(format!("unexpected frame: {other:?}")),
+        }
+    }
+}
+
+/// Read and decode one response frame; errors render as strings because
+/// every failure (timeout included) has the same consequence — drop the
+/// connection and reconnect.
+fn read_response(r: &mut impl std::io::Read) -> Result<Response, String> {
+    let payload = read_frame(r).map_err(|e| e.to_string())?;
+    Response::decode(&payload).map_err(|e| e.to_string())
+}

@@ -11,9 +11,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use cypher_replication::Role;
 use cypher_storage::DurableGraph;
 
 use crate::config::ServerConfig;
+use crate::replica::spawn_tailer;
 use crate::session::run_session;
 use crate::store::SharedStore;
 
@@ -24,6 +26,9 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
     store: Arc<SharedStore>,
+    /// Tells the replica tailer (when one runs) to stop reconnecting.
+    tailer_stop: Arc<AtomicBool>,
+    tailer: Mutex<Option<JoinHandle<()>>>,
 }
 
 struct Shared {
@@ -39,29 +44,58 @@ struct Shared {
 }
 
 /// Open the durable store, bind the listener and start accepting.
+///
+/// With `replica_of` set the store starts in the replica role and a
+/// tailer thread dials the primary; a durably fenced data directory
+/// overrides either role to `Fenced` (see [`SharedStore::start`]).
 pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     std::fs::create_dir_all(&config.data_dir)?;
     let durable = DurableGraph::open(&config.data_dir).map_err(std::io::Error::other)?;
+    let role = match &config.replica_of {
+        Some(primary) => Role::Replica {
+            primary: primary.clone(),
+        },
+        None => Role::Primary,
+    };
     let store = SharedStore::start(
         durable,
         config.queue_depth,
         config.max_batch,
         config.max_inflight,
+        role,
     );
     serve_with(config, store)
 }
 
 /// Start the listener over an already-running store (tests use this to
 /// share a store between direct handles and the network path).
-pub fn serve_with(config: ServerConfig, store: Arc<SharedStore>) -> std::io::Result<ServerHandle> {
+pub fn serve_with(
+    mut config: ServerConfig,
+    store: Arc<SharedStore>,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    // Sessions need a concrete address to hand to peers (fence redirects
+    // after promotion); default to the bound one.
+    config
+        .advertise_addr
+        .get_or_insert_with(|| addr.to_string());
     let shared = Arc::new(Shared {
         stopping: AtomicBool::new(false),
         next_session: AtomicU64::new(1),
         live: Mutex::new(Vec::new()),
         sessions: Mutex::new(Vec::new()),
     });
+
+    // A replica (and only a replica — a fenced store must not tail) gets
+    // a tailer thread pulling the primary's stream.
+    let tailer_stop = Arc::new(AtomicBool::new(false));
+    let tailer = match store.role().get() {
+        Role::Replica { primary } => {
+            spawn_tailer(Arc::clone(&store), primary, Arc::clone(&tailer_stop))
+        }
+        _ => None,
+    };
 
     let accept_shared = Arc::clone(&shared);
     let accept_store = Arc::clone(&store);
@@ -74,6 +108,8 @@ pub fn serve_with(config: ServerConfig, store: Arc<SharedStore>) -> std::io::Res
         shared,
         accept_thread: Mutex::new(Some(accept_thread)),
         store,
+        tailer_stop,
+        tailer: Mutex::new(tailer),
     })
 }
 
@@ -103,11 +139,26 @@ impl ServerHandle {
         }
     }
 
-    /// Stop accepting, unblock and join every session, drain and flush the
-    /// apply queue. Idempotent.
+    /// Stop accepting, unblock and join every session, stop the tailer,
+    /// checkpoint, then drain and flush the apply queue. Idempotent.
+    ///
+    /// The checkpoint is the "clean exit" half of the shutdown contract
+    /// (the wire `Shutdown` frame and SIGTERM both land here): the next
+    /// start recovers from the snapshot instead of replaying the WAL, and
+    /// the primary's bootstrap window restarts at this point. Best-effort
+    /// — a sealed or fenced store skips it and still flushes.
     pub fn stop(&self) {
         request_stop(&self.shared, self.addr);
         self.wait();
+        self.tailer_stop.store(true, Ordering::Release);
+        if let Ok(mut guard) = self.tailer.lock() {
+            if let Some(h) = guard.take() {
+                let _ = h.join();
+            }
+        }
+        if let Ok(Err(e)) = self.store.checkpoint() {
+            eprintln!("cypher-serve: shutdown checkpoint skipped: {e}");
+        }
         self.store.shutdown();
     }
 }

@@ -8,18 +8,35 @@
 //! the writer — while updates are submitted to the apply queue and block
 //! until their group commit is flushed. Results are materialized per
 //! statement and streamed to the client in `Pull`-sized row blocks.
+//!
+//! Replication rides on sessions too: a mutating `Run` on a non-primary
+//! is refused with the typed `NotPrimary` error (reads still work — that
+//! is the whole point of a read replica), and a `Subscribe` frame turns
+//! the session **terminal**: the thread stops reading requests and becomes
+//! a unit feeder, streaming the catch-up payload and then every committed
+//! unit, with periodic `SubscribeOk` keepalives so a dead peer is noticed
+//! even when no writes flow.
 
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 use cypher_core::{Dialect, Engine, EngineBuilder, LintMode, QueryResult, UpdateStats};
 use cypher_parser::parse;
+use cypher_replication::Role;
 
 use crate::config::ServerConfig;
-use crate::error::{busy_frame, eval_error_frame, storage_error_frame, ErrorCode};
-use crate::store::{SharedStore, WriteOutcome};
+use crate::error::{
+    busy_frame, eval_error_frame, not_primary_frame, storage_error_frame, ErrorCode,
+};
+use crate::store::{SharedStore, SubscribeStart, WriteOutcome};
 use crate::wire::{read_frame, write_frame, Request, Response, WireError, PROTOCOL_VERSION};
+
+/// How often an idle unit feeder re-sends `SubscribeOk` — the keepalive
+/// that both detects a dead replica socket and refreshes the replica's
+/// view of the primary's head sequence.
+const FEED_KEEPALIVE: Duration = Duration::from_millis(500);
 
 /// A statement's materialized result, drained by `Pull` frames.
 struct Pending {
@@ -37,6 +54,10 @@ pub fn run_session(
     config: &ServerConfig,
     store: &Arc<SharedStore>,
 ) -> bool {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| format!("session-{session_id}"));
     let Ok(read_half) = stream.try_clone() else {
         return false;
     };
@@ -213,6 +234,61 @@ pub fn run_session(
                 Ok(statements) => Response::LogOk { statements },
                 Err(b) => busy_frame(b.0),
             },
+            Request::Stats => {
+                let s = store.stats();
+                Response::StatsOk {
+                    role: s.role.as_u8(),
+                    redirect: s.role.redirect().unwrap_or("").to_owned(),
+                    epoch: s.epoch,
+                    commit_seq: s.commit_seq,
+                    queue_len: s.queue_len,
+                    primary_seen: s.primary_seen,
+                    replicas: s.replicas,
+                }
+            }
+            Request::Promote => {
+                if config.allow_admin {
+                    let was = store.role().get();
+                    let seq = store.promote();
+                    eprintln!("session {session_id}: promoted to primary at seq {seq}");
+                    // Best effort: durably fence the old primary so a
+                    // zombie can never acknowledge another write. If it is
+                    // unreachable (the usual failover reason) this just
+                    // fails quietly; the fence also lands when the zombie
+                    // restarts and reconnects as a subscriber is refused.
+                    if let Role::Replica { primary } = was {
+                        let advertise = config.advertise_addr.clone().unwrap_or_default();
+                        std::thread::spawn(move || {
+                            let _ = fence_old_primary(&primary, &advertise);
+                        });
+                    }
+                    Response::PromoteOk { seq }
+                } else {
+                    admin_disabled_frame("Promote")
+                }
+            }
+            Request::Fence { new_primary } => {
+                if config.allow_admin {
+                    let target = (!new_primary.is_empty()).then_some(new_primary);
+                    eprintln!(
+                        "session {session_id}: fencing this server (new primary: {:?})",
+                        target
+                    );
+                    match store.fence(target) {
+                        Ok(Ok(())) => Response::FenceOk,
+                        Ok(Err(e)) => storage_error_frame(&e),
+                        Err(b) => busy_frame(b.0),
+                    }
+                } else {
+                    admin_disabled_frame("Fence")
+                }
+            }
+            Request::Subscribe { from } => {
+                // Terminal: on success this call only returns when the
+                // feed ends, and the session is over either way.
+                run_feeder(&mut writer, store, &peer, from);
+                return false;
+            }
         };
         if send(&mut writer, &response).is_err() {
             return false;
@@ -240,7 +316,8 @@ fn run_statement(
     };
 
     if query.first_mutating_clause().is_none() {
-        // Reader: wait-free snapshot when the epoch is unchanged.
+        // Reader: wait-free snapshot when the epoch is unchanged. Reads
+        // are served on every role — a replica exists to serve them.
         let Some(snap) = store.snapshot() else {
             return (busy_frame("apply queue full"), None);
         };
@@ -250,8 +327,26 @@ fn run_statement(
             Err(e) => (eval_error_frame(&e, text), None),
         }
     } else {
-        // Writer: serialize through the apply queue; the reply arrives
-        // only after the statement's batch is flushed (durable).
+        // Writer: only a primary takes writes. The refusal is typed and
+        // carries the primary's address so clients redirect, not guess.
+        let role = store.role().get();
+        match &role {
+            Role::Primary => {}
+            Role::Replica { .. } => {
+                return (
+                    not_primary_frame(role.redirect(), "this server is a read replica"),
+                    None,
+                )
+            }
+            Role::Fenced { .. } => {
+                return (
+                    not_primary_frame(role.redirect(), "server is fenced after failover"),
+                    None,
+                )
+            }
+        }
+        // Serialize through the apply queue; the reply arrives only after
+        // the statement's batch is flushed (durable).
         match store.submit_write(text.to_owned(), engine.clone()) {
             Ok(WriteOutcome::Ok(result)) => ok_response(result, false, store.epoch()),
             Ok(WriteOutcome::Eval(e)) => (eval_error_frame(&e, text), None),
@@ -286,6 +381,106 @@ fn stats_array(s: &UpdateStats) -> [u64; 7] {
         s.labels_added as u64,
         s.labels_removed as u64,
     ]
+}
+
+fn admin_disabled_frame(what: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::Protocol,
+        retryable: false,
+        message: format!("{what} is disabled on this server (start with --allow-admin)"),
+        detail: String::new(),
+    }
+}
+
+/// Serve one replica's unit feed until the stream or the hub ends it.
+///
+/// Protocol: `SubscribeOk(head)` first, then (for a subscriber behind the
+/// retained window) one `Snapshot` bootstrap frame, then the backlog as
+/// `Unit` frames, then live units as they commit. While idle, the feeder
+/// re-sends `SubscribeOk` with the current head — a keepalive that makes a
+/// dead socket fail the next write (so the hub's slot is reclaimed) and
+/// doubles as the replica's lag beacon.
+fn run_feeder(w: &mut impl std::io::Write, store: &Arc<SharedStore>, peer: &str, from: u64) {
+    let role = store.role().get();
+    if let Role::Fenced { .. } = role {
+        let _ = send(
+            w,
+            &not_primary_frame(role.redirect(), "server is fenced after failover"),
+        );
+        return;
+    }
+    let reply = match store.subscribe(peer.to_owned(), from) {
+        Ok(Ok(reply)) => reply,
+        Ok(Err(e)) => {
+            let _ = send(w, &storage_error_frame(&e));
+            return;
+        }
+        Err(b) => {
+            let _ = send(w, &busy_frame(b.0));
+            return;
+        }
+    };
+    if send(w, &Response::SubscribeOk { seq: reply.seq }).is_err() {
+        return;
+    }
+    match reply.start {
+        SubscribeStart::Backlog(units) => {
+            for u in units {
+                let frame = Response::Unit {
+                    seq: u.seq,
+                    dialect: u.dialect,
+                    text: u.text,
+                };
+                if send(w, &frame).is_err() {
+                    return;
+                }
+            }
+        }
+        SubscribeStart::Snapshot { seq, bytes } => {
+            if send(w, &Response::Snapshot { seq, bytes }).is_err() {
+                return;
+            }
+        }
+    }
+    loop {
+        match reply.sub.rx.recv_timeout(FEED_KEEPALIVE) {
+            Ok(u) => {
+                let frame = Response::Unit {
+                    seq: u.seq,
+                    dialect: u.dialect,
+                    text: u.text,
+                };
+                if send(w, &frame).is_err() {
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Idle: keepalive. A closed peer socket surfaces here, so
+                // a feeder never outlives its replica by more than one
+                // interval even with zero write traffic.
+                let beacon = Response::SubscribeOk {
+                    seq: store.commit_seq(),
+                };
+                if send(w, &beacon).is_err() {
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                // Dropped by the hub (lagging, fence, shutdown): end the
+                // stream; the replica reconnects and catches up.
+                return;
+            }
+        }
+    }
+}
+
+/// Best-effort wire `Fence` of the demoted primary after a promotion.
+fn fence_old_primary(addr: &str, new_primary: &str) -> Result<(), crate::client::ClientError> {
+    let opts = crate::client::HelloOptions::server_defaults();
+    let mut client = crate::client::Client::connect(addr, &opts)?;
+    client.fence(new_primary)?;
+    let _ = client.goodbye();
+    Ok(())
 }
 
 fn read_request(r: &mut impl std::io::Read) -> Result<Request, WireError> {

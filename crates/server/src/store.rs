@@ -1,12 +1,12 @@
-//! The shared store: one writer, many snapshot readers.
+//! The shared store: one writer, many snapshot readers, one shipping lane.
 //!
 //! All mutation funnels through a single **apply worker** thread that owns
 //! the [`DurableGraph`]. Sessions enqueue jobs on a bounded channel; the
 //! worker drains up to a batch, runs each write through
-//! [`DurableGraph::apply_buffered`] and then **group-commits** the batch
-//! with one [`DurableGraph::flush`] (one fsync amortized over the batch).
-//! A write is acknowledged to its session only after that flush — the
-//! classic durability-before-acknowledge protocol — so a failed batch
+//! [`DurableGraph::apply_buffered_logged`] and then **group-commits** the
+//! batch with one [`DurableGraph::flush`] (one fsync amortized over the
+//! batch). A write is acknowledged to its session only after that flush —
+//! the classic durability-before-acknowledge protocol — so a failed batch
 //! fsync reports a storage error to *every* statement of the batch, whose
 //! commit units were all rolled off the log together.
 //!
@@ -20,20 +20,69 @@
 //! guarantees read-your-writes: the snapshot job runs after every write
 //! the same session already had acknowledged.
 //!
+//! # Replication
+//!
+//! The worker is also the **replication source of truth**. Each committed
+//! update statement's text rides inside its own WAL commit unit
+//! ([`cypher_storage::Record::Stmt`]), so the statement's durability and
+//! its shippability are one fsync. Right after a successful group commit
+//! the worker hands the batch's units to the [`ReplicationHub`], which
+//! fans them out to subscribed replica feeders — a replica can therefore
+//! never observe a unit the primary could still lose.
+//!
+//! On a replica the same worker applies [`Job::Replicate`] jobs instead of
+//! client writes: it checks the unit's sequence number against
+//! `next_txid`, replays the statement through a per-dialect engine, and
+//! asserts the resulting txid equals the shipped sequence — any mismatch
+//! is divergence and aborts the tail rather than corrupting silently.
+//! Writes and replicated units share the same group-commit machinery, so
+//! catch-up gets batched fsyncs for free.
+//!
+//! If a group commit's flush fails, the WAL has rolled back to the durable
+//! horizon but the in-memory graph briefly ran ahead; the worker calls
+//! [`DurableGraph::reopen`] to rebuild memory from the durable state.
+//! This matters for replication: the legacy "checkpoint absorbs sealed
+//! memory" path would fold never-shipped mutations into the primary's
+//! state and silently diverge every replica. After `reopen`, memory ==
+//! durable == shipped, always.
+//!
 //! The worker also maintains the **commit log** — the texts of
 //! successfully committed update statements in apply order — which is the
 //! serialization oracle for the differential tests: replaying the log
 //! through a single-threaded engine must reproduce the server's graph
-//! byte-for-byte.
+//! byte-for-byte. The **mirror** is its replication twin: shipped units
+//! since the recovery base, from which late subscribers are back-filled
+//! (older subscribers bootstrap from a full snapshot instead).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use cypher_core::{Engine, EvalError, QueryResult};
+use cypher_core::{Engine, EngineBuilder, EvalError, QueryResult};
 use cypher_graph::{EpochSnapshots, PropertyGraph};
+use cypher_parser::Dialect;
+use cypher_replication::{ReplicationHub, Role, RoleCell, ShippedUnit, Subscription};
 use cypher_storage::{DurableGraph, StorageError};
+
+/// Stable wire/WAL encoding of a statement's dialect.
+pub fn dialect_byte(d: Dialect) -> u8 {
+    match d {
+        Dialect::Cypher9 => 0,
+        Dialect::Revised => 1,
+    }
+}
+
+/// Inverse of [`dialect_byte`]; unknown bytes fall back to the revised
+/// dialect (forward compatibility — a newer primary's dialect is closer
+/// to `Revised` than to the legacy semantics).
+pub fn dialect_from_byte(b: u8) -> Dialect {
+    match b {
+        0 => Dialect::Cypher9,
+        _ => Dialect::Revised,
+    }
+}
 
 /// Outcome of a write submitted to the apply queue.
 #[derive(Debug)]
@@ -46,6 +95,68 @@ pub enum WriteOutcome {
     Storage(StorageError),
 }
 
+/// Outcome of applying one shipped unit on a replica.
+#[derive(Debug)]
+pub enum ReplicaApply {
+    /// Applied and durable; `commit_seq` advanced to the unit's sequence.
+    Applied,
+    /// The unit's sequence is already applied (duplicate after a
+    /// reconnect); skipped without touching the graph.
+    Skipped,
+    /// The unit skips ahead of the replica's log; the tailer must
+    /// re-subscribe from its durable position instead of applying.
+    Gap {
+        /// The sequence number the replica expected next.
+        expected: u64,
+    },
+    /// The statement did not reproduce the primary's effect here — the
+    /// replica's state is suspect and the tail must stop.
+    Diverged(String),
+    /// The durability layer failed; the unit is not applied (the tailer
+    /// retries after the worker re-opened the store).
+    Storage(StorageError),
+}
+
+/// How a fresh subscriber starts: backlog replay or snapshot bootstrap.
+pub enum SubscribeStart {
+    /// The subscriber's position is within the retained mirror: these
+    /// units (in order) bring it to the primary's head.
+    Backlog(Vec<ShippedUnit>),
+    /// The subscriber is older than the mirror: it must install this
+    /// encoded snapshot (covering sequence `seq`) and tail from there.
+    Snapshot { seq: u64, bytes: Vec<u8> },
+}
+
+/// A granted subscription: the catch-up payload plus the live feed.
+pub struct SubscribeReply {
+    /// Catch-up payload handed out atomically with the hub attach: every
+    /// unit is either in here or will arrive on `sub`, never neither.
+    pub start: SubscribeStart,
+    /// The live feed of units committed after the catch-up point.
+    pub sub: Subscription,
+    /// The primary's commit sequence at attach time (lag baseline).
+    pub seq: u64,
+}
+
+/// A point-in-time statistics sample, assembled without touching the
+/// worker queue (all sources are atomics or lock-free-ish shared state),
+/// so `Stats` works even when the apply queue is wedged.
+#[derive(Clone, Debug)]
+pub struct StoreStats {
+    /// Current replication role.
+    pub role: Role,
+    /// Reader epoch (bumps on every batch that changed the graph).
+    pub epoch: u64,
+    /// Highest durable (flushed) commit sequence.
+    pub commit_seq: u64,
+    /// Jobs currently queued for the apply worker.
+    pub queue_len: u64,
+    /// Replica only: highest sequence received from the primary.
+    pub primary_seen: u64,
+    /// Primary only: `(label, highest sequence enqueued)` per subscriber.
+    pub replicas: Vec<(String, u64)>,
+}
+
 /// A unit of work for the apply worker.
 pub enum Job {
     /// Run one update statement. The engine rides along because budgets,
@@ -54,6 +165,11 @@ pub enum Job {
         text: String,
         engine: Engine,
         resp: SyncSender<WriteOutcome>,
+    },
+    /// Apply one unit shipped from the primary (replica mode).
+    Replicate {
+        unit: ShippedUnit,
+        resp: SyncSender<ReplicaApply>,
     },
     /// Publish a fresh epoch snapshot (only sent when the cache is stale).
     Snapshot {
@@ -66,6 +182,25 @@ pub enum Job {
     },
     /// The committed-statement texts, in commit order.
     CommitLog { resp: SyncSender<Vec<String>> },
+    /// Attach a replica subscriber; the worker decides backlog vs
+    /// snapshot bootstrap atomically with respect to publishing.
+    Subscribe {
+        label: String,
+        from: u64,
+        resp: SyncSender<Result<SubscribeReply, StorageError>>,
+    },
+    /// Replace the store's contents with an encoded snapshot shipped by
+    /// the primary (replica bootstrap).
+    InstallSnapshot {
+        bytes: Vec<u8>,
+        resp: SyncSender<Result<u64, StorageError>>,
+    },
+    /// Durably fence this store: it will never acknowledge another write,
+    /// even across restarts.
+    Fence {
+        new_primary: Option<String>,
+        resp: SyncSender<Result<(), StorageError>>,
+    },
     /// Drain, flush and exit.
     Shutdown,
 }
@@ -134,23 +269,62 @@ pub struct SharedStore {
     gate: Arc<Gate>,
     max_batch: usize,
     worker: Mutex<Option<JoinHandle<()>>>,
+    hub: Arc<ReplicationHub>,
+    role: Arc<RoleCell>,
+    commit_seq: Arc<AtomicU64>,
+    primary_seen: Arc<AtomicU64>,
+    queue_len: Arc<AtomicUsize>,
 }
 
 impl SharedStore {
     /// Spawn the apply worker over an already-opened durable graph.
+    ///
+    /// `role` is the configured starting role; a durably fenced store
+    /// overrides it to [`Role::Fenced`] — a zombie ex-primary restarts
+    /// fenced no matter what its command line says.
     pub fn start(
-        durable: DurableGraph,
+        mut durable: DurableGraph,
         queue_depth: usize,
         max_batch: usize,
         max_inflight: usize,
+        role: Role,
     ) -> Arc<SharedStore> {
+        let role = if durable.is_fenced() {
+            Role::Fenced {
+                new_primary: durable.fence_target().map(str::to_owned),
+            }
+        } else {
+            role
+        };
+        let commit_seq = Arc::new(AtomicU64::new(durable.next_txid().saturating_sub(1)));
+        let primary_seen = Arc::new(AtomicU64::new(0));
+        let queue_len = Arc::new(AtomicUsize::new(0));
+        let hub = Arc::new(ReplicationHub::new(queue_depth.max(1) * 4));
         let (tx, rx) = mpsc::sync_channel(queue_depth.max(1));
         let snaps = Arc::new(EpochSnapshots::new());
-        let worker_snaps = Arc::clone(&snaps);
         let batch = max_batch.max(1);
+
+        let mirror_base = durable.recovered_base();
+        let mirror: Vec<ShippedUnit> = durable
+            .take_recovered_statements()
+            .into_iter()
+            .map(|(seq, dialect, text)| ShippedUnit { seq, dialect, text })
+            .collect();
+        let state = WorkerState {
+            durable,
+            snaps: Arc::clone(&snaps),
+            hub: Arc::clone(&hub),
+            commit_seq: Arc::clone(&commit_seq),
+            primary_seen: Arc::clone(&primary_seen),
+            commit_log: Vec::new(),
+            mirror,
+            mirror_base,
+            replica_engines: HashMap::new(),
+        };
+        let worker_queue = Arc::clone(&queue_len);
         let worker = std::thread::Builder::new()
             .name("cypher-apply".to_owned())
-            .spawn(move || apply_worker(durable, rx, worker_snaps, batch))
+            .spawn(move || apply_worker(state, rx, worker_queue, batch))
             .ok();
         Arc::new(SharedStore {
             tx,
@@ -158,6 +332,11 @@ impl SharedStore {
             gate: Arc::new(Gate::new(max_inflight.max(1))),
             max_batch: batch,
             worker: Mutex::new(worker),
+            hub,
+            role: Arc::new(RoleCell::new(role)),
+            commit_seq,
+            primary_seen,
+            queue_len,
         })
     }
 
@@ -165,9 +344,20 @@ impl SharedStore {
         &self.gate
     }
 
+    /// The store's current replication role (shared with sessions and the
+    /// replica tailer).
+    pub fn role(&self) -> &Arc<RoleCell> {
+        &self.role
+    }
+
     /// Current write epoch (diagnostics; also stamped into `RunOk`).
     pub fn epoch(&self) -> u64 {
         self.snaps.epoch()
+    }
+
+    /// Highest durable commit sequence (== the WAL's last flushed txid).
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq.load(Ordering::Acquire)
     }
 
     /// A statement-atomic snapshot for a reader. Wait-free when the cache
@@ -192,6 +382,14 @@ impl SharedStore {
         rx.recv().map_err(|_| Busy("apply worker exited"))
     }
 
+    /// Apply one shipped unit (replica tailer path); blocks until the
+    /// containing group commit flushed.
+    pub fn replicate(&self, unit: ShippedUnit) -> Result<ReplicaApply, Busy> {
+        let (resp, rx) = mpsc::sync_channel(1);
+        self.try_submit(Job::Replicate { unit, resp })?;
+        rx.recv().map_err(|_| Busy("apply worker exited"))
+    }
+
     /// Checkpoint the durable store (the wire `Commit` frame).
     pub fn checkpoint(&self) -> Result<Result<(), StorageError>, Busy> {
         let (resp, rx) = mpsc::sync_channel(1);
@@ -206,9 +404,73 @@ impl SharedStore {
         rx.recv().map_err(|_| Busy("apply worker exited"))
     }
 
+    /// Attach a replica subscriber. The worker performs the attach, so
+    /// the handed-out catch-up payload and the live feed are gap-free by
+    /// construction (nothing publishes between them).
+    pub fn subscribe(
+        &self,
+        label: String,
+        from: u64,
+    ) -> Result<Result<SubscribeReply, StorageError>, Busy> {
+        let (resp, rx) = mpsc::sync_channel(1);
+        self.try_submit(Job::Subscribe { label, from, resp })?;
+        rx.recv().map_err(|_| Busy("apply worker exited"))
+    }
+
+    /// Replace the store's contents with a snapshot shipped by the
+    /// primary (replica bootstrap). Returns the covered sequence.
+    pub fn install_snapshot(&self, bytes: Vec<u8>) -> Result<Result<u64, StorageError>, Busy> {
+        let (resp, rx) = mpsc::sync_channel(1);
+        self.try_submit(Job::InstallSnapshot { bytes, resp })?;
+        rx.recv().map_err(|_| Busy("apply worker exited"))
+    }
+
+    /// Durably fence this store and drop every subscriber. The role flips
+    /// to [`Role::Fenced`] even when persisting the marker failed — the
+    /// in-memory fence in the storage layer refuses writes regardless.
+    pub fn fence(&self, new_primary: Option<String>) -> Result<Result<(), StorageError>, Busy> {
+        let (resp, rx) = mpsc::sync_channel(1);
+        self.try_submit(Job::Fence {
+            new_primary: new_primary.clone(),
+            resp,
+        })?;
+        let out = rx.recv().map_err(|_| Busy("apply worker exited"))?;
+        self.role.set(Role::Fenced { new_primary });
+        Ok(out)
+    }
+
+    /// Promote this store to primary (manual failover). Purely a role
+    /// flip: the store below is already a fully durable writer. Returns
+    /// the commit sequence the new primary starts serving writes from.
+    pub fn promote(&self) -> u64 {
+        self.role.set(Role::Primary);
+        self.commit_seq()
+    }
+
+    /// Note the highest sequence number the tailer has received from the
+    /// primary (replica-side lag bookkeeping).
+    pub fn note_primary_seen(&self, seq: u64) {
+        self.primary_seen.fetch_max(seq, Ordering::AcqRel);
+    }
+
+    /// Sample the store's statistics without going through the queue.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            role: self.role.get(),
+            epoch: self.epoch(),
+            commit_seq: self.commit_seq(),
+            queue_len: self.queue_len.load(Ordering::Relaxed) as u64,
+            primary_seen: self.primary_seen.load(Ordering::Acquire),
+            replicas: self.hub.peers(),
+        }
+    }
+
     fn try_submit(&self, job: Job) -> Result<(), Busy> {
         match self.tx.try_send(job) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.queue_len.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
             Err(TrySendError::Full(_)) => Err(Busy("apply queue full")),
             Err(TrySendError::Disconnected(_)) => Err(Busy("apply worker exited")),
         }
@@ -216,8 +478,12 @@ impl SharedStore {
 
     /// Stop the worker after it drains everything already queued. Blocking
     /// send: shutdown must not be refused by a momentarily full queue.
+    /// Subscribers are disconnected first so their feeder sessions end.
     pub fn shutdown(&self) {
-        let _ = self.tx.send(Job::Shutdown);
+        self.hub.disconnect_all();
+        if self.tx.send(Job::Shutdown).is_ok() {
+            self.queue_len.fetch_add(1, Ordering::Relaxed);
+        }
         if let Ok(mut guard) = self.worker.lock() {
             if let Some(h) = guard.take() {
                 let _ = h.join();
@@ -235,138 +501,372 @@ impl SharedStore {
 #[derive(Debug, Clone, Copy)]
 pub struct Busy(pub &'static str);
 
-fn apply_worker(
-    mut durable: DurableGraph,
-    rx: Receiver<Job>,
+/// Everything the apply worker owns: the durable graph plus the derived
+/// structures that must only ever change on the worker thread, in lockstep
+/// with the WAL.
+struct WorkerState {
+    durable: DurableGraph,
     snaps: Arc<EpochSnapshots>,
+    hub: Arc<ReplicationHub>,
+    commit_seq: Arc<AtomicU64>,
+    primary_seen: Arc<AtomicU64>,
+    /// Committed update-statement texts since process start, in commit
+    /// order (the differential-replay oracle).
+    commit_log: Vec<String>,
+    /// Shipped units retained for subscriber catch-up: every committed
+    /// unit with `seq > mirror_base`, in order. Seeded at startup from the
+    /// WAL replay, so the retention window is "since the last checkpoint
+    /// before this process started".
+    mirror: Vec<ShippedUnit>,
+    /// Sequence the mirror starts after; a subscriber at or beyond this
+    /// can catch up from the mirror, an older one needs a snapshot.
+    mirror_base: u64,
+    /// Replica mode: cached per-dialect engines for replaying shipped
+    /// statements. No lint, no budgets — the primary already enforced its
+    /// session policies before committing, and a replica must apply
+    /// whatever the primary committed.
+    replica_engines: HashMap<u8, Engine>,
+}
+
+/// One batched unit of group-committed work: a client write or a shipped
+/// unit. Both run through `apply_buffered_logged` and share the batch's
+/// single fsync.
+enum BatchItem {
+    Write {
+        text: String,
+        engine: Engine,
+        resp: SyncSender<WriteOutcome>,
+    },
+    Replicate {
+        unit: ShippedUnit,
+        resp: SyncSender<ReplicaApply>,
+    },
+}
+
+/// Per-item result held until the batch's flush decides its fate.
+enum PendingAck {
+    Write(SyncSender<WriteOutcome>, WriteOutcome),
+    Replicate(SyncSender<ReplicaApply>, ReplicaApply),
+}
+
+fn apply_worker(
+    mut state: WorkerState,
+    rx: Receiver<Job>,
+    queue_len: Arc<AtomicUsize>,
     max_batch: usize,
 ) {
-    let mut commit_log: Vec<String> = Vec::new();
     loop {
         // Block for the first job, then opportunistically drain more up to
-        // the batch bound. Only writes extend a batch: the first non-write
-        // job closes it (it must observe the flushed, epoch-bumped state).
+        // the batch bound. Only writes and replicated units extend a
+        // batch: the first other job closes it (it must observe the
+        // flushed, epoch-bumped state).
         let Ok(first) = rx.recv() else {
             // Every SharedStore handle dropped: flush and exit.
-            let _ = durable.flush();
+            let _ = state.durable.flush();
             return;
         };
-        let mut writes: Vec<(String, Engine, SyncSender<WriteOutcome>)> = Vec::new();
+        queue_len.fetch_sub(1, Ordering::Relaxed);
+        let mut items: Vec<BatchItem> = Vec::new();
         let mut tail: Option<Job> = None;
-        match first {
-            Job::Write { text, engine, resp } => writes.push((text, engine, resp)),
-            other => tail = Some(other),
+        match as_batch_item(first) {
+            Ok(item) => items.push(item),
+            Err(other) => tail = Some(other),
         }
-        while tail.is_none() && writes.len() < max_batch {
+        while tail.is_none() && items.len() < max_batch {
             match rx.try_recv() {
-                Ok(Job::Write { text, engine, resp }) => writes.push((text, engine, resp)),
-                Ok(other) => tail = Some(other),
+                Ok(job) => {
+                    queue_len.fetch_sub(1, Ordering::Relaxed);
+                    match as_batch_item(job) {
+                        Ok(item) => items.push(item),
+                        Err(other) => tail = Some(other),
+                    }
+                }
                 Err(_) => break,
             }
         }
 
-        if !writes.is_empty() {
-            run_write_batch(&mut durable, &snaps, &mut commit_log, writes);
+        if !items.is_empty() {
+            run_batch(&mut state, items);
         }
 
         match tail {
             None => {}
             Some(Job::Snapshot { resp }) => {
-                let _ = resp.send(snaps.publish(durable.graph()));
+                let _ = resp.send(state.snaps.publish(state.durable.graph()));
             }
             Some(Job::Checkpoint { resp }) => {
-                let _ = resp.send(durable.checkpoint());
+                let _ = resp.send(run_checkpoint(&mut state));
             }
             Some(Job::CommitLog { resp }) => {
-                let _ = resp.send(commit_log.clone());
+                let _ = resp.send(state.commit_log.clone());
+            }
+            Some(Job::Subscribe { label, from, resp }) => {
+                let _ = resp.send(run_subscribe(&mut state, &label, from));
+            }
+            Some(Job::InstallSnapshot { bytes, resp }) => {
+                let _ = resp.send(run_install_snapshot(&mut state, &bytes));
+            }
+            Some(Job::Fence { new_primary, resp }) => {
+                // Disconnect first: a fenced store must not ship another
+                // unit, even one already committed, on a live feed that a
+                // replica might mistake for primary liveness.
+                state.hub.disconnect_all();
+                let _ = resp.send(state.durable.fence(new_primary.as_deref()));
             }
             Some(Job::Shutdown) => {
-                let _ = durable.flush();
+                let _ = state.durable.flush();
                 return;
             }
-            Some(Job::Write { .. }) => unreachable!("writes never land in tail"),
+            Some(Job::Write { .. }) | Some(Job::Replicate { .. }) => {
+                unreachable!("batchable jobs never land in tail")
+            }
         }
     }
 }
 
-/// Execute a batch of update statements under one group commit.
+fn as_batch_item(job: Job) -> Result<BatchItem, Job> {
+    match job {
+        Job::Write { text, engine, resp } => Ok(BatchItem::Write { text, engine, resp }),
+        Job::Replicate { unit, resp } => Ok(BatchItem::Replicate { unit, resp }),
+        other => Err(other),
+    }
+}
+
+/// Checkpoint, reconciling a sealed handle the replication-safe way: a
+/// seal means the in-memory graph may be ahead of the durable (and
+/// therefore shipped) horizon, so absorb **nothing** — reopen from the
+/// durable state, then checkpoint that.
+fn run_checkpoint(state: &mut WorkerState) -> Result<(), StorageError> {
+    if state.durable.is_sealed() {
+        state.durable.reopen()?;
+        // Memory rolled back: invalidate reader caches and re-truth the
+        // published sequence.
+        state.snaps.bump();
+        state.commit_seq.store(
+            state.durable.next_txid().saturating_sub(1),
+            Ordering::Release,
+        );
+    }
+    state.durable.checkpoint()
+}
+
+/// Grant a subscription. Runs on the worker so nothing can publish
+/// between assembling the catch-up payload and attaching the live feed.
+fn run_subscribe(
+    state: &mut WorkerState,
+    label: &str,
+    from: u64,
+) -> Result<SubscribeReply, StorageError> {
+    let head = state.durable.next_txid().saturating_sub(1);
+    if from >= state.mirror_base {
+        // The mirror covers the subscriber's position: hand out the tail
+        // it is missing and attach at the head.
+        let backlog: Vec<ShippedUnit> = state
+            .mirror
+            .iter()
+            .filter(|u| u.seq > from)
+            .cloned()
+            .collect();
+        let sub = state.hub.attach(label, head);
+        Ok(SubscribeReply {
+            start: SubscribeStart::Backlog(backlog),
+            sub,
+            seq: head,
+        })
+    } else {
+        // Too far behind (a checkpoint truncated its window before this
+        // process started): bootstrap from a full snapshot.
+        let (covered, bytes) = state.durable.encode_snapshot_bytes()?;
+        let sub = state.hub.attach(label, covered);
+        Ok(SubscribeReply {
+            start: SubscribeStart::Snapshot {
+                seq: covered,
+                bytes,
+            },
+            sub,
+            seq: head,
+        })
+    }
+}
+
+/// Install a shipped snapshot: the replica's entire state is replaced and
+/// its replication bookkeeping rebased onto the covered sequence.
+fn run_install_snapshot(state: &mut WorkerState, bytes: &[u8]) -> Result<u64, StorageError> {
+    let covered = state.durable.install_snapshot(bytes)?;
+    state.mirror.clear();
+    state.mirror_base = covered;
+    state.commit_log.clear();
+    state.commit_seq.store(covered, Ordering::Release);
+    state.primary_seen.fetch_max(covered, Ordering::AcqRel);
+    state.snaps.bump();
+    Ok(covered)
+}
+
+/// Execute a batch of update statements and/or shipped units under one
+/// group commit.
 ///
-/// Each statement runs through `apply_buffered`; its commit unit joins the
-/// un-synced WAL window. One `flush` then makes the whole batch durable —
-/// only after that are the per-statement outcomes acknowledged. If the
-/// flush fails — including the mid-batch-append case, where the WAL
-/// rollback already discarded every pending unit and sealed the handle so
-/// `flush` reports `Sealed` — every statement of the batch (even ones
-/// that executed cleanly before the failure) reports the storage error:
-/// none of them was ever acknowledged, so none of them is lost *silently*.
-fn run_write_batch(
-    durable: &mut DurableGraph,
-    snaps: &EpochSnapshots,
-    commit_log: &mut Vec<String>,
-    writes: Vec<(String, Engine, SyncSender<WriteOutcome>)>,
-) {
-    let mut outcomes: Vec<(SyncSender<WriteOutcome>, WriteOutcome)> = Vec::new();
-    let mut batch_updates = false;
-    let mut batch_log: Vec<String> = Vec::new();
-    let mut flush_err: Option<StorageError> = None;
+/// Each item runs through `apply_buffered_logged`; its commit unit joins
+/// the un-synced WAL window. One `flush` then makes the whole batch
+/// durable — only after that are the per-item outcomes acknowledged and
+/// the units handed to the hub. If the flush fails — including the
+/// mid-batch-append case, where the WAL rollback already discarded every
+/// pending unit and sealed the handle so `flush` reports `Sealed` —
+/// every item of the batch (even ones that executed cleanly before the
+/// failure) reports the storage error: none of them was ever
+/// acknowledged, so none of them is lost *silently*. The worker then
+/// reopens the store from the durable horizon, so memory never runs
+/// ahead of what replicas were shipped.
+fn run_batch(state: &mut WorkerState, items: Vec<BatchItem>) {
+    let mut acks: Vec<PendingAck> = Vec::new();
+    let mut batch_units: Vec<ShippedUnit> = Vec::new();
 
-    for (text, engine, resp) in writes {
-        let applied = durable.apply_buffered(|g| engine.run(g, &text));
-        match applied {
-            Ok(Ok(result)) => {
-                if result.stats.contains_updates() {
-                    batch_updates = true;
-                    batch_log.push(text);
+    for item in items {
+        match item {
+            BatchItem::Write { text, engine, resp } => {
+                let dialect = dialect_byte(engine.dialect);
+                let applied = state
+                    .durable
+                    .apply_buffered_logged(Some((dialect, &text)), |g| engine.run(g, &text));
+                match applied {
+                    Ok((Ok(result), Some(seq))) => {
+                        batch_units.push(ShippedUnit { seq, dialect, text });
+                        acks.push(PendingAck::Write(resp, WriteOutcome::Ok(result)));
+                    }
+                    Ok((Ok(result), None)) => {
+                        // No graph delta: nothing logged, nothing shipped.
+                        acks.push(PendingAck::Write(resp, WriteOutcome::Ok(result)));
+                    }
+                    Ok((Err(e), _)) => acks.push(PendingAck::Write(resp, WriteOutcome::Eval(e))),
+                    Err(e) => {
+                        // Append failure seals the handle; later items of
+                        // the batch see Sealed from their own apply, and
+                        // the batch flush below reports Sealed too,
+                        // downgrading every earlier Ok (their units were
+                        // rolled off the log).
+                        acks.push(PendingAck::Write(resp, WriteOutcome::Storage(e)));
+                    }
                 }
-                outcomes.push((resp, WriteOutcome::Ok(result)));
             }
-            Ok(Err(e)) => outcomes.push((resp, WriteOutcome::Eval(e))),
-            Err(e) => {
-                // Append failure seals the handle; later statements of the
-                // batch see Sealed from their own apply_buffered, and the
-                // batch flush below reports Sealed too, downgrading every
-                // earlier Ok (their units were rolled off the log).
-                outcomes.push((resp, WriteOutcome::Storage(e)));
+            BatchItem::Replicate { unit, resp } => {
+                state.primary_seen.fetch_max(unit.seq, Ordering::AcqRel);
+                let outcome = apply_shipped(state, &unit);
+                if matches!(outcome, ReplicaApply::Applied) {
+                    batch_units.push(unit);
+                }
+                acks.push(PendingAck::Replicate(resp, outcome));
             }
         }
     }
 
-    if let Err(e) = durable.flush() {
-        flush_err = Some(e);
-    }
-
-    match flush_err {
-        None => {
-            if batch_updates {
-                // New statement-boundary state: invalidate reader caches.
-                snaps.bump();
-                commit_log.extend(batch_log);
+    match state.durable.flush() {
+        Ok(()) => {
+            if !batch_units.is_empty() {
+                // New statement-boundary state: invalidate reader caches,
+                // extend the oracle log and the catch-up mirror, publish
+                // the (now durable) units to every subscriber.
+                state.snaps.bump();
+                state.commit_seq.store(
+                    state.durable.next_txid().saturating_sub(1),
+                    Ordering::Release,
+                );
+                state
+                    .commit_log
+                    .extend(batch_units.iter().map(|u| u.text.clone()));
+                let dropped = state.hub.publish(&batch_units);
+                for label in dropped {
+                    eprintln!("cypher-serve: replica {label} dropped (feed backlog full)");
+                }
+                state.mirror.extend(batch_units);
             }
-            for (resp, outcome) in outcomes {
-                let _ = resp.send(outcome);
+            for ack in acks {
+                send_ack(ack, None);
             }
         }
-        Some(e) => {
+        Err(e) => {
             // The WAL rolled back to the durable horizon: nothing in this
-            // batch is durable, nothing is acknowledged as committed.
-            // Memory is ahead of the log until a checkpoint reconciles;
-            // readers may still observe the batch's effects, which is the
-            // documented sealed-state semantic (same as the embedded
-            // DurableGraph). The epoch still bumps so no reader keeps a
-            // pre-batch cache while the in-memory graph moved on.
-            if batch_updates {
-                snaps.bump();
+            // batch is durable, nothing is acknowledged as committed and
+            // nothing is shipped. Reopen so the in-memory graph matches
+            // the durable (== shipped) state — the legacy "sealed memory
+            // runs ahead until a checkpoint absorbs it" semantic would
+            // diverge every replica. The epoch bumps so no reader keeps a
+            // cache from the rolled-back window.
+            let msg = format!("group commit failed: {e}");
+            if let Err(reopen_err) = state.durable.reopen() {
+                // Could not rebuild from disk either; the handle stays
+                // sealed and every later write reports it.
+                eprintln!("cypher-serve: reopen after failed flush also failed: {reopen_err}");
             }
-            for (resp, outcome) in outcomes {
-                let downgraded = match outcome {
-                    WriteOutcome::Ok(_) => WriteOutcome::Storage(StorageError::Io(
-                        std::io::Error::other(format!("group commit failed: {e}")),
-                    )),
-                    other => other,
-                };
-                let _ = resp.send(downgraded);
+            state.snaps.bump();
+            state.commit_seq.store(
+                state.durable.next_txid().saturating_sub(1),
+                Ordering::Release,
+            );
+            for ack in acks {
+                send_ack(ack, Some(&msg));
             }
         }
+    }
+}
+
+/// Acknowledge one batch item. `downgrade` carries the group-commit
+/// failure message when the batch's flush failed: positive outcomes turn
+/// into storage errors (the work is gone), negatives pass through.
+fn send_ack(ack: PendingAck, downgrade: Option<&str>) {
+    match ack {
+        PendingAck::Write(resp, outcome) => {
+            let outcome = match (downgrade, outcome) {
+                (Some(msg), WriteOutcome::Ok(_)) => {
+                    WriteOutcome::Storage(StorageError::Io(std::io::Error::other(msg.to_owned())))
+                }
+                (_, other) => other,
+            };
+            let _ = resp.send(outcome);
+        }
+        PendingAck::Replicate(resp, outcome) => {
+            let outcome = match (downgrade, outcome) {
+                (Some(msg), ReplicaApply::Applied) => {
+                    ReplicaApply::Storage(StorageError::Io(std::io::Error::other(msg.to_owned())))
+                }
+                (_, other) => other,
+            };
+            let _ = resp.send(outcome);
+        }
+    }
+}
+
+/// Replay one shipped unit against the replica's graph, enforcing the
+/// sequence discipline: apply exactly at `next_txid`, skip duplicates,
+/// refuse gaps, and treat any execution difference as divergence.
+fn apply_shipped(state: &mut WorkerState, unit: &ShippedUnit) -> ReplicaApply {
+    let expected = state.durable.next_txid();
+    if unit.seq < expected {
+        return ReplicaApply::Skipped;
+    }
+    if unit.seq > expected {
+        return ReplicaApply::Gap { expected };
+    }
+    let engine = state
+        .replica_engines
+        .entry(unit.dialect)
+        .or_insert_with(|| EngineBuilder::new(dialect_from_byte(unit.dialect)).build())
+        .clone();
+    match state
+        .durable
+        .apply_buffered_logged(Some((unit.dialect, &unit.text)), |g| {
+            engine.run(g, &unit.text)
+        }) {
+        Ok((Ok(_), Some(seq))) if seq == unit.seq => ReplicaApply::Applied,
+        Ok((Ok(_), Some(seq))) => {
+            ReplicaApply::Diverged(format!("unit {} landed at local txid {seq}", unit.seq))
+        }
+        Ok((Ok(_), None)) => ReplicaApply::Diverged(format!(
+            "unit {} changed nothing here but committed a delta on the primary",
+            unit.seq
+        )),
+        Ok((Err(e), _)) => {
+            ReplicaApply::Diverged(format!("unit {} failed on the replica: {e}", unit.seq))
+        }
+        Err(e) => ReplicaApply::Storage(e),
     }
 }
 
@@ -381,7 +881,21 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let durable = DurableGraph::open(&dir).unwrap();
-        SharedStore::start(durable, queue, batch, inflight)
+        SharedStore::start(durable, queue, batch, inflight, Role::Primary)
+    }
+
+    fn worker_state(durable: DurableGraph) -> WorkerState {
+        WorkerState {
+            durable,
+            snaps: Arc::new(EpochSnapshots::new()),
+            hub: Arc::new(ReplicationHub::new(8)),
+            commit_seq: Arc::new(AtomicU64::new(0)),
+            primary_seen: Arc::new(AtomicU64::new(0)),
+            commit_log: Vec::new(),
+            mirror: Vec::new(),
+            mirror_base: 0,
+            replica_engines: HashMap::new(),
+        }
     }
 
     #[test]
@@ -400,6 +914,7 @@ mod tests {
         // Same epoch: second snapshot is the cached Arc, not a new clone.
         let again = store.snapshot().unwrap();
         assert!(Arc::ptr_eq(&snap, &again));
+        assert_eq!(store.commit_seq(), 1);
         store.shutdown();
     }
 
@@ -440,6 +955,8 @@ mod tests {
     /// batch, so statements that executed *earlier* in the same batch must
     /// not be acknowledged as `Ok` — their units are gone. Every statement
     /// of the batch reports a storage error and the commit log stays empty.
+    /// The worker reopens the store, so the in-memory graph rolls back to
+    /// the durable horizon instead of running ahead of it.
     #[test]
     fn midbatch_append_failure_downgrades_earlier_acks() {
         use cypher_storage::{FaultFs, FaultKind, OpKind};
@@ -452,19 +969,24 @@ mod tests {
         // commit unit; write 2 (the second statement's unit) fails and
         // rolls the file back to the durable horizon, taking write 1 too.
         let fault = FaultFs::fail_on(OpKind::Write, 2, FaultKind::ShortWrite);
-        let mut durable = DurableGraph::open_with(fault.arc(), &dir).unwrap();
-        let snaps = EpochSnapshots::new();
-        let mut commit_log = Vec::new();
+        let durable = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        let mut state = worker_state(durable);
         let engine = Engine::revised();
         let (tx_a, rx_a) = mpsc::sync_channel(1);
         let (tx_b, rx_b) = mpsc::sync_channel(1);
-        run_write_batch(
-            &mut durable,
-            &snaps,
-            &mut commit_log,
+        run_batch(
+            &mut state,
             vec![
-                ("CREATE (:A)".to_owned(), engine.clone(), tx_a),
-                ("CREATE (:B)".to_owned(), engine, tx_b),
+                BatchItem::Write {
+                    text: "CREATE (:A)".to_owned(),
+                    engine: engine.clone(),
+                    resp: tx_a,
+                },
+                BatchItem::Write {
+                    text: "CREATE (:B)".to_owned(),
+                    engine,
+                    resp: tx_b,
+                },
             ],
         );
         match rx_a.recv().unwrap() {
@@ -475,7 +997,185 @@ mod tests {
             WriteOutcome::Storage(_) => {}
             other => panic!("{other:?}"),
         }
-        assert!(commit_log.is_empty(), "nothing durable, nothing logged");
+        assert!(
+            state.commit_log.is_empty(),
+            "nothing durable, nothing logged"
+        );
+        assert!(state.mirror.is_empty(), "nothing durable, nothing shipped");
+        // The reopen rolled memory back to the durable horizon: the
+        // store's graph is empty again and accepts new writes.
+        assert_eq!(state.durable.graph().node_count(), 0);
+        assert!(!state.durable.is_sealed());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The replica path: shipped units apply in sequence; duplicates are
+    /// skipped, gaps refused, and the commit sequence tracks the tail.
+    #[test]
+    fn shipped_units_apply_in_sequence_with_skip_and_gap() {
+        let dir = std::env::temp_dir().join(format!(
+            "cypher-server-store-replica-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let durable = DurableGraph::open(&dir).unwrap();
+        let store = SharedStore::start(
+            durable,
+            16,
+            8,
+            8,
+            Role::Replica {
+                primary: "127.0.0.1:1".into(),
+            },
+        );
+        let unit = |seq: u64, text: &str| ShippedUnit {
+            seq,
+            dialect: 1,
+            text: text.to_owned(),
+        };
+        assert!(matches!(
+            store.replicate(unit(1, "CREATE (:A {id: 1})")).unwrap(),
+            ReplicaApply::Applied
+        ));
+        // A duplicate (reconnect overlap) is skipped, not re-applied.
+        assert!(matches!(
+            store.replicate(unit(1, "CREATE (:A {id: 1})")).unwrap(),
+            ReplicaApply::Skipped
+        ));
+        // A gap is refused before touching the graph.
+        assert!(matches!(
+            store.replicate(unit(5, "CREATE (:Z)")).unwrap(),
+            ReplicaApply::Gap { expected: 2 }
+        ));
+        assert!(matches!(
+            store.replicate(unit(2, "CREATE (:B {id: 2})")).unwrap(),
+            ReplicaApply::Applied
+        ));
+        assert_eq!(store.commit_seq(), 2);
+        assert_eq!(store.stats().primary_seen, 5);
+        let snap = store.snapshot().unwrap();
+        assert_eq!(snap.node_count(), 2);
+        store.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Subscribe hands out a gap-free backlog + live feed: units committed
+    /// before the subscribe arrive in the backlog, units after arrive on
+    /// the subscription channel, none arrive twice.
+    #[test]
+    fn subscribe_backlog_and_live_feed_are_gap_free() {
+        let store = temp_store("sub", 16, 8, 8);
+        let engine = Engine::revised();
+        store
+            .submit_write("CREATE (:A {id: 1})".into(), engine.clone())
+            .unwrap();
+        store
+            .submit_write("CREATE (:B {id: 2})".into(), engine.clone())
+            .unwrap();
+        let reply = store.subscribe("test-replica".into(), 0).unwrap().unwrap();
+        let SubscribeStart::Backlog(backlog) = reply.start else {
+            panic!("fresh store must serve catch-up from the mirror")
+        };
+        assert_eq!(
+            backlog.iter().map(|u| u.seq).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(reply.seq, 2);
+        store
+            .submit_write("CREATE (:C {id: 3})".into(), engine)
+            .unwrap();
+        let live = reply.sub.rx.recv().unwrap();
+        assert_eq!(live.seq, 3);
+        assert_eq!(live.text, "CREATE (:C {id: 3})");
+        assert_eq!(store.stats().replicas, vec![("test-replica".into(), 3)]);
+        store.shutdown();
+    }
+
+    /// A subscriber behind the mirror window gets a snapshot bootstrap,
+    /// and installing that snapshot on a fresh store reproduces the
+    /// primary's graph and sequence position.
+    #[test]
+    fn snapshot_bootstrap_rebases_a_fresh_replica() {
+        let primary = temp_store("boot-p", 16, 8, 8);
+        let engine = Engine::revised();
+        primary
+            .submit_write("CREATE (:A {id: 1})".into(), engine.clone())
+            .unwrap();
+        primary
+            .submit_write("CREATE (:B {id: 2})".into(), engine.clone())
+            .unwrap();
+        // Checkpoint, then restart the store: the new process's mirror
+        // starts at the checkpoint, so a from-zero subscriber is behind it.
+        primary.checkpoint().unwrap().unwrap();
+        primary
+            .submit_write("CREATE (:C {id: 3})".into(), engine.clone())
+            .unwrap();
+        primary.shutdown();
+        let dir =
+            std::env::temp_dir().join(format!("cypher-server-store-boot-p-{}", std::process::id()));
+        let durable = DurableGraph::open(&dir).unwrap();
+        let primary = SharedStore::start(durable, 16, 8, 8, Role::Primary);
+
+        let reply = primary.subscribe("newborn".into(), 0).unwrap().unwrap();
+        let SubscribeStart::Snapshot { seq, bytes } = reply.start else {
+            panic!("a from-zero subscriber is behind the restarted mirror")
+        };
+        assert_eq!(seq, 3);
+
+        let replica = temp_store("boot-r", 16, 8, 8);
+        assert_eq!(replica.install_snapshot(bytes).unwrap().unwrap(), 3);
+        assert_eq!(replica.commit_seq(), 3);
+        let p = primary.snapshot().unwrap();
+        let r = replica.snapshot().unwrap();
+        assert_eq!(graph_to_cypher(&p), graph_to_cypher(&r));
+        // The rebased replica tails from seq 4.
+        primary
+            .submit_write("CREATE (:D {id: 4})".into(), engine)
+            .unwrap();
+        let live = reply.sub.rx.recv().unwrap();
+        assert_eq!(live.seq, 4);
+        assert!(matches!(
+            replica.replicate(live).unwrap(),
+            ReplicaApply::Applied
+        ));
+        primary.shutdown();
+        replica.shutdown();
+    }
+
+    /// Fencing flips the role durably: the store refuses writes with the
+    /// typed fence error, and a restart comes back fenced no matter what
+    /// role the command line asks for.
+    #[test]
+    fn fence_refuses_writes_and_survives_restart() {
+        let store = temp_store("fence", 16, 8, 8);
+        let engine = Engine::revised();
+        store
+            .submit_write("CREATE (:A)".into(), engine.clone())
+            .unwrap();
+        store.fence(Some("10.0.0.9:7878".into())).unwrap().unwrap();
+        assert_eq!(store.role().get().as_u8(), 2);
+        match store
+            .submit_write("CREATE (:B)".into(), engine.clone())
+            .unwrap()
+        {
+            WriteOutcome::Storage(e) => assert!(e.is_fenced(), "{e}"),
+            other => panic!("fenced store must refuse writes: {other:?}"),
+        }
+        store.shutdown();
+        let dir =
+            std::env::temp_dir().join(format!("cypher-server-store-fence-{}", std::process::id()));
+        let durable = DurableGraph::open(&dir).unwrap();
+        // Ask for Primary; the durable fence wins.
+        let store = SharedStore::start(durable, 16, 8, 8, Role::Primary);
+        let role = store.role().get();
+        assert_eq!(role.as_u8(), 2);
+        assert_eq!(role.redirect(), Some("10.0.0.9:7878"));
+        match store.submit_write("CREATE (:C)".into(), engine).unwrap() {
+            WriteOutcome::Storage(e) => assert!(e.is_fenced(), "{e}"),
+            other => panic!("restarted zombie must stay fenced: {other:?}"),
+        }
+        store.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

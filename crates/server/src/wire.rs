@@ -23,6 +23,10 @@
 //! | `0x07` | Shutdown    | C→S | — (admin; refused unless enabled) |
 //! | `0x08` | DumpGraph   | C→S | — (canonical `CREATE` script of the graph) |
 //! | `0x09` | CommitLog   | C→S | — (committed statements, in commit order) |
+//! | `0x0A` | Subscribe   | C→S | `u64` from-sequence (replica tailer; terminal — the session becomes a unit stream) |
+//! | `0x0B` | Promote     | C→S | — (admin; replica → primary failover) |
+//! | `0x0C` | Stats       | C→S | — (role, epoch, sequence, queue depth, per-replica lag) |
+//! | `0x0D` | Fence       | C→S | new-primary address (admin; permanently write-fence this server) |
 //! | `0x81` | HelloOk     | S→C | `u16` version, `u64` session id, effective-limits string |
 //! | `0x82` | RunOk       | S→C | `u8` read-only flag, `u64` epoch, column names |
 //! | `0x83` | Rows        | S→C | row block, `u8` has-more flag, 7×`u64` update stats (nodes created, rels created, nodes deleted, rels deleted, props set, labels added, labels removed) |
@@ -31,6 +35,12 @@
 //! | `0x86` | Bye         | S→C | — (also acknowledges Shutdown) |
 //! | `0x87` | DumpOk      | S→C | script text |
 //! | `0x88` | LogOk       | S→C | statement list |
+//! | `0x89` | Unit        | S→C | `u64` sequence, `u8` dialect, statement text (one shipped commit unit) |
+//! | `0x8A` | Snapshot    | S→C | `u64` sequence, snapshot-file bytes (replica bootstrap) |
+//! | `0x8B` | SubscribeOk | S→C | `u64` current commit sequence (re-sent periodically as a keepalive/lag beacon) |
+//! | `0x8C` | StatsOk     | S→C | `u8` role, redirect addr, 4×`u64` (epoch, commit seq, queue depth, primary-seen seq), per-replica (addr, sent-seq) list |
+//! | `0x8D` | PromoteOk   | S→C | `u64` sequence the new primary starts from |
+//! | `0x8E` | FenceOk     | S→C | — |
 //! | `0x8F` | Error       | S→C | `u16` code, `u8` retryable, message, detail |
 //!
 //! Values use a tagged encoding covering the full
@@ -81,6 +91,22 @@ pub enum Request {
     Shutdown,
     DumpGraph,
     CommitLog,
+    /// Replica tailer handshake: stream committed units with sequence
+    /// numbers greater than `from`. Terminal — after `SubscribeOk` the
+    /// session speaks only `Snapshot`/`Unit`/`SubscribeOk` frames until the
+    /// connection closes.
+    Subscribe {
+        from: u64,
+    },
+    /// Admin (gated): turn this replica into a primary.
+    Promote,
+    /// Observability: role, epoch, commit sequence, queue depth, lag.
+    Stats,
+    /// Admin (gated): permanently write-fence this server. `new_primary`
+    /// (may be empty) is recorded in the durable fence marker.
+    Fence {
+        new_primary: String,
+    },
 }
 
 /// A server-to-client message.
@@ -117,6 +143,47 @@ pub enum Response {
     LogOk {
         statements: Vec<String>,
     },
+    /// One shipped commit unit (replication stream).
+    Unit {
+        seq: u64,
+        dialect: u8,
+        text: String,
+    },
+    /// Replica bootstrap payload: complete snapshot-file bytes covering
+    /// every unit up to and including `seq`; tailing resumes after it.
+    Snapshot {
+        seq: u64,
+        bytes: Vec<u8>,
+    },
+    /// Subscribe accepted; `seq` is the primary's current commit sequence.
+    /// Re-sent periodically on an idle stream as a keepalive, so a replica
+    /// can measure lag even when no units flow.
+    SubscribeOk {
+        seq: u64,
+    },
+    StatsOk {
+        /// 0 = primary, 1 = replica, 2 = fenced.
+        role: u8,
+        /// Where writes should go instead (replica/fenced); empty on a
+        /// primary.
+        redirect: String,
+        epoch: u64,
+        /// Highest committed (durable) sequence number.
+        commit_seq: u64,
+        /// Apply-queue depth (jobs submitted but not yet finished).
+        queue_len: u64,
+        /// Replica only: the primary's commit sequence as last observed on
+        /// the tail stream — `primary_seen - commit_seq` is applied lag.
+        primary_seen: u64,
+        /// Primary only: per-subscriber (address, highest sequence
+        /// enqueued) — `commit_seq - sent` is ship lag.
+        replicas: Vec<(String, u64)>,
+    },
+    PromoteOk {
+        /// Commit sequence the promoted primary starts accepting writes at.
+        seq: u64,
+    },
+    FenceOk,
     Error {
         code: ErrorCode,
         retryable: bool,
@@ -231,6 +298,11 @@ fn put_str_list(out: &mut Vec<u8>, items: &[String]) {
     }
 }
 
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
 /// Value tags (`0x00..=0x09`).
 fn put_value(out: &mut Vec<u8>, v: &Value) {
     match v {
@@ -340,6 +412,11 @@ impl<'a> Reader<'a> {
             .map_err(|_| WireError::protocol("string field is not UTF-8"))
     }
 
+    fn bytes(&mut self) -> WireResult<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
     fn str_list(&mut self) -> WireResult<Vec<String>> {
         let n = self.u32()? as usize;
         let mut out = Vec::with_capacity(n.min(4096));
@@ -438,6 +515,16 @@ impl Request {
             Request::Shutdown => put_u8(&mut out, 0x07),
             Request::DumpGraph => put_u8(&mut out, 0x08),
             Request::CommitLog => put_u8(&mut out, 0x09),
+            Request::Subscribe { from } => {
+                put_u8(&mut out, 0x0A);
+                put_u64(&mut out, *from);
+            }
+            Request::Promote => put_u8(&mut out, 0x0B),
+            Request::Stats => put_u8(&mut out, 0x0C),
+            Request::Fence { new_primary } => {
+                put_u8(&mut out, 0x0D);
+                put_str(&mut out, new_primary);
+            }
         }
         out
     }
@@ -461,6 +548,12 @@ impl Request {
             0x07 => Request::Shutdown,
             0x08 => Request::DumpGraph,
             0x09 => Request::CommitLog,
+            0x0A => Request::Subscribe { from: r.u64()? },
+            0x0B => Request::Promote,
+            0x0C => Request::Stats,
+            0x0D => Request::Fence {
+                new_primary: r.str()?,
+            },
             tag => {
                 return Err(WireError::protocol(format!(
                     "unknown request tag {tag:#04x}"
@@ -525,6 +618,48 @@ impl Response {
                 put_u8(&mut out, 0x88);
                 put_str_list(&mut out, statements);
             }
+            Response::Unit { seq, dialect, text } => {
+                put_u8(&mut out, 0x89);
+                put_u64(&mut out, *seq);
+                put_u8(&mut out, *dialect);
+                put_str(&mut out, text);
+            }
+            Response::Snapshot { seq, bytes } => {
+                put_u8(&mut out, 0x8A);
+                put_u64(&mut out, *seq);
+                put_bytes(&mut out, bytes);
+            }
+            Response::SubscribeOk { seq } => {
+                put_u8(&mut out, 0x8B);
+                put_u64(&mut out, *seq);
+            }
+            Response::StatsOk {
+                role,
+                redirect,
+                epoch,
+                commit_seq,
+                queue_len,
+                primary_seen,
+                replicas,
+            } => {
+                put_u8(&mut out, 0x8C);
+                put_u8(&mut out, *role);
+                put_str(&mut out, redirect);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *commit_seq);
+                put_u64(&mut out, *queue_len);
+                put_u64(&mut out, *primary_seen);
+                put_u32(&mut out, replicas.len() as u32);
+                for (addr, sent) in replicas {
+                    put_str(&mut out, addr);
+                    put_u64(&mut out, *sent);
+                }
+            }
+            Response::PromoteOk { seq } => {
+                put_u8(&mut out, 0x8D);
+                put_u64(&mut out, *seq);
+            }
+            Response::FenceOk => put_u8(&mut out, 0x8E),
             Response::Error {
                 code,
                 retryable,
@@ -583,6 +718,41 @@ impl Response {
             0x88 => Response::LogOk {
                 statements: r.str_list()?,
             },
+            0x89 => Response::Unit {
+                seq: r.u64()?,
+                dialect: r.u8()?,
+                text: r.str()?,
+            },
+            0x8A => Response::Snapshot {
+                seq: r.u64()?,
+                bytes: r.bytes()?,
+            },
+            0x8B => Response::SubscribeOk { seq: r.u64()? },
+            0x8C => {
+                let role = r.u8()?;
+                let redirect = r.str()?;
+                let epoch = r.u64()?;
+                let commit_seq = r.u64()?;
+                let queue_len = r.u64()?;
+                let primary_seen = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut replicas = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let addr = r.str()?;
+                    replicas.push((addr, r.u64()?));
+                }
+                Response::StatsOk {
+                    role,
+                    redirect,
+                    epoch,
+                    commit_seq,
+                    queue_len,
+                    primary_seen,
+                    replicas,
+                }
+            }
+            0x8D => Response::PromoteOk { seq: r.u64()? },
+            0x8E => Response::FenceOk,
             0x8F => Response::Error {
                 code: ErrorCode::from_u16(r.u16()?),
                 retryable: r.u8()? != 0,
@@ -640,9 +810,52 @@ mod tests {
             Request::Shutdown,
             Request::DumpGraph,
             Request::CommitLog,
+            Request::Subscribe { from: 42 },
+            Request::Promote,
+            Request::Stats,
+            Request::Fence {
+                new_primary: "127.0.0.1:7879".into(),
+            },
+            Request::Fence {
+                new_primary: String::new(),
+            },
         ] {
             roundtrip_req(req);
         }
+    }
+
+    #[test]
+    fn replication_responses_roundtrip() {
+        roundtrip_resp(Response::Unit {
+            seq: 9,
+            dialect: 1,
+            text: "CREATE (:N)".into(),
+        });
+        roundtrip_resp(Response::Snapshot {
+            seq: 17,
+            bytes: vec![0xCA, 0xFE, 0x00, 0x42],
+        });
+        roundtrip_resp(Response::SubscribeOk { seq: 0 });
+        roundtrip_resp(Response::StatsOk {
+            role: 1,
+            redirect: "10.0.0.1:7878".into(),
+            epoch: 3,
+            commit_seq: 120,
+            queue_len: 2,
+            primary_seen: 125,
+            replicas: vec![("10.0.0.2:51234".into(), 118)],
+        });
+        roundtrip_resp(Response::StatsOk {
+            role: 0,
+            redirect: String::new(),
+            epoch: 0,
+            commit_seq: 0,
+            queue_len: 0,
+            primary_seen: 0,
+            replicas: vec![],
+        });
+        roundtrip_resp(Response::PromoteOk { seq: 121 });
+        roundtrip_resp(Response::FenceOk);
     }
 
     #[test]

@@ -47,6 +47,11 @@ use crate::record::Record;
 use crate::recover::{recover_with, SNAPSHOT_FILE, WAL_FILE};
 use crate::wal::Wal;
 
+/// Durable fence marker: its presence means this data directory was the
+/// primary of a replication group that failed over, and must never ack
+/// another write. Contents: the promoted primary's address (may be empty).
+pub const FENCE_FILE: &str = "fence.bin";
+
 /// A [`PropertyGraph`] bound to a storage directory (`snapshot.bin` +
 /// `wal.bin`), with write-ahead logging of every committed mutation.
 #[derive(Debug)]
@@ -58,6 +63,15 @@ pub struct DurableGraph {
     fs: Arc<dyn StorageFs>,
     /// `Some(reason)` once a commit-unit failure sealed the handle.
     sealed: Option<String>,
+    /// `Some(new_primary)` once a failover fenced this directory. Unlike a
+    /// seal, a fence is durable (a marker file) and permanent — no
+    /// checkpoint clears it.
+    fenced: Option<Option<String>>,
+    /// `covered_txid` of the snapshot recovery started from.
+    recovered_base: u64,
+    /// `(txid, dialect, text)` statements recovered from the WAL, i.e. the
+    /// still-shippable commit-log suffix since the last checkpoint.
+    recovered_stmts: Vec<(u64, u8, String)>,
 }
 
 impl DurableGraph {
@@ -73,6 +87,7 @@ impl DurableGraph {
     /// the fault-injection entry point.
     pub fn open_with(fs: Arc<dyn StorageFs>, dir: &Path) -> Result<DurableGraph, StorageError> {
         fs.create_dir_all(dir)?;
+        let fenced = read_fence(fs.as_ref(), dir)?;
         let rec = recover_with(fs.as_ref(), dir)?;
         let wal_path = dir.join(WAL_FILE);
         let wal = match rec.wal_committed_len {
@@ -88,6 +103,9 @@ impl DurableGraph {
             next_txid: rec.last_txid + 1,
             fs,
             sealed: None,
+            fenced,
+            recovered_base: rec.covered_txid,
+            recovered_stmts: rec.statements,
         })
     }
 
@@ -122,12 +140,57 @@ impl DurableGraph {
     }
 
     fn check_sealed(&self) -> Result<(), StorageError> {
+        self.check_fenced()?;
         match &self.sealed {
             Some(reason) => Err(StorageError::Sealed {
                 reason: reason.clone(),
             }),
             None => Ok(()),
         }
+    }
+
+    fn check_fenced(&self) -> Result<(), StorageError> {
+        match &self.fenced {
+            Some(new_primary) => Err(StorageError::Fenced {
+                new_primary: new_primary.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Is the handle fenced after a failover?
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.is_some()
+    }
+
+    /// Address of the promoted primary, when the fencer supplied one.
+    pub fn fence_target(&self) -> Option<&str> {
+        self.fenced.as_ref().and_then(|t| t.as_deref())
+    }
+
+    /// Fence this data directory: refuse every future write, durably.
+    ///
+    /// The in-memory fence takes effect *before* the marker file is
+    /// staged, so even if persisting the marker fails (the error is
+    /// returned) this handle can no longer ack a write; only the
+    /// restart-survives-fencing guarantee is weakened in that case.
+    /// Idempotent; a later fence may add a `new_primary` a first one
+    /// lacked, but never clears one.
+    pub fn fence(&mut self, new_primary: Option<&str>) -> Result<(), StorageError> {
+        match &mut self.fenced {
+            Some(existing) => {
+                if existing.is_none() {
+                    *existing = new_primary.map(str::to_owned);
+                }
+            }
+            None => self.fenced = Some(new_primary.map(str::to_owned)),
+        }
+        let path = self.dir.join(FENCE_FILE);
+        let mut f = self.fs.create(&path)?;
+        f.write_all(new_primary.unwrap_or("").as_bytes())?;
+        f.sync_data()?;
+        let _ = self.fs.sync_dir(&self.dir);
+        Ok(())
     }
 
     /// Run a mutation (typically one engine statement) against the graph
@@ -165,6 +228,24 @@ impl DurableGraph {
         &mut self,
         f: impl FnOnce(&mut PropertyGraph) -> Result<T, E>,
     ) -> Result<Result<T, E>, StorageError> {
+        Ok(self.apply_buffered_logged(None, f)?.0)
+    }
+
+    /// [`apply_buffered`](DurableGraph::apply_buffered) with statement
+    /// provenance: when `stmt` is `Some((dialect, text))` and the closure
+    /// produced a non-empty delta, a [`Record::Stmt`] carrying the source
+    /// statement is written as the unit's first record — same unit, same
+    /// single fsync at the next flush. Replication ships these recovered
+    /// statements; state replay skips them.
+    ///
+    /// Also reports the txid the unit was appended under (`None` when the
+    /// delta was empty and nothing was logged) — the sequence number a
+    /// replication hub publishes for this commit.
+    pub fn apply_buffered_logged<T, E>(
+        &mut self,
+        stmt: Option<(u8, &str)>,
+        f: impl FnOnce(&mut PropertyGraph) -> Result<T, E>,
+    ) -> Result<(Result<T, E>, Option<u64>), StorageError> {
         self.check_sealed()?;
         debug_assert_eq!(
             self.graph.journal_len(),
@@ -180,13 +261,21 @@ impl DurableGraph {
                 "closure left an uncommitted transaction",
             )));
         }
+        let mut logged = None;
         if !self.graph.delta().is_empty() {
-            let records: Vec<Record> = self
-                .graph
-                .delta()
-                .iter()
-                .map(|op| Record::from_delta(op, &self.graph))
-                .collect();
+            let mut records: Vec<Record> = Vec::with_capacity(self.graph.delta().len() + 1);
+            if let Some((dialect, text)) = stmt {
+                records.push(Record::Stmt {
+                    dialect,
+                    text: text.to_owned(),
+                });
+            }
+            records.extend(
+                self.graph
+                    .delta()
+                    .iter()
+                    .map(|op| Record::from_delta(op, &self.graph)),
+            );
             let txid = self.next_txid;
             if let Err(e) = self.wal.append_commit_unit_buffered(txid, &records) {
                 // Memory is ahead of the log — and the failed write rolled
@@ -198,8 +287,9 @@ impl DurableGraph {
             }
             self.next_txid += 1;
             self.graph.clear_delta();
+            logged = Some(txid);
         }
-        Ok(out)
+        Ok((out, logged))
     }
 
     /// Fsync the group-commit window opened by
@@ -327,6 +417,84 @@ impl DurableGraph {
         self.graph.disable_delta_capture();
         Ok(self.graph)
     }
+
+    /// `covered_txid` of the snapshot this handle recovered from: units at
+    /// or below it have no recoverable statement text.
+    pub fn recovered_base(&self) -> u64 {
+        self.recovered_base
+    }
+
+    /// Take the `(txid, dialect, text)` statements recovered from the WAL
+    /// (the commit-log suffix since the last checkpoint). A server's apply
+    /// worker seeds its in-memory statement mirror from this once.
+    pub fn take_recovered_statements(&mut self) -> Vec<(u64, u8, String)> {
+        std::mem::take(&mut self.recovered_stmts)
+    }
+
+    /// Discard in-memory state and re-run recovery from disk, rolling the
+    /// graph back to the durable horizon.
+    ///
+    /// This is the replication-safe alternative to seal-then-checkpoint: a
+    /// checkpoint on a sealed handle folds never-logged (and therefore
+    /// never-shipped) mutations into the snapshot, silently diverging any
+    /// replica. Reopening instead forgets exactly the units that were
+    /// never acked and never shipped. On failure the handle stays sealed
+    /// and keeps refusing writes. A fence always survives (it is re-read
+    /// from its marker file).
+    pub fn reopen(&mut self) -> Result<(), StorageError> {
+        let fresh = DurableGraph::open_with(Arc::clone(&self.fs), &self.dir)?;
+        *self = fresh;
+        Ok(())
+    }
+
+    /// Complete snapshot-file bytes of the current graph, covering every
+    /// unit this handle has committed — the bootstrap payload shipped to a
+    /// replica too far behind for log catch-up. Returns `(covered_txid,
+    /// bytes)`.
+    pub fn encode_snapshot_bytes(&self) -> Result<(u64, Vec<u8>), StorageError> {
+        let covered = self.next_txid - 1;
+        let bytes = crate::snapshot::encode_bytes(&self.graph, covered)?;
+        Ok((covered, bytes))
+    }
+
+    /// Replace this handle's entire state with a shipped snapshot payload
+    /// (see [`encode_snapshot_bytes`](DurableGraph::encode_snapshot_bytes)).
+    ///
+    /// The payload is decoded (strict CRC) *before* anything durable
+    /// changes; it is then staged to `snapshot.bin` with the atomic
+    /// checkpoint sequence and the WAL is truncated, so a crash at any
+    /// point recovers either the old state or the new one, never a blend.
+    /// Clears a seal (the installed state is self-contained); refused on a
+    /// fenced handle. Returns the snapshot's `covered_txid` — the sequence
+    /// number tailing resumes from.
+    pub fn install_snapshot(&mut self, bytes: &[u8]) -> Result<u64, StorageError> {
+        self.check_fenced()?;
+        let loaded = crate::snapshot::decode_bytes(bytes)?;
+        crate::snapshot::write_bytes(self.fs.as_ref(), bytes, &self.dir.join(SNAPSHOT_FILE))?;
+        if let Err(e) = self.wal.reset() {
+            self.seal(format!("WAL truncation after snapshot install failed: {e}"));
+            return Err(StorageError::Io(e));
+        }
+        let mut graph = loaded.graph;
+        graph.enable_delta_capture();
+        self.graph = graph;
+        self.next_txid = loaded.covered_txid + 1;
+        self.recovered_base = loaded.covered_txid;
+        self.recovered_stmts.clear();
+        self.sealed = None;
+        Ok(loaded.covered_txid)
+    }
+}
+
+/// Read the fence marker, if present. Absence is the normal case.
+fn read_fence(fs: &dyn StorageFs, dir: &Path) -> Result<Option<Option<String>>, StorageError> {
+    let path = dir.join(FENCE_FILE);
+    if !fs.exists(&path) {
+        return Ok(None);
+    }
+    let bytes = fs.read(&path)?;
+    let addr = String::from_utf8_lossy(&bytes).trim().to_owned();
+    Ok(Some(if addr.is_empty() { None } else { Some(addr) }))
 }
 
 #[cfg(test)]
@@ -645,6 +813,162 @@ mod tests {
         d.flush().unwrap();
         d.apply(create_one).unwrap().unwrap();
         assert_eq!(d.pending_bytes(), 0, "apply flushes its own unit");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Statement provenance rides inside the commit unit and is recovered
+    /// on reopen; state replay is unaffected.
+    #[test]
+    fn logged_statements_are_recovered_in_order() {
+        let dir = tmpdir("stmtlog");
+        let mut d = DurableGraph::open(&dir).unwrap();
+        for (i, text) in ["CREATE (:A)", "CREATE (:B)"].iter().enumerate() {
+            let (out, txid) = d
+                .apply_buffered_logged(Some((1, text)), create_one)
+                .unwrap();
+            out.unwrap();
+            assert_eq!(txid, Some(i as u64 + 1));
+        }
+        // A statement with an empty delta logs nothing.
+        let (_, txid) = d
+            .apply_buffered_logged(Some((1, "MATCH (n) RETURN n")), |_g| {
+                Ok::<(), GraphError>(())
+            })
+            .unwrap();
+        assert_eq!(txid, None);
+        d.flush().unwrap();
+        drop(d);
+
+        let mut d = DurableGraph::open(&dir).unwrap();
+        assert_eq!(d.graph().node_count(), 2);
+        assert_eq!(d.recovered_base(), 0);
+        assert_eq!(
+            d.take_recovered_statements(),
+            vec![
+                (1, 1, "CREATE (:A)".to_owned()),
+                (2, 1, "CREATE (:B)".to_owned()),
+            ]
+        );
+        assert!(d.take_recovered_statements().is_empty(), "take drains");
+
+        // A checkpoint absorbs the units; their text is gone afterwards.
+        d.checkpoint().unwrap();
+        drop(d);
+        let mut d = DurableGraph::open(&dir).unwrap();
+        assert_eq!(d.recovered_base(), 2);
+        assert!(d.take_recovered_statements().is_empty());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A fence refuses writes with the typed error, survives reopen via its
+    /// marker file, and is NOT cleared by a checkpoint.
+    #[test]
+    fn fence_is_durable_and_checkpoint_does_not_clear_it() {
+        let dir = tmpdir("fence");
+        let mut d = DurableGraph::open(&dir).unwrap();
+        d.apply(create_one).unwrap().unwrap();
+        d.fence(Some("10.0.0.2:7878")).unwrap();
+        assert!(d.is_fenced());
+        assert_eq!(d.fence_target(), Some("10.0.0.2:7878"));
+
+        let err = d.apply(create_one).unwrap_err();
+        assert!(matches!(
+            &err,
+            StorageError::Fenced { new_primary: Some(a) } if a == "10.0.0.2:7878"
+        ));
+        assert!(err.is_fenced() && !err.is_sealed());
+
+        // Checkpoint still works (shutdown path) but does not unfence.
+        d.checkpoint().unwrap();
+        assert!(d.is_fenced());
+        assert!(d.apply(create_one).unwrap_err().is_fenced());
+        drop(d);
+
+        // The zombie restarts: still fenced, reads intact.
+        let mut d = DurableGraph::open(&dir).unwrap();
+        assert!(d.is_fenced());
+        assert_eq!(d.fence_target(), Some("10.0.0.2:7878"));
+        assert_eq!(d.graph().node_count(), 1);
+        assert!(d.apply(create_one).unwrap_err().is_fenced());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// The in-memory fence holds even when persisting the marker fails.
+    #[test]
+    fn fence_refuses_writes_even_if_marker_write_fails() {
+        let dir = tmpdir("fencefault");
+        drop(DurableGraph::open(&dir).unwrap());
+        let fault = FaultFs::fail_on(OpKind::Create, 0, FaultKind::NoSpace);
+        let mut d = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        assert!(d.fence(None).is_err(), "marker write failed");
+        assert!(d.is_fenced(), "process-local fence still holds");
+        assert!(d.apply(create_one).unwrap_err().is_fenced());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// install_snapshot replaces graph + WAL with the shipped state and
+    /// re-bases the txid counter; a corrupt payload changes nothing.
+    #[test]
+    fn install_snapshot_rebases_onto_shipped_state() {
+        let primary_dir = tmpdir("shipsrc");
+        let replica_dir = tmpdir("shipdst");
+        let mut primary = DurableGraph::open(&primary_dir).unwrap();
+        for _ in 0..4 {
+            primary.apply(create_one).unwrap().unwrap();
+        }
+        let (covered, bytes) = primary.encode_snapshot_bytes().unwrap();
+        assert_eq!(covered, 4);
+
+        let mut replica = DurableGraph::open(&replica_dir).unwrap();
+        replica.apply(create_one).unwrap().unwrap(); // stale local state
+
+        // Corrupt payload: typed error, local state untouched.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(replica.install_snapshot(&bad).is_err());
+        assert_eq!(replica.graph().node_count(), 1);
+
+        assert_eq!(replica.install_snapshot(&bytes).unwrap(), 4);
+        assert_eq!(replica.next_txid(), 5);
+        assert!(isomorphic(primary.graph(), replica.graph()));
+
+        // Tail from here: the next unit gets txid 5, and everything
+        // survives a replica restart.
+        replica.apply(create_one).unwrap().unwrap();
+        let before = replica.graph().clone();
+        drop(replica);
+        let replica = DurableGraph::open(&replica_dir).unwrap();
+        assert!(isomorphic(&before, replica.graph()));
+        assert_eq!(replica.next_txid(), 6);
+        std::fs::remove_dir_all(primary_dir).unwrap();
+        std::fs::remove_dir_all(replica_dir).unwrap();
+    }
+
+    /// `reopen` rolls memory back to the durable horizon after a failed
+    /// flush — the replication-safe alternative to seal-then-checkpoint.
+    #[test]
+    fn reopen_rolls_back_to_durable_horizon() {
+        let dir = tmpdir("reopenroll");
+        let mut d = DurableGraph::open(&dir).unwrap();
+        d.apply(create_one).unwrap().unwrap();
+        drop(d);
+
+        let counting = FaultFs::counting();
+        drop(DurableGraph::open_with(counting.arc(), &dir).unwrap());
+        let open_ops = counting.ops();
+
+        let fault = FaultFs::fail_at(open_ops + 1);
+        let mut d = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        d.apply(create_one).unwrap_err();
+        assert!(d.is_sealed());
+        assert_eq!(d.graph().node_count(), 2, "memory ran ahead");
+
+        d.reopen().unwrap();
+        assert!(!d.is_sealed());
+        assert_eq!(d.graph().node_count(), 1, "memory back at durable state");
+        d.apply(create_one).unwrap().unwrap();
+        assert_eq!(d.graph().node_count(), 2);
         std::fs::remove_dir_all(dir).unwrap();
     }
 

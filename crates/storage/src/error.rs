@@ -16,6 +16,14 @@ pub enum StorageError {
         /// What sealed it — the original failure, for diagnostics.
         reason: String,
     },
+    /// The handle is fenced: a failover demoted this data directory and a
+    /// durable marker forbids it from ever acking another write. Unlike
+    /// [`StorageError::Sealed`], a checkpoint does *not* clear a fence —
+    /// only wiping the data directory (rejoining as a fresh replica) does.
+    Fenced {
+        /// Address of the promoted primary, when the fencer supplied one.
+        new_primary: Option<String>,
+    },
     /// An I/O error from the underlying [`StorageFs`](crate::fs::StorageFs).
     Io(io::Error),
 }
@@ -23,6 +31,10 @@ pub enum StorageError {
 impl StorageError {
     pub fn is_sealed(&self) -> bool {
         matches!(self, StorageError::Sealed { .. })
+    }
+
+    pub fn is_fenced(&self) -> bool {
+        matches!(self, StorageError::Fenced { .. })
     }
 }
 
@@ -34,6 +46,18 @@ impl fmt::Display for StorageError {
                 "storage handle is sealed read-only ({reason}); \
                  checkpoint to reconcile, or reopen to recover"
             ),
+            StorageError::Fenced { new_primary } => match new_primary {
+                Some(addr) => write!(
+                    f,
+                    "storage handle is fenced after failover (new primary: {addr}); \
+                     wipe the data directory to rejoin as a replica"
+                ),
+                None => write!(
+                    f,
+                    "storage handle is fenced after failover; \
+                     wipe the data directory to rejoin as a replica"
+                ),
+            },
             StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
         }
     }
@@ -42,7 +66,7 @@ impl fmt::Display for StorageError {
 impl std::error::Error for StorageError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            StorageError::Sealed { .. } => None,
+            StorageError::Sealed { .. } | StorageError::Fenced { .. } => None,
             StorageError::Io(e) => Some(e),
         }
     }

@@ -41,7 +41,7 @@ pub mod recover;
 pub mod snapshot;
 pub mod wal;
 
-pub use durable::DurableGraph;
+pub use durable::{DurableGraph, FENCE_FILE};
 pub use error::StorageError;
 pub use fs::{FaultFs, FaultKind, OpKind, RealFs, StorageFile, StorageFs};
 pub use record::Record;

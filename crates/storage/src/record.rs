@@ -43,6 +43,15 @@ pub enum Record {
     Commit {
         txid: u64,
     },
+    /// The source statement that produced this unit, written by the server
+    /// as the unit's first record. Replay for *state* skips it (the
+    /// mutation records that follow are authoritative); replication and the
+    /// commit-log oracle recover it to re-ship or re-run the statement.
+    Stmt {
+        /// Dialect byte as the server encodes it (0 = Cypher 9, 1 = revised).
+        dialect: u8,
+        text: String,
+    },
     CreateNode {
         id: u64,
         labels: Vec<String>,
@@ -80,6 +89,7 @@ pub enum Record {
 // Record tags. Gaps are deliberate headroom for future record kinds.
 const TAG_BEGIN: u8 = 0x01;
 const TAG_COMMIT: u8 = 0x02;
+const TAG_STMT: u8 = 0x03;
 const TAG_CREATE_NODE: u8 = 0x10;
 const TAG_CREATE_REL: u8 = 0x11;
 const TAG_DELETE_NODE: u8 = 0x12;
@@ -291,6 +301,11 @@ impl Record {
                 buf.push(TAG_COMMIT);
                 put_u64(buf, *txid);
             }
+            Record::Stmt { dialect, text } => {
+                buf.push(TAG_STMT);
+                buf.push(*dialect);
+                put_str(buf, text);
+            }
             Record::CreateNode { id, labels, props } => {
                 buf.push(TAG_CREATE_NODE);
                 put_u64(buf, *id);
@@ -360,6 +375,10 @@ impl Record {
         let record = match r.u8()? {
             TAG_BEGIN => Record::Begin { txid: r.u64()? },
             TAG_COMMIT => Record::Commit { txid: r.u64()? },
+            TAG_STMT => Record::Stmt {
+                dialect: r.u8()?,
+                text: r.str()?,
+            },
             TAG_CREATE_NODE => Record::CreateNode {
                 id: r.u64()?,
                 labels: r.strings()?,
@@ -461,6 +480,14 @@ mod tests {
     fn all_variants_round_trip() {
         round_trip(Record::Begin { txid: 7 });
         round_trip(Record::Commit { txid: u64::MAX });
+        round_trip(Record::Stmt {
+            dialect: 1,
+            text: "CREATE (:User {name: 'Ann'})".into(),
+        });
+        round_trip(Record::Stmt {
+            dialect: 0,
+            text: String::new(),
+        });
         round_trip(Record::CreateNode {
             id: 3,
             labels: vec!["User".into(), "Vendor".into()],

@@ -51,6 +51,15 @@ pub struct Recovered {
     pub replayed: usize,
     /// Torn-tail diagnostic from the WAL scan, if any.
     pub torn: Option<String>,
+    /// `covered_txid` of the snapshot this recovery started from (0 when
+    /// there was no snapshot). Units at or below this horizon have been
+    /// folded into the snapshot and their statement text is gone.
+    pub covered_txid: u64,
+    /// Statement texts recovered from [`Record::Stmt`] records in replayed
+    /// units, as `(txid, dialect, text)`, in log order. This is the
+    /// still-shippable suffix of the commit log: everything newer than the
+    /// last checkpoint.
+    pub statements: Vec<(u64, u8, String)>,
 }
 
 /// Recover the last committed graph from `dir` via the real filesystem.
@@ -79,6 +88,7 @@ pub fn recover_with(fs: &dyn StorageFs, dir: &Path) -> io::Result<Recovered> {
     let mut replayed = 0;
     let mut wal_committed_len = None;
     let mut torn = None;
+    let mut statements = Vec::new();
     if fs.exists(&wal_path) {
         let scan = wal::scan(fs, &wal_path)?;
         for (txid, ops) in &scan.units {
@@ -86,6 +96,11 @@ pub fn recover_with(fs: &dyn StorageFs, dir: &Path) -> io::Result<Recovered> {
                 continue; // already folded into the snapshot
             }
             replay_unit(&mut graph, *txid, ops)?;
+            for op in ops {
+                if let Record::Stmt { dialect, text } = op {
+                    statements.push((*txid, *dialect, text.clone()));
+                }
+            }
             last_txid = *txid;
             replayed += 1;
         }
@@ -101,6 +116,8 @@ pub fn recover_with(fs: &dyn StorageFs, dir: &Path) -> io::Result<Recovered> {
         wal_committed_len,
         replayed,
         torn,
+        covered_txid,
+        statements,
     })
 }
 
@@ -119,6 +136,9 @@ fn apply(g: &mut PropertyGraph, op: &Record) -> Result<(), String> {
         Record::Begin { .. } | Record::Commit { .. } => {
             return Err("boundary marker inside a unit".into())
         }
+        // Statement provenance, not state: the mutation records that follow
+        // are authoritative for replay.
+        Record::Stmt { .. } => {}
         Record::CreateNode { id, labels, props } => {
             if g.contains_node(NodeId(*id)) {
                 return Err(format!("node {id} already exists"));

@@ -116,6 +116,20 @@ fn encode_body(g: &PropertyGraph, covered_txid: u64) -> io::Result<Vec<u8>> {
     Ok(b)
 }
 
+/// Serialize `g` into complete snapshot-file bytes (magic + CRC + body).
+///
+/// This is the exact byte sequence [`write`] stages to disk; replication
+/// ships it over the wire as the bootstrap payload for a replica that is
+/// too far behind to catch up from the retained log.
+pub fn encode_bytes(g: &PropertyGraph, covered_txid: u64) -> io::Result<Vec<u8>> {
+    let body = encode_body(g, covered_txid)?;
+    let mut out = Vec::with_capacity(MAGIC.len() + 4 + body.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
 /// Write a snapshot of `g` to `path`, atomically. `covered_txid` is the
 /// highest WAL transaction already reflected in `g`; recovery uses it to
 /// skip WAL units the snapshot has absorbed (the crash window between
@@ -131,13 +145,19 @@ pub fn write(
     path: &Path,
     covered_txid: u64,
 ) -> io::Result<()> {
-    let body = encode_body(g, covered_txid)?;
+    let bytes = encode_bytes(g, covered_txid)?;
+    write_bytes(fs, &bytes, path)
+}
+
+/// Stage pre-encoded snapshot bytes to `path` with the same atomic
+/// tmp + fsync + rename + dir-sync sequence as [`write`]. The bytes must
+/// be a complete snapshot file (e.g. from [`encode_bytes`]); a replica
+/// installing a shipped bootstrap payload uses this directly.
+pub fn write_bytes(fs: &dyn StorageFs, bytes: &[u8], path: &Path) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
     let staged = (|| -> io::Result<()> {
         let mut f = fs.create(&tmp)?;
-        f.write_all(MAGIC)?;
-        f.write_all(&crc32(&body).to_le_bytes())?;
-        f.write_all(&body)?;
+        f.write_all(bytes)?;
         f.sync_data()?;
         Ok(())
     })();
@@ -172,16 +192,20 @@ pub struct Loaded {
 /// that must be surfaced, not silently repaired around.
 pub fn load(fs: &dyn StorageFs, path: &Path) -> io::Result<Loaded> {
     let data = fs.read(path)?;
+    decode_bytes(&data).map_err(|e| corrupt(format!("snapshot {}: {e}", path.display())))
+}
+
+/// Decode complete snapshot-file bytes (magic + CRC + body) into a graph.
+/// Strict like [`load`]: bad magic, CRC mismatch, or trailing bytes are
+/// all errors — a shipped bootstrap payload gets no more trust than a file.
+pub fn decode_bytes(data: &[u8]) -> io::Result<Loaded> {
     if data.len() < MAGIC.len() + 4 || &data[..MAGIC.len()] != MAGIC {
-        return Err(corrupt(format!(
-            "{} is not a snapshot file (bad magic)",
-            path.display()
-        )));
+        return Err(corrupt("not a snapshot (bad magic)"));
     }
     let crc = u32::from_le_bytes(arr(&data[MAGIC.len()..MAGIC.len() + 4]));
     let body = &data[MAGIC.len() + 4..];
     if crc32(body) != crc {
-        return Err(corrupt(format!("snapshot {} fails CRC", path.display())));
+        return Err(corrupt("snapshot fails CRC"));
     }
 
     let mut r = Reader::new(body);

@@ -37,6 +37,22 @@ loadtest addr="127.0.0.1:7878" n="500" threads="8":
     cargo run -p cypher-server --bin cypher-client --release --offline -q -- \
         --addr {{addr}} --load {{n}} --threads {{threads}} --out BENCH_5.json
 
+# Serve a read replica tailing a running primary: catches up (backlog or
+# snapshot bootstrap), applies the live stream, answers reads wait-free
+# and refuses writes with a redirect. `--allow-admin` so a later
+# `cypher-client --addr {{addr}} --promote` can fail it over.
+replicate primary="127.0.0.1:7878" data="./replicadb" addr="127.0.0.1:7879":
+    cargo run -p cypher-server --bin cypher-serve --release --offline -q -- \
+        --data {{data}} --addr {{addr}} --replica-of {{primary}} --allow-admin
+
+# Replication load test against a running primary+replica pair: writes to
+# the primary, reads against the replica, maximum replication lag and
+# convergence time recorded to BENCH_6.json.
+loadtest-replica addr="127.0.0.1:7878" read="127.0.0.1:7879" n="500" threads="8":
+    cargo run -p cypher-server --bin cypher-client --release --offline -q -- \
+        --addr {{addr}} --read-addr {{read}} --load {{n}} --threads {{threads}} \
+        --out BENCH_6.json
+
 # Scoped lint: the storage crate bans unwrap()/expect() outside tests.
 clippy-storage:
     cargo clippy -p cypher-storage --offline -- -D warnings

@@ -90,6 +90,93 @@ server_roundtrip() {
 }
 run "server round trip" server_roundtrip
 
+# Wait for a cypher-serve log to report its bound address; prints it.
+serve_addr() {
+    _log=$1
+    _addr=""
+    _tries=0
+    while [ -z "$_addr" ] && [ "$_tries" -lt 100 ]; do
+        _addr=$(sed -n 's/^listening on //p' "$_log" 2>/dev/null | head -n 1)
+        [ -z "$_addr" ] && { _tries=$((_tries + 1)); sleep 0.1; }
+    done
+    [ -n "$_addr" ] && printf '%s\n' "$_addr"
+}
+
+# Replication round trip: primary + replica over real sockets, writes
+# through the primary, byte-identical dumps after catch-up, failover by
+# promotion, and a durable fence on the restarted old primary. Also
+# exercises SIGTERM as a clean shutdown (both kills below expect exit 0).
+replication_roundtrip() {
+    work=$(mktemp -d) || return 1
+    cargo build -q --offline -p cypher-server || return 1
+    status=1
+    a_pid=""
+    b_pid=""
+    while :; do # single-pass loop so failures can `break` to cleanup
+        ./target/debug/cypher-serve --data "$work/a" --addr 127.0.0.1:0 \
+            --allow-admin >"$work/a.log" 2>&1 &
+        a_pid=$!
+        a_addr=$(serve_addr "$work/a.log") || break
+        ./target/debug/cypher-serve --data "$work/b" --addr 127.0.0.1:0 \
+            --replica-of "$a_addr" --allow-admin >"$work/b.log" 2>&1 &
+        b_pid=$!
+        b_addr=$(serve_addr "$work/b.log") || break
+
+        ./target/debug/cypher-client --addr "$a_addr" \
+            --run "CREATE (a:City {name: 'Malmo'})-[:IN]->(:Country {name: 'Sweden'})" \
+            --run "MERGE ALL (:City {name: 'Berlin'})" \
+            --run "MATCH (c:City {name: 'Berlin'}) SET c.pop = 3700000" \
+            >/dev/null || break
+        target=$(./target/debug/cypher-client --addr "$a_addr" --stats \
+            | sed -n 's/^commit-seq: //p') || break
+
+        # Catch-up: poll the replica's commit sequence up to 10s.
+        caught=""
+        tries=0
+        while [ -z "$caught" ] && [ "$tries" -lt 100 ]; do
+            seq=$(./target/debug/cypher-client --addr "$b_addr" --stats 2>/dev/null \
+                | sed -n 's/^commit-seq: //p')
+            [ "${seq:-0}" -ge "$target" ] 2>/dev/null && caught=yes
+            [ -z "$caught" ] && { tries=$((tries + 1)); sleep 0.1; }
+        done
+        [ -n "$caught" ] || { echo "replica never caught up" >&2; break; }
+
+        ./target/debug/cypher-client --addr "$a_addr" --dump >"$work/a.dump" || break
+        ./target/debug/cypher-client --addr "$b_addr" --dump >"$work/b.dump" || break
+        cmp -s "$work/a.dump" "$work/b.dump" \
+            || { echo "primary and replica dumps differ" >&2; break; }
+
+        # Failover: kill the primary (SIGTERM must exit cleanly), promote
+        # the replica, and prove it now takes writes.
+        kill "$a_pid" && wait "$a_pid" || { echo "primary SIGTERM exit != 0" >&2; a_pid=""; break; }
+        a_pid=""
+        ./target/debug/cypher-client --addr "$b_addr" --promote >/dev/null || break
+        ./target/debug/cypher-client --addr "$b_addr" \
+            --run "CREATE (:AfterFailover {ok: true})" >/dev/null || break
+
+        # The restarted old primary is fenced by the operator runbook step
+        # and must refuse every write with the typed redirect, durably.
+        ./target/debug/cypher-serve --data "$work/a" --addr 127.0.0.1:0 \
+            --allow-admin >"$work/a2.log" 2>&1 &
+        a_pid=$!
+        a2_addr=$(serve_addr "$work/a2.log") || break
+        ./target/debug/cypher-client --addr "$a2_addr" --fence "$b_addr" >/dev/null || break
+        ./target/debug/cypher-client --addr "$a2_addr" \
+            --expect-error "CREATE (:Zombie)" >/dev/null \
+            || { echo "fenced old primary accepted a write" >&2; break; }
+        ./target/debug/cypher-client --addr "$a2_addr" --stats \
+            | grep -q '^role: fenced$' || { echo "old primary not fenced" >&2; break; }
+
+        status=0
+        break
+    done
+    [ -n "$a_pid" ] && { kill "$a_pid" 2>/dev/null; wait "$a_pid" || status=1; }
+    [ -n "$b_pid" ] && { kill "$b_pid" 2>/dev/null; wait "$b_pid" || status=1; }
+    rm -rf "$work"
+    return "$status"
+}
+run "replication round trip" replication_roundtrip
+
 if cargo fmt --version >/dev/null 2>&1; then
     run "fmt" cargo fmt --all --check
 else
@@ -101,7 +188,7 @@ if cargo clippy --version >/dev/null 2>&1; then
     # These crates additionally deny unwrap/expect in non-test code
     # (scoped #![deny] in their lib.rs); lint them on their own so a
     # workspace-level allow can never mask a regression.
-    run "clippy (unwrap ban)" cargo clippy -p cypher-storage -p cypher-parser -p cypher-graph -p cypher-core -p cypher-analysis -p cypher-server -p cypher-bench -p cypher-datagen --offline -- -D warnings
+    run "clippy (unwrap ban)" cargo clippy -p cypher-storage -p cypher-parser -p cypher-graph -p cypher-core -p cypher-analysis -p cypher-server -p cypher-replication -p cypher-bench -p cypher-datagen --offline -- -D warnings
 else
     skip "clippy" "clippy not installed"
 fi
