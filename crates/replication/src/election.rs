@@ -1,0 +1,82 @@
+//! Deterministic leader election over a known peer set.
+//!
+//! When a replica's lease on the primary expires, it gathers candidates —
+//! itself plus every configured peer that answers a `Stats` probe in the
+//! replica role — and applies one pure, total ordering to pick the winner:
+//!
+//! 1. **Highest durable commit sequence wins.** The election must never
+//!    promote a replica that would lose acknowledged writes another
+//!    candidate still holds.
+//! 2. **Ties break on the lexicographically smallest address.** Addresses
+//!    are unique within a deployment, so the order is total and every
+//!    replica that sees the same candidate set picks the same winner
+//!    without any coordination round.
+//!
+//! There is no voting: determinism substitutes for consensus. Two replicas
+//! that see *different* candidate sets (a partition) can still pick
+//! different winners — the durable fence and, in quorum mode, the
+//! replica-ack requirement are what keep a doubly-promoted group from
+//! acknowledging conflicting writes.
+
+/// One election participant: where it listens and how far its durable log
+/// reaches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// The peer's advertised address (the tie-breaker key).
+    pub addr: String,
+    /// The peer's durable commit sequence (the primary key).
+    pub seq: u64,
+}
+
+/// Pick the winner from a candidate set. Empty set elects nobody.
+pub fn elect(candidates: &[Candidate]) -> Option<&Candidate> {
+    candidates.iter().min_by(|a, b| {
+        // Highest seq first, then smallest address.
+        b.seq.cmp(&a.seq).then_with(|| a.addr.cmp(&b.addr))
+    })
+}
+
+/// Does `addr` win this election?
+pub fn wins(candidates: &[Candidate], addr: &str) -> bool {
+    elect(candidates).is_some_and(|w| w.addr == addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(addr: &str, seq: u64) -> Candidate {
+        Candidate {
+            addr: addr.to_owned(),
+            seq,
+        }
+    }
+
+    #[test]
+    fn highest_sequence_wins() {
+        let set = [c("10.0.0.3:1", 5), c("10.0.0.1:1", 9), c("10.0.0.2:1", 7)];
+        assert_eq!(elect(&set).map(|w| w.addr.as_str()), Some("10.0.0.1:1"));
+    }
+
+    #[test]
+    fn ties_break_on_smallest_address() {
+        let set = [c("10.0.0.9:1", 4), c("10.0.0.2:1", 4), c("10.0.0.5:1", 4)];
+        assert_eq!(elect(&set).map(|w| w.addr.as_str()), Some("10.0.0.2:1"));
+        assert!(wins(&set, "10.0.0.2:1"));
+        assert!(!wins(&set, "10.0.0.9:1"));
+    }
+
+    #[test]
+    fn order_of_the_candidate_list_is_irrelevant() {
+        let mut set = vec![c("b:1", 3), c("a:1", 3), c("c:1", 8)];
+        let first = elect(&set).cloned();
+        set.reverse();
+        assert_eq!(elect(&set).cloned(), first);
+    }
+
+    #[test]
+    fn empty_set_elects_nobody() {
+        assert_eq!(elect(&[]), None);
+        assert!(!wins(&[], "a:1"));
+    }
+}

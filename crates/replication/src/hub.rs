@@ -1,19 +1,74 @@
-//! Primary-side fan-out of committed units.
+//! Primary-side fan-out of committed units, with durable-ack tracking.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::Instant;
 
 use crate::unit::ShippedUnit;
 
+/// Shared wakeup for quorum waits: the apply worker sleeps on the condvar
+/// while feeder sessions pulse it as replica acks land. The guarded
+/// counter only exists to make every wait re-check its predicate.
+#[derive(Debug, Default)]
+struct AckSignal {
+    pulses: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl AckSignal {
+    fn pulse(&self) {
+        match self.pulses.lock() {
+            Ok(mut g) => *g = g.wrapping_add(1),
+            Err(poisoned) => {
+                let mut g = poisoned.into_inner();
+                *g = g.wrapping_add(1);
+            }
+        }
+        self.cond.notify_all();
+    }
+}
+
+/// The feeder session's handle for recording its replica's durable
+/// progress: the tailer sends `Ack(seq)` after fsyncing a unit, the
+/// feeder's ack-reader calls [`AckHandle::note`], and any quorum wait in
+/// flight re-checks.
+#[derive(Clone)]
+pub struct AckHandle {
+    acked: Arc<AtomicU64>,
+    signal: Arc<AckSignal>,
+}
+
+impl AckHandle {
+    /// Record that the replica has durably applied everything up to and
+    /// including `seq`. Monotonic: stale acks (reconnect replays) are
+    /// harmless.
+    pub fn note(&self, seq: u64) {
+        self.acked.fetch_max(seq, Ordering::AcqRel);
+        self.signal.pulse();
+    }
+
+    /// Highest sequence this replica has durably acknowledged.
+    pub fn acked(&self) -> u64 {
+        self.acked.load(Ordering::Acquire)
+    }
+}
+
 /// One subscribed replica's feed, as handed to its session thread.
 ///
-/// Dropping the subscription (the session ends) makes the next `publish`
-/// notice the closed channel and unregister the peer.
+/// Dropping the subscription (the session ends) detaches the peer: the
+/// hub reaps it on its next read or publish, so `Stats` and quorum
+/// counts never keep counting a feeder that already returned — even on
+/// an idle primary with no publish traffic to trip over the closed
+/// channel.
 pub struct Subscription {
     /// Committed units, in sequence order, starting right after the
     /// backlog the subscriber was handed at attach time.
     pub rx: Receiver<ShippedUnit>,
+    /// Where the feeder records the replica's durable `Ack` frames.
+    pub ack: AckHandle,
+    /// Liveness token: the hub's `Peer` holds the matching [`Weak`].
+    _live: Arc<()>,
 }
 
 struct Peer {
@@ -21,6 +76,22 @@ struct Peer {
     tx: SyncSender<ShippedUnit>,
     /// Highest sequence number enqueued to this peer (0 = none yet).
     sent: Arc<AtomicU64>,
+    /// Highest sequence number the peer durably acknowledged.
+    acked: Arc<AtomicU64>,
+    /// Dead once the session's [`Subscription`] has been dropped.
+    live: Weak<()>,
+}
+
+/// One subscriber's progress pair, as reported by `Stats`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerProgress {
+    pub label: String,
+    /// Highest sequence enqueued to the peer (`commit_seq - sent` = ship
+    /// lag).
+    pub sent: u64,
+    /// Highest sequence the peer durably acknowledged
+    /// (`commit_seq - acked` = durability lag).
+    pub acked: u64,
 }
 
 /// Fan-out point between the apply worker (publisher) and the per-replica
@@ -32,10 +103,16 @@ struct Peer {
 /// blocking the apply worker; the replica's tailer notices the closed
 /// stream, reconnects, and catches up from its own durable sequence
 /// number. Losing a subscription is always recoverable; stalling the
-/// primary's commit path is not.
+/// primary's commit path is not. Every such overflow drop is counted and
+/// surfaced in `Stats` — a climbing counter means a replica (or the
+/// network to it) cannot keep up with the write rate.
 pub struct ReplicationHub {
     depth: usize,
     peers: Mutex<Vec<Peer>>,
+    signal: Arc<AckSignal>,
+    /// Peers dropped because their feed backlog overflowed (distinct from
+    /// peers that simply disconnected).
+    overflow_drops: AtomicU64,
 }
 
 impl ReplicationHub {
@@ -44,6 +121,8 @@ impl ReplicationHub {
         ReplicationHub {
             depth: depth.max(1),
             peers: Mutex::new(Vec::new()),
+            signal: Arc::new(AckSignal::default()),
+            overflow_drops: AtomicU64::new(0),
         }
     }
 
@@ -57,7 +136,9 @@ impl ReplicationHub {
     /// Register a subscriber. `label` identifies the peer in Stats output
     /// (the session's remote address); `caught_up_to` is the sequence
     /// number of the last unit the subscriber already holds (backlog
-    /// included), so lag reporting starts truthful.
+    /// included), so lag reporting starts truthful. The acked position
+    /// starts at zero until the replica's first durable `Ack` arrives —
+    /// a unit is never counted toward quorum on faith.
     ///
     /// The caller must ensure attach-vs-publish atomicity externally: the
     /// apply worker both publishes and (on behalf of Subscribe jobs)
@@ -66,12 +147,35 @@ impl ReplicationHub {
     pub fn attach(&self, label: &str, caught_up_to: u64) -> Subscription {
         let (tx, rx) = sync_channel(self.depth);
         let sent = Arc::new(AtomicU64::new(caught_up_to));
+        let acked = Arc::new(AtomicU64::new(0));
+        let live = Arc::new(());
         self.lock().push(Peer {
             label: label.to_owned(),
             tx,
             sent,
+            acked: Arc::clone(&acked),
+            live: Arc::downgrade(&live),
         });
-        Subscription { rx }
+        // A new peer changes the quorum membership; wake any waiter so it
+        // re-counts.
+        self.signal.pulse();
+        Subscription {
+            rx,
+            ack: AckHandle {
+                acked,
+                signal: Arc::clone(&self.signal),
+            },
+            _live: live,
+        }
+    }
+
+    /// Drop peers whose [`Subscription`] is gone. Returns whether the
+    /// membership changed — the caller pulses the signal *after* releasing
+    /// the peers lock, so quorum waits re-count against live peers only.
+    fn reap(peers: &mut Vec<Peer>) -> bool {
+        let before = peers.len();
+        peers.retain(|p| p.live.strong_count() > 0);
+        peers.len() != before
     }
 
     /// Enqueue freshly-committed units to every subscriber. Returns the
@@ -81,6 +185,7 @@ impl ReplicationHub {
             return Vec::new();
         }
         let mut dropped = Vec::new();
+        let mut membership_changed = false;
         let mut peers = self.lock();
         peers.retain_mut(|peer| {
             for unit in units {
@@ -88,40 +193,125 @@ impl ReplicationHub {
                     Ok(()) => {
                         peer.sent.store(unit.seq, Ordering::Relaxed);
                     }
-                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    Err(TrySendError::Full(_)) => {
+                        self.overflow_drops.fetch_add(1, Ordering::Relaxed);
                         dropped.push(peer.label.clone());
+                        membership_changed = true;
+                        return false;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        dropped.push(peer.label.clone());
+                        membership_changed = true;
                         return false;
                     }
                 }
             }
             true
         });
+        drop(peers);
+        if membership_changed {
+            // A quorum wait must notice that a counted-on peer is gone.
+            self.signal.pulse();
+        }
         dropped
     }
 
-    /// `(label, highest sequence enqueued)` per live subscriber — the
-    /// primary side of per-replica lag (`commit_seq - sent`).
-    pub fn peers(&self) -> Vec<(String, u64)> {
-        self.lock()
+    /// Per-subscriber progress: label, highest sequence enqueued, highest
+    /// sequence durably acknowledged. Only live subscriptions count.
+    pub fn peers(&self) -> Vec<PeerProgress> {
+        let mut guard = self.lock();
+        let changed = Self::reap(&mut guard);
+        let peers = guard
             .iter()
-            .map(|p| (p.label.clone(), p.sent.load(Ordering::Relaxed)))
-            .collect()
+            .map(|p| PeerProgress {
+                label: p.label.clone(),
+                sent: p.sent.load(Ordering::Relaxed),
+                acked: p.acked.load(Ordering::Acquire),
+            })
+            .collect();
+        drop(guard);
+        if changed {
+            self.signal.pulse();
+        }
+        peers
     }
 
     pub fn peer_count(&self) -> usize {
-        self.lock().len()
+        let mut guard = self.lock();
+        let changed = Self::reap(&mut guard);
+        let count = guard.len();
+        drop(guard);
+        if changed {
+            self.signal.pulse();
+        }
+        count
+    }
+
+    /// Cumulative count of peers dropped for feed-backlog overflow.
+    pub fn overflow_drops(&self) -> u64 {
+        self.overflow_drops.load(Ordering::Relaxed)
+    }
+
+    /// How many live subscribers have durably acknowledged `seq`.
+    pub fn durable_count(&self, seq: u64) -> usize {
+        let mut guard = self.lock();
+        let changed = Self::reap(&mut guard);
+        let count = guard
+            .iter()
+            .filter(|p| p.acked.load(Ordering::Acquire) >= seq)
+            .count();
+        drop(guard);
+        if changed {
+            // A quorum wait in flight must not keep counting on the
+            // departed peer; a self-pulse at worst costs one spurious
+            // wakeup.
+            self.signal.pulse();
+        }
+        count
+    }
+
+    /// Block until `need` subscribers have durably acknowledged `seq`, or
+    /// `deadline` passes. Returns whether the quorum was reached. Peers
+    /// that attach or detach mid-wait are accounted for — the count is
+    /// always over the *current* membership.
+    pub fn wait_durable(&self, seq: u64, need: usize, deadline: Instant) -> bool {
+        if need == 0 {
+            return true;
+        }
+        loop {
+            if self.durable_count(seq) >= need {
+                return true;
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return self.durable_count(seq) >= need;
+            };
+            let guard = match self.signal.pulses.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            // Re-check under the signal lock? Not needed: a pulse between
+            // our count and this wait at worst costs one wakeup-timeout
+            // cycle, and acks are monotonic — we never miss one forever.
+            let _ = self.signal.cond.wait_timeout(guard, remaining);
+        }
     }
 
     /// Drop every subscription (failover/shutdown): each feeder session
     /// sees its channel close and ends its stream.
     pub fn disconnect_all(&self) {
         self.lock().clear();
+        self.signal.pulse();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn unit(seq: u64) -> ShippedUnit {
         ShippedUnit {
@@ -141,11 +331,13 @@ mod tests {
             assert_eq!(sub.rx.try_recv().unwrap().seq, 1);
             assert_eq!(sub.rx.try_recv().unwrap().seq, 2);
         }
-        assert_eq!(hub.peers(), vec![("a".into(), 2), ("b".into(), 2)]);
+        let peers = hub.peers();
+        assert_eq!(peers.len(), 2);
+        assert!(peers.iter().all(|p| p.sent == 2 && p.acked == 0));
     }
 
     #[test]
-    fn slow_peer_is_dropped_not_waited_on() {
+    fn slow_peer_is_dropped_not_waited_on_and_counted() {
         let hub = ReplicationHub::new(2);
         let slow = hub.attach("slow", 0);
         let fast = hub.attach("fast", 0);
@@ -154,6 +346,7 @@ mod tests {
         while fast.rx.try_recv().is_ok() {}
         assert_eq!(hub.publish(&[unit(3)]), vec!["slow".to_owned()]);
         assert_eq!(hub.peer_count(), 1);
+        assert_eq!(hub.overflow_drops(), 1);
         // The dropped peer's channel is closed once the publisher forgot it.
         assert_eq!(slow.rx.try_recv().unwrap().seq, 1);
         assert_eq!(slow.rx.try_recv().unwrap().seq, 2);
@@ -161,12 +354,56 @@ mod tests {
     }
 
     #[test]
-    fn dropped_subscription_is_reaped_on_next_publish() {
+    fn dropped_subscription_is_reaped_eagerly_without_counting() {
         let hub = ReplicationHub::new(2);
         let sub = hub.attach("gone", 7);
-        assert_eq!(hub.peers(), vec![("gone".into(), 7)]);
+        sub.ack.note(7);
+        assert_eq!(hub.peers()[0].sent, 7);
         drop(sub);
-        hub.publish(&[unit(8)]);
+        // No publish needed: every read path reaps dead subscriptions, so
+        // an idle primary's Stats (and quorum counts) stop counting the
+        // departed peer immediately.
         assert_eq!(hub.peer_count(), 0);
+        assert!(hub.peers().is_empty());
+        assert_eq!(hub.durable_count(7), 0);
+        hub.publish(&[unit(8)]);
+        // A disconnect is not an overflow.
+        assert_eq!(hub.overflow_drops(), 0);
+    }
+
+    #[test]
+    fn acks_are_monotonic_and_visible() {
+        let hub = ReplicationHub::new(4);
+        let sub = hub.attach("r1", 0);
+        sub.ack.note(5);
+        sub.ack.note(3); // stale replay: ignored
+        assert_eq!(sub.ack.acked(), 5);
+        assert_eq!(hub.peers()[0].acked, 5);
+        assert_eq!(hub.durable_count(5), 1);
+        assert_eq!(hub.durable_count(6), 0);
+    }
+
+    #[test]
+    fn wait_durable_succeeds_when_ack_arrives() {
+        let hub = Arc::new(ReplicationHub::new(4));
+        let sub = hub.attach("r1", 0);
+        let ack = sub.ack.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            ack.note(2);
+        });
+        assert!(hub.wait_durable(2, 1, Instant::now() + Duration::from_secs(2)));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_durable_times_out_without_acks() {
+        let hub = ReplicationHub::new(4);
+        let _sub = hub.attach("r1", 0);
+        let start = Instant::now();
+        assert!(!hub.wait_durable(1, 1, Instant::now() + Duration::from_millis(50)));
+        assert!(start.elapsed() >= Duration::from_millis(50));
+        // Zero replicas needed is vacuously durable.
+        assert!(hub.wait_durable(1, 0, Instant::now()));
     }
 }

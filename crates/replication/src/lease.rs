@@ -1,0 +1,91 @@
+//! Primary-liveness lease.
+//!
+//! A replica holds a lease on its primary: every frame the tailer receives
+//! (units, keepalives, snapshots) renews it. When the lease expires — no
+//! frame for a full TTL, spanning several keepalive intervals and at least
+//! one full reconnect cycle — the primary is presumed dead and the
+//! failover monitor runs an election (see [`crate::election`]).
+//!
+//! The lease is deliberately one-sided: the primary does not grant or
+//! revoke anything, it just keeps talking. This keeps the protocol
+//! unchanged (the `SubscribeOk` keepalive *is* the heartbeat) and makes
+//! expiry a purely local decision — a partitioned replica may expire a
+//! lease on a healthy primary, which is why promotion fences the old
+//! primary durably and why quorum mode refuses writes that the surviving
+//! majority never acknowledged.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A renewable TTL cell, shared between the tailer (renews) and the
+/// failover monitor (checks expiry).
+#[derive(Debug)]
+pub struct Lease {
+    ttl: Duration,
+    last: Mutex<Instant>,
+}
+
+impl Lease {
+    /// A fresh lease starts renewed: a replica that just booted gives its
+    /// primary one full TTL to say something before presuming it dead.
+    pub fn new(ttl: Duration) -> Lease {
+        Lease {
+            ttl,
+            last: Mutex::new(Instant::now()),
+        }
+    }
+
+    fn last(&self) -> Instant {
+        match self.last.lock() {
+            Ok(g) => *g,
+            Err(poisoned) => *poisoned.into_inner(),
+        }
+    }
+
+    /// The primary said something: restart the TTL clock.
+    pub fn renew(&self) {
+        let now = Instant::now();
+        match self.last.lock() {
+            Ok(mut g) => *g = now,
+            Err(poisoned) => *poisoned.into_inner() = now,
+        }
+    }
+
+    /// Has a full TTL passed since the last renewal?
+    pub fn expired(&self) -> bool {
+        self.last().elapsed() >= self.ttl
+    }
+
+    /// Time until expiry (zero when already expired).
+    pub fn remaining(&self) -> Duration {
+        self.ttl.saturating_sub(self.last().elapsed())
+    }
+
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_renewed_and_expires_after_ttl() {
+        let lease = Lease::new(Duration::from_millis(40));
+        assert!(!lease.expired());
+        assert!(lease.remaining() > Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(lease.expired());
+        assert_eq!(lease.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn renew_restarts_the_clock() {
+        let lease = Lease::new(Duration::from_millis(50));
+        std::thread::sleep(Duration::from_millis(30));
+        lease.renew();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!lease.expired(), "renewal must have reset the TTL");
+    }
+}

@@ -20,6 +20,13 @@
 //!   catches up from its own durable position.
 //! * [`Role`] / [`RoleCell`] — what this server currently is: primary,
 //!   replica of some primary, or fenced after a failover.
+//! * [`Lease`] — the replica-side primary-liveness TTL, renewed by every
+//!   frame the tailer receives; expiry triggers an election.
+//! * [`election`] — the deterministic winner rule (highest durable
+//!   sequence, ties by smallest address) replicas apply without a voting
+//!   round.
+//! * [`quorum`] — the `--sync-replicas` policy/state vocabulary, and the
+//!   hub's per-peer durable-ack tracking that quorum waits count.
 //!
 //! The wire frames, the replica-side tailer, and the apply-queue
 //! integration live in `cypher-server`; durable fencing lives in
@@ -27,10 +34,16 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod election;
 pub mod hub;
+pub mod lease;
+pub mod quorum;
 pub mod role;
 pub mod unit;
 
-pub use hub::{ReplicationHub, Subscription};
+pub use election::{elect, Candidate};
+pub use hub::{AckHandle, PeerProgress, ReplicationHub, Subscription};
+pub use lease::Lease;
+pub use quorum::{QuorumState, QuorumStateCell, SyncPolicy};
 pub use role::{Role, RoleCell};
 pub use unit::ShippedUnit;

@@ -1,0 +1,139 @@
+//! Quorum-acknowledged commit: policy and observable state.
+//!
+//! Under `--sync-replicas N` the primary's group-commit worker withholds
+//! client acknowledgements until `N` replicas have confirmed (via durable
+//! `Ack` frames) that the batch's units are fsynced on their side. What
+//! happens when the confirmations do not arrive in time is the
+//! [`SyncPolicy`]; what the operator sees in `Stats` is the
+//! [`QuorumState`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// What the primary does when a quorum wait times out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Refuse the writes: every statement of the batch reports the typed,
+    /// retryable `ReplicationTimeout` error instead of an acknowledgement.
+    /// The statements *are* durable locally and already shipped — a
+    /// refused write may still exist — so retries must be idempotent.
+    #[default]
+    Strict,
+    /// Acknowledge anyway and drop to asynchronous replication until a
+    /// later batch makes quorum again. The degradation is surfaced in
+    /// `Stats` so monitoring can alarm instead of the write path failing.
+    Degrade,
+}
+
+impl SyncPolicy {
+    pub fn parse(s: &str) -> Option<SyncPolicy> {
+        match s {
+            "strict" => Some(SyncPolicy::Strict),
+            "degrade" => Some(SyncPolicy::Degrade),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SyncPolicy::Strict => "strict",
+            SyncPolicy::Degrade => "degrade",
+        })
+    }
+}
+
+/// The replication-durability state a primary reports in `Stats`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum QuorumState {
+    /// `--sync-replicas 0`: acknowledgements never wait for replicas.
+    Async = 0,
+    /// Quorum mode, and the last quorum wait succeeded in time.
+    InSync = 1,
+    /// Quorum mode under the `degrade` policy after a timed-out wait:
+    /// writes are being acknowledged without replica confirmation.
+    Degraded = 2,
+    /// Quorum mode under the `strict` policy after a timed-out wait: the
+    /// most recent batch was refused with `ReplicationTimeout`.
+    TimedOut = 3,
+}
+
+impl QuorumState {
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    pub fn from_u8(v: u8) -> QuorumState {
+        match v {
+            1 => QuorumState::InSync,
+            2 => QuorumState::Degraded,
+            3 => QuorumState::TimedOut,
+            _ => QuorumState::Async,
+        }
+    }
+}
+
+impl std::fmt::Display for QuorumState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            QuorumState::Async => "async",
+            QuorumState::InSync => "in-sync",
+            QuorumState::Degraded => "degraded",
+            QuorumState::TimedOut => "timed-out",
+        })
+    }
+}
+
+/// Lock-free cell for the current [`QuorumState`], shared between the
+/// apply worker (writes) and `Stats` sampling (reads).
+#[derive(Debug)]
+pub struct QuorumStateCell(AtomicU8);
+
+impl QuorumStateCell {
+    pub fn new(state: QuorumState) -> QuorumStateCell {
+        QuorumStateCell(AtomicU8::new(state.as_u8()))
+    }
+
+    pub fn get(&self) -> QuorumState {
+        QuorumState::from_u8(self.0.load(Ordering::Acquire))
+    }
+
+    pub fn set(&self, state: QuorumState) {
+        self.0.store(state.as_u8(), Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn states_roundtrip_through_u8() {
+        for s in [
+            QuorumState::Async,
+            QuorumState::InSync,
+            QuorumState::Degraded,
+            QuorumState::TimedOut,
+        ] {
+            assert_eq!(QuorumState::from_u8(s.as_u8()), s);
+        }
+        assert_eq!(QuorumState::from_u8(200), QuorumState::Async);
+    }
+
+    #[test]
+    fn policy_parses_and_renders() {
+        assert_eq!(SyncPolicy::parse("strict"), Some(SyncPolicy::Strict));
+        assert_eq!(SyncPolicy::parse("degrade"), Some(SyncPolicy::Degrade));
+        assert_eq!(SyncPolicy::parse("eventual"), None);
+        assert_eq!(SyncPolicy::Degrade.to_string(), "degrade");
+    }
+
+    #[test]
+    fn cell_swaps_states() {
+        let cell = QuorumStateCell::new(QuorumState::Async);
+        assert_eq!(cell.get(), QuorumState::Async);
+        cell.set(QuorumState::Degraded);
+        assert_eq!(cell.get(), QuorumState::Degraded);
+    }
+}

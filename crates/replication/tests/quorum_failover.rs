@@ -1,0 +1,473 @@
+//! Quorum acknowledgement, automatic failover and deterministic network
+//! fault injection — the robustness suite for synchronous replication.
+//!
+//! Every test spins real servers on ephemeral loopback ports and drives
+//! them through the public client. The replica's *outbound* transport
+//! (tailer dial, frame reads, durable acks) can be swapped for a
+//! [`FaultNet`], which injects one deterministic fault at the N-th
+//! transport operation — so the torture test below first *counts* the ops
+//! of a clean run, then replays the same scenario once per op index with
+//! a fault armed at each.
+//!
+//! The differential oracle throughout: an **acknowledged** write must
+//! never be lost (after convergence it exists on primary and replica
+//! alike), and a refused quorum write is still durable locally
+//! (at-least-once; retries must be idempotent). After a failover, exactly
+//! one server rules and the old primary is durably fenced in a lower
+//! epoch.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use cypher_server::wire::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+use cypher_server::{
+    serve, Client, ClientError, ErrorCode, FaultNet, HelloOptions, NetFault, ServerConfig,
+    ServerHandle,
+};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cypher-qf-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn hello() -> HelloOptions {
+    HelloOptions::server_defaults()
+}
+
+fn start_quorum_primary(dir: &std::path::Path, sync_timeout: Duration) -> ServerHandle {
+    let mut config = ServerConfig::new(dir);
+    config.allow_admin = true;
+    config.sync_replicas = 1;
+    config.sync_timeout = sync_timeout;
+    serve(config).unwrap()
+}
+
+fn start_replica_with(
+    dir: &std::path::Path,
+    primary: &str,
+    tweak: impl FnOnce(&mut ServerConfig),
+) -> ServerHandle {
+    let mut config = ServerConfig::new(dir);
+    config.allow_admin = true;
+    config.replica_of = Some(primary.to_owned());
+    tweak(&mut config);
+    serve(config).unwrap()
+}
+
+/// Poll a server's `Stats` until `pred` holds (20 s bound).
+fn wait_stats(handle_addr: &str, what: &str, pred: impl Fn(&cypher_server::StatsOutcome) -> bool) {
+    let t0 = Instant::now();
+    while t0.elapsed() < Duration::from_secs(20) {
+        if let Ok(mut c) = Client::connect(handle_addr, &hello()) {
+            if let Ok(s) = c.stats() {
+                if pred(&s) {
+                    let _ = c.goodbye();
+                    return;
+                }
+            }
+            let _ = c.goodbye();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+fn dump(addr: &str) -> String {
+    let mut client = Client::connect(addr, &hello()).unwrap();
+    let d = client.dump_graph().unwrap();
+    client.goodbye().unwrap();
+    d
+}
+
+/// Quorum round trip: with `--sync-replicas 1` a write is acknowledged
+/// only once the replica durably applied it — the primary's stats show
+/// the replica's acked sequence at the write's sequence. When the replica
+/// dies, the next write is refused with the typed, retryable
+/// `ReplicationTimeout` — but it IS durable locally (at-least-once).
+#[test]
+fn quorum_acks_then_strict_timeout_when_replica_dies() {
+    let primary = start_quorum_primary(&temp_dir("strict-p"), Duration::from_millis(800));
+    let paddr = primary.addr().to_string();
+    let replica = start_replica_with(&temp_dir("strict-r"), &paddr, |_| {});
+
+    // The replica must be subscribed before the first quorum write, or it
+    // would time out waiting for a subscriber that hasn't arrived.
+    wait_stats(&paddr, "replica subscribed", |s| !s.replicas.is_empty());
+
+    let mut client = Client::connect(&paddr, &hello()).unwrap();
+    client.run("CREATE (:Q {id: 1})").unwrap();
+    let seq = client.stats().unwrap().commit_seq;
+
+    // The ack was durable: the primary's view of the replica has caught up.
+    wait_stats(&paddr, "replica acked the write", |s| {
+        s.quorum == 1 && s.replicas.first().is_some_and(|r| r.2 >= seq)
+    });
+
+    // Kill the replica; the subscriber detaches, quorum can't be met.
+    replica.stop();
+    wait_stats(&paddr, "subscriber detached", |s| s.replicas.is_empty());
+
+    let err = client.run("CREATE (:Q {id: 2})").unwrap_err();
+    match err {
+        ClientError::Server {
+            code,
+            retryable,
+            detail,
+            ..
+        } => {
+            assert_eq!(code, ErrorCode::ReplicationTimeout);
+            assert!(retryable, "quorum refusals are retryable by contract");
+            assert_eq!(detail, "0/1", "detail carries acked/needed");
+        }
+        other => panic!("expected typed refusal, got {other:?}"),
+    }
+    // Strict refusal ≠ rollback: the write is WAL-durable locally and
+    // already shipped. A reconnect-retry must therefore be idempotent.
+    let out = client.run("MATCH (q:Q) RETURN q.id").unwrap();
+    assert_eq!(out.rows.len(), 2, "refused write is still locally durable");
+    // And the client's automatic retry helper must NOT resubmit it: the
+    // statement already committed, so a blind re-run would duplicate it.
+    // Only the admission-control `busy` refusal is auto-retried.
+    let err = client.run_with_retry("CREATE (:Q {id: 3})", 5).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::ReplicationTimeout));
+    let out = client.run("MATCH (q:Q) RETURN q.id").unwrap();
+    assert_eq!(
+        out.rows.len(),
+        3,
+        "a replication-timeout write must be applied exactly once, not \
+         duplicated by automatic retries"
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.quorum, 3, "stats show the timed-out state");
+    client.goodbye().unwrap();
+    primary.stop();
+}
+
+/// Under `--sync-policy degrade` a timed-out quorum wait acknowledges the
+/// write anyway and surfaces the downgrade in `Stats` instead of failing
+/// the write path.
+#[test]
+fn quorum_degrade_policy_acks_and_reports_degraded() {
+    let dir = temp_dir("degrade-p");
+    let mut config = ServerConfig::new(&dir);
+    config.sync_replicas = 1;
+    config.sync_timeout = Duration::from_millis(200);
+    config.sync_policy = cypher_replication::SyncPolicy::Degrade;
+    let primary = serve(config).unwrap();
+    let paddr = primary.addr().to_string();
+
+    // No replica at all: every quorum wait times out.
+    let mut client = Client::connect(&paddr, &hello()).unwrap();
+    client.run("CREATE (:D {id: 1})").unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.quorum, 2, "degraded state is observable");
+    let out = client.run("MATCH (d:D) RETURN d.id").unwrap();
+    assert_eq!(out.rows.len(), 1);
+    client.goodbye().unwrap();
+    primary.stop();
+}
+
+/// Automatic failover, end to end: the primary dies, the replica's lease
+/// expires, it elects itself (single-peer deployment), self-promotes into
+/// a fresh epoch, and — when the zombie returns within the fence-retry
+/// window — durably fences it. Clients follow the typed redirect to the
+/// new primary without manual repointing.
+#[test]
+fn lease_expiry_elects_promotes_and_fences_the_zombie() {
+    let old_dir = temp_dir("auto-p");
+    let primary = start_primary_plain(&old_dir, "127.0.0.1:0");
+    let old_addr = primary.addr().to_string();
+    let replica = start_replica_with(&temp_dir("auto-r"), &old_addr, |c| {
+        c.lease_ms = 300;
+    });
+    let new_addr = replica.addr().to_string();
+
+    let mut client = Client::connect(&old_addr, &hello()).unwrap();
+    client.run("CREATE (:F {id: 1})").unwrap();
+    let target = client.stats().unwrap().commit_seq;
+    let epoch_before = client.stats().unwrap().repl_epoch;
+    client.goodbye().unwrap();
+    wait_stats(&new_addr, "replica caught up", |s| s.commit_seq >= target);
+
+    // Primary dies. No operator in the loop from here on.
+    primary.stop();
+
+    // The lease (300 ms) expires; the replica elects itself and promotes.
+    wait_stats(&new_addr, "replica self-promoted", |s| s.role == 0);
+    let mut admin = Client::connect(&new_addr, &hello()).unwrap();
+    let stats = admin.stats().unwrap();
+    assert!(
+        stats.repl_epoch > epoch_before,
+        "promotion must enter a fresh epoch ({} -> {})",
+        epoch_before,
+        stats.repl_epoch
+    );
+    let new_epoch = stats.repl_epoch;
+    // The new primary serves writes immediately.
+    admin.run("CREATE (:F {id: 2})").unwrap();
+    admin.goodbye().unwrap();
+
+    // The zombie restarts inside the fence-retry window (~10 s): the new
+    // primary's retry fence lands, durably, with the new epoch.
+    let zombie = start_primary_plain(&old_dir, &old_addr);
+    wait_stats(&old_addr, "zombie fenced", |s| s.role == 2);
+    let mut z = Client::connect(&old_addr, &hello()).unwrap();
+    let zs = z.stats().unwrap();
+    assert_eq!(zs.redirect, new_addr, "fence redirects to the new primary");
+    assert!(
+        zs.repl_epoch >= new_epoch,
+        "fence carries the new reign's epoch"
+    );
+    z.goodbye().unwrap();
+
+    // A client that still dials the old address follows the typed
+    // redirect chain to the new primary and lands its write there.
+    let mut routed = Client::connect(&old_addr, &hello()).unwrap();
+    routed.run_routed("CREATE (:F {id: 3})").unwrap();
+    assert_eq!(routed.connected_addr(), new_addr);
+    let out = routed.run_routed("MATCH (f:F) RETURN f.id").unwrap();
+    assert_eq!(out.rows.len(), 3, "all writes live on the one true primary");
+    routed.goodbye().unwrap();
+
+    // Exactly one primary rules after convergence.
+    let mut n = Client::connect(&new_addr, &hello()).unwrap();
+    assert_eq!(n.stats().unwrap().role, 0);
+    n.goodbye().unwrap();
+
+    zombie.stop();
+    replica.stop();
+}
+
+fn start_primary_plain(dir: &std::path::Path, addr: &str) -> ServerHandle {
+    let mut config = ServerConfig::new(dir);
+    config.addr = addr.to_owned();
+    config.allow_admin = true;
+    serve(config).unwrap()
+}
+
+/// Satellite: the tailer's dead-stream path. A fake primary feeds one
+/// full unit, then half a frame and silence. The tailer must detect the
+/// dead stream via its read timeout, drop the connection (never resume
+/// mid-frame) and resubscribe **from its durable sequence** — and its
+/// first subscription must have sent a durable `Ack` for the applied
+/// unit.
+#[test]
+fn tailer_drops_dead_stream_and_resubscribes_from_durable_seq() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let fake_addr = listener.local_addr().unwrap().to_string();
+
+    let fake = std::thread::spawn(move || -> (u64, u64, u64) {
+        // --- Connection 1: handshake, subscribe, one unit, half a frame.
+        let (stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream.try_clone().unwrap());
+        let first_from = expect_handshake_and_subscribe(&mut r, &mut w);
+        write_frame(
+            &mut w,
+            &Response::Unit {
+                seq: 1,
+                dialect: 1,
+                text: "CREATE (:Dead {id: 1})".to_owned(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        // The tailer acks the unit once it is durable on its side.
+        let acked = match Request::decode(&read_frame(&mut r).unwrap()).unwrap() {
+            Request::Ack { seq, .. } => seq,
+            other => panic!("expected Ack, got {other:?}"),
+        };
+        // Half a frame: a header promising 64 payload bytes, 5 delivered,
+        // then silence. The tailer's 2 s read timeout must fire; resuming
+        // mid-frame is impossible, so it has to drop the connection.
+        let raw = w.get_mut();
+        raw.write_all(&64u32.to_le_bytes()).unwrap();
+        raw.write_all(&0xDEAD_BEEFu32.to_le_bytes()).unwrap();
+        raw.write_all(&[1, 2, 3, 4, 5]).unwrap();
+        raw.flush().unwrap();
+
+        // --- Connection 2: the reconnect. Where does it resubscribe?
+        let (stream2, _) = listener.accept().unwrap();
+        stream2
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut r2 = BufReader::new(stream2.try_clone().unwrap());
+        let mut w2 = BufWriter::new(stream2);
+        let second_from = expect_handshake_and_subscribe(&mut r2, &mut w2);
+        (first_from, acked, second_from)
+    });
+
+    let replica = start_replica_with(&temp_dir("dead-r"), &fake_addr, |_| {});
+    let (first_from, acked, second_from) = fake.join().unwrap();
+    assert_eq!(first_from, 0, "fresh replica subscribes from zero");
+    assert_eq!(acked, 1, "the applied unit was durably acked");
+    assert_eq!(
+        second_from, 1,
+        "reconnect must resubscribe from the durable sequence, not refetch \
+         from zero or skip ahead"
+    );
+    // And the unit survived the dead stream: it was applied exactly once.
+    let out = {
+        let mut c = Client::connect(replica.addr(), &hello()).unwrap();
+        let out = c.run("MATCH (d:Dead) RETURN d.id").unwrap();
+        c.goodbye().unwrap();
+        out
+    };
+    assert_eq!(out.rows.len(), 1);
+    replica.stop();
+}
+
+/// Fake-primary helper: consume `Hello` + `Subscribe`, reply `HelloOk` +
+/// `SubscribeOk`, return the `from` the tailer asked for.
+fn expect_handshake_and_subscribe(r: &mut impl Read, w: &mut impl Write) -> u64 {
+    match Request::decode(&read_frame(r).unwrap()).unwrap() {
+        Request::Hello { version, .. } => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    write_frame(
+        w,
+        &Response::HelloOk {
+            version: PROTOCOL_VERSION,
+            session: 1,
+            limits: String::new(),
+        }
+        .encode(),
+    )
+    .unwrap();
+    let from = match Request::decode(&read_frame(r).unwrap()).unwrap() {
+        Request::Subscribe { from } => from,
+        other => panic!("expected Subscribe, got {other:?}"),
+    };
+    write_frame(w, &Response::SubscribeOk { seq: 1, epoch: 1 }.encode()).unwrap();
+    from
+}
+
+/// The deterministic network torture: a quorum pair where the replica's
+/// entire outbound transport (dial, reads, acks) runs over a [`FaultNet`].
+/// A clean counting pass records how many transport operations one
+/// two-write scenario takes; the scenario is then replayed once per op
+/// index with a transient `Drop` fault armed at exactly that op.
+///
+/// The oracle, per replay: every *acknowledged* write exists on both
+/// sides after convergence (no acked loss), the dumps are byte-identical,
+/// and a write refused with `ReplicationTimeout` is durable on the
+/// primary (at-least-once). The tailer's uniform any-fault-reconnect
+/// recovery means every single injection point must end in convergence.
+#[test]
+fn network_torture_drop_at_every_op_loses_no_acked_write() {
+    // Counting pass: no fault armed.
+    let ops = run_quorum_scenario("count", None, 0);
+    assert!(ops > 5, "scenario too small to be interesting ({ops} ops)");
+
+    for at_op in 1..=ops {
+        run_quorum_scenario("drop", Some(NetFault::Drop), at_op);
+    }
+}
+
+/// A latched partition mid-scenario: quorum writes fail with the typed
+/// refusal while the replica is unreachable, succeed again after `heal`,
+/// and the replica converges to the full history.
+#[test]
+fn partition_refuses_quorum_writes_until_healed() {
+    let primary = start_quorum_primary(&temp_dir("part-p"), Duration::from_millis(400));
+    let paddr = primary.addr().to_string();
+    let net = FaultNet::new();
+    let replica = start_replica_with(&temp_dir("part-r"), &paddr, |c| {
+        c.net = net.fabric();
+    });
+    let raddr = replica.addr().to_string();
+    wait_stats(&paddr, "replica subscribed", |s| !s.replicas.is_empty());
+
+    let mut client = Client::connect(&paddr, &hello()).unwrap();
+    client.run("CREATE (:P {id: 1})").unwrap();
+
+    // Partition the replica's entire outbound fabric. Its current tailer
+    // stream starts failing; the primary loses its acking subscriber.
+    net.fault_at(net.ops() + 1, NetFault::Partition);
+    wait_stats(&paddr, "subscriber detached by partition", |s| {
+        s.replicas.is_empty()
+    });
+    let err = client.run("CREATE (:P {id: 2})").unwrap_err();
+    assert_eq!(
+        err.code(),
+        Some(ErrorCode::ReplicationTimeout),
+        "quorum writes must be refused during the partition"
+    );
+
+    // Heal: the tailer reconnects from its durable position, catches up
+    // (including the refused-but-durable write), quorum writes succeed.
+    net.heal();
+    wait_stats(&paddr, "replica re-subscribed", |s| !s.replicas.is_empty());
+    client.run("CREATE (:P {id: 3})").unwrap();
+    let target = client.stats().unwrap().commit_seq;
+    client.goodbye().unwrap();
+    wait_stats(&raddr, "replica converged", |s| s.commit_seq >= target);
+    assert_eq!(dump(&paddr), dump(&raddr));
+    replica.stop();
+    primary.stop();
+}
+
+/// One quorum scenario: primary (sync-replicas 1, strict), replica over a
+/// `FaultNet`, two acknowledged-or-refused writes, convergence check.
+/// Returns the number of transport ops the replica's fabric performed.
+fn run_quorum_scenario(tag: &str, fault: Option<NetFault>, at_op: u64) -> u64 {
+    let name_p = format!("torture-{tag}-{at_op}-p");
+    let name_r = format!("torture-{tag}-{at_op}-r");
+    let primary = start_quorum_primary(&temp_dir(&name_p), Duration::from_millis(600));
+    let paddr = primary.addr().to_string();
+    let net = FaultNet::new();
+    if let Some(f) = fault {
+        net.fault_at(at_op, f);
+    }
+    let replica = start_replica_with(&temp_dir(&name_r), &paddr, |c| {
+        c.net = net.fabric();
+    });
+    let raddr = replica.addr().to_string();
+    wait_stats(&paddr, "replica subscribed", |s| !s.replicas.is_empty());
+
+    let mut client = Client::connect(&paddr, &hello()).unwrap();
+    let mut acked: Vec<i64> = Vec::new();
+    for id in 1..=2i64 {
+        match client.run(&format!("CREATE (:T {{id: {id}}})")) {
+            Ok(_) => acked.push(id),
+            Err(ClientError::Server {
+                code: ErrorCode::ReplicationTimeout,
+                ..
+            }) => {
+                // Not acknowledged — losing it would be legal, but this
+                // engine keeps it (durable locally, at-least-once).
+            }
+            Err(other) => panic!("unexpected write failure: {other}"),
+        }
+    }
+    let target = client.stats().unwrap().commit_seq;
+    client.goodbye().unwrap();
+
+    // The armed fault has fired (or never will); convergence must happen
+    // regardless — the tailer reconnects through the healthy fabric.
+    wait_stats(&raddr, "replica converged after fault", |s| {
+        s.commit_seq >= target
+    });
+    let primary_dump = dump(&paddr);
+    let replica_dump = dump(&raddr);
+    assert_eq!(
+        primary_dump, replica_dump,
+        "[{tag} @ op {at_op}] divergence after convergence"
+    );
+    for id in &acked {
+        assert!(
+            replica_dump.contains(&format!("id: {id}")),
+            "[{tag} @ op {at_op}] acked write {id} lost on the replica"
+        );
+    }
+    let ops = net.ops();
+    replica.stop();
+    primary.stop();
+    ops
+}

@@ -38,19 +38,23 @@ use cypher_server::{Client, HelloOptions};
 
 const USAGE: &str = "usage: cypher-client --addr HOST:PORT \
 [--dialect legacy|revised] [--lint off|warn|deny] [--rows N] [--writes N] [--time MS] \
-( [--run STMT | --expect-error STMT | --dump | --commit-log | --checkpoint \
-| --stats | --promote | --fence ADDR]... \
-[--goodbye] [--shutdown] | --load N --threads T [--read-addr HOST:PORT] [--out FILE] )";
+( [--run STMT | --run-routed STMT | --expect-error STMT | --dump | --commit-log | --checkpoint \
+| --stats | --promote | --epoch N --fence ADDR]... \
+[--goodbye] [--shutdown] | --load N --threads T [--read-addr HOST:PORT] [--label NAME] \
+[--out FILE] )";
 
 enum Action {
     Run(String),
+    /// Like `Run`, but follows typed `NotPrimary` redirects to the
+    /// current primary (post-failover write path).
+    RunRouted(String),
     ExpectError(String),
     Dump,
     CommitLog,
     Checkpoint,
     Stats,
     Promote,
-    Fence(String),
+    Fence(String, u64),
     Goodbye,
     Shutdown,
 }
@@ -61,6 +65,7 @@ struct Options {
     actions: Vec<Action>,
     load: Option<(u64, u64, String)>,
     read_addr: Option<String>,
+    label: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -70,10 +75,12 @@ fn parse_args() -> Result<Options, String> {
         actions: Vec::new(),
         load: None,
         read_addr: None,
+        label: None,
     };
     let mut load_n: Option<u64> = None;
     let mut threads: u64 = 4;
     let mut out: Option<String> = None;
+    let mut epoch: u64 = 0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut next = |flag: &str| args.next().ok_or(format!("{flag} takes a value"));
@@ -94,6 +101,7 @@ fn parse_args() -> Result<Options, String> {
             "--writes" => opts.hello.max_writes = parse_u64(&next("--writes")?)?,
             "--time" => opts.hello.timeout_ms = parse_u64(&next("--time")?)?,
             "--run" => opts.actions.push(Action::Run(next("--run")?)),
+            "--run-routed" => opts.actions.push(Action::RunRouted(next("--run-routed")?)),
             "--expect-error" => opts
                 .actions
                 .push(Action::ExpectError(next("--expect-error")?)),
@@ -102,7 +110,9 @@ fn parse_args() -> Result<Options, String> {
             "--checkpoint" => opts.actions.push(Action::Checkpoint),
             "--stats" => opts.actions.push(Action::Stats),
             "--promote" => opts.actions.push(Action::Promote),
-            "--fence" => opts.actions.push(Action::Fence(next("--fence")?)),
+            "--epoch" => epoch = parse_u64(&next("--epoch")?)?.ok_or("--epoch takes a number")?,
+            "--fence" => opts.actions.push(Action::Fence(next("--fence")?, epoch)),
+            "--label" => opts.label = Some(next("--label")?),
             "--goodbye" => opts.actions.push(Action::Goodbye),
             "--shutdown" => opts.actions.push(Action::Shutdown),
             "--load" => load_n = parse_u64(&next("--load")?)?,
@@ -160,6 +170,19 @@ fn scripted(opts: Options) -> ExitCode {
             Action::Run(text) => match client.run_with_retry(text, 10) {
                 Ok(outcome) => {
                     print_outcome(text, &outcome);
+                    false
+                }
+                Err(e) => {
+                    eprintln!("error: {text}: {e}");
+                    true
+                }
+            },
+            Action::RunRouted(text) => match client.run_routed(text) {
+                Ok(outcome) => {
+                    print_outcome(text, &outcome);
+                    if client.connected_addr() != opts.addr {
+                        eprintln!("(routed to {})", client.connected_addr());
+                    }
                     false
                 }
                 Err(e) => {
@@ -229,9 +252,9 @@ fn scripted(opts: Options) -> ExitCode {
                     true
                 }
             },
-            Action::Fence(new_primary) => match client.fence(new_primary) {
+            Action::Fence(new_primary, epoch) => match client.fence(new_primary, *epoch) {
                 Ok(()) => {
-                    println!("fenced (writes redirect to `{new_primary}`)");
+                    println!("fenced at epoch {epoch} (writes redirect to `{new_primary}`)");
                     false
                 }
                 Err(e) => {
@@ -277,16 +300,27 @@ fn print_stats(s: &cypher_server::StatsOutcome) {
         println!("writes-go-to: {}", s.redirect);
     }
     println!("epoch: {}", s.epoch);
+    println!("repl-epoch: {}", s.repl_epoch);
     println!("commit-seq: {}", s.commit_seq);
     println!("queue-len: {}", s.queue_len);
+    let quorum = match s.quorum {
+        0 => "async",
+        1 => "in-sync",
+        2 => "degraded",
+        3 => "timed-out",
+        _ => "unknown",
+    };
+    println!("quorum: {quorum}");
+    println!("overflow-drops: {}", s.overflow_drops);
     if s.role == 1 {
         println!("primary-seen: {}", s.primary_seen);
         println!("apply-lag: {}", s.primary_seen.saturating_sub(s.commit_seq));
     }
-    for (addr, sent) in &s.replicas {
+    for (addr, sent, acked) in &s.replicas {
         println!(
-            "replica {addr}: sent-seq {sent} (send-lag {})",
-            s.commit_seq.saturating_sub(*sent)
+            "replica {addr}: sent-seq {sent} acked-seq {acked} (send-lag {}, durable-lag {})",
+            s.commit_seq.saturating_sub(*sent),
+            s.commit_seq.saturating_sub(*acked),
         );
     }
 }
@@ -307,7 +341,14 @@ fn print_outcome(text: &str, outcome: &cypher_server::RunOutcome) {
 
 /// The load generator: `threads` sessions × `n` statements each, 50/50
 /// write/read mix, Busy retried. Latencies are recorded per statement.
-fn load_test(addr: &str, hello: &HelloOptions, n: u64, threads: u64, out: &str) -> ExitCode {
+fn load_test(
+    addr: &str,
+    hello: &HelloOptions,
+    n: u64,
+    threads: u64,
+    out: &str,
+    label: &str,
+) -> ExitCode {
     let started = Instant::now();
     let handles: Vec<_> = (0..threads)
         .map(|t| {
@@ -368,7 +409,7 @@ fn load_test(addr: &str, hello: &HelloOptions, n: u64, threads: u64, out: &str) 
     let throughput = total as f64 / elapsed.as_secs_f64();
 
     let report = format!(
-        "{{\n  \"benchmark\": \"server_load\",\n  \"threads\": {threads},\n  \
+        "{{\n  \"benchmark\": \"{label}\",\n  \"threads\": {threads},\n  \
          \"statements_per_session\": {n},\n  \"total_statements\": {total},\n  \
          \"elapsed_ms\": {},\n  \"throughput_stmts_per_s\": {:.1},\n  \
          \"write\": {},\n  \"read\": {}\n}}\n",
@@ -401,6 +442,7 @@ fn replica_load_test(
     n: u64,
     threads: u64,
     out: &str,
+    label: &str,
 ) -> ExitCode {
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Arc;
@@ -527,7 +569,7 @@ fn replica_load_test(
     let total = write_us.len() + read_us.len();
     let throughput = total as f64 / elapsed.as_secs_f64();
     let report = format!(
-        "{{\n  \"benchmark\": \"replica_load\",\n  \"threads\": {threads},\n  \
+        "{{\n  \"benchmark\": \"{label}\",\n  \"threads\": {threads},\n  \
          \"statements_per_session\": {n},\n  \"total_statements\": {total},\n  \
          \"elapsed_ms\": {},\n  \"throughput_stmts_per_s\": {:.1},\n  \
          \"max_replication_lag_units\": {},\n  \"converge_ms\": {converge_ms},\n  \
@@ -585,9 +627,13 @@ fn main() -> ExitCode {
             match &opts.read_addr {
                 Some(read_addr) => {
                     let read_addr = read_addr.clone();
-                    replica_load_test(&opts.addr, &read_addr, &opts.hello, n, threads, &out)
+                    let label = opts.label.as_deref().unwrap_or("replica_load");
+                    replica_load_test(&opts.addr, &read_addr, &opts.hello, n, threads, &out, label)
                 }
-                None => load_test(&opts.addr, &opts.hello, n, threads, &out),
+                None => {
+                    let label = opts.label.as_deref().unwrap_or("server_load");
+                    load_test(&opts.addr, &opts.hello, n, threads, &out, label)
+                }
             }
         }
         None => scripted(opts),

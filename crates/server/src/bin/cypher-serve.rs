@@ -18,6 +18,19 @@
 //! replica tailing that primary — client writes are refused with the
 //! typed `NotPrimary` error carrying the primary's address. `--allow-admin`
 //! enables the `Promote` and `Fence` frames (manual failover).
+//!
+//! Quorum: `--sync-replicas N` withholds client write acknowledgements
+//! until `N` replicas confirm durable application; `--sync-timeout-ms`
+//! bounds the wait and `--sync-policy strict|degrade` picks between the
+//! retryable `ReplicationTimeout` refusal and degrading to async.
+//!
+//! Automatic failover: on a replica, `--lease-ms N` presumes the primary
+//! dead after `N` ms of silence (clamped to at least three feeder
+//! keepalive intervals, and double-checked with a direct probe before
+//! anyone is usurped) and runs a deterministic election over
+//! `--peers HOST:PORT,HOST:PORT,...` (highest durable sequence wins, ties
+//! by address); the winner promotes itself into a fresh epoch and fences
+//! the old primary. `--lease-ms 0` (default) disables failover.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
@@ -32,7 +45,9 @@ const USAGE: &str = "usage: cypher-serve --data DIR [--addr HOST:PORT] \
 [--dialect legacy|revised] [--lint off|warn|deny] \
 [--rows N] [--writes N] [--time MS] \
 [--max-inflight N] [--queue-depth N] [--max-batch N] [--allow-shutdown] \
-[--replica-of HOST:PORT] [--advertise HOST:PORT] [--allow-admin]";
+[--replica-of HOST:PORT] [--advertise HOST:PORT] [--allow-admin] \
+[--sync-replicas N] [--sync-timeout-ms MS] [--sync-policy strict|degrade] \
+[--lease-ms MS] [--peers HOST:PORT,...]";
 
 fn parse_config() -> Result<ServerConfig, String> {
     let mut data: Option<String> = None;
@@ -77,6 +92,27 @@ fn parse_config() -> Result<ServerConfig, String> {
             }
             "--advertise" => {
                 config.advertise_addr = Some(args.next().ok_or("--advertise takes HOST:PORT")?)
+            }
+            "--sync-replicas" => {
+                config.sync_replicas = next_u64(&mut args, "--sync-replicas")? as usize
+            }
+            "--sync-timeout-ms" => {
+                config.sync_timeout =
+                    Duration::from_millis(next_u64(&mut args, "--sync-timeout-ms")?)
+            }
+            "--sync-policy" => {
+                let v = args.next().ok_or("--sync-policy takes strict|degrade")?;
+                config.sync_policy = cypher_replication::SyncPolicy::parse(&v)
+                    .ok_or("--sync-policy takes strict|degrade")?
+            }
+            "--lease-ms" => config.lease_ms = next_u64(&mut args, "--lease-ms")?,
+            "--peers" => {
+                let list = args.next().ok_or("--peers takes HOST:PORT,...")?;
+                config.peers = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),

@@ -5,15 +5,21 @@
 //! versioned handshake, `run` executes a statement and pulls every row,
 //! and `run_with_retry` resubmits on the retryable `Busy` refusal with
 //! linear backoff (the documented client half of the backpressure
-//! contract).
+//! contract). `run_routed` additionally follows the typed `NotPrimary`
+//! redirect — after a failover, writes find the new primary without the
+//! caller doing anything.
+//!
+//! All connections go through a [`NetFabric`], so the torture tests can
+//! inject deterministic network faults under an unmodified client.
 
 use std::io::{BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
 use cypher_graph::Value;
 
 use crate::error::ErrorCode;
+use crate::net::{NetFabric, NetStream, RealNet};
 use crate::wire::{read_frame, write_frame, Request, Response, WireError, PROTOCOL_VERSION};
 
 /// Session options for the handshake. `None` budget fields defer to the
@@ -55,8 +61,14 @@ pub struct StatsOutcome {
     pub queue_len: u64,
     /// Replica: highest sequence received from the primary.
     pub primary_seen: u64,
-    /// Primary: `(address, highest sequence enqueued)` per subscriber.
-    pub replicas: Vec<(String, u64)>,
+    /// The replication epoch this server believes is current.
+    pub repl_epoch: u64,
+    /// Quorum state byte (0 async, 1 in-sync, 2 degraded, 3 timed-out).
+    pub quorum: u8,
+    /// Subscribers dropped because their feed backlog overflowed.
+    pub overflow_drops: u64,
+    /// Primary: `(address, sent seq, durably acked seq)` per subscriber.
+    pub replicas: Vec<(String, u64, u64)>,
 }
 
 /// A statement's complete outcome: columns, all rows, update stats.
@@ -105,10 +117,16 @@ impl From<WireError> for ClientError {
 }
 
 impl ClientError {
+    /// An admission-control refusal: the statement was never admitted, so
+    /// resubmitting it verbatim is always safe. Other retryable errors are
+    /// deliberately excluded — a `replication-timeout` write in particular
+    /// is already durable on the primary, and blindly re-running a
+    /// non-idempotent statement would duplicate its effects.
     pub fn is_busy(&self) -> bool {
         matches!(
             self,
             ClientError::Server {
+                code: ErrorCode::Busy,
                 retryable: true,
                 ..
             }
@@ -125,24 +143,45 @@ impl ClientError {
 
 pub type ClientResult<T> = std::result::Result<T, ClientError>;
 
+/// How many `NotPrimary` redirects [`Client::run_routed`] follows before
+/// giving up (a redirect loop means the cluster is mid-failover).
+const MAX_REDIRECT_HOPS: u32 = 4;
+
 /// One connected, handshaken session.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    reader: BufReader<Box<dyn NetStream>>,
+    writer: BufWriter<Box<dyn NetStream>>,
     session: u64,
     limits: String,
+    /// Kept for reconnects: `run_routed` re-dials through the same fabric
+    /// with the same handshake when a `NotPrimary` redirect arrives.
+    fabric: Arc<dyn NetFabric>,
+    addr: String,
+    opts: HelloOptions,
 }
 
 impl Client {
-    pub fn connect(addr: impl ToSocketAddrs, opts: &HelloOptions) -> ClientResult<Client> {
-        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
-        stream.set_nodelay(true).ok();
-        let read_half = stream.try_clone().map_err(WireError::Io)?;
+    /// Connect over plain TCP (the production fabric).
+    pub fn connect(addr: impl ToString, opts: &HelloOptions) -> ClientResult<Client> {
+        Client::connect_via(RealNet::fabric(), &addr.to_string(), opts)
+    }
+
+    /// Connect through an explicit [`NetFabric`] (fault injection, tests).
+    pub fn connect_via(
+        fabric: Arc<dyn NetFabric>,
+        addr: &str,
+        opts: &HelloOptions,
+    ) -> ClientResult<Client> {
+        let stream = fabric.connect(addr, None).map_err(WireError::Io)?;
+        let read_half = stream.try_clone_stream().map_err(WireError::Io)?;
         let mut client = Client {
             reader: BufReader::new(read_half),
             writer: BufWriter::new(stream),
             session: 0,
             limits: String::new(),
+            fabric,
+            addr: addr.to_owned(),
+            opts: opts.clone(),
         };
         let hello = Request::Hello {
             version: PROTOCOL_VERSION,
@@ -166,6 +205,12 @@ impl Client {
 
     pub fn session_id(&self) -> u64 {
         self.session
+    }
+
+    /// The address this client is currently connected to (changes when
+    /// [`run_routed`](Client::run_routed) follows a redirect).
+    pub fn connected_addr(&self) -> &str {
+        &self.addr
     }
 
     /// The session's effective budgets, as the server rendered them.
@@ -225,6 +270,44 @@ impl Client {
         }
     }
 
+    /// [`run`](Client::run), additionally following the typed `NotPrimary`
+    /// redirect: when the server refuses a write because it is a replica
+    /// or a fenced ex-primary, the error's detail carries the primary's
+    /// address — reconnect there (same fabric, same handshake) and
+    /// resubmit, up to [`MAX_REDIRECT_HOPS`] hops with linear backoff.
+    /// A redirect without an address is returned as-is (nothing to
+    /// follow); so is any other error.
+    pub fn run_routed(&mut self, text: &str) -> ClientResult<RunOutcome> {
+        let mut hops = 0;
+        loop {
+            match self.run(text) {
+                Err(ClientError::Server {
+                    code: ErrorCode::NotPrimary,
+                    detail,
+                    message,
+                    retryable,
+                }) if hops < MAX_REDIRECT_HOPS => {
+                    if detail.is_empty() {
+                        return Err(ClientError::Server {
+                            code: ErrorCode::NotPrimary,
+                            detail,
+                            message,
+                            retryable,
+                        });
+                    }
+                    hops += 1;
+                    // Backoff before re-dialing: mid-failover the redirect
+                    // target may itself still be settling into the role.
+                    std::thread::sleep(Duration::from_millis(20 * u64::from(hops)));
+                    let next =
+                        Client::connect_via(Arc::clone(&self.fabric), &detail, &self.opts.clone())?;
+                    *self = next;
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Checkpoint the server's durable store.
     pub fn commit(&mut self) -> ClientResult<()> {
         match self.call(&Request::Commit)? {
@@ -267,6 +350,9 @@ impl Client {
                 commit_seq,
                 queue_len,
                 primary_seen,
+                repl_epoch,
+                quorum,
+                overflow_drops,
                 replicas,
             } => Ok(StatsOutcome {
                 role,
@@ -275,6 +361,9 @@ impl Client {
                 commit_seq,
                 queue_len,
                 primary_seen,
+                repl_epoch,
+                quorum,
+                overflow_drops,
                 replicas,
             }),
             other => Err(unexpected(other)),
@@ -291,10 +380,13 @@ impl Client {
     }
 
     /// Durably fence the server (requires `--allow-admin`). `new_primary`
-    /// is the address its refusals will redirect writes to ("" = unknown).
-    pub fn fence(&mut self, new_primary: &str) -> ClientResult<()> {
+    /// is the address its refusals will redirect writes to ("" = unknown);
+    /// `epoch` is the replication epoch the fencer acts in (the marker
+    /// keeps the highest ever written).
+    pub fn fence(&mut self, new_primary: &str, epoch: u64) -> ClientResult<()> {
         match self.call(&Request::Fence {
             new_primary: new_primary.to_owned(),
+            epoch,
         })? {
             Response::FenceOk => Ok(()),
             other => Err(unexpected(other)),

@@ -1,9 +1,13 @@
 //! Server configuration.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cypher_core::{Dialect, ExecLimits, LintMode};
+use cypher_replication::SyncPolicy;
+
+use crate::net::{NetFabric, RealNet};
 
 /// Everything `cypher-serve` needs to run, with defaults suitable for
 /// tests (ephemeral port, no shutdown frame, modest capacity).
@@ -45,6 +49,29 @@ pub struct ServerConfig {
     /// redirects and `Stats`); defaults to the bound listen address, which
     /// is wrong behind NAT or with port 0.
     pub advertise_addr: Option<String>,
+    /// How many replicas must confirm durable application before a write
+    /// is acknowledged to the client. `0` (the default) is classic
+    /// asynchronous shipping: acks gate only on the primary's fsync.
+    pub sync_replicas: usize,
+    /// How long the group-commit worker waits for the quorum before the
+    /// batch is handled per [`sync_policy`](ServerConfig::sync_policy).
+    pub sync_timeout: Duration,
+    /// What a quorum timeout does to the waiting writes: `Strict` refuses
+    /// them with the retryable `ReplicationTimeout` error, `Degrade` acks
+    /// them anyway and surfaces the downgrade in `Stats`.
+    pub sync_policy: SyncPolicy,
+    /// Primary-liveness lease in milliseconds; `0` (the default) disables
+    /// automatic failover entirely. On a replica, a lease that goes this
+    /// long without a frame from the primary triggers an election.
+    pub lease_ms: u64,
+    /// Peer replicas consulted during an election (their client addresses).
+    /// An empty set means this replica elects itself when the lease
+    /// expires — fine for a single-replica pair, dangerous beyond it.
+    pub peers: Vec<String>,
+    /// The transport used for *outbound* connections (tailer, fencing,
+    /// election probes). Tests swap in [`FaultNet`](crate::net::FaultNet)
+    /// to inject partitions and losses deterministically.
+    pub net: Arc<dyn NetFabric>,
 }
 
 impl ServerConfig {
@@ -64,6 +91,12 @@ impl ServerConfig {
             allow_admin: false,
             replica_of: None,
             advertise_addr: None,
+            sync_replicas: 0,
+            sync_timeout: Duration::from_secs(5),
+            sync_policy: SyncPolicy::Strict,
+            lease_ms: 0,
+            peers: Vec::new(),
+            net: RealNet::fabric(),
         }
     }
 

@@ -56,6 +56,11 @@ pub enum ErrorCode {
     /// ex-primary. The frame's detail carries the primary's address when
     /// known — clients should reconnect there.
     NotPrimary = 13,
+    /// Under `--sync-replicas N` with the `strict` policy, the required
+    /// replica confirmations did not arrive before the sync timeout. The
+    /// write **is** durable locally and was shipped, so it may exist on
+    /// some replicas — retries must be idempotent. Always retryable.
+    ReplicationTimeout = 14,
     /// Code received from a newer peer that this build does not know.
     Unknown = 0xFFFF,
 }
@@ -76,6 +81,7 @@ impl ErrorCode {
             11 => ErrorCode::Version,
             12 => ErrorCode::ReadOnly,
             13 => ErrorCode::NotPrimary,
+            14 => ErrorCode::ReplicationTimeout,
             _ => ErrorCode::Unknown,
         }
     }
@@ -97,6 +103,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Version => "version",
             ErrorCode::ReadOnly => "read-only",
             ErrorCode::NotPrimary => "not-primary",
+            ErrorCode::ReplicationTimeout => "replication-timeout",
             ErrorCode::Unknown => "unknown",
         };
         write!(f, "{name}")
@@ -166,6 +173,21 @@ pub fn not_primary_frame(primary: Option<&str>, why: &str) -> Response {
     }
 }
 
+/// The quorum-wait failure under the `strict` sync policy. Carries how
+/// many confirmations arrived versus how many were required; the write is
+/// locally durable and already shipped, so it may surface on a retry.
+pub fn replication_timeout_frame(acked: usize, needed: usize, waited_ms: u64) -> Response {
+    Response::Error {
+        code: ErrorCode::ReplicationTimeout,
+        retryable: true,
+        message: format!(
+            "quorum not reached: {acked}/{needed} replicas confirmed within {waited_ms} ms; \
+             the write is durable locally and may replicate — retry idempotently"
+        ),
+        detail: format!("{acked}/{needed}"),
+    }
+}
+
 /// The retryable admission-control refusal.
 pub fn busy_frame(reason: &str) -> Response {
     Response::Error {
@@ -196,6 +218,7 @@ mod tests {
             ErrorCode::Version,
             ErrorCode::ReadOnly,
             ErrorCode::NotPrimary,
+            ErrorCode::ReplicationTimeout,
         ] {
             assert_eq!(ErrorCode::from_u16(code as u16), code);
         }

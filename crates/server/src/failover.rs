@@ -1,0 +1,271 @@
+//! Automatic failover: lease monitoring, election, promotion, fencing.
+//!
+//! Spawned on replicas when `--lease-ms` is non-zero. The monitor watches
+//! the primary-liveness [`Lease`] the tailer renews on every frame; while
+//! the primary keeps talking, the monitor does nothing. When the lease
+//! expires — no frame for a full TTL, which spans several keepalive
+//! intervals (the server clamps the TTL to guarantee that) — the monitor
+//! runs one deterministic election round:
+//!
+//! 1. **Re-check the primary.** The lease is a one-sided presumption of
+//!    death; a direct probe that finds the primary alive and ruling ends
+//!    the round immediately (stand down, renew, rejoin).
+//! 2. **Gather candidates.** Itself (advertised address + durable commit
+//!    sequence), plus every configured `--peers` replica that answers a
+//!    `Stats` probe within a short bound. Unreachable peers are simply
+//!    absent — a partition shrinks the candidate set, it does not block
+//!    the election.
+//! 3. **Elect.** [`elect`] applies a pure total order: highest durable
+//!    sequence wins, ties break on the smallest address. Every replica
+//!    that sees the same candidate set picks the same winner with no
+//!    voting round.
+//! 4. **Act.** The winner promotes itself into epoch `repl_epoch + 1`
+//!    (durably fencing itself *in* via the fence marker's epoch) and
+//!    retry-fences the old primary at that epoch so a recovering zombie
+//!    refuses writes instead of acknowledging them in a stale reign.
+//!    Losers repoint their role cell at the winner and renew the lease;
+//!    the tailer picks the new address up on its next reconnect.
+//!
+//! Split-brain safety does **not** rest on the election (two replicas on
+//! opposite sides of a partition can both think they won). It rests on
+//! the durable epoch fence plus, in quorum mode, the replica-ack
+//! requirement: a zombie primary whose replicas are gone cannot satisfy
+//! `--sync-replicas` and therefore cannot acknowledge writes that a new
+//! reign would lose.
+
+use std::io::{BufReader, BufWriter};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cypher_replication::{elect, Candidate, Lease, Role};
+
+use crate::net::NetFabric;
+use crate::session::fence_old_primary;
+use crate::store::SharedStore;
+use crate::wire::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+
+/// Bound on dialing a peer during an election probe.
+const PROBE_CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Bound on each probe reply; a peer that answers slower than this is
+/// treated as absent for this round (the next round retries).
+const PROBE_READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// How many times the winner retries the wire fence of the old primary.
+/// Unreachability is the *expected* case (that's usually why the lease
+/// expired); the retries catch the asymmetric-partition case where the
+/// old primary is alive but silent toward us.
+const FENCE_ATTEMPTS: u32 = 20;
+const FENCE_RETRY_DELAY: Duration = Duration::from_millis(500);
+
+/// Everything the monitor needs, captured at spawn time.
+pub struct FailoverConfig {
+    /// The address this replica would advertise as primary (its own
+    /// candidate key; must be dialable by peers and clients).
+    pub self_addr: String,
+    /// Peer replicas probed during an election. Empty = self-elect.
+    pub peers: Vec<String>,
+}
+
+/// Spawn the lease monitor. It exits when `stop` flips, when the role
+/// leaves `Replica` for any reason, or after winning an election.
+pub fn spawn_monitor(
+    store: Arc<SharedStore>,
+    fabric: Arc<dyn NetFabric>,
+    lease: Arc<Lease>,
+    config: FailoverConfig,
+    stop: Arc<AtomicBool>,
+) -> Option<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("cypher-failover".to_owned())
+        .spawn(move || monitor_loop(&store, &fabric, &lease, &config, &stop))
+        .ok()
+}
+
+fn monitor_loop(
+    store: &Arc<SharedStore>,
+    fabric: &Arc<dyn NetFabric>,
+    lease: &Arc<Lease>,
+    config: &FailoverConfig,
+    stop: &Arc<AtomicBool>,
+) {
+    // Poll a few times per TTL: worst-case detection latency stays well
+    // under 2×TTL without busy-waiting.
+    let poll = (lease.ttl() / 4).max(Duration::from_millis(10));
+    loop {
+        std::thread::sleep(poll);
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Role::Replica { primary } = store.role().get() else {
+            // Promoted (by an operator or an earlier round) or fenced:
+            // nothing left to monitor.
+            return;
+        };
+        if !lease.expired() {
+            continue;
+        }
+        eprintln!(
+            "cypher-failover: lease on {primary} expired ({}ms TTL); running election",
+            lease.ttl().as_millis()
+        );
+        match run_election(store, fabric, config, &primary) {
+            ElectionOutcome::Won => return,
+            ElectionOutcome::Lost { winner } => {
+                eprintln!("cypher-failover: repointing at elected primary {winner}");
+                store.role().set(Role::Replica { primary: winner });
+                // Give the new primary a full TTL to start feeding us
+                // before we consider *it* dead too.
+                lease.renew();
+            }
+            ElectionOutcome::NoWinner => {
+                // Probes all failed and we were not the deterministic
+                // winner of the singleton set — only possible transiently;
+                // renew so the next round happens one TTL from now rather
+                // than immediately.
+                lease.renew();
+            }
+        }
+    }
+}
+
+enum ElectionOutcome {
+    Won,
+    Lost { winner: String },
+    NoWinner,
+}
+
+fn run_election(
+    store: &Arc<SharedStore>,
+    fabric: &Arc<dyn NetFabric>,
+    config: &FailoverConfig,
+    old_primary: &str,
+) -> ElectionOutcome {
+    // A lease can expire from a transient local stall as well as a real
+    // death. Re-probe the presumed-dead primary first: if it answers and
+    // still rules, the expiry was a false alarm — rejoin it rather than
+    // fencing a healthy primary out from under its clients.
+    if let Some(probe) = probe_peer(fabric, old_primary) {
+        if probe.role == 0 {
+            eprintln!("cypher-failover: primary {old_primary} answered the probe; standing down");
+            return ElectionOutcome::Lost {
+                winner: old_primary.to_owned(),
+            };
+        }
+    }
+    let mut candidates = vec![Candidate {
+        addr: config.self_addr.clone(),
+        seq: store.commit_seq(),
+    }];
+    let mut highest_epoch = store.repl_epoch();
+    for peer in &config.peers {
+        if peer == &config.self_addr || peer == old_primary {
+            continue;
+        }
+        match probe_peer(fabric, peer) {
+            Some(probe) => {
+                highest_epoch = highest_epoch.max(probe.repl_epoch);
+                // Only replicas are candidates: a peer that already rules
+                // as primary means the election is over — join it.
+                if probe.role == 1 {
+                    candidates.push(Candidate {
+                        addr: peer.clone(),
+                        seq: probe.commit_seq,
+                    });
+                } else if probe.role == 0 {
+                    return ElectionOutcome::Lost {
+                        winner: peer.clone(),
+                    };
+                }
+            }
+            None => eprintln!("cypher-failover: peer {peer} unreachable; excluded this round"),
+        }
+    }
+    let Some(winner) = elect(&candidates) else {
+        return ElectionOutcome::NoWinner;
+    };
+    if winner.addr != config.self_addr {
+        return ElectionOutcome::Lost {
+            winner: winner.addr.clone(),
+        };
+    }
+
+    // We won: promote into a fresh epoch — strictly above every reign any
+    // reachable candidate has witnessed — and fence the old primary there.
+    let epoch = highest_epoch.saturating_add(1);
+    let seq = store.promote_with_epoch(epoch);
+    eprintln!(
+        "cypher-failover: won election ({} candidate(s)); now primary at seq {seq}, epoch {epoch}",
+        candidates.len()
+    );
+    let fabric = Arc::clone(fabric);
+    let old = old_primary.to_owned();
+    let advertise = config.self_addr.clone();
+    std::thread::Builder::new()
+        .name("cypher-fence".to_owned())
+        .spawn(move || {
+            for attempt in 1..=FENCE_ATTEMPTS {
+                match fence_old_primary(Arc::clone(&fabric), &old, &advertise, epoch) {
+                    Ok(()) => {
+                        eprintln!("cypher-failover: fenced old primary {old} at epoch {epoch}");
+                        return;
+                    }
+                    Err(e) if attempt == FENCE_ATTEMPTS => {
+                        eprintln!(
+                            "cypher-failover: could not fence old primary {old} ({e}); it will \
+                             be refused as a stale-epoch peer if it returns"
+                        );
+                    }
+                    Err(_) => std::thread::sleep(FENCE_RETRY_DELAY),
+                }
+            }
+        })
+        .ok();
+    ElectionOutcome::Won
+}
+
+/// What an election probe learns about a peer.
+struct PeerProbe {
+    role: u8,
+    commit_seq: u64,
+    repl_epoch: u64,
+}
+
+/// One bounded `Hello` + `Stats` exchange over the fabric. Any failure —
+/// connect, timeout, protocol — makes the peer absent for this round.
+fn probe_peer(fabric: &Arc<dyn NetFabric>, addr: &str) -> Option<PeerProbe> {
+    let stream = fabric.connect(addr, Some(PROBE_CONNECT_TIMEOUT)).ok()?;
+    stream.set_read_timeout(Some(PROBE_READ_TIMEOUT)).ok()?;
+    let read_half = stream.try_clone_stream().ok()?;
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let hello = Request::Hello {
+        version: PROTOCOL_VERSION,
+        dialect: 0xFF,
+        lint: 0xFF,
+        max_rows: u64::MAX,
+        max_writes: u64::MAX,
+        timeout_ms: u64::MAX,
+    };
+    write_frame(&mut writer, &hello.encode()).ok()?;
+    match Response::decode(&read_frame(&mut reader).ok()?).ok()? {
+        Response::HelloOk { .. } => {}
+        _ => return None,
+    }
+    write_frame(&mut writer, &Request::Stats.encode()).ok()?;
+    match Response::decode(&read_frame(&mut reader).ok()?).ok()? {
+        Response::StatsOk {
+            role,
+            commit_seq,
+            repl_epoch,
+            ..
+        } => Some(PeerProbe {
+            role,
+            commit_seq,
+            repl_epoch,
+        }),
+        _ => None,
+    }
+}

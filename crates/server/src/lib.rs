@@ -29,9 +29,19 @@
 //! * [`server`] — the TCP listener/accept loop and clean shutdown.
 //! * [`replica`] — the replica-side tailer thread: subscribes to a
 //!   primary's commit-log stream, applies shipped units through the same
-//!   apply queue, and reconnects/catches up after any fault.
+//!   apply queue, sends durable `Ack` frames back up the stream (the raw
+//!   material of `--sync-replicas` quorum), and reconnects/catches up
+//!   after any fault.
+//! * [`failover`] — the lease monitor: when the primary goes silent past
+//!   the configured TTL, runs a deterministic election over the peer set,
+//!   promotes the winner into a fresh epoch and durably fences the old
+//!   primary.
+//! * [`net`] — the outbound transport abstraction ([`NetFabric`]): real
+//!   TCP in production, [`FaultNet`] in tests to inject drops, delays,
+//!   duplicated frames and partitions at a deterministic operation index.
 //! * [`client`] — a blocking client library used by the `cypher-client`
-//!   binary, the integration tests and the load generator.
+//!   binary, the integration tests and the load generator. Its
+//!   `run_routed` follows typed `NotPrimary` redirects after a failover.
 //!
 //! Admission control is two-layered: a global in-flight statement cap
 //! (try-acquire; over cap → the retryable `Busy` error) and a bounded
@@ -43,6 +53,8 @@
 pub mod client;
 pub mod config;
 pub mod error;
+pub mod failover;
+pub mod net;
 pub mod replica;
 pub mod server;
 pub mod session;
@@ -52,5 +64,6 @@ pub mod wire;
 pub use client::{Client, ClientError, HelloOptions, RunOutcome, StatsOutcome};
 pub use config::ServerConfig;
 pub use error::ErrorCode;
+pub use net::{FaultNet, NetFabric, NetFault, NetStream, RealNet};
 pub use server::{serve, serve_with, ServerHandle};
-pub use store::{ReplicaApply, SharedStore, StoreStats};
+pub use store::{ReplicaApply, SharedStore, StoreOptions, StoreStats, WriteOutcome};

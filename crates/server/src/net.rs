@@ -1,0 +1,489 @@
+//! Virtualized wire transport for deterministic network fault injection.
+//!
+//! The storage layer already virtualizes the filesystem behind
+//! `StorageFs`/`FaultFs` so torture tests can kill a write at the N-th
+//! operation; this module is the same idea for the network. Everything
+//! that *dials* — the client library, the replica tailer, the failover
+//! monitor's election probes and fencing calls — goes through a
+//! [`NetFabric`], and every byte it moves goes through a [`NetStream`].
+//! The accept side stays a real `TcpListener`: faults are injected where
+//! the protocol acts on the network (connects, reads, writes), which is
+//! exactly the surface a partition or a dying switch corrupts.
+//!
+//! [`RealNet`] is the production fabric (plain `TcpStream`s). [`FaultNet`]
+//! wraps it and injects one configured fault at the N-th transport
+//! operation — connects, reads and writes share one deterministic op
+//! counter, so a torture harness can first run a *counting pass* (no
+//! fault, count the ops), then replay the same scenario once per op index
+//! with the fault armed at each. Partitions are address-based and stay up
+//! until [`FaultNet::heal`] — a partitioned peer fails every op with a
+//! connection error rather than hanging, so tests stay fast and the
+//! tailer/feeder retry paths (which treat any error identically) are the
+//! ones exercised.
+
+use std::collections::HashSet;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One bidirectional byte stream. `Read`/`Write` move the bytes; the
+/// extra methods expose the socket controls the server and tailer need.
+pub trait NetStream: Read + Write + Send {
+    /// Read timeout for dead-peer detection (`None` blocks forever).
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()>;
+    /// An independently owned handle to the same stream (read half /
+    /// write half split, like `TcpStream::try_clone`).
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>>;
+    /// The remote address, for labels and partition matching.
+    fn peer_label(&self) -> String;
+}
+
+/// A dialer: everything client-side goes through one of these.
+pub trait NetFabric: Send + Sync + std::fmt::Debug {
+    /// Connect to `addr`, optionally bounded by `timeout` (used by
+    /// election probes, which must not hang on a dead peer).
+    fn connect(&self, addr: &str, timeout: Option<Duration>) -> io::Result<Box<dyn NetStream>>;
+}
+
+// ---------------------------------------------------------------------------
+// RealNet
+// ---------------------------------------------------------------------------
+
+/// The production fabric: plain TCP with `TCP_NODELAY`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealNet;
+
+impl RealNet {
+    /// A shared handle to the one stateless real fabric.
+    pub fn fabric() -> Arc<dyn NetFabric> {
+        Arc::new(RealNet)
+    }
+}
+
+impl NetFabric for RealNet {
+    fn connect(&self, addr: &str, timeout: Option<Duration>) -> io::Result<Box<dyn NetStream>> {
+        let stream = match timeout {
+            None => TcpStream::connect(addr)?,
+            Some(t) => {
+                // connect_timeout needs a resolved SocketAddr.
+                let resolved = addr
+                    .to_socket_addrs()?
+                    .next()
+                    .ok_or_else(|| io::Error::other(format!("no address for {addr}")))?;
+                TcpStream::connect_timeout(&resolved, t)?
+            }
+        };
+        stream.set_nodelay(true).ok();
+        Ok(Box::new(RealStream { inner: stream }))
+    }
+}
+
+struct RealStream {
+    inner: TcpStream,
+}
+
+impl Read for RealStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl Write for RealStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl NetStream for RealStream {
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(t)
+    }
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>> {
+        Ok(Box::new(RealStream {
+            inner: self.inner.try_clone()?,
+        }))
+    }
+    fn peer_label(&self) -> String {
+        self.inner
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_owned())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultNet
+// ---------------------------------------------------------------------------
+
+/// What happens at the armed operation index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFault {
+    /// The op fails with a connection error (a dropped frame/connection;
+    /// the peer sees a torn stream).
+    Drop,
+    /// The op is stalled for the given duration first, then performed
+    /// (an extreme latency spike — long enough to expire leases or read
+    /// timeouts when configured so).
+    Delay(Duration),
+    /// A write's bytes go out twice (a duplicated frame on the wire; with
+    /// buffered frame-at-a-time writers this duplicates whole frames, and
+    /// the replication protocol must de-duplicate by sequence).
+    DuplicateWrite,
+    /// From this op on, **every** address this fabric dials is
+    /// partitioned (ops fail with a connection error) until
+    /// [`FaultNet::heal`].
+    Partition,
+}
+
+#[derive(Debug, Default)]
+struct FaultPlan {
+    /// Fire the fault when the shared op counter hits this 1-based index.
+    at_op: u64,
+    fault: Option<NetFault>,
+    /// Fire at most once (except `Partition`, which latches).
+    fired: bool,
+}
+
+/// Shared mutable state of a [`FaultNet`] (one per torture scenario, no
+/// matter how many clones and streams exist).
+#[derive(Debug)]
+struct FaultState {
+    ops: AtomicU64,
+    plan: Mutex<FaultPlan>,
+    /// Everything unreachable (the armed `Partition` fault latches this).
+    partition_all: AtomicBool,
+    /// Selectively unreachable addresses, as dialed.
+    partitioned: Mutex<HashSet<String>>,
+}
+
+impl FaultState {
+    fn is_partitioned(&self, addr: &str) -> bool {
+        if self.partition_all.load(Ordering::Acquire) {
+            return true;
+        }
+        self.partitioned
+            .lock()
+            .map(|set| set.contains(addr))
+            .unwrap_or(false)
+    }
+
+    /// Count one op; return the fault to apply to it, if this is the
+    /// armed index.
+    fn tick(&self) -> Option<NetFault> {
+        let op = self.ops.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut plan = self.plan.lock().ok()?;
+        if plan.fired || plan.fault.is_none() || op != plan.at_op {
+            return None;
+        }
+        plan.fired = true;
+        let fault = plan.fault;
+        drop(plan);
+        if fault == Some(NetFault::Partition) {
+            self.partition_all.store(true, Ordering::Release);
+        }
+        fault
+    }
+
+    fn partition_error(addr: &str) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            format!("injected partition: {addr} unreachable"),
+        )
+    }
+}
+
+/// Deterministic fault-injecting fabric wrapping [`RealNet`]. Cheap to
+/// clone; every clone shares the same op counter, fault plan and
+/// partition set.
+///
+/// Every `connect`, `read` and `write` across all streams increments one
+/// shared counter; the armed fault fires at exactly the configured index.
+/// Address partitions (armed or explicit via
+/// [`partition`](FaultNet::partition)) persist until [`heal`](FaultNet::heal).
+#[derive(Debug, Clone)]
+pub struct FaultNet {
+    inner: RealNet,
+    state: Arc<FaultState>,
+}
+
+impl Default for FaultNet {
+    fn default() -> FaultNet {
+        FaultNet::new()
+    }
+}
+
+impl FaultNet {
+    pub fn new() -> FaultNet {
+        FaultNet {
+            inner: RealNet,
+            state: Arc::new(FaultState {
+                ops: AtomicU64::new(0),
+                plan: Mutex::new(FaultPlan::default()),
+                partition_all: AtomicBool::new(false),
+                partitioned: Mutex::new(HashSet::new()),
+            }),
+        }
+    }
+
+    /// This fabric as a shareable `Arc<dyn NetFabric>` (the clone shares
+    /// all fault state with `self`).
+    pub fn fabric(&self) -> Arc<dyn NetFabric> {
+        Arc::new(self.clone())
+    }
+
+    /// Arm `fault` to fire at the `at_op`-th transport operation
+    /// (1-based). Re-arming replaces the previous plan.
+    pub fn fault_at(&self, at_op: u64, fault: NetFault) {
+        if let Ok(mut plan) = self.state.plan.lock() {
+            *plan = FaultPlan {
+                at_op,
+                fault: Some(fault),
+                fired: false,
+            };
+        }
+    }
+
+    /// Operations performed so far (the counting pass reads this after a
+    /// clean run to know the replay range).
+    pub fn ops(&self) -> u64 {
+        self.state.ops.load(Ordering::Acquire)
+    }
+
+    /// Partition `addr` immediately: every op on a stream to it, and
+    /// every new connect, fails until [`heal`](FaultNet::heal).
+    pub fn partition(&self, addr: &str) {
+        if let Ok(mut set) = self.state.partitioned.lock() {
+            set.insert(addr.to_owned());
+        }
+    }
+
+    /// Lift every partition (explicit and armed).
+    pub fn heal(&self) {
+        self.state.partition_all.store(false, Ordering::Release);
+        if let Ok(mut set) = self.state.partitioned.lock() {
+            set.clear();
+        }
+    }
+}
+
+impl NetFabric for FaultNet {
+    fn connect(&self, addr: &str, timeout: Option<Duration>) -> io::Result<Box<dyn NetStream>> {
+        match self.state.tick() {
+            Some(NetFault::Drop) | Some(NetFault::Partition) => {
+                return Err(FaultState::partition_error(addr))
+            }
+            Some(NetFault::Delay(d)) => std::thread::sleep(d),
+            Some(NetFault::DuplicateWrite) | None => {}
+        }
+        if self.state.is_partitioned(addr) {
+            return Err(FaultState::partition_error(addr));
+        }
+        let inner = self.inner.connect(addr, timeout)?;
+        Ok(Box::new(FaultStream {
+            state: Arc::clone(&self.state),
+            addr: addr.to_owned(),
+            inner,
+            duplicate_next_write: false,
+        }))
+    }
+}
+
+struct FaultStream {
+    state: Arc<FaultState>,
+    /// The address as dialed (partition matching uses what the test
+    /// partitioned, not the resolved peer address).
+    addr: String,
+    inner: Box<dyn NetStream>,
+    duplicate_next_write: bool,
+}
+
+impl FaultStream {
+    /// Shared pre-op bookkeeping: count the op, apply the armed fault,
+    /// enforce partitions.
+    fn pre_op(&mut self) -> io::Result<()> {
+        match self.state.tick() {
+            Some(NetFault::Drop) | Some(NetFault::Partition) => {
+                return Err(FaultState::partition_error(&self.addr));
+            }
+            Some(NetFault::Delay(d)) => std::thread::sleep(d),
+            Some(NetFault::DuplicateWrite) => self.duplicate_next_write = true,
+            None => {}
+        }
+        if self.state.is_partitioned(&self.addr) {
+            return Err(FaultState::partition_error(&self.addr));
+        }
+        Ok(())
+    }
+}
+
+impl Read for FaultStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.pre_op()?;
+        self.inner.read(buf)
+    }
+}
+
+impl Write for FaultStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.pre_op()?;
+        let n = self.inner.write(buf)?;
+        if self.duplicate_next_write && n == buf.len() {
+            // Duplicate the exact bytes (frame-at-a-time writers make
+            // this a duplicated frame, which the protocol must absorb).
+            self.duplicate_next_write = false;
+            self.inner.write_all(&buf[..n])?;
+        }
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl NetStream for FaultStream {
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(t)
+    }
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>> {
+        Ok(Box::new(FaultStream {
+            state: Arc::clone(&self.state),
+            addr: self.addr.clone(),
+            inner: self.inner.try_clone_stream()?,
+            duplicate_next_write: false,
+        }))
+    }
+    fn peer_label(&self) -> String {
+        self.inner.peer_label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn echo_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            // One thread per connection: tests hold several streams open
+            // at once (a shadowed binding lives to the end of the test).
+            while let Ok((mut s, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 256];
+                    loop {
+                        match s.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                if s.write_all(&buf[..n]).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        (addr, h)
+    }
+
+    #[test]
+    fn real_net_round_trips() {
+        let (addr, _h) = echo_server();
+        let mut s = RealNet.connect(&addr.to_string(), None).unwrap();
+        s.write_all(b"ping").unwrap();
+        s.flush().unwrap();
+        let mut buf = [0u8; 4];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn fault_net_counts_ops_and_drops_at_index() {
+        let (addr, _h) = echo_server();
+        let addr = addr.to_string();
+        let net = FaultNet::new();
+        // Counting pass: connect (1), write (2), read (3).
+        let mut s = net.connect(&addr, None).unwrap();
+        s.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(net.ops(), 3);
+
+        // Replay with the write (op 5: connect=4, write=5) dropped.
+        net.fault_at(5, NetFault::Drop);
+        let mut s = net.connect(&addr, None).unwrap();
+        let err = s.write_all(b"ping").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // The fault fires once; the next op works.
+        s.write_all(b"pong").unwrap();
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn partition_blocks_until_heal() {
+        let (addr, _h) = echo_server();
+        let addr = addr.to_string();
+        let net = FaultNet::new();
+        net.partition(&addr);
+        assert!(net.connect(&addr, None).is_err());
+        net.heal();
+        let mut s = net.connect(&addr, None).unwrap();
+        // Established streams to a partitioned address fail too.
+        net.partition(&addr);
+        assert!(s.write_all(b"x").is_err());
+        net.heal();
+        s.write_all(b"ok").unwrap();
+        let mut buf = [0u8; 2];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ok");
+    }
+
+    #[test]
+    fn duplicate_write_doubles_the_frame() {
+        let (addr, _h) = echo_server();
+        let addr = addr.to_string();
+        let net = FaultNet::new();
+        // connect=1, write=2 duplicated.
+        net.fault_at(2, NetFault::DuplicateWrite);
+        let mut s = net.connect(&addr, None).unwrap();
+        s.write_all(b"abc").unwrap();
+        let mut buf = [0u8; 6];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abcabc", "the echo returns the bytes twice");
+    }
+
+    #[test]
+    fn armed_partition_latches_until_heal() {
+        let (addr, _h) = echo_server();
+        let addr = addr.to_string();
+        let net = FaultNet::new();
+        net.fault_at(1, NetFault::Partition);
+        assert!(net.connect(&addr, None).is_err(), "armed at the connect");
+        assert!(
+            net.connect(&addr, None).is_err(),
+            "partition latches for later ops too"
+        );
+        net.heal();
+        assert!(net.connect(&addr, None).is_ok());
+    }
+
+    #[test]
+    fn clones_share_the_op_counter_and_partitions() {
+        let (addr, _h) = echo_server();
+        let addr = addr.to_string();
+        let net = FaultNet::new();
+        let other = net.clone();
+        let _ = net.connect(&addr, None).unwrap();
+        let _ = other.connect(&addr, None).unwrap();
+        assert_eq!(net.ops(), 2);
+        other.partition(&addr);
+        assert!(net.connect(&addr, None).is_err());
+    }
+}

@@ -1,12 +1,25 @@
-//! The replica-side tailer: subscribe, catch up, apply, repeat.
+//! The replica-side tailer: subscribe, catch up, apply, acknowledge.
 //!
-//! One background thread per replica server. It dials the primary, does
-//! the normal protocol handshake, then sends `Subscribe` with its own
-//! durable commit sequence — the primary answers with either the backlog
-//! of missed units or a full snapshot bootstrap, followed by the live
-//! stream. Every unit goes through the same single-writer apply queue as
-//! client writes would, so replica reads keep the exact statement-boundary
-//! atomicity guarantees of the primary.
+//! One background thread per replica server. It dials the primary (every
+//! cycle re-reads the address from the role cell, so a failover repoint
+//! takes effect on the next reconnect), does the normal protocol
+//! handshake, then sends `Subscribe` with its own durable commit sequence
+//! — the primary answers with either the backlog of missed units or a
+//! full snapshot bootstrap, followed by the live stream. Every unit goes
+//! through the same single-writer apply queue as client writes would, so
+//! replica reads keep the exact statement-boundary atomicity guarantees
+//! of the primary.
+//!
+//! After each unit's apply returns — which only happens once the unit's
+//! group commit has **fsynced here** — the tailer sends a durable
+//! `Ack(seq, epoch)` back up the same stream. Those acks are what the
+//! primary's `--sync-replicas` quorum gate counts; the epoch stamp keeps
+//! a stale reign's confirmations from ever satisfying a new primary.
+//!
+//! Every frame received also renews the primary-liveness [`Lease`]: the
+//! feeder's 100 ms `SubscribeOk` keepalive doubles as the failover
+//! heartbeat, and a lease that expires (primary dead or partitioned) is
+//! what triggers the election in [`failover`](crate::failover).
 //!
 //! The tailer is deliberately dumb about failures: **any** trouble — a
 //! killed stream, a truncated frame, a sequence gap, a storage hiccup —
@@ -17,20 +30,20 @@
 //! effect stops the tail for good rather than serving wrong answers that
 //! look fresh.
 
-use std::io::{BufReader, BufWriter};
-use std::net::TcpStream;
+use std::io::{BufReader, BufWriter, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use cypher_replication::{Role, ShippedUnit};
+use cypher_replication::{Lease, Role, ShippedUnit};
 
+use crate::net::NetFabric;
 use crate::store::{ReplicaApply, SharedStore};
 use crate::wire::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
 
 /// Dead-stream detector: the primary's feeder sends a keepalive every
-/// 500 ms, so a healthy stream never goes this long without a frame. When
+/// 100 ms, so a healthy stream never goes this long without a frame. When
 /// it does, the connection is abandoned (never resumed mid-frame — a
 /// timeout could have split a frame) and re-established.
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
@@ -38,16 +51,23 @@ const READ_TIMEOUT: Duration = Duration::from_secs(2);
 /// Backoff between reconnect attempts.
 const RETRY_DELAY: Duration = Duration::from_millis(200);
 
+/// Bound on dialing the primary; a partitioned peer must not hang the
+/// tail loop past the lease.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
 /// Spawn the tailer thread. It exits when `stop` flips, when the role
-/// leaves `Replica` (promotion), or on divergence.
+/// leaves `Replica` (promotion), or on divergence. `lease` is renewed on
+/// every frame received from the primary — the failover monitor watches
+/// it expire.
 pub fn spawn_tailer(
     store: Arc<SharedStore>,
-    primary: String,
+    fabric: Arc<dyn NetFabric>,
+    lease: Arc<Lease>,
     stop: Arc<AtomicBool>,
 ) -> Option<JoinHandle<()>> {
     std::thread::Builder::new()
         .name("cypher-tail".to_owned())
-        .spawn(move || tail_loop(&store, &primary, &stop))
+        .spawn(move || tail_loop(&store, &fabric, &lease, &stop))
         .ok()
 }
 
@@ -55,9 +75,22 @@ fn should_run(store: &SharedStore, stop: &AtomicBool) -> bool {
     !stop.load(Ordering::Acquire) && matches!(store.role().get(), Role::Replica { .. })
 }
 
-fn tail_loop(store: &Arc<SharedStore>, primary: &str, stop: &Arc<AtomicBool>) {
-    while should_run(store, stop) {
-        match tail_once(store, primary, stop) {
+fn tail_loop(
+    store: &Arc<SharedStore>,
+    fabric: &Arc<dyn NetFabric>,
+    lease: &Arc<Lease>,
+    stop: &Arc<AtomicBool>,
+) {
+    loop {
+        // Re-read the primary address every cycle: a failover repoint
+        // (role cell rewritten by the monitor) takes effect here.
+        let Role::Replica { primary } = store.role().get() else {
+            return;
+        };
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match tail_once(store, fabric, lease, &primary, stop) {
             TailEnd::Retry(reason) => {
                 if should_run(store, stop) {
                     eprintln!("cypher-tail: stream to {primary} ended ({reason}); reconnecting");
@@ -80,16 +113,21 @@ enum TailEnd {
 }
 
 /// One connect-subscribe-apply cycle; returns why the stream ended.
-fn tail_once(store: &Arc<SharedStore>, primary: &str, stop: &Arc<AtomicBool>) -> TailEnd {
-    let stream = match TcpStream::connect(primary) {
+fn tail_once(
+    store: &Arc<SharedStore>,
+    fabric: &Arc<dyn NetFabric>,
+    lease: &Arc<Lease>,
+    primary: &str,
+    stop: &Arc<AtomicBool>,
+) -> TailEnd {
+    let stream = match fabric.connect(primary, Some(CONNECT_TIMEOUT)) {
         Ok(s) => s,
         Err(e) => return TailEnd::Retry(format!("connect: {e}")),
     };
-    stream.set_nodelay(true).ok();
     if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
         return TailEnd::Retry("set_read_timeout failed".to_owned());
     }
-    let Ok(read_half) = stream.try_clone() else {
+    let Ok(read_half) = stream.try_clone_stream() else {
         return TailEnd::Retry("stream clone failed".to_owned());
     };
     let mut reader = BufReader::new(read_half);
@@ -128,10 +166,16 @@ fn tail_once(store: &Arc<SharedStore>, primary: &str, stop: &Arc<AtomicBool>) ->
             Ok(f) => f,
             Err(e) => return TailEnd::Retry(e),
         };
+        // Every frame is proof of primary liveness — including the error
+        // frames it sends while refusing us, which still mean it's there.
+        lease.renew();
         match frame {
-            Response::SubscribeOk { seq } => {
-                // Initial ack and periodic keepalive/lag beacon.
+            Response::SubscribeOk { seq, epoch } => {
+                // Initial ack and periodic keepalive/lag beacon; also the
+                // epoch channel (so our acks are stamped with the reign
+                // they confirm).
                 store.note_primary_seen(seq);
+                store.note_primary_epoch(epoch);
             }
             Response::Snapshot { seq, bytes } => {
                 // Bootstrap: our position predates the primary's retained
@@ -140,6 +184,9 @@ fn tail_once(store: &Arc<SharedStore>, primary: &str, stop: &Arc<AtomicBool>) ->
                     Ok(Ok(covered)) => {
                         eprintln!("cypher-tail: installed bootstrap snapshot at seq {covered}");
                         debug_assert_eq!(covered, seq);
+                        if let Err(e) = send_ack(&mut writer, store, covered) {
+                            return TailEnd::Retry(e);
+                        }
                     }
                     Ok(Err(e)) => return TailEnd::Retry(format!("snapshot install: {e}")),
                     Err(b) => return TailEnd::Retry(format!("snapshot install refused: {}", b.0)),
@@ -148,7 +195,15 @@ fn tail_once(store: &Arc<SharedStore>, primary: &str, stop: &Arc<AtomicBool>) ->
             Response::Unit { seq, dialect, text } => {
                 let unit = ShippedUnit { seq, dialect, text };
                 match store.replicate(unit) {
-                    Ok(ReplicaApply::Applied) | Ok(ReplicaApply::Skipped) => {}
+                    Ok(ReplicaApply::Applied) | Ok(ReplicaApply::Skipped) => {
+                        // replicate() returns only after the unit's group
+                        // commit fsynced here (or, for Skipped, after an
+                        // earlier one did) — so this Ack is a *durable*
+                        // confirmation, exactly what quorum counts.
+                        if let Err(e) = send_ack(&mut writer, store, store.commit_seq()) {
+                            return TailEnd::Retry(e);
+                        }
+                    }
                     Ok(ReplicaApply::Gap { expected }) => {
                         return TailEnd::Retry(format!(
                             "sequence gap: got {seq}, expected {expected}"
@@ -175,6 +230,16 @@ fn tail_once(store: &Arc<SharedStore>, primary: &str, stop: &Arc<AtomicBool>) ->
             other => return TailEnd::Retry(format!("unexpected frame: {other:?}")),
         }
     }
+}
+
+/// Send one durable `Ack` up the subscribe stream, stamped with the
+/// epoch we believe the primary reigns in.
+fn send_ack(w: &mut impl Write, store: &SharedStore, seq: u64) -> Result<(), String> {
+    let ack = Request::Ack {
+        seq,
+        epoch: store.repl_epoch(),
+    };
+    write_frame(w, &ack.encode()).map_err(|e| format!("ack send failed: {e}"))
 }
 
 /// Read and decode one response frame; errors render as strings because

@@ -10,14 +10,16 @@ use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use cypher_replication::Role;
+use cypher_replication::{Lease, Role};
 use cypher_storage::DurableGraph;
 
 use crate::config::ServerConfig;
+use crate::failover::{spawn_monitor, FailoverConfig};
 use crate::replica::spawn_tailer;
 use crate::session::run_session;
-use crate::store::SharedStore;
+use crate::store::{SharedStore, StoreOptions};
 
 /// A running server. Dropping the handle does NOT stop it; call
 /// [`ServerHandle::stop`].
@@ -26,9 +28,11 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
     store: Arc<SharedStore>,
-    /// Tells the replica tailer (when one runs) to stop reconnecting.
+    /// Tells the replica tailer and failover monitor (when they run) to
+    /// stop reconnecting / electing.
     tailer_stop: Arc<AtomicBool>,
     tailer: Mutex<Option<JoinHandle<()>>>,
+    monitor: Mutex<Option<JoinHandle<()>>>,
 }
 
 struct Shared {
@@ -57,12 +61,17 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         },
         None => Role::Primary,
     };
-    let store = SharedStore::start(
+    let store = SharedStore::start_with(
         durable,
-        config.queue_depth,
-        config.max_batch,
-        config.max_inflight,
-        role,
+        StoreOptions {
+            queue_depth: config.queue_depth,
+            max_batch: config.max_batch,
+            max_inflight: config.max_inflight,
+            role,
+            sync_replicas: config.sync_replicas,
+            sync_timeout: config.sync_timeout,
+            sync_policy: config.sync_policy,
+        },
     );
     serve_with(config, store)
 }
@@ -88,13 +97,50 @@ pub fn serve_with(
     });
 
     // A replica (and only a replica — a fenced store must not tail) gets
-    // a tailer thread pulling the primary's stream.
+    // a tailer thread pulling the primary's stream, plus — when a lease
+    // TTL is configured — a failover monitor watching the lease the
+    // tailer renews.
     let tailer_stop = Arc::new(AtomicBool::new(false));
-    let tailer = match store.role().get() {
-        Role::Replica { primary } => {
-            spawn_tailer(Arc::clone(&store), primary, Arc::clone(&tailer_stop))
+    let (tailer, monitor) = match store.role().get() {
+        Role::Replica { .. } => {
+            let lease_ttl = if config.lease_ms > 0 {
+                // Clamp to a floor of several keepalive intervals: below
+                // that, an idle-but-healthy stream would expire the lease
+                // between heartbeats and usurp a live primary.
+                Duration::from_millis(config.lease_ms)
+                    .max(crate::session::FEED_KEEPALIVE * crate::session::MIN_LEASE_KEEPALIVES)
+            } else {
+                // Failover disabled: a lease nothing ever checks.
+                Duration::from_secs(u64::MAX / 4)
+            };
+            let lease = Arc::new(Lease::new(lease_ttl));
+            let tailer = spawn_tailer(
+                Arc::clone(&store),
+                Arc::clone(&config.net),
+                Arc::clone(&lease),
+                Arc::clone(&tailer_stop),
+            );
+            let monitor = if config.lease_ms > 0 {
+                let self_addr = config
+                    .advertise_addr
+                    .clone()
+                    .unwrap_or_else(|| addr.to_string());
+                spawn_monitor(
+                    Arc::clone(&store),
+                    Arc::clone(&config.net),
+                    lease,
+                    FailoverConfig {
+                        self_addr,
+                        peers: config.peers.clone(),
+                    },
+                    Arc::clone(&tailer_stop),
+                )
+            } else {
+                None
+            };
+            (tailer, monitor)
         }
-        _ => None,
+        _ => (None, None),
     };
 
     let accept_shared = Arc::clone(&shared);
@@ -110,6 +156,7 @@ pub fn serve_with(
         store,
         tailer_stop,
         tailer: Mutex::new(tailer),
+        monitor: Mutex::new(monitor),
     })
 }
 
@@ -152,6 +199,11 @@ impl ServerHandle {
         self.wait();
         self.tailer_stop.store(true, Ordering::Release);
         if let Ok(mut guard) = self.tailer.lock() {
+            if let Some(h) = guard.take() {
+                let _ = h.join();
+            }
+        }
+        if let Ok(mut guard) = self.monitor.lock() {
             if let Some(h) = guard.take() {
                 let _ = h.join();
             }

@@ -15,7 +15,11 @@
 //! the session **terminal**: the thread stops reading requests and becomes
 //! a unit feeder, streaming the catch-up payload and then every committed
 //! unit, with periodic `SubscribeOk` keepalives so a dead peer is noticed
-//! even when no writes flow.
+//! even when no writes flow. The feeder also spawns an **ack reader** over
+//! the stream's request half: the replica sends a durable `Ack(seq)` after
+//! fsyncing each applied unit, and those acks (filtered by replication
+//! epoch — a stale reign's confirmations count for nothing) are what the
+//! primary's quorum-commit gate waits on under `--sync-replicas N`.
 
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
@@ -28,15 +32,25 @@ use cypher_replication::Role;
 
 use crate::config::ServerConfig;
 use crate::error::{
-    busy_frame, eval_error_frame, not_primary_frame, storage_error_frame, ErrorCode,
+    busy_frame, eval_error_frame, not_primary_frame, replication_timeout_frame,
+    storage_error_frame, ErrorCode,
 };
+use crate::net::NetFabric;
 use crate::store::{SharedStore, SubscribeStart, WriteOutcome};
 use crate::wire::{read_frame, write_frame, Request, Response, WireError, PROTOCOL_VERSION};
 
 /// How often an idle unit feeder re-sends `SubscribeOk` — the keepalive
-/// that both detects a dead replica socket and refreshes the replica's
-/// view of the primary's head sequence.
-const FEED_KEEPALIVE: Duration = Duration::from_millis(500);
+/// that detects a dead replica socket, refreshes the replica's view of
+/// the primary's head sequence, and renews the replica's primary-liveness
+/// lease. It must beat the smallest usable failover lease by a
+/// comfortable margin (the server clamps `--lease-ms` to at least
+/// [`MIN_LEASE_KEEPALIVES`]× this interval), or an idle-but-healthy
+/// stream would expire leases between heartbeats.
+pub(crate) const FEED_KEEPALIVE: Duration = Duration::from_millis(100);
+
+/// Minimum lease TTL, expressed in keepalive intervals: a lease only
+/// expires after at least this many consecutive heartbeats went missing.
+pub(crate) const MIN_LEASE_KEEPALIVES: u32 = 3;
 
 /// A statement's materialized result, drained by `Pull` frames.
 struct Pending {
@@ -243,14 +257,26 @@ pub fn run_session(
                     commit_seq: s.commit_seq,
                     queue_len: s.queue_len,
                     primary_seen: s.primary_seen,
-                    replicas: s.replicas,
+                    repl_epoch: s.repl_epoch,
+                    quorum: s.quorum.as_u8(),
+                    overflow_drops: s.overflow_drops,
+                    replicas: s
+                        .replicas
+                        .into_iter()
+                        .map(|p| (p.label, p.sent, p.acked))
+                        .collect(),
                 }
             }
             Request::Promote => {
                 if config.allow_admin {
                     let was = store.role().get();
+                    // promote() bumps the replication epoch: the new reign
+                    // is distinguishable from (and fences out) the old.
                     let seq = store.promote();
-                    eprintln!("session {session_id}: promoted to primary at seq {seq}");
+                    let epoch = store.repl_epoch();
+                    eprintln!(
+                        "session {session_id}: promoted to primary at seq {seq} (epoch {epoch})"
+                    );
                     // Best effort: durably fence the old primary so a
                     // zombie can never acknowledge another write. If it is
                     // unreachable (the usual failover reason) this just
@@ -258,8 +284,9 @@ pub fn run_session(
                     // restarts and reconnects as a subscriber is refused.
                     if let Role::Replica { primary } = was {
                         let advertise = config.advertise_addr.clone().unwrap_or_default();
+                        let fabric = Arc::clone(&config.net);
                         std::thread::spawn(move || {
-                            let _ = fence_old_primary(&primary, &advertise);
+                            let _ = fence_old_primary(fabric, &primary, &advertise, epoch);
                         });
                     }
                     Response::PromoteOk { seq }
@@ -267,14 +294,15 @@ pub fn run_session(
                     admin_disabled_frame("Promote")
                 }
             }
-            Request::Fence { new_primary } => {
+            Request::Fence { new_primary, epoch } => {
                 if config.allow_admin {
                     let target = (!new_primary.is_empty()).then_some(new_primary);
                     eprintln!(
-                        "session {session_id}: fencing this server (new primary: {:?})",
+                        "session {session_id}: fencing this server (new primary: {:?}, epoch \
+                         {epoch})",
                         target
                     );
-                    match store.fence(target) {
+                    match store.fence(target, epoch) {
                         Ok(Ok(())) => Response::FenceOk,
                         Ok(Err(e)) => storage_error_frame(&e),
                         Err(b) => busy_frame(b.0),
@@ -283,10 +311,17 @@ pub fn run_session(
                     admin_disabled_frame("Fence")
                 }
             }
+            Request::Ack { .. } => Response::Error {
+                code: ErrorCode::Protocol,
+                retryable: false,
+                message: "Ack is only valid on a subscribe stream".to_owned(),
+                detail: String::new(),
+            },
             Request::Subscribe { from } => {
                 // Terminal: on success this call only returns when the
-                // feed ends, and the session is over either way.
-                run_feeder(&mut writer, store, &peer, from);
+                // feed ends, and the session is over either way. The
+                // reader moves in — it becomes the feeder's ack stream.
+                run_feeder(reader, &mut writer, store, &peer, from);
                 return false;
             }
         };
@@ -351,6 +386,11 @@ fn run_statement(
             Ok(WriteOutcome::Ok(result)) => ok_response(result, false, store.epoch()),
             Ok(WriteOutcome::Eval(e)) => (eval_error_frame(&e, text), None),
             Ok(WriteOutcome::Storage(e)) => (storage_error_frame(&e), None),
+            Ok(WriteOutcome::Quorum {
+                acked,
+                needed,
+                waited_ms,
+            }) => (replication_timeout_frame(acked, needed, waited_ms), None),
             Err(b) => (busy_frame(b.0), None),
         }
     }
@@ -394,13 +434,26 @@ fn admin_disabled_frame(what: &str) -> Response {
 
 /// Serve one replica's unit feed until the stream or the hub ends it.
 ///
-/// Protocol: `SubscribeOk(head)` first, then (for a subscriber behind the
-/// retained window) one `Snapshot` bootstrap frame, then the backlog as
-/// `Unit` frames, then live units as they commit. While idle, the feeder
-/// re-sends `SubscribeOk` with the current head — a keepalive that makes a
-/// dead socket fail the next write (so the hub's slot is reclaimed) and
-/// doubles as the replica's lag beacon.
-fn run_feeder(w: &mut impl std::io::Write, store: &Arc<SharedStore>, peer: &str, from: u64) {
+/// Protocol: `SubscribeOk(head, epoch)` first, then (for a subscriber
+/// behind the retained window) one `Snapshot` bootstrap frame, then the
+/// backlog as `Unit` frames, then live units as they commit. While idle,
+/// the feeder re-sends `SubscribeOk` with the current head — a keepalive
+/// that makes a dead socket fail the next write (so the hub's slot is
+/// reclaimed), doubles as the replica's lag beacon, and renews the
+/// replica's primary-liveness lease.
+///
+/// The request half of the stream (`reader`) becomes the **ack stream**:
+/// a spawned thread reads the replica's `Ack(seq, epoch)` frames and
+/// feeds them to the hub's per-peer durable cursor — after filtering by
+/// replication epoch, so a confirmation from a stale reign never
+/// satisfies a quorum wait.
+fn run_feeder(
+    reader: BufReader<TcpStream>,
+    w: &mut impl std::io::Write,
+    store: &Arc<SharedStore>,
+    peer: &str,
+    from: u64,
+) {
     let role = store.role().get();
     if let Role::Fenced { .. } = role {
         let _ = send(
@@ -420,7 +473,37 @@ fn run_feeder(w: &mut impl std::io::Write, store: &Arc<SharedStore>, peer: &str,
             return;
         }
     };
-    if send(w, &Response::SubscribeOk { seq: reply.seq }).is_err() {
+    // Ack reader: ends when the socket dies (the feeder's next write
+    // notices the same) or the replica stops sending.
+    let ack = reply.sub.ack.clone();
+    let ack_store = Arc::clone(store);
+    let _ack_thread = std::thread::Builder::new()
+        .name("cypher-ack".to_owned())
+        .spawn(move || {
+            let mut reader = reader;
+            loop {
+                match read_request(&mut reader) {
+                    Ok(Request::Ack { seq, epoch }) => {
+                        if epoch == ack_store.repl_epoch() {
+                            ack.note(seq);
+                        }
+                    }
+                    // Anything else on a subscribe stream is noise; a
+                    // decode error or EOF ends the stream.
+                    Ok(_) => {}
+                    Err(_) => return,
+                }
+            }
+        });
+    if send(
+        w,
+        &Response::SubscribeOk {
+            seq: reply.seq,
+            epoch: store.repl_epoch(),
+        },
+    )
+    .is_err()
+    {
         return;
     }
     match reply.start {
@@ -460,6 +543,7 @@ fn run_feeder(w: &mut impl std::io::Write, store: &Arc<SharedStore>, peer: &str,
                 // interval even with zero write traffic.
                 let beacon = Response::SubscribeOk {
                     seq: store.commit_seq(),
+                    epoch: store.repl_epoch(),
                 };
                 if send(w, &beacon).is_err() {
                     return;
@@ -475,10 +559,15 @@ fn run_feeder(w: &mut impl std::io::Write, store: &Arc<SharedStore>, peer: &str,
 }
 
 /// Best-effort wire `Fence` of the demoted primary after a promotion.
-fn fence_old_primary(addr: &str, new_primary: &str) -> Result<(), crate::client::ClientError> {
+pub(crate) fn fence_old_primary(
+    fabric: Arc<dyn NetFabric>,
+    addr: &str,
+    new_primary: &str,
+    epoch: u64,
+) -> Result<(), crate::client::ClientError> {
     let opts = crate::client::HelloOptions::server_defaults();
-    let mut client = crate::client::Client::connect(addr, &opts)?;
-    client.fence(new_primary)?;
+    let mut client = crate::client::Client::connect_via(fabric, addr, &opts)?;
+    client.fence(new_primary, epoch)?;
     let _ = client.goodbye();
     Ok(())
 }

@@ -59,11 +59,15 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use cypher_core::{Engine, EngineBuilder, EvalError, QueryResult};
 use cypher_graph::{EpochSnapshots, PropertyGraph};
 use cypher_parser::Dialect;
-use cypher_replication::{ReplicationHub, Role, RoleCell, ShippedUnit, Subscription};
+use cypher_replication::{
+    PeerProgress, QuorumState, QuorumStateCell, ReplicationHub, Role, RoleCell, ShippedUnit,
+    Subscription, SyncPolicy,
+};
 use cypher_storage::{DurableGraph, StorageError};
 
 /// Stable wire/WAL encoding of a statement's dialect.
@@ -93,6 +97,18 @@ pub enum WriteOutcome {
     Eval(EvalError),
     /// The durability layer failed; the statement is NOT acknowledged.
     Storage(StorageError),
+    /// Strict quorum mode: the batch is durable **locally** and was
+    /// shipped, but the required replica confirmations did not arrive in
+    /// time. The write is refused (retryable) — it may still surface,
+    /// so retries must be idempotent.
+    Quorum {
+        /// Replicas that confirmed durability before the deadline.
+        acked: usize,
+        /// Confirmations `--sync-replicas` required.
+        needed: usize,
+        /// How long the group commit waited, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 /// Outcome of applying one shipped unit on a replica.
@@ -153,8 +169,15 @@ pub struct StoreStats {
     pub queue_len: u64,
     /// Replica only: highest sequence received from the primary.
     pub primary_seen: u64,
-    /// Primary only: `(label, highest sequence enqueued)` per subscriber.
-    pub replicas: Vec<(String, u64)>,
+    /// The replication epoch this server believes is current (bumped by
+    /// every failover promotion; a fenced zombie's is stale).
+    pub repl_epoch: u64,
+    /// Quorum-replication state (async / in-sync / degraded / timed-out).
+    pub quorum: QuorumState,
+    /// Subscribers disconnected because their feed backlog overflowed.
+    pub overflow_drops: u64,
+    /// Primary only: per-subscriber shipping and durable-ack progress.
+    pub replicas: Vec<PeerProgress>,
 }
 
 /// A unit of work for the apply worker.
@@ -196,9 +219,12 @@ pub enum Job {
         resp: SyncSender<Result<u64, StorageError>>,
     },
     /// Durably fence this store: it will never acknowledge another write,
-    /// even across restarts.
+    /// even across restarts. `epoch` is the replication epoch the fencer
+    /// is acting in; it is persisted in the marker so a restarted zombie
+    /// knows how stale it is.
     Fence {
         new_primary: Option<String>,
+        epoch: u64,
         resp: SyncSender<Result<(), StorageError>>,
     },
     /// Drain, flush and exit.
@@ -260,6 +286,43 @@ impl Drop for GateGuard {
     }
 }
 
+/// Tunables for [`SharedStore::start_with`]. `Default` reproduces the
+/// historical asynchronous-replication behaviour of [`SharedStore::start`].
+#[derive(Clone, Debug)]
+pub struct StoreOptions {
+    /// Apply-queue depth (admission control layer two).
+    pub queue_depth: usize,
+    /// Group-commit batch bound.
+    pub max_batch: usize,
+    /// Global in-flight statement cap.
+    pub max_inflight: usize,
+    /// Configured starting role (a durable fence overrides it).
+    pub role: Role,
+    /// `--sync-replicas N`: client acknowledgements wait until `N`
+    /// replicas confirmed durability of the batch. `0` is asynchronous.
+    pub sync_replicas: usize,
+    /// How long a group commit waits for quorum before `sync_policy`
+    /// decides the batch's fate.
+    pub sync_timeout: Duration,
+    /// What a timed-out quorum wait does: refuse (strict) or acknowledge
+    /// and degrade to async (degrade).
+    pub sync_policy: SyncPolicy,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            queue_depth: 64,
+            max_batch: 32,
+            max_inflight: 64,
+            role: Role::Primary,
+            sync_replicas: 0,
+            sync_timeout: Duration::from_secs(5),
+            sync_policy: SyncPolicy::Strict,
+        }
+    }
+}
+
 /// Handle to the apply worker plus the reader-side snapshot cache.
 /// Cloneable across sessions; the worker exits when [`shutdown`]
 /// (`SharedStore::shutdown`) runs or every handle is dropped.
@@ -274,35 +337,61 @@ pub struct SharedStore {
     commit_seq: Arc<AtomicU64>,
     primary_seen: Arc<AtomicU64>,
     queue_len: Arc<AtomicUsize>,
+    quorum: Arc<QuorumStateCell>,
+    repl_epoch: Arc<AtomicU64>,
 }
 
 impl SharedStore {
-    /// Spawn the apply worker over an already-opened durable graph.
-    ///
-    /// `role` is the configured starting role; a durably fenced store
-    /// overrides it to [`Role::Fenced`] — a zombie ex-primary restarts
-    /// fenced no matter what its command line says.
+    /// Spawn the apply worker with asynchronous replication (no quorum
+    /// waits). Shorthand for [`SharedStore::start_with`] with default
+    /// quorum options.
     pub fn start(
-        mut durable: DurableGraph,
+        durable: DurableGraph,
         queue_depth: usize,
         max_batch: usize,
         max_inflight: usize,
         role: Role,
     ) -> Arc<SharedStore> {
+        SharedStore::start_with(
+            durable,
+            StoreOptions {
+                queue_depth,
+                max_batch,
+                max_inflight,
+                role,
+                ..StoreOptions::default()
+            },
+        )
+    }
+
+    /// Spawn the apply worker over an already-opened durable graph.
+    ///
+    /// `opts.role` is the configured starting role; a durably fenced
+    /// store overrides it to [`Role::Fenced`] — a zombie ex-primary
+    /// restarts fenced no matter what its command line says.
+    pub fn start_with(mut durable: DurableGraph, opts: StoreOptions) -> Arc<SharedStore> {
         let role = if durable.is_fenced() {
             Role::Fenced {
                 new_primary: durable.fence_target().map(str::to_owned),
             }
         } else {
-            role
+            opts.role
         };
         let commit_seq = Arc::new(AtomicU64::new(durable.next_txid().saturating_sub(1)));
         let primary_seen = Arc::new(AtomicU64::new(0));
         let queue_len = Arc::new(AtomicUsize::new(0));
-        let hub = Arc::new(ReplicationHub::new(queue_depth.max(1) * 4));
-        let (tx, rx) = mpsc::sync_channel(queue_depth.max(1));
+        let hub = Arc::new(ReplicationHub::new(opts.queue_depth.max(1) * 4));
+        let (tx, rx) = mpsc::sync_channel(opts.queue_depth.max(1));
         let snaps = Arc::new(EpochSnapshots::new());
-        let batch = max_batch.max(1);
+        let batch = opts.max_batch.max(1);
+        let quorum = Arc::new(QuorumStateCell::new(if opts.sync_replicas == 0 {
+            QuorumState::Async
+        } else {
+            QuorumState::InSync
+        }));
+        // Epochs start at 1; a fenced marker carries the epoch the fencer
+        // acted in, which is the freshest this zombie has ever seen.
+        let repl_epoch = Arc::new(AtomicU64::new(durable.fence_epoch().max(1)));
 
         let mirror_base = durable.recovered_base();
         let mirror: Vec<ShippedUnit> = durable
@@ -316,6 +405,10 @@ impl SharedStore {
             hub: Arc::clone(&hub),
             commit_seq: Arc::clone(&commit_seq),
             primary_seen: Arc::clone(&primary_seen),
+            quorum: Arc::clone(&quorum),
+            sync_replicas: opts.sync_replicas,
+            sync_timeout: opts.sync_timeout,
+            sync_policy: opts.sync_policy,
             commit_log: Vec::new(),
             mirror,
             mirror_base,
@@ -329,7 +422,7 @@ impl SharedStore {
         Arc::new(SharedStore {
             tx,
             snaps,
-            gate: Arc::new(Gate::new(max_inflight.max(1))),
+            gate: Arc::new(Gate::new(opts.max_inflight.max(1))),
             max_batch: batch,
             worker: Mutex::new(worker),
             hub,
@@ -337,6 +430,8 @@ impl SharedStore {
             commit_seq,
             primary_seen,
             queue_len,
+            quorum,
+            repl_epoch,
         })
     }
 
@@ -428,23 +523,56 @@ impl SharedStore {
     /// Durably fence this store and drop every subscriber. The role flips
     /// to [`Role::Fenced`] even when persisting the marker failed — the
     /// in-memory fence in the storage layer refuses writes regardless.
-    pub fn fence(&self, new_primary: Option<String>) -> Result<Result<(), StorageError>, Busy> {
+    /// `epoch` is the fencer's replication epoch; the marker keeps the
+    /// highest epoch ever written.
+    pub fn fence(
+        &self,
+        new_primary: Option<String>,
+        epoch: u64,
+    ) -> Result<Result<(), StorageError>, Busy> {
         let (resp, rx) = mpsc::sync_channel(1);
         self.try_submit(Job::Fence {
             new_primary: new_primary.clone(),
+            epoch,
             resp,
         })?;
         let out = rx.recv().map_err(|_| Busy("apply worker exited"))?;
+        self.repl_epoch.fetch_max(epoch, Ordering::AcqRel);
         self.role.set(Role::Fenced { new_primary });
         Ok(out)
     }
 
-    /// Promote this store to primary (manual failover). Purely a role
-    /// flip: the store below is already a fully durable writer. Returns
-    /// the commit sequence the new primary starts serving writes from.
+    /// Promote this store to primary (manual failover): role flip plus an
+    /// epoch bump — the new reign is distinguishable from the old one.
+    /// Returns the commit sequence the new primary serves writes from.
     pub fn promote(&self) -> u64 {
+        let next = self.repl_epoch().saturating_add(1);
+        self.promote_with_epoch(next)
+    }
+
+    /// Promote into a specific replication epoch (automatic failover: the
+    /// election winner promotes at `old epoch + 1`). The stored epoch
+    /// only ever moves forward.
+    pub fn promote_with_epoch(&self, epoch: u64) -> u64 {
+        self.repl_epoch.fetch_max(epoch, Ordering::AcqRel);
         self.role.set(Role::Primary);
         self.commit_seq()
+    }
+
+    /// The replication epoch this server currently believes in.
+    pub fn repl_epoch(&self) -> u64 {
+        self.repl_epoch.load(Ordering::Acquire)
+    }
+
+    /// A replica learned the primary's epoch from a `SubscribeOk` frame.
+    /// Epochs only move forward — a stale frame cannot regress it.
+    pub fn note_primary_epoch(&self, epoch: u64) {
+        self.repl_epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// Current quorum-replication state (for `Stats` and the write path).
+    pub fn quorum_state(&self) -> QuorumState {
+        self.quorum.get()
     }
 
     /// Note the highest sequence number the tailer has received from the
@@ -461,6 +589,9 @@ impl SharedStore {
             commit_seq: self.commit_seq(),
             queue_len: self.queue_len.load(Ordering::Relaxed) as u64,
             primary_seen: self.primary_seen.load(Ordering::Acquire),
+            repl_epoch: self.repl_epoch(),
+            quorum: self.quorum.get(),
+            overflow_drops: self.hub.overflow_drops(),
             replicas: self.hub.peers(),
         }
     }
@@ -510,6 +641,14 @@ struct WorkerState {
     hub: Arc<ReplicationHub>,
     commit_seq: Arc<AtomicU64>,
     primary_seen: Arc<AtomicU64>,
+    /// Quorum-replication state reported through `Stats`.
+    quorum: Arc<QuorumStateCell>,
+    /// Replica confirmations each group commit waits for (0 = async).
+    sync_replicas: usize,
+    /// Quorum wait deadline per group commit.
+    sync_timeout: Duration,
+    /// Refuse or degrade when the wait times out.
+    sync_policy: SyncPolicy,
     /// Committed update-statement texts since process start, in commit
     /// order (the differential-replay oracle).
     commit_log: Vec<String>,
@@ -606,12 +745,16 @@ fn apply_worker(
             Some(Job::InstallSnapshot { bytes, resp }) => {
                 let _ = resp.send(run_install_snapshot(&mut state, &bytes));
             }
-            Some(Job::Fence { new_primary, resp }) => {
+            Some(Job::Fence {
+                new_primary,
+                epoch,
+                resp,
+            }) => {
                 // Disconnect first: a fenced store must not ship another
                 // unit, even one already committed, on a live feed that a
                 // replica might mistake for primary liveness.
                 state.hub.disconnect_all();
-                let _ = resp.send(state.durable.fence(new_primary.as_deref()));
+                let _ = resp.send(state.durable.fence(new_primary.as_deref(), epoch));
             }
             Some(Job::Shutdown) => {
                 let _ = state.durable.flush();
@@ -760,6 +903,7 @@ fn run_batch(state: &mut WorkerState, items: Vec<BatchItem>) {
 
     match state.durable.flush() {
         Ok(()) => {
+            let mut quorum_fail: Option<(usize, usize, u64)> = None;
             if !batch_units.is_empty() {
                 // New statement-boundary state: invalidate reader caches,
                 // extend the oracle log and the catch-up mirror, publish
@@ -776,10 +920,37 @@ fn run_batch(state: &mut WorkerState, items: Vec<BatchItem>) {
                 for label in dropped {
                     eprintln!("cypher-serve: replica {label} dropped (feed backlog full)");
                 }
+                let head = batch_units.last().map(|u| u.seq).unwrap_or(0);
                 state.mirror.extend(batch_units);
+
+                // Quorum gate: the batch is locally durable and shipped;
+                // hold the client acknowledgements until enough replicas
+                // confirmed their own fsync of every unit in it.
+                if state.sync_replicas > 0 {
+                    let waited = Instant::now();
+                    let deadline = waited + state.sync_timeout;
+                    if state.hub.wait_durable(head, state.sync_replicas, deadline) {
+                        state.quorum.set(QuorumState::InSync);
+                    } else {
+                        let acked = state.hub.durable_count(head);
+                        let waited_ms = waited.elapsed().as_millis() as u64;
+                        match state.sync_policy {
+                            SyncPolicy::Strict => {
+                                state.quorum.set(QuorumState::TimedOut);
+                                quorum_fail = Some((acked, state.sync_replicas, waited_ms));
+                            }
+                            SyncPolicy::Degrade => state.quorum.set(QuorumState::Degraded),
+                        }
+                    }
+                }
             }
             for ack in acks {
-                send_ack(ack, None);
+                match quorum_fail {
+                    Some((acked, needed, waited_ms)) => {
+                        send_quorum_refusal(ack, acked, needed, waited_ms)
+                    }
+                    None => send_ack(ack, None),
+                }
             }
         }
         Err(e) => {
@@ -829,6 +1000,30 @@ fn send_ack(ack: PendingAck, downgrade: Option<&str>) {
                 }
                 (_, other) => other,
             };
+            let _ = resp.send(outcome);
+        }
+    }
+}
+
+/// Acknowledge one batch item after a timed-out strict quorum wait:
+/// positive write outcomes become the retryable [`WriteOutcome::Quorum`]
+/// refusal (the work is durable locally but unconfirmed), negatives pass
+/// through unchanged. Replicated units keep their outcome — a replica's
+/// own apply does not wait on other replicas.
+fn send_quorum_refusal(ack: PendingAck, acked: usize, needed: usize, waited_ms: u64) {
+    match ack {
+        PendingAck::Write(resp, outcome) => {
+            let outcome = match outcome {
+                WriteOutcome::Ok(_) => WriteOutcome::Quorum {
+                    acked,
+                    needed,
+                    waited_ms,
+                },
+                other => other,
+            };
+            let _ = resp.send(outcome);
+        }
+        PendingAck::Replicate(resp, outcome) => {
             let _ = resp.send(outcome);
         }
     }
@@ -891,11 +1086,40 @@ mod tests {
             hub: Arc::new(ReplicationHub::new(8)),
             commit_seq: Arc::new(AtomicU64::new(0)),
             primary_seen: Arc::new(AtomicU64::new(0)),
+            quorum: Arc::new(QuorumStateCell::new(QuorumState::Async)),
+            sync_replicas: 0,
+            sync_timeout: Duration::from_secs(5),
+            sync_policy: SyncPolicy::Strict,
             commit_log: Vec::new(),
             mirror: Vec::new(),
             mirror_base: 0,
             replica_engines: HashMap::new(),
         }
+    }
+
+    fn temp_store_quorum(
+        name: &str,
+        sync_replicas: usize,
+        sync_timeout: Duration,
+        sync_policy: SyncPolicy,
+    ) -> Arc<SharedStore> {
+        let dir =
+            std::env::temp_dir().join(format!("cypher-server-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let durable = DurableGraph::open(&dir).unwrap();
+        SharedStore::start_with(
+            durable,
+            StoreOptions {
+                queue_depth: 16,
+                max_batch: 8,
+                max_inflight: 8,
+                role: Role::Primary,
+                sync_replicas,
+                sync_timeout,
+                sync_policy,
+            },
+        )
     }
 
     #[test]
@@ -1088,7 +1312,11 @@ mod tests {
         let live = reply.sub.rx.recv().unwrap();
         assert_eq!(live.seq, 3);
         assert_eq!(live.text, "CREATE (:C {id: 3})");
-        assert_eq!(store.stats().replicas, vec![("test-replica".into(), 3)]);
+        let stats = store.stats();
+        assert_eq!(stats.replicas.len(), 1);
+        assert_eq!(stats.replicas[0].label, "test-replica");
+        assert_eq!(stats.replicas[0].sent, 3);
+        assert_eq!(stats.replicas[0].acked, 0, "no Ack frames were sent");
         store.shutdown();
     }
 
@@ -1153,8 +1381,12 @@ mod tests {
         store
             .submit_write("CREATE (:A)".into(), engine.clone())
             .unwrap();
-        store.fence(Some("10.0.0.9:7878".into())).unwrap().unwrap();
+        store
+            .fence(Some("10.0.0.9:7878".into()), 7)
+            .unwrap()
+            .unwrap();
         assert_eq!(store.role().get().as_u8(), 2);
+        assert_eq!(store.repl_epoch(), 7);
         match store
             .submit_write("CREATE (:B)".into(), engine.clone())
             .unwrap()
@@ -1171,12 +1403,114 @@ mod tests {
         let role = store.role().get();
         assert_eq!(role.as_u8(), 2);
         assert_eq!(role.redirect(), Some("10.0.0.9:7878"));
+        assert_eq!(
+            store.repl_epoch(),
+            7,
+            "the fence marker's epoch survives restart"
+        );
         match store.submit_write("CREATE (:C)".into(), engine).unwrap() {
             WriteOutcome::Storage(e) => assert!(e.is_fenced(), "{e}"),
             other => panic!("restarted zombie must stay fenced: {other:?}"),
         }
         store.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Strict quorum with no replica attached: the write is refused with
+    /// the typed quorum outcome, yet it IS locally durable (at-least-once
+    /// semantics — the retry must be idempotent).
+    #[test]
+    fn strict_quorum_times_out_without_replicas() {
+        let store = temp_store_quorum(
+            "quorum-strict",
+            1,
+            Duration::from_millis(50),
+            SyncPolicy::Strict,
+        );
+        match store
+            .submit_write("CREATE (:A)".into(), Engine::revised())
+            .unwrap()
+        {
+            WriteOutcome::Quorum {
+                acked: 0,
+                needed: 1,
+                ..
+            } => {}
+            other => panic!("expected a quorum refusal: {other:?}"),
+        }
+        let stats = store.stats();
+        assert_eq!(stats.quorum, QuorumState::TimedOut);
+        assert_eq!(
+            store.commit_seq(),
+            1,
+            "a refused write is still locally durable"
+        );
+        store.shutdown();
+    }
+
+    /// The degrade policy acknowledges the write anyway and surfaces the
+    /// degradation through `Stats` instead of failing the write path.
+    #[test]
+    fn degrade_policy_acks_and_reports_degraded() {
+        let store = temp_store_quorum(
+            "quorum-degrade",
+            1,
+            Duration::from_millis(50),
+            SyncPolicy::Degrade,
+        );
+        match store
+            .submit_write("CREATE (:A)".into(), Engine::revised())
+            .unwrap()
+        {
+            WriteOutcome::Ok(_) => {}
+            other => panic!("degrade must acknowledge: {other:?}"),
+        }
+        assert_eq!(store.stats().quorum, QuorumState::Degraded);
+        store.shutdown();
+    }
+
+    /// With a subscriber that confirms durability, a strict quorum write
+    /// succeeds and the per-replica acked sequence shows up in stats.
+    #[test]
+    fn strict_quorum_succeeds_when_replica_acks() {
+        let store = temp_store_quorum("quorum-ok", 1, Duration::from_secs(10), SyncPolicy::Strict);
+        let reply = store.subscribe("r1".into(), 0).unwrap().unwrap();
+        let ack = reply.sub.ack.clone();
+        let rx = reply.sub.rx;
+        let feeder = std::thread::spawn(move || {
+            // Play the replica: receive the unit, pretend to fsync it,
+            // confirm durability.
+            let unit = rx.recv().unwrap();
+            ack.note(unit.seq);
+            unit.seq
+        });
+        match store
+            .submit_write("CREATE (:A)".into(), Engine::revised())
+            .unwrap()
+        {
+            WriteOutcome::Ok(_) => {}
+            other => panic!("quorum of 1 with one acking replica: {other:?}"),
+        }
+        assert_eq!(feeder.join().unwrap(), 1);
+        let stats = store.stats();
+        assert_eq!(stats.quorum, QuorumState::InSync);
+        assert_eq!(stats.replicas[0].acked, 1);
+        store.shutdown();
+    }
+
+    #[test]
+    fn promote_bumps_the_replication_epoch() {
+        let store = temp_store("promote-epoch", 16, 8, 8);
+        assert_eq!(store.repl_epoch(), 1);
+        store.promote();
+        assert_eq!(store.repl_epoch(), 2);
+        // An election winner promotes into a specific epoch; stale calls
+        // cannot regress it.
+        store.promote_with_epoch(9);
+        assert_eq!(store.repl_epoch(), 9);
+        store.promote_with_epoch(4);
+        assert_eq!(store.repl_epoch(), 9);
+        store.shutdown();
     }
 
     #[test]

@@ -26,7 +26,8 @@
 //! | `0x0A` | Subscribe   | C→S | `u64` from-sequence (replica tailer; terminal — the session becomes a unit stream) |
 //! | `0x0B` | Promote     | C→S | — (admin; replica → primary failover) |
 //! | `0x0C` | Stats       | C→S | — (role, epoch, sequence, queue depth, per-replica lag) |
-//! | `0x0D` | Fence       | C→S | new-primary address (admin; permanently write-fence this server) |
+//! | `0x0D` | Fence       | C→S | new-primary address, `u64` epoch (admin; permanently write-fence this server) |
+//! | `0x0E` | Ack         | C→S | 2×`u64` (durably applied sequence, replica's view of the primary epoch) — sent by a replica tailer on its subscribe stream |
 //! | `0x81` | HelloOk     | S→C | `u16` version, `u64` session id, effective-limits string |
 //! | `0x82` | RunOk       | S→C | `u8` read-only flag, `u64` epoch, column names |
 //! | `0x83` | Rows        | S→C | row block, `u8` has-more flag, 7×`u64` update stats (nodes created, rels created, nodes deleted, rels deleted, props set, labels added, labels removed) |
@@ -37,8 +38,8 @@
 //! | `0x88` | LogOk       | S→C | statement list |
 //! | `0x89` | Unit        | S→C | `u64` sequence, `u8` dialect, statement text (one shipped commit unit) |
 //! | `0x8A` | Snapshot    | S→C | `u64` sequence, snapshot-file bytes (replica bootstrap) |
-//! | `0x8B` | SubscribeOk | S→C | `u64` current commit sequence (re-sent periodically as a keepalive/lag beacon) |
-//! | `0x8C` | StatsOk     | S→C | `u8` role, redirect addr, 4×`u64` (epoch, commit seq, queue depth, primary-seen seq), per-replica (addr, sent-seq) list |
+//! | `0x8B` | SubscribeOk | S→C | 2×`u64` (current commit sequence, primary epoch) — re-sent periodically as the keepalive/heartbeat |
+//! | `0x8C` | StatsOk     | S→C | `u8` role, redirect addr, 4×`u64` (epoch, commit seq, queue depth, primary-seen seq), `u64` replication epoch, `u8` quorum state, `u64` overflow drops, per-replica (addr, sent-seq, acked-seq) list |
 //! | `0x8D` | PromoteOk   | S→C | `u64` sequence the new primary starts from |
 //! | `0x8E` | FenceOk     | S→C | — |
 //! | `0x8F` | Error       | S→C | `u16` code, `u8` retryable, message, detail |
@@ -103,9 +104,19 @@ pub enum Request {
     /// Observability: role, epoch, commit sequence, queue depth, lag.
     Stats,
     /// Admin (gated): permanently write-fence this server. `new_primary`
-    /// (may be empty) is recorded in the durable fence marker.
+    /// (may be empty) and `epoch` (the election epoch the fencer rules in;
+    /// 0 = unknown) are recorded in the durable fence marker.
     Fence {
         new_primary: String,
+        epoch: u64,
+    },
+    /// Replica → primary on the subscribe stream: everything up to and
+    /// including `seq` is fsynced on the replica. `epoch` is the replica's
+    /// view of the primary epoch — a quorum-counting primary ignores acks
+    /// from a different epoch.
+    Ack {
+        seq: u64,
+        epoch: u64,
     },
 }
 
@@ -155,11 +166,13 @@ pub enum Response {
         seq: u64,
         bytes: Vec<u8>,
     },
-    /// Subscribe accepted; `seq` is the primary's current commit sequence.
-    /// Re-sent periodically on an idle stream as a keepalive, so a replica
-    /// can measure lag even when no units flow.
+    /// Subscribe accepted; `seq` is the primary's current commit sequence
+    /// and `epoch` its replication epoch. Re-sent periodically on an idle
+    /// stream as a keepalive, so a replica can measure lag — and renew its
+    /// liveness lease on the primary — even when no units flow.
     SubscribeOk {
         seq: u64,
+        epoch: u64,
     },
     StatsOk {
         /// 0 = primary, 1 = replica, 2 = fenced.
@@ -175,9 +188,19 @@ pub enum Response {
         /// Replica only: the primary's commit sequence as last observed on
         /// the tail stream — `primary_seen - commit_seq` is applied lag.
         primary_seen: u64,
+        /// The replication epoch this server rules (primary) or last
+        /// observed from its primary (replica); on a fenced server, the
+        /// epoch it was fenced in.
+        repl_epoch: u64,
+        /// Quorum state: 0 async, 1 in-sync, 2 degraded, 3 timed-out.
+        quorum: u8,
+        /// Cumulative subscribers dropped for feed-backlog overflow.
+        overflow_drops: u64,
         /// Primary only: per-subscriber (address, highest sequence
-        /// enqueued) — `commit_seq - sent` is ship lag.
-        replicas: Vec<(String, u64)>,
+        /// enqueued, highest sequence durably acknowledged) —
+        /// `commit_seq - sent` is ship lag, `commit_seq - acked` is
+        /// durability lag.
+        replicas: Vec<(String, u64, u64)>,
     },
     PromoteOk {
         /// Commit sequence the promoted primary starts accepting writes at.
@@ -521,9 +544,15 @@ impl Request {
             }
             Request::Promote => put_u8(&mut out, 0x0B),
             Request::Stats => put_u8(&mut out, 0x0C),
-            Request::Fence { new_primary } => {
+            Request::Fence { new_primary, epoch } => {
                 put_u8(&mut out, 0x0D);
                 put_str(&mut out, new_primary);
+                put_u64(&mut out, *epoch);
+            }
+            Request::Ack { seq, epoch } => {
+                put_u8(&mut out, 0x0E);
+                put_u64(&mut out, *seq);
+                put_u64(&mut out, *epoch);
             }
         }
         out
@@ -553,6 +582,11 @@ impl Request {
             0x0C => Request::Stats,
             0x0D => Request::Fence {
                 new_primary: r.str()?,
+                epoch: r.u64()?,
+            },
+            0x0E => Request::Ack {
+                seq: r.u64()?,
+                epoch: r.u64()?,
             },
             tag => {
                 return Err(WireError::protocol(format!(
@@ -629,9 +663,10 @@ impl Response {
                 put_u64(&mut out, *seq);
                 put_bytes(&mut out, bytes);
             }
-            Response::SubscribeOk { seq } => {
+            Response::SubscribeOk { seq, epoch } => {
                 put_u8(&mut out, 0x8B);
                 put_u64(&mut out, *seq);
+                put_u64(&mut out, *epoch);
             }
             Response::StatsOk {
                 role,
@@ -640,6 +675,9 @@ impl Response {
                 commit_seq,
                 queue_len,
                 primary_seen,
+                repl_epoch,
+                quorum,
+                overflow_drops,
                 replicas,
             } => {
                 put_u8(&mut out, 0x8C);
@@ -649,10 +687,14 @@ impl Response {
                 put_u64(&mut out, *commit_seq);
                 put_u64(&mut out, *queue_len);
                 put_u64(&mut out, *primary_seen);
+                put_u64(&mut out, *repl_epoch);
+                put_u8(&mut out, *quorum);
+                put_u64(&mut out, *overflow_drops);
                 put_u32(&mut out, replicas.len() as u32);
-                for (addr, sent) in replicas {
+                for (addr, sent, acked) in replicas {
                     put_str(&mut out, addr);
                     put_u64(&mut out, *sent);
+                    put_u64(&mut out, *acked);
                 }
             }
             Response::PromoteOk { seq } => {
@@ -727,7 +769,10 @@ impl Response {
                 seq: r.u64()?,
                 bytes: r.bytes()?,
             },
-            0x8B => Response::SubscribeOk { seq: r.u64()? },
+            0x8B => Response::SubscribeOk {
+                seq: r.u64()?,
+                epoch: r.u64()?,
+            },
             0x8C => {
                 let role = r.u8()?;
                 let redirect = r.str()?;
@@ -735,11 +780,15 @@ impl Response {
                 let commit_seq = r.u64()?;
                 let queue_len = r.u64()?;
                 let primary_seen = r.u64()?;
+                let repl_epoch = r.u64()?;
+                let quorum = r.u8()?;
+                let overflow_drops = r.u64()?;
                 let n = r.u32()? as usize;
                 let mut replicas = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {
                     let addr = r.str()?;
-                    replicas.push((addr, r.u64()?));
+                    let sent = r.u64()?;
+                    replicas.push((addr, sent, r.u64()?));
                 }
                 Response::StatsOk {
                     role,
@@ -748,6 +797,9 @@ impl Response {
                     commit_seq,
                     queue_len,
                     primary_seen,
+                    repl_epoch,
+                    quorum,
+                    overflow_drops,
                     replicas,
                 }
             }
@@ -815,10 +867,13 @@ mod tests {
             Request::Stats,
             Request::Fence {
                 new_primary: "127.0.0.1:7879".into(),
+                epoch: 4,
             },
             Request::Fence {
                 new_primary: String::new(),
+                epoch: 0,
             },
+            Request::Ack { seq: 77, epoch: 2 },
         ] {
             roundtrip_req(req);
         }
@@ -835,7 +890,7 @@ mod tests {
             seq: 17,
             bytes: vec![0xCA, 0xFE, 0x00, 0x42],
         });
-        roundtrip_resp(Response::SubscribeOk { seq: 0 });
+        roundtrip_resp(Response::SubscribeOk { seq: 0, epoch: 1 });
         roundtrip_resp(Response::StatsOk {
             role: 1,
             redirect: "10.0.0.1:7878".into(),
@@ -843,7 +898,10 @@ mod tests {
             commit_seq: 120,
             queue_len: 2,
             primary_seen: 125,
-            replicas: vec![("10.0.0.2:51234".into(), 118)],
+            repl_epoch: 2,
+            quorum: 1,
+            overflow_drops: 4,
+            replicas: vec![("10.0.0.2:51234".into(), 118, 117)],
         });
         roundtrip_resp(Response::StatsOk {
             role: 0,
@@ -852,6 +910,9 @@ mod tests {
             commit_seq: 0,
             queue_len: 0,
             primary_seen: 0,
+            repl_epoch: 0,
+            quorum: 0,
+            overflow_drops: 0,
             replicas: vec![],
         });
         roundtrip_resp(Response::PromoteOk { seq: 121 });

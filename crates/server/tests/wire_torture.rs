@@ -35,7 +35,9 @@ fn sample_payloads() -> Vec<Vec<u8>> {
         Request::Stats,
         Request::Fence {
             new_primary: "10.0.0.7:7878".to_owned(),
+            epoch: 5,
         },
+        Request::Ack { seq: 41, epoch: 5 },
         Request::CommitLog,
     ];
     let responses = [
@@ -53,7 +55,7 @@ fn sample_payloads() -> Vec<Vec<u8>> {
             seq: 12,
             bytes: vec![0xAB; 64],
         },
-        Response::SubscribeOk { seq: 12 },
+        Response::SubscribeOk { seq: 12, epoch: 5 },
         Response::StatsOk {
             role: 1,
             redirect: "127.0.0.1:7878".to_owned(),
@@ -61,7 +63,10 @@ fn sample_payloads() -> Vec<Vec<u8>> {
             commit_seq: 41,
             queue_len: 2,
             primary_seen: 44,
-            replicas: vec![("10.0.0.8:9999".to_owned(), 41)],
+            repl_epoch: 5,
+            quorum: 1,
+            overflow_drops: 2,
+            replicas: vec![("10.0.0.8:9999".to_owned(), 41, 40)],
         },
         Response::PromoteOk { seq: 41 },
         Response::FenceOk,

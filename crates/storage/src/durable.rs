@@ -49,7 +49,17 @@ use crate::wal::Wal;
 
 /// Durable fence marker: its presence means this data directory was the
 /// primary of a replication group that failed over, and must never ack
-/// another write. Contents: the promoted primary's address (may be empty).
+/// another write.
+///
+/// Contents, line-oriented UTF-8:
+///
+/// ```text
+/// epoch=<u64>          (optional first line: the epoch the fencer rules in)
+/// <new-primary addr>   (may be empty/absent when unknown)
+/// ```
+///
+/// The original format was the bare address; readers accept both, so a
+/// directory fenced by an older build still restarts fenced.
 pub const FENCE_FILE: &str = "fence.bin";
 
 /// A [`PropertyGraph`] bound to a storage directory (`snapshot.bin` +
@@ -67,6 +77,10 @@ pub struct DurableGraph {
     /// seal, a fence is durable (a marker file) and permanent — no
     /// checkpoint clears it.
     fenced: Option<Option<String>>,
+    /// The epoch the fencer ruled in (0 when unfenced, or when fenced by a
+    /// build that predates epochs). A fenced ex-primary's own epoch is by
+    /// construction lower.
+    fence_epoch: u64,
     /// `covered_txid` of the snapshot recovery started from.
     recovered_base: u64,
     /// `(txid, dialect, text)` statements recovered from the WAL, i.e. the
@@ -87,7 +101,7 @@ impl DurableGraph {
     /// the fault-injection entry point.
     pub fn open_with(fs: Arc<dyn StorageFs>, dir: &Path) -> Result<DurableGraph, StorageError> {
         fs.create_dir_all(dir)?;
-        let fenced = read_fence(fs.as_ref(), dir)?;
+        let (fenced, fence_epoch) = read_fence(fs.as_ref(), dir)?;
         let rec = recover_with(fs.as_ref(), dir)?;
         let wal_path = dir.join(WAL_FILE);
         let wal = match rec.wal_committed_len {
@@ -104,6 +118,7 @@ impl DurableGraph {
             fs,
             sealed: None,
             fenced,
+            fence_epoch,
             recovered_base: rec.covered_txid,
             recovered_stmts: rec.statements,
         })
@@ -168,15 +183,23 @@ impl DurableGraph {
         self.fenced.as_ref().and_then(|t| t.as_deref())
     }
 
+    /// The epoch this directory was fenced in (0 when unfenced or fenced
+    /// without one). Any primary that restarts over this directory served
+    /// a strictly lower epoch.
+    pub fn fence_epoch(&self) -> u64 {
+        self.fence_epoch
+    }
+
     /// Fence this data directory: refuse every future write, durably.
+    /// `epoch` is the election epoch the fencer rules in (0 = unknown).
     ///
     /// The in-memory fence takes effect *before* the marker file is
     /// staged, so even if persisting the marker fails (the error is
     /// returned) this handle can no longer ack a write; only the
     /// restart-survives-fencing guarantee is weakened in that case.
-    /// Idempotent; a later fence may add a `new_primary` a first one
-    /// lacked, but never clears one.
-    pub fn fence(&mut self, new_primary: Option<&str>) -> Result<(), StorageError> {
+    /// Idempotent; a later fence may add a `new_primary` or raise the
+    /// epoch a first one lacked, but never clears either.
+    pub fn fence(&mut self, new_primary: Option<&str>, epoch: u64) -> Result<(), StorageError> {
         match &mut self.fenced {
             Some(existing) => {
                 if existing.is_none() {
@@ -185,9 +208,13 @@ impl DurableGraph {
             }
             None => self.fenced = Some(new_primary.map(str::to_owned)),
         }
+        self.fence_epoch = self.fence_epoch.max(epoch);
+        let target = self.fence_target().map(str::to_owned);
         let path = self.dir.join(FENCE_FILE);
         let mut f = self.fs.create(&path)?;
-        f.write_all(new_primary.unwrap_or("").as_bytes())?;
+        let mut contents = format!("epoch={}\n", self.fence_epoch);
+        contents.push_str(target.as_deref().unwrap_or(""));
+        f.write_all(contents.as_bytes())?;
         f.sync_data()?;
         let _ = self.fs.sync_dir(&self.dir);
         Ok(())
@@ -486,15 +513,31 @@ impl DurableGraph {
     }
 }
 
-/// Read the fence marker, if present. Absence is the normal case.
-fn read_fence(fs: &dyn StorageFs, dir: &Path) -> Result<Option<Option<String>>, StorageError> {
+/// Read the fence marker, if present. Absence is the normal case. Returns
+/// `(fence, epoch)`; the bare-address legacy format reads as epoch 0.
+fn read_fence(
+    fs: &dyn StorageFs,
+    dir: &Path,
+) -> Result<(Option<Option<String>>, u64), StorageError> {
     let path = dir.join(FENCE_FILE);
     if !fs.exists(&path) {
-        return Ok(None);
+        return Ok((None, 0));
     }
     let bytes = fs.read(&path)?;
-    let addr = String::from_utf8_lossy(&bytes).trim().to_owned();
-    Ok(Some(if addr.is_empty() { None } else { Some(addr) }))
+    let text = String::from_utf8_lossy(&bytes);
+    let mut epoch = 0u64;
+    let addr = match text.split_once('\n') {
+        Some((first, rest)) if first.trim().starts_with("epoch=") => {
+            epoch = first
+                .trim()
+                .trim_start_matches("epoch=")
+                .parse()
+                .unwrap_or(0);
+            rest.trim().to_owned()
+        }
+        _ => text.trim().to_owned(),
+    };
+    Ok((Some(if addr.is_empty() { None } else { Some(addr) }), epoch))
 }
 
 #[cfg(test)]
@@ -867,9 +910,10 @@ mod tests {
         let dir = tmpdir("fence");
         let mut d = DurableGraph::open(&dir).unwrap();
         d.apply(create_one).unwrap().unwrap();
-        d.fence(Some("10.0.0.2:7878")).unwrap();
+        d.fence(Some("10.0.0.2:7878"), 3).unwrap();
         assert!(d.is_fenced());
         assert_eq!(d.fence_target(), Some("10.0.0.2:7878"));
+        assert_eq!(d.fence_epoch(), 3);
 
         let err = d.apply(create_one).unwrap_err();
         assert!(matches!(
@@ -888,8 +932,30 @@ mod tests {
         let mut d = DurableGraph::open(&dir).unwrap();
         assert!(d.is_fenced());
         assert_eq!(d.fence_target(), Some("10.0.0.2:7878"));
+        assert_eq!(d.fence_epoch(), 3, "epoch survives the restart");
         assert_eq!(d.graph().node_count(), 1);
         assert!(d.apply(create_one).unwrap_err().is_fenced());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A marker written by the pre-epoch format (bare address) still fences
+    /// on open, reading as epoch 0; re-fencing upgrades it in place.
+    #[test]
+    fn legacy_fence_marker_still_fences() {
+        let dir = tmpdir("fencelegacy");
+        drop(DurableGraph::open(&dir).unwrap());
+        std::fs::write(dir.join(FENCE_FILE), b"10.0.0.7:7878").unwrap();
+        let mut d = DurableGraph::open(&dir).unwrap();
+        assert!(d.is_fenced());
+        assert_eq!(d.fence_target(), Some("10.0.0.7:7878"));
+        assert_eq!(d.fence_epoch(), 0);
+        // Re-fencing with an epoch upgrades the marker without clearing
+        // the recorded primary.
+        d.fence(None, 5).unwrap();
+        drop(d);
+        let d = DurableGraph::open(&dir).unwrap();
+        assert_eq!(d.fence_target(), Some("10.0.0.7:7878"));
+        assert_eq!(d.fence_epoch(), 5);
         std::fs::remove_dir_all(dir).unwrap();
     }
 
@@ -900,7 +966,7 @@ mod tests {
         drop(DurableGraph::open(&dir).unwrap());
         let fault = FaultFs::fail_on(OpKind::Create, 0, FaultKind::NoSpace);
         let mut d = DurableGraph::open_with(fault.arc(), &dir).unwrap();
-        assert!(d.fence(None).is_err(), "marker write failed");
+        assert!(d.fence(None, 1).is_err(), "marker write failed");
         assert!(d.is_fenced(), "process-local fence still holds");
         assert!(d.apply(create_one).unwrap_err().is_fenced());
         std::fs::remove_dir_all(dir).unwrap();

@@ -53,6 +53,27 @@ loadtest-replica addr="127.0.0.1:7878" read="127.0.0.1:7879" n="500" threads="8"
         --addr {{addr}} --read-addr {{read}} --load {{n}} --threads {{threads}} \
         --out BENCH_6.json
 
+# Quorum pair: a primary that withholds client acks until 1 replica has
+# durably applied each write (`just serve-sync`), and a replica with a
+# liveness lease — if the primary goes silent past the lease it elects
+# itself, self-promotes into a fresh epoch and fences the zombie.
+serve-sync data="./graphdb" addr="127.0.0.1:7878":
+    cargo run -p cypher-server --bin cypher-serve --release --offline -q -- \
+        --data {{data}} --addr {{addr}} --allow-shutdown --allow-admin \
+        --sync-replicas 1 --sync-timeout-ms 2000 --sync-policy strict
+
+replicate-sync primary="127.0.0.1:7878" data="./replicadb" addr="127.0.0.1:7879":
+    cargo run -p cypher-server --bin cypher-serve --release --offline -q -- \
+        --data {{data}} --addr {{addr}} --replica-of {{primary}} --allow-admin \
+        --lease-ms 3000
+
+# The replica-pair load test re-run under quorum acknowledgement, so the
+# durable-ack round trip's latency cost is measured against BENCH_6.
+loadtest-quorum addr="127.0.0.1:7878" read="127.0.0.1:7879" n="500" threads="8":
+    cargo run -p cypher-server --bin cypher-client --release --offline -q -- \
+        --addr {{addr}} --read-addr {{read}} --load {{n}} --threads {{threads}} \
+        --label quorum_load --out BENCH_7.json
+
 # Scoped lint: the storage crate bans unwrap()/expect() outside tests.
 clippy-storage:
     cargo clippy -p cypher-storage --offline -- -D warnings

@@ -177,6 +177,94 @@ replication_roundtrip() {
 }
 run "replication round trip" replication_roundtrip
 
+# Quorum round trip: a primary that withholds client acks until the
+# replica has durably applied each write, killed with SIGKILL mid-reign.
+# Every acknowledged write must survive on the self-promoted replica
+# (zero acked loss), and the restarted zombie must end up fenced
+# automatically — no operator step — refusing writes in the new epoch.
+quorum_roundtrip() {
+    work=$(mktemp -d) || return 1
+    cargo build -q --offline -p cypher-server || return 1
+    status=1
+    p_pid=""
+    r_pid=""
+    z_pid=""
+    while :; do # single-pass loop so failures can `break` to cleanup
+        ./target/debug/cypher-serve --data "$work/p" --addr 127.0.0.1:0 \
+            --allow-admin --sync-replicas 1 --sync-timeout-ms 4000 \
+            >"$work/p.log" 2>&1 &
+        p_pid=$!
+        p_addr=$(serve_addr "$work/p.log") || break
+        ./target/debug/cypher-serve --data "$work/r" --addr 127.0.0.1:0 \
+            --replica-of "$p_addr" --allow-admin --lease-ms 500 \
+            >"$work/r.log" 2>&1 &
+        r_pid=$!
+        r_addr=$(serve_addr "$work/r.log") || break
+
+        # Wait for the replica to subscribe; only then can quorum be met.
+        sub=""
+        tries=0
+        while [ -z "$sub" ] && [ "$tries" -lt 100 ]; do
+            ./target/debug/cypher-client --addr "$p_addr" --stats 2>/dev/null \
+                | grep -q '^replica ' && sub=yes
+            [ -z "$sub" ] && { tries=$((tries + 1)); sleep 0.1; }
+        done
+        [ -n "$sub" ] || { echo "replica never subscribed" >&2; break; }
+        # Each successful exit below is a quorum ack: the write is fsynced
+        # on BOTH sides before the client hears OK.
+        ./target/debug/cypher-client --addr "$p_addr" \
+            --run "CREATE (:Paid {id: 1})" \
+            --run "CREATE (:Paid {id: 2})" >/dev/null || break
+
+        # SIGKILL: no clean shutdown, no flush, no goodbye. The replica's
+        # lease expires, it elects itself and self-promotes.
+        kill -9 "$p_pid" 2>/dev/null
+        wait "$p_pid" 2>/dev/null
+        p_pid=""
+        promoted=""
+        tries=0
+        while [ -z "$promoted" ] && [ "$tries" -lt 150 ]; do
+            ./target/debug/cypher-client --addr "$r_addr" --stats 2>/dev/null \
+                | grep -q '^role: primary$' && promoted=yes
+            [ -z "$promoted" ] && { tries=$((tries + 1)); sleep 0.1; }
+        done
+        [ -n "$promoted" ] || { echo "replica never self-promoted" >&2; break; }
+
+        # Zero acked loss: both quorum-acknowledged writes survived.
+        ./target/debug/cypher-client --addr "$r_addr" --dump >"$work/r.dump" || break
+        grep -q 'id: 1' "$work/r.dump" && grep -q 'id: 2' "$work/r.dump" \
+            || { echo "acked write lost after quorum failover" >&2; break; }
+        ./target/debug/cypher-client --addr "$r_addr" \
+            --run "CREATE (:Paid {id: 3})" >/dev/null || break
+
+        # The zombie restarts on its old address inside the fence-retry
+        # window: the new primary's retry fence must land, durably.
+        ./target/debug/cypher-serve --data "$work/p" --addr "$p_addr" \
+            --allow-admin >"$work/z.log" 2>&1 &
+        z_pid=$!
+        fenced=""
+        tries=0
+        while [ -z "$fenced" ] && [ "$tries" -lt 150 ]; do
+            ./target/debug/cypher-client --addr "$p_addr" --stats 2>/dev/null \
+                | grep -q '^role: fenced$' && fenced=yes
+            [ -z "$fenced" ] && { tries=$((tries + 1)); sleep 0.1; }
+        done
+        [ -n "$fenced" ] || { echo "zombie never fenced automatically" >&2; break; }
+        ./target/debug/cypher-client --addr "$p_addr" \
+            --expect-error "CREATE (:Zombie)" >/dev/null \
+            || { echo "fenced zombie accepted a write" >&2; break; }
+
+        status=0
+        break
+    done
+    [ -n "$p_pid" ] && { kill "$p_pid" 2>/dev/null; wait "$p_pid" 2>/dev/null; }
+    [ -n "$z_pid" ] && { kill "$z_pid" 2>/dev/null; wait "$z_pid" 2>/dev/null; }
+    [ -n "$r_pid" ] && { kill "$r_pid" 2>/dev/null; wait "$r_pid" 2>/dev/null; }
+    rm -rf "$work"
+    return "$status"
+}
+run "quorum round trip" quorum_roundtrip
+
 if cargo fmt --version >/dev/null 2>&1; then
     run "fmt" cargo fmt --all --check
 else
