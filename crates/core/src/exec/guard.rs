@@ -15,6 +15,7 @@
 //! always side-effect free.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::error::{EvalError, Result};
@@ -125,15 +126,65 @@ impl ExecGuard {
 
     /// Cooperative cancellation point: has the wall-clock deadline passed?
     pub(crate) fn check_deadline(&self) -> Result<()> {
-        if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
+        deadline_check(self.deadline, &self.limits)
+    }
+
+    /// Fork the guard's current budget state for a parallel read region:
+    /// workers charge the returned [`SharedGuard`] instead of this guard.
+    pub(crate) fn fork_shared(&self) -> SharedGuard {
+        SharedGuard {
+            limits: self.limits,
+            rows: AtomicU64::new(self.rows),
+            deadline: self.deadline,
+        }
+    }
+
+    /// Re-absorb the row count accumulated by a parallel region, so later
+    /// (serial) clauses of the same statement keep charging cumulatively.
+    pub(crate) fn join_shared(&mut self, shared: &SharedGuard) {
+        self.rows = shared.rows.load(Ordering::SeqCst).max(self.rows);
+    }
+}
+
+fn deadline_check(deadline: Option<Instant>, limits: &ExecLimits) -> Result<()> {
+    if let Some(deadline) = deadline {
+        if Instant::now() >= deadline {
+            return Err(EvalError::ResourceExhausted {
+                resource: "time (ms)",
+                limit: limits.timeout.map(|t| t.as_millis() as u64).unwrap_or(0),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Thread-safe view of one statement's budgets for the parallel read
+/// executor (`crate::exec::read`): workers charge a common atomic row
+/// counter against the same limits and deadline as the serial guard.
+/// Enforcement stays cooperative (strictly greater-than, like serial);
+/// once the pooled counter trips, every subsequent charge in any worker
+/// fails, which bounds wasted work after an error without any extra
+/// cancellation machinery.
+#[derive(Debug)]
+pub(crate) struct SharedGuard {
+    limits: ExecLimits,
+    rows: AtomicU64,
+    deadline: Option<Instant>,
+}
+
+impl SharedGuard {
+    /// Charge `n` materialized rows and check the row budget + deadline.
+    pub(crate) fn charge_rows(&self, n: usize) -> Result<()> {
+        deadline_check(self.deadline, &self.limits)?;
+        let rows = self
+            .rows
+            .fetch_add(n as u64, Ordering::Relaxed)
+            .saturating_add(n as u64);
+        if let Some(limit) = self.limits.max_rows {
+            if rows > limit {
                 return Err(EvalError::ResourceExhausted {
-                    resource: "time (ms)",
-                    limit: self
-                        .limits
-                        .timeout
-                        .map(|t| t.as_millis() as u64)
-                        .unwrap_or(0),
+                    resource: "rows",
+                    limit,
                 });
             }
         }
@@ -205,6 +256,31 @@ mod tests {
         g.check_writes(&stats).unwrap();
         stats.props_set = 1;
         assert!(g.check_writes(&stats).is_err());
+    }
+
+    #[test]
+    fn shared_guard_pools_charges_across_threads() {
+        let mut g = ExecGuard::new(ExecLimits {
+            max_rows: Some(100),
+            ..ExecLimits::NONE
+        });
+        g.charge_rows(10).unwrap();
+        let shared = g.fork_shared();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        shared.charge_rows(1).unwrap();
+                    }
+                });
+            }
+        });
+        // 10 serial + 80 parallel charged; 10 more lands exactly on the
+        // budget, the next one trips.
+        shared.charge_rows(10).unwrap();
+        assert!(shared.charge_rows(1).is_err());
+        g.join_shared(&shared);
+        assert!(g.charge_rows(1).is_err());
     }
 
     #[test]

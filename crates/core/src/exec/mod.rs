@@ -159,6 +159,9 @@ pub struct EngineBuilder {
     limits: ExecLimits,
     force_naive: bool,
     lint_mode: LintMode,
+    read_workers: usize,
+    morsel_size: usize,
+    parallel_threshold: usize,
 }
 
 impl EngineBuilder {
@@ -172,6 +175,9 @@ impl EngineBuilder {
             limits: ExecLimits::NONE,
             force_naive: false,
             lint_mode: LintMode::Off,
+            read_workers: 1,
+            morsel_size: 128,
+            parallel_threshold: 64,
         }
     }
 
@@ -227,6 +233,32 @@ impl EngineBuilder {
         self
     }
 
+    /// Number of threads (including the calling one) a read-only statement
+    /// may fan pattern matching across. `0` and `1` mean serial execution —
+    /// the default, so embedders opt in explicitly. Parallelism only
+    /// engages on [`Engine::run_read`]'s shared-snapshot path, and its
+    /// output is byte-identical to serial execution (see DESIGN.md §13).
+    pub fn read_workers(mut self, n: usize) -> Self {
+        self.read_workers = n;
+        self
+    }
+
+    /// Rows (or anchor nodes) per morsel — the unit of work a parallel
+    /// read worker claims at a time. Purely a scheduling granularity knob:
+    /// results are identical for every morsel size.
+    pub fn morsel_size(mut self, n: usize) -> Self {
+        self.morsel_size = n.max(1);
+        self
+    }
+
+    /// Minimum amount of work (driving rows, or planner-estimated matches)
+    /// below which a `MATCH` stays serial even when [`Self::read_workers`]
+    /// allows parallelism — fan-out overhead must be repaid.
+    pub fn parallel_threshold(mut self, n: usize) -> Self {
+        self.parallel_threshold = n;
+        self
+    }
+
     pub fn build(self) -> Engine {
         Engine {
             dialect: self.dialect,
@@ -237,6 +269,9 @@ impl EngineBuilder {
             limits: self.limits,
             force_naive: self.force_naive,
             lint_mode: self.lint_mode,
+            read_workers: self.read_workers,
+            morsel_size: self.morsel_size.max(1),
+            parallel_threshold: self.parallel_threshold,
         }
     }
 }
@@ -254,6 +289,12 @@ pub struct Engine {
     pub force_naive: bool,
     /// Static-analysis policy (see [`EngineBuilder::lint_mode`]).
     pub lint_mode: LintMode,
+    /// Parallel read fan-out (see [`EngineBuilder::read_workers`]).
+    pub read_workers: usize,
+    /// Morsel granularity (see [`EngineBuilder::morsel_size`]).
+    pub morsel_size: usize,
+    /// Serial-vs-parallel cutover (see [`EngineBuilder::parallel_threshold`]).
+    pub parallel_threshold: usize,
 }
 
 impl Engine {

@@ -8,15 +8,19 @@
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 
-use cypher_graph::Value;
+use cypher_graph::{PropertyGraph, Value};
 use cypher_parser::ast::{Expr, PathPattern, Projection, ProjectionItem, ProjectionItems};
 use cypher_parser::pretty::print_expr;
 use cypher_parser::ParseError;
 
 use crate::error::{EvalError, Result};
 use crate::eval::agg::{AggKind, Aggregator};
-use crate::eval::{apply_binary, apply_unary, eval, property_access, EvalCtx};
-use crate::exec::ExecCtx;
+use crate::eval::{apply_binary, apply_unary, eval, eval_predicate, property_access, EvalCtx};
+use crate::exec::guard::SharedGuard;
+use crate::exec::{Engine, ExecCtx, GraphMut};
+use crate::par::{scatter, ReadPool};
+use crate::pattern::Matcher;
+use crate::plan::ClausePlan;
 use crate::table::{Record, Table};
 
 /// `MATCH` / `OPTIONAL MATCH`: extend every record with every embedding of
@@ -30,6 +34,9 @@ pub(crate) fn match_clause(
     where_clause: Option<&Expr>,
 ) -> Result<()> {
     let plan = ctx.plan_patterns(patterns);
+    if match_clause_parallel(ctx, optional, patterns, where_clause, plan.as_ref())? {
+        return Ok(());
+    }
     let input = std::mem::take(&mut ctx.table);
     let mut out = Vec::new();
     for rec in &input.rows {
@@ -48,17 +55,257 @@ pub(crate) fn match_clause(
         }
         if optional && !any {
             ctx.charge_rows(1)?;
-            let mut null_rec = rec.clone();
-            for var in pattern_variables(patterns) {
-                if !null_rec.is_bound(&var) {
-                    null_rec.bind(var, Value::Null);
-                }
-            }
-            out.push(null_rec);
+            out.push(null_extended(rec, patterns));
         }
     }
     ctx.table = Table::from_rows(out);
     Ok(())
+}
+
+/// The `OPTIONAL MATCH` no-match fallback: `rec` with every pattern
+/// variable that is not already bound set to `null`.
+fn null_extended(rec: &Record, patterns: &[PathPattern]) -> Record {
+    let mut null_rec = rec.clone();
+    for var in pattern_variables(patterns) {
+        if !null_rec.is_bound(&var) {
+            null_rec.bind(var, Value::Null);
+        }
+    }
+    null_rec
+}
+
+/// Morsel-driven parallel `MATCH` (see DESIGN.md §13). Returns `Ok(true)`
+/// when the clause was executed in parallel (`ctx.table` replaced),
+/// `Ok(false)` to fall back to the serial loop above.
+///
+/// Eligibility: the engine opted in (`read_workers >= 2`), the graph
+/// handle is a shared immutable snapshot (`Engine::run_read`), and the
+/// clause carries enough work to repay fan-out. Two morsel axes:
+///
+/// * **Inter-row** — the driving table has at least `parallel_threshold`
+///   rows: rows split into morsels, each worker runs the ordinary per-row
+///   match + `WHERE`, and morsel outputs concatenate in row order (the
+///   per-row pipeline is already deterministic, so this is byte-identical
+///   to serial).
+/// * **Intra-row** — few driving rows but the planner estimates at least
+///   `parallel_threshold` matches: the first executed pattern's ascending
+///   anchor-candidate set splits into chunks, workers enumerate matches
+///   per chunk ([`Matcher::match_planned_anchored`]), and the merged
+///   results are stably sorted by naive-order key — exactly the sort
+///   serial planned execution performs, so output is again identical.
+///
+/// `ExecLimits` row budgets are enforced cooperatively across workers
+/// through one [`SharedGuard`]. Success outputs are byte-identical to
+/// serial execution; on failing statements, which of several coexisting
+/// errors (e.g. an expression error in one morsel and a row-budget trip in
+/// another) gets reported may differ, but success/failure itself never
+/// does.
+fn match_clause_parallel(
+    ctx: &mut ExecCtx,
+    optional: bool,
+    patterns: &[PathPattern],
+    where_clause: Option<&Expr>,
+    plan: Option<&ClausePlan>,
+) -> Result<bool> {
+    let engine = ctx.engine;
+    if engine.read_workers < 2 {
+        return Ok(false);
+    }
+    let graph: &PropertyGraph = match ctx.graph {
+        GraphMut::Shared(g) => g,
+        GraphMut::Excl(_) => return Ok(false),
+    };
+    let rows = ctx.table.len();
+    if rows == 0 {
+        return Ok(false);
+    }
+    let threshold = engine.parallel_threshold;
+    let inter_row = rows >= threshold.max(2);
+    // Planner-estimated matches per driving row: the product of each
+    // pattern's estimated contribution.
+    let est_matches = plan
+        .map(|p| p.meta.iter().map(|m| m.est_rows).product::<f64>())
+        .unwrap_or(0.0);
+    let intra_row = plan.is_some() && est_matches >= threshold as f64;
+    if !inter_row && !intra_row {
+        return Ok(false);
+    }
+    let pool = ReadPool::global(engine.read_workers - 1);
+    let helpers = (engine.read_workers - 1).min(pool.threads());
+    if helpers == 0 {
+        return Ok(false);
+    }
+    let morsel = engine.morsel_size.max(1);
+    let shared = ctx.guard.fork_shared();
+    let input = std::mem::take(&mut ctx.table);
+
+    let result = if inter_row {
+        match_rows_scattered(
+            graph,
+            engine,
+            &shared,
+            pool,
+            helpers,
+            morsel,
+            &input.rows,
+            optional,
+            patterns,
+            where_clause,
+            plan,
+        )
+    } else {
+        let Some(plan) = plan else {
+            unreachable!("intra-row eligibility requires a plan");
+        };
+        match_anchors_scattered(
+            graph,
+            engine,
+            &shared,
+            pool,
+            helpers,
+            morsel,
+            &input.rows,
+            optional,
+            patterns,
+            where_clause,
+            plan,
+        )
+    };
+    ctx.guard.join_shared(&shared);
+    ctx.table = Table::from_rows(result?);
+    Ok(true)
+}
+
+/// Inter-row parallelism: morsels are runs of driving-table rows.
+#[allow(clippy::too_many_arguments)]
+fn match_rows_scattered(
+    graph: &PropertyGraph,
+    engine: &Engine,
+    shared: &SharedGuard,
+    pool: &ReadPool,
+    helpers: usize,
+    morsel: usize,
+    rows: &[Record],
+    optional: bool,
+    patterns: &[PathPattern],
+    where_clause: Option<&Expr>,
+    plan: Option<&ClausePlan>,
+) -> Result<Vec<Record>> {
+    let tasks = rows.len().div_ceil(morsel);
+    let morsels: Vec<Result<Vec<Record>>> = scatter(pool, helpers, tasks, |t| {
+        let lo = t * morsel;
+        let hi = rows.len().min(lo + morsel);
+        let matcher = Matcher::new(graph, &engine.params, engine.match_mode);
+        let ectx = EvalCtx::new(graph, &engine.params).with_match_mode(engine.match_mode);
+        let mut out = Vec::new();
+        for rec in &rows[lo..hi] {
+            let matches = match plan {
+                Some(p) => matcher.match_patterns_planned(rec, p),
+                None => matcher.match_patterns(rec, patterns),
+            }?;
+            let mut any = false;
+            for m in matches {
+                let keep = match where_clause {
+                    Some(w) => eval_predicate(&ectx, &m, w)?.is_true(),
+                    None => true,
+                };
+                if keep {
+                    shared.charge_rows(1)?;
+                    any = true;
+                    out.push(m);
+                }
+            }
+            if optional && !any {
+                shared.charge_rows(1)?;
+                out.push(null_extended(rec, patterns));
+            }
+        }
+        Ok(out)
+    });
+    // First error in morsel (= row) order; morsels run to completion
+    // independently, so this matches the serial error position whenever a
+    // single error source exists.
+    let mut out = Vec::new();
+    for m in morsels {
+        out.extend(m?);
+    }
+    Ok(out)
+}
+
+/// Intra-row parallelism: morsels are chunks of the first executed
+/// pattern's anchor-candidate set, per driving row.
+#[allow(clippy::too_many_arguments)]
+fn match_anchors_scattered(
+    graph: &PropertyGraph,
+    engine: &Engine,
+    shared: &SharedGuard,
+    pool: &ReadPool,
+    helpers: usize,
+    morsel: usize,
+    rows: &[Record],
+    optional: bool,
+    patterns: &[PathPattern],
+    where_clause: Option<&Expr>,
+    plan: &ClausePlan,
+) -> Result<Vec<Record>> {
+    let coordinator = Matcher::new(graph, &engine.params, engine.match_mode);
+    let coord_ectx = EvalCtx::new(graph, &engine.params).with_match_mode(engine.match_mode);
+    let mut out = Vec::new();
+    for rec in rows {
+        let anchors = coordinator.plan_anchors(rec, plan)?;
+        let mut any = false;
+        if anchors.len() >= 2 {
+            let tasks = anchors.len().div_ceil(morsel);
+            let chunks = scatter(pool, helpers, tasks, |t| {
+                let lo = t * morsel;
+                let hi = anchors.len().min(lo + morsel);
+                let matcher = Matcher::new(graph, &engine.params, engine.match_mode);
+                let ectx = EvalCtx::new(graph, &engine.params).with_match_mode(engine.match_mode);
+                let mut kept = Vec::new();
+                for km in matcher.match_planned_anchored(rec, plan, &anchors[lo..hi])? {
+                    let keep = match where_clause {
+                        Some(w) => eval_predicate(&ectx, &km.rec, w)?.is_true(),
+                        None => true,
+                    };
+                    if keep {
+                        shared.charge_rows(1)?;
+                        kept.push(km);
+                    }
+                }
+                Ok::<_, EvalError>(kept)
+            });
+            let mut merged = Vec::new();
+            for c in chunks {
+                merged.extend(c?);
+            }
+            // Chunk concatenation already ascends for identity plans (all
+            // keys empty and equal); for transformed plans this stable
+            // sort is exactly the naive-order restoration serial planned
+            // execution performs.
+            merged.sort_by(|a, b| a.key.cmp(&b.key));
+            any = !merged.is_empty();
+            out.extend(merged.into_iter().map(|km| km.rec));
+        } else {
+            // Too few anchors to share: ordinary serial matching for this
+            // one row (still charging the shared budget).
+            for m in coordinator.match_patterns_planned(rec, plan)? {
+                let keep = match where_clause {
+                    Some(w) => eval_predicate(&coord_ectx, &m, w)?.is_true(),
+                    None => true,
+                };
+                if keep {
+                    shared.charge_rows(1)?;
+                    any = true;
+                    out.push(m);
+                }
+            }
+        }
+        if optional && !any {
+            shared.charge_rows(1)?;
+            out.push(null_extended(rec, patterns));
+        }
+    }
+    Ok(out)
 }
 
 /// All variables introduced by a tuple of patterns (node, relationship and

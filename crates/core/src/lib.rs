@@ -44,6 +44,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod export;
+pub mod par;
 pub mod pattern;
 pub mod plan;
 pub mod table;

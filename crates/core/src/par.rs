@@ -1,0 +1,336 @@
+//! Morsel-driven parallel read execution: the worker pool.
+//!
+//! Read-only statements run against an immutable snapshot
+//! (`Engine::run_read` takes `&PropertyGraph`), so pattern matching over
+//! independent units of work — driving-table rows, or anchor candidates of
+//! a single row — can fan out across threads without synchronization on
+//! the data. This module provides the two pieces the executor needs:
+//!
+//! * [`ReadPool`] — a process-wide pool of persistent worker threads,
+//!   created lazily on first use. Workers block on a shared queue and
+//!   never exit; a read-heavy server pays thread-spawn cost once, not per
+//!   statement.
+//! * [`scatter`] — run a task function over `0..tasks` using the calling
+//!   thread plus up to `helpers` pool workers. Tasks are claimed
+//!   dynamically off a shared cursor (a slow morsel never stalls the
+//!   others), but each result lands in its task-index slot, so the output
+//!   vector is in task order **regardless of scheduling**. Determinism of
+//!   query results therefore only depends on how the caller cuts work
+//!   into tasks, never on thread timing.
+//!
+//! ## Borrow erasure
+//!
+//! Pool workers are `'static`, but `scatter`'s task function borrows the
+//! caller's stack (the graph snapshot, the driving table, the shared
+//! budget). The bridge is a raw-pointer handoff: helpers receive the
+//! address of the caller's [`Run`] state and a monomorphized driver
+//! function. This is sound because `scatter` does not return until every
+//! helper has signalled completion through an owned [`Latch`], and a
+//! helper signals only after its last access to the shared state — the
+//! borrowed data strictly outlives every dereference.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+/// A process-wide pool of persistent read-execution workers.
+pub struct ReadPool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+}
+
+impl ReadPool {
+    /// The global pool, created on first call with `threads` workers (at
+    /// least one). Later callers share the same pool whatever size they
+    /// ask for; [`scatter`] never uses more helpers than exist.
+    pub fn global(threads: usize) -> &'static ReadPool {
+        static POOL: OnceLock<ReadPool> = OnceLock::new();
+        POOL.get_or_init(|| ReadPool::new(threads.max(1)))
+    }
+
+    fn new(threads: usize) -> ReadPool {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        });
+        let mut spawned = 0;
+        for _ in 0..threads {
+            let s = Arc::clone(&shared);
+            if thread::Builder::new()
+                .name("cypher-read".into())
+                .spawn(move || worker_loop(&s))
+                .is_ok()
+            {
+                spawned += 1;
+            }
+        }
+        ReadPool {
+            shared,
+            threads: spawned,
+        }
+    }
+
+    /// Number of live pool workers (0 if thread spawning failed entirely,
+    /// in which case [`scatter`] degrades to caller-only execution).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn submit(&self, job: Job) {
+        let mut q = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        q.push_back(job);
+        drop(q);
+        self.shared.cv.notify_one();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = shared.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // A panicking task must not take the worker down; `scatter`
+        // records the payload and re-raises it on the calling thread.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+/// Count-down latch: helpers arrive, the caller waits for zero.
+struct Latch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(n),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn arrive(&self) {
+        let mut r = self
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *r -= 1;
+        if *r == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut r = self
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *r > 0 {
+            r = self.cv.wait(r).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Shared state of one `scatter` call. Accessed from several threads
+/// through a raw pointer (see module docs on borrow erasure); the unsafe
+/// `Sync` assertion below records the actual requirements: `T: Send`
+/// (results cross threads once) and `F: Sync` (the task function is called
+/// concurrently by reference).
+struct Run<T, F> {
+    cursor: AtomicUsize,
+    tasks: usize,
+    slots: Vec<Mutex<Option<T>>>,
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    f: *const F,
+}
+
+unsafe impl<T: Send, F: Sync> Sync for Run<T, F> {}
+
+impl<T, F: Fn(usize) -> T> Run<T, F> {
+    fn drive(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.tasks {
+                return;
+            }
+            // SAFETY: `scatter` keeps the task function alive until every
+            // participant has quiesced (latch protocol).
+            let f = unsafe { &*self.f };
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(v) => {
+                    *self.slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                }
+                Err(payload) => {
+                    let mut slot = self
+                        .panic_payload
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    drop(slot);
+                    // Stop everyone from claiming further tasks.
+                    self.cursor.fetch_max(self.tasks, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Monomorphized driver used to smuggle `Run<T, F>` through the pool's
+/// type-erased job queue as a plain address.
+unsafe fn drive_erased<T, F: Fn(usize) -> T>(ptr: usize) {
+    let run = unsafe { &*(ptr as *const Run<T, F>) };
+    run.drive();
+}
+
+/// Run `f(0)`, `f(1)`, …, `f(tasks - 1)` on the calling thread plus up to
+/// `helpers` pool workers and return the results **in task order**.
+///
+/// Work is claimed dynamically (morsel-driven): a task that takes longer
+/// does not stall the others, and idle participants keep pulling tasks
+/// until the cursor is exhausted. Scheduling never affects the output
+/// because each result is written to its task's slot.
+///
+/// The call blocks until all participants have quiesced. A panic inside
+/// `f` stops further task claims and is re-raised here, after quiescence,
+/// with its original payload.
+pub fn scatter<T, F>(pool: &ReadPool, helpers: usize, tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let run = Run {
+        cursor: AtomicUsize::new(0),
+        tasks,
+        slots: (0..tasks).map(|_| Mutex::new(None)).collect(),
+        panic_payload: Mutex::new(None),
+        f: &f,
+    };
+    // No point waking more helpers than there are tasks beyond the
+    // caller's own share.
+    let helpers = helpers.min(pool.threads).min(tasks.saturating_sub(1));
+    let latch = Arc::new(Latch::new(helpers));
+    let ptr = &run as *const Run<T, F> as usize;
+    let driver: unsafe fn(usize) = drive_erased::<T, F>;
+    for _ in 0..helpers {
+        let latch = Arc::clone(&latch);
+        pool.submit(Box::new(move || {
+            // SAFETY: the caller's `Run` (and the `f` it points to) are
+            // alive for the whole call — `scatter` blocks on the latch,
+            // and we arrive only after the driver's last access.
+            unsafe { driver(ptr) };
+            latch.arrive();
+        }));
+    }
+    run.drive();
+    latch.wait();
+    if let Some(payload) = run
+        .panic_payload
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+    {
+        resume_unwind(payload);
+    }
+    run.slots
+        .into_iter()
+        .map(
+            |slot| match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(v) => v,
+                None => unreachable!("scatter fills every slot unless a task panicked"),
+            },
+        )
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_task_order() {
+        let pool = ReadPool::global(4);
+        let out = scatter(pool, 3, 100, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn caller_only_when_no_helpers() {
+        let pool = ReadPool::global(4);
+        let out = scatter(pool, 0, 10, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        let pool = ReadPool::global(4);
+        let out: Vec<usize> = scatter(pool, 3, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = ReadPool::global(4);
+        let counter = AtomicU64::new(0);
+        let out = scatter(pool, 3, 1000, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(out.len(), 1000);
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_to_workers() {
+        let pool = ReadPool::global(4);
+        let data: Vec<u64> = (0..512).collect();
+        let out = scatter(pool, 3, 8, |t| {
+            let lo = t * 64;
+            data[lo..lo + 64].iter().sum::<u64>()
+        });
+        assert_eq!(out.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn panic_propagates_with_payload() {
+        let pool = ReadPool::global(4);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            scatter(pool, 3, 50, |i| {
+                if i == 17 {
+                    panic!("morsel 17 exploded");
+                }
+                i
+            })
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "morsel 17 exploded");
+        // The pool survives a panicking task.
+        let out = scatter(pool, 3, 4, |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+}

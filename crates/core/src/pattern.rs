@@ -76,6 +76,22 @@ fn fixed_path_key(
     key
 }
 
+/// Naive-order key of one full match (one [`PatKey`] per written pattern),
+/// compared lexicographically. Opaque outside this module; exists so the
+/// parallel executor (`crate::exec::read`) can merge anchor-chunked planned
+/// matches back into naive order with one stable sort.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct MatchKey(Vec<PatKey>);
+
+/// One match produced by [`Matcher::match_planned_anchored`], tagged with
+/// its naive-order key (empty — hence all-equal — for identity plans,
+/// whose emission order is already naive).
+#[derive(Clone, Debug)]
+pub(crate) struct KeyedMatch {
+    pub(crate) rec: Record,
+    pub(crate) key: MatchKey,
+}
+
 /// The pattern list under execution plus, in planned mode, its metadata.
 struct Pats<'p> {
     list: &'p [PathPattern],
@@ -176,6 +192,113 @@ impl<'a> Matcher<'a> {
     /// `MERGE` can call this on either strategy's pattern list.)
     pub fn any_match(&self, rec: &Record, patterns: &[PathPattern]) -> Result<bool> {
         Ok(!self.match_patterns(rec, patterns)?.is_empty())
+    }
+
+    /// Ascending candidate start nodes of the first *executed* pattern of
+    /// `plan` under driving record `rec` — the unit of intra-row work
+    /// sharing for the parallel executor. Matching restricted to disjoint
+    /// chunks of this set and concatenated in chunk order enumerates
+    /// exactly the same results as unrestricted matching, because each
+    /// start node's DFS is independent (environment and used-relationship
+    /// set are forked per start).
+    pub(crate) fn plan_anchors(&self, rec: &Record, plan: &ClausePlan) -> Result<Vec<NodeId>> {
+        match plan.pats.first() {
+            Some(p) => self.node_candidates(rec, &p.start),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// [`Matcher::match_patterns_planned`], restricted to the given chunk
+    /// of the anchor set returned by [`Matcher::plan_anchors`], with the
+    /// final naive-order sort left to the caller: the parallel executor
+    /// merges the chunks of one record and stably sorts the union by key
+    /// once. Equal keys imply equal records, so stability plus the total
+    /// key order reproduce serial output byte for byte.
+    pub(crate) fn match_planned_anchored(
+        &self,
+        rec: &Record,
+        plan: &ClausePlan,
+        anchors: &[NodeId],
+    ) -> Result<Vec<KeyedMatch>> {
+        let mut results = Vec::new();
+        if plan.identity {
+            // Identity plans match naively (no key tracking): chunk
+            // concatenation order *is* naive order.
+            let pats = Pats {
+                list: &plan.pats,
+                meta: None,
+            };
+            self.go_anchored(&pats, anchors, rec, None, &mut results)?;
+            return Ok(results
+                .into_iter()
+                .map(|(rec, _)| KeyedMatch {
+                    rec,
+                    key: MatchKey(Vec::new()),
+                })
+                .collect());
+        }
+        let pats = Pats {
+            list: &plan.pats,
+            meta: Some(&plan.meta),
+        };
+        let keys = vec![PatKey::new(); plan.pats.len()];
+        self.go_anchored(&pats, anchors, rec, Some(keys), &mut results)?;
+        Ok(results
+            .into_iter()
+            .filter_map(|(rec, k)| {
+                k.map(|key| KeyedMatch {
+                    rec,
+                    key: MatchKey(key),
+                })
+            })
+            .collect())
+    }
+
+    /// DFS entry with the first pattern's start candidates supplied by the
+    /// caller (a chunk of what `node_candidates` returned) instead of
+    /// recomputed. Mirrors the per-start body of `go_pattern` at `pi == 0`.
+    fn go_anchored(
+        &self,
+        pats: &Pats<'_>,
+        starts: &[NodeId],
+        rec: &Record,
+        keys: Option<Vec<PatKey>>,
+        results: &mut Vec<(Record, Option<Vec<PatKey>>)>,
+    ) -> Result<()> {
+        let Some(pattern) = pats.list.first() else {
+            results.push((rec.clone(), keys));
+            return Ok(());
+        };
+        debug_assert!(
+            pattern.shortest.is_none(),
+            "anchored matching never sees shortest paths (the planner refuses them)"
+        );
+        let reversed = pats.reversed(0);
+        for &start in starts {
+            let mut env2 = rec.clone();
+            if let Some(var) = &pattern.start.var {
+                env2.bind(var.clone(), Value::Node(start));
+            }
+            let mut keys2 = keys.clone();
+            if !reversed {
+                if let Some(ks) = &mut keys2 {
+                    ks[pats.orig(0)].push((0, start.raw()));
+                }
+            }
+            self.go_steps(
+                pats,
+                0,
+                0,
+                start,
+                env2,
+                BTreeSet::new(),
+                vec![start],
+                vec![],
+                keys2,
+                results,
+            )?;
+        }
+        Ok(())
     }
 
     fn go_pattern(

@@ -44,7 +44,8 @@ use cypher_server::{serve, ServerConfig};
 const USAGE: &str = "usage: cypher-serve --data DIR [--addr HOST:PORT] \
 [--dialect legacy|revised] [--lint off|warn|deny] \
 [--rows N] [--writes N] [--time MS] \
-[--max-inflight N] [--queue-depth N] [--max-batch N] [--allow-shutdown] \
+[--max-inflight N] [--queue-depth N] [--max-batch N] [--read-workers N] \
+[--allow-shutdown] \
 [--replica-of HOST:PORT] [--advertise HOST:PORT] [--allow-admin] \
 [--sync-replicas N] [--sync-timeout-ms MS] [--sync-policy strict|degrade] \
 [--lease-ms MS] [--peers HOST:PORT,...]";
@@ -85,6 +86,12 @@ fn parse_config() -> Result<ServerConfig, String> {
             }
             "--queue-depth" => config.queue_depth = next_u64(&mut args, "--queue-depth")? as usize,
             "--max-batch" => config.max_batch = next_u64(&mut args, "--max-batch")? as usize,
+            // 0 = auto (machine parallelism, the config default);
+            // 1 = serial reads; N pins the pool size.
+            "--read-workers" => match next_u64(&mut args, "--read-workers")? as usize {
+                0 => {}
+                n => config.read_workers = n,
+            },
             "--allow-shutdown" => config.allow_shutdown = true,
             "--allow-admin" => config.allow_admin = true,
             "--replica-of" => {

@@ -72,6 +72,17 @@ pub struct ServerConfig {
     /// election probes). Tests swap in [`FaultNet`](crate::net::FaultNet)
     /// to inject partitions and losses deterministically.
     pub net: Arc<dyn NetFabric>,
+    /// Worker threads available to each session's read executor (the
+    /// morsel-driven parallel `MATCH` path). `1` pins every read to its
+    /// session thread — the serial executor. Defaults to the machine's
+    /// available parallelism; the workers live in one process-wide pool,
+    /// so concurrent sessions share threads rather than multiply them.
+    pub read_workers: usize,
+    /// Rows per morsel for the parallel read executor.
+    pub morsel_size: usize,
+    /// Minimum estimated rows before a `MATCH` clause goes parallel;
+    /// below it the fan-out overhead outweighs the win.
+    pub parallel_threshold: usize,
 }
 
 impl ServerConfig {
@@ -97,6 +108,11 @@ impl ServerConfig {
             lease_ms: 0,
             peers: Vec::new(),
             net: RealNet::fabric(),
+            read_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            morsel_size: 128,
+            parallel_threshold: 64,
         }
     }
 

@@ -5,8 +5,10 @@
 //! [`Query::first_mutating_clause`](cypher_parser::ast::Query): statements
 //! with no mutating clause execute on an epoch snapshot via
 //! [`Engine::run_read`] — concurrently with every other reader and with
-//! the writer — while updates are submitted to the apply queue and block
-//! until their group commit is flushed. Results are materialized per
+//! the writer, and (under the server's `read_workers` setting) fanned
+//! over the process-wide morsel pool for intra-query parallelism — while
+//! updates are submitted to the apply queue and block until their group
+//! commit is flushed. Results are materialized per
 //! statement and streamed to the client in `Pull`-sized row blocks.
 //!
 //! Replication rides on sessions too: a mutating `Run` on a non-primary
@@ -121,6 +123,9 @@ pub fn run_session(
             let engine = EngineBuilder::new(dialect)
                 .lint_mode(lint)
                 .limits(limits)
+                .read_workers(config.read_workers)
+                .morsel_size(config.morsel_size)
+                .parallel_threshold(config.parallel_threshold)
                 .build();
             if send(
                 &mut writer,

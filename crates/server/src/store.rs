@@ -1,34 +1,52 @@
 //! The shared store: one writer, many snapshot readers, one shipping lane.
 //!
-//! All mutation funnels through a single **apply worker** thread that owns
-//! the [`DurableGraph`]. Sessions enqueue jobs on a bounded channel; the
-//! worker drains up to a batch, runs each write through
-//! [`DurableGraph::apply_buffered_logged`] and then **group-commits** the
-//! batch with one [`DurableGraph::flush`] (one fsync amortized over the
-//! batch). A write is acknowledged to its session only after that flush —
-//! the classic durability-before-acknowledge protocol — so a failed batch
-//! fsync reports a storage error to *every* statement of the batch, whose
-//! commit units were all rolled off the log together.
+//! All mutation funnels through a single **apply worker** thread (the
+//! batch *builder*) that owns the [`DurableGraph`]. Sessions enqueue jobs
+//! on a bounded channel; the builder drains up to a batch and runs each
+//! write through [`DurableGraph::apply_buffered_logged`]. Group commit is
+//! **pipelined** across two stages: instead of fsyncing inline, the
+//! builder stages the batch's WAL window ([`DurableGraph::stage_flush`])
+//! and hands the resulting [`SyncTicket`] to a dedicated *flusher* thread,
+//! then immediately goes back to applying the next batch. The flusher
+//! fsyncs the ticket, publishes the (now durable) units and sends the
+//! acknowledgements — so batch N+1 executes while batch N's fsync and
+//! quorum wait are in flight, yet every write is still acknowledged only
+//! after its batch's flush: the classic durability-before-acknowledge
+//! protocol, one fsync amortized over the batch.
 //!
-//! Readers never touch the queue in steady state: the worker bumps an
+//! Pipeline depth is one staged window. Before staging batch N+1 the
+//! builder waits for batch N's fsync outcome and retires it with
+//! [`DurableGraph::complete_flush`]. A failed fsync therefore downgrades
+//! exactly its own batch (the flusher reports the storage error to every
+//! statement whose commit units were rolled off the log together) plus
+//! any batch the builder had already applied on top of the doomed window
+//! — those statements were never acknowledged, and the builder rolls the
+//! in-memory graph back to the durable horizon before touching anything
+//! else.
+//!
+//! Readers never touch the queue in steady state: the flusher bumps an
 //! epoch counter after every batch that changed the graph, and sessions
 //! read through [`EpochSnapshots`] — at most one `Arc<PropertyGraph>`
 //! clone is taken per epoch, at a statement boundary, so a snapshot is
 //! always statement-atomic (never a dangling relationship mid-`DELETE`,
 //! extending §4.2's guarantee across sessions). When the cached snapshot
-//! is stale a session enqueues a [`Job::Snapshot`]; queue FIFO order then
-//! guarantees read-your-writes: the snapshot job runs after every write
-//! the same session already had acknowledged.
+//! is stale a session enqueues a [`Job::Snapshot`]; queue FIFO order plus
+//! pipeline draining then guarantees read-your-writes: a snapshot (or any
+//! other non-batchable job) makes the builder drain the flush stage
+//! first, and the flusher bumps the epoch *before* acknowledging a batch,
+//! so a session that saw its write acked always observes at least that
+//! write's epoch.
 //!
 //! # Replication
 //!
 //! The worker is also the **replication source of truth**. Each committed
 //! update statement's text rides inside its own WAL commit unit
 //! ([`cypher_storage::Record::Stmt`]), so the statement's durability and
-//! its shippability are one fsync. Right after a successful group commit
-//! the worker hands the batch's units to the [`ReplicationHub`], which
-//! fans them out to subscribed replica feeders — a replica can therefore
-//! never observe a unit the primary could still lose.
+//! its shippability are one fsync. Right after a batch's fsync succeeds
+//! the flusher hands its units to the [`ReplicationHub`], which fans them
+//! out to subscribed replica feeders — a replica can therefore never
+//! observe a unit the primary could still lose: the hub only ever sees
+//! post-flush units.
 //!
 //! On a replica the same worker applies [`Job::Replicate`] jobs instead of
 //! client writes: it checks the unit's sequence number against
@@ -52,12 +70,15 @@
 //! through a single-threaded engine must reproduce the server's graph
 //! byte-for-byte. The **mirror** is its replication twin: shipped units
 //! since the recovery base, from which late subscribers are back-filled
-//! (older subscribers bootstrap from a full snapshot instead).
+//! (older subscribers bootstrap from a full snapshot instead). Both live
+//! behind a small mutex shared by the two stages: the flusher extends
+//! them as batches retire, and the builder reads them for tail jobs only
+//! after draining the pipeline, so subscribers still attach gap-free.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -68,7 +89,7 @@ use cypher_replication::{
     PeerProgress, QuorumState, QuorumStateCell, ReplicationHub, Role, RoleCell, ShippedUnit,
     Subscription, SyncPolicy,
 };
-use cypher_storage::{DurableGraph, StorageError};
+use cypher_storage::{DurableGraph, StorageError, SyncTicket};
 
 /// Stable wire/WAL encoding of a statement's dialect.
 pub fn dialect_byte(d: Dialect) -> u8 {
@@ -399,19 +420,24 @@ impl SharedStore {
             .into_iter()
             .map(|(seq, dialect, text)| ShippedUnit { seq, dialect, text })
             .collect();
-        let state = WorkerState {
-            durable,
+        let flush = Arc::new(FlushCtx {
             snaps: Arc::clone(&snaps),
             hub: Arc::clone(&hub),
             commit_seq: Arc::clone(&commit_seq),
-            primary_seen: Arc::clone(&primary_seen),
             quorum: Arc::clone(&quorum),
             sync_replicas: opts.sync_replicas,
             sync_timeout: opts.sync_timeout,
             sync_policy: opts.sync_policy,
-            commit_log: Vec::new(),
-            mirror,
-            mirror_base,
+            ship: Mutex::new(ShipState {
+                commit_log: Vec::new(),
+                mirror,
+                mirror_base,
+            }),
+        });
+        let state = WorkerState {
+            durable,
+            primary_seen: Arc::clone(&primary_seen),
+            flush,
             replica_engines: HashMap::new(),
         };
         let worker_queue = Arc::clone(&queue_len);
@@ -632,23 +658,26 @@ impl SharedStore {
 #[derive(Debug, Clone, Copy)]
 pub struct Busy(pub &'static str);
 
-/// Everything the apply worker owns: the durable graph plus the derived
-/// structures that must only ever change on the worker thread, in lockstep
-/// with the WAL.
+/// Everything the batch-builder stage owns: the durable graph plus the
+/// structures that must only ever change on the builder thread, in
+/// lockstep with the WAL.
 struct WorkerState {
     durable: DurableGraph,
-    snaps: Arc<EpochSnapshots>,
-    hub: Arc<ReplicationHub>,
-    commit_seq: Arc<AtomicU64>,
     primary_seen: Arc<AtomicU64>,
-    /// Quorum-replication state reported through `Stats`.
-    quorum: Arc<QuorumStateCell>,
-    /// Replica confirmations each group commit waits for (0 = async).
-    sync_replicas: usize,
-    /// Quorum wait deadline per group commit.
-    sync_timeout: Duration,
-    /// Refuse or degrade when the wait times out.
-    sync_policy: SyncPolicy,
+    /// State shared with the flush/ack stage.
+    flush: Arc<FlushCtx>,
+    /// Replica mode: cached per-dialect engines for replaying shipped
+    /// statements. No lint, no budgets — the primary already enforced its
+    /// session policies before committing, and a replica must apply
+    /// whatever the primary committed.
+    replica_engines: HashMap<u8, Engine>,
+}
+
+/// Shipping bookkeeping shared between the builder and flusher stages.
+/// The flusher extends it as batches retire durable; the builder reads it
+/// for tail jobs only after draining the pipeline, so those reads observe
+/// a quiesced, batch-boundary state.
+struct ShipState {
     /// Committed update-statement texts since process start, in commit
     /// order (the differential-replay oracle).
     commit_log: Vec<String>,
@@ -660,11 +689,102 @@ struct WorkerState {
     /// Sequence the mirror starts after; a subscriber at or beyond this
     /// can catch up from the mirror, an older one needs a snapshot.
     mirror_base: u64,
-    /// Replica mode: cached per-dialect engines for replaying shipped
-    /// statements. No lint, no budgets — the primary already enforced its
-    /// session policies before committing, and a replica must apply
-    /// whatever the primary committed.
-    replica_engines: HashMap<u8, Engine>,
+}
+
+/// Everything the flush/ack stage needs, shared (behind one `Arc`) with
+/// the builder thread, which uses the same cells for tail jobs and for
+/// rolling back after a failed flush.
+struct FlushCtx {
+    snaps: Arc<EpochSnapshots>,
+    hub: Arc<ReplicationHub>,
+    commit_seq: Arc<AtomicU64>,
+    /// Quorum-replication state reported through `Stats`.
+    quorum: Arc<QuorumStateCell>,
+    /// Replica confirmations each group commit waits for (0 = async).
+    sync_replicas: usize,
+    /// Quorum wait deadline per group commit.
+    sync_timeout: Duration,
+    /// Refuse or degrade when the wait times out.
+    sync_policy: SyncPolicy,
+    ship: Mutex<ShipState>,
+}
+
+impl FlushCtx {
+    fn ship(&self) -> MutexGuard<'_, ShipState> {
+        // Both stages only ever append or swap whole values under this
+        // lock; a poisoned guard still holds consistent data.
+        self.ship.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// One staged group commit travelling from the builder to the flusher:
+/// the WAL window's sync ticket (`None` when the batch appended nothing),
+/// the per-item acknowledgements it gates, and the units to ship once
+/// durable.
+struct FlushBatch {
+    ticket: Option<SyncTicket>,
+    acks: Vec<PendingAck>,
+    units: Vec<ShippedUnit>,
+    /// Highest txid applied when the batch was staged (the batch's commit
+    /// sequence once durable). Meaningless when `units` is empty.
+    head_seq: u64,
+}
+
+/// The builder's handle to the flush stage: the job channel, the fsync
+/// outcomes coming back, and whether a staged window is still in flight.
+struct Pipeline {
+    /// `None` when the flusher thread could not be spawned — the builder
+    /// then degrades to serial (in-line) group commits.
+    tx: Option<SyncSender<FlushBatch>>,
+    done_rx: Receiver<std::io::Result<()>>,
+    /// A batch has been handed to the flusher and its outcome not yet
+    /// consumed. At most one, matching the WAL's single staged window.
+    outstanding: bool,
+    flusher: Option<JoinHandle<()>>,
+}
+
+impl Pipeline {
+    fn spawn(ctx: Arc<FlushCtx>) -> Pipeline {
+        let (tx, rx) = mpsc::sync_channel::<FlushBatch>(1);
+        let (done_tx, done_rx) = mpsc::sync_channel::<std::io::Result<()>>(1);
+        let flusher = std::thread::Builder::new()
+            .name("cypher-flush".to_owned())
+            .spawn(move || flush_worker(ctx, rx, done_tx))
+            .ok();
+        Pipeline {
+            tx: flusher.is_some().then_some(tx),
+            done_rx,
+            outstanding: false,
+            flusher,
+        }
+    }
+
+    /// Disconnect the job channel and wait for the flusher to exit. The
+    /// caller must have drained the pipeline first.
+    fn join(mut self) {
+        self.tx = None;
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The flush/ack stage: fsync each staged batch, publish + acknowledge
+/// it, then report the fsync outcome to the builder. Because the outcome
+/// is sent only after the batch fully retired (acks included), consuming
+/// it doubles as a pipeline drain barrier: once the builder has received
+/// it, the flusher is idle and the ship state is quiesced.
+fn flush_worker(
+    ctx: Arc<FlushCtx>,
+    rx: Receiver<FlushBatch>,
+    done: SyncSender<std::io::Result<()>>,
+) {
+    while let Ok(batch) = rx.recv() {
+        let outcome = run_flush(&ctx, batch);
+        if done.send(outcome).is_err() {
+            return;
+        }
+    }
 }
 
 /// One batched unit of group-committed work: a client write or a shipped
@@ -694,14 +814,17 @@ fn apply_worker(
     queue_len: Arc<AtomicUsize>,
     max_batch: usize,
 ) {
+    let mut pipe = Pipeline::spawn(Arc::clone(&state.flush));
     loop {
         // Block for the first job, then opportunistically drain more up to
         // the batch bound. Only writes and replicated units extend a
         // batch: the first other job closes it (it must observe the
         // flushed, epoch-bumped state).
         let Ok(first) = rx.recv() else {
-            // Every SharedStore handle dropped: flush and exit.
+            // Every SharedStore handle dropped: drain, flush and exit.
+            drain_pipeline(&mut state, &mut pipe);
             let _ = state.durable.flush();
+            pipe.join();
             return;
         };
         queue_len.fetch_sub(1, Ordering::Relaxed);
@@ -709,7 +832,7 @@ fn apply_worker(
         let mut tail: Option<Job> = None;
         match as_batch_item(first) {
             Ok(item) => items.push(item),
-            Err(other) => tail = Some(other),
+            Err(other) => tail = Some(*other),
         }
         while tail.is_none() && items.len() < max_batch {
             match rx.try_recv() {
@@ -717,7 +840,7 @@ fn apply_worker(
                     queue_len.fetch_sub(1, Ordering::Relaxed);
                     match as_batch_item(job) {
                         Ok(item) => items.push(item),
-                        Err(other) => tail = Some(other),
+                        Err(other) => tail = Some(*other),
                     }
                 }
                 Err(_) => break,
@@ -725,53 +848,163 @@ fn apply_worker(
         }
 
         if !items.is_empty() {
-            run_batch(&mut state, items);
+            dispatch_batch(&mut state, &mut pipe, items);
         }
 
+        let Some(tail) = tail else { continue };
+        // Non-batchable jobs must observe flushed, epoch-bumped,
+        // fully-acknowledged state: drain the flush stage first. (Failure
+        // recovery, if the in-flight batch's fsync failed, also happens
+        // here, inside drain_pipeline.)
+        drain_pipeline(&mut state, &mut pipe);
         match tail {
-            None => {}
-            Some(Job::Snapshot { resp }) => {
-                let _ = resp.send(state.snaps.publish(state.durable.graph()));
+            Job::Snapshot { resp } => {
+                let _ = resp.send(state.flush.snaps.publish(state.durable.graph()));
             }
-            Some(Job::Checkpoint { resp }) => {
+            Job::Checkpoint { resp } => {
                 let _ = resp.send(run_checkpoint(&mut state));
             }
-            Some(Job::CommitLog { resp }) => {
-                let _ = resp.send(state.commit_log.clone());
+            Job::CommitLog { resp } => {
+                let _ = resp.send(state.flush.ship().commit_log.clone());
             }
-            Some(Job::Subscribe { label, from, resp }) => {
+            Job::Subscribe { label, from, resp } => {
                 let _ = resp.send(run_subscribe(&mut state, &label, from));
             }
-            Some(Job::InstallSnapshot { bytes, resp }) => {
+            Job::InstallSnapshot { bytes, resp } => {
                 let _ = resp.send(run_install_snapshot(&mut state, &bytes));
             }
-            Some(Job::Fence {
+            Job::Fence {
                 new_primary,
                 epoch,
                 resp,
-            }) => {
+            } => {
                 // Disconnect first: a fenced store must not ship another
                 // unit, even one already committed, on a live feed that a
                 // replica might mistake for primary liveness.
-                state.hub.disconnect_all();
+                state.flush.hub.disconnect_all();
                 let _ = resp.send(state.durable.fence(new_primary.as_deref(), epoch));
             }
-            Some(Job::Shutdown) => {
+            Job::Shutdown => {
                 let _ = state.durable.flush();
+                pipe.join();
                 return;
             }
-            Some(Job::Write { .. }) | Some(Job::Replicate { .. }) => {
+            Job::Write { .. } | Job::Replicate { .. } => {
                 unreachable!("batchable jobs never land in tail")
             }
         }
     }
 }
 
-fn as_batch_item(job: Job) -> Result<BatchItem, Job> {
+/// Run one batch through the two-stage pipeline: apply every item (batch
+/// N+1's applies overlap batch N's fsync/quorum wait on the flusher),
+/// retire the previous staged window, then stage this batch's window and
+/// hand it to the flusher.
+fn dispatch_batch(state: &mut WorkerState, pipe: &mut Pipeline, items: Vec<BatchItem>) {
+    let Some(tx) = pipe.tx.clone() else {
+        // No flusher thread (spawn failed at startup): serial group commit.
+        run_batch(state, items);
+        return;
+    };
+    let (acks, units, head_seq) = apply_batch(state, items);
+    if drain_pipeline(state, pipe) {
+        // The in-flight predecessor batch's fsync failed while this batch
+        // was applied on top of it; drain_pipeline already rolled the
+        // graph (and this batch's never-staged WAL bytes) back to the
+        // durable horizon. Nothing here was acknowledged — downgrade it
+        // all, exactly like the predecessor's own items.
+        let msg =
+            "group commit failed: a preceding batch's fsync failed and rolled this batch back";
+        for ack in acks {
+            send_ack(ack, Some(msg));
+        }
+        return;
+    }
+    match state.durable.stage_flush() {
+        Ok(ticket) => match tx.send(FlushBatch {
+            ticket,
+            acks,
+            units,
+            head_seq,
+        }) {
+            Ok(()) => pipe.outstanding = true,
+            Err(mpsc::SendError(batch)) => {
+                // Flusher gone mid-run (it only exits on teardown or
+                // panic): fall back to completing this commit in-line so
+                // the durability protocol still holds, and stay serial.
+                pipe.tx = None;
+                finish_flush_inline(state, batch);
+            }
+        },
+        Err(e) => {
+            // Sealed (a mid-batch append failure already rolled the
+            // window back) or the sync handle could not be acquired:
+            // nothing in this batch is durable.
+            let msg = format!("group commit failed: {e}");
+            recover_after_failed_flush(state);
+            for ack in acks {
+                send_ack(ack, Some(&msg));
+            }
+        }
+    }
+}
+
+/// Consume the outstanding flush outcome, if any, retiring the staged WAL
+/// window. Returns `true` when that flush failed — the durable graph has
+/// then already been rolled back to the durable horizon and reader caches
+/// invalidated.
+fn drain_pipeline(state: &mut WorkerState, pipe: &mut Pipeline) -> bool {
+    if !pipe.outstanding {
+        return false;
+    }
+    pipe.outstanding = false;
+    let outcome = pipe
+        .done_rx
+        .recv()
+        .unwrap_or_else(|_| Err(std::io::Error::other("flush stage exited")));
+    if state.durable.complete_flush(outcome).is_err() {
+        recover_after_failed_flush(state);
+        true
+    } else {
+        false
+    }
+}
+
+/// Roll back after a failed group commit. The WAL already rolled back to
+/// the durable horizon: nothing in the failed window is durable, nothing
+/// was acknowledged as committed and nothing was shipped. Reopen so the
+/// in-memory graph matches the durable (== shipped) state — the legacy
+/// "sealed memory runs ahead until a checkpoint absorbs it" semantic
+/// would diverge every replica. The epoch bumps so no reader keeps a
+/// cache from the rolled-back window.
+fn recover_after_failed_flush(state: &mut WorkerState) {
+    if let Err(reopen_err) = state.durable.reopen() {
+        // Could not rebuild from disk either; the handle stays sealed and
+        // every later write reports it.
+        eprintln!("cypher-serve: reopen after failed flush also failed: {reopen_err}");
+    }
+    state.flush.snaps.bump();
+    state.flush.commit_seq.store(
+        state.durable.next_txid().saturating_sub(1),
+        Ordering::Release,
+    );
+}
+
+/// Complete a staged commit on the builder thread (flusher unavailable):
+/// same protocol, no overlap.
+fn finish_flush_inline(state: &mut WorkerState, batch: FlushBatch) {
+    let ctx = Arc::clone(&state.flush);
+    let outcome = run_flush(&ctx, batch);
+    if state.durable.complete_flush(outcome).is_err() {
+        recover_after_failed_flush(state);
+    }
+}
+
+fn as_batch_item(job: Job) -> Result<BatchItem, Box<Job>> {
     match job {
         Job::Write { text, engine, resp } => Ok(BatchItem::Write { text, engine, resp }),
         Job::Replicate { unit, resp } => Ok(BatchItem::Replicate { unit, resp }),
-        other => Err(other),
+        other => Err(Box::new(other)),
     }
 }
 
@@ -784,8 +1017,8 @@ fn run_checkpoint(state: &mut WorkerState) -> Result<(), StorageError> {
         state.durable.reopen()?;
         // Memory rolled back: invalidate reader caches and re-truth the
         // published sequence.
-        state.snaps.bump();
-        state.commit_seq.store(
+        state.flush.snaps.bump();
+        state.flush.commit_seq.store(
             state.durable.next_txid().saturating_sub(1),
             Ordering::Release,
         );
@@ -801,26 +1034,29 @@ fn run_subscribe(
     from: u64,
 ) -> Result<SubscribeReply, StorageError> {
     let head = state.durable.next_txid().saturating_sub(1);
-    if from >= state.mirror_base {
+    let ship = state.flush.ship();
+    if from >= ship.mirror_base {
         // The mirror covers the subscriber's position: hand out the tail
         // it is missing and attach at the head.
-        let backlog: Vec<ShippedUnit> = state
+        let backlog: Vec<ShippedUnit> = ship
             .mirror
             .iter()
             .filter(|u| u.seq > from)
             .cloned()
             .collect();
-        let sub = state.hub.attach(label, head);
+        drop(ship);
+        let sub = state.flush.hub.attach(label, head);
         Ok(SubscribeReply {
             start: SubscribeStart::Backlog(backlog),
             sub,
             seq: head,
         })
     } else {
+        drop(ship);
         // Too far behind (a checkpoint truncated its window before this
         // process started): bootstrap from a full snapshot.
         let (covered, bytes) = state.durable.encode_snapshot_bytes()?;
-        let sub = state.hub.attach(label, covered);
+        let sub = state.flush.hub.attach(label, covered);
         Ok(SubscribeReply {
             start: SubscribeStart::Snapshot {
                 seq: covered,
@@ -836,30 +1072,27 @@ fn run_subscribe(
 /// its replication bookkeeping rebased onto the covered sequence.
 fn run_install_snapshot(state: &mut WorkerState, bytes: &[u8]) -> Result<u64, StorageError> {
     let covered = state.durable.install_snapshot(bytes)?;
-    state.mirror.clear();
-    state.mirror_base = covered;
-    state.commit_log.clear();
-    state.commit_seq.store(covered, Ordering::Release);
+    {
+        let mut ship = state.flush.ship();
+        ship.mirror.clear();
+        ship.mirror_base = covered;
+        ship.commit_log.clear();
+    }
+    state.flush.commit_seq.store(covered, Ordering::Release);
     state.primary_seen.fetch_max(covered, Ordering::AcqRel);
-    state.snaps.bump();
+    state.flush.snaps.bump();
     Ok(covered)
 }
 
-/// Execute a batch of update statements and/or shipped units under one
-/// group commit.
-///
-/// Each item runs through `apply_buffered_logged`; its commit unit joins
-/// the un-synced WAL window. One `flush` then makes the whole batch
-/// durable — only after that are the per-item outcomes acknowledged and
-/// the units handed to the hub. If the flush fails — including the
-/// mid-batch-append case, where the WAL rollback already discarded every
-/// pending unit and sealed the handle so `flush` reports `Sealed` —
-/// every item of the batch (even ones that executed cleanly before the
-/// failure) reports the storage error: none of them was ever
-/// acknowledged, so none of them is lost *silently*. The worker then
-/// reopens the store from the durable horizon, so memory never runs
-/// ahead of what replicas were shipped.
-fn run_batch(state: &mut WorkerState, items: Vec<BatchItem>) {
+/// The apply half of a group commit: run each item through
+/// `apply_buffered_logged` so its commit unit joins the un-synced WAL
+/// window. Returns the pending acknowledgements, the units to ship once
+/// durable, and the batch's head txid. No item is acknowledged here —
+/// that is the flush stage's job, after the window is durable.
+fn apply_batch(
+    state: &mut WorkerState,
+    items: Vec<BatchItem>,
+) -> (Vec<PendingAck>, Vec<ShippedUnit>, u64) {
     let mut acks: Vec<PendingAck> = Vec::new();
     let mut batch_units: Vec<ShippedUnit> = Vec::new();
 
@@ -883,7 +1116,7 @@ fn run_batch(state: &mut WorkerState, items: Vec<BatchItem>) {
                     Err(e) => {
                         // Append failure seals the handle; later items of
                         // the batch see Sealed from their own apply, and
-                        // the batch flush below reports Sealed too,
+                        // the stage attempt afterwards reports Sealed too,
                         // downgrading every earlier Ok (their units were
                         // rolled off the log).
                         acks.push(PendingAck::Write(resp, WriteOutcome::Storage(e)));
@@ -901,77 +1134,104 @@ fn run_batch(state: &mut WorkerState, items: Vec<BatchItem>) {
         }
     }
 
-    match state.durable.flush() {
-        Ok(()) => {
-            let mut quorum_fail: Option<(usize, usize, u64)> = None;
-            if !batch_units.is_empty() {
-                // New statement-boundary state: invalidate reader caches,
-                // extend the oracle log and the catch-up mirror, publish
-                // the (now durable) units to every subscriber.
-                state.snaps.bump();
-                state.commit_seq.store(
-                    state.durable.next_txid().saturating_sub(1),
-                    Ordering::Release,
-                );
-                state
-                    .commit_log
-                    .extend(batch_units.iter().map(|u| u.text.clone()));
-                let dropped = state.hub.publish(&batch_units);
-                for label in dropped {
-                    eprintln!("cypher-serve: replica {label} dropped (feed backlog full)");
-                }
-                let head = batch_units.last().map(|u| u.seq).unwrap_or(0);
-                state.mirror.extend(batch_units);
+    let head_seq = state.durable.next_txid().saturating_sub(1);
+    (acks, batch_units, head_seq)
+}
 
-                // Quorum gate: the batch is locally durable and shipped;
-                // hold the client acknowledgements until enough replicas
-                // confirmed their own fsync of every unit in it.
-                if state.sync_replicas > 0 {
-                    let waited = Instant::now();
-                    let deadline = waited + state.sync_timeout;
-                    if state.hub.wait_durable(head, state.sync_replicas, deadline) {
-                        state.quorum.set(QuorumState::InSync);
-                    } else {
-                        let acked = state.hub.durable_count(head);
-                        let waited_ms = waited.elapsed().as_millis() as u64;
-                        match state.sync_policy {
-                            SyncPolicy::Strict => {
-                                state.quorum.set(QuorumState::TimedOut);
-                                quorum_fail = Some((acked, state.sync_replicas, waited_ms));
-                            }
-                            SyncPolicy::Degrade => state.quorum.set(QuorumState::Degraded),
-                        }
+/// The flush/ack half of a group commit: fsync the staged window, then —
+/// and only then — publish the units, wait for quorum and acknowledge
+/// every item. On an fsync failure every item of the batch (even ones
+/// that executed cleanly) reports the storage error: none of them was
+/// ever acknowledged, so none of them is lost *silently*. The builder
+/// learns the outcome through the returned `Result` and rolls the
+/// in-memory graph back, so memory never runs ahead of what replicas
+/// were shipped.
+fn run_flush(ctx: &FlushCtx, batch: FlushBatch) -> std::io::Result<()> {
+    let FlushBatch {
+        ticket,
+        acks,
+        units,
+        head_seq,
+    } = batch;
+    let synced = match ticket {
+        Some(mut t) => t.sync(),
+        None => Ok(()),
+    };
+    if let Err(e) = synced {
+        let msg = format!("group commit failed: {e}");
+        for ack in acks {
+            send_ack(ack, Some(&msg));
+        }
+        return Err(e);
+    }
+
+    let mut quorum_fail: Option<(usize, usize, u64)> = None;
+    if !units.is_empty() {
+        // New statement-boundary state: re-truth the published sequence,
+        // invalidate reader caches, extend the oracle log and the
+        // catch-up mirror, ship the (now durable) units to every
+        // subscriber. The epoch bumps *before* the acks go out, so an
+        // acknowledged writer's next read always misses the stale cache.
+        ctx.commit_seq.store(head_seq, Ordering::Release);
+        ctx.snaps.bump();
+        {
+            let mut ship = ctx.ship();
+            ship.commit_log.extend(units.iter().map(|u| u.text.clone()));
+            ship.mirror.extend(units.iter().cloned());
+        }
+        let dropped = ctx.hub.publish(&units);
+        for label in dropped {
+            eprintln!("cypher-serve: replica {label} dropped (feed backlog full)");
+        }
+
+        // Quorum gate: the batch is locally durable and shipped; hold the
+        // client acknowledgements until enough replicas confirmed their
+        // own fsync of every unit in it.
+        if ctx.sync_replicas > 0 {
+            let waited = Instant::now();
+            let deadline = waited + ctx.sync_timeout;
+            if ctx.hub.wait_durable(head_seq, ctx.sync_replicas, deadline) {
+                ctx.quorum.set(QuorumState::InSync);
+            } else {
+                let acked = ctx.hub.durable_count(head_seq);
+                let waited_ms = waited.elapsed().as_millis() as u64;
+                match ctx.sync_policy {
+                    SyncPolicy::Strict => {
+                        ctx.quorum.set(QuorumState::TimedOut);
+                        quorum_fail = Some((acked, ctx.sync_replicas, waited_ms));
                     }
-                }
-            }
-            for ack in acks {
-                match quorum_fail {
-                    Some((acked, needed, waited_ms)) => {
-                        send_quorum_refusal(ack, acked, needed, waited_ms)
-                    }
-                    None => send_ack(ack, None),
+                    SyncPolicy::Degrade => ctx.quorum.set(QuorumState::Degraded),
                 }
             }
         }
+    }
+    for ack in acks {
+        match quorum_fail {
+            Some((acked, needed, waited_ms)) => send_quorum_refusal(ack, acked, needed, waited_ms),
+            None => send_ack(ack, None),
+        }
+    }
+    Ok(())
+}
+
+/// Serial group commit: apply, stage, fsync and acknowledge a batch on
+/// the calling thread. The degraded path when no flusher thread exists,
+/// and the reference implementation the pipelined path must match.
+fn run_batch(state: &mut WorkerState, items: Vec<BatchItem>) {
+    let (acks, units, head_seq) = apply_batch(state, items);
+    match state.durable.stage_flush() {
+        Ok(ticket) => finish_flush_inline(
+            state,
+            FlushBatch {
+                ticket,
+                acks,
+                units,
+                head_seq,
+            },
+        ),
         Err(e) => {
-            // The WAL rolled back to the durable horizon: nothing in this
-            // batch is durable, nothing is acknowledged as committed and
-            // nothing is shipped. Reopen so the in-memory graph matches
-            // the durable (== shipped) state — the legacy "sealed memory
-            // runs ahead until a checkpoint absorbs it" semantic would
-            // diverge every replica. The epoch bumps so no reader keeps a
-            // cache from the rolled-back window.
             let msg = format!("group commit failed: {e}");
-            if let Err(reopen_err) = state.durable.reopen() {
-                // Could not rebuild from disk either; the handle stays
-                // sealed and every later write reports it.
-                eprintln!("cypher-serve: reopen after failed flush also failed: {reopen_err}");
-            }
-            state.snaps.bump();
-            state.commit_seq.store(
-                state.durable.next_txid().saturating_sub(1),
-                Ordering::Release,
-            );
+            recover_after_failed_flush(state);
             for ack in acks {
                 send_ack(ack, Some(&msg));
             }
@@ -1082,17 +1342,21 @@ mod tests {
     fn worker_state(durable: DurableGraph) -> WorkerState {
         WorkerState {
             durable,
-            snaps: Arc::new(EpochSnapshots::new()),
-            hub: Arc::new(ReplicationHub::new(8)),
-            commit_seq: Arc::new(AtomicU64::new(0)),
             primary_seen: Arc::new(AtomicU64::new(0)),
-            quorum: Arc::new(QuorumStateCell::new(QuorumState::Async)),
-            sync_replicas: 0,
-            sync_timeout: Duration::from_secs(5),
-            sync_policy: SyncPolicy::Strict,
-            commit_log: Vec::new(),
-            mirror: Vec::new(),
-            mirror_base: 0,
+            flush: Arc::new(FlushCtx {
+                snaps: Arc::new(EpochSnapshots::new()),
+                hub: Arc::new(ReplicationHub::new(8)),
+                commit_seq: Arc::new(AtomicU64::new(0)),
+                quorum: Arc::new(QuorumStateCell::new(QuorumState::Async)),
+                sync_replicas: 0,
+                sync_timeout: Duration::from_secs(5),
+                sync_policy: SyncPolicy::Strict,
+                ship: Mutex::new(ShipState {
+                    commit_log: Vec::new(),
+                    mirror: Vec::new(),
+                    mirror_base: 0,
+                }),
+            }),
             replica_engines: HashMap::new(),
         }
     }
@@ -1222,14 +1486,257 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(
-            state.commit_log.is_empty(),
+            state.flush.ship().commit_log.is_empty(),
             "nothing durable, nothing logged"
         );
-        assert!(state.mirror.is_empty(), "nothing durable, nothing shipped");
+        assert!(
+            state.flush.ship().mirror.is_empty(),
+            "nothing durable, nothing shipped"
+        );
         // The reopen rolled memory back to the durable horizon: the
         // store's graph is empty again and accepts new writes.
         assert_eq!(state.durable.graph().node_count(), 0);
         assert!(!state.durable.is_sealed());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// FIFO read-your-writes across the two-stage pipeline: after a write
+    /// is acknowledged, the writer's next snapshot must contain it. The
+    /// flusher bumps the epoch before acking, and a snapshot job drains
+    /// the flush stage before publishing, so this holds for every write
+    /// even while earlier batches are still in flight.
+    #[test]
+    fn acked_write_is_visible_to_the_writers_next_read() {
+        let store = temp_store("ryw", 32, 4, 16);
+        let engine = Engine::revised();
+        for i in 0..25u32 {
+            match store
+                .submit_write(format!("CREATE (:N {{id: {i}}})"), engine.clone())
+                .unwrap()
+            {
+                WriteOutcome::Ok(_) => {}
+                other => panic!("{other:?}"),
+            }
+            let snap = store.snapshot().unwrap();
+            assert_eq!(
+                snap.node_count(),
+                (i + 1) as usize,
+                "write {i} was acked but its epoch is not visible"
+            );
+            assert_eq!(store.commit_seq(), (i + 1) as u64);
+        }
+        store.shutdown();
+    }
+
+    /// Pipelined-commit torture: fail the N-th fsync for every N while a
+    /// successor batch is mid-apply on the builder. Scripted against the
+    /// stage internals so the interleaving is exact: batch A is staged,
+    /// batch B applies one item, A's fsync resolves (possibly faulted), B
+    /// applies its second item, then A retires and B stages. Invariants:
+    /// a batch whose fsync failed reports storage errors to *its own*
+    /// sessions, a successor applied on top of the doomed window is never
+    /// falsely acked, and recovery replays exactly the durable horizon.
+    #[test]
+    fn pipelined_torture_every_fsync_index() {
+        use cypher_storage::{recover, FaultFs, FaultKind, OpKind};
+
+        let scenario = |fault: &FaultFs, dir: &std::path::Path| -> Option<Vec<(String, bool)>> {
+            // (label, acked-ok) per statement, in submission order.
+            let durable = DurableGraph::open_with(fault.arc(), dir).ok()?;
+            let mut state = worker_state(durable);
+            let ctx = Arc::clone(&state.flush);
+            let engine = Engine::revised();
+            let w = |label: &str| {
+                let (tx, rx) = mpsc::sync_channel(1);
+                (
+                    BatchItem::Write {
+                        text: format!("CREATE (:{label})"),
+                        engine: engine.clone(),
+                        resp: tx,
+                    },
+                    rx,
+                )
+            };
+            let (a1, rx_a1) = w("A1");
+            let (a2, rx_a2) = w("A2");
+            let (b1, rx_b1) = w("B1");
+            let (b2, rx_b2) = w("B2");
+
+            // Batch A: apply + stage its WAL window.
+            let (acks_a, units_a, head_a) = apply_batch(&mut state, vec![a1, a2]);
+            let staged_a = match state.durable.stage_flush() {
+                Ok(t) => t,
+                Err(e) => panic!("appends are not faulted in this sweep: {e}"),
+            };
+            // Batch B starts applying while A's fsync is in flight...
+            let (mut acks_b, mut units_b, _) = apply_batch(&mut state, vec![b1]);
+            // ...the flusher resolves A's fsync (this is where the fault
+            // fires when the sweep index points at A's sync)...
+            let outcome_a = run_flush(
+                &ctx,
+                FlushBatch {
+                    ticket: staged_a,
+                    acks: acks_a,
+                    units: units_a,
+                    head_seq: head_a,
+                },
+            );
+            // ...and B finishes applying before the builder retires A.
+            let (acks_b2, units_b2, head_b) = apply_batch(&mut state, vec![b2]);
+            acks_b.extend(acks_b2);
+            units_b.extend(units_b2);
+
+            if state.durable.complete_flush(outcome_a).is_err() {
+                // A's window is gone and B executed on top of it: the
+                // builder rolls back and downgrades all of B un-staged.
+                recover_after_failed_flush(&mut state);
+                for ack in acks_b {
+                    send_ack(ack, Some("group commit failed: predecessor fsync failed"));
+                }
+            } else {
+                // A retired; stage and flush B normally (its own fsync
+                // may be the faulted one).
+                match state.durable.stage_flush() {
+                    Ok(ticket) => {
+                        let outcome_b = run_flush(
+                            &ctx,
+                            FlushBatch {
+                                ticket,
+                                acks: acks_b,
+                                units: units_b,
+                                head_seq: head_b,
+                            },
+                        );
+                        if state.durable.complete_flush(outcome_b).is_err() {
+                            recover_after_failed_flush(&mut state);
+                        }
+                    }
+                    Err(e) => {
+                        recover_after_failed_flush(&mut state);
+                        let msg = format!("group commit failed: {e}");
+                        for ack in acks_b {
+                            send_ack(ack, Some(&msg));
+                        }
+                    }
+                }
+            }
+
+            let mut out = Vec::new();
+            for (label, rx) in [("A1", rx_a1), ("A2", rx_a2), ("B1", rx_b1), ("B2", rx_b2)] {
+                let ok = match rx.recv().unwrap() {
+                    WriteOutcome::Ok(_) => true,
+                    WriteOutcome::Storage(_) => false,
+                    other => panic!("{label}: unexpected outcome {other:?}"),
+                };
+                out.push((label.to_owned(), ok));
+            }
+            Some(out)
+        };
+
+        // Counting pass: how many syncs does the healthy run perform?
+        let base = std::env::temp_dir().join(format!(
+            "cypher-server-store-torture-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let counting = FaultFs::counting();
+        let healthy = scenario(&counting, &base).unwrap();
+        assert!(
+            healthy.iter().all(|(_, ok)| *ok),
+            "healthy run acks everything: {healthy:?}"
+        );
+        let total_syncs = counting.ops_of(OpKind::Sync);
+        assert!(total_syncs >= 2, "sweep needs at least two batch fsyncs");
+
+        for n in 0..total_syncs {
+            let dir = base.join(format!("sweep-{n}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let fault = FaultFs::fail_on(OpKind::Sync, n, FaultKind::SyncFailure);
+            let Some(acked) = scenario(&fault, &dir) else {
+                // The faulted sync was part of opening the store; nothing
+                // was ever acknowledged, nothing to check.
+                continue;
+            };
+            assert!(fault.triggered(), "sweep index {n} never fired");
+
+            // The golden invariant: acked ⟺ durable, for every statement.
+            let recovered = recover(&dir).unwrap();
+            let rendered = graph_to_cypher(&recovered.graph);
+            for (label, ok) in &acked {
+                assert_eq!(
+                    rendered.contains(&format!(":{label}")),
+                    *ok,
+                    "sync fault at index {n}: {label} acked={ok} but durable state is {rendered:?}"
+                );
+            }
+            // A fault on A's fsync must not falsely ack B (B rode on the
+            // doomed window), and A's own sessions must see the error.
+            if !acked[0].1 {
+                assert!(
+                    acked.iter().all(|(_, ok)| !ok),
+                    "batch B falsely acked over a failed predecessor: {acked:?}"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    /// End-to-end pipelined failure through the real two-thread store: a
+    /// one-shot fsync fault downgrades exactly the writes whose batches
+    /// rode the doomed window, later writes succeed again, and the
+    /// recovered graph contains precisely the acknowledged statements.
+    #[test]
+    fn e2e_fsync_fault_acks_match_durable_state() {
+        use cypher_storage::{recover, FaultFs, FaultKind, OpKind};
+        let dir = std::env::temp_dir().join(format!(
+            "cypher-server-store-e2e-fault-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let fault = FaultFs::fail_on(OpKind::Sync, 1, FaultKind::SyncFailure);
+        let durable = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        let store = SharedStore::start(durable, 16, 4, 8, Role::Primary);
+        let engine = Engine::revised();
+
+        let mut acked = Vec::new();
+        let mut storage_errors = 0;
+        for i in 0..6u32 {
+            let label = format!("E{i}");
+            match store
+                .submit_write(format!("CREATE (:{label})"), engine.clone())
+                .unwrap()
+            {
+                WriteOutcome::Ok(_) => acked.push((label, true)),
+                WriteOutcome::Storage(_) => {
+                    storage_errors += 1;
+                    acked.push((label, false));
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(fault.triggered());
+        assert!(storage_errors >= 1, "the faulted batch must be downgraded");
+        // Read-your-writes still holds after recovery: the snapshot shows
+        // exactly the acknowledged writes.
+        let snap = store.snapshot().unwrap();
+        assert_eq!(
+            snap.node_count(),
+            acked.iter().filter(|(_, ok)| *ok).count()
+        );
+        store.shutdown();
+
+        let recovered = recover(&dir).unwrap();
+        let rendered = graph_to_cypher(&recovered.graph);
+        for (label, ok) in &acked {
+            assert_eq!(
+                rendered.contains(&format!(":{label}")),
+                *ok,
+                "{label} acked={ok}, durable: {rendered:?}"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

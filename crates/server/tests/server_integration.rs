@@ -221,6 +221,60 @@ fn readers_never_observe_a_dangling_relationship() {
     server.stop();
 }
 
+/// The morsel-driven parallel read executor serves wire sessions too:
+/// with the server forced onto the parallel path (tiny threshold, small
+/// morsels, several workers), every read answer must equal a serial
+/// replay of the server's own commit log.
+#[test]
+fn parallel_session_reads_match_a_serial_oracle() {
+    let server = start("parallel-reads", |c| {
+        c.read_workers = 4;
+        c.morsel_size = 8;
+        c.parallel_threshold = 1;
+    });
+    let mut client = Client::connect(server.addr(), &hello()).unwrap();
+    for i in 0..120u64 {
+        client
+            .run_with_retry(&format!("CREATE (:N {{id: {i}}})"), 100)
+            .unwrap();
+        if i >= 2 {
+            client
+                .run_with_retry(
+                    &format!(
+                        "MATCH (a:N {{id: {}}}), (b:N {{id: {i}}}) CREATE (a)-[:E]->(b)",
+                        i - 2
+                    ),
+                    100,
+                )
+                .unwrap();
+        }
+    }
+
+    // Oracle: replay the commit log through a fresh serial engine.
+    let log = client.commit_log().unwrap();
+    let serial = Engine::revised();
+    let mut oracle = PropertyGraph::new();
+    for stmt in &log {
+        serial.run(&mut oracle, stmt).unwrap();
+    }
+
+    for q in [
+        "MATCH (n:N) RETURN n.id AS id",
+        "MATCH (a:N)-[:E]->(b) RETURN a.id AS a, b.id AS b",
+        "MATCH (a:N) OPTIONAL MATCH (a)-[:E]->(b)-[:E]->(c) RETURN a.id AS a, c.id AS c",
+        "MATCH (a:N)-[:E*1..3]->(b) RETURN a.id AS a, b.id AS b ORDER BY a, b",
+        "MATCH (a:N)-[:E]->(b) WHERE b.id > 60 RETURN count(b) AS n",
+    ] {
+        let out = client.run(q).unwrap();
+        assert!(out.read_only);
+        let want = serial.run_read(&oracle, q).unwrap();
+        assert_eq!(out.columns, want.columns, "columns diverge for {q}");
+        assert_eq!(out.rows, want.rows, "rows diverge for {q}");
+    }
+    client.goodbye().unwrap();
+    server.stop();
+}
+
 #[test]
 fn budget_trip_and_lint_deny_travel_as_typed_errors() {
     let server = start("budgets", |_| {});

@@ -45,7 +45,7 @@ use crate::error::StorageError;
 use crate::fs::{RealFs, StorageFs};
 use crate::record::Record;
 use crate::recover::{recover_with, SNAPSHOT_FILE, WAL_FILE};
-use crate::wal::Wal;
+use crate::wal::{SyncTicket, Wal};
 
 /// Durable fence marker: its presence means this data directory was the
 /// primary of a replication group that failed over, and must never ack
@@ -334,6 +334,51 @@ impl DurableGraph {
     pub fn flush(&mut self) -> Result<(), StorageError> {
         self.check_sealed()?;
         if let Err(e) = self.wal.sync() {
+            self.seal(format!("WAL group-commit fsync failed: {e}"));
+            return Err(StorageError::Io(e));
+        }
+        Ok(())
+    }
+
+    /// First half of a **pipelined** [`flush`](DurableGraph::flush): stage
+    /// the group-commit window for an off-thread fsync. The returned
+    /// [`SyncTicket`]'s [`sync`](SyncTicket::sync) runs elsewhere
+    /// (overlapping the next batch's
+    /// [`apply_buffered`](DurableGraph::apply_buffered) calls on this
+    /// handle); its outcome comes back through
+    /// [`complete_flush`](DurableGraph::complete_flush). Returns `None`
+    /// when the window is empty — nothing to sync, the flush is trivially
+    /// complete.
+    ///
+    /// Fails with [`StorageError::Sealed`] exactly as `flush` does when an
+    /// earlier append already sealed the handle (the emptied window means
+    /// the batch was discarded, not durable). Failing to obtain the second
+    /// file handle also seals: the batch cannot be proven durable.
+    pub fn stage_flush(&mut self) -> Result<Option<SyncTicket>, StorageError> {
+        self.check_sealed()?;
+        if self.wal.pending() == 0 {
+            return Ok(None);
+        }
+        match self.wal.stage_sync() {
+            Ok(ticket) => Ok(Some(ticket)),
+            Err(e) => {
+                self.seal(format!("WAL group-commit stage failed: {e}"));
+                Err(StorageError::Io(e))
+            }
+        }
+    }
+
+    /// Second half of a pipelined flush: record the staged fsync's
+    /// outcome. `Ok` makes every statement of the staged batch durable —
+    /// even on a handle sealed *after* the stage by a later batch's append
+    /// failure, because the staged bytes were already in the file below
+    /// the failure. `Err` rolls the WAL back to the durable horizon —
+    /// discarding the staged batch **and** any units buffered since — and
+    /// seals; the caller must [`reopen`](DurableGraph::reopen) (or
+    /// checkpoint) to reconcile, and must not acknowledge anything
+    /// buffered after the failed stage either.
+    pub fn complete_flush(&mut self, outcome: std::io::Result<()>) -> Result<(), StorageError> {
+        if let Err(e) = self.wal.complete_sync(outcome) {
             self.seal(format!("WAL group-commit fsync failed: {e}"));
             return Err(StorageError::Io(e));
         }
@@ -817,6 +862,97 @@ mod tests {
         let d = DurableGraph::open(&dir).unwrap();
         assert!(isomorphic(&before, d.graph()));
         assert_eq!(d.graph().node_count(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Pipelined flush: batch N stages, batch N+1 applies while N's fsync
+    /// is "in flight", completion retires N, a second flush covers N+1 —
+    /// and reopen replays both batches.
+    #[test]
+    fn staged_flush_overlaps_next_batch() {
+        let dir = tmpdir("stagedpipeline");
+        let counting = FaultFs::counting();
+        let mut d = DurableGraph::open_with(counting.arc(), &dir).unwrap();
+        let syncs_before = counting.ops_of(OpKind::Sync);
+        d.apply_buffered(create_one).unwrap().unwrap();
+        let mut ticket = d.stage_flush().unwrap().unwrap();
+        // Batch N+1 applies while N's ticket is outstanding.
+        d.apply_buffered(create_one).unwrap().unwrap();
+        assert!(d.pending_bytes() > 0);
+        d.complete_flush(ticket.sync()).unwrap();
+        d.flush().unwrap();
+        assert_eq!(
+            counting.ops_of(OpKind::Sync) - syncs_before,
+            2,
+            "one fsync per batch"
+        );
+        let before = d.graph().clone();
+        drop(d);
+        let d = DurableGraph::open(&dir).unwrap();
+        assert!(isomorphic(&before, d.graph()));
+        assert_eq!(d.graph().node_count(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// An empty window stages as `None` — trivially complete.
+    #[test]
+    fn stage_flush_with_nothing_pending_is_none() {
+        let dir = tmpdir("stagednone");
+        let mut d = DurableGraph::open(&dir).unwrap();
+        assert!(d.stage_flush().unwrap().is_none());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A failed staged fsync seals and discards the staged batch plus
+    /// everything buffered after it; `reopen` rolls memory back to the
+    /// durable horizon.
+    #[test]
+    fn failed_staged_flush_seals_and_reopen_recovers() {
+        let dir = tmpdir("stagedflushfail");
+        drop(DurableGraph::open(&dir).unwrap());
+        // Reopening a header-only log does no fsync; sync 0 is the staged
+        // batch fsync.
+        let fault = FaultFs::fail_on(OpKind::Sync, 0, FaultKind::SyncFailure);
+        let mut d = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        d.apply_buffered(create_one).unwrap().unwrap();
+        let mut ticket = d.stage_flush().unwrap().unwrap();
+        d.apply_buffered(create_one).unwrap().unwrap(); // batch N+1
+        let err = d.complete_flush(ticket.sync()).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert!(d.is_sealed());
+        assert_eq!(d.graph().node_count(), 2, "memory ran ahead");
+
+        d.reopen().unwrap();
+        assert!(!d.is_sealed());
+        assert_eq!(d.graph().node_count(), 0, "nothing was durable");
+        d.apply(create_one).unwrap().unwrap();
+        assert_eq!(d.graph().node_count(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A later batch's append failure (which seals) must not retroactively
+    /// downgrade the staged batch: its bytes were already below the
+    /// failure point, and `complete_flush(Ok)` retires it as durable.
+    #[test]
+    fn later_append_failure_does_not_lose_staged_batch() {
+        let dir = tmpdir("stagedlaterfail");
+        // Write 0 is the WAL header; write 1 is batch N's unit; write 2
+        // (batch N+1's unit) fails short and seals.
+        let fault = FaultFs::fail_on(OpKind::Write, 2, FaultKind::ShortWrite);
+        let mut d = DurableGraph::open_with(fault.arc(), &dir).unwrap();
+        d.apply_buffered(create_one).unwrap().unwrap();
+        let mut ticket = d.stage_flush().unwrap().unwrap();
+        let err = d.apply_buffered(create_one).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert!(d.is_sealed());
+
+        // Batch N still becomes durable despite the seal.
+        d.complete_flush(ticket.sync()).unwrap();
+        let rec = crate::recover::recover(&dir).unwrap();
+        assert_eq!(rec.graph.node_count(), 1, "batch N survived");
+
+        d.reopen().unwrap();
+        assert_eq!(d.graph().node_count(), 1);
         std::fs::remove_dir_all(dir).unwrap();
     }
 

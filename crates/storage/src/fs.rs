@@ -35,6 +35,19 @@ pub trait StorageFile: Debug + Send {
     fn len(&self) -> io::Result<u64>;
     /// Move the cursor to the end of the file, returning the offset.
     fn seek_end(&mut self) -> io::Result<u64>;
+    /// A second, independently-owned handle onto the same open file, able
+    /// to fsync it from another thread while this handle keeps writing —
+    /// the pipelined group-commit flush stage. Acquiring the handle is not
+    /// a counted fault operation; syncs issued through it are.
+    fn sync_handle(&self) -> io::Result<Box<dyn SyncHandle>>;
+}
+
+/// A sync-only sibling of a [`StorageFile`], safe to move to a flusher
+/// thread (see [`StorageFile::sync_handle`]). An fsync through either
+/// handle flushes the same underlying file.
+pub trait SyncHandle: Debug + Send {
+    /// Flush file contents to stable storage (`fsync`/`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
 }
 
 /// The filesystem operations the durability layer needs. Object-safe so a
@@ -94,6 +107,20 @@ impl StorageFile for RealFile {
     }
     fn seek_end(&mut self) -> io::Result<u64> {
         self.0.seek(io::SeekFrom::End(0))
+    }
+    fn sync_handle(&self) -> io::Result<Box<dyn SyncHandle>> {
+        Ok(Box::new(RealSyncHandle(self.0.try_clone()?)))
+    }
+}
+
+/// A duplicated descriptor onto a [`RealFile`]; `fsync` on either flushes
+/// the same inode.
+#[derive(Debug)]
+struct RealSyncHandle(File);
+
+impl SyncHandle for RealSyncHandle {
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
     }
 }
 
@@ -354,6 +381,29 @@ impl StorageFile for FaultFile {
         self.fs.step(OpKind::SeekEnd).map_err(FaultKind::to_error)?;
         self.inner.seek_end()
     }
+    fn sync_handle(&self) -> io::Result<Box<dyn SyncHandle>> {
+        // Shares the same fault state as the parent handle, so syncs from
+        // a flusher thread land in the same `OpKind::Sync` index space —
+        // `fail_on(Sync, n)` stays deterministic even when write/sync
+        // interleaving across threads is not.
+        Ok(Box::new(FaultSyncHandle {
+            inner: self.inner.sync_handle()?,
+            fs: self.fs.clone(),
+        }))
+    }
+}
+
+#[derive(Debug)]
+struct FaultSyncHandle {
+    inner: Box<dyn SyncHandle>,
+    fs: FaultFs,
+}
+
+impl SyncHandle for FaultSyncHandle {
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.fs.step(OpKind::Sync).map_err(FaultKind::to_error)?;
+        self.inner.sync_data()
+    }
 }
 
 impl StorageFs for FaultFs {
@@ -460,6 +510,33 @@ mod tests {
         assert!(fs.rename(&dir.join("a"), &dir.join("b")).is_err());
         assert!(dir.join("a").exists());
         assert!(!dir.join("b").exists());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A sync handle fsyncs the same file from another thread, and its
+    /// syncs count in the shared `OpKind::Sync` index space.
+    #[test]
+    fn sync_handle_counts_in_shared_sync_index() {
+        let dir = tmpdir("synchandle");
+        // Sync 0 is the in-thread one; sync 1 — issued through the handle
+        // on another thread — is the one that faults.
+        let fault = FaultFs::fail_on(OpKind::Sync, 1, FaultKind::SyncFailure);
+        let fs = fault.arc();
+        let mut f = fs.create(&dir.join("a")).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_data().unwrap(); // sync 0
+        let mut handle = f.sync_handle().unwrap();
+        let joined = std::thread::spawn(move || {
+            let err = handle.sync_data().unwrap_err(); // sync 1: faulted
+            assert!(err.to_string().contains("injected fault"));
+            handle.sync_data().unwrap(); // one-shot: healthy again
+            handle
+        })
+        .join()
+        .unwrap();
+        drop(joined);
+        assert!(fault.triggered());
+        assert_eq!(fault.ops_of(OpKind::Sync), 3);
         std::fs::remove_dir_all(dir).unwrap();
     }
 

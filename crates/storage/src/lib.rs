@@ -43,6 +43,7 @@ pub mod wal;
 
 pub use durable::{DurableGraph, FENCE_FILE};
 pub use error::StorageError;
-pub use fs::{FaultFs, FaultKind, OpKind, RealFs, StorageFile, StorageFs};
+pub use fs::{FaultFs, FaultKind, OpKind, RealFs, StorageFile, StorageFs, SyncHandle};
 pub use record::Record;
 pub use recover::{recover, recover_with};
+pub use wal::SyncTicket;

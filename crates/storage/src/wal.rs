@@ -39,7 +39,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::crc::crc32;
-use crate::fs::{StorageFile, StorageFs};
+use crate::fs::{StorageFile, StorageFs, SyncHandle};
 use crate::record::{arr, Record};
 
 /// Magic + version. Bump the digit when the frame or record format changes.
@@ -62,10 +62,32 @@ pub struct Wal {
     path: PathBuf,
     /// Byte offset up to which the file is known durable (≥ header).
     durable_len: u64,
-    /// Bytes written past `durable_len` but not yet fsynced — the group
-    /// commit window (see [`Wal::append_commit_unit_buffered`]). Zero
-    /// outside a batch.
+    /// Bytes written past `durable_len + inflight` but not yet fsynced —
+    /// the group commit window (see
+    /// [`Wal::append_commit_unit_buffered`]). Zero outside a batch.
     pending: u64,
+    /// Bytes staged for an off-thread fsync (between [`Wal::stage_sync`]
+    /// and [`Wal::complete_sync`]) — the in-flight half of a pipelined
+    /// commit. They sit directly above `durable_len` in the file; the
+    /// pending window sits above them. Zero outside a staged sync.
+    inflight: u64,
+}
+
+/// A staged group-commit fsync: a second handle onto the WAL file that a
+/// flush stage may sync **on another thread** while the owning [`Wal`]
+/// keeps appending into a fresh pending window. Produced by
+/// [`Wal::stage_sync`]; the outcome of [`SyncTicket::sync`] must be
+/// reported back through [`Wal::complete_sync`] before the next stage.
+#[derive(Debug)]
+pub struct SyncTicket {
+    handle: Box<dyn SyncHandle>,
+}
+
+impl SyncTicket {
+    /// Perform the staged fsync (`SyncHandle: Send` — callable off-thread).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.handle.sync_data()
+    }
 }
 
 impl Wal {
@@ -80,6 +102,7 @@ impl Wal {
             path: path.to_owned(),
             durable_len: MAGIC.len() as u64,
             pending: 0,
+            inflight: 0,
         })
     }
 
@@ -104,6 +127,7 @@ impl Wal {
             path: path.to_owned(),
             durable_len: committed_len,
             pending: 0,
+            inflight: 0,
         })
     }
 
@@ -172,6 +196,7 @@ impl Wal {
     /// the error is reported with the horizon unmoved. A no-op when nothing
     /// is pending.
     pub fn sync(&mut self) -> io::Result<()> {
+        debug_assert_eq!(self.inflight, 0, "in-thread sync with a staged sync open");
         if self.pending == 0 {
             return Ok(());
         }
@@ -192,13 +217,56 @@ impl Wal {
         }
     }
 
+    /// Stage the pending window for an **off-thread** fsync: the pending
+    /// bytes move into the in-flight window and a [`SyncTicket`] holding a
+    /// second file handle is returned. The caller runs
+    /// [`SyncTicket::sync`] (typically on a flusher thread) and reports
+    /// its outcome through [`Wal::complete_sync`]; meanwhile new units may
+    /// be appended into a fresh pending window. At most one staged sync
+    /// may be outstanding at a time.
+    pub fn stage_sync(&mut self) -> io::Result<SyncTicket> {
+        debug_assert_eq!(self.inflight, 0, "one staged sync at a time");
+        let handle = self.file.sync_handle()?;
+        self.inflight += self.pending;
+        self.pending = 0;
+        Ok(SyncTicket { handle })
+    }
+
+    /// Record the outcome of a staged fsync. On `Ok` the durable horizon
+    /// advances past the in-flight window. On `Err` the file rolls back to
+    /// the durable horizon, which discards the failed in-flight bytes
+    /// **and** every unit appended since the stage — those sit above the
+    /// failed window in the file and can no longer become durable in
+    /// order.
+    pub fn complete_sync(&mut self, outcome: io::Result<()>) -> io::Result<()> {
+        match outcome {
+            Ok(()) => {
+                self.durable_len += self.inflight;
+                self.inflight = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.inflight = 0;
+                self.rollback_to_durable();
+                Err(e)
+            }
+        }
+    }
+
     /// Bytes appended but not yet fsynced (the open group-commit window).
     pub fn pending(&self) -> u64 {
         self.pending
     }
 
+    /// Bytes staged for an off-thread fsync, not yet resolved.
+    pub fn inflight(&self) -> u64 {
+        self.inflight
+    }
+
     fn rollback_to_durable(&mut self) {
-        let _ = self.file.set_len(self.durable_len);
+        // Keep any staged (in-flight) bytes: their fate is decided by
+        // `complete_sync`, not by this append-side rollback.
+        let _ = self.file.set_len(self.durable_len + self.inflight);
         let _ = self.file.seek_end();
         self.pending = 0;
     }
@@ -209,11 +277,13 @@ impl Wal {
     /// discarded with the rest of the log: the caller checkpoints the full
     /// in-memory graph, which subsumes them.
     pub fn reset(&mut self) -> io::Result<()> {
+        debug_assert_eq!(self.inflight, 0, "reset with a staged sync open");
         self.file.set_len(MAGIC.len() as u64)?;
         self.file.seek_end()?;
         self.file.sync_data()?;
         self.durable_len = MAGIC.len() as u64;
         self.pending = 0;
+        self.inflight = 0;
         Ok(())
     }
 
@@ -575,6 +645,92 @@ mod tests {
         assert_eq!(wal.len().unwrap(), MAGIC.len() as u64);
         let s = scan(&RealFs, &path).unwrap();
         assert!(s.units.is_empty(), "no unit of the batch survived");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// The pipelined path: batch N's staged fsync runs on another thread
+    /// while batch N+1 is appended; completion advances the horizon past
+    /// exactly batch N, and the follow-up sync covers batch N+1.
+    #[test]
+    fn staged_sync_overlaps_new_appends() {
+        let dir = tmpdir("stagedoverlap");
+        let path = dir.join("wal.bin");
+        let mut wal = Wal::create(&RealFs, &path).unwrap();
+        wal.append_commit_unit_buffered(1, &ops()).unwrap();
+        let batch_n = wal.pending();
+        let mut ticket = wal.stage_sync().unwrap();
+        assert_eq!(wal.pending(), 0);
+        assert_eq!(wal.inflight(), batch_n);
+
+        // Batch N+1 lands in a fresh pending window while N is in flight.
+        wal.append_commit_unit_buffered(2, &[Record::DeleteNode { id: 0 }])
+            .unwrap();
+        assert!(wal.pending() > 0);
+
+        let outcome = std::thread::spawn(move || ticket.sync()).join().unwrap();
+        wal.complete_sync(outcome).unwrap();
+        assert_eq!(wal.inflight(), 0);
+        assert_eq!(wal.durable_len(), MAGIC.len() as u64 + batch_n);
+
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_len(), wal.len().unwrap());
+        let s = scan(&RealFs, &path).unwrap();
+        assert_eq!(s.units.len(), 2);
+        assert!(s.torn.is_none());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A failed staged fsync discards the in-flight batch AND everything
+    /// appended after it — later units cannot become durable in order.
+    #[test]
+    fn failed_staged_sync_discards_inflight_and_later_pending() {
+        let dir = tmpdir("stagedfail");
+        let path = dir.join("wal.bin");
+        // Sync 0 is Wal::create's header sync; sync 1 is the staged one.
+        let fault = FaultFs::fail_on(OpKind::Sync, 1, FaultKind::SyncFailure);
+        let fs = fault.arc();
+        let mut wal = Wal::create(fs.as_ref(), &path).unwrap();
+        wal.append_commit_unit_buffered(1, &ops()).unwrap();
+        let mut ticket = wal.stage_sync().unwrap();
+        wal.append_commit_unit_buffered(2, &[Record::DeleteNode { id: 0 }])
+            .unwrap();
+        let outcome = ticket.sync();
+        assert!(outcome.is_err());
+        wal.complete_sync(outcome).unwrap_err();
+        assert_eq!(wal.pending(), 0);
+        assert_eq!(wal.inflight(), 0);
+        assert_eq!(wal.durable_len(), MAGIC.len() as u64);
+        assert_eq!(wal.len().unwrap(), MAGIC.len() as u64);
+        let s = scan(&RealFs, &path).unwrap();
+        assert!(s.units.is_empty(), "neither batch survived");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// An append failure while a staged sync is in flight must roll back
+    /// only the pending window — the staged bytes' fate belongs to
+    /// `complete_sync`, and here they resolve durable.
+    #[test]
+    fn append_failure_preserves_staged_window() {
+        let dir = tmpdir("stagedappendfail");
+        let path = dir.join("wal.bin");
+        // Write 0 is the header; write 1 is batch N; write 2 (batch N+1)
+        // fails short.
+        let fault = FaultFs::fail_on(OpKind::Write, 2, FaultKind::ShortWrite);
+        let fs = fault.arc();
+        let mut wal = Wal::create(fs.as_ref(), &path).unwrap();
+        wal.append_commit_unit_buffered(1, &ops()).unwrap();
+        let batch_n = wal.pending();
+        let mut ticket = wal.stage_sync().unwrap();
+        wal.append_commit_unit_buffered(2, &[Record::DeleteNode { id: 0 }])
+            .unwrap_err();
+        assert_eq!(wal.inflight(), batch_n, "staged window untouched");
+        assert_eq!(wal.len().unwrap(), MAGIC.len() as u64 + batch_n);
+
+        wal.complete_sync(ticket.sync()).unwrap();
+        assert_eq!(wal.durable_len(), MAGIC.len() as u64 + batch_n);
+        let s = scan(&RealFs, &path).unwrap();
+        assert_eq!(s.units.len(), 1, "batch N is durable, N+1 discarded");
+        assert_eq!(s.units[0], (1, ops()));
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -25,6 +25,16 @@ bench:
 bench-check:
     cargo run -p cypher-bench --bin bench --offline -q -- --check
 
+# Parallel-execution sweep: read scaling curves (graph sizes × read
+# worker counts, every run byte-identical to serial) plus pipelined
+# write throughput vs the BENCH_5 baseline; rewrites BENCH_8.json.
+bench-sweep:
+    cargo run -p cypher-bench --bin bench --release --offline -q -- --sweep
+
+# Fast smoke mode of the sweep (tiny graph, identity assertions, no JSON).
+bench-sweep-check:
+    cargo run -p cypher-bench --bin bench --offline -q -- --sweep --check
+
 # Serve a durable graph over the wire protocol (Ctrl-C to stop, or pass
 # --allow-shutdown and send a Shutdown frame from cypher-client).
 serve data="./graphdb" addr="127.0.0.1:7878":

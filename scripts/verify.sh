@@ -48,6 +48,11 @@ run "build (workspace incl. bench)" cargo build --workspace --offline
 # probe and agrees byte-for-byte with force_naive (full run: `just bench`).
 run "bench smoke" cargo run -p cypher-bench --bin bench --offline -q -- --check
 
+# Parallel-read smoke: one small sweep asserting the morsel-driven
+# executor's output is byte-identical to serial, plus a quick pipelined
+# write load through an in-process server (full run: `just bench-sweep`).
+run "sweep smoke" cargo run -p cypher-bench --bin bench --offline -q -- --sweep --check
+
 # Static-analysis self-check: every shipped .cypher example must lint
 # clean (warnings allowed, error-severity diagnostics fail the build).
 run "cypher-lint (examples)" cargo run --bin cypher-lint --offline -q -- examples/*.cypher
