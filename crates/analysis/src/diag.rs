@@ -189,6 +189,29 @@ impl Diagnostic {
         out.push('}');
         out
     }
+
+    /// [`Self::render_json`] plus the two stable trailer fields used by
+    /// fuzz-campaign tooling: `source` — the exact byte-offset snippet of
+    /// `source` the span points at (`null` for span-less diagnostics) —
+    /// and `seed` — the campaign seed that produced the input (`null`
+    /// when linting ordinary files). The trailer keys always appear, in
+    /// this order, so consumers can byte-compare lines across runs.
+    pub fn render_json_tagged(&self, file: &str, source: &str, seed: Option<u64>) -> String {
+        let mut out = self.render_json(file, source);
+        out.pop(); // strip the closing brace, re-append after the trailer
+        out.push(',');
+        match self.span.and_then(|s| source.get(s.start..s.end)) {
+            Some(snippet) => push_json_field(&mut out, "source", snippet),
+            None => out.push_str("\"source\":null"),
+        }
+        out.push(',');
+        match seed {
+            Some(s) => out.push_str(&format!("\"seed\":{s}")),
+            None => out.push_str("\"seed\":null"),
+        }
+        out.push('}');
+        out
+    }
 }
 
 /// Append `"key":"escaped value"` to `out`.
@@ -261,6 +284,25 @@ mod tests {
             d.render_json("<stdin>", src),
             "{\"file\":\"<stdin>\",\"severity\":\"error\",\"code\":\"E00\",\
              \"span\":null,\"message\":\"bad\",\"note\":null}"
+        );
+    }
+
+    #[test]
+    fn render_json_tagged_appends_stable_trailer() {
+        let src = "SET p.x = 1";
+        let d = Diagnostic::new(Code::W01ConflictingSet, Some(Span::new(4, 7)), "boom");
+        assert_eq!(
+            d.render_json_tagged("a.cypher", src, Some(42)),
+            "{\"file\":\"a.cypher\",\"severity\":\"warning\",\"code\":\"W01\",\
+             \"span\":{\"start\":4,\"end\":7,\"line\":1,\"column\":5},\
+             \"message\":\"boom\",\"note\":null,\"source\":\"p.x\",\"seed\":42}"
+        );
+        let d = Diagnostic::new(Code::E00DialectViolation, None, "bad");
+        assert_eq!(
+            d.render_json_tagged("<stdin>", src, None),
+            "{\"file\":\"<stdin>\",\"severity\":\"error\",\"code\":\"E00\",\
+             \"span\":null,\"message\":\"bad\",\"note\":null,\
+             \"source\":null,\"seed\":null}"
         );
     }
 

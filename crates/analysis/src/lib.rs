@@ -36,6 +36,7 @@
 
 pub mod diag;
 pub mod hazards;
+pub mod rewrite;
 pub mod scope;
 pub mod shape;
 pub mod spans;

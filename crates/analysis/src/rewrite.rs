@@ -1,0 +1,1202 @@
+//! Metamorphic rewriting: semantics-preserving AST→AST Cypher equivalences.
+//!
+//! Each [`Rule`] transforms a query into a form that must produce the same
+//! result set (and the same final graph, up to isomorphism) under the
+//! semantics of *Updating Graph Databases with Cypher*. The catalogue
+//! follows the equivalence families formalized in *Proving Cypher Query
+//! Equivalence* (arXiv 2504.15742); every rule is gated so it only fires
+//! where the equivalence provably holds in this engine:
+//!
+//! | rule | equivalence | §/source | row order |
+//! |------|-------------|----------|-----------|
+//! | `ReversePatterns` | `(a)-[r]->(b)` ≡ `(b)<-[r]-(a)` | pattern symmetry (§2) | perturbed |
+//! | `CommuteConjuncts` | `P AND Q` ≡ `Q AND P` (also `OR`, `XOR`) | 3VL commutativity (§8.1) | preserved |
+//! | `PropsToWhere` | `(n {k: lit})` ≡ `(n) WHERE n.k = lit` | map-predicate desugaring | preserved* |
+//! | `WhereToProps` | inverse of the above | | preserved* |
+//! | `SplitMatch` | `MATCH p, q` ≡ `MATCH p MATCH q` | cartesian join assoc. | perturbed |
+//! | `MergeMatch` | inverse of the above | | perturbed |
+//! | `RenameVars` | α-renaming of bound variables | capture-avoiding | preserved |
+//! | `InsertWith` | insert a redundant `WITH *` | projection identity | preserved |
+//!
+//! (* preserved in this engine because the planner is required to stay
+//! byte-identical to naive clause order, and a `WHERE` filter does not
+//! reorder the driving table.)
+//!
+//! Rewrites are *validated* against the target dialect before being
+//! returned, so a rewrite that would break Cypher 9's `WITH`-demarcation
+//! rules is silently dropped rather than reported as a divergence.
+
+use cypher_parser::ast::{
+    BinOp, Clause, Dialect, Expr, Lit, NodePattern, PathPattern, Projection, ProjectionItems,
+    Query, RemoveItem, SetItem, SingleQuery,
+};
+use cypher_parser::{print_expr, validate};
+
+/// One applicable rewrite of a query.
+#[derive(Clone, Debug)]
+pub struct Rewrite {
+    pub rule: Rule,
+    pub query: Query,
+}
+
+/// The rewrite-rule catalogue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    ReversePatterns,
+    CommuteConjuncts,
+    PropsToWhere,
+    WhereToProps,
+    SplitMatch,
+    MergeMatch,
+    RenameVars,
+    InsertWith,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 8] = [
+        Rule::ReversePatterns,
+        Rule::CommuteConjuncts,
+        Rule::PropsToWhere,
+        Rule::WhereToProps,
+        Rule::SplitMatch,
+        Rule::MergeMatch,
+        Rule::RenameVars,
+        Rule::InsertWith,
+    ];
+
+    /// Stable short name, used in reports and reproducer file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::ReversePatterns => "reverse-patterns",
+            Rule::CommuteConjuncts => "commute-conjuncts",
+            Rule::PropsToWhere => "props-to-where",
+            Rule::WhereToProps => "where-to-props",
+            Rule::SplitMatch => "split-match",
+            Rule::MergeMatch => "merge-match",
+            Rule::RenameVars => "rename-vars",
+            Rule::InsertWith => "insert-with",
+        }
+    }
+
+    /// Does the rewritten query produce rows in the *same order* as the
+    /// original? Rules that may perturb enumeration order must not be
+    /// applied to order-sensitive statements (see [`order_sensitive`]).
+    pub fn preserves_row_order(self) -> bool {
+        matches!(
+            self,
+            Rule::CommuteConjuncts | Rule::RenameVars | Rule::InsertWith
+        )
+    }
+}
+
+/// Can row *order* leak into this statement's observable output (beyond
+/// sorted-multiset table comparison and graph isomorphism)?
+///
+/// True when the statement uses `SKIP`/`LIMIT` (order selects the rows),
+/// an order-dependent aggregate (`collect` keeps order; `avg`/`stdev`
+/// round differently per summation order), or — under Cypher 9 — any
+/// update clause (the paper's Example 2: legacy updates are processed in
+/// row order against dirty data, so different enumeration orders can
+/// produce genuinely different graphs).
+pub fn order_sensitive(query: &Query, dialect: Dialect) -> bool {
+    let mut sensitive = false;
+    for sq in singles(query) {
+        for c in &sq.clauses {
+            if dialect == Dialect::Cypher9 && c.is_update() {
+                sensitive = true;
+            }
+            if let Clause::With(p) | Clause::Return(p) = c {
+                if p.skip.is_some() || p.limit.is_some() {
+                    sensitive = true;
+                }
+            }
+        }
+        visit_exprs(sq, &mut |e| {
+            if let Expr::FnCall { name, .. } = e {
+                if matches!(
+                    name.to_ascii_lowercase().as_str(),
+                    "collect" | "avg" | "stdev"
+                ) {
+                    sensitive = true;
+                }
+            }
+        });
+    }
+    sensitive
+}
+
+/// All rewrites of `query` that apply and still validate under `dialect`.
+pub fn rewrites(query: &Query, dialect: Dialect) -> Vec<Rewrite> {
+    Rule::ALL
+        .iter()
+        .filter_map(|&rule| rewrite(query, dialect, rule).map(|query| Rewrite { rule, query }))
+        .collect()
+}
+
+/// Apply one rule. Returns `None` when the rule does not apply, produces
+/// no change, or the result fails dialect validation.
+pub fn rewrite(query: &Query, dialect: Dialect, rule: Rule) -> Option<Query> {
+    let mut q = query.clone();
+    let changed = match rule {
+        Rule::ReversePatterns => for_each_single(&mut q, reverse_patterns),
+        Rule::CommuteConjuncts => for_each_single(&mut q, commute_conjuncts),
+        Rule::PropsToWhere => for_each_single(&mut q, props_to_where),
+        Rule::WhereToProps => for_each_single(&mut q, where_to_props),
+        Rule::SplitMatch => for_each_single(&mut q, split_match),
+        Rule::MergeMatch => for_each_single(&mut q, merge_match),
+        Rule::RenameVars => for_each_single(&mut q, rename_vars),
+        Rule::InsertWith => for_each_single(&mut q, insert_with),
+    };
+    if !changed || q == *query || validate(&q, dialect).is_err() {
+        return None;
+    }
+    Some(q)
+}
+
+fn singles(q: &Query) -> impl Iterator<Item = &SingleQuery> {
+    std::iter::once(&q.first).chain(q.unions.iter().map(|(_, sq)| sq))
+}
+
+/// Apply `f` to every union arm; report whether any arm changed. Clause
+/// spans no longer index the original source after a structural rewrite,
+/// so they are cleared.
+fn for_each_single(q: &mut Query, f: impl Fn(&mut SingleQuery) -> bool) -> bool {
+    let mut changed = f(&mut q.first);
+    for (_, sq) in &mut q.unions {
+        changed |= f(sq);
+    }
+    if changed {
+        q.first.clause_spans.clear();
+        for (_, sq) in &mut q.unions {
+            sq.clause_spans.clear();
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// ReversePatterns
+// ---------------------------------------------------------------------------
+
+/// Reverse every eligible multi-step `MATCH` pattern. A pattern is eligible
+/// when it has at least one step, is not wrapped in `shortestPath`, binds no
+/// path variable (a reversed path *value* renders reversed), and none of its
+/// variable-length steps binds a variable (such a variable binds a list of
+/// relationships *in path order*).
+fn reverse_patterns(sq: &mut SingleQuery) -> bool {
+    let mut changed = false;
+    for c in &mut sq.clauses {
+        if let Clause::Match { patterns, .. } = c {
+            for p in patterns {
+                let eligible = !p.steps.is_empty()
+                    && p.shortest.is_none()
+                    && p.var.is_none()
+                    && p.steps
+                        .iter()
+                        .all(|(rel, _)| rel.length.is_none() || rel.var.is_none());
+                if eligible {
+                    reverse_path(p);
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+fn reverse_path(p: &mut PathPattern) {
+    use cypher_parser::ast::RelDirection::*;
+    let mut nodes = vec![std::mem::take(&mut p.start)];
+    let mut rels = Vec::new();
+    for (rel, node) in p.steps.drain(..) {
+        rels.push(rel);
+        nodes.push(node);
+    }
+    nodes.reverse();
+    rels.reverse();
+    let mut nodes = nodes.into_iter();
+    p.start = nodes.next().unwrap_or_default();
+    p.steps = rels
+        .into_iter()
+        .zip(nodes)
+        .map(|(mut rel, node)| {
+            rel.direction = match rel.direction {
+                Outgoing => Incoming,
+                Incoming => Outgoing,
+                Undirected => Undirected,
+            };
+            (rel, node)
+        })
+        .collect();
+}
+
+// ---------------------------------------------------------------------------
+// CommuteConjuncts
+// ---------------------------------------------------------------------------
+
+/// Swap the operands of every `AND`/`OR`/`XOR` in every `WHERE` expression.
+/// All three are commutative under the three-valued logic of §8.1; in this
+/// engine comparisons never type-error (they yield `null`), so operand
+/// evaluation order is unobservable for well-typed predicates.
+fn commute_conjuncts(sq: &mut SingleQuery) -> bool {
+    let mut changed = false;
+    let mut commute = |e: &mut Option<Expr>| {
+        if let Some(expr) = e {
+            if swap_bool_ops(expr) {
+                changed = true;
+            }
+        }
+    };
+    for c in &mut sq.clauses {
+        match c {
+            Clause::Match { where_clause, .. } => commute(where_clause),
+            Clause::With(p) => commute(&mut p.where_clause),
+            _ => {}
+        }
+    }
+    changed
+}
+
+fn swap_bool_ops(e: &mut Expr) -> bool {
+    match e {
+        Expr::Binary(BinOp::And | BinOp::Or | BinOp::Xor, l, r) => {
+            swap_bool_ops(l);
+            swap_bool_ops(r);
+            std::mem::swap(l, r);
+            true
+        }
+        Expr::Unary(_, inner) => swap_bool_ops(inner),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PropsToWhere / WhereToProps
+// ---------------------------------------------------------------------------
+
+/// Is this literal safe to move between a pattern property map and a
+/// `WHERE var.key = lit` conjunct? `null` is excluded (`{k: null}` never
+/// matches while `k = null` is *unknown* — same outcome, but keep the rule
+/// on ground we can prove) and floats are excluded (equality on floats is
+/// representation-sensitive).
+fn movable_lit(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Literal(Lit::Int(_) | Lit::Str(_) | Lit::Bool(_)) | Expr::Parameter(_)
+    )
+}
+
+/// `MATCH (n {k: lit})` → `MATCH (n) WHERE n.k = lit`. Only node patterns
+/// with a variable participate; `shortestPath` patterns are skipped (their
+/// property maps prune *candidate* paths before minimization, which a
+/// post-hoc filter does not).
+fn props_to_where(sq: &mut SingleQuery) -> bool {
+    let mut changed = false;
+    for c in &mut sq.clauses {
+        let Clause::Match {
+            patterns,
+            where_clause,
+            ..
+        } = c
+        else {
+            continue;
+        };
+        let mut lifted: Vec<Expr> = Vec::new();
+        for p in patterns.iter_mut().filter(|p| p.shortest.is_none()) {
+            let mut nodes: Vec<&mut NodePattern> = vec![&mut p.start];
+            nodes.extend(p.steps.iter_mut().map(|(_, n)| n));
+            for node in nodes {
+                let Some(var) = node.var.clone() else {
+                    continue;
+                };
+                let (movable, kept): (Vec<_>, Vec<_>) = node
+                    .props
+                    .drain(..)
+                    .partition(|(_, value)| movable_lit(value));
+                node.props = kept;
+                for (key, value) in movable {
+                    lifted.push(Expr::Binary(
+                        BinOp::Eq,
+                        Box::new(Expr::prop(Expr::var(var.clone()), key)),
+                        Box::new(value),
+                    ));
+                }
+            }
+        }
+        if lifted.is_empty() {
+            continue;
+        }
+        changed = true;
+        let mut conj = where_clause.take();
+        for pred in lifted {
+            conj = Some(match conj {
+                None => pred,
+                Some(acc) => Expr::Binary(BinOp::And, Box::new(acc), Box::new(pred)),
+            });
+        }
+        *where_clause = conj;
+    }
+    changed
+}
+
+/// Flatten an `AND` chain into conjuncts.
+fn conjuncts(e: Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary(BinOp::And, l, r) = e {
+        conjuncts(*l, out);
+        conjuncts(*r, out);
+    } else {
+        out.push(e);
+    }
+}
+
+fn rebuild_conj(parts: Vec<Expr>) -> Option<Expr> {
+    let mut it = parts.into_iter();
+    let first = it.next()?;
+    Some(it.fold(first, |acc, p| {
+        Expr::Binary(BinOp::And, Box::new(acc), Box::new(p))
+    }))
+}
+
+/// `MATCH (n) WHERE n.k = lit` → `MATCH (n {k: lit})` — the inverse of
+/// [`props_to_where`]. A conjunct moves only when its variable names a node
+/// pattern in the *same* clause that does not already constrain that key.
+fn where_to_props(sq: &mut SingleQuery) -> bool {
+    let mut changed = false;
+    for c in &mut sq.clauses {
+        let Clause::Match {
+            patterns,
+            where_clause,
+            ..
+        } = c
+        else {
+            continue;
+        };
+        let Some(w) = where_clause.take() else {
+            continue;
+        };
+        let mut parts = Vec::new();
+        conjuncts(w, &mut parts);
+        let mut kept = Vec::new();
+        for part in parts {
+            let mut moved = false;
+            if let Expr::Binary(BinOp::Eq, l, r) = &part {
+                if let (Expr::Property(base, key), lit) = (l.as_ref(), r.as_ref()) {
+                    if let Expr::Variable(v) = base.as_ref() {
+                        if movable_lit(lit) {
+                            if let Some(node) = find_node_pattern(patterns, v) {
+                                if !node.props.iter().any(|(k, _)| k == key) {
+                                    node.props.push((key.clone(), lit.clone()));
+                                    moved = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if moved {
+                changed = true;
+            } else {
+                kept.push(part);
+            }
+        }
+        *where_clause = rebuild_conj(kept);
+    }
+    changed
+}
+
+fn find_node_pattern<'a>(
+    patterns: &'a mut [PathPattern],
+    var: &str,
+) -> Option<&'a mut NodePattern> {
+    patterns
+        .iter_mut()
+        .filter(|p| p.shortest.is_none())
+        .flat_map(|p| std::iter::once(&mut p.start).chain(p.steps.iter_mut().map(|(_, n)| n)))
+        .find(|n| n.var.as_deref() == Some(var))
+}
+
+// ---------------------------------------------------------------------------
+// SplitMatch / MergeMatch
+// ---------------------------------------------------------------------------
+
+fn has_rel(p: &PathPattern) -> bool {
+    !p.steps.is_empty()
+}
+
+/// `MATCH p0, p1, … WHERE w` → `MATCH p0 MATCH p1, … WHERE w`.
+///
+/// Relationship-uniqueness (edge-isomorphic matching, Example 7) is scoped
+/// to a single `MATCH` clause, so the split is only safe when at most one
+/// side of the cut contains relationship patterns — then no uniqueness
+/// constraint crosses the new clause boundary.
+fn split_match(sq: &mut SingleQuery) -> bool {
+    for i in 0..sq.clauses.len() {
+        let Clause::Match {
+            optional: false,
+            patterns,
+            where_clause,
+        } = &sq.clauses[i]
+        else {
+            continue;
+        };
+        if patterns.len() < 2 {
+            continue;
+        }
+        let first_rel = has_rel(&patterns[0]);
+        let rest_rel = patterns[1..].iter().any(has_rel);
+        if first_rel && rest_rel {
+            continue;
+        }
+        let mut patterns = patterns.clone();
+        let where_clause = where_clause.clone();
+        let head = patterns.remove(0);
+        sq.clauses[i] = Clause::Match {
+            optional: false,
+            patterns: vec![head],
+            where_clause: None,
+        };
+        sq.clauses.insert(
+            i + 1,
+            Clause::Match {
+                optional: false,
+                patterns,
+                where_clause,
+            },
+        );
+        return true;
+    }
+    false
+}
+
+/// `MATCH p0 MATCH p1 WHERE w` → `MATCH p0, p1 WHERE w` — the inverse of
+/// [`split_match`], with the same uniqueness gate. The first clause must not
+/// carry a `WHERE` (merging would change which join stage it filters —
+/// equivalent for pure predicates, but keep the rule syntactic).
+fn merge_match(sq: &mut SingleQuery) -> bool {
+    for i in 0..sq.clauses.len().saturating_sub(1) {
+        let (a, b, w) = match (&sq.clauses[i], &sq.clauses[i + 1]) {
+            (
+                Clause::Match {
+                    optional: false,
+                    patterns: a,
+                    where_clause: None,
+                },
+                Clause::Match {
+                    optional: false,
+                    patterns: b,
+                    where_clause: w,
+                },
+            ) => (a.clone(), b.clone(), w.clone()),
+            _ => continue,
+        };
+        let a_rel = a.iter().any(has_rel);
+        let b_rel = b.iter().any(has_rel);
+        if a_rel && b_rel {
+            continue;
+        }
+        let mut patterns = a;
+        patterns.extend(b);
+        let where_clause = w;
+        sq.clauses[i] = Clause::Match {
+            optional: false,
+            patterns,
+            where_clause,
+        };
+        sq.clauses.remove(i + 1);
+        return true;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// RenameVars
+// ---------------------------------------------------------------------------
+
+/// Capture-avoiding α-renaming: every bound variable `v` becomes `v_mm`,
+/// consistently across binders and uses. The final `RETURN` first receives
+/// explicit aliases carrying the *original* column names, so the observable
+/// table header is unchanged.
+fn rename_vars(sq: &mut SingleQuery) -> bool {
+    let mut bound = std::collections::BTreeSet::new();
+    collect_bound(sq, &mut bound);
+    if bound.is_empty() {
+        return false;
+    }
+    // Names mentioned anywhere (bound or free): collision + eligibility check.
+    let mut mentioned = bound.clone();
+    visit_exprs(sq, &mut |e| {
+        if let Expr::Variable(v) = e {
+            mentioned.insert(v.clone());
+        }
+    });
+    if mentioned.iter().any(|n| n.ends_with("_mm")) {
+        return false;
+    }
+    // The final RETURN's aliases are terminal: they only name output columns
+    // (and resolve ORDER BY with alias precedence). Pin them before renaming;
+    // bail on `RETURN *` (no per-item handle on the column list) and on a
+    // pre-existing alias that shadows a bound variable (renaming would flip
+    // ORDER BY resolution from alias to source).
+    if let Some(Clause::Return(p)) = sq.clauses.last_mut() {
+        let ProjectionItems::Items(items) = &mut p.items else {
+            return false;
+        };
+        for item in items.iter_mut() {
+            match &item.alias {
+                Some(a) if bound.contains(a) => return false,
+                Some(_) => {}
+                None => {
+                    item.alias = Some(match &item.expr {
+                        Expr::Variable(v) => v.clone(),
+                        other => print_expr(other),
+                    });
+                }
+            }
+        }
+    }
+    let rename = |name: &mut String| {
+        if bound.contains(name.as_str()) {
+            name.push_str("_mm");
+        }
+    };
+    rename_in_single(sq, &rename);
+    true
+}
+
+fn collect_bound(sq: &SingleQuery, out: &mut std::collections::BTreeSet<String>) {
+    fn pattern_vars(p: &PathPattern, out: &mut std::collections::BTreeSet<String>) {
+        if let Some(v) = &p.var {
+            out.insert(v.clone());
+        }
+        if let Some(v) = &p.start.var {
+            out.insert(v.clone());
+        }
+        for (rel, node) in &p.steps {
+            if let Some(v) = &rel.var {
+                out.insert(v.clone());
+            }
+            if let Some(v) = &node.var {
+                out.insert(v.clone());
+            }
+        }
+    }
+    fn clause_bound(c: &Clause, last: bool, out: &mut std::collections::BTreeSet<String>) {
+        match c {
+            Clause::Match { patterns, .. }
+            | Clause::Create { patterns }
+            | Clause::Merge { patterns, .. } => {
+                for p in patterns {
+                    pattern_vars(p, out);
+                }
+            }
+            Clause::Unwind { alias, .. } => {
+                out.insert(alias.clone());
+            }
+            Clause::Foreach { var, body, .. } => {
+                out.insert(var.clone());
+                for b in body {
+                    clause_bound(b, false, out);
+                }
+            }
+            // WITH aliases bind downstream; final-RETURN aliases are
+            // terminal column names, handled separately.
+            Clause::With(p) => {
+                let (ProjectionItems::Items(items) | ProjectionItems::Star { extra: items }) =
+                    &p.items;
+                for item in items {
+                    if let Some(a) = &item.alias {
+                        out.insert(a.clone());
+                    }
+                }
+            }
+            Clause::Return(p) if !last => {
+                let (ProjectionItems::Items(items) | ProjectionItems::Star { extra: items }) =
+                    &p.items;
+                for item in items {
+                    if let Some(a) = &item.alias {
+                        out.insert(a.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let n = sq.clauses.len();
+    for (i, c) in sq.clauses.iter().enumerate() {
+        clause_bound(c, i + 1 == n, out);
+    }
+    // Expression-local binders participate too: renaming them together with
+    // same-named outer variables keeps the renaming a uniform substitution.
+    visit_exprs(sq, &mut |e| match e {
+        Expr::ListComprehension { var, .. } | Expr::Quantifier { var, .. } => {
+            out.insert(var.clone());
+        }
+        Expr::Reduce { acc, var, .. } => {
+            out.insert(acc.clone());
+            out.insert(var.clone());
+        }
+        Expr::PatternPredicate(p) => {
+            pattern_vars(p, out);
+        }
+        _ => {}
+    });
+}
+
+/// Apply `rename` to every binder and variable occurrence, except the alias
+/// strings of the final `RETURN` (pinned by [`rename_vars`]).
+fn rename_in_single(sq: &mut SingleQuery, rename: &impl Fn(&mut String)) {
+    let n = sq.clauses.len();
+    for (i, c) in sq.clauses.iter_mut().enumerate() {
+        rename_in_clause(c, i + 1 == n, rename);
+    }
+}
+
+fn rename_in_clause(c: &mut Clause, last: bool, rename: &impl Fn(&mut String)) {
+    let rename_pattern = |p: &mut PathPattern| {
+        if let Some(v) = &mut p.var {
+            rename(v);
+        }
+        if let Some(v) = &mut p.start.var {
+            rename(v);
+        }
+        for (_, e) in &mut p.start.props {
+            rename_in_expr(e, rename);
+        }
+        for (rel, node) in &mut p.steps {
+            if let Some(v) = &mut rel.var {
+                rename(v);
+            }
+            for (_, e) in &mut rel.props {
+                rename_in_expr(e, rename);
+            }
+            if let Some(v) = &mut node.var {
+                rename(v);
+            }
+            for (_, e) in &mut node.props {
+                rename_in_expr(e, rename);
+            }
+        }
+    };
+    let rename_set_items = |items: &mut Vec<SetItem>| {
+        for item in items {
+            match item {
+                SetItem::Property { target, value, .. } => {
+                    rename_in_expr(target, rename);
+                    rename_in_expr(value, rename);
+                }
+                SetItem::Replace { target, value } | SetItem::MergeProps { target, value } => {
+                    rename(target);
+                    rename_in_expr(value, rename);
+                }
+                SetItem::Labels { target, .. } => rename(target),
+            }
+        }
+    };
+    let rename_projection = |p: &mut Projection, keep_aliases: bool| {
+        let (ProjectionItems::Items(items) | ProjectionItems::Star { extra: items }) = &mut p.items;
+        let mut cols = std::collections::BTreeSet::new();
+        for item in items {
+            rename_in_expr(&mut item.expr, rename);
+            if keep_aliases {
+                if let Some(a) = &item.alias {
+                    cols.insert(a.clone());
+                }
+            } else if let Some(a) = &mut item.alias {
+                rename(a);
+            }
+        }
+        // With pinned aliases (final RETURN), the output columns keep their
+        // original names, and under aggregation they are the *only* names
+        // ORDER BY can still see. References to them must stay unrenamed;
+        // everything else refers to the underlying (renamed) scope. Column
+        // references shadow scope ones in both the original and the
+        // rewrite, so resolution is unchanged either way.
+        let modifier_rename = |name: &mut String| {
+            if !cols.contains(name.as_str()) {
+                rename(name);
+            }
+        };
+        for s in &mut p.order_by {
+            rename_in_expr(&mut s.expr, &modifier_rename);
+        }
+        if let Some(e) = &mut p.skip {
+            rename_in_expr(e, &modifier_rename);
+        }
+        if let Some(e) = &mut p.limit {
+            rename_in_expr(e, &modifier_rename);
+        }
+        if let Some(e) = &mut p.where_clause {
+            rename_in_expr(e, &modifier_rename);
+        }
+    };
+    match c {
+        Clause::Match {
+            patterns,
+            where_clause,
+            ..
+        } => {
+            for p in patterns {
+                rename_pattern(p);
+            }
+            if let Some(e) = where_clause {
+                rename_in_expr(e, rename);
+            }
+        }
+        Clause::Create { patterns } => {
+            for p in patterns {
+                rename_pattern(p);
+            }
+        }
+        Clause::Merge {
+            patterns,
+            on_create,
+            on_match,
+            ..
+        } => {
+            for p in patterns {
+                rename_pattern(p);
+            }
+            rename_set_items(on_create);
+            rename_set_items(on_match);
+        }
+        Clause::Unwind { expr, alias } => {
+            rename_in_expr(expr, rename);
+            rename(alias);
+        }
+        Clause::With(p) => rename_projection(p, false),
+        Clause::Return(p) => rename_projection(p, last),
+        Clause::Set { items } => rename_set_items(items),
+        Clause::Remove { items } => {
+            for item in items {
+                match item {
+                    RemoveItem::Property { target, .. } => rename_in_expr(target, rename),
+                    RemoveItem::Labels { target, .. } => rename(target),
+                }
+            }
+        }
+        Clause::Delete { exprs, .. } => {
+            for e in exprs {
+                rename_in_expr(e, rename);
+            }
+        }
+        Clause::Foreach { var, list, body } => {
+            rename(var);
+            rename_in_expr(list, rename);
+            for b in body {
+                rename_in_clause(b, false, rename);
+            }
+        }
+        Clause::CreateIndex { .. } | Clause::DropIndex { .. } => {}
+    }
+}
+
+fn rename_in_expr(e: &mut Expr, rename: &impl Fn(&mut String)) {
+    match e {
+        Expr::Variable(v) => rename(v),
+        Expr::ListComprehension { var, .. } | Expr::Quantifier { var, .. } => rename(var),
+        Expr::Reduce { acc, var, .. } => {
+            rename(acc);
+            rename(var);
+        }
+        Expr::PatternPredicate(p) => {
+            if let Some(v) = &mut p.var {
+                rename(v);
+            }
+            if let Some(v) = &mut p.start.var {
+                rename(v);
+            }
+            for (rel, node) in &mut p.steps {
+                if let Some(v) = &mut rel.var {
+                    rename(v);
+                }
+                if let Some(v) = &mut node.var {
+                    rename(v);
+                }
+            }
+        }
+        _ => {}
+    }
+    for_each_child_mut(e, &mut |child| rename_in_expr(child, rename));
+}
+
+/// Mutable counterpart of [`Expr::for_each_child`].
+fn for_each_child_mut(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    match e {
+        Expr::Literal(_) | Expr::Variable(_) | Expr::Parameter(_) | Expr::CountStar => {}
+        Expr::Property(b, _) => f(b),
+        Expr::List(items) => items.iter_mut().for_each(f),
+        Expr::Map(entries) => entries.iter_mut().for_each(|(_, e)| f(e)),
+        Expr::Unary(_, e) => f(e),
+        Expr::Binary(_, l, r) => {
+            f(l);
+            f(r);
+        }
+        Expr::IsNull { expr, .. } => f(expr),
+        Expr::Index(b, i) => {
+            f(b);
+            f(i);
+        }
+        Expr::Slice { base, from, to } => {
+            f(base);
+            if let Some(e) = from {
+                f(e);
+            }
+            if let Some(e) = to {
+                f(e);
+            }
+        }
+        Expr::FnCall { args, .. } => args.iter_mut().for_each(f),
+        Expr::Case {
+            input,
+            branches,
+            else_branch,
+        } => {
+            if let Some(e) = input {
+                f(e);
+            }
+            for (w, t) in branches {
+                f(w);
+                f(t);
+            }
+            if let Some(e) = else_branch {
+                f(e);
+            }
+        }
+        Expr::HasLabels(b, _) => f(b),
+        Expr::ListComprehension {
+            list, filter, body, ..
+        } => {
+            f(list);
+            if let Some(e) = filter {
+                f(e);
+            }
+            if let Some(e) = body {
+                f(e);
+            }
+        }
+        Expr::Quantifier { list, pred, .. } => {
+            f(list);
+            f(pred);
+        }
+        Expr::Reduce {
+            init, list, body, ..
+        } => {
+            f(init);
+            f(list);
+            f(body);
+        }
+        Expr::PatternPredicate(p) => {
+            for (_, e) in &mut p.start.props {
+                f(e);
+            }
+            for (rel, node) in &mut p.steps {
+                for (_, e) in &mut rel.props {
+                    f(e);
+                }
+                for (_, e) in &mut node.props {
+                    f(e);
+                }
+            }
+        }
+    }
+}
+
+/// Visit every expression in a single query (top-level and nested).
+fn visit_exprs(sq: &SingleQuery, f: &mut impl FnMut(&Expr)) {
+    fn deep(e: &Expr, f: &mut impl FnMut(&Expr)) {
+        f(e);
+        e.for_each_child(&mut |c| deep(c, f));
+    }
+    fn pattern(p: &PathPattern, f: &mut impl FnMut(&Expr)) {
+        for (_, e) in &p.start.props {
+            deep(e, f);
+        }
+        for (rel, node) in &p.steps {
+            for (_, e) in &rel.props {
+                deep(e, f);
+            }
+            for (_, e) in &node.props {
+                deep(e, f);
+            }
+        }
+    }
+    fn set_items(items: &[SetItem], f: &mut impl FnMut(&Expr)) {
+        for item in items {
+            match item {
+                SetItem::Property { target, value, .. } => {
+                    deep(target, f);
+                    deep(value, f);
+                }
+                SetItem::Replace { value, .. } | SetItem::MergeProps { value, .. } => {
+                    deep(value, f)
+                }
+                SetItem::Labels { .. } => {}
+            }
+        }
+    }
+    fn clause(c: &Clause, f: &mut impl FnMut(&Expr)) {
+        match c {
+            Clause::Match {
+                patterns,
+                where_clause,
+                ..
+            } => {
+                for p in patterns {
+                    pattern(p, f);
+                }
+                if let Some(e) = where_clause {
+                    deep(e, f);
+                }
+            }
+            Clause::Create { patterns } => {
+                for p in patterns {
+                    pattern(p, f);
+                }
+            }
+            Clause::Merge {
+                patterns,
+                on_create,
+                on_match,
+                ..
+            } => {
+                for p in patterns {
+                    pattern(p, f);
+                }
+                set_items(on_create, f);
+                set_items(on_match, f);
+            }
+            Clause::Unwind { expr, .. } => deep(expr, f),
+            Clause::With(p) | Clause::Return(p) => {
+                let (ProjectionItems::Items(items) | ProjectionItems::Star { extra: items }) =
+                    &p.items;
+                for item in items {
+                    deep(&item.expr, f);
+                }
+                for s in &p.order_by {
+                    deep(&s.expr, f);
+                }
+                if let Some(e) = &p.skip {
+                    deep(e, f);
+                }
+                if let Some(e) = &p.limit {
+                    deep(e, f);
+                }
+                if let Some(e) = &p.where_clause {
+                    deep(e, f);
+                }
+            }
+            Clause::Set { items } => set_items(items, f),
+            Clause::Remove { items } => {
+                for item in items {
+                    if let RemoveItem::Property { target, .. } = item {
+                        deep(target, f);
+                    }
+                }
+            }
+            Clause::Delete { exprs, .. } => {
+                for e in exprs {
+                    deep(e, f);
+                }
+            }
+            Clause::Foreach { list, body, .. } => {
+                deep(list, f);
+                for b in body {
+                    clause(b, f);
+                }
+            }
+            Clause::CreateIndex { .. } | Clause::DropIndex { .. } => {}
+        }
+    }
+    for c in &sq.clauses {
+        clause(c, f);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// InsertWith
+// ---------------------------------------------------------------------------
+
+/// Insert a redundant `WITH *` after the first reading clause that binds at
+/// least one variable. `WITH *` re-projects every bound variable without
+/// filtering, deduplicating or reordering, so the pipeline is unchanged.
+fn insert_with(sq: &mut SingleQuery) -> bool {
+    for i in 0..sq.clauses.len() {
+        let binds = match &sq.clauses[i] {
+            Clause::Match { patterns, .. } => patterns.iter().any(|p| {
+                p.var.is_some()
+                    || p.start.var.is_some()
+                    || p.steps
+                        .iter()
+                        .any(|(rel, node)| rel.var.is_some() || node.var.is_some())
+            }),
+            Clause::Unwind { .. } => true,
+            _ => false,
+        };
+        if !binds {
+            continue;
+        }
+        if matches!(sq.clauses.get(i + 1), Some(Clause::With(p)) if p.items == ProjectionItems::Star { extra: vec![] })
+        {
+            return false; // already there; inserting again is not a change worth testing
+        }
+        sq.clauses.insert(i + 1, Clause::With(Projection::star()));
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_parser::{parse, print_query};
+
+    fn rw(src: &str, dialect: Dialect, rule: Rule) -> Option<String> {
+        let q = parse(src).unwrap();
+        rewrite(&q, dialect, rule).map(|q| print_query(&q))
+    }
+
+    #[test]
+    fn reverse_two_hop() {
+        let out = rw(
+            "MATCH (a:A)-[r:T]->(b:B) RETURN a",
+            Dialect::Revised,
+            Rule::ReversePatterns,
+        )
+        .unwrap();
+        assert_eq!(out, "MATCH (b:B)<-[r:T]-(a:A) RETURN a");
+    }
+
+    #[test]
+    fn reverse_skips_path_vars_and_varlength_vars() {
+        assert!(rw(
+            "MATCH p = (a)-[:T]->(b) RETURN length(p)",
+            Dialect::Revised,
+            Rule::ReversePatterns
+        )
+        .is_none());
+        assert!(rw(
+            "MATCH (a)-[rs:T*1..2]->(b) RETURN b",
+            Dialect::Revised,
+            Rule::ReversePatterns
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn commute_where() {
+        let out = rw(
+            "MATCH (a) WHERE a.k = 1 AND a.id > 2 RETURN a",
+            Dialect::Revised,
+            Rule::CommuteConjuncts,
+        )
+        .unwrap();
+        assert_eq!(out, "MATCH (a) WHERE (a.id > 2) AND (a.k = 1) RETURN a");
+    }
+
+    #[test]
+    fn props_where_inverses() {
+        let out = rw(
+            "MATCH (a:A {k: 1, name: 'x'}) RETURN a",
+            Dialect::Revised,
+            Rule::PropsToWhere,
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            "MATCH (a:A) WHERE (a.k = 1) AND (a.name = 'x') RETURN a"
+        );
+        let back = rw(&out, Dialect::Revised, Rule::WhereToProps).unwrap();
+        assert_eq!(back, "MATCH (a:A {k: 1, name: 'x'}) RETURN a");
+    }
+
+    #[test]
+    fn split_and_merge_match() {
+        let out = rw(
+            "MATCH (a:A), (b:B)-[r:T]->(c) WHERE a.k = 1 RETURN a, c",
+            Dialect::Revised,
+            Rule::SplitMatch,
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            "MATCH (a:A) MATCH (b:B)-[r:T]->(c) WHERE a.k = 1 RETURN a, c"
+        );
+        let back = rw(&out, Dialect::Revised, Rule::MergeMatch).unwrap();
+        assert_eq!(
+            back,
+            "MATCH (a:A), (b:B)-[r:T]->(c) WHERE a.k = 1 RETURN a, c"
+        );
+        // Two rel-bearing patterns: uniqueness is clause-wide, refuse.
+        assert!(rw(
+            "MATCH (a)-[r:T]->(b), (c)-[s:T]->(d) RETURN a",
+            Dialect::Revised,
+            Rule::SplitMatch
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn rename_preserves_columns() {
+        let out = rw(
+            "MATCH (a:A) WITH a.k AS k RETURN k, k + 1",
+            Dialect::Revised,
+            Rule::RenameVars,
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            "MATCH (a_mm:A) WITH a_mm.k AS k_mm RETURN k_mm AS k, k_mm + 1 AS `k + 1`"
+        );
+    }
+
+    #[test]
+    fn rename_bails_on_star_and_alias_shadow() {
+        assert!(rw("MATCH (a) RETURN *", Dialect::Revised, Rule::RenameVars).is_none());
+        assert!(rw(
+            "MATCH (a), (b) RETURN b.k AS a ORDER BY a",
+            Dialect::Revised,
+            Rule::RenameVars
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn insert_with_after_first_binding_clause() {
+        let out = rw(
+            "MATCH (a:A) MATCH (b:B) RETURN a, b",
+            Dialect::Revised,
+            Rule::InsertWith,
+        )
+        .unwrap();
+        assert_eq!(out, "MATCH (a:A) WITH * MATCH (b:B) RETURN a, b");
+        assert!(rw(
+            "MATCH ()-[:T]->() RETURN 1",
+            Dialect::Revised,
+            Rule::InsertWith
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn rewrites_validate_against_dialect() {
+        // In Cypher 9 a WITH between update and RETURN is demanded by the
+        // grammar; whatever the rules produce must still validate.
+        let q = parse("MATCH (a:A) SET a.k = 1").unwrap();
+        for r in rewrites(&q, Dialect::Cypher9) {
+            assert!(validate(&r.query, Dialect::Cypher9).is_ok());
+        }
+    }
+
+    #[test]
+    fn order_sensitivity_classification() {
+        let q = parse("MATCH (a) RETURN a.k LIMIT 2").unwrap();
+        assert!(order_sensitive(&q, Dialect::Revised));
+        let q = parse("MATCH (a) RETURN collect(a.k) AS ks").unwrap();
+        assert!(order_sensitive(&q, Dialect::Revised));
+        let q = parse("MATCH (a) SET a.k = 1").unwrap();
+        assert!(order_sensitive(&q, Dialect::Cypher9));
+        assert!(!order_sensitive(&q, Dialect::Revised));
+        let q = parse("MATCH (a) RETURN a.k ORDER BY a.k").unwrap();
+        assert!(!order_sensitive(&q, Dialect::Revised));
+    }
+}

@@ -547,7 +547,11 @@ fn expand_items(ctx: &ExecCtx, proj: &Projection, is_with: bool) -> Result<Vec<(
             for col in ctx.table.columns() {
                 out.push((col.clone(), Expr::Variable(col)));
             }
-            if out.is_empty() && extra.is_empty() {
+            // Only a *populated* table with zero columns means the scope
+            // is provably empty (the unit table at query start). A table
+            // with zero rows merely lost its column set — `MATCH … WITH *`
+            // over no matches must yield zero rows, not an error.
+            if out.is_empty() && extra.is_empty() && !ctx.table.is_empty() {
                 return Err(EvalError::Dialect(ParseError::no_span(
                     "RETURN * with no variables in scope",
                 )));

@@ -1,0 +1,163 @@
+//! `cypher-fuzz` — deterministic fuzz campaigns from the command line.
+//!
+//! ```text
+//! cypher-fuzz run --seed 42 --budget 500 [--stmts 6] [--out DIR]
+//!                 [--mutate drop-replay-tail|reverse-order] [--no-metamorphic]
+//! cypher-fuzz gen --seed 42 --count 3 [--dialect cypher9|revised]
+//! cypher-fuzz replay FILE...
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage error. Same seed ⇒
+//! byte-identical stdout.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cypher_fuzz::oracle::{replay_reproducer, run_campaign, CampaignConfig, Mutation};
+use cypher_fuzz::{ScriptGen, SplitMix64};
+use cypher_parser::Dialect;
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: cypher-fuzz run [--seed N] [--budget N] [--stmts N] [--out DIR] \
+         [--mutate drop-replay-tail|reverse-order] [--no-metamorphic]\n\
+         \x20      cypher-fuzz gen [--seed N] [--count N] [--dialect cypher9|revised]\n\
+         \x20      cypher-fuzz replay FILE..."
+    );
+    ExitCode::from(2)
+}
+
+fn parse_num(
+    args: &mut std::iter::Peekable<std::vec::IntoIter<String>>,
+    flag: &str,
+) -> Option<u64> {
+    args.next()?.parse().ok().or_else(|| {
+        eprintln!("error: {flag} expects a number");
+        None
+    })
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage("missing subcommand");
+    }
+    let cmd = args.remove(0);
+    let mut args = args.into_iter().peekable();
+    match cmd.as_str() {
+        "run" => {
+            let mut cfg = CampaignConfig {
+                out_dir: Some(PathBuf::from("target/fuzz-findings")),
+                ..CampaignConfig::default()
+            };
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--seed" => match parse_num(&mut args, "--seed") {
+                        Some(v) => cfg.seed = v,
+                        None => return ExitCode::from(2),
+                    },
+                    "--budget" => match parse_num(&mut args, "--budget") {
+                        Some(v) => cfg.budget = v as usize,
+                        None => return ExitCode::from(2),
+                    },
+                    "--stmts" => match parse_num(&mut args, "--stmts") {
+                        Some(v) => cfg.stmts_per_script = v as usize,
+                        None => return ExitCode::from(2),
+                    },
+                    "--out" => match args.next() {
+                        Some(dir) => cfg.out_dir = Some(PathBuf::from(dir)),
+                        None => return usage("--out expects a directory"),
+                    },
+                    "--mutate" => match args.next().as_deref().and_then(Mutation::from_name) {
+                        Some(m) => cfg.mutation = Some(m),
+                        None => return usage("--mutate expects drop-replay-tail or reverse-order"),
+                    },
+                    "--no-metamorphic" => cfg.metamorphic = false,
+                    other => return usage(&format!("unknown flag {other}")),
+                }
+            }
+            let report = run_campaign(&cfg);
+            print!("{}", report.summary());
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                if let Some(dir) = &cfg.out_dir {
+                    eprintln!("reproducers written to {}", dir.display());
+                }
+                ExitCode::from(1)
+            }
+        }
+        "gen" => {
+            let mut seed = 42u64;
+            let mut count = 1usize;
+            let mut dialect = None;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--seed" => match parse_num(&mut args, "--seed") {
+                        Some(v) => seed = v,
+                        None => return ExitCode::from(2),
+                    },
+                    "--count" => match parse_num(&mut args, "--count") {
+                        Some(v) => count = v as usize,
+                        None => return ExitCode::from(2),
+                    },
+                    "--dialect" => match args.next().as_deref() {
+                        Some("cypher9") => dialect = Some(Dialect::Cypher9),
+                        Some("revised") => dialect = Some(Dialect::Revised),
+                        _ => return usage("--dialect expects cypher9 or revised"),
+                    },
+                    other => return usage(&format!("unknown flag {other}")),
+                }
+            }
+            let mut rng = SplitMix64::new(seed);
+            for idx in 0..count {
+                let d = dialect.unwrap_or(if idx % 2 == 0 {
+                    Dialect::Revised
+                } else {
+                    Dialect::Cypher9
+                });
+                let mut script_rng = rng.fork(idx as u64);
+                let script = ScriptGen.script(&mut script_rng, d, 6);
+                println!("// script {idx} ({d:?})");
+                for stmt in &script.stmts {
+                    println!("{stmt};");
+                }
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        "replay" => {
+            let files: Vec<String> = args.collect();
+            if files.is_empty() {
+                return usage("replay expects at least one file");
+            }
+            let cfg = CampaignConfig::default();
+            let mut failed = false;
+            for file in &files {
+                let text = match std::fs::read_to_string(file) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: cannot read {file}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let findings = replay_reproducer(&text, &cfg);
+                if findings.is_empty() {
+                    println!("{file}: clean");
+                } else {
+                    failed = true;
+                    for (oracle, detail) in findings {
+                        println!("{file}: [{oracle}] {detail}");
+                    }
+                }
+            }
+            if failed {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        other => usage(&format!("unknown subcommand {other}")),
+    }
+}

@@ -1,0 +1,33 @@
+//! # cypher-fuzz — deterministic grammar fuzzing + metamorphic oracles
+//!
+//! A self-contained adversarial-input pipeline for the Cypher engines:
+//!
+//! * [`rng`] — a seeded splitmix64 PRNG (no external crates; the build
+//!   environment is offline, which rules out libFuzzer/cargo-fuzz);
+//! * [`gen`] — a weighted grammar-based generator producing well-typed
+//!   read+update scripts in **both** dialects, as ASTs printed through the
+//!   parser's canonical pretty-printer (so every generated statement
+//!   round-trips by construction);
+//! * [`oracle`] — the campaign driver: every script (and every
+//!   metamorphic rewrite of each of its statements, via
+//!   `cypher_analysis::rewrite`) runs through the repo's differential
+//!   oracle pairs — planner vs naive, lint `Warn` vs `Off`, parallel vs
+//!   serial morsels, WAL recovery, and statement-shipping replica replay —
+//!   under `ExecLimits` budgets, with per-statement atomicity checks;
+//! * [`minimize`] — statement- then clause-level delta debugging of any
+//!   finding, emitted as a `.cypher` reproducer.
+//!
+//! Same seed ⇒ byte-identical campaign: the generator derives all choices
+//! from the seed, reports contain no timestamps or paths, and the engines
+//! are deterministic.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod gen;
+pub mod minimize;
+pub mod oracle;
+pub mod rng;
+
+pub use gen::{Script, ScriptGen};
+pub use oracle::{run_campaign, CampaignConfig, Finding, Mutation, Report};
+pub use rng::SplitMix64;

@@ -1,0 +1,264 @@
+//! Clause-level delta debugging.
+//!
+//! Two greedy phases, both bounded by a global probe budget so a
+//! pathological finding cannot stall a campaign:
+//!
+//! 1. **statement removal** — repeatedly drop whole statements (scanning
+//!    from the end, where the generated statements live; the setup
+//!    `CREATE` usually has to stay) while the finding persists;
+//! 2. **clause simplification** — within each surviving statement, try
+//!    dropping clauses, `WHERE`s, `ON CREATE`/`ON MATCH` actions,
+//!    `ORDER BY`/`SKIP`/`LIMIT`/`DISTINCT` modifiers, surplus patterns,
+//!    projection items and `UNION` arms. Every candidate is re-validated
+//!    against the dialect and re-printed before probing.
+//!
+//! The probe callback re-runs the *original oracle* on the candidate; a
+//! candidate is kept only if the same oracle still fires.
+
+use cypher_parser::ast::{Clause, Projection, ProjectionItems, Query};
+use cypher_parser::{parse, print_query, validate, Dialect};
+
+/// Probe budget: maximum number of oracle re-runs per finding.
+const MAX_PROBES: usize = 200;
+
+/// Minimize `stmts` under `still_fails` (which must be `true` for the
+/// input). Returns the smallest variant found.
+pub fn minimize(
+    stmts: &[String],
+    dialect: Dialect,
+    still_fails: &mut impl FnMut(&[String]) -> bool,
+) -> Vec<String> {
+    let mut best: Vec<String> = stmts.to_vec();
+    let mut probes = 0usize;
+    let mut probe = |candidate: &[String], probes: &mut usize| -> bool {
+        if *probes >= MAX_PROBES {
+            return false;
+        }
+        *probes += 1;
+        still_fails(candidate)
+    };
+
+    // Phase 1: drop whole statements, end first.
+    let mut changed = true;
+    while changed && probes < MAX_PROBES {
+        changed = false;
+        for i in (0..best.len()).rev() {
+            if best.len() == 1 {
+                break;
+            }
+            let mut candidate = best.clone();
+            candidate.remove(i);
+            if probe(&candidate, &mut probes) {
+                best = candidate;
+                changed = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: simplify clauses inside each statement.
+    let mut changed = true;
+    while changed && probes < MAX_PROBES {
+        changed = false;
+        'stmts: for i in 0..best.len() {
+            let Ok(query) = parse(&best[i]) else { continue };
+            for variant in simplifications(&query) {
+                if validate(&variant, dialect).is_err() {
+                    continue;
+                }
+                let printed = print_query(&variant);
+                if printed == best[i] {
+                    continue;
+                }
+                let mut candidate = best.clone();
+                candidate[i] = printed;
+                if probe(&candidate, &mut probes) {
+                    best = candidate;
+                    changed = true;
+                    break 'stmts;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// All one-step structural simplifications of a query.
+fn simplifications(q: &Query) -> Vec<Query> {
+    let mut out = Vec::new();
+
+    // Drop a UNION arm.
+    for i in 0..q.unions.len() {
+        let mut v = q.clone();
+        v.unions.remove(i);
+        out.push(v);
+    }
+    if !q.unions.is_empty() {
+        // Keep only the first single query.
+        let mut v = q.clone();
+        v.unions.clear();
+        out.push(v);
+    }
+
+    // Drop one clause.
+    let n = q.first.clauses.len();
+    if n > 1 {
+        for i in 0..n {
+            let mut v = q.clone();
+            v.first.clauses.remove(i);
+            v.first.clause_spans.clear();
+            out.push(v);
+        }
+    }
+
+    // Per-clause simplifications.
+    for i in 0..n {
+        for c in simplify_clause(&q.first.clauses[i]) {
+            let mut v = q.clone();
+            v.first.clauses[i] = c;
+            v.first.clause_spans.clear();
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn simplify_clause(c: &Clause) -> Vec<Clause> {
+    let mut out = Vec::new();
+    match c {
+        Clause::Match {
+            optional,
+            patterns,
+            where_clause,
+        } => {
+            if where_clause.is_some() {
+                out.push(Clause::Match {
+                    optional: *optional,
+                    patterns: patterns.clone(),
+                    where_clause: None,
+                });
+            }
+            if patterns.len() > 1 {
+                for i in 0..patterns.len() {
+                    let mut p = patterns.clone();
+                    p.remove(i);
+                    out.push(Clause::Match {
+                        optional: *optional,
+                        patterns: p,
+                        where_clause: where_clause.clone(),
+                    });
+                }
+            }
+            if *optional {
+                out.push(Clause::Match {
+                    optional: false,
+                    patterns: patterns.clone(),
+                    where_clause: where_clause.clone(),
+                });
+            }
+        }
+        Clause::With(p) => {
+            for s in simplify_projection(p) {
+                out.push(Clause::With(s));
+            }
+        }
+        Clause::Return(p) => {
+            for s in simplify_projection(p) {
+                out.push(Clause::Return(s));
+            }
+        }
+        Clause::Merge {
+            kind,
+            patterns,
+            on_create,
+            on_match,
+        } if !on_create.is_empty() || !on_match.is_empty() => {
+            out.push(Clause::Merge {
+                kind: *kind,
+                patterns: patterns.clone(),
+                on_create: vec![],
+                on_match: vec![],
+            });
+        }
+        Clause::Create { patterns } if patterns.len() > 1 => {
+            for i in 0..patterns.len() {
+                let mut p = patterns.clone();
+                p.remove(i);
+                out.push(Clause::Create { patterns: p });
+            }
+        }
+        Clause::Set { items } if items.len() > 1 => {
+            for i in 0..items.len() {
+                let mut it = items.clone();
+                it.remove(i);
+                out.push(Clause::Set { items: it });
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+fn simplify_projection(p: &Projection) -> Vec<Projection> {
+    let mut out = Vec::new();
+    if !p.order_by.is_empty() || p.skip.is_some() || p.limit.is_some() {
+        let mut s = p.clone();
+        s.order_by.clear();
+        s.skip = None;
+        s.limit = None;
+        out.push(s);
+    }
+    if p.distinct {
+        let mut s = p.clone();
+        s.distinct = false;
+        out.push(s);
+    }
+    if p.where_clause.is_some() {
+        let mut s = p.clone();
+        s.where_clause = None;
+        out.push(s);
+    }
+    if let ProjectionItems::Items(items) = &p.items {
+        if items.len() > 1 {
+            for i in 0..items.len() {
+                let mut s = p.clone();
+                let mut it = items.clone();
+                it.remove(i);
+                s.items = ProjectionItems::Items(it);
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_to_the_culprit() {
+        let stmts: Vec<String> = vec![
+            "CREATE (:A {id: 1})".into(),
+            "MATCH (n:A) RETURN n.id AS id".into(),
+            "CREATE (:B {id: 2})".into(),
+            "MATCH (b:B) WHERE b.id = 2 RETURN b.id AS x ORDER BY x LIMIT 3".into(),
+        ];
+        // Pretend the finding needs the last statement to mention :B.
+        let mut check = |c: &[String]| c.iter().any(|s| s.contains("MATCH (b:B)"));
+        let min = minimize(&stmts, Dialect::Revised, &mut check);
+        assert_eq!(min.len(), 1);
+        assert!(min[0].starts_with("MATCH (b:B)"));
+        // Clause-level phase stripped the modifiers.
+        assert!(!min[0].contains("LIMIT"), "{}", min[0]);
+        assert!(!min[0].contains("ORDER BY"), "{}", min[0]);
+    }
+
+    #[test]
+    fn keeps_everything_when_all_needed() {
+        let stmts: Vec<String> = vec!["CREATE (:A)".into(), "MATCH (n) RETURN n.id AS i".into()];
+        let mut check = |c: &[String]| c.len() == 2;
+        let min = minimize(&stmts, Dialect::Revised, &mut check);
+        assert_eq!(min.len(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! End-to-end campaign tests: a healthy engine produces zero findings, a
+//! deliberately seeded engine mutation is caught, and equal seeds produce
+//! byte-identical reports.
+
+use cypher_fuzz::oracle::{run_campaign, CampaignConfig, Mutation};
+
+fn config(seed: u64, budget: usize) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        budget,
+        out_dir: None,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn clean_engine_produces_no_findings() {
+    let report = run_campaign(&config(7, 12));
+    assert_eq!(
+        report.findings.len(),
+        0,
+        "healthy oracles must agree:\n{}",
+        report.summary()
+    );
+    assert_eq!(report.scripts, 12);
+    assert!(report.statements > 0);
+    assert!(report.rewrites_checked > 0, "metamorphic pass must engage");
+}
+
+/// Reintroduces the PR 5 replication bug shape — a shipped statement lost
+/// from the tail of the commit log (mid-batch ack) — and demands the
+/// replica oracle catches it.
+#[test]
+fn dropped_replay_tail_is_caught() {
+    let mut cfg = config(42, 8);
+    cfg.mutation = Some(Mutation::DropReplayTail);
+    let report = run_campaign(&cfg);
+    assert!(
+        report.findings.iter().any(|f| f.oracle == "replica"),
+        "lost tail statement must surface as a replica divergence:\n{}",
+        report.summary()
+    );
+    // The minimizer must keep reproducers runnable and non-empty.
+    for f in &report.findings {
+        assert!(!f.minimized.is_empty());
+        assert!(f.minimized.len() <= f.script.len());
+    }
+}
+
+#[test]
+fn same_seed_is_byte_identical() {
+    let a = run_campaign(&config(99, 10));
+    let b = run_campaign(&config(99, 10));
+    assert_eq!(a.summary(), b.summary());
+    assert_eq!(a.scripts, b.scripts);
+    assert_eq!(a.statements, b.statements);
+    assert_eq!(a.rewrites_checked, b.rewrites_checked);
+}

@@ -1,0 +1,29 @@
+//! Replays every minimized reproducer in `tests/corpus/regressions/`
+//! through the *full* oracle set — including the WAL-recovery and replica
+//! pairs that need the storage layer. The in-core subset of the same
+//! corpus runs in `crates/core/tests/regression_corpus.rs`.
+
+use cypher_fuzz::oracle::{replay_reproducer, CampaignConfig};
+
+#[test]
+fn corpus_replays_clean_under_all_oracles() {
+    let dir =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus/regressions");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cypher"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "regression corpus is empty");
+
+    let cfg = CampaignConfig::default();
+    for path in paths {
+        let file = path.display();
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+        let findings = replay_reproducer(&text, &cfg);
+        assert!(findings.is_empty(), "{file} regressed: {:?}", findings);
+    }
+}

@@ -1364,6 +1364,14 @@ impl PropertyGraph {
                 // A node created after the savepoint was never visible
                 // before it; it is not a tombstone.
                 self.tomb_nodes.remove(&id);
+                // Rewind the allocator: undo runs newest-first, so the
+                // undone id is always the most recently allocated one.
+                // Without this a rolled-back statement permanently skips
+                // ids, and a replica replaying only committed statements
+                // allocates differently from the primary.
+                if id.0 + 1 == self.next_node {
+                    self.next_node = id.0;
+                }
             }
             UndoOp::CreateRel(id) => {
                 let Some(data) = self.rels.remove(&id) else {
@@ -1378,6 +1386,10 @@ impl PropertyGraph {
                 }
                 self.note_rel_removed(data.rel_type);
                 self.tomb_rels.remove(&id);
+                // See the CreateNode arm: keep replicas id-faithful.
+                if id.0 + 1 == self.next_rel {
+                    self.next_rel = id.0;
+                }
             }
             UndoOp::DeleteRel {
                 id,

@@ -89,10 +89,19 @@ clippy-storage:
     cargo clippy -p cypher-storage --offline -- -D warnings
 
 # Static analysis: clippy over the whole workspace, then the update-hazard
-# linter (W01-W05) over every shipped .cypher example.
+# linter (W01-W05) over every shipped .cypher example (legacy dialect).
 lint:
     cargo clippy --workspace --all-targets --offline -- -D warnings
-    cargo run --bin cypher-lint --offline -q -- examples/*.cypher
+    cargo run --bin cypher-lint --offline -q -- --dialect cypher9 examples/*.cypher
+
+# Deterministic differential + metamorphic fuzz campaign: generated
+# read/update scripts through every oracle pair (planner/naive, lint
+# on/off, serial/parallel, WAL recovery, replica replay) plus the
+# rewrite-pass equivalences. Findings are minimized and written to
+# target/fuzz-findings/. Same seed => byte-identical output.
+fuzz seed="42" budget="500":
+    cargo run -p cypher-fuzz --bin cypher-fuzz --release --offline -q -- \
+        run --seed {{seed}} --budget {{budget}} 2>/dev/null
 
 test:
     cargo test -q --offline

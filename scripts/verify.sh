@@ -55,7 +55,20 @@ run "sweep smoke" cargo run -p cypher-bench --bin bench --offline -q -- --sweep 
 
 # Static-analysis self-check: every shipped .cypher example must lint
 # clean (warnings allowed, error-severity diagnostics fail the build).
-run "cypher-lint (examples)" cargo run --bin cypher-lint --offline -q -- examples/*.cypher
+# The examples demonstrate the paper's *legacy* hazards, so they lint
+# under the Cypher 9 dialect.
+run "cypher-lint (examples)" cargo run --bin cypher-lint --offline -q -- --dialect cypher9 examples/*.cypher
+
+# Fuzz smoke: a fixed-seed, time-bounded differential campaign across all
+# oracle pairs (planner/naive, lint on/off, serial/parallel, WAL
+# recovery, replica replay, atomicity, panics) plus the metamorphic
+# rewrite pass. Zero findings expected; stderr is the Warn-engine's lint
+# noise. Full campaigns: `just fuzz [seed]`.
+fuzz_smoke() {
+    cargo run -p cypher-fuzz --bin cypher-fuzz --release --offline -q -- \
+        run --seed 42 --budget 60 2>/dev/null
+}
+run "fuzz smoke" fuzz_smoke
 
 # Server round trip: start cypher-serve on an ephemeral port, drive it
 # with a scripted cypher-client session (create/match/merge/delete plus a
@@ -281,7 +294,7 @@ if cargo clippy --version >/dev/null 2>&1; then
     # These crates additionally deny unwrap/expect in non-test code
     # (scoped #![deny] in their lib.rs); lint them on their own so a
     # workspace-level allow can never mask a regression.
-    run "clippy (unwrap ban)" cargo clippy -p cypher-storage -p cypher-parser -p cypher-graph -p cypher-core -p cypher-analysis -p cypher-server -p cypher-replication -p cypher-bench -p cypher-datagen --offline -- -D warnings
+    run "clippy (unwrap ban)" cargo clippy -p cypher-storage -p cypher-parser -p cypher-graph -p cypher-core -p cypher-analysis -p cypher-server -p cypher-replication -p cypher-bench -p cypher-datagen -p cypher-fuzz --offline -- -D warnings
 else
     skip "clippy" "clippy not installed"
 fi

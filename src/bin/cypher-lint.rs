@@ -12,7 +12,13 @@
 //! $ cypher-lint --dialect revised --deny-warnings migration.cypher
 //! $ echo "MATCH (n) DELETE n RETURN n.name" | cypher-lint -
 //! $ cypher-lint --format json hazards.cypher   # one JSON object per line
+//! $ cypher-lint --format json --seed 42 repro.cypher   # tag fuzz output
 //! ```
+//!
+//! The JSON object layout (fixed key order, byte-stable across runs) is
+//! documented in the README's "Lint JSON schema" section. `--seed N`
+//! fills the `seed` field so diagnostics over fuzz-generated input stay
+//! traceable to the campaign that produced it.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -25,9 +31,9 @@ enum Format {
     /// Caret-rendered diagnostics on stderr (the default).
     Text,
     /// One JSON object per diagnostic on stdout (JSON Lines), with
-    /// file, span (byte offsets + line/column), code, severity, message
-    /// and note fields. Parse errors are emitted in the same shape with
-    /// code `"PARSE"`.
+    /// file, span (byte offsets + line/column), code, severity, message,
+    /// note, source (the exact flagged byte range) and seed fields.
+    /// Parse errors are emitted in the same shape with code `"PARSE"`.
     Json,
 }
 
@@ -35,17 +41,21 @@ struct Options {
     dialect: Dialect,
     deny_warnings: bool,
     format: Format,
+    /// Fuzz-campaign seed echoed into every JSON object's `seed` field
+    /// (`null` when absent). Ignored by the text format.
+    seed: Option<u64>,
     inputs: Vec<String>,
 }
 
 const USAGE: &str = "usage: cypher-lint [--dialect legacy|revised] [--deny-warnings] \
-[--format text|json] <file.cypher>... | -";
+[--format text|json] [--seed N] <file.cypher>... | -";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         dialect: Dialect::Cypher9,
         deny_warnings: false,
         format: Format::Text,
+        seed: None,
         inputs: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -57,6 +67,10 @@ fn parse_args() -> Result<Options, String> {
                 _ => return Err("--dialect takes `legacy` or `revised`".to_owned()),
             },
             "--deny-warnings" => opts.deny_warnings = true,
+            "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => opts.seed = Some(s),
+                None => return Err("--seed takes a non-negative integer".to_owned()),
+            },
             "--format" => match args.next().as_deref() {
                 Some("text") => opts.format = Format::Text,
                 Some("json") => opts.format = Format::Json,
@@ -87,7 +101,12 @@ fn read_input(path: &str) -> std::io::Result<String> {
 
 /// A parse error in the same JSON-lines shape as a diagnostic, so a JSON
 /// consumer needs a single parser. Severity is `error`, code `PARSE`.
-fn parse_error_json(file: &str, source: &str, e: &cypher_parser::ParseError) -> String {
+fn parse_error_json(
+    file: &str,
+    source: &str,
+    e: &cypher_parser::ParseError,
+    seed: Option<u64>,
+) -> String {
     let span = match e.span {
         Some(s) => {
             let (line, col) = cypher_parser::line_col(source, s.start);
@@ -108,9 +127,29 @@ fn parse_error_json(file: &str, source: &str, e: &cypher_parser::ParseError) -> 
             c => vec![c],
         })
         .collect();
+    let snippet = match e.span.and_then(|s| source.get(s.start..s.end)) {
+        Some(text) => {
+            let esc: String = text
+                .chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    c => vec![c],
+                })
+                .collect();
+            format!("\"{esc}\"")
+        }
+        None => "null".to_owned(),
+    };
+    let seed = match seed {
+        Some(s) => s.to_string(),
+        None => "null".to_owned(),
+    };
     format!(
         "{{\"file\":\"{file}\",\"severity\":\"error\",\"code\":\"PARSE\",\
-         \"span\":{span},\"message\":\"{escaped}\",\"note\":null}}"
+         \"span\":{span},\"message\":\"{escaped}\",\"note\":null,\
+         \"source\":{snippet},\"seed\":{seed}}}"
     )
 }
 
@@ -149,7 +188,9 @@ fn main() -> ExitCode {
                 for d in &diags {
                     match opts.format {
                         Format::Text => eprintln!("{label}: {}", d.render(&text)),
-                        Format::Json => println!("{}", d.render_json(label, &text)),
+                        Format::Json => {
+                            println!("{}", d.render_json_tagged(label, &text, opts.seed))
+                        }
                     }
                 }
                 if max_severity(&diags).is_some_and(|s| s >= fail_at) {
@@ -159,7 +200,9 @@ fn main() -> ExitCode {
             Err(e) => {
                 match opts.format {
                     Format::Text => eprintln!("{label}: parse error: {}", e.render(&text)),
-                    Format::Json => println!("{}", parse_error_json(label, &text, &e)),
+                    Format::Json => {
+                        println!("{}", parse_error_json(label, &text, &e, opts.seed))
+                    }
                 }
                 broken = true;
             }

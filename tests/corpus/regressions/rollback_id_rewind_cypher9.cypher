@@ -1,0 +1,14 @@
+// cypher-fuzz reproducer (minimized)
+// seed: 42
+// script: 93
+// dialect: cypher9
+// oracle: replica
+// detail: replayed replica graph differs from primary
+//
+// The first statement fails (CREATE through the null binding produced by
+// the empty OPTIONAL MATCH) and rolls back — but before the fix the node
+// ids it allocated stayed consumed. The replica, which only replays
+// committed statements, allocated different ids for the MERGE below and
+// the canonical dumps diverged.
+OPTIONAL MATCH (n0 {id: $uid}) CREATE (n3:C {k: 9})-[:U]->({name: 6}) CREATE (n0)<-[r4:R]-(n2);
+MERGE (n1:B {id: 8});

@@ -1,0 +1,13 @@
+// cypher-fuzz reproducer (minimized)
+// seed: 42
+// script: 122
+// dialect: revised
+// oracle: replica
+// detail: replayed replica graph differs from primary
+//
+// Revised-dialect twin of rollback_id_rewind_cypher9: a savepoint
+// rollback along the way left speculatively allocated ids consumed on
+// the primary, so the replica's MERGE ALL below allocated different ids
+// and the canonical dumps diverged.
+CREATE (n0 {w: 'yy', k: 9})-[:U]->(n1:User) SET n0.id = n1.id, n0 = {id: 7, name: 8};
+MERGE ALL (n0:Product {id: 7})-[:U]->(n1:B {id: 4});

@@ -1,0 +1,17 @@
+// cypher-fuzz reproducer (minimized)
+// seed: 42
+// script: 0
+// dialect: revised
+// oracle: metamorphic:insert-with
+// detail: statement failed only under rewrite: dialect error: RETURN *
+//         with no variables in scope
+//
+// `WITH *` / `RETURN *` used to expand against the runtime table's
+// columns, which an empty table does not have: a MATCH with zero matches
+// made the very next `WITH *` error out instead of flowing zero rows
+// through. The star expansion must only reject a *populated* table with
+// no columns (the unit table of a query with no bindings in scope).
+MATCH (n {id: -1}) WITH * RETURN n.id AS id;
+CREATE (:Hit {id: 1});
+MATCH (n:Miss) WITH * RETURN count(*) AS c;
+MATCH (n:Hit) WITH * RETURN n.id AS id;
