@@ -25,6 +25,7 @@ mod write;
 
 pub use guard::ExecLimits;
 pub use merge::MergePolicy;
+pub use read::{named_projection_items, project_rows_unordered};
 
 pub(crate) use guard::ExecGuard;
 

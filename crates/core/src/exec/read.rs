@@ -569,6 +569,102 @@ fn expand_items(ctx: &ExecCtx, proj: &Projection, is_with: bool) -> Result<Vec<(
     Ok(out)
 }
 
+/// Column name and expression of each explicit projection item, using the
+/// same naming rules `RETURN` applies (alias ▸ variable name ▸ printed
+/// expression) and the same duplicate-column check. `RETURN *` is not
+/// handled: star expansion needs a table scope, which callers of this
+/// helper (the incremental view maintainer) do not have.
+pub fn named_projection_items(items: &[ProjectionItem]) -> Result<Vec<(String, Expr)>> {
+    let mut out: Vec<(String, Expr)> = Vec::with_capacity(items.len());
+    for item in items {
+        let name = match &item.alias {
+            Some(a) => a.clone(),
+            None => match &item.expr {
+                Expr::Variable(v) => v.clone(),
+                other => print_expr(other),
+            },
+        };
+        out.push((name, item.expr.clone()));
+    }
+    let mut sorted: Vec<&String> = out.iter().map(|(n, _)| n).collect();
+    sorted.sort();
+    sorted.dedup();
+    if sorted.len() != out.len() {
+        return Err(EvalError::Dialect(ParseError::no_span(
+            "duplicate column names in projection",
+        )));
+    }
+    Ok(out)
+}
+
+/// The order-insensitive core of `RETURN`, exposed for incremental view
+/// maintenance (`cypher-ivm`): evaluate pre-expanded projection items over
+/// `input` with implicit aggregate grouping and `DISTINCT`, exactly as
+/// [`projection`] does in its steps 2–3. `ORDER BY` / `SKIP` / `LIMIT` and
+/// the `WITH … WHERE` filter are deliberately out of scope — a maintainable
+/// view has none (order-sensitive clauses force fallback re-evaluation).
+///
+/// The byte-identity contract of DESIGN.md §15 rests on this sharing: the
+/// view maintainer re-projects its match memory through the very same
+/// grouping key order (`Value::global_cmp`), empty-group `count(*) = 0`
+/// row, representative-record evaluation and `DISTINCT` retention logic
+/// that a fresh full evaluation would use.
+pub fn project_rows_unordered(
+    eval_ctx: &EvalCtx,
+    items: &[(String, Expr)],
+    distinct: bool,
+    input: &[Record],
+) -> Result<Vec<Vec<Value>>> {
+    let has_agg = items.iter().any(|(_, e)| e.contains_aggregate());
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    if has_agg {
+        let key_items: Vec<&(String, Expr)> = items
+            .iter()
+            .filter(|(_, e)| !e.contains_aggregate())
+            .collect();
+        let mut groups: BTreeMap<Key, Vec<Record>> = BTreeMap::new();
+        for rec in input {
+            let key = Key(key_items
+                .iter()
+                .map(|(_, e)| eval(eval_ctx, rec, e))
+                .collect::<Result<Vec<_>>>()?);
+            groups.entry(key).or_default().push(rec.clone());
+        }
+        if groups.is_empty() && key_items.is_empty() {
+            groups.insert(Key(vec![]), vec![]);
+        }
+        for group in groups.values() {
+            let rep = group.first().cloned().unwrap_or_default();
+            let mut out = Vec::with_capacity(items.len());
+            for (_, expr) in items {
+                out.push(eval_in_group(eval_ctx, group, &rep, expr)?);
+            }
+            rows.push(out);
+        }
+    } else {
+        for rec in input {
+            let mut out = Vec::with_capacity(items.len());
+            for (_, expr) in items {
+                out.push(eval(eval_ctx, rec, expr)?);
+            }
+            rows.push(out);
+        }
+    }
+    if distinct {
+        let mut seen: Vec<Key> = Vec::new();
+        rows.retain(|row| {
+            let key = Key(row.clone());
+            if seen.contains(&key) {
+                false
+            } else {
+                seen.push(key);
+                true
+            }
+        });
+    }
+    Ok(rows)
+}
+
 fn count_arg(ctx: &ExecCtx, expr: &Expr, context: &'static str) -> Result<usize> {
     let v = eval(&ctx.eval_ctx(), &Record::new(), expr)?;
     match v {

@@ -51,8 +51,8 @@ pub mod table;
 
 pub use error::{EvalError, Result};
 pub use exec::{
-    Engine, EngineBuilder, ExecLimits, LintMode, MergePolicy, ProcessingOrder, QueryResult,
-    UpdateStats,
+    named_projection_items, project_rows_unordered, Engine, EngineBuilder, ExecLimits, LintMode,
+    MergePolicy, ProcessingOrder, QueryResult, UpdateStats,
 };
 pub use export::graph_to_cypher;
 pub use pattern::{MatchMode, Matcher};

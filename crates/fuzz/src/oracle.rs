@@ -11,6 +11,7 @@
 //! | `recovery` | in-memory graph vs WAL reopen | byte-identical canonical dump |
 //! | `replica` | primary vs statement-shipping replay | byte-identical canonical dump |
 //! | `atomicity` | dump before vs after every failed statement | byte-identical (rollback) |
+//! | `ivm` | incrementally maintained views vs fresh full evaluation | byte-identical sorted row multiset per registered view, after every statement |
 //! | `metamorphic:<rule>` | script vs semantics-preserving rewrite | sorted row multiset (reads), row count + stats (updates), later-statement error status, final graph isomorphism |
 //!
 //! A `panic` pseudo-oracle converts engine panics into findings. Budget
@@ -407,6 +408,112 @@ fn storage_oracles(
 }
 
 // ---------------------------------------------------------------------------
+// Incremental view maintenance oracle
+// ---------------------------------------------------------------------------
+
+/// Read queries registered as live views before the statement stream runs,
+/// chosen to cover the generator's vocabulary (labels `A`/`User`, rel type
+/// `T`, keys `id`/`k`/`w`) and all three maintenance shapes: plain
+/// projection, relationship pattern, and grouped aggregate.
+const IVM_VIEWS: &[&str] = &[
+    "MATCH (n:A) RETURN n.id, n.k",
+    "MATCH (a)-[r:T]->(b) RETURN a.id, b.id, r.w",
+    "MATCH (n:User) RETURN n.k, count(*)",
+];
+
+/// The view-maintenance differential oracle: run the script once with
+/// delta capture on, feed each statement's committed delta to a
+/// [`cypher_ivm::ViewManager`], and require every maintained view's rows
+/// to be byte-identical to a fresh full evaluation of the registered
+/// query after every statement. Error parity: a view may only be in the
+/// broken/parked state while the fresh evaluation errors too.
+fn ivm_oracle(stmts: &[String], dialect: Dialect, limits: ExecLimits) -> Vec<(String, String)> {
+    let mut findings = Vec::new();
+    let engine = engine_base(dialect, limits);
+    let mut g = PropertyGraph::new();
+    g.enable_delta_capture();
+    let mut mgr = cypher_ivm::ViewManager::new(&g, 0);
+    let mut ids = Vec::new();
+    for text in IVM_VIEWS {
+        match mgr.register(text, &engine) {
+            Ok(reg) => ids.push((reg.id, *text)),
+            Err(e) => findings.push((
+                "ivm".to_owned(),
+                format!("registration of {text:?} failed: {e}"),
+            )),
+        }
+    }
+    for (i, stmt) in stmts.iter().enumerate() {
+        let run = catch_unwind(AssertUnwindSafe(|| engine.run(&mut g, stmt)));
+        let Ok(outcome) = run else {
+            // Panics are the panic pseudo-oracle's finding; the graph is
+            // poisoned, so this oracle stops here.
+            return findings;
+        };
+        let ops = cypher_ivm::Delta::from_ops(g.delta(), &g);
+        g.clear_delta();
+        if outcome.is_err() && !ops.is_empty() {
+            findings.push((
+                "ivm".to_owned(),
+                format!(
+                    "statement {i} rolled back but leaked {} delta ops",
+                    ops.len()
+                ),
+            ));
+        }
+        if let Err(e) = mgr.apply_statement(i as u64 + 1, &ops) {
+            findings.push((
+                "ivm".to_owned(),
+                format!("statement {i}: delta replay diverged from shadow graph: {e}"),
+            ));
+            return findings;
+        }
+        for (id, text) in &ids {
+            let Some(maintained) = mgr.rows(*id) else {
+                continue;
+            };
+            // When the registered query errors on the current data (or
+            // trips the budget), the view parks on its previous rows by
+            // design: nothing to compare.
+            if let Ok(fresh) = engine.run_read(&g, text) {
+                if let Some(err) = mgr.last_error(*id) {
+                    findings.push((
+                        "ivm".to_owned(),
+                        format!(
+                            "statement {i}: view {text:?} is parked on `{err}` but a fresh \
+                             evaluation succeeds"
+                        ),
+                    ));
+                    continue;
+                }
+                let mut want: Vec<String> = Vec::new();
+                for row in &fresh.rows {
+                    want.push(format!("{row:?}"));
+                }
+                want.sort();
+                let mut got: Vec<String> = Vec::new();
+                for (row, n) in &maintained {
+                    for _ in 0..*n {
+                        got.push(format!("{row:?}"));
+                    }
+                }
+                got.sort();
+                if got != want {
+                    findings.push((
+                        "ivm".to_owned(),
+                        format!(
+                            "statement {i}: view {text:?} diverged from full evaluation: \
+                             maintained {got:?} vs fresh {want:?}"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
 // Metamorphic tier
 // ---------------------------------------------------------------------------
 
@@ -583,6 +690,8 @@ fn examine_script(
             cfg.mutation,
             tag,
         ));
+
+        findings.extend(ivm_oracle(stmts, dialect, cfg.limits));
 
         if cfg.metamorphic && cfg.mutation.is_none() {
             findings.extend(metamorphic_oracles(

@@ -1089,6 +1089,19 @@ impl PropertyGraph {
         } else {
             Some(value.clone())
         };
+        // A write that changes nothing is a complete no-op: no journal
+        // entry, no delta op (the contract is one `SetProp` per *changed*
+        // key — label ops already behave this way), no index churn.
+        {
+            let map = self.props_mut(entity)?;
+            let unchanged = match &new_for_index {
+                None => !map.contains_key(&key),
+                Some(v) => map.get(&key) == Some(v),
+            };
+            if unchanged {
+                return Ok(());
+            }
+        }
         let map = self.props_mut(entity)?;
         let old = if value.is_null() {
             map.remove(&key)

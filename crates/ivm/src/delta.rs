@@ -1,0 +1,197 @@
+//! Owned committed-statement deltas and their replay.
+//!
+//! [`Delta`] is the interner-free twin of
+//! [`DeltaOp`](cypher_graph::DeltaOp): labels, property keys and
+//! relationship types are owned strings, so a delta captured on the
+//! primary's graph replays against any other graph — exactly the contract
+//! the WAL's logical records already follow. [`apply_delta`] is the same
+//! replay discipline crash recovery uses: explicit ids, symbols interned on
+//! the fly, and any failure means the delta stream and the target graph
+//! disagree (corruption, not a recoverable condition).
+
+use cypher_graph::{
+    DeleteNodeMode, DeltaOp, EntityRef, NodeData, NodeId, PropertyGraph, PropertyMap, RelData,
+    RelId, Value,
+};
+
+/// Which entity a property change touched (ids only, no interner).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaEntity {
+    Node(u64),
+    Rel(u64),
+}
+
+/// One committed primitive mutation in execution order. The sequence for a
+/// statement is its *net* effect: rolled-back statements contribute nothing,
+/// and `DETACH DELETE` emits every `DeleteRel` before the `DeleteNode`
+/// (the ordering contract of DESIGN.md §15).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Delta {
+    CreateNode {
+        id: u64,
+        labels: Vec<String>,
+        props: Vec<(String, Value)>,
+    },
+    CreateRel {
+        id: u64,
+        src: u64,
+        tgt: u64,
+        rel_type: String,
+        props: Vec<(String, Value)>,
+    },
+    DeleteRel {
+        id: u64,
+    },
+    DeleteNode {
+        id: u64,
+    },
+    AddLabel {
+        node: u64,
+        label: String,
+    },
+    RemoveLabel {
+        node: u64,
+        label: String,
+    },
+    /// `value: None` removes the key (`SET n.k = null`).
+    SetProp {
+        entity: DeltaEntity,
+        key: String,
+        value: Option<Value>,
+    },
+}
+
+impl Delta {
+    /// Decouple a captured [`DeltaOp`] from `g`'s interner.
+    pub fn from_op(op: &DeltaOp, g: &PropertyGraph) -> Delta {
+        match op {
+            DeltaOp::CreateNode { id, labels, props } => Delta::CreateNode {
+                id: id.0,
+                labels: labels.iter().map(|&l| g.sym_str(l).to_owned()).collect(),
+                props: props
+                    .iter()
+                    .map(|(k, v)| (g.sym_str(*k).to_owned(), v.clone()))
+                    .collect(),
+            },
+            DeltaOp::CreateRel {
+                id,
+                src,
+                tgt,
+                rel_type,
+                props,
+            } => Delta::CreateRel {
+                id: id.0,
+                src: src.0,
+                tgt: tgt.0,
+                rel_type: g.sym_str(*rel_type).to_owned(),
+                props: props
+                    .iter()
+                    .map(|(k, v)| (g.sym_str(*k).to_owned(), v.clone()))
+                    .collect(),
+            },
+            DeltaOp::DeleteRel { id } => Delta::DeleteRel { id: id.0 },
+            DeltaOp::DeleteNode { id } => Delta::DeleteNode { id: id.0 },
+            DeltaOp::AddLabel { node, label } => Delta::AddLabel {
+                node: node.0,
+                label: g.sym_str(*label).to_owned(),
+            },
+            DeltaOp::RemoveLabel { node, label } => Delta::RemoveLabel {
+                node: node.0,
+                label: g.sym_str(*label).to_owned(),
+            },
+            DeltaOp::SetProp { entity, key, value } => Delta::SetProp {
+                entity: match entity {
+                    EntityRef::Node(n) => DeltaEntity::Node(n.0),
+                    EntityRef::Rel(r) => DeltaEntity::Rel(r.0),
+                },
+                key: g.sym_str(*key).to_owned(),
+                value: value.clone(),
+            },
+        }
+    }
+
+    /// Convert a whole captured statement delta.
+    pub fn from_ops(ops: &[DeltaOp], g: &PropertyGraph) -> Vec<Delta> {
+        ops.iter().map(|op| Delta::from_op(op, g)).collect()
+    }
+}
+
+/// Replay one committed op against `g`. Returns the relationship ids
+/// implicitly detached by a force `DeleteNode` — empty for every other op,
+/// and for revised-dialect deltas (which always emit their `DeleteRel`s
+/// explicitly first); a legacy engine's mid-statement force delete is the
+/// one case where rels die without their own delta op.
+pub fn apply_delta(g: &mut PropertyGraph, op: &Delta) -> Result<Vec<u64>, String> {
+    match op {
+        Delta::CreateNode { id, labels, props } => {
+            if g.contains_node(NodeId(*id)) {
+                return Err(format!("node {id} already exists"));
+            }
+            let mut data = NodeData::default();
+            for l in labels {
+                let s = g.sym(l);
+                data.labels.insert(s);
+            }
+            for (k, v) in props {
+                let s = g.sym(k);
+                data.props.insert(s, v.clone());
+            }
+            g.restore_node(NodeId(*id), data);
+        }
+        Delta::CreateRel {
+            id,
+            src,
+            tgt,
+            rel_type,
+            props,
+        } => {
+            if g.contains_rel(RelId(*id)) {
+                return Err(format!("relationship {id} already exists"));
+            }
+            let rel_type = g.sym(rel_type);
+            let mut map = PropertyMap::new();
+            for (k, v) in props {
+                let s = g.sym(k);
+                map.insert(s, v.clone());
+            }
+            g.restore_rel(
+                RelId(*id),
+                RelData {
+                    src: NodeId(*src),
+                    tgt: NodeId(*tgt),
+                    rel_type,
+                    props: map,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        Delta::DeleteRel { id } => {
+            g.delete_rel(RelId(*id)).map_err(|e| e.to_string())?;
+        }
+        Delta::DeleteNode { id } => {
+            let detached = g
+                .delete_node(NodeId(*id), DeleteNodeMode::Force)
+                .map_err(|e| e.to_string())?;
+            return Ok(detached.into_iter().map(|r| r.0).collect());
+        }
+        Delta::AddLabel { node, label } => {
+            let l = g.sym(label);
+            g.add_label(NodeId(*node), l).map_err(|e| e.to_string())?;
+        }
+        Delta::RemoveLabel { node, label } => {
+            let l = g.sym(label);
+            g.remove_label(NodeId(*node), l)
+                .map_err(|e| e.to_string())?;
+        }
+        Delta::SetProp { entity, key, value } => {
+            let k = g.sym(key);
+            let v = value.clone().unwrap_or(Value::Null);
+            let entity = match entity {
+                DeltaEntity::Node(n) => EntityRef::Node(NodeId(*n)),
+                DeltaEntity::Rel(r) => EntityRef::Rel(RelId(*r)),
+            };
+            g.set_prop(entity, k, v).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(Vec::new())
+}

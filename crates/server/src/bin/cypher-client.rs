@@ -30,18 +30,22 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use cypher_graph::Value;
 use cypher_server::{Client, HelloOptions};
 
 const USAGE: &str = "usage: cypher-client --addr HOST:PORT \
 [--dialect legacy|revised] [--lint off|warn|deny] [--rows N] [--writes N] [--time MS] \
+[--format text|json] \
 ( [--run STMT | --run-routed STMT | --expect-error STMT | --dump | --commit-log | --checkpoint \
 | --stats | --promote | --epoch N --fence ADDR]... \
-[--goodbye] [--shutdown] | --load N --threads T [--read-addr HOST:PORT] [--label NAME] \
-[--out FILE] )";
+[--goodbye] [--shutdown] \
+| --subscribe-query STMT [--deltas N] [--watch] \
+| --load N --threads T [--read-addr HOST:PORT] [--label NAME] [--out FILE] )";
 
 enum Action {
     Run(String),
@@ -57,6 +61,8 @@ enum Action {
     Fence(String, u64),
     Goodbye,
     Shutdown,
+    /// Terminal: register a live view and stream its delta batches.
+    SubscribeQuery(String),
 }
 
 struct Options {
@@ -66,6 +72,14 @@ struct Options {
     load: Option<(u64, u64, String)>,
     read_addr: Option<String>,
     label: Option<String>,
+    /// `--stats` output as one JSON object instead of text lines.
+    json: bool,
+    /// `--subscribe-query`: exit after this many data batches (0 = exit
+    /// right after the registration snapshot).
+    deltas: u64,
+    /// `--subscribe-query`: re-print the full maintained table after
+    /// every applied batch instead of the raw delta lines.
+    watch: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -76,6 +90,9 @@ fn parse_args() -> Result<Options, String> {
         load: None,
         read_addr: None,
         label: None,
+        json: false,
+        deltas: 0,
+        watch: false,
     };
     let mut load_n: Option<u64> = None;
     let mut threads: u64 = 4;
@@ -115,6 +132,18 @@ fn parse_args() -> Result<Options, String> {
             "--label" => opts.label = Some(next("--label")?),
             "--goodbye" => opts.actions.push(Action::Goodbye),
             "--shutdown" => opts.actions.push(Action::Shutdown),
+            "--subscribe-query" => opts
+                .actions
+                .push(Action::SubscribeQuery(next("--subscribe-query")?)),
+            "--deltas" => {
+                opts.deltas = parse_u64(&next("--deltas")?)?.ok_or("--deltas takes a number")?
+            }
+            "--watch" => opts.watch = true,
+            "--format" => match next("--format")?.as_str() {
+                "text" => opts.json = false,
+                "json" => opts.json = true,
+                _ => return Err("--format takes `text` or `json`".to_owned()),
+            },
             "--load" => load_n = parse_u64(&next("--load")?)?,
             "--threads" => {
                 threads = parse_u64(&next("--threads")?)?.ok_or("--threads takes a number")?
@@ -234,7 +263,11 @@ fn scripted(opts: Options) -> ExitCode {
             },
             Action::Stats => match client.stats() {
                 Ok(s) => {
-                    print_stats(&s);
+                    if opts.json {
+                        print_stats_json(&s);
+                    } else {
+                        print_stats(&s);
+                    }
                     false
                 }
                 Err(e) => {
@@ -279,6 +312,10 @@ fn scripted(opts: Options) -> ExitCode {
                 println!("server shutting down");
                 return ExitCode::SUCCESS;
             }
+            Action::SubscribeQuery(text) => {
+                // Terminal: the session becomes a delta stream.
+                return subscribe_stream(client, text, opts.deltas, opts.watch);
+            }
         };
         if failed {
             return ExitCode::from(1);
@@ -322,6 +359,213 @@ fn print_stats(s: &cypher_server::StatsOutcome) {
             s.commit_seq.saturating_sub(*sent),
             s.commit_seq.saturating_sub(*acked),
         );
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `--stats --format json`: one JSON object, stable key order (scripts
+/// diff this output — never reorder or rename keys).
+fn print_stats_json(s: &cypher_server::StatsOutcome) {
+    let role = match s.role {
+        0 => "primary",
+        1 => "replica",
+        2 => "fenced",
+        _ => "unknown",
+    };
+    let quorum = match s.quorum {
+        0 => "async",
+        1 => "in-sync",
+        2 => "degraded",
+        3 => "timed-out",
+        _ => "unknown",
+    };
+    let replicas: Vec<String> = s
+        .replicas
+        .iter()
+        .map(|(addr, sent, acked)| {
+            format!(
+                "{{ \"addr\": \"{}\", \"sent_seq\": {sent}, \"acked_seq\": {acked} }}",
+                json_escape(addr)
+            )
+        })
+        .collect();
+    let views: Vec<String> = s
+        .views
+        .iter()
+        .map(|v| {
+            format!(
+                "{{ \"id\": {}, \"query\": \"{}\", \"mode\": \"{}\", \"rows\": {}, \
+                 \"deltas\": {}, \"fallbacks\": {}, \"broken\": {} }}",
+                v.id,
+                json_escape(&v.query),
+                if v.incremental {
+                    "incremental"
+                } else {
+                    "fallback"
+                },
+                v.rows,
+                v.deltas,
+                v.fallbacks,
+                v.broken,
+            )
+        })
+        .collect();
+    println!(
+        "{{\n  \"role\": \"{role}\",\n  \"redirect\": \"{}\",\n  \"epoch\": {},\n  \
+         \"repl_epoch\": {},\n  \"commit_seq\": {},\n  \"queue_len\": {},\n  \
+         \"quorum\": \"{quorum}\",\n  \"overflow_drops\": {},\n  \"primary_seen\": {},\n  \
+         \"view_count\": {},\n  \"replicas\": [{}],\n  \"views\": [{}]\n}}",
+        json_escape(&s.redirect),
+        s.epoch,
+        s.repl_epoch,
+        s.commit_seq,
+        s.queue_len,
+        s.overflow_drops,
+        s.primary_seen,
+        s.views.len(),
+        replicas.join(", "),
+        views.join(", "),
+    );
+}
+
+fn render_row(row: &[Value]) -> String {
+    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+    cells.join(" | ")
+}
+
+/// `--subscribe-query`: register the view, stream its delta batches to
+/// stdout, and exit after `wanted` data batches (statement-produced, i.e.
+/// seq > 0) with a clean unsubscribe. The final `final:` lines are the
+/// client-side replay of every received delta — scripts diff them against
+/// a fresh evaluation of the same query to prove the stream converged.
+fn subscribe_stream(mut client: Client, text: &str, wanted: u64, watch: bool) -> ExitCode {
+    let reg = match client.subscribe_query(text) {
+        Ok(reg) => reg,
+        Err(e) => {
+            eprintln!("error: subscribe-query: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mode = if reg.fallback {
+        "fallback"
+    } else {
+        "incremental"
+    };
+    // One line, flushed immediately, so scripts can sequence on it.
+    println!(
+        "subscribed view={} epoch={} mode={mode} columns={}",
+        reg.view,
+        reg.epoch,
+        reg.columns.join(",")
+    );
+    let _ = std::io::stdout().flush();
+
+    // Replay bag: row debug-key -> (row, multiplicity).
+    let mut replay: BTreeMap<String, (Vec<Value>, u64)> = BTreeMap::new();
+    let mut seen = 0u64;
+    let mut snapshot = true;
+    loop {
+        let batch = match client.next_view_delta() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: view stream: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        // The first frame is always the registration snapshot (possibly
+        // empty); after it, empty seq-0 batches are idle keepalives.
+        if !snapshot && batch.is_keepalive() && batch.seq == 0 {
+            continue;
+        }
+        for (row, n) in &batch.removes {
+            let key = format!("{row:?}");
+            match replay.get_mut(&key) {
+                Some(e) if e.1 >= *n => {
+                    e.1 -= *n;
+                    if e.1 == 0 {
+                        replay.remove(&key);
+                    }
+                }
+                _ => {
+                    eprintln!("error: view stream retracted a row the replay does not hold");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        for (row, n) in &batch.adds {
+            let e = replay
+                .entry(format!("{row:?}"))
+                .or_insert_with(|| (row.clone(), 0));
+            e.1 += *n;
+        }
+        if watch {
+            let total: u64 = replay.values().map(|(_, n)| *n).sum();
+            println!(
+                "-- {} @seq {} ({total} rows)",
+                reg.columns.join(" | "),
+                batch.seq
+            );
+            for (row, n) in replay.values() {
+                for _ in 0..*n {
+                    println!("   {}", render_row(row));
+                }
+            }
+            let _ = std::io::stdout().flush();
+        } else if !snapshot || !batch.is_keepalive() {
+            println!(
+                "delta view={} seq={} +{} -{}",
+                batch.view,
+                batch.seq,
+                batch.adds.len(),
+                batch.removes.len()
+            );
+            for (row, n) in &batch.removes {
+                println!("  - {} x{n}", render_row(row));
+            }
+            for (row, n) in &batch.adds {
+                println!("  + {} x{n}", render_row(row));
+            }
+            let _ = std::io::stdout().flush();
+        }
+        snapshot = false;
+        if batch.seq > 0 {
+            seen += 1;
+        }
+        if seen >= wanted {
+            break;
+        }
+    }
+    for (row, n) in replay.values() {
+        for _ in 0..*n {
+            println!("final: {}", render_row(row));
+        }
+    }
+    match client.unsubscribe_query(reg.view) {
+        Ok(()) => {
+            println!("unsubscribed (bye)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: unsubscribe: {e}");
+            ExitCode::from(1)
+        }
     }
 }
 

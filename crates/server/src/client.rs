@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cypher_graph::Value;
+use cypher_ivm::ViewStat;
 
 use crate::error::ErrorCode;
 use crate::net::{NetFabric, NetStream, RealNet};
@@ -69,6 +70,40 @@ pub struct StatsOutcome {
     pub overflow_drops: u64,
     /// Primary: `(address, sent seq, durably acked seq)` per subscriber.
     pub replicas: Vec<(String, u64, u64)>,
+    /// Registered live views and their maintenance counters.
+    pub views: Vec<ViewStat>,
+}
+
+/// A `SubscribeQueryOk` reply: the view's identity and shape. The view's
+/// initial rows follow as the first [`ViewDeltaBatch`] (all adds).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewSubscribed {
+    pub view: u64,
+    /// Snapshot epoch the registration observed.
+    pub epoch: u64,
+    /// `true` when the server re-evaluates the query in full at every
+    /// commit instead of maintaining it incrementally.
+    pub fallback: bool,
+    pub columns: Vec<String>,
+}
+
+/// One ordered delta batch on a live-view stream. An empty batch (no adds,
+/// no removes) is the server's idle keepalive.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ViewDeltaBatch {
+    pub view: u64,
+    /// Commit sequence of the producing statement; 0 for the initial
+    /// snapshot batch and keepalives.
+    pub seq: u64,
+    pub epoch: u64,
+    pub adds: Vec<(Vec<Value>, u64)>,
+    pub removes: Vec<(Vec<Value>, u64)>,
+}
+
+impl ViewDeltaBatch {
+    pub fn is_keepalive(&self) -> bool {
+        self.adds.is_empty() && self.removes.is_empty()
+    }
 }
 
 /// A statement's complete outcome: columns, all rows, update stats.
@@ -354,6 +389,7 @@ impl Client {
                 quorum,
                 overflow_drops,
                 replicas,
+                views,
             } => Ok(StatsOutcome {
                 role,
                 redirect,
@@ -365,8 +401,86 @@ impl Client {
                 quorum,
                 overflow_drops,
                 replicas,
+                views,
             }),
             other => Err(unexpected(other)),
+        }
+    }
+
+    /// Register `text` as a live maintained view. **Terminal** for this
+    /// session: on success the server speaks only `ViewDelta` frames —
+    /// drain them with [`next_view_delta`](Client::next_view_delta) and
+    /// end the stream with
+    /// [`unsubscribe_query`](Client::unsubscribe_query). The view's
+    /// initial rows arrive as the first batch (all adds, seq 0).
+    pub fn subscribe_query(&mut self, text: &str) -> ClientResult<ViewSubscribed> {
+        match self.call(&Request::SubscribeQuery {
+            text: text.to_owned(),
+        })? {
+            Response::SubscribeQueryOk {
+                view,
+                epoch,
+                fallback,
+                columns,
+            } => Ok(ViewSubscribed {
+                view,
+                epoch,
+                fallback,
+                columns,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Block for the next delta batch on a live-view stream. Empty batches
+    /// are keepalives; callers who only care about data can skip them with
+    /// [`ViewDeltaBatch::is_keepalive`].
+    pub fn next_view_delta(&mut self) -> ClientResult<ViewDeltaBatch> {
+        let payload = read_frame(&mut self.reader)?;
+        match Response::decode(&payload)? {
+            Response::ViewDelta {
+                view,
+                seq,
+                epoch,
+                adds,
+                removes,
+            } => Ok(ViewDeltaBatch {
+                view,
+                seq,
+                epoch,
+                adds,
+                removes,
+            }),
+            Response::Error {
+                code,
+                retryable,
+                message,
+                detail,
+            } => Err(ClientError::Server {
+                code,
+                retryable,
+                message,
+                detail,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// End a live-view stream: tear down view `view` server-side and wait
+    /// for the clean `Bye`, discarding delta frames still in flight.
+    /// Consumes the client — the session is over.
+    pub fn unsubscribe_query(mut self, view: u64) -> ClientResult<()> {
+        write_frame(
+            &mut self.writer,
+            &Request::UnsubscribeQuery { view }.encode(),
+        )?;
+        loop {
+            let payload = read_frame(&mut self.reader)?;
+            match Response::decode(&payload)? {
+                Response::Bye => return Ok(()),
+                Response::ViewDelta { .. } => {}
+                other => return Err(unexpected(other)),
+            }
         }
     }
 

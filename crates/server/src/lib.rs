@@ -61,9 +61,13 @@ pub mod session;
 pub mod store;
 pub mod wire;
 
-pub use client::{Client, ClientError, HelloOptions, RunOutcome, StatsOutcome};
+pub use client::{
+    Client, ClientError, HelloOptions, RunOutcome, StatsOutcome, ViewDeltaBatch, ViewSubscribed,
+};
 pub use config::ServerConfig;
 pub use error::ErrorCode;
 pub use net::{FaultNet, NetFabric, NetFault, NetStream, RealNet};
 pub use server::{serve, serve_with, ServerHandle};
-pub use store::{ReplicaApply, SharedStore, StoreOptions, StoreStats, WriteOutcome};
+pub use store::{
+    ReplicaApply, SharedStore, StoreOptions, StoreStats, ViewEvent, ViewSubscription, WriteOutcome,
+};

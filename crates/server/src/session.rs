@@ -22,9 +22,17 @@
 //! fsyncing each applied unit, and those acks (filtered by replication
 //! epoch — a stale reign's confirmations count for nothing) are what the
 //! primary's quorum-commit gate waits on under `--sync-replicas N`.
+//!
+//! Live views ride the same terminal-stream shape: a `SubscribeQuery`
+//! frame registers the statement as a maintained view and turns the
+//! session into a delta feeder — the registration snapshot first (a
+//! pure-adds `ViewDelta`), then one ordered batch per committed statement
+//! that changed the view, with empty keepalives while idle. The request
+//! half becomes a control stream watched for `UnsubscribeQuery`/`Goodbye`.
 
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -270,6 +278,7 @@ pub fn run_session(
                         .into_iter()
                         .map(|p| (p.label, p.sent, p.acked))
                         .collect(),
+                    views: s.views,
                 }
             }
             Request::Promote => {
@@ -329,6 +338,18 @@ pub fn run_session(
                 run_feeder(reader, &mut writer, store, &peer, from);
                 return false;
             }
+            Request::SubscribeQuery { text } => {
+                // Terminal: the session becomes a view-delta feeder; the
+                // reader moves in as its control stream.
+                run_view_feeder(reader, &mut writer, store, &engine, &text);
+                return false;
+            }
+            Request::UnsubscribeQuery { .. } => Response::Error {
+                code: ErrorCode::Protocol,
+                retryable: false,
+                message: "UnsubscribeQuery is only valid on a live-view stream".to_owned(),
+                detail: String::new(),
+            },
         };
         if send(&mut writer, &response).is_err() {
             return false;
@@ -557,6 +578,125 @@ fn run_feeder(
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
                 // Dropped by the hub (lagging, fence, shutdown): end the
                 // stream; the replica reconnects and catches up.
+                return;
+            }
+        }
+    }
+}
+
+/// Serve one live-view delta stream until the client or the hub ends it.
+///
+/// Protocol: `SubscribeQueryOk` first, then the registration snapshot as
+/// a pure-adds `ViewDelta` (seq 0), then one `ViewDelta` per committed
+/// statement that changed the view, in commit order. While idle the
+/// feeder sends empty `ViewDelta` keepalives so a dead peer socket fails
+/// the next write. The request half of the stream becomes a **control
+/// stream**: a spawned thread watches it for `UnsubscribeQuery` or
+/// `Goodbye` (or EOF), which tears the view down and ends the stream with
+/// a clean `Bye`.
+fn run_view_feeder(
+    reader: BufReader<TcpStream>,
+    w: &mut impl std::io::Write,
+    store: &Arc<SharedStore>,
+    engine: &Engine,
+    text: &str,
+) {
+    let sub = match store.subscribe_view(text.to_owned(), engine.clone()) {
+        Ok(Ok(sub)) => sub,
+        Ok(Err(e)) => {
+            let _ = send(w, &eval_error_frame(&e, text));
+            return;
+        }
+        Err(b) => {
+            let _ = send(w, &busy_frame(b.0));
+            return;
+        }
+    };
+    let view = sub.reg.id;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let _control_thread = std::thread::Builder::new()
+        .name("cypher-view-ctl".to_owned())
+        .spawn(move || {
+            let mut reader = reader;
+            loop {
+                match read_request(&mut reader) {
+                    Ok(Request::UnsubscribeQuery { .. }) | Ok(Request::Goodbye) | Err(_) => {
+                        stop_flag.store(true, Ordering::Release);
+                        return;
+                    }
+                    // Anything else on a delta stream is noise.
+                    Ok(_) => {}
+                }
+            }
+        });
+    if send(
+        w,
+        &Response::SubscribeQueryOk {
+            view,
+            epoch: sub.epoch,
+            fallback: sub.reg.fallback,
+            columns: sub.reg.columns.clone(),
+        },
+    )
+    .is_err()
+    {
+        store.unsubscribe_view(view);
+        return;
+    }
+    // The initial rows travel as a pure-adds batch, so a client replaying
+    // deltas starts from the registration snapshot with no separate frame
+    // kind.
+    let snapshot = Response::ViewDelta {
+        view,
+        seq: 0,
+        epoch: sub.epoch,
+        adds: sub.reg.rows.clone(),
+        removes: Vec::new(),
+    };
+    if send(w, &snapshot).is_err() {
+        store.unsubscribe_view(view);
+        return;
+    }
+    loop {
+        if stop.load(Ordering::Acquire) {
+            store.unsubscribe_view(view);
+            let _ = send(w, &Response::Bye);
+            return;
+        }
+        match sub.events.recv_timeout(FEED_KEEPALIVE) {
+            Ok(ev) => {
+                let frame = Response::ViewDelta {
+                    view: ev.update.view,
+                    seq: ev.update.seq,
+                    epoch: ev.epoch,
+                    adds: ev.update.adds,
+                    removes: ev.update.removes,
+                };
+                if send(w, &frame).is_err() {
+                    store.unsubscribe_view(view);
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Idle: empty-batch keepalive, so the feeder never
+                // outlives a dead client by more than one interval.
+                let beacon = Response::ViewDelta {
+                    view,
+                    seq: 0,
+                    epoch: store.epoch(),
+                    adds: Vec::new(),
+                    removes: Vec::new(),
+                };
+                if send(w, &beacon).is_err() {
+                    store.unsubscribe_view(view);
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                // Dropped by the hub (feed backlog overflow, fence,
+                // snapshot install, maintenance divergence): end the
+                // stream; the client re-subscribes for a fresh snapshot.
                 return;
             }
         }

@@ -84,6 +84,7 @@ use std::time::{Duration, Instant};
 
 use cypher_core::{Engine, EngineBuilder, EvalError, QueryResult};
 use cypher_graph::{EpochSnapshots, PropertyGraph};
+use cypher_ivm::{Delta, Registered, ViewManager, ViewStat, ViewUpdate};
 use cypher_parser::Dialect;
 use cypher_replication::{
     PeerProgress, QuorumState, QuorumStateCell, ReplicationHub, Role, RoleCell, ShippedUnit,
@@ -175,6 +176,170 @@ pub struct SubscribeReply {
     pub seq: u64,
 }
 
+/// One row-level view delta delivered to a subscribed session, stamped
+/// with the reader epoch the change is visible at.
+#[derive(Debug)]
+pub struct ViewEvent {
+    pub update: ViewUpdate,
+    pub epoch: u64,
+}
+
+/// A granted live-query subscription: the registration outcome (initial
+/// rows included), the epoch it is consistent with, and the event feed.
+pub struct ViewSubscription {
+    pub reg: Registered,
+    pub epoch: u64,
+    pub events: Receiver<ViewEvent>,
+}
+
+/// Per-subscriber event backlog. A session that stops draining for this
+/// many statement deltas is cut off (same policy as replica feeds): the
+/// store never blocks the flush stage on a slow subscriber.
+const VIEW_FEED_DEPTH: usize = 1024;
+
+/// All live-query state of one store: the view manager (shadow graph +
+/// registered views) and the per-view delivery channels. One mutex guards
+/// both — registration and unsubscription run on arbitrary threads, while
+/// the flush stage feeds committed deltas — and every critical section is
+/// short except the feed itself, which is exactly the serialization the
+/// ordered-delivery guarantee needs.
+pub struct ViewHub {
+    inner: Mutex<ViewHubState>,
+}
+
+#[derive(Default)]
+struct ViewHubState {
+    /// Lazily created at the first registration, dropped with the last
+    /// view — an idle server pays nothing for the subsystem.
+    mgr: Option<ViewManager>,
+    subs: HashMap<u64, SyncSender<ViewEvent>>,
+}
+
+impl ViewHub {
+    fn new() -> ViewHub {
+        ViewHub {
+            inner: Mutex::new(ViewHubState::default()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ViewHubState> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Any views registered? The apply stage skips delta capture entirely
+    /// when not — registration is a worker tail job, so it cannot race a
+    /// batch into missing its delta.
+    fn active(&self) -> bool {
+        self.lock().mgr.as_ref().is_some_and(|m| !m.is_empty())
+    }
+
+    /// Register a view. Runs on the worker thread after a pipeline drain,
+    /// so `committed` (the builder's graph) equals the durable, flushed,
+    /// fully-fed state the manager's shadow must start from.
+    fn register(
+        &self,
+        committed: &PropertyGraph,
+        seq: u64,
+        epoch: u64,
+        text: &str,
+        engine: &Engine,
+    ) -> Result<ViewSubscription, EvalError> {
+        let mut state = self.lock();
+        let mgr = state
+            .mgr
+            .get_or_insert_with(|| ViewManager::new(committed, seq));
+        let reg = mgr.register(text, engine)?;
+        let (tx, rx) = mpsc::sync_channel(VIEW_FEED_DEPTH);
+        state.subs.insert(reg.id, tx);
+        Ok(ViewSubscription {
+            reg,
+            epoch,
+            events: rx,
+        })
+    }
+
+    /// Drop one view. Returns `false` for an unknown id.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut state = self.lock();
+        state.subs.remove(&id);
+        let Some(mgr) = &mut state.mgr else {
+            return false;
+        };
+        let known = mgr.unregister(id);
+        if mgr.is_empty() {
+            state.mgr = None;
+        }
+        known
+    }
+
+    /// Per-view maintenance counters (for `Stats`).
+    pub fn stats(&self) -> Vec<ViewStat> {
+        self.lock()
+            .mgr
+            .as_ref()
+            .map(ViewManager::stats)
+            .unwrap_or_default()
+    }
+
+    /// Drop every view and subscription (snapshot install, fence,
+    /// shutdown). Receivers observe the disconnect and end their feeds.
+    pub fn reset(&self) {
+        let mut state = self.lock();
+        state.mgr = None;
+        state.subs.clear();
+    }
+
+    /// Feed the committed statement deltas of one flushed batch, in commit
+    /// order, and route the resulting row deltas to their subscribers.
+    /// Called by the flush stage strictly after the batch's fsync (and
+    /// after its acknowledgements — notification latency is off the write
+    /// path).
+    fn feed(&self, deltas: &[(u64, Vec<Delta>)], epoch: u64) {
+        let mut state = self.lock();
+        // Taken out for disjoint borrows; the lock is held throughout, so
+        // no other thread can observe the temporarily absent manager.
+        let Some(mut mgr) = state.mgr.take() else {
+            return;
+        };
+        let mut drop_views: Vec<u64> = Vec::new();
+        for (seq, ops) in deltas {
+            match mgr.apply_statement(*seq, ops) {
+                Ok(updates) => {
+                    for update in updates {
+                        let id = update.view;
+                        let gone = match state.subs.get(&id) {
+                            Some(tx) => tx.try_send(ViewEvent { update, epoch }).is_err(),
+                            None => true,
+                        };
+                        if gone {
+                            // Receiver gone (session died without
+                            // unsubscribing) or its backlog overflowed:
+                            // cut the subscriber off rather than stall or
+                            // buffer unboundedly.
+                            drop_views.push(id);
+                        }
+                    }
+                }
+                Err(e) => {
+                    // The delta stream and the shadow disagree — never
+                    // serve another delta from a corrupt shadow. Dropping
+                    // the channels ends every subscription visibly.
+                    eprintln!("cypher-serve: view maintenance diverged: {e}");
+                    state.subs.clear();
+                    return;
+                }
+            }
+        }
+        for id in drop_views {
+            state.subs.remove(&id);
+            mgr.unregister(id);
+        }
+        if !mgr.is_empty() {
+            state.mgr = Some(mgr);
+        }
+    }
+}
+
 /// A point-in-time statistics sample, assembled without touching the
 /// worker queue (all sources are atomics or lock-free-ish shared state),
 /// so `Stats` works even when the apply queue is wedged.
@@ -199,6 +364,9 @@ pub struct StoreStats {
     pub overflow_drops: u64,
     /// Primary only: per-subscriber shipping and durable-ack progress.
     pub replicas: Vec<PeerProgress>,
+    /// Live query views registered on this store, with maintenance
+    /// counters.
+    pub views: Vec<ViewStat>,
 }
 
 /// A unit of work for the apply worker.
@@ -238,6 +406,15 @@ pub enum Job {
     InstallSnapshot {
         bytes: Vec<u8>,
         resp: SyncSender<Result<u64, StorageError>>,
+    },
+    /// Register a live query view. A tail job: the worker drains the
+    /// flush pipeline first, so the view's initial snapshot is computed on
+    /// durable, fully-fed state and the first delta it receives is exactly
+    /// the next committed statement.
+    SubscribeView {
+        text: String,
+        engine: Engine,
+        resp: SyncSender<Result<ViewSubscription, EvalError>>,
     },
     /// Durably fence this store: it will never acknowledge another write,
     /// even across restarts. `epoch` is the replication epoch the fencer
@@ -360,6 +537,7 @@ pub struct SharedStore {
     queue_len: Arc<AtomicUsize>,
     quorum: Arc<QuorumStateCell>,
     repl_epoch: Arc<AtomicU64>,
+    views: Arc<ViewHub>,
 }
 
 impl SharedStore {
@@ -420,9 +598,11 @@ impl SharedStore {
             .into_iter()
             .map(|(seq, dialect, text)| ShippedUnit { seq, dialect, text })
             .collect();
+        let views = Arc::new(ViewHub::new());
         let flush = Arc::new(FlushCtx {
             snaps: Arc::clone(&snaps),
             hub: Arc::clone(&hub),
+            views: Arc::clone(&views),
             commit_seq: Arc::clone(&commit_seq),
             quorum: Arc::clone(&quorum),
             sync_replicas: opts.sync_replicas,
@@ -458,6 +638,7 @@ impl SharedStore {
             queue_len,
             quorum,
             repl_epoch,
+            views,
         })
     }
 
@@ -536,6 +717,26 @@ impl SharedStore {
         let (resp, rx) = mpsc::sync_channel(1);
         self.try_submit(Job::Subscribe { label, from, resp })?;
         rx.recv().map_err(|_| Busy("apply worker exited"))
+    }
+
+    /// Register a live query view and return its initial snapshot plus
+    /// the committed-delta event feed. Goes through the worker queue (tail
+    /// job) so registration lands exactly at a statement boundary of the
+    /// durable state.
+    pub fn subscribe_view(
+        &self,
+        text: String,
+        engine: Engine,
+    ) -> Result<Result<ViewSubscription, EvalError>, Busy> {
+        let (resp, rx) = mpsc::sync_channel(1);
+        self.try_submit(Job::SubscribeView { text, engine, resp })?;
+        rx.recv().map_err(|_| Busy("apply worker exited"))
+    }
+
+    /// Drop a live query view (no queue round-trip needed: the hub mutex
+    /// serializes against the feed). Returns `false` for an unknown id.
+    pub fn unsubscribe_view(&self, id: u64) -> bool {
+        self.views.unsubscribe(id)
     }
 
     /// Replace the store's contents with a snapshot shipped by the
@@ -619,6 +820,7 @@ impl SharedStore {
             quorum: self.quorum.get(),
             overflow_drops: self.hub.overflow_drops(),
             replicas: self.hub.peers(),
+            views: self.views.stats(),
         }
     }
 
@@ -638,6 +840,7 @@ impl SharedStore {
     /// Subscribers are disconnected first so their feeder sessions end.
     pub fn shutdown(&self) {
         self.hub.disconnect_all();
+        self.views.reset();
         if self.tx.send(Job::Shutdown).is_ok() {
             self.queue_len.fetch_add(1, Ordering::Relaxed);
         }
@@ -697,6 +900,8 @@ struct ShipState {
 struct FlushCtx {
     snaps: Arc<EpochSnapshots>,
     hub: Arc<ReplicationHub>,
+    /// Live-query views fed by the flush stage (post-fsync only).
+    views: Arc<ViewHub>,
     commit_seq: Arc<AtomicU64>,
     /// Quorum-replication state reported through `Stats`.
     quorum: Arc<QuorumStateCell>,
@@ -725,6 +930,10 @@ struct FlushBatch {
     ticket: Option<SyncTicket>,
     acks: Vec<PendingAck>,
     units: Vec<ShippedUnit>,
+    /// Per-committed-statement graph deltas for view maintenance, in
+    /// commit order. Captured only while views are registered; empty
+    /// otherwise.
+    deltas: Vec<(u64, Vec<Delta>)>,
     /// Highest txid applied when the batch was staged (the batch's commit
     /// sequence once durable). Meaningless when `units` is empty.
     head_seq: u64,
@@ -870,6 +1079,17 @@ fn apply_worker(
             Job::Subscribe { label, from, resp } => {
                 let _ = resp.send(run_subscribe(&mut state, &label, from));
             }
+            Job::SubscribeView { text, engine, resp } => {
+                let seq = state.durable.next_txid().saturating_sub(1);
+                let epoch = state.flush.snaps.epoch();
+                let _ = resp.send(state.flush.views.register(
+                    state.durable.graph(),
+                    seq,
+                    epoch,
+                    &text,
+                    &engine,
+                ));
+            }
             Job::InstallSnapshot { bytes, resp } => {
                 let _ = resp.send(run_install_snapshot(&mut state, &bytes));
             }
@@ -882,6 +1102,9 @@ fn apply_worker(
                 // unit, even one already committed, on a live feed that a
                 // replica might mistake for primary liveness.
                 state.flush.hub.disconnect_all();
+                // A fenced store commits nothing more; end live query
+                // feeds too rather than leaving them to idle forever.
+                state.flush.views.reset();
                 let _ = resp.send(state.durable.fence(new_primary.as_deref(), epoch));
             }
             Job::Shutdown => {
@@ -906,7 +1129,7 @@ fn dispatch_batch(state: &mut WorkerState, pipe: &mut Pipeline, items: Vec<Batch
         run_batch(state, items);
         return;
     };
-    let (acks, units, head_seq) = apply_batch(state, items);
+    let (acks, units, deltas, head_seq) = apply_batch(state, items);
     if drain_pipeline(state, pipe) {
         // The in-flight predecessor batch's fsync failed while this batch
         // was applied on top of it; drain_pipeline already rolled the
@@ -925,6 +1148,7 @@ fn dispatch_batch(state: &mut WorkerState, pipe: &mut Pipeline, items: Vec<Batch
             ticket,
             acks,
             units,
+            deltas,
             head_seq,
         }) {
             Ok(()) => pipe.outstanding = true,
@@ -1072,6 +1296,10 @@ fn run_subscribe(
 /// its replication bookkeeping rebased onto the covered sequence.
 fn run_install_snapshot(state: &mut WorkerState, bytes: &[u8]) -> Result<u64, StorageError> {
     let covered = state.durable.install_snapshot(bytes)?;
+    // The entire graph was replaced: every view's shadow is now wrong.
+    // Reset rather than resync — subscribers observe the disconnect and
+    // re-register against the new state.
+    state.flush.views.reset();
     {
         let mut ship = state.flush.ship();
         ship.mirror.clear();
@@ -1084,17 +1312,28 @@ fn run_install_snapshot(state: &mut WorkerState, bytes: &[u8]) -> Result<u64, St
     Ok(covered)
 }
 
+/// What `apply_batch` hands the flush stage: pending acknowledgements,
+/// the units to ship once durable, the per-statement committed deltas
+/// (seq, ops) for the view hub, and the batch's head txid.
+type AppliedBatch = (
+    Vec<PendingAck>,
+    Vec<ShippedUnit>,
+    Vec<(u64, Vec<Delta>)>,
+    u64,
+);
+
 /// The apply half of a group commit: run each item through
 /// `apply_buffered_logged` so its commit unit joins the un-synced WAL
 /// window. Returns the pending acknowledgements, the units to ship once
 /// durable, and the batch's head txid. No item is acknowledged here —
 /// that is the flush stage's job, after the window is durable.
-fn apply_batch(
-    state: &mut WorkerState,
-    items: Vec<BatchItem>,
-) -> (Vec<PendingAck>, Vec<ShippedUnit>, u64) {
+fn apply_batch(state: &mut WorkerState, items: Vec<BatchItem>) -> AppliedBatch {
     let mut acks: Vec<PendingAck> = Vec::new();
     let mut batch_units: Vec<ShippedUnit> = Vec::new();
+    let mut batch_deltas: Vec<(u64, Vec<Delta>)> = Vec::new();
+    // Sampled once per batch: registration is a tail job, so it cannot
+    // land between two items of the same batch.
+    let capture = state.flush.views.active();
 
     for item in items {
         match item {
@@ -1105,6 +1344,10 @@ fn apply_batch(
                     .apply_buffered_logged(Some((dialect, &text)), |g| engine.run(g, &text));
                 match applied {
                     Ok((Ok(result), Some(seq))) => {
+                        if capture {
+                            let ops = state.durable.take_last_delta();
+                            batch_deltas.push((seq, Delta::from_ops(&ops, state.durable.graph())));
+                        }
                         batch_units.push(ShippedUnit { seq, dialect, text });
                         acks.push(PendingAck::Write(resp, WriteOutcome::Ok(result)));
                     }
@@ -1127,6 +1370,10 @@ fn apply_batch(
                 state.primary_seen.fetch_max(unit.seq, Ordering::AcqRel);
                 let outcome = apply_shipped(state, &unit);
                 if matches!(outcome, ReplicaApply::Applied) {
+                    if capture {
+                        let ops = state.durable.take_last_delta();
+                        batch_deltas.push((unit.seq, Delta::from_ops(&ops, state.durable.graph())));
+                    }
                     batch_units.push(unit);
                 }
                 acks.push(PendingAck::Replicate(resp, outcome));
@@ -1135,7 +1382,7 @@ fn apply_batch(
     }
 
     let head_seq = state.durable.next_txid().saturating_sub(1);
-    (acks, batch_units, head_seq)
+    (acks, batch_units, batch_deltas, head_seq)
 }
 
 /// The flush/ack half of a group commit: fsync the staged window, then —
@@ -1151,6 +1398,7 @@ fn run_flush(ctx: &FlushCtx, batch: FlushBatch) -> std::io::Result<()> {
         ticket,
         acks,
         units,
+        deltas,
         head_seq,
     } = batch;
     let synced = match ticket {
@@ -1211,6 +1459,15 @@ fn run_flush(ctx: &FlushCtx, batch: FlushBatch) -> std::io::Result<()> {
             None => send_ack(ack, None),
         }
     }
+    // Feed the view subsystem last: the batch is durable (fsync above),
+    // its epoch is published, and the acknowledgements are out — live
+    // query notification latency never sits on the write path. Quorum
+    // refusal does not gate this: the batch is durable locally and
+    // visible to readers (the epoch bumped before the quorum wait), so
+    // subscribers must see it too.
+    if !deltas.is_empty() {
+        ctx.views.feed(&deltas, ctx.snaps.epoch());
+    }
     Ok(())
 }
 
@@ -1218,7 +1475,7 @@ fn run_flush(ctx: &FlushCtx, batch: FlushBatch) -> std::io::Result<()> {
 /// the calling thread. The degraded path when no flusher thread exists,
 /// and the reference implementation the pipelined path must match.
 fn run_batch(state: &mut WorkerState, items: Vec<BatchItem>) {
-    let (acks, units, head_seq) = apply_batch(state, items);
+    let (acks, units, deltas, head_seq) = apply_batch(state, items);
     match state.durable.stage_flush() {
         Ok(ticket) => finish_flush_inline(
             state,
@@ -1226,6 +1483,7 @@ fn run_batch(state: &mut WorkerState, items: Vec<BatchItem>) {
                 ticket,
                 acks,
                 units,
+                deltas,
                 head_seq,
             },
         ),
@@ -1346,6 +1604,7 @@ mod tests {
             flush: Arc::new(FlushCtx {
                 snaps: Arc::new(EpochSnapshots::new()),
                 hub: Arc::new(ReplicationHub::new(8)),
+                views: Arc::new(ViewHub::new()),
                 commit_seq: Arc::new(AtomicU64::new(0)),
                 quorum: Arc::new(QuorumStateCell::new(QuorumState::Async)),
                 sync_replicas: 0,
@@ -1403,6 +1662,94 @@ mod tests {
         let again = store.snapshot().unwrap();
         assert!(Arc::ptr_eq(&snap, &again));
         assert_eq!(store.commit_seq(), 1);
+        store.shutdown();
+    }
+
+    /// Live query subscription end-to-end at the store level: register a
+    /// view, commit writes, and verify (a) every committed change arrives
+    /// as an ordered row delta, (b) replaying the deltas over the initial
+    /// snapshot reproduces a fresh evaluation on the final state, and
+    /// (c) unsubscribing stops the feed.
+    #[test]
+    fn view_subscription_delivers_replayable_deltas() {
+        let store = temp_store("views", 16, 8, 8);
+        let engine = Engine::revised();
+        match store
+            .submit_write("CREATE (:P {name: 'a'})".into(), engine.clone())
+            .unwrap()
+        {
+            WriteOutcome::Ok(_) => {}
+            other => panic!("{other:?}"),
+        }
+        let sub = store
+            .subscribe_view("MATCH (n:P) RETURN n.name".into(), engine.clone())
+            .unwrap()
+            .unwrap();
+        assert!(!sub.reg.fallback);
+        assert_eq!(sub.reg.columns, vec!["n.name".to_owned()]);
+        assert_eq!(sub.reg.rows.len(), 1);
+        let mut rows: HashMap<String, (Vec<cypher_graph::Value>, u64)> = sub
+            .reg
+            .rows
+            .iter()
+            .map(|(r, n)| (format!("{r:?}"), (r.clone(), *n)))
+            .collect();
+        for stmt in [
+            "CREATE (:P {name: 'b'})",
+            "MATCH (n:P {name: 'a'}) SET n.name = 'c'",
+            "MATCH (n:P {name: 'b'}) DETACH DELETE n",
+        ] {
+            match store.submit_write(stmt.into(), engine.clone()).unwrap() {
+                WriteOutcome::Ok(_) => {}
+                other => panic!("{other:?}"),
+            }
+            let ev = sub
+                .events
+                .recv_timeout(Duration::from_secs(5))
+                .expect("a delta per committed statement");
+            assert!(ev.epoch > 0);
+            for (row, n) in &ev.update.removes {
+                let key = format!("{row:?}");
+                let e = rows.get_mut(&key).expect("remove of a present row");
+                assert!(e.1 >= *n);
+                e.1 -= *n;
+                if e.1 == 0 {
+                    rows.remove(&key);
+                }
+            }
+            for (row, n) in &ev.update.adds {
+                let e = rows
+                    .entry(format!("{row:?}"))
+                    .or_insert_with(|| (row.clone(), 0));
+                e.1 += *n;
+            }
+        }
+        let snap = store.snapshot().unwrap();
+        let fresh = engine.run_read(&snap, "MATCH (n:P) RETURN n.name").unwrap();
+        let mut expected: Vec<String> = fresh.rows.iter().map(|r| format!("{r:?}")).collect();
+        expected.sort();
+        let mut replayed: Vec<String> = rows
+            .values()
+            .flat_map(|(r, n)| std::iter::repeat_n(format!("{r:?}"), *n as usize))
+            .collect();
+        replayed.sort();
+        assert_eq!(replayed, expected, "replayed deltas != final state");
+        assert_eq!(store.stats().views.len(), 1);
+
+        assert!(store.unsubscribe_view(sub.reg.id));
+        assert!(!store.unsubscribe_view(sub.reg.id));
+        match store
+            .submit_write("CREATE (:P {name: 'z'})".into(), engine.clone())
+            .unwrap()
+        {
+            WriteOutcome::Ok(_) => {}
+            other => panic!("{other:?}"),
+        }
+        // The channel is disconnected once the hub dropped the sender.
+        match sub.events.recv_timeout(Duration::from_millis(500)) {
+            Err(_) => {}
+            Ok(ev) => panic!("unsubscribed view still produced {ev:?}"),
+        }
         store.shutdown();
     }
 
@@ -1563,13 +1910,13 @@ mod tests {
             let (b2, rx_b2) = w("B2");
 
             // Batch A: apply + stage its WAL window.
-            let (acks_a, units_a, head_a) = apply_batch(&mut state, vec![a1, a2]);
+            let (acks_a, units_a, _, head_a) = apply_batch(&mut state, vec![a1, a2]);
             let staged_a = match state.durable.stage_flush() {
                 Ok(t) => t,
                 Err(e) => panic!("appends are not faulted in this sweep: {e}"),
             };
             // Batch B starts applying while A's fsync is in flight...
-            let (mut acks_b, mut units_b, _) = apply_batch(&mut state, vec![b1]);
+            let (mut acks_b, mut units_b, _, _) = apply_batch(&mut state, vec![b1]);
             // ...the flusher resolves A's fsync (this is where the fault
             // fires when the sweep index points at A's sync)...
             let outcome_a = run_flush(
@@ -1578,11 +1925,12 @@ mod tests {
                     ticket: staged_a,
                     acks: acks_a,
                     units: units_a,
+                    deltas: Vec::new(),
                     head_seq: head_a,
                 },
             );
             // ...and B finishes applying before the builder retires A.
-            let (acks_b2, units_b2, head_b) = apply_batch(&mut state, vec![b2]);
+            let (acks_b2, units_b2, _, head_b) = apply_batch(&mut state, vec![b2]);
             acks_b.extend(acks_b2);
             units_b.extend(units_b2);
 
@@ -1604,6 +1952,7 @@ mod tests {
                                 ticket,
                                 acks: acks_b,
                                 units: units_b,
+                                deltas: Vec::new(),
                                 head_seq: head_b,
                             },
                         );

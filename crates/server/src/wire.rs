@@ -9,7 +9,7 @@
 //! All integers are little-endian. The CRC is the same IEEE polynomial the
 //! storage layer uses for WAL records, so a corrupted or torn frame is
 //! detected before any field is parsed. Payloads start with a one-byte
-//! message tag (client tags `0x01..=0x0F`, server tags `0x81..=0x8F`)
+//! message tag (client tags `0x01..=0x10`, server tags `0x81..=0x91`)
 //! followed by tag-specific fields.
 //!
 //! | tag    | message     | direction | fields |
@@ -28,6 +28,8 @@
 //! | `0x0C` | Stats       | C→S | — (role, epoch, sequence, queue depth, per-replica lag) |
 //! | `0x0D` | Fence       | C→S | new-primary address, `u64` epoch (admin; permanently write-fence this server) |
 //! | `0x0E` | Ack         | C→S | 2×`u64` (durably applied sequence, replica's view of the primary epoch) — sent by a replica tailer on its subscribe stream |
+//! | `0x0F` | SubscribeQuery | C→S | query text (register a live view; terminal — the session becomes a delta stream) |
+//! | `0x10` | UnsubscribeQuery | C→S | `u64` view id — sent on the delta stream to end it cleanly |
 //! | `0x81` | HelloOk     | S→C | `u16` version, `u64` session id, effective-limits string |
 //! | `0x82` | RunOk       | S→C | `u8` read-only flag, `u64` epoch, column names |
 //! | `0x83` | Rows        | S→C | row block, `u8` has-more flag, 7×`u64` update stats (nodes created, rels created, nodes deleted, rels deleted, props set, labels added, labels removed) |
@@ -39,10 +41,12 @@
 //! | `0x89` | Unit        | S→C | `u64` sequence, `u8` dialect, statement text (one shipped commit unit) |
 //! | `0x8A` | Snapshot    | S→C | `u64` sequence, snapshot-file bytes (replica bootstrap) |
 //! | `0x8B` | SubscribeOk | S→C | 2×`u64` (current commit sequence, primary epoch) — re-sent periodically as the keepalive/heartbeat |
-//! | `0x8C` | StatsOk     | S→C | `u8` role, redirect addr, 4×`u64` (epoch, commit seq, queue depth, primary-seen seq), `u64` replication epoch, `u8` quorum state, `u64` overflow drops, per-replica (addr, sent-seq, acked-seq) list |
+//! | `0x8C` | StatsOk     | S→C | `u8` role, redirect addr, 4×`u64` (epoch, commit seq, queue depth, primary-seen seq), `u64` replication epoch, `u8` quorum state, `u64` overflow drops, per-replica (addr, sent-seq, acked-seq) list, per-view (id, query, flags, rows, deltas, fallbacks) list |
 //! | `0x8D` | PromoteOk   | S→C | `u64` sequence the new primary starts from |
 //! | `0x8E` | FenceOk     | S→C | — |
 //! | `0x8F` | Error       | S→C | `u16` code, `u8` retryable, message, detail |
+//! | `0x90` | SubscribeQueryOk | S→C | `u64` view id, `u64` epoch, `u8` fallback flag, column names — the initial rows follow as the first `ViewDelta` |
+//! | `0x91` | ViewDelta   | S→C | 3×`u64` (view id, statement sequence, epoch), add then remove row bags (row, `u64` multiplicity); an empty batch is the idle keepalive |
 //!
 //! Values use a tagged encoding covering the full
 //! [`Value`](cypher_graph::Value) enum; nodes, relationships and paths
@@ -51,6 +55,7 @@
 use std::io::{self, Read, Write};
 
 use cypher_graph::{PathValue, Value};
+use cypher_ivm::ViewStat;
 use cypher_storage::crc::crc32;
 
 use crate::error::ErrorCode;
@@ -117,6 +122,18 @@ pub enum Request {
     Ack {
         seq: u64,
         epoch: u64,
+    },
+    /// Register a live view over `text` in the session's dialect and lint
+    /// mode. Terminal — after `SubscribeQueryOk` the session speaks only
+    /// `ViewDelta` frames until the client sends `UnsubscribeQuery` or
+    /// `Goodbye` (or drops the connection).
+    SubscribeQuery {
+        text: String,
+    },
+    /// Sent on the delta stream: tear down view `view` and end the stream
+    /// with a clean `Bye`.
+    UnsubscribeQuery {
+        view: u64,
     },
 }
 
@@ -201,6 +218,8 @@ pub enum Response {
         /// `commit_seq - sent` is ship lag, `commit_seq - acked` is
         /// durability lag.
         replicas: Vec<(String, u64, u64)>,
+        /// Registered live views and their maintenance counters.
+        views: Vec<ViewStat>,
     },
     PromoteOk {
         /// Commit sequence the promoted primary starts accepting writes at.
@@ -214,6 +233,30 @@ pub enum Response {
         /// Structured payload for some codes (JSON-lines diagnostics for
         /// `Lint`); empty otherwise.
         detail: String,
+    },
+    /// Live-view registration accepted. The view's current rows arrive as
+    /// the first `ViewDelta` (all adds), so the client replay starts from
+    /// the registration snapshot.
+    SubscribeQueryOk {
+        view: u64,
+        /// Snapshot epoch the registration observed.
+        epoch: u64,
+        /// `true` when the query re-evaluates in full at every commit
+        /// instead of being incrementally maintained.
+        fallback: bool,
+        columns: Vec<String>,
+    },
+    /// One ordered delta batch for a registered view: rows to add and rows
+    /// to retract, each with a multiplicity. An empty batch (no adds, no
+    /// removes) is the idle keepalive.
+    ViewDelta {
+        view: u64,
+        /// Commit sequence of the statement that produced the batch; 0 for
+        /// the initial-snapshot batch and keepalives.
+        seq: u64,
+        epoch: u64,
+        adds: Vec<(Vec<Value>, u64)>,
+        removes: Vec<(Vec<Value>, u64)>,
     },
 }
 
@@ -324,6 +367,18 @@ fn put_str_list(out: &mut Vec<u8>, items: &[String]) {
 fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     put_u32(out, b.len() as u32);
     out.extend_from_slice(b);
+}
+
+/// View-delta row bags travel as (row, `u64` multiplicity) pairs.
+fn put_row_bag(out: &mut Vec<u8>, bag: &[(Vec<Value>, u64)]) {
+    put_u32(out, bag.len() as u32);
+    for (row, n) in bag {
+        put_u32(out, row.len() as u32);
+        for v in row {
+            put_value(out, v);
+        }
+        put_u64(out, *n);
+    }
 }
 
 /// Value tags (`0x00..=0x09`).
@@ -440,6 +495,20 @@ impl<'a> Reader<'a> {
         Ok(self.take(len)?.to_vec())
     }
 
+    fn row_bag(&mut self) -> WireResult<Vec<(Vec<Value>, u64)>> {
+        let n = self.u32()? as usize;
+        let mut bag = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let w = self.u32()? as usize;
+            let mut row = Vec::with_capacity(w.min(4096));
+            for _ in 0..w {
+                row.push(self.value()?);
+            }
+            bag.push((row, self.u64()?));
+        }
+        Ok(bag)
+    }
+
     fn str_list(&mut self) -> WireResult<Vec<String>> {
         let n = self.u32()? as usize;
         let mut out = Vec::with_capacity(n.min(4096));
@@ -554,6 +623,14 @@ impl Request {
                 put_u64(&mut out, *seq);
                 put_u64(&mut out, *epoch);
             }
+            Request::SubscribeQuery { text } => {
+                put_u8(&mut out, 0x0F);
+                put_str(&mut out, text);
+            }
+            Request::UnsubscribeQuery { view } => {
+                put_u8(&mut out, 0x10);
+                put_u64(&mut out, *view);
+            }
         }
         out
     }
@@ -588,6 +665,8 @@ impl Request {
                 seq: r.u64()?,
                 epoch: r.u64()?,
             },
+            0x0F => Request::SubscribeQuery { text: r.str()? },
+            0x10 => Request::UnsubscribeQuery { view: r.u64()? },
             tag => {
                 return Err(WireError::protocol(format!(
                     "unknown request tag {tag:#04x}"
@@ -679,6 +758,7 @@ impl Response {
                 quorum,
                 overflow_drops,
                 replicas,
+                views,
             } => {
                 put_u8(&mut out, 0x8C);
                 put_u8(&mut out, *role);
@@ -695,6 +775,17 @@ impl Response {
                     put_str(&mut out, addr);
                     put_u64(&mut out, *sent);
                     put_u64(&mut out, *acked);
+                }
+                put_u32(&mut out, views.len() as u32);
+                for v in views {
+                    put_u64(&mut out, v.id);
+                    put_str(&mut out, &v.query);
+                    // bit 0 = incremental, bit 1 = broken.
+                    let flags = u8::from(v.incremental) | (u8::from(v.broken) << 1);
+                    put_u8(&mut out, flags);
+                    put_u64(&mut out, v.rows);
+                    put_u64(&mut out, v.deltas);
+                    put_u64(&mut out, v.fallbacks);
                 }
             }
             Response::PromoteOk { seq } => {
@@ -713,6 +804,32 @@ impl Response {
                 put_u8(&mut out, u8::from(*retryable));
                 put_str(&mut out, message);
                 put_str(&mut out, detail);
+            }
+            Response::SubscribeQueryOk {
+                view,
+                epoch,
+                fallback,
+                columns,
+            } => {
+                put_u8(&mut out, 0x90);
+                put_u64(&mut out, *view);
+                put_u64(&mut out, *epoch);
+                put_u8(&mut out, u8::from(*fallback));
+                put_str_list(&mut out, columns);
+            }
+            Response::ViewDelta {
+                view,
+                seq,
+                epoch,
+                adds,
+                removes,
+            } => {
+                put_u8(&mut out, 0x91);
+                put_u64(&mut out, *view);
+                put_u64(&mut out, *seq);
+                put_u64(&mut out, *epoch);
+                put_row_bag(&mut out, adds);
+                put_row_bag(&mut out, removes);
             }
         }
         out
@@ -790,6 +907,22 @@ impl Response {
                     let sent = r.u64()?;
                     replicas.push((addr, sent, r.u64()?));
                 }
+                let m = r.u32()? as usize;
+                let mut views = Vec::with_capacity(m.min(4096));
+                for _ in 0..m {
+                    let id = r.u64()?;
+                    let query = r.str()?;
+                    let flags = r.u8()?;
+                    views.push(ViewStat {
+                        id,
+                        query,
+                        incremental: flags & 1 != 0,
+                        broken: flags & 2 != 0,
+                        rows: r.u64()?,
+                        deltas: r.u64()?,
+                        fallbacks: r.u64()?,
+                    });
+                }
                 Response::StatsOk {
                     role,
                     redirect,
@@ -801,6 +934,7 @@ impl Response {
                     quorum,
                     overflow_drops,
                     replicas,
+                    views,
                 }
             }
             0x8D => Response::PromoteOk { seq: r.u64()? },
@@ -810,6 +944,19 @@ impl Response {
                 retryable: r.u8()? != 0,
                 message: r.str()?,
                 detail: r.str()?,
+            },
+            0x90 => Response::SubscribeQueryOk {
+                view: r.u64()?,
+                epoch: r.u64()?,
+                fallback: r.u8()? != 0,
+                columns: r.str_list()?,
+            },
+            0x91 => Response::ViewDelta {
+                view: r.u64()?,
+                seq: r.u64()?,
+                epoch: r.u64()?,
+                adds: r.row_bag()?,
+                removes: r.row_bag()?,
             },
             tag => {
                 return Err(WireError::protocol(format!(
@@ -874,6 +1021,10 @@ mod tests {
                 epoch: 0,
             },
             Request::Ack { seq: 77, epoch: 2 },
+            Request::SubscribeQuery {
+                text: "MATCH (n:Person) RETURN n.name".into(),
+            },
+            Request::UnsubscribeQuery { view: 3 },
         ] {
             roundtrip_req(req);
         }
@@ -902,6 +1053,26 @@ mod tests {
             quorum: 1,
             overflow_drops: 4,
             replicas: vec![("10.0.0.2:51234".into(), 118, 117)],
+            views: vec![
+                ViewStat {
+                    id: 1,
+                    query: "MATCH (n:Person) RETURN n.name".into(),
+                    incremental: true,
+                    rows: 12,
+                    deltas: 30,
+                    fallbacks: 0,
+                    broken: false,
+                },
+                ViewStat {
+                    id: 2,
+                    query: "MATCH (n) RETURN n.x ORDER BY n.x".into(),
+                    incremental: false,
+                    rows: 3,
+                    deltas: 5,
+                    fallbacks: 40,
+                    broken: true,
+                },
+            ],
         });
         roundtrip_resp(Response::StatsOk {
             role: 0,
@@ -914,9 +1085,38 @@ mod tests {
             quorum: 0,
             overflow_drops: 0,
             replicas: vec![],
+            views: vec![],
         });
         roundtrip_resp(Response::PromoteOk { seq: 121 });
         roundtrip_resp(Response::FenceOk);
+    }
+
+    #[test]
+    fn live_view_responses_roundtrip() {
+        roundtrip_resp(Response::SubscribeQueryOk {
+            view: 7,
+            epoch: 3,
+            fallback: false,
+            columns: vec!["n.name".into(), "count(*)".into()],
+        });
+        roundtrip_resp(Response::ViewDelta {
+            view: 7,
+            seq: 42,
+            epoch: 3,
+            adds: vec![
+                (vec![Value::str("a"), Value::Int(2)], 1),
+                (vec![Value::Null, Value::Float(1.5)], 3),
+            ],
+            removes: vec![(vec![Value::str("b"), Value::Int(1)], 1)],
+        });
+        // Empty batch doubles as the keepalive frame.
+        roundtrip_resp(Response::ViewDelta {
+            view: 7,
+            seq: 0,
+            epoch: 3,
+            adds: vec![],
+            removes: vec![],
+        });
     }
 
     #[test]

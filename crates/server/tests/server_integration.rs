@@ -434,3 +434,120 @@ fn shutdown_frame_stops_the_server_cleanly() {
     // The port is released: a fresh connection must fail.
     assert!(Client::connect(server.addr(), &hello()).is_err());
 }
+
+/// Live-view subscription end to end over TCP: a subscriber registers a
+/// query, a concurrent writer commits statements, and replaying the
+/// received delta batches (snapshot first, then one batch per statement)
+/// must converge on exactly the rows a fresh evaluation returns. Clean
+/// unsubscribe ends the stream with `Bye` and clears the server's view
+/// registry.
+#[test]
+fn live_view_subscription_streams_replayable_deltas() {
+    use std::collections::HashMap;
+
+    fn apply(
+        replay: &mut HashMap<String, (Vec<Value>, u64)>,
+        batch: &cypher_server::ViewDeltaBatch,
+    ) {
+        for (row, n) in &batch.removes {
+            let key = format!("{row:?}");
+            let e = replay.get_mut(&key).expect("remove of a present row");
+            assert!(e.1 >= *n, "remove count exceeds multiplicity");
+            e.1 -= *n;
+            if e.1 == 0 {
+                replay.remove(&key);
+            }
+        }
+        for (row, n) in &batch.adds {
+            let e = replay
+                .entry(format!("{row:?}"))
+                .or_insert_with(|| (row.clone(), 0));
+            e.1 += *n;
+        }
+    }
+
+    fn bag(replay: &HashMap<String, (Vec<Value>, u64)>) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for (row, n) in replay.values() {
+            for _ in 0..*n {
+                out.push(format!("{row:?}"));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    let server = start("live-view", |_| {});
+    let mut writer = Client::connect(server.addr(), &hello()).unwrap();
+    writer.run("CREATE (:Item {name: 'a', qty: 1})").unwrap();
+
+    let mut sub = Client::connect(server.addr(), &hello()).unwrap();
+    let reg = sub
+        .subscribe_query("MATCH (n:Item) RETURN n.name, n.qty")
+        .unwrap();
+    assert!(
+        !reg.fallback,
+        "single-pattern view must maintain incrementally"
+    );
+    assert_eq!(reg.columns, vec!["n.name".to_string(), "n.qty".to_string()]);
+
+    // The registration snapshot arrives as a pure-adds batch with seq 0.
+    let first = sub.next_view_delta().unwrap();
+    assert_eq!(first.view, reg.view);
+    assert_eq!(first.seq, 0);
+    assert!(first.removes.is_empty());
+    let mut replay = HashMap::new();
+    apply(&mut replay, &first);
+    assert_eq!(replay.len(), 1, "snapshot must carry the seeded row");
+
+    writer.run("CREATE (:Item {name: 'b', qty: 2})").unwrap();
+    writer
+        .run("MATCH (n:Item {name: 'a'}) SET n.qty = 5")
+        .unwrap();
+    writer
+        .run("MATCH (n:Item {name: 'b'}) DETACH DELETE n")
+        .unwrap();
+
+    let want = {
+        let out = writer.run("MATCH (n:Item) RETURN n.name, n.qty").unwrap();
+        let mut rows: Vec<String> = out.rows.iter().map(|r| format!("{r:?}")).collect();
+        rows.sort();
+        rows
+    };
+
+    // Drain batches (skipping keepalives) until the replay converges on
+    // the final rows; deltas are ordered, so convergence is guaranteed
+    // once the last statement's batch arrives.
+    let mut last_seq = 0;
+    for attempt in 0.. {
+        assert!(attempt < 200, "view deltas never converged: {replay:?}");
+        let batch = sub.next_view_delta().unwrap();
+        if batch.is_keepalive() {
+            continue;
+        }
+        assert!(
+            batch.seq > last_seq,
+            "delta batches must arrive in commit order"
+        );
+        last_seq = batch.seq;
+        apply(&mut replay, &batch);
+        if bag(&replay) == want {
+            break;
+        }
+    }
+
+    // The view shows up in Stats with its counters.
+    let stats = writer.stats().unwrap();
+    assert_eq!(stats.views.len(), 1);
+    assert!(stats.views[0].incremental);
+    assert!(!stats.views[0].broken);
+    assert_eq!(stats.views[0].rows, 1);
+
+    // Clean teardown: UnsubscribeQuery drains to `Bye` and the registry
+    // empties immediately.
+    sub.unsubscribe_query(reg.view).unwrap();
+    assert!(writer.stats().unwrap().views.is_empty());
+
+    writer.goodbye().unwrap();
+    server.stop();
+}

@@ -39,6 +39,10 @@ fn sample_payloads() -> Vec<Vec<u8>> {
         },
         Request::Ack { seq: 41, epoch: 5 },
         Request::CommitLog,
+        Request::SubscribeQuery {
+            text: "MATCH (n:Person) RETURN n.name".to_owned(),
+        },
+        Request::UnsubscribeQuery { view: 3 },
     ];
     let responses = [
         Response::HelloOk {
@@ -67,9 +71,31 @@ fn sample_payloads() -> Vec<Vec<u8>> {
             quorum: 1,
             overflow_drops: 2,
             replicas: vec![("10.0.0.8:9999".to_owned(), 41, 40)],
+            views: vec![cypher_ivm::ViewStat {
+                id: 1,
+                query: "MATCH (n) RETURN count(*)".to_owned(),
+                incremental: true,
+                rows: 1,
+                deltas: 7,
+                fallbacks: 0,
+                broken: false,
+            }],
         },
         Response::PromoteOk { seq: 41 },
         Response::FenceOk,
+        Response::SubscribeQueryOk {
+            view: 3,
+            epoch: 5,
+            fallback: false,
+            columns: vec!["n.name".to_owned()],
+        },
+        Response::ViewDelta {
+            view: 3,
+            seq: 44,
+            epoch: 5,
+            adds: vec![(vec![cypher_graph::Value::str("Nils")], 1)],
+            removes: vec![(vec![cypher_graph::Value::Null], 2)],
+        },
     ];
     requests
         .iter()

@@ -86,6 +86,11 @@ pub struct DurableGraph {
     /// `(txid, dialect, text)` statements recovered from the WAL, i.e. the
     /// still-shippable commit-log suffix since the last checkpoint.
     recovered_stmts: Vec<(u64, u8, String)>,
+    /// The delta of the most recent [`apply_buffered_logged`] call, stashed
+    /// just before the graph's own mirror is cleared so downstream
+    /// consumers (the incremental view maintainer) can take it. Empty when
+    /// the last statement was read-only or rolled back.
+    last_delta: Vec<cypher_graph::DeltaOp>,
 }
 
 impl DurableGraph {
@@ -121,6 +126,7 @@ impl DurableGraph {
             fence_epoch,
             recovered_base: rec.covered_txid,
             recovered_stmts: rec.statements,
+            last_delta: Vec::new(),
         })
     }
 
@@ -279,6 +285,7 @@ impl DurableGraph {
             0,
             "apply must start at a statement boundary"
         );
+        self.last_delta.clear();
         let out = f(&mut self.graph);
         if self.graph.journal_len() != 0 {
             // The closure left an open transaction; durability cannot be
@@ -313,10 +320,21 @@ impl DurableGraph {
                 return Err(StorageError::Io(e));
             }
             self.next_txid += 1;
+            self.last_delta = self.graph.delta().to_vec();
             self.graph.clear_delta();
             logged = Some(txid);
         }
         Ok((out, logged))
+    }
+
+    /// Take the committed delta of the most recent
+    /// [`apply_buffered_logged`](DurableGraph::apply_buffered_logged) call
+    /// (empty when that statement was read-only, rolled back, or the delta
+    /// was already taken). The ops are in exact execution order — the same
+    /// order the WAL logged them in — which is the replay contract the
+    /// incremental view maintainer depends on (DESIGN.md §15).
+    pub fn take_last_delta(&mut self) -> Vec<cypher_graph::DeltaOp> {
+        std::mem::take(&mut self.last_delta)
     }
 
     /// Fsync the group-commit window opened by

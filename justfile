@@ -63,6 +63,20 @@ loadtest-replica addr="127.0.0.1:7878" read="127.0.0.1:7879" n="500" threads="8"
         --addr {{addr}} --read-addr {{read}} --load {{n}} --threads {{threads}} \
         --out BENCH_6.json
 
+# Subscribe to a live view on a running server: stream row-level
+# add/remove deltas for the query after every committed statement
+# (Ctrl-C to stop; add --deltas N to exit after N batches, --watch for
+# a repainted table instead of raw deltas).
+subscribe query="MATCH (n) RETURN count(*)" addr="127.0.0.1:7878":
+    cargo run -p cypher-server --bin cypher-client --release --offline -q -- \
+        --addr {{addr}} --subscribe-query "{{query}}" --watch
+
+# Notification-latency + maintenance-cost benchmark: views at 1/16/128
+# over the 10k marketplace graph under a write stream; rewrites
+# BENCH_10.json.
+bench-views:
+    cargo run -p cypher-bench --bin bench --release --offline -q -- --views
+
 # Quorum pair: a primary that withholds client acks until 1 replica has
 # durably applied each write (`just serve-sync`), and a replica with a
 # liveness lease — if the primary goes silent past the lease it elects

@@ -44,9 +44,11 @@ use cypher_storage::DurableGraph;
 
 /// Where statements execute: a plain in-memory graph, or one bound to a
 /// storage directory with every committed statement write-ahead logged.
+// Both variants boxed: a graph (and even more so a durable handle) is
+// hundreds of bytes inline, and the enum moves by value on :open/:close.
 enum Store {
-    Memory(PropertyGraph),
-    Durable(DurableGraph),
+    Memory(Box<PropertyGraph>),
+    Durable(Box<DurableGraph>),
 }
 
 impl Store {
@@ -72,7 +74,7 @@ struct Shell {
 impl Shell {
     fn new() -> Self {
         Shell {
-            store: Store::Memory(PropertyGraph::new()),
+            store: Store::Memory(Box::new(PropertyGraph::new())),
             dialect: Dialect::Cypher9,
             order: ProcessingOrder::Forward,
             match_mode: MatchMode::EdgeIsomorphic,
@@ -352,7 +354,7 @@ impl Shell {
                             g.node_count(),
                             g.rel_count()
                         );
-                        self.store = Store::Durable(d);
+                        self.store = Store::Durable(Box::new(d));
                     }
                     Err(e) => println!("error opening {path}: {e}"),
                 }
@@ -406,13 +408,16 @@ impl Shell {
                 _ => println!("usage: :lint off|warn|deny"),
             },
             ":close" => {
-                match std::mem::replace(&mut self.store, Store::Memory(PropertyGraph::new())) {
+                match std::mem::replace(
+                    &mut self.store,
+                    Store::Memory(Box::new(PropertyGraph::new())),
+                ) {
                     Store::Durable(d) => {
                         let dir = d.dir().display().to_string();
-                        match d.close() {
+                        match (*d).close() {
                             Ok(graph) => {
                                 // Keep working on the same graph, detached.
-                                self.store = Store::Memory(graph);
+                                self.store = Store::Memory(Box::new(graph));
                                 println!("closed {dir} (graph stays in memory)");
                             }
                             Err(e) => println!("close failed: {e}"),
@@ -434,7 +439,7 @@ impl Shell {
             }
             ":reset" => match &self.store {
                 Store::Memory(_) => {
-                    self.store = Store::Memory(PropertyGraph::new());
+                    self.store = Store::Memory(Box::new(PropertyGraph::new()));
                     println!("graph cleared");
                 }
                 Store::Durable(_) => {
